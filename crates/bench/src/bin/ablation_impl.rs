@@ -1,0 +1,108 @@
+//! Implementation-choice ablations (this reproduction's own design
+//! decisions, not the paper's Table XI).
+//!
+//! ```sh
+//! cargo run --release -p eras-bench --bin ablation_impl [-- --quick]
+//! ```
+//!
+//! DESIGN.md documents three choices this implementation makes on top of
+//! Algorithm 2, each motivated by the small-compute regime:
+//!
+//! - **elite archive**: best one-shot architectures seen during search
+//!   join the derivation candidates;
+//! - **derivation screening**: the top one-shot candidates get a short
+//!   stand-alone run before the final pick (counteracts the winner's
+//!   curse of a noisy one-shot ranking);
+//! - **zero-op bias**: the controller starts biased toward sparse grids
+//!   (the density regime of good scoring functions).
+//!
+//! This bench measures each choice's effect on the final test MRR over a
+//! few seeds.
+
+use eras_bench::profiles::quick_flag;
+use eras_bench::report::{mrr, save_json, Table};
+use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::{FilterIndex, Preset};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    setting: String,
+    seed: u64,
+    test_mrr: f64,
+}
+
+fn main() {
+    let quick = quick_flag();
+    let seeds: Vec<u64> = if quick { vec![0] } else { vec![0, 1, 2] };
+    let dataset = Preset::Tiny.build(11);
+    let filter = FilterIndex::build(&dataset);
+
+    let base = move |seed: u64| ErasConfig {
+        n_groups: 2,
+        epochs: if quick { 6 } else { 25 },
+        seed,
+        ..ErasConfig::fast()
+    };
+
+    type ConfigFor = Box<dyn Fn(u64) -> ErasConfig>;
+    let settings: Vec<(&str, ConfigFor)> = vec![
+        ("full (all choices on)", Box::new(base)),
+        (
+            "no elite archive",
+            Box::new(move |seed| ErasConfig {
+                use_archive: false,
+                ..base(seed)
+            }),
+        ),
+        (
+            "no derivation screening",
+            Box::new(move |seed| ErasConfig {
+                derive_screen: 1,
+                ..base(seed)
+            }),
+        ),
+        (
+            "no zero-op bias",
+            Box::new(move |seed| ErasConfig {
+                zero_op_bias: 0.0,
+                ..base(seed)
+            }),
+        ),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, make) in &settings {
+        for &seed in &seeds {
+            let outcome = run_eras(&dataset, &filter, &make(seed), Variant::Full);
+            eprintln!("{name} seed {seed}: {:.3}", outcome.test.mrr);
+            rows.push(Row {
+                setting: name.to_string(),
+                seed,
+                test_mrr: outcome.test.mrr,
+            });
+        }
+    }
+
+    println!(
+        "\nImplementation ablations on {} (test MRR, mean over seeds):\n",
+        dataset.name
+    );
+    let mut table = Table::new(&["setting", "mean MRR", "min", "max"]);
+    for (name, _) in &settings {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.setting == *name)
+            .map(|r| r.test_mrr)
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        table.row(vec![name.to_string(), mrr(mean), mrr(min), mrr(max)]);
+    }
+    print!("{}", table.render());
+    match save_json("ablation_impl", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 2: search-efficiency comparison of ERAS with the stand-alone
+//! AutoML searchers.
+//!
+//! ```sh
+//! cargo run --release -p eras-bench --bin fig2 [-- --quick]
+//! ```
+//!
+//! Runs ERAS, ERAS^{N=1}, AutoSF, random search and TPE ("Bayes") on
+//! three stand-ins, records each method's best-so-far validation MRR over
+//! wall-clock time, and prints the aligned curves. The paper's shape:
+//! both ERAS variants finish their search an order of magnitude sooner;
+//! the stand-alone methods reach somewhat higher *search-time* MRR
+//! because each of their candidates is trained to convergence.
+
+use eras_bench::profiles::{quick_flag, Profile};
+use eras_bench::report::save_json;
+use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::{FilterIndex, Preset};
+use eras_search::{autosf, random, tpe, SearchTrace};
+
+fn print_curve(trace: &SearchTrace) {
+    let total = trace.points.last().map(|p| p.elapsed_secs).unwrap_or(0.0);
+    println!(
+        "  {:<10} {:>3} evaluations, {:>7.1}s total, best-so-far:",
+        trace.method,
+        trace.len(),
+        total
+    );
+    // Eight aligned time samples.
+    let mut curve = String::from("    ");
+    for step in 1..=8 {
+        let t = total * step as f64 / 8.0;
+        match trace.best_at(t) {
+            Some(b) => curve.push_str(&format!("{b:.3} ")),
+            None => curve.push_str("  -   "),
+        }
+    }
+    println!("{curve}");
+}
+
+fn main() {
+    let quick = quick_flag();
+    let presets = [Preset::Wn18, Preset::Wn18rr, Preset::Fb15k237];
+    let mut traces: Vec<SearchTrace> = Vec::new();
+
+    for preset in presets {
+        let profile = Profile::from_args(preset, 7, quick);
+        let dataset = preset.build(7);
+        let filter = FilterIndex::build(&dataset);
+        println!("=== {} ===", dataset.name);
+
+        let result = autosf::search(
+            &dataset,
+            &filter,
+            &profile.search_train,
+            &profile.autosf,
+            profile.search_budget,
+        );
+        print_curve(&result.trace);
+        traces.push(result.trace);
+
+        let result = random::search(
+            &dataset,
+            &filter,
+            &profile.search_train,
+            4,
+            10,
+            profile.seed,
+            profile.search_budget,
+        );
+        print_curve(&result.trace);
+        traces.push(result.trace);
+
+        let result = tpe::search(
+            &dataset,
+            &filter,
+            &profile.search_train,
+            &profile.tpe,
+            profile.search_budget,
+        );
+        print_curve(&result.trace);
+        traces.push(result.trace);
+
+        for (name, n_groups) in [("ERAS(N=1)", 1usize), ("ERAS", profile.eras.n_groups)] {
+            let cfg = ErasConfig {
+                n_groups,
+                ..profile.eras.clone()
+            };
+            let outcome = run_eras(&dataset, &filter, &cfg, Variant::Full);
+            let mut trace = outcome.search_trace;
+            trace.method = name.into();
+            print_curve(&trace);
+            traces.push(trace);
+        }
+        println!();
+    }
+
+    println!(
+        "shape to check: ERAS curves end an order of magnitude earlier in wall-clock\n\
+         time; stand-alone searchers' best-so-far can sit higher during search since\n\
+         every point is a converged model (paper, Section V-C)."
+    );
+    match save_json("fig2", &traces) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

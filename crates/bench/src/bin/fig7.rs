@@ -1,0 +1,75 @@
+//! Figure 7: effect of the number of blocks `M`.
+//!
+//! ```sh
+//! cargo run --release -p eras-bench --bin fig7 [-- --quick]
+//! ```
+//!
+//! Sweeps `M ∈ {3, 4, 5}` on the WN18RR and FB15k-237 stand-ins. AutoSF
+//! hard-codes `M = 4`; ERAS's efficiency is what makes this sweep
+//! affordable at all (Section V-E5). The paper's shape: `M = 4` is the
+//! sweet spot, with `M = 3` under-parameterised and `M = 5` slower
+//! without a quality win. The embedding dimension is fixed at 60 — the
+//! least common multiple of the sweep — so every `M` divides it.
+
+use eras_bench::profiles::{quick_flag, Profile};
+use eras_bench::report::{mrr, save_json, Table};
+use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::{FilterIndex, Preset};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    dataset: String,
+    m: usize,
+    total_secs: f64,
+    test_mrr: f64,
+}
+
+fn main() {
+    let quick = quick_flag();
+    let sweep: Vec<usize> = if quick { vec![3, 4] } else { vec![3, 4, 5] };
+    let mut points: Vec<Point> = Vec::new();
+
+    for preset in [Preset::Wn18rr, Preset::Fb15k237] {
+        let profile = Profile::from_args(preset, 7, quick);
+        let dataset = preset.build(7);
+        let filter = FilterIndex::build(&dataset);
+        eprintln!("=== {} ===", dataset.name);
+        for &m in &sweep {
+            let mut retrain = profile.train.clone();
+            retrain.dim = 60;
+            let cfg = ErasConfig {
+                m,
+                dim: 60,
+                retrain,
+                ..profile.eras.clone()
+            };
+            let outcome = run_eras(&dataset, &filter, &cfg, Variant::Full);
+            let total = outcome.search_secs + outcome.evaluation_secs;
+            eprintln!("  M={m}: MRR {:.3} ({:.1}s)", outcome.test.mrr, total);
+            points.push(Point {
+                dataset: dataset.name.clone(),
+                m,
+                total_secs: total,
+                test_mrr: outcome.test.mrr,
+            });
+        }
+    }
+
+    println!("\nFigure 7 — time (s) vs test MRR for M blocks (dim 60):\n");
+    let mut table = Table::new(&["dataset", "M", "time (s)", "test MRR"]);
+    for p in &points {
+        table.row(vec![
+            p.dataset.clone(),
+            p.m.to_string(),
+            format!("{:.1}", p.total_secs),
+            mrr(p.test_mrr),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nshape to check (paper Fig. 7): M=4 best; larger M costs time without gain.");
+    match save_json("fig7", &points) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,92 @@
+//! Table I: effectiveness/efficiency summary of scoring functions.
+//!
+//! ```sh
+//! cargo run --release -p eras-bench --bin table1
+//! ```
+//!
+//! Two machine-checkable claims from the paper's Table I are reproduced:
+//!
+//! 1. **Expressiveness** — which relation patterns each scoring function
+//!    can model, computed exactly by the nullspace analysis in
+//!    `eras_sf::expressive` (DistMult: symmetric only; ComplEx / SimplE /
+//!    Analogy: universal).
+//! 2. **Inference cost** — per-candidate scoring of every block bilinear
+//!    function is `O(d)`: measured by timing `score_all_tails` at two
+//!    dimensions and reporting the scaling exponent (≈ 1.0 ⇒ linear).
+
+use eras_bench::report::Table;
+use eras_linalg::Rng;
+use eras_sf::{expressive, zoo};
+use eras_train::eval::ScoreModel;
+use eras_train::{BlockModel, Embeddings};
+use std::time::Instant;
+
+fn time_scoring(model: &BlockModel, dim: usize) -> f64 {
+    let mut rng = Rng::seed_from_u64(1);
+    let emb = Embeddings::init(2000, 4, dim, &mut rng);
+    let mut out = vec![0.0f32; 2000];
+    // Warm up, then measure.
+    for _ in 0..10 {
+        model.score_all_tails(&emb, 3, 1, &mut out);
+    }
+    let started = Instant::now();
+    let reps = 200;
+    for i in 0..reps {
+        model.score_all_tails(&emb, (i % 100) as u32, 1, &mut out);
+    }
+    started.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    println!("Table I — expressiveness of the implemented scoring functions:\n");
+    let mut table = Table::new(&[
+        "scoring function",
+        "symmetric",
+        "anti-symmetric",
+        "inversion",
+        "general asym.",
+        "universal",
+    ]);
+    for (name, sf) in zoo::all_m4() {
+        let e = expressive::analyze(&sf);
+        let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
+        table.row(vec![
+            name.to_string(),
+            mark(e.symmetric),
+            mark(e.anti_symmetric),
+            mark(e.inversion),
+            mark(e.general_asymmetry),
+            mark(e.is_universal()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\npaper's claim: DistMult covers symmetry only; the other bilinear models\n\
+         are universal — matching the rows above.\n"
+    );
+
+    println!("inference cost (O(d) claim) — mean `score_all_tails` time over 2000 entities:\n");
+    let mut timing = Table::new(&[
+        "scoring function",
+        "d=32 (µs)",
+        "d=64 (µs)",
+        "scaling d32→d64",
+    ]);
+    for (name, sf) in zoo::all_m4() {
+        let model = BlockModel::universal(sf, 4);
+        let t32 = time_scoring(&model, 32);
+        let t64 = time_scoring(&model, 64);
+        timing.row(vec![
+            name.to_string(),
+            format!("{:.1}", 1e6 * t32),
+            format!("{:.1}", 1e6 * t64),
+            format!("{:.2}x", t64 / t32),
+        ]);
+    }
+    print!("{}", timing.render());
+    println!(
+        "\nshape to check: scaling ≈ 2x when d doubles (linear, O(d) per candidate),\n\
+         and near-identical cost across structures (the query-vector trick makes\n\
+         cost independent of the non-zero count)."
+    );
+}

@@ -1,0 +1,82 @@
+//! Table XI: ablation variants of ERAS.
+//!
+//! ```sh
+//! cargo run --release -p eras-bench --bin table11 [-- --quick]
+//! ```
+//!
+//! Runs `ERAS^los`, `ERAS^dif`, `ERAS^sig`, `ERAS^pde`, `ERAS^smt` and the
+//! full ERAS on every benchmark stand-in. The paper's shape: the full
+//! algorithm wins everywhere; `sig` (single-level) and `los` (loss
+//! reward) are the weakest variants.
+
+use eras_bench::literature;
+use eras_bench::profiles::{quick_flag, Profile};
+use eras_bench::report::{mrr, save_json, Table};
+use eras_core::{run_eras, Variant};
+use eras_data::{FilterIndex, Preset};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    variant: String,
+    dataset: String,
+    mrr: f64,
+}
+
+fn main() {
+    let quick = quick_flag();
+    let mut variants: Vec<Variant> = Variant::ablations().to_vec();
+    variants.push(Variant::Full);
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for preset in Preset::paper_benchmarks() {
+        let profile = Profile::from_args(preset, 7, quick);
+        let dataset = preset.build(7);
+        let filter = FilterIndex::build(&dataset);
+        eprintln!("=== {} ===", dataset.name);
+        for &variant in &variants {
+            let outcome = run_eras(&dataset, &filter, &profile.eras, variant);
+            eprintln!("  {:<10} MRR {:.3}", variant.trace_name(), outcome.test.mrr);
+            cells.push(Cell {
+                variant: variant.trace_name().into(),
+                dataset: dataset.name.clone(),
+                mrr: outcome.test.mrr,
+            });
+        }
+    }
+
+    println!("\nTable XI — ablation variants (test MRR):\n");
+    let names: Vec<String> = Preset::paper_benchmarks()
+        .iter()
+        .map(|p| p.name().to_string())
+        .collect();
+    let mut headers = vec!["variant"];
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut table = Table::new(&headers);
+    for &variant in &variants {
+        let mut row = vec![variant.trace_name().to_string()];
+        for preset in Preset::paper_benchmarks() {
+            let c = cells
+                .iter()
+                .find(|c| c.variant == variant.trace_name() && c.dataset == preset.name());
+            row.push(c.map(|c| mrr(c.mrr)).unwrap_or_else(|| "-".into()));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+
+    println!("\npaper's Table XI (real datasets, MRR):\n");
+    let mut lit = Table::new(&["variant", "WN18", "WN18RR", "FB15k", "FB15k237", "YAGO3-10"]);
+    for (name, vals) in literature::TABLE11 {
+        let mut row = vec![name.to_string()];
+        row.extend(vals.iter().map(|v| format!("{v:.3}")));
+        lit.row(row);
+    }
+    print!("{}", lit.render());
+    println!("\nshape to check: full ERAS at or above every variant per dataset.");
+
+    match save_json("table11", &cells) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

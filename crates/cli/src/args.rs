@@ -1,0 +1,100 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse a flat list of `--key value` tokens. Bare `--flag` (no
+    /// value) stores `"true"`.
+    pub fn parse(tokens: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("expected --key, found `{tok}`"));
+            };
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            let next_is_value = tokens
+                .get(i + 1)
+                .map(|t| !t.starts_with("--"))
+                .unwrap_or(false);
+            if next_is_value {
+                values.insert(key.to_owned(), tokens[i + 1].clone());
+                i += 2;
+            } else {
+                values.insert(key.to_owned(), "true".to_owned());
+                i += 1;
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Required string value.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Parsed value with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Is a bare flag present?
+    pub fn has(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = Args::parse(&toks(&["--preset", "wn18rr", "--quick", "--dim", "64"])).unwrap();
+        assert_eq!(a.get("preset"), Some("wn18rr"));
+        assert!(a.has("quick"));
+        assert_eq!(a.get_or("dim", 32usize).unwrap(), 64);
+        assert_eq!(a.get_or("epochs", 40usize).unwrap(), 40);
+    }
+
+    #[test]
+    fn rejects_bare_values() {
+        assert!(Args::parse(&toks(&["wn18rr"])).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::parse(&toks(&[])).unwrap();
+        assert!(a.require("preset").is_err());
+    }
+
+    #[test]
+    fn parse_error_mentions_key() {
+        let a = Args::parse(&toks(&["--dim", "abc"])).unwrap();
+        let err = a.get_or("dim", 0usize).unwrap_err();
+        assert!(err.contains("dim"));
+    }
+}

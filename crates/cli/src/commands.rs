@@ -1,0 +1,302 @@
+//! CLI subcommands.
+
+use crate::args::Args;
+use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::stats::{dataset_stats, stats_header};
+use eras_data::{Dataset, FilterIndex, Preset};
+use eras_search::evaluator::SearchBudget;
+use eras_search::{autosf, random, tpe};
+use eras_train::eval::link_prediction;
+use eras_train::trainer::{train_standalone, TrainConfig};
+use eras_train::{BlockModel, LossMode};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+eras — relation-aware scoring function search (ERAS, ICDE 2021 reproduction)
+
+USAGE:
+  eras stats    --preset NAME [--seed N]
+  eras generate --preset NAME --out DIR [--seed N]
+  eras train    (--preset NAME | --data DIR) [--model complex] [--dim 32]
+                [--epochs 40] [--seed N] [--save FILE] [--full-loss]
+  eras search   (--preset NAME | --data DIR) [--method eras] [--groups 3]
+                [--epochs 20] [--dim 32] [--seed N]
+  eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
+  eras rules    (--preset NAME | --data DIR) [--seed N]
+
+PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny
+MODELS:  distmult complex simple analogy
+METHODS: eras autosf random tpe";
+
+fn preset_by_name(name: &str) -> Result<Preset, String> {
+    Ok(match name {
+        "wn18" => Preset::Wn18,
+        "wn18rr" => Preset::Wn18rr,
+        "fb15k" => Preset::Fb15k,
+        "fb15k237" => Preset::Fb15k237,
+        "yago" => Preset::Yago,
+        "tiny" => Preset::Tiny,
+        other => return Err(format!("unknown preset `{other}`")),
+    })
+}
+
+/// Load from `--data DIR` (TSV) or build `--preset NAME`.
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let seed: u64 = args.get_or("seed", 7u64)?;
+    if let Some(dir) = args.get("data") {
+        eras_data::tsv::load_dir(Path::new(dir), dir).map_err(|e| e.to_string())
+    } else {
+        let preset = preset_by_name(args.require("preset")?)?;
+        Ok(preset.build(seed))
+    }
+}
+
+fn zoo_by_name(name: &str) -> Result<eras_sf::BlockSf, String> {
+    Ok(match name {
+        "distmult" => eras_sf::zoo::distmult(4),
+        "complex" => eras_sf::zoo::complex(),
+        "simple" => eras_sf::zoo::simple(),
+        "analogy" => eras_sf::zoo::analogy(),
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+/// `eras stats`.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    println!("{}", stats_header());
+    println!("{}", dataset_stats(&dataset));
+    println!("\nrelation patterns (ground truth or detected):");
+    let labels = if dataset.pattern_labels.is_empty() {
+        eras_data::patterns::detect_patterns(&dataset)
+    } else {
+        dataset.pattern_labels.clone()
+    };
+    for (rel, label) in labels.iter().enumerate() {
+        println!(
+            "  {:<32} {}",
+            dataset.relations.name(rel as u32),
+            label.label()
+        );
+    }
+    Ok(())
+}
+
+/// `eras generate`: write the dataset in the standard TSV layout.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let out = Path::new(args.require("out")?);
+    std::fs::create_dir_all(out).map_err(|e| e.to_string())?;
+    for (file, triples) in [
+        ("train.txt", &dataset.train),
+        ("valid.txt", &dataset.valid),
+        ("test.txt", &dataset.test),
+    ] {
+        let mut buf = String::new();
+        for t in triples {
+            let _ = writeln!(
+                buf,
+                "{}\t{}\t{}",
+                dataset.entities.name(t.head),
+                dataset.relations.name(t.rel),
+                dataset.entities.name(t.tail)
+            );
+        }
+        std::fs::write(out.join(file), buf).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {} train / {} valid / {} test triples to {}",
+        dataset.train.len(),
+        dataset.valid.len(),
+        dataset.test.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn train_config(args: &Args) -> Result<TrainConfig, String> {
+    Ok(TrainConfig {
+        dim: args.get_or("dim", 32usize)?,
+        lr: args.get_or("lr", 0.1f32)?,
+        max_epochs: args.get_or("epochs", 40usize)?,
+        eval_every: 10,
+        patience: 3,
+        loss: if args.has("full-loss") {
+            LossMode::Full
+        } else {
+            LossMode::Sampled {
+                negatives: args.get_or("negatives", 64usize)?,
+            }
+        },
+        n3: args.get_or("n3", 0.0f32)?,
+        seed: args.get_or("seed", 7u64)?,
+        ..TrainConfig::default()
+    })
+}
+
+/// `eras train`.
+pub fn train(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let filter = FilterIndex::build(&dataset);
+    let sf = zoo_by_name(args.get("model").unwrap_or("complex"))?;
+    let cfg = train_config(args)?;
+    println!(
+        "training {} (d={}) on {} ({} train triples)...",
+        args.get("model").unwrap_or("complex"),
+        cfg.dim,
+        dataset.name,
+        dataset.train.len()
+    );
+    let model = BlockModel::universal(sf, dataset.num_relations());
+    let started = std::time::Instant::now();
+    let outcome = train_standalone(&model, &dataset, &filter, &cfg);
+    println!(
+        "test: MRR {:.3}  Hit@1 {:.1}%  Hit@10 {:.1}%  ({} epochs, {:.1}s)",
+        outcome.test.mrr,
+        100.0 * outcome.test.hits1,
+        100.0 * outcome.test.hits10,
+        outcome.epochs_run,
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = args.get("save") {
+        eras_train::io::save(Path::new(path), &outcome.embeddings).map_err(|e| e.to_string())?;
+        println!("saved embeddings to {path}");
+    }
+    Ok(())
+}
+
+/// `eras search`.
+pub fn search(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let filter = FilterIndex::build(&dataset);
+    let method = args.get("method").unwrap_or("eras");
+    let seed: u64 = args.get_or("seed", 7u64)?;
+    let train_cfg = train_config(args)?;
+    match method {
+        "eras" => {
+            let cfg = ErasConfig {
+                n_groups: args.get_or("groups", 3usize)?,
+                dim: train_cfg.dim,
+                epochs: args.get_or("epochs", 20usize)?,
+                retrain: train_cfg,
+                seed,
+                ..ErasConfig::default()
+            };
+            let outcome = run_eras(&dataset, &filter, &cfg, Variant::Full);
+            for (group, sf) in outcome.sfs.iter().enumerate() {
+                let members: Vec<&str> = outcome
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &g)| g as usize == group)
+                    .map(|(r, _)| dataset.relations.name(r as u32))
+                    .collect();
+                print!("{}", eras_sf::render::render_group(group, sf, &members));
+            }
+            println!(
+                "search {:.1}s, evaluation {:.1}s; test MRR {:.3}",
+                outcome.search_secs, outcome.evaluation_secs, outcome.test.mrr
+            );
+        }
+        "autosf" | "random" | "tpe" => {
+            let budget = SearchBudget {
+                max_evaluations: args.get_or("evaluations", 12usize)?,
+                max_seconds: f64::INFINITY,
+            };
+            let result = match method {
+                "autosf" => autosf::search(
+                    &dataset,
+                    &filter,
+                    &train_cfg,
+                    &autosf::AutoSfConfig {
+                        seed,
+                        ..autosf::AutoSfConfig::default()
+                    },
+                    budget,
+                ),
+                "random" => random::search(&dataset, &filter, &train_cfg, 4, 10, seed, budget),
+                _ => tpe::search(
+                    &dataset,
+                    &filter,
+                    &train_cfg,
+                    &tpe::TpeConfig {
+                        seed,
+                        ..tpe::TpeConfig::default()
+                    },
+                    budget,
+                ),
+            };
+            println!("{}", eras_sf::render::render_formula(&result.best_sf));
+            print!("{}", eras_sf::render::render_grid(&result.best_sf));
+            println!(
+                "{} evaluations; best stand-alone valid MRR {:.3}",
+                result.evaluations, result.best_mrr
+            );
+            // Retrain and report test metrics.
+            let model = BlockModel::universal(result.best_sf, dataset.num_relations());
+            let outcome = train_standalone(&model, &dataset, &filter, &train_cfg);
+            println!("retrained test MRR {:.3}", outcome.test.mrr);
+        }
+        other => return Err(format!("unknown method `{other}`")),
+    }
+    Ok(())
+}
+
+/// `eras eval`: evaluate saved embeddings with a fixed scoring function.
+pub fn evaluate(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let filter = FilterIndex::build(&dataset);
+    let emb_path = args.require("embeddings")?;
+    let emb = eras_train::io::load(Path::new(emb_path)).map_err(|e| e.to_string())?;
+    if emb.num_entities() != dataset.num_entities()
+        || emb.num_relations() != dataset.num_relations()
+    {
+        return Err(format!(
+            "embedding shape ({} entities, {} relations) does not match the dataset \
+             ({} entities, {} relations)",
+            emb.num_entities(),
+            emb.num_relations(),
+            dataset.num_entities(),
+            dataset.num_relations()
+        ));
+    }
+    let sf = zoo_by_name(args.get("model").unwrap_or("complex"))?;
+    let model = BlockModel::universal(sf, dataset.num_relations());
+    let m = link_prediction(&model, &emb, &dataset.test, &filter);
+    println!(
+        "test: MRR {:.3}  Hit@1 {:.1}%  Hit@3 {:.1}%  Hit@10 {:.1}%  ({} queries)",
+        m.mrr,
+        100.0 * m.hits1,
+        100.0 * m.hits3,
+        100.0 * m.hits10,
+        m.count
+    );
+    Ok(())
+}
+
+/// `eras rules`.
+pub fn rules(args: &Args) -> Result<(), String> {
+    let dataset = load_dataset(args)?;
+    let filter = FilterIndex::build(&dataset);
+    let model = eras_rules::RuleModel::learn(&dataset, &eras_rules::LearnConfig::default());
+    println!("mined {} rules", model.num_rules());
+    for rel in 0..dataset.num_relations() as u32 {
+        for s in model.rules_for(rel).iter().take(3) {
+            println!(
+                "  conf {:.2}  support {:>4}  {}",
+                s.confidence, s.support, s.rule
+            );
+        }
+    }
+    let emb = model.dummy_embeddings();
+    let m = link_prediction(&model, &emb, &dataset.test, &filter);
+    println!(
+        "test: MRR {:.3}  Hit@1 {:.1}%  Hit@10 {:.1}%",
+        m.mrr,
+        100.0 * m.hits1,
+        100.0 * m.hits10
+    );
+    Ok(())
+}

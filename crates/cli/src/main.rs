@@ -1,0 +1,54 @@
+//! `eras` — command-line interface to the ERAS reproduction.
+//!
+//! ```text
+//! eras stats    --preset wn18rr [--seed 7]
+//! eras generate --preset wn18rr --out DIR [--seed 7]
+//! eras train    (--preset NAME | --data DIR) --model complex
+//!               [--dim 32] [--epochs 40] [--save FILE] [--seed 7]
+//! eras search   (--preset NAME | --data DIR) [--method eras|autosf|random|tpe]
+//!               [--groups 3] [--epochs 20] [--seed 7]
+//! eras rules    (--preset NAME | --data DIR) [--seed 7]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! workspace dependency-free.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::from(2);
+    };
+    let parsed = match args::Args::parse(rest) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "stats" => commands::stats(&parsed),
+        "generate" => commands::generate(&parsed),
+        "train" => commands::train(&parsed),
+        "search" => commands::search(&parsed),
+        "eval" => commands::evaluate(&parsed),
+        "rules" => commands::rules(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end tests of the `eras` binary.
+
+use std::process::Command;
+
+fn eras() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eras"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = eras().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_is_an_error() {
+    let out = eras().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn stats_runs_on_tiny_preset() {
+    let out = eras()
+        .args(["stats", "--preset", "tiny", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tiny-synth"));
+    assert!(stdout.contains("symmetric"));
+}
+
+#[test]
+fn stats_rejects_unknown_preset() {
+    let out = eras().args(["stats", "--preset", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown preset"));
+}
+
+#[test]
+fn generate_then_train_from_tsv_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("eras_cli_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = eras()
+        .args([
+            "generate",
+            "--preset",
+            "tiny",
+            "--seed",
+            "4",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("train.txt").exists());
+
+    // Train briefly on the generated files, saving embeddings.
+    let emb_path = dir.join("emb.bin");
+    let out = eras()
+        .args([
+            "train",
+            "--data",
+            dir.to_str().unwrap(),
+            "--model",
+            "distmult",
+            "--dim",
+            "16",
+            "--epochs",
+            "3",
+            "--save",
+            emb_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MRR"), "{stdout}");
+    assert!(emb_path.exists());
+    // The saved file parses back.
+    let emb = eras_train::io::load(&emb_path).expect("valid embedding file");
+    assert_eq!(emb.dim(), 16);
+
+    // `eval` reloads the embeddings and reports metrics.
+    let out = eras()
+        .args([
+            "eval",
+            "--data",
+            dir.to_str().unwrap(),
+            "--model",
+            "distmult",
+            "--embeddings",
+            emb_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MRR"));
+
+    // Shape mismatch (different dataset) is rejected cleanly.
+    let out = eras()
+        .args([
+            "eval",
+            "--preset",
+            "wn18rr",
+            "--embeddings",
+            emb_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not match"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rules_command_mines_rules() {
+    let out = eras()
+        .args(["rules", "--preset", "tiny", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mined"), "{stdout}");
+    assert!(stdout.contains("MRR"));
+}

@@ -1,0 +1,178 @@
+//! ERAS search hyperparameters (Section V-A2 of the paper).
+
+use eras_train::trainer::TrainConfig;
+use eras_train::LossMode;
+
+/// Everything Algorithm 2 needs besides the dataset.
+#[derive(Debug, Clone)]
+pub struct ErasConfig {
+    /// Blocks per embedding `M` (the paper fixes 4; Figure 7 sweeps 3–5).
+    pub m: usize,
+    /// Relation groups `N` (Figure 6 sweeps 1–5; `N = 1` is ERAS^{N=1}).
+    pub n_groups: usize,
+    /// Shared-embedding dimension during search.
+    pub dim: usize,
+    /// Search epochs (outer iterations of Algorithm 2).
+    pub epochs: usize,
+    /// Training minibatch size for the shared-embedding updates.
+    pub batch_size: usize,
+    /// Architectures sampled per controller update (`U` in Eqs. 7/9).
+    pub u_samples: usize,
+    /// Architectures sampled per *embedding* minibatch (the `U` of Eq. 9).
+    /// 1 gives the cheap ENAS-style single-sample estimator; larger values
+    /// average the gradient over several sampled scoring functions by
+    /// replaying the minibatch, which is the paper's literal formulation.
+    pub emb_samples: usize,
+    /// Controller (REINFORCE / dif) updates performed per epoch.
+    pub ctrl_updates_per_epoch: usize,
+    /// Validation minibatch size for one-shot rewards.
+    pub val_batch: usize,
+    /// Adagrad learning rate for the shared embeddings.
+    pub emb_lr: f32,
+    /// L2 penalty on embeddings.
+    pub emb_l2: f32,
+    /// Adam learning rate for the LSTM controller.
+    pub ctrl_lr: f32,
+    /// Controller hidden width.
+    pub ctrl_hidden: usize,
+    /// Controller token-embedding width.
+    pub ctrl_embed: usize,
+    /// REINFORCE baseline decay.
+    pub baseline_decay: f64,
+    /// Initial logit bias on the Zero op. Positive values start the
+    /// policy in the sparse-grid regime where good scoring functions live
+    /// (DistMult: 4/16 non-zero, ComplEx: 8/16).
+    pub zero_op_bias: f32,
+    /// Sampling temperature for exploration during search.
+    pub temperature: f32,
+    /// Loss mode for shared-embedding training (sampled by default — this
+    /// is the "cheap" inner loop).
+    pub search_loss: LossMode,
+    /// Run EM re-clustering every this many epochs.
+    pub em_every: usize,
+    /// Architectures sampled when deriving the final `{f_n}` (step 8,
+    /// `K`).
+    pub derive_k: usize,
+    /// How many of the top one-shot candidates get a short stand-alone
+    /// screening run before the final winner is chosen. This is the bulk
+    /// of Table IX's "evaluation" phase.
+    pub derive_screen: usize,
+    /// Keep an elite archive of the best architectures seen during search
+    /// and offer them as derivation candidates. An implementation choice
+    /// of this reproduction (see DESIGN.md); the `ablation_impl` bench
+    /// measures its effect.
+    pub use_archive: bool,
+    /// Configuration for the final stand-alone retraining (step 12).
+    pub retrain: TrainConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ErasConfig {
+    fn default() -> Self {
+        ErasConfig {
+            m: 4,
+            n_groups: 3,
+            dim: 32,
+            epochs: 30,
+            batch_size: 256,
+            u_samples: 4,
+            emb_samples: 1,
+            ctrl_updates_per_epoch: 4,
+            val_batch: 64,
+            emb_lr: 0.1,
+            emb_l2: 1e-4,
+            ctrl_lr: 0.01,
+            ctrl_hidden: 32,
+            ctrl_embed: 16,
+            baseline_decay: 0.9,
+            zero_op_bias: 2.0,
+            temperature: 1.0,
+            search_loss: LossMode::sampled_default(),
+            em_every: 1,
+            derive_k: 8,
+            derive_screen: 3,
+            use_archive: true,
+            retrain: TrainConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl ErasConfig {
+    /// A configuration small enough for unit tests and the quickstart
+    /// example (a few seconds on the `Tiny` preset).
+    pub fn fast() -> Self {
+        ErasConfig {
+            dim: 16,
+            epochs: 10,
+            batch_size: 128,
+            u_samples: 4,
+            emb_samples: 1,
+            ctrl_updates_per_epoch: 6,
+            val_batch: 48,
+            derive_k: 6,
+            derive_screen: 3,
+            use_archive: true,
+            retrain: TrainConfig {
+                dim: 16,
+                max_epochs: 20,
+                eval_every: 5,
+                patience: 3,
+                ..TrainConfig::default()
+            },
+            ..ErasConfig::default()
+        }
+    }
+
+    /// Validate internal consistency (dim divisible by M, etc.).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.dim.is_multiple_of(self.m) {
+            return Err(format!("dim {} not divisible by M={}", self.dim, self.m));
+        }
+        if !self.retrain.dim.is_multiple_of(self.m) {
+            return Err(format!(
+                "retrain dim {} not divisible by M={}",
+                self.retrain.dim, self.m
+            ));
+        }
+        if self.n_groups == 0
+            || self.epochs == 0
+            || self.u_samples == 0
+            || self.emb_samples == 0
+            || self.derive_k == 0
+        {
+            return Err("counts must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ErasConfig::default().validate().is_ok());
+        assert!(ErasConfig::fast().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_indivisible_dim() {
+        let cfg = ErasConfig {
+            dim: 30,
+            ..ErasConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_counts() {
+        let cfg = ErasConfig {
+            n_groups: 0,
+            ..ErasConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! EM clustering of relation embeddings (Eq. 5 of the paper).
+//!
+//! ERAS maintains the relation-to-group assignment `B` by minimising
+//! `Σ_r Σ_n B_rn ‖r − c_n‖²` — exactly the k-means objective — with hard
+//! (E-step) assignments and mean (M-step) centroids. Empty clusters are
+//! reseeded to the point farthest from its centroid so every group keeps
+//! at least one relation whenever `N_r ≥ N`.
+
+use eras_linalg::vecops;
+use eras_linalg::{Matrix, Rng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per point (the assignment `B` in one-hot form).
+    pub assignment: Vec<u8>,
+    /// Final centroids, `k × dim`.
+    pub centroids: Matrix,
+    /// Objective value after each Lloyd iteration (non-increasing).
+    pub inertia: Vec<f64>,
+}
+
+/// Cluster the rows of `points` into `k` groups.
+///
+/// Deterministic given `rng`'s state. `iters` bounds the Lloyd
+/// iterations; the loop exits early on a fixed point.
+///
+/// ```
+/// use eras_linalg::{Matrix, Rng};
+///
+/// // Two obvious 1-D clusters.
+/// let points = Matrix::from_vec(4, 1, vec![0.0, 0.1, 9.9, 10.0]);
+/// let mut rng = Rng::seed_from_u64(1);
+/// let result = eras_ctrl::kmeans(&points, 2, 10, &mut rng);
+/// assert_eq!(result.assignment[0], result.assignment[1]);
+/// assert_eq!(result.assignment[2], result.assignment[3]);
+/// assert_ne!(result.assignment[0], result.assignment[2]);
+/// ```
+pub fn kmeans(points: &Matrix, k: usize, iters: usize, rng: &mut Rng) -> KMeansResult {
+    let n = points.rows();
+    let dim = points.cols();
+    assert!(k >= 1, "need at least one cluster");
+    assert!(n >= 1, "need at least one point");
+    let k = k.min(n);
+
+    // k-means++-style seeding: first centroid uniform, the rest biased
+    // toward far points.
+    let mut centroids = Matrix::zeros(k, dim);
+    let first = rng.next_below(n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    let mut d2 = vec![0.0f32; n];
+    for c in 1..k {
+        for p in 0..n {
+            d2[p] = (0..c)
+                .map(|j| vecops::dist_sq(points.row(p), centroids.row(j)))
+                .fold(f32::INFINITY, f32::min);
+        }
+        let pick = rng.categorical(&d2);
+        centroids.row_mut(c).copy_from_slice(points.row(pick));
+    }
+
+    let mut assignment = vec![0u8; n];
+    let mut inertia_history = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        // E-step: nearest centroid.
+        let mut inertia = 0.0f64;
+        let mut changed = false;
+        for p in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = vecops::dist_sq(points.row(p), centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            inertia += f64::from(best_d);
+            if assignment[p] != best as u8 {
+                assignment[p] = best as u8;
+                changed = true;
+            }
+        }
+        inertia_history.push(inertia);
+        // M-step: mean of assigned points.
+        let mut counts = vec![0usize; k];
+        let mut sums = Matrix::zeros(k, dim);
+        for p in 0..n {
+            let c = assignment[p] as usize;
+            counts[c] += 1;
+            sums.add_to_row(c, 1.0, points.row(p));
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Reseed: farthest point from its current centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da =
+                            vecops::dist_sq(points.row(a), centroids.row(assignment[a] as usize));
+                        let db =
+                            vecops::dist_sq(points.row(b), centroids.row(assignment[b] as usize));
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .expect("n >= 1");
+                centroids.row_mut(c).copy_from_slice(points.row(far));
+                changed = true;
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                let row = centroids.row_mut(c);
+                row.copy_from_slice(sums.row(c));
+                vecops::scale(inv, row);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    KMeansResult {
+        assignment,
+        centroids,
+        inertia: inertia_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(rng: &mut Rng) -> (Matrix, Vec<u8>) {
+        // Three well-separated blobs in 2D.
+        let centers = [[0.0f32, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut m = Matrix::zeros(60, 2);
+        let mut truth = Vec::new();
+        for p in 0..60 {
+            let c = p % 3;
+            truth.push(c as u8);
+            m.set(p, 0, centers[c][0] + 0.5 * rng.normal());
+            m.set(p, 1, centers[c][1] + 0.5 * rng.normal());
+        }
+        (m, truth)
+    }
+
+    /// Adjusted agreement: clusters should match blobs up to relabelling.
+    fn purity(assignment: &[u8], truth: &[u8], k: usize) -> f64 {
+        let mut correct = 0usize;
+        for c in 0..k {
+            let mut counts = vec![0usize; k];
+            for (a, t) in assignment.iter().zip(truth) {
+                if *a as usize == c {
+                    counts[*t as usize] += 1;
+                }
+            }
+            correct += counts.iter().max().copied().unwrap_or(0);
+        }
+        correct as f64 / assignment.len() as f64
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut rng = Rng::seed_from_u64(1);
+        let (points, truth) = blob_data(&mut rng);
+        let result = kmeans(&points, 3, 50, &mut rng);
+        assert!(
+            purity(&result.assignment, &truth, 3) > 0.95,
+            "purity too low"
+        );
+    }
+
+    #[test]
+    fn inertia_is_non_increasing() {
+        let mut rng = Rng::seed_from_u64(2);
+        let (points, _) = blob_data(&mut rng);
+        let result = kmeans(&points, 3, 50, &mut rng);
+        for w in result.inertia.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-3,
+                "inertia increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let mut rng = Rng::seed_from_u64(3);
+        let points = Matrix::from_vec(2, 2, vec![0.0, 0.0, 5.0, 5.0]);
+        let result = kmeans(&points, 10, 10, &mut rng);
+        assert!(result.assignment.iter().all(|&a| a < 2));
+        assert_eq!(result.centroids.rows(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let mut rng = Rng::seed_from_u64(4);
+        let points = Matrix::from_vec(3, 1, vec![1.0, 2.0, 6.0]);
+        let result = kmeans(&points, 1, 10, &mut rng);
+        assert!((result.centroids.get(0, 0) - 3.0).abs() < 1e-6);
+        assert!(result.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = Rng::seed_from_u64(5);
+        let mut r2 = Rng::seed_from_u64(5);
+        let (points, _) = blob_data(&mut r1);
+        let (points2, _) = blob_data(&mut r2);
+        let a = kmeans(&points, 3, 20, &mut r1);
+        let b = kmeans(&points2, 3, 20, &mut r2);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn identical_points_single_effective_cluster() {
+        let mut rng = Rng::seed_from_u64(6);
+        let points = Matrix::from_vec(4, 2, vec![1.0; 8]);
+        let result = kmeans(&points, 2, 10, &mut rng);
+        // All points identical: inertia must be ~0 whatever the labels.
+        assert!(result.inertia.last().copied().unwrap_or(0.0) < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # eras-ctrl
+//!
+//! The search controllers of ERAS (Section IV of the paper):
+//!
+//! - [`lstm`]: a from-scratch LSTM policy network with exact
+//!   backprop-through-time (gradient-checked against finite differences).
+//!   The paper follows ENAS in parameterising the architecture policy
+//!   `π(A; θ)` with an LSTM that emits one operation token per
+//!   multiplicative item, feeding each decision back in autoregressively
+//!   (Figure 1a).
+//! - [`reinforce`]: the REINFORCE estimator of Eq. (7) with a moving-
+//!   average baseline, driving the LSTM by gradient *ascent* on expected
+//!   reward — this is what lets ERAS optimise the non-differentiable MRR.
+//! - [`kmeans`]: Lloyd-style EM clustering of relation embeddings
+//!   (Eq. 5), used to maintain the relation-to-group assignment `B`.
+
+// Indexed loops are the clearer idiom in the numeric kernels below
+// (parallel arrays, strided block views); the iterator forms clippy
+// suggests would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod kmeans;
+pub mod lstm;
+pub mod reinforce;
+
+pub use kmeans::{kmeans, KMeansResult};
+pub use lstm::LstmPolicy;
+pub use reinforce::ReinforceTrainer;

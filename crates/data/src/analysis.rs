@@ -1,0 +1,239 @@
+//! Structural dataset analysis.
+//!
+//! Classic KGE dataset diagnostics: the 1-1 / 1-N / N-1 / N-N relation
+//! cardinality classes introduced with TransH (Wang et al. 2014) — the
+//! reason TransE's single translation vector struggles on N-N relations —
+//! and entity-degree statistics used to check that the synthetic presets
+//! have benchmark-like skew.
+
+use crate::dataset::{Dataset, Triple};
+use std::collections::HashMap;
+
+/// Cardinality class of a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cardinality {
+    /// ≤ 1.5 tails per head and heads per tail on average.
+    OneToOne,
+    /// Few heads per tail, many tails per head.
+    OneToMany,
+    /// Many heads per tail, few tails per head.
+    ManyToOne,
+    /// Many on both sides.
+    ManyToMany,
+}
+
+impl Cardinality {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cardinality::OneToOne => "1-1",
+            Cardinality::OneToMany => "1-N",
+            Cardinality::ManyToOne => "N-1",
+            Cardinality::ManyToMany => "N-N",
+        }
+    }
+}
+
+/// Cardinality statistics for one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationCardinality {
+    /// Relation id.
+    pub rel: u32,
+    /// Average tails per (head, rel) pair.
+    pub tails_per_head: f64,
+    /// Average heads per (rel, tail) pair.
+    pub heads_per_tail: f64,
+    /// Derived class.
+    pub class: Cardinality,
+}
+
+/// The conventional threshold separating "1" from "N" sides.
+pub const CARDINALITY_THRESHOLD: f64 = 1.5;
+
+/// Classify every relation's cardinality from a triple set.
+pub fn relation_cardinalities(
+    triples: &[Triple],
+    num_relations: usize,
+) -> Vec<RelationCardinality> {
+    let mut tails: Vec<HashMap<u32, usize>> = vec![HashMap::new(); num_relations];
+    let mut heads: Vec<HashMap<u32, usize>> = vec![HashMap::new(); num_relations];
+    for t in triples {
+        *tails[t.rel as usize].entry(t.head).or_insert(0) += 1;
+        *heads[t.rel as usize].entry(t.tail).or_insert(0) += 1;
+    }
+    (0..num_relations as u32)
+        .map(|rel| {
+            let t_map = &tails[rel as usize];
+            let h_map = &heads[rel as usize];
+            let tph = if t_map.is_empty() {
+                0.0
+            } else {
+                t_map.values().sum::<usize>() as f64 / t_map.len() as f64
+            };
+            let hpt = if h_map.is_empty() {
+                0.0
+            } else {
+                h_map.values().sum::<usize>() as f64 / h_map.len() as f64
+            };
+            let class = match (tph > CARDINALITY_THRESHOLD, hpt > CARDINALITY_THRESHOLD) {
+                (false, false) => Cardinality::OneToOne,
+                (true, false) => Cardinality::OneToMany,
+                (false, true) => Cardinality::ManyToOne,
+                (true, true) => Cardinality::ManyToMany,
+            };
+            RelationCardinality {
+                rel,
+                tails_per_head: tph,
+                heads_per_tail: hpt,
+                class,
+            }
+        })
+        .collect()
+}
+
+/// Entity degree distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Mean total degree (in + out) over entities with degree > 0.
+    pub mean: f64,
+    /// Maximum degree.
+    pub max: usize,
+    /// Median degree.
+    pub median: usize,
+    /// Fraction of entities with degree 0 in the analysed split.
+    pub isolated_frac: f64,
+    /// Degree Gini coefficient (0 = uniform, → 1 = extreme skew).
+    pub gini: f64,
+}
+
+/// Compute total-degree statistics over a triple set.
+pub fn degree_stats(triples: &[Triple], num_entities: usize) -> DegreeStats {
+    let mut degree = vec![0usize; num_entities];
+    for t in triples {
+        degree[t.head as usize] += 1;
+        degree[t.tail as usize] += 1;
+    }
+    let isolated = degree.iter().filter(|&&d| d == 0).count();
+    let mut nonzero: Vec<usize> = degree.iter().copied().filter(|&d| d > 0).collect();
+    nonzero.sort_unstable();
+    if nonzero.is_empty() {
+        return DegreeStats {
+            mean: 0.0,
+            max: 0,
+            median: 0,
+            isolated_frac: 1.0,
+            gini: 0.0,
+        };
+    }
+    let total: usize = nonzero.iter().sum();
+    let n = nonzero.len();
+    // Gini from the sorted sequence: (2 Σ i·x_i / (n Σ x)) − (n+1)/n.
+    let weighted: f64 = nonzero
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i + 1) as f64 * x as f64)
+        .sum();
+    let gini =
+        (2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64).clamp(0.0, 1.0);
+    DegreeStats {
+        mean: total as f64 / n as f64,
+        max: *nonzero.last().expect("non-empty"),
+        median: nonzero[n / 2],
+        isolated_frac: isolated as f64 / num_entities.max(1) as f64,
+        gini,
+    }
+}
+
+/// Count of relations per cardinality class (dataset-level view).
+pub fn cardinality_histogram(dataset: &Dataset) -> Vec<(Cardinality, usize)> {
+    let cards = relation_cardinalities(&dataset.train, dataset.num_relations());
+    [
+        Cardinality::OneToOne,
+        Cardinality::OneToMany,
+        Cardinality::ManyToOne,
+        Cardinality::ManyToMany,
+    ]
+    .iter()
+    .map(|&class| (class, cards.iter().filter(|c| c.class == class).count()))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Preset;
+
+    #[test]
+    fn one_to_one_chain() {
+        let triples: Vec<Triple> = (0..10).map(|i| Triple::new(i, 0, i + 10)).collect();
+        let cards = relation_cardinalities(&triples, 1);
+        assert_eq!(cards[0].class, Cardinality::OneToOne);
+        assert!((cards[0].tails_per_head - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_to_many_star() {
+        // One head, many tails.
+        let triples: Vec<Triple> = (0..10).map(|t| Triple::new(0, 0, t + 1)).collect();
+        let cards = relation_cardinalities(&triples, 1);
+        assert_eq!(cards[0].class, Cardinality::OneToMany);
+        assert!(cards[0].tails_per_head > 5.0);
+        assert!((cards[0].heads_per_tail - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_to_one_star() {
+        let triples: Vec<Triple> = (0..10).map(|h| Triple::new(h + 1, 0, 0)).collect();
+        let cards = relation_cardinalities(&triples, 1);
+        assert_eq!(cards[0].class, Cardinality::ManyToOne);
+    }
+
+    #[test]
+    fn many_to_many_biclique() {
+        let mut triples = Vec::new();
+        for h in 0..4 {
+            for t in 4..8 {
+                triples.push(Triple::new(h, 0, t));
+            }
+        }
+        let cards = relation_cardinalities(&triples, 1);
+        assert_eq!(cards[0].class, Cardinality::ManyToMany);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        // Entity 0 touches 10 edges; entities 1..=10 touch one each;
+        // entities 11..=19 isolated.
+        let triples: Vec<Triple> = (0..10).map(|t| Triple::new(0, 0, t + 1)).collect();
+        let s = degree_stats(&triples, 20);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.median, 1);
+        assert!((s.isolated_frac - 9.0 / 20.0).abs() < 1e-12);
+        assert!(s.gini > 0.3, "star graph should be skewed, gini {}", s.gini);
+    }
+
+    #[test]
+    fn uniform_degrees_have_low_gini() {
+        let triples: Vec<Triple> = (0..20).map(|i| Triple::new(i, 0, (i + 1) % 20)).collect();
+        let s = degree_stats(&triples, 20);
+        assert!(s.gini < 0.05, "cycle graph is uniform, gini {}", s.gini);
+        assert_eq!(s.isolated_frac, 0.0);
+    }
+
+    #[test]
+    fn empty_split_is_degenerate() {
+        let s = degree_stats(&[], 5);
+        assert_eq!(s.isolated_frac, 1.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn presets_have_skewed_degrees_and_mixed_cardinalities() {
+        let d = Preset::Tiny.build(3);
+        let s = degree_stats(&d.train, d.num_entities());
+        assert!(s.gini > 0.1, "presets should have degree skew");
+        let hist = cardinality_histogram(&d);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, d.num_relations());
+    }
+}

@@ -1,0 +1,244 @@
+//! Triples and datasets.
+
+use crate::patterns::RelationPattern;
+use crate::vocab::Vocab;
+
+/// One knowledge triplet `(head, relation, tail)` with dense ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Head entity id.
+    pub head: u32,
+    /// Relation id.
+    pub rel: u32,
+    /// Tail entity id.
+    pub tail: u32,
+}
+
+impl Triple {
+    /// Construct a triple.
+    #[inline]
+    pub fn new(head: u32, rel: u32, tail: u32) -> Self {
+        Triple { head, rel, tail }
+    }
+
+    /// The triple with head and tail swapped (same relation).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Triple::new(self.tail, self.rel, self.head)
+    }
+}
+
+/// A complete benchmark dataset: vocabularies, the three standard splits,
+/// and (for synthetic data) the ground-truth pattern of each relation.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"wn18rr-synth"`).
+    pub name: String,
+    /// Entity vocabulary.
+    pub entities: Vocab,
+    /// Relation vocabulary.
+    pub relations: Vocab,
+    /// Training triples.
+    pub train: Vec<Triple>,
+    /// Validation triples.
+    pub valid: Vec<Triple>,
+    /// Test triples.
+    pub test: Vec<Triple>,
+    /// Ground-truth pattern per relation id. Empty when unknown (TSV data);
+    /// use [`crate::patterns::detect_patterns`] to estimate empirically.
+    pub pattern_labels: Vec<RelationPattern>,
+}
+
+impl Dataset {
+    /// Number of entities `N_e`.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relations `N_r`.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All triples across the three splits (train, then valid, then test).
+    pub fn all_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.train
+            .iter()
+            .chain(&self.valid)
+            .chain(&self.test)
+            .copied()
+    }
+
+    /// Ground-truth (or detected) pattern for a relation, if labels exist.
+    pub fn pattern_of(&self, rel: u32) -> Option<RelationPattern> {
+        self.pattern_labels.get(rel as usize).copied()
+    }
+
+    /// Validate internal consistency: all ids in range, splits non-empty
+    /// where expected. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let ne = self.num_entities() as u32;
+        let nr = self.num_relations() as u32;
+        if ne == 0 {
+            return Err("dataset has no entities".into());
+        }
+        if nr == 0 {
+            return Err("dataset has no relations".into());
+        }
+        for (split, triples) in [
+            ("train", &self.train),
+            ("valid", &self.valid),
+            ("test", &self.test),
+        ] {
+            for t in triples {
+                if t.head >= ne || t.tail >= ne {
+                    return Err(format!("{split}: entity id out of range in {t:?}"));
+                }
+                if t.rel >= nr {
+                    return Err(format!("{split}: relation id out of range in {t:?}"));
+                }
+            }
+        }
+        if !self.pattern_labels.is_empty() && self.pattern_labels.len() != nr as usize {
+            return Err(format!(
+                "pattern_labels has {} entries for {} relations",
+                self.pattern_labels.len(),
+                nr
+            ));
+        }
+        Ok(())
+    }
+
+    /// Augment the dataset with *reciprocal relations*: for every relation
+    /// `r` a partner `r_reciprocal` is added and every training triple
+    /// `(h, r, t)` gains a mirror `(t, r_reciprocal, h)`. This is the
+    /// standard trick of Lacroix et al. / TuckER that turns head
+    /// prediction into tail prediction over the augmented relation set;
+    /// validation and test splits are left untouched (they are evaluated
+    /// with the original relations).
+    pub fn with_reciprocals(&self) -> Dataset {
+        let nr = self.num_relations() as u32;
+        let mut relations = self.relations.clone();
+        for r in 0..nr {
+            relations.intern(&format!("{}_reciprocal", self.relations.name(r)));
+        }
+        let mut train = Vec::with_capacity(self.train.len() * 2);
+        for &t in &self.train {
+            train.push(t);
+            train.push(Triple::new(t.tail, t.rel + nr, t.head));
+        }
+        let mut pattern_labels = self.pattern_labels.clone();
+        if !pattern_labels.is_empty() {
+            // A reciprocal keeps its source's pattern class (the mirror of
+            // a symmetric relation is symmetric, of an anti-symmetric one
+            // anti-symmetric, etc.).
+            pattern_labels.extend(self.pattern_labels.iter().copied());
+        }
+        Dataset {
+            name: format!("{}+reciprocal", self.name),
+            entities: self.entities.clone(),
+            relations,
+            train,
+            valid: self.valid.clone(),
+            test: self.test.clone(),
+            pattern_labels,
+        }
+    }
+
+    /// Test triples whose relation carries the given ground-truth pattern.
+    /// Used for the pattern-level evaluations (Tables III and VIII).
+    pub fn test_triples_with_pattern(&self, pattern: RelationPattern) -> Vec<Triple> {
+        self.test
+            .iter()
+            .filter(|t| self.pattern_of(t.rel) == Some(pattern))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut entities = Vocab::new();
+        let mut relations = Vocab::new();
+        for e in ["a", "b", "c"] {
+            entities.intern(e);
+        }
+        relations.intern("likes");
+        Dataset {
+            name: "tiny".into(),
+            entities,
+            relations,
+            train: vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)],
+            valid: vec![Triple::new(0, 0, 2)],
+            test: vec![Triple::new(2, 0, 0)],
+            pattern_labels: vec![RelationPattern::GeneralAsymmetric],
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_head_and_tail() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(t.reversed(), Triple::new(3, 2, 1));
+        assert_eq!(t.reversed().reversed(), t);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dataset() {
+        assert!(tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_ids() {
+        let mut d = tiny();
+        d.train.push(Triple::new(99, 0, 0));
+        assert!(d.validate().unwrap_err().contains("entity id"));
+        let mut d2 = tiny();
+        d2.test.push(Triple::new(0, 7, 0));
+        assert!(d2.validate().unwrap_err().contains("relation id"));
+    }
+
+    #[test]
+    fn validate_rejects_label_length_mismatch() {
+        let mut d = tiny();
+        d.pattern_labels.push(RelationPattern::Symmetric);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_slicing() {
+        let d = tiny();
+        assert_eq!(
+            d.test_triples_with_pattern(RelationPattern::GeneralAsymmetric)
+                .len(),
+            1
+        );
+        assert!(d
+            .test_triples_with_pattern(RelationPattern::Symmetric)
+            .is_empty());
+    }
+
+    #[test]
+    fn all_triples_covers_every_split() {
+        let d = tiny();
+        assert_eq!(d.all_triples().count(), 4);
+    }
+
+    #[test]
+    fn reciprocals_double_relations_and_train() {
+        let d = tiny().with_reciprocals();
+        assert!(d.validate().is_ok());
+        assert_eq!(d.num_relations(), 2);
+        assert_eq!(d.train.len(), 4);
+        // Mirrors point the other way under the partner relation.
+        assert!(d.train.contains(&Triple::new(1, 1, 0)));
+        assert!(d.train.contains(&Triple::new(2, 1, 1)));
+        // Eval splits untouched.
+        assert_eq!(d.valid.len(), 1);
+        assert_eq!(d.test.len(), 1);
+        assert_eq!(d.pattern_labels.len(), 2);
+        assert!(d.relations.id("likes_reciprocal").is_some());
+    }
+}

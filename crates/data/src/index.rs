@@ -1,0 +1,227 @@
+//! Filtered-ranking index.
+//!
+//! Link-prediction metrics in the paper (and everywhere in the KGE
+//! literature since Bordes et al. 2013) are *filtered*: when ranking the
+//! true tail `t` of `(h, r, ?)` against all entities, every other entity
+//! `t'` for which `(h, r, t')` is also a true triple — in train, valid or
+//! test — is excluded from the candidate set. [`FilterIndex`] answers those
+//! membership queries.
+//!
+//! Implementation: triples are grouped by a packed `(rel, head)` /
+//! `(rel, tail)` key into sorted adjacency lists and looked up by binary
+//! search — cache-friendly and allocation-free at query time, with no hash
+//! table in the hot ranking loop.
+
+use crate::dataset::{Dataset, Triple};
+
+#[inline]
+fn pack(rel: u32, ent: u32) -> u64 {
+    (u64::from(rel) << 32) | u64::from(ent)
+}
+
+/// Sorted multimap from a packed key to entity lists.
+#[derive(Debug, Clone, Default)]
+struct Adjacency {
+    /// Sorted, deduplicated keys.
+    keys: Vec<u64>,
+    /// `ranges[i]` is the slice of `values` belonging to `keys[i]`.
+    ranges: Vec<(u32, u32)>,
+    /// Sorted entity ids per key, concatenated.
+    values: Vec<u32>,
+}
+
+impl Adjacency {
+    fn build(mut pairs: Vec<(u64, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut keys = Vec::new();
+        let mut ranges = Vec::new();
+        let mut values = Vec::with_capacity(pairs.len());
+        let mut i = 0;
+        while i < pairs.len() {
+            let key = pairs[i].0;
+            let start = values.len() as u32;
+            while i < pairs.len() && pairs[i].0 == key {
+                values.push(pairs[i].1);
+                i += 1;
+            }
+            keys.push(key);
+            ranges.push((start, values.len() as u32));
+        }
+        Adjacency {
+            keys,
+            ranges,
+            values,
+        }
+    }
+
+    fn get(&self, key: u64) -> &[u32] {
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                let (s, e) = self.ranges[i];
+                &self.values[s as usize..e as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    fn contains(&self, key: u64, ent: u32) -> bool {
+        self.get(key).binary_search(&ent).is_ok()
+    }
+}
+
+/// Immutable index over *all* triples of a dataset answering "is `(h,r,t)`
+/// a known true triple" and "which tails/heads are known for this query".
+#[derive(Debug, Clone)]
+pub struct FilterIndex {
+    tails_of: Adjacency,
+    heads_of: Adjacency,
+    len: usize,
+}
+
+impl FilterIndex {
+    /// Build from every split of `dataset` (the standard filtered setting).
+    pub fn build(dataset: &Dataset) -> Self {
+        Self::from_triples(dataset.all_triples())
+    }
+
+    /// Build from an explicit triple collection.
+    pub fn from_triples(triples: impl Iterator<Item = Triple>) -> Self {
+        let mut fw = Vec::new();
+        let mut bw = Vec::new();
+        for t in triples {
+            fw.push((pack(t.rel, t.head), t.tail));
+            bw.push((pack(t.rel, t.tail), t.head));
+        }
+        let tails_of = Adjacency::build(fw);
+        let heads_of = Adjacency::build(bw);
+        let len = tails_of.values.len();
+        FilterIndex {
+            tails_of,
+            heads_of,
+            len,
+        }
+    }
+
+    /// All known true tails for `(head, rel, ?)`, sorted.
+    #[inline]
+    pub fn tails(&self, head: u32, rel: u32) -> &[u32] {
+        self.tails_of.get(pack(rel, head))
+    }
+
+    /// All known true heads for `(?, rel, tail)`, sorted.
+    #[inline]
+    pub fn heads(&self, tail: u32, rel: u32) -> &[u32] {
+        self.heads_of.get(pack(rel, tail))
+    }
+
+    /// Is `(head, rel, tail)` a known true triple (any split)?
+    #[inline]
+    pub fn contains(&self, t: Triple) -> bool {
+        self.tails_of.contains(pack(t.rel, t.head), t.tail)
+    }
+
+    /// Number of distinct indexed triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no triples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocab;
+
+    fn dataset_with(train: Vec<Triple>, valid: Vec<Triple>, test: Vec<Triple>) -> Dataset {
+        let mut entities = Vocab::new();
+        let mut relations = Vocab::new();
+        let max_e = train
+            .iter()
+            .chain(&valid)
+            .chain(&test)
+            .flat_map(|t| [t.head, t.tail])
+            .max()
+            .unwrap_or(0);
+        let max_r = train
+            .iter()
+            .chain(&valid)
+            .chain(&test)
+            .map(|t| t.rel)
+            .max()
+            .unwrap_or(0);
+        for e in 0..=max_e {
+            entities.intern(&format!("e{e}"));
+        }
+        for r in 0..=max_r {
+            relations.intern(&format!("r{r}"));
+        }
+        Dataset {
+            name: "t".into(),
+            entities,
+            relations,
+            train,
+            valid,
+            test,
+            pattern_labels: vec![],
+        }
+    }
+
+    #[test]
+    fn contains_across_all_splits() {
+        let d = dataset_with(
+            vec![Triple::new(0, 0, 1)],
+            vec![Triple::new(1, 0, 2)],
+            vec![Triple::new(2, 0, 3)],
+        );
+        let idx = FilterIndex::build(&d);
+        assert!(idx.contains(Triple::new(0, 0, 1)));
+        assert!(idx.contains(Triple::new(1, 0, 2)));
+        assert!(idx.contains(Triple::new(2, 0, 3)));
+        assert!(!idx.contains(Triple::new(0, 0, 3)));
+        assert!(!idx.contains(Triple::new(1, 0, 0)), "direction matters");
+    }
+
+    #[test]
+    fn tails_and_heads_sorted_and_complete() {
+        let d = dataset_with(
+            vec![
+                Triple::new(0, 0, 5),
+                Triple::new(0, 0, 2),
+                Triple::new(0, 0, 2), // duplicate collapses
+                Triple::new(1, 0, 2),
+            ],
+            vec![],
+            vec![],
+        );
+        let idx = FilterIndex::build(&d);
+        assert_eq!(idx.tails(0, 0), &[2, 5]);
+        assert_eq!(idx.heads(2, 0), &[0, 1]);
+        assert_eq!(idx.tails(3, 0), &[] as &[u32]);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn relations_are_isolated() {
+        let d = dataset_with(
+            vec![Triple::new(0, 0, 1), Triple::new(0, 1, 2)],
+            vec![],
+            vec![],
+        );
+        let idx = FilterIndex::build(&d);
+        assert_eq!(idx.tails(0, 0), &[1]);
+        assert_eq!(idx.tails(0, 1), &[2]);
+        assert!(!idx.contains(Triple::new(0, 1, 1)));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = FilterIndex::from_triples(std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.tails(0, 0), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # eras-data
+//!
+//! Knowledge-graph data layer for the ERAS reproduction.
+//!
+//! The paper evaluates on WN18, WN18RR, FB15k, FB15k-237 and YAGO3-10. Those
+//! files are not bundled here, so this crate provides two interchangeable
+//! sources of [`Dataset`] values:
+//!
+//! 1. [`tsv`]: a loader for the standard benchmark file layout
+//!    (`train.txt` / `valid.txt` / `test.txt`, tab-separated
+//!    `head<TAB>relation<TAB>tail`), so the real benchmarks drop in
+//!    unchanged when available.
+//! 2. [`generator`] + [`presets`]: synthetic benchmark generators that
+//!    reproduce, at reduced scale, the *structural properties the paper's
+//!    analysis keys on* — a controlled mixture of symmetric, anti-symmetric
+//!    (hierarchical), inverse, compositional and generally-asymmetric
+//!    relations, Zipf-ish degree distributions, and the inverse-leakage
+//!    difference between WN18/FB15k and WN18RR/FB15k-237. Because the
+//!    generator knows each relation's pattern, the pattern-level evaluations
+//!    (Tables III and VIII) can be sliced on ground truth.
+//!
+//! Shared infrastructure: [`Triple`]/[`Dataset`] containers, string
+//! [`vocab::Vocab`]s, the [`index::FilterIndex`] used for *filtered* ranking
+//! metrics, empirical [`patterns`] detection, [`stats`] (Table VII) and
+//! structural [`analysis`] (cardinality classes, degree skew).
+
+pub mod analysis;
+pub mod dataset;
+pub mod generator;
+pub mod index;
+pub mod patterns;
+pub mod presets;
+pub mod splits;
+pub mod stats;
+pub mod tsv;
+pub mod vocab;
+
+pub use dataset::{Dataset, Triple};
+pub use index::FilterIndex;
+pub use patterns::RelationPattern;
+pub use presets::Preset;

@@ -1,0 +1,238 @@
+//! Relation patterns and their empirical detection.
+//!
+//! Section III-A of the paper categorises relations by semantic pattern —
+//! symmetry, anti-symmetry, inversion, general asymmetry — and shows that
+//! universal scoring functions trade performance across patterns, the core
+//! motivation for relation-aware search. Synthetic datasets carry these
+//! labels as ground truth; for external data [`detect_patterns`] estimates
+//! them from triple statistics the same way the comparative study the paper
+//! cites (Rossi et al.) does.
+
+use crate::dataset::{Dataset, Triple};
+use std::collections::HashSet;
+
+/// Semantic pattern of a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelationPattern {
+    /// `r(h,t) ⇒ r(t,h)` (e.g. `similar_to`, `spouse_of`).
+    Symmetric,
+    /// `r(h,t) ⇒ ¬r(t,h)` with strong hierarchical structure
+    /// (e.g. `hypernym`, `child_of`).
+    AntiSymmetric,
+    /// `r(h,t) ⇔ r'(t,h)` for some partner relation `r'`
+    /// (e.g. `hypernym`/`hyponym` in WN18).
+    Inverse,
+    /// `r1(h,x) ∧ r2(x,t) ⇒ r(h,t)` — compositional relation.
+    Composition,
+    /// No special structure beyond directedness.
+    GeneralAsymmetric,
+}
+
+impl RelationPattern {
+    /// Short display name used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RelationPattern::Symmetric => "symmetric",
+            RelationPattern::AntiSymmetric => "anti-symmetric",
+            RelationPattern::Inverse => "inverse",
+            RelationPattern::Composition => "composition",
+            RelationPattern::GeneralAsymmetric => "general-asymmetric",
+        }
+    }
+
+    /// All pattern variants, in table order.
+    pub fn all() -> [RelationPattern; 5] {
+        [
+            RelationPattern::Symmetric,
+            RelationPattern::AntiSymmetric,
+            RelationPattern::Inverse,
+            RelationPattern::Composition,
+            RelationPattern::GeneralAsymmetric,
+        ]
+    }
+}
+
+/// Per-relation statistics backing an empirical pattern estimate.
+#[derive(Debug, Clone)]
+pub struct RelationProfile {
+    /// Relation id.
+    pub rel: u32,
+    /// Number of (distinct) triples with this relation.
+    pub count: usize,
+    /// Fraction of triples whose exact reverse also exists with the same
+    /// relation: 1.0 ⇒ perfectly symmetric, 0.0 ⇒ anti-symmetric usage.
+    pub symmetry: f64,
+    /// Best inverse-overlap with any *other* relation: fraction of this
+    /// relation's triples whose reverse appears under the partner.
+    pub inverse_overlap: f64,
+    /// The partner relation achieving `inverse_overlap`, if any.
+    pub inverse_partner: Option<u32>,
+}
+
+/// Symmetry fraction above which a relation is called symmetric. The
+/// threshold is deliberately below 1.0: when detecting on the training
+/// split alone, a perfectly symmetric relation still shows ~train-fraction
+/// × emission-probability of its reverses.
+pub const SYMMETRY_THRESHOLD: f64 = 0.55;
+/// Symmetry fraction below which a relation is a candidate anti-symmetric.
+pub const ANTISYMMETRY_THRESHOLD: f64 = 0.05;
+/// Inverse overlap above which a relation is called an inverse pair member
+/// (below 1.0 for the same train-split reason as [`SYMMETRY_THRESHOLD`]).
+pub const INVERSE_THRESHOLD: f64 = 0.55;
+
+/// Compute a [`RelationProfile`] for every relation from a triple set.
+pub fn profile_relations(triples: &[Triple], num_relations: usize) -> Vec<RelationProfile> {
+    let set: HashSet<Triple> = triples.iter().copied().collect();
+    // For inverse detection: for each relation pair (r, r'), count triples
+    // (h,r,t) with (t,r',h) present.
+    let mut per_rel: Vec<Vec<Triple>> = vec![Vec::new(); num_relations];
+    for t in triples {
+        per_rel[t.rel as usize].push(*t);
+    }
+    let mut profiles = Vec::with_capacity(num_relations);
+    for rel in 0..num_relations as u32 {
+        let mine = &per_rel[rel as usize];
+        if mine.is_empty() {
+            profiles.push(RelationProfile {
+                rel,
+                count: 0,
+                symmetry: 0.0,
+                inverse_overlap: 0.0,
+                inverse_partner: None,
+            });
+            continue;
+        }
+        let sym = mine
+            .iter()
+            .filter(|t| t.head != t.tail && set.contains(&t.reversed()))
+            .count() as f64
+            / mine.len() as f64;
+        let mut best_overlap = 0.0;
+        let mut best_partner = None;
+        let mut counts = vec![0usize; num_relations];
+        for t in mine {
+            for r2 in 0..num_relations as u32 {
+                if r2 != rel && set.contains(&Triple::new(t.tail, r2, t.head)) {
+                    counts[r2 as usize] += 1;
+                }
+            }
+        }
+        for (r2, &c) in counts.iter().enumerate() {
+            let overlap = c as f64 / mine.len() as f64;
+            if overlap > best_overlap {
+                best_overlap = overlap;
+                best_partner = Some(r2 as u32);
+            }
+        }
+        profiles.push(RelationProfile {
+            rel,
+            count: mine.len(),
+            symmetry: sym,
+            inverse_overlap: best_overlap,
+            inverse_partner: best_partner,
+        });
+    }
+    profiles
+}
+
+/// Classify a profile into a [`RelationPattern`].
+pub fn classify(profile: &RelationProfile) -> RelationPattern {
+    if profile.symmetry >= SYMMETRY_THRESHOLD {
+        RelationPattern::Symmetric
+    } else if profile.inverse_overlap >= INVERSE_THRESHOLD {
+        RelationPattern::Inverse
+    } else if profile.symmetry <= ANTISYMMETRY_THRESHOLD {
+        RelationPattern::AntiSymmetric
+    } else {
+        RelationPattern::GeneralAsymmetric
+    }
+}
+
+/// Estimate every relation's pattern from the training split.
+pub fn detect_patterns(dataset: &Dataset) -> Vec<RelationPattern> {
+    profile_relations(&dataset.train, dataset.num_relations())
+        .iter()
+        .map(classify)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_relation_detected() {
+        // r0: every edge has its reverse.
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 0),
+            Triple::new(2, 0, 3),
+            Triple::new(3, 0, 2),
+        ];
+        let p = profile_relations(&triples, 1);
+        assert!((p[0].symmetry - 1.0).abs() < 1e-12);
+        assert_eq!(classify(&p[0]), RelationPattern::Symmetric);
+    }
+
+    #[test]
+    fn antisymmetric_relation_detected() {
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 0, 3),
+        ];
+        let p = profile_relations(&triples, 1);
+        assert_eq!(p[0].symmetry, 0.0);
+        assert_eq!(classify(&p[0]), RelationPattern::AntiSymmetric);
+    }
+
+    #[test]
+    fn inverse_pair_detected() {
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 1, 0),
+            Triple::new(2, 0, 3),
+            Triple::new(3, 1, 2),
+        ];
+        let p = profile_relations(&triples, 2);
+        assert!((p[0].inverse_overlap - 1.0).abs() < 1e-12);
+        assert_eq!(p[0].inverse_partner, Some(1));
+        assert_eq!(classify(&p[0]), RelationPattern::Inverse);
+        assert_eq!(classify(&p[1]), RelationPattern::Inverse);
+    }
+
+    #[test]
+    fn self_loops_do_not_count_as_symmetry() {
+        let triples = vec![Triple::new(0, 0, 0), Triple::new(1, 0, 2)];
+        let p = profile_relations(&triples, 1);
+        assert_eq!(p[0].symmetry, 0.0);
+    }
+
+    #[test]
+    fn mixed_relation_is_general_asymmetric() {
+        // Half the edges have reverses: neither symmetric nor anti-symmetric.
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 0),
+            Triple::new(2, 0, 3),
+            Triple::new(4, 0, 5),
+        ];
+        let p = profile_relations(&triples, 1);
+        assert!(p[0].symmetry > 0.05 && p[0].symmetry < 0.8);
+        assert_eq!(classify(&p[0]), RelationPattern::GeneralAsymmetric);
+    }
+
+    #[test]
+    fn empty_relation_profile() {
+        let p = profile_relations(&[], 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].count, 0);
+        assert_eq!(classify(&p[0]), RelationPattern::AntiSymmetric);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: HashSet<&str> = RelationPattern::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

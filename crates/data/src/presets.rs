@@ -1,0 +1,273 @@
+//! Synthetic stand-ins for the paper's five benchmarks.
+//!
+//! Scales are roughly a tenth of the originals so the full experiment suite
+//! runs on CPU in minutes. What is preserved — because it is what the
+//! paper's conclusions rest on — is the *structure*:
+//!
+//! - the ordering of relation counts across datasets
+//!   (WN18RR < WN18 ≪ FB15k-237 < FB15k; YAGO in between),
+//! - inverse-relation leakage present in WN18/FB15k and absent in the
+//!   de-leaked WN18RR/FB15k-237 (that removal is literally how those
+//!   datasets were constructed),
+//! - each dataset's relation-pattern mixture (WordNet hierarchy-heavy,
+//!   Freebase mixed, FB15k-237 asymmetric-heavy).
+
+use crate::dataset::Dataset;
+use crate::generator::{generate, GeneratorConfig, RelationSpec};
+use crate::patterns::RelationPattern;
+
+/// The five benchmark stand-ins plus a tiny smoke-test dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// Mirrors WN18: few relations, hierarchy + inverse leakage.
+    Wn18,
+    /// Mirrors WN18RR: WN18 with inverse pairs removed.
+    Wn18rr,
+    /// Mirrors FB15k: many relations, mixed patterns, inverse leakage.
+    Fb15k,
+    /// Mirrors FB15k-237: de-leaked, asymmetric-heavy.
+    Fb15k237,
+    /// Mirrors YAGO3-10: larger entity set, sparse, asymmetric.
+    Yago,
+    /// Tiny dataset for unit/integration tests and the quickstart example.
+    Tiny,
+}
+
+impl Preset {
+    /// All five paper benchmarks, in the paper's table order.
+    pub fn paper_benchmarks() -> [Preset; 5] {
+        [
+            Preset::Wn18,
+            Preset::Wn18rr,
+            Preset::Fb15k,
+            Preset::Fb15k237,
+            Preset::Yago,
+        ]
+    }
+
+    /// Canonical dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Wn18 => "wn18-synth",
+            Preset::Wn18rr => "wn18rr-synth",
+            Preset::Fb15k => "fb15k-synth",
+            Preset::Fb15k237 => "fb15k237-synth",
+            Preset::Yago => "yago-synth",
+            Preset::Tiny => "tiny-synth",
+        }
+    }
+
+    /// Generator configuration for this preset with the given seed.
+    pub fn config(self, seed: u64) -> GeneratorConfig {
+        let spec = |pattern, num_triples| RelationSpec {
+            pattern,
+            num_triples,
+        };
+        use RelationPattern::*;
+        match self {
+            // 18 relations: 3 sym + 3 inverse pairs (6) + 6 anti + 2 comp + 1 general.
+            Preset::Wn18 => GeneratorConfig {
+                name: self.name().into(),
+                num_entities: 1000,
+                num_clusters: 10,
+                planted_dim: 4,
+                relations: [
+                    vec![spec(Symmetric, 800); 3],
+                    vec![spec(Inverse, 800); 3],
+                    vec![spec(AntiSymmetric, 900); 6],
+                    vec![spec(Composition, 600); 2],
+                    vec![spec(GeneralAsymmetric, 700); 1],
+                ]
+                .concat(),
+                zipf_exponent: 0.5,
+                entity_noise: 0.7,
+                noise: 0.02,
+                candidate_pool: usize::MAX,
+                valid_frac: 0.05,
+                test_frac: 0.05,
+                seed,
+            },
+            // 11 relations, no inverse pairs (the "RR" de-leak).
+            Preset::Wn18rr => GeneratorConfig {
+                name: self.name().into(),
+                num_entities: 1000,
+                num_clusters: 10,
+                planted_dim: 4,
+                relations: [
+                    vec![spec(Symmetric, 1000); 2],
+                    vec![spec(AntiSymmetric, 1100); 6],
+                    vec![spec(Composition, 800); 1],
+                    vec![spec(GeneralAsymmetric, 900); 2],
+                ]
+                .concat(),
+                zipf_exponent: 0.5,
+                entity_noise: 0.7,
+                noise: 0.03,
+                candidate_pool: usize::MAX,
+                valid_frac: 0.05,
+                test_frac: 0.05,
+                seed,
+            },
+            // 56 relations incl. 12 inverse pairs; dense, mixed.
+            Preset::Fb15k => GeneratorConfig {
+                name: self.name().into(),
+                num_entities: 700,
+                num_clusters: 12,
+                planted_dim: 5,
+                relations: [
+                    vec![spec(Symmetric, 500); 6],
+                    vec![spec(Inverse, 500); 12],
+                    vec![spec(AntiSymmetric, 500); 10],
+                    vec![spec(Composition, 400); 4],
+                    vec![spec(GeneralAsymmetric, 500); 12],
+                ]
+                .concat(),
+                zipf_exponent: 0.5,
+                entity_noise: 0.7,
+                noise: 0.03,
+                candidate_pool: usize::MAX,
+                valid_frac: 0.08,
+                test_frac: 0.10,
+                seed,
+            },
+            // 40 relations, no inverse pairs, asymmetric-heavy.
+            Preset::Fb15k237 => GeneratorConfig {
+                name: self.name().into(),
+                num_entities: 650,
+                num_clusters: 12,
+                planted_dim: 5,
+                relations: [
+                    vec![spec(Symmetric, 400); 4],
+                    vec![spec(AntiSymmetric, 500); 12],
+                    vec![spec(Composition, 400); 4],
+                    vec![spec(GeneralAsymmetric, 500); 20],
+                ]
+                .concat(),
+                zipf_exponent: 0.5,
+                entity_noise: 0.7,
+                noise: 0.05,
+                candidate_pool: usize::MAX,
+                valid_frac: 0.08,
+                test_frac: 0.10,
+                seed,
+            },
+            // 37 relations over a large sparse entity set.
+            Preset::Yago => GeneratorConfig {
+                name: self.name().into(),
+                num_entities: 1500,
+                num_clusters: 16,
+                planted_dim: 4,
+                relations: [
+                    vec![spec(Symmetric, 900); 4],
+                    vec![spec(AntiSymmetric, 1100); 10],
+                    vec![spec(Composition, 800); 3],
+                    vec![spec(GeneralAsymmetric, 1100); 20],
+                ]
+                .concat(),
+                zipf_exponent: 0.5,
+                entity_noise: 0.7,
+                noise: 0.04,
+                candidate_pool: usize::MAX,
+                valid_frac: 0.03,
+                test_frac: 0.03,
+                seed,
+            },
+            Preset::Tiny => GeneratorConfig {
+                name: self.name().into(),
+                num_entities: 150,
+                num_clusters: 5,
+                planted_dim: 4,
+                relations: vec![
+                    spec(Symmetric, 300),
+                    spec(AntiSymmetric, 300),
+                    spec(Inverse, 200),
+                    spec(GeneralAsymmetric, 300),
+                ],
+                zipf_exponent: 0.4,
+                entity_noise: 0.7,
+                noise: 0.02,
+                candidate_pool: usize::MAX,
+                valid_frac: 0.1,
+                test_frac: 0.1,
+                seed,
+            },
+        }
+    }
+
+    /// Generate the dataset for this preset.
+    pub fn build(self, seed: u64) -> Dataset {
+        generate(&self.config(seed))
+    }
+
+    /// Does this preset contain planted inverse pairs (train/test leakage)?
+    pub fn has_inverse_leakage(self) -> bool {
+        matches!(self, Preset::Wn18 | Preset::Fb15k | Preset::Tiny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_preset_builds_fast_and_valid() {
+        let d = Preset::Tiny.build(1);
+        assert!(d.validate().is_ok());
+        assert_eq!(d.name, "tiny-synth");
+        assert_eq!(d.num_relations(), 5); // inverse spec adds a partner
+    }
+
+    #[test]
+    fn relation_counts_follow_paper_ordering() {
+        // WN18RR < WN18 < FB15k237 < FB15k (Table VII ordering by #relation).
+        let counts: Vec<usize> = [
+            Preset::Wn18rr,
+            Preset::Wn18,
+            Preset::Fb15k237,
+            Preset::Fb15k,
+        ]
+        .iter()
+        .map(|p| {
+            p.config(0)
+                .relations
+                .iter()
+                .map(|s| {
+                    if s.pattern == RelationPattern::Inverse {
+                        2
+                    } else {
+                        1
+                    }
+                })
+                .sum()
+        })
+        .collect();
+        assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
+        assert_eq!(counts[0], 11);
+        assert_eq!(counts[1], 18);
+    }
+
+    #[test]
+    fn leakage_flags_match_specs() {
+        for p in Preset::paper_benchmarks() {
+            let has_inverse_spec = p
+                .config(0)
+                .relations
+                .iter()
+                .any(|s| s.pattern == RelationPattern::Inverse);
+            assert_eq!(p.has_inverse_leakage(), has_inverse_spec, "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = Preset::paper_benchmarks()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        names.push(Preset::Tiny.name());
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

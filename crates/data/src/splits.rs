@@ -1,0 +1,177 @@
+//! Train/valid/test splitting with the standard KGE hygiene rules.
+//!
+//! Benchmarks guarantee that every entity and relation appearing in the
+//! validation or test split also appears in training (otherwise its
+//! embedding is never learned and ranking it is noise). [`split_triples`]
+//! enforces this by promoting violating triples back into train.
+
+use crate::dataset::Triple;
+use eras_linalg::rng::Rng;
+use std::collections::HashSet;
+
+/// Split fractions and seed.
+#[derive(Debug, Clone)]
+pub struct SplitConfig {
+    /// Fraction of triples for validation.
+    pub valid_frac: f64,
+    /// Fraction of triples for test.
+    pub test_frac: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+/// Randomly split `triples`, then repair the split so that every entity and
+/// relation in valid/test occurs in train. Returns `(train, valid, test)`.
+pub fn split_triples(
+    mut triples: Vec<Triple>,
+    config: &SplitConfig,
+) -> (Vec<Triple>, Vec<Triple>, Vec<Triple>) {
+    assert!(
+        config.valid_frac + config.test_frac < 1.0,
+        "split fractions must leave room for train"
+    );
+    let mut rng = Rng::seed_from_u64(config.seed);
+    rng.shuffle(&mut triples);
+
+    let n = triples.len();
+    let n_valid = (n as f64 * config.valid_frac).round() as usize;
+    let n_test = (n as f64 * config.test_frac).round() as usize;
+    let n_eval = (n_valid + n_test).min(n);
+
+    let mut eval: Vec<Triple> = triples.split_off(n - n_eval);
+    let mut train = triples;
+
+    // Repair: move eval triples whose entities/relations are unseen in
+    // train back into train. Iterate to a fixed point (moving a triple can
+    // only add coverage, so one pass over a stable cover set suffices).
+    let mut covered_e: HashSet<u32> = HashSet::new();
+    let mut covered_r: HashSet<u32> = HashSet::new();
+    for t in &train {
+        covered_e.insert(t.head);
+        covered_e.insert(t.tail);
+        covered_r.insert(t.rel);
+    }
+    let mut kept = Vec::with_capacity(eval.len());
+    for t in eval.drain(..) {
+        if covered_e.contains(&t.head) && covered_e.contains(&t.tail) && covered_r.contains(&t.rel)
+        {
+            kept.push(t);
+        } else {
+            covered_e.insert(t.head);
+            covered_e.insert(t.tail);
+            covered_r.insert(t.rel);
+            train.push(t);
+        }
+    }
+
+    let n_valid = n_valid.min(kept.len());
+    let test = kept.split_off(n_valid);
+    let valid = kept;
+    (train, valid, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32, rel: u32) -> Vec<Triple> {
+        (0..n).map(|i| Triple::new(i, rel, i + 1)).collect()
+    }
+
+    #[test]
+    fn fractions_roughly_respected() {
+        let mut triples = Vec::new();
+        // Dense graph so repairs are rare: random-ish edges over few nodes.
+        for i in 0..30u32 {
+            for j in 0..30u32 {
+                if i != j {
+                    triples.push(Triple::new(i, 0, j));
+                }
+            }
+        }
+        let total = triples.len();
+        let (train, valid, test) = split_triples(
+            triples,
+            &SplitConfig {
+                valid_frac: 0.1,
+                test_frac: 0.1,
+                seed: 1,
+            },
+        );
+        assert_eq!(train.len() + valid.len() + test.len(), total);
+        let vf = valid.len() as f64 / total as f64;
+        let tf = test.len() as f64 / total as f64;
+        assert!((0.05..0.15).contains(&vf), "valid frac {vf}");
+        assert!((0.05..0.15).contains(&tf), "test frac {tf}");
+    }
+
+    #[test]
+    fn eval_entities_and_relations_are_covered_by_train() {
+        // Sparse chain: naive splitting would orphan entities.
+        let triples = chain(200, 0);
+        let (train, valid, test) = split_triples(
+            triples,
+            &SplitConfig {
+                valid_frac: 0.2,
+                test_frac: 0.2,
+                seed: 3,
+            },
+        );
+        let mut cov_e = HashSet::new();
+        let mut cov_r = HashSet::new();
+        for t in &train {
+            cov_e.insert(t.head);
+            cov_e.insert(t.tail);
+            cov_r.insert(t.rel);
+        }
+        for t in valid.iter().chain(&test) {
+            assert!(cov_e.contains(&t.head), "head {t:?} unseen in train");
+            assert!(cov_e.contains(&t.tail), "tail {t:?} unseen in train");
+            assert!(cov_r.contains(&t.rel), "rel {t:?} unseen in train");
+        }
+    }
+
+    #[test]
+    fn no_triples_lost_or_duplicated() {
+        let triples = chain(100, 2);
+        let orig: HashSet<Triple> = triples.iter().copied().collect();
+        let (train, valid, test) = split_triples(
+            triples,
+            &SplitConfig {
+                valid_frac: 0.15,
+                test_frac: 0.15,
+                seed: 9,
+            },
+        );
+        let mut combined = HashSet::new();
+        for t in train.iter().chain(&valid).chain(&test) {
+            assert!(combined.insert(*t), "duplicated {t:?}");
+        }
+        assert_eq!(combined, orig);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SplitConfig {
+            valid_frac: 0.1,
+            test_frac: 0.1,
+            seed: 4,
+        };
+        let a = split_triples(chain(50, 0), &cfg);
+        let b = split_triples(chain(50, 0), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_fractions_summing_to_one() {
+        let _ = split_triples(
+            chain(10, 0),
+            &SplitConfig {
+                valid_frac: 0.5,
+                test_frac: 0.5,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Dataset statistics (Table VII of the paper).
+
+use crate::dataset::Dataset;
+use crate::patterns::RelationPattern;
+use std::fmt;
+
+/// Summary statistics for one dataset, one row of Table VII.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `N_r`.
+    pub num_relations: usize,
+    /// `N_e`.
+    pub num_entities: usize,
+    /// Training triples.
+    pub num_train: usize,
+    /// Validation triples.
+    pub num_valid: usize,
+    /// Test triples.
+    pub num_test: usize,
+    /// Count of relations per ground-truth pattern (zeros if unlabeled).
+    pub pattern_counts: Vec<(RelationPattern, usize)>,
+}
+
+/// Compute [`DatasetStats`] for a dataset.
+pub fn dataset_stats(d: &Dataset) -> DatasetStats {
+    let mut pattern_counts: Vec<(RelationPattern, usize)> = RelationPattern::all()
+        .iter()
+        .map(|&p| (p, 0usize))
+        .collect();
+    for &label in &d.pattern_labels {
+        for entry in &mut pattern_counts {
+            if entry.0 == label {
+                entry.1 += 1;
+            }
+        }
+    }
+    DatasetStats {
+        name: d.name.clone(),
+        num_relations: d.num_relations(),
+        num_entities: d.num_entities(),
+        num_train: d.train.len(),
+        num_valid: d.valid.len(),
+        num_test: d.test.len(),
+        pattern_counts,
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} | {:>9} | {:>8} | {:>9} | {:>11} | {:>8}",
+            self.name,
+            self.num_relations,
+            self.num_entities,
+            self.num_train,
+            self.num_valid,
+            self.num_test
+        )
+    }
+}
+
+/// Render the Table VII header matching [`DatasetStats`]'s `Display` rows.
+pub fn stats_header() -> String {
+    format!(
+        "{:<16} | {:>9} | {:>8} | {:>9} | {:>11} | {:>8}",
+        "Data set", "#relation", "#entity", "#training", "#validation", "#testing"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Preset;
+
+    #[test]
+    fn stats_count_splits() {
+        let d = Preset::Tiny.build(2);
+        let s = dataset_stats(&d);
+        assert_eq!(s.num_train, d.train.len());
+        assert_eq!(s.num_valid, d.valid.len());
+        assert_eq!(s.num_test, d.test.len());
+        assert_eq!(s.num_relations, d.num_relations());
+        let total_patterns: usize = s.pattern_counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total_patterns, d.num_relations());
+    }
+
+    #[test]
+    fn display_aligns_with_header() {
+        let d = Preset::Tiny.build(2);
+        let s = dataset_stats(&d);
+        let header = stats_header();
+        let row = s.to_string();
+        assert_eq!(
+            header.matches('|').count(),
+            row.matches('|').count(),
+            "column count mismatch"
+        );
+    }
+}

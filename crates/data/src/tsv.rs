@@ -1,0 +1,175 @@
+//! Loader for the standard benchmark file layout.
+//!
+//! All five paper benchmarks ship as a directory of three files —
+//! `train.txt`, `valid.txt`, `test.txt` — each line
+//! `head<TAB>relation<TAB>tail`. When real benchmark files are available,
+//! [`load_dir`] produces a [`Dataset`] that slots into every experiment in
+//! this repository unchanged (pattern labels are filled in by empirical
+//! detection).
+
+use crate::dataset::{Dataset, Triple};
+use crate::patterns::detect_patterns;
+use crate::vocab::Vocab;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors from TSV loading.
+#[derive(Debug)]
+pub enum TsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not have exactly three tab-separated fields.
+    Malformed {
+        /// File in which the malformed line occurred.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsvError::Io(e) => write!(f, "I/O error: {e}"),
+            TsvError::Malformed { file, line } => {
+                write!(f, "{file}:{line}: expected head<TAB>rel<TAB>tail")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+impl From<std::io::Error> for TsvError {
+    fn from(e: std::io::Error) -> Self {
+        TsvError::Io(e)
+    }
+}
+
+/// Parse one split file, interning names into the shared vocabularies.
+pub fn parse_split<R: BufRead>(
+    reader: R,
+    file_name: &str,
+    entities: &mut Vocab,
+    relations: &mut Vocab,
+) -> Result<Vec<Triple>, TsvError> {
+    let mut triples = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let (h, r, t) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(h), Some(r), Some(t), None) => (h, r, t),
+            _ => {
+                return Err(TsvError::Malformed {
+                    file: file_name.to_owned(),
+                    line: i + 1,
+                })
+            }
+        };
+        triples.push(Triple::new(
+            entities.intern(h),
+            relations.intern(r),
+            entities.intern(t),
+        ));
+    }
+    Ok(triples)
+}
+
+/// Load `train.txt` / `valid.txt` / `test.txt` from a directory.
+///
+/// Relation pattern labels are estimated from the training split with
+/// [`detect_patterns`].
+pub fn load_dir(dir: &Path, name: &str) -> Result<Dataset, TsvError> {
+    let mut entities = Vocab::new();
+    let mut relations = Vocab::new();
+    let mut load = |file: &str| -> Result<Vec<Triple>, TsvError> {
+        let path = dir.join(file);
+        let f = std::fs::File::open(&path)?;
+        parse_split(
+            std::io::BufReader::new(f),
+            &path.display().to_string(),
+            &mut entities,
+            &mut relations,
+        )
+    };
+    let train = load("train.txt")?;
+    let valid = load("valid.txt")?;
+    let test = load("test.txt")?;
+    let mut dataset = Dataset {
+        name: name.to_owned(),
+        entities,
+        relations,
+        train,
+        valid,
+        test,
+        pattern_labels: vec![],
+    };
+    dataset.pattern_labels = detect_patterns(&dataset);
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_well_formed_lines() {
+        let input = "a\tr1\tb\nb\tr1\tc\n\na\tr2\tc\n";
+        let mut e = Vocab::new();
+        let mut r = Vocab::new();
+        let triples = parse_split(Cursor::new(input), "mem", &mut e, &mut r).unwrap();
+        assert_eq!(triples.len(), 3);
+        assert_eq!(e.len(), 3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(triples[0], Triple::new(0, 0, 1));
+        assert_eq!(triples[2], Triple::new(0, 1, 2));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let input = "a\tr1\tb\nbad line without tabs\n";
+        let mut e = Vocab::new();
+        let mut r = Vocab::new();
+        let err = parse_split(Cursor::new(input), "mem", &mut e, &mut r).unwrap_err();
+        match err {
+            TsvError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_too_many_fields() {
+        let input = "a\tr\tb\textra\n";
+        let mut e = Vocab::new();
+        let mut r = Vocab::new();
+        assert!(parse_split(Cursor::new(input), "mem", &mut e, &mut r).is_err());
+    }
+
+    #[test]
+    fn roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("eras_tsv_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "a\tr\tb\nb\tr\tc\nc\tr\ta\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "a\tr\tc\n").unwrap();
+        std::fs::write(dir.join("test.txt"), "b\tr\ta\n").unwrap();
+        let d = load_dir(&dir, "roundtrip").unwrap();
+        assert!(d.validate().is_ok());
+        assert_eq!(d.train.len(), 3);
+        assert_eq!(d.valid.len(), 1);
+        assert_eq!(d.test.len(), 1);
+        assert_eq!(d.pattern_labels.len(), d.num_relations());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_dir(Path::new("/nonexistent/nowhere"), "x").unwrap_err();
+        assert!(matches!(err, TsvError::Io(_)));
+    }
+}

@@ -1,0 +1,96 @@
+//! String ⇄ id interning for entities and relations.
+
+use std::collections::HashMap;
+
+/// Bidirectional map between names and dense `u32` ids.
+///
+/// Ids are assigned in first-seen order, so a vocabulary built from the same
+/// input sequence is always identical — load order is part of every
+/// experiment's determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    to_id: HashMap<String, u32>,
+    to_name: Vec<String>,
+}
+
+impl Vocab {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Vocab::default()
+    }
+
+    /// Intern `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.to_id.get(name) {
+            return id;
+        }
+        let id = self.to_name.len() as u32;
+        self.to_id.insert(name.to_owned(), id);
+        self.to_name.push(name.to_owned());
+        id
+    }
+
+    /// Look up an existing name.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.to_id.get(name).copied()
+    }
+
+    /// Name for an id. Panics if out of range.
+    pub fn name(&self, id: u32) -> &str {
+        &self.to_name[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.to_name.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.to_name.is_empty()
+    }
+
+    /// Iterate `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.to_name
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut v = Vocab::new();
+        for name in ["x", "y", "z"] {
+            let id = v.intern(name);
+            assert_eq!(v.name(id), name);
+            assert_eq!(v.id(name), Some(id));
+        }
+        assert_eq!(v.id("missing"), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocab::new();
+        v.intern("b");
+        v.intern("a");
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(0, "b"), (1, "a")]);
+    }
+}

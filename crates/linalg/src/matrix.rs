@@ -1,0 +1,220 @@
+//! Row-major dense `f32` matrix.
+//!
+//! Embedding tables (`N_e × d`, `N_r × d`), the LSTM weight matrices, and the
+//! TuckER core tensor slices are all [`Matrix`] values. Only the kernels the
+//! training loops need are provided; there is deliberately no general BLAS.
+
+use crate::rng::Rng;
+use crate::vecops;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero-filled `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from an explicit row-major buffer. Panics if the buffer length
+    /// does not equal `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Uniform(−scale, scale) initialisation.
+    pub fn uniform_init(rows: usize, cols: usize, scale: f32, rng: &mut Rng) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.uniform(-scale, scale);
+        }
+        m
+    }
+
+    /// Xavier/Glorot uniform initialisation: `U(−√(6/(fan_in+fan_out)), ·)`.
+    pub fn xavier_init(rows: usize, cols: usize, rng: &mut Rng) -> Self {
+        let scale = (6.0 / (rows + cols) as f32).sqrt();
+        Matrix::uniform_init(rows, cols, scale, rng)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Whole backing buffer (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing buffer (row-major).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `out = M · x` where `x` has `cols` entries and `out` has `rows`.
+    ///
+    /// This is the 1-vs-all scoring kernel: with `M` the entity table and
+    /// `x` the query vector, `out` holds a score for every entity.
+    pub fn matvec(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(out.len(), self.rows);
+        for i in 0..self.rows {
+            out[i] = vecops::dot(self.row(i), x);
+        }
+    }
+
+    /// `out = Mᵀ · x` where `x` has `rows` entries and `out` has `cols`.
+    ///
+    /// This is the softmax backward kernel: `∂L/∂q = Eᵀ (p − y)`.
+    pub fn matvec_transpose(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(out.len(), self.cols);
+        vecops::zero(out);
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi != 0.0 {
+                vecops::axpy(xi, self.row(i), out);
+            }
+        }
+    }
+
+    /// Rank-1 accumulation into a single row: `M[i, :] += alpha * v`.
+    #[inline]
+    pub fn add_to_row(&mut self, i: usize, alpha: f32, v: &[f32]) {
+        vecops::axpy(alpha, v, self.row_mut(i));
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        vecops::norm(&self.data)
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        for x in &mut self.data {
+            *x = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_checks_size() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.0, -1.0];
+        let mut out = [0.0; 2];
+        m.matvec(&x, &mut out);
+        assert_eq!(out, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, -1.0];
+        let mut out = [0.0; 3];
+        m.matvec_transpose(&x, &mut out);
+        assert_eq!(out, [-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn transpose_is_adjoint() {
+        // ⟨Mx, y⟩ == ⟨x, Mᵀy⟩ for random M, x, y.
+        let mut rng = Rng::seed_from_u64(5);
+        let m = Matrix::uniform_init(7, 4, 1.0, &mut rng);
+        let x: Vec<f32> = (0..4).map(|_| rng.normal()).collect();
+        let y: Vec<f32> = (0..7).map(|_| rng.normal()).collect();
+        let mut mx = vec![0.0; 7];
+        m.matvec(&x, &mut mx);
+        let mut mty = vec![0.0; 4];
+        m.matvec_transpose(&y, &mut mty);
+        let lhs = vecops::dot(&mx, &y);
+        let rhs = vecops::dot(&x, &mty);
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn xavier_scale_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        let m = Matrix::xavier_init(10, 20, &mut rng);
+        let bound = (6.0 / 30.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= bound));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn add_to_row_only_touches_target() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_to_row(1, 2.0, &[1.0, 1.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, 2.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,257 @@
+//! First-order optimizers with sparse-row support.
+//!
+//! The paper optimises embeddings with Adagrad and the controller with Adam
+//! (Section V-A2). Embedding gradients are *row-sparse* — a minibatch
+//! touches only the entity/relation rows it contains — so every optimizer
+//! here exposes [`Optimizer::step_at`], which updates a contiguous slice of
+//! the parameter buffer at a given offset, keeping per-parameter state
+//! aligned with the full buffer.
+
+/// Common interface: stateful update of `params[offset .. offset+grad.len()]`
+/// given the gradient of that slice.
+pub trait Optimizer {
+    /// Apply one update to a slice of the parameter buffer. The optimizer's
+    /// internal state buffer must have been sized for the full parameter
+    /// buffer (`state_len`).
+    fn step_at(&mut self, params: &mut [f32], offset: usize, grad: &[f32]);
+
+    /// Dense step over the whole buffer.
+    fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len());
+        self.step_at(params, 0, grad);
+    }
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (for decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    l2: f32,
+}
+
+impl Sgd {
+    /// Create with learning rate `lr` and decoupled L2 penalty `l2`.
+    pub fn new(lr: f32, l2: f32) -> Self {
+        Sgd { lr, l2 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_at(&mut self, params: &mut [f32], offset: usize, grad: &[f32]) {
+        let p = &mut params[offset..offset + grad.len()];
+        for (pi, gi) in p.iter_mut().zip(grad) {
+            *pi -= self.lr * (gi + self.l2 * *pi);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adagrad (Duchi et al., 2011) — the paper's embedding optimizer.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    l2: f32,
+    eps: f32,
+    accum: Vec<f32>,
+}
+
+impl Adagrad {
+    /// Create for a parameter buffer of `state_len` values.
+    pub fn new(state_len: usize, lr: f32, l2: f32) -> Self {
+        Adagrad {
+            lr,
+            l2,
+            eps: 1e-10,
+            accum: vec![0.0; state_len],
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step_at(&mut self, params: &mut [f32], offset: usize, grad: &[f32]) {
+        assert!(
+            offset + grad.len() <= self.accum.len(),
+            "optimizer state too small"
+        );
+        let p = &mut params[offset..offset + grad.len()];
+        let a = &mut self.accum[offset..offset + grad.len()];
+        for i in 0..grad.len() {
+            let g = grad[i] + self.l2 * p[i];
+            a[i] += g * g;
+            p[i] -= self.lr * g / (a[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) — the paper's controller optimizer.
+///
+/// Bias correction uses a *per-slot* step count so sparse updates stay
+/// correctly corrected: a row updated for the first time at epoch 100 is
+/// treated as being at its own step 1.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    l2: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: Vec<u32>,
+}
+
+impl Adam {
+    /// Create for a parameter buffer of `state_len` values with default
+    /// betas (0.9, 0.999).
+    pub fn new(state_len: usize, lr: f32, l2: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            l2,
+            m: vec![0.0; state_len],
+            v: vec![0.0; state_len],
+            t: vec![0; state_len],
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_at(&mut self, params: &mut [f32], offset: usize, grad: &[f32]) {
+        assert!(
+            offset + grad.len() <= self.m.len(),
+            "optimizer state too small"
+        );
+        let p = &mut params[offset..offset + grad.len()];
+        for i in 0..grad.len() {
+            let gi = grad[i] + self.l2 * p[i];
+            let j = offset + i;
+            self.t[j] += 1;
+            let t = self.t[j] as f32;
+            self.m[j] = self.beta1 * self.m[j] + (1.0 - self.beta1) * gi;
+            self.v[j] = self.beta2 * self.v[j] + (1.0 - self.beta2) * gi * gi;
+            let m_hat = self.m[j] / (1.0 - self.beta1.powf(t));
+            let v_hat = self.v[j] / (1.0 - self.beta2.powf(t));
+            p[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All three optimizers must drive a convex quadratic to its minimum.
+    fn converges<O: Optimizer>(mut opt: O, tol: f32) -> f32 {
+        // f(x) = 0.5 * Σ (x_i - target_i)^2
+        let target = [3.0f32, -2.0, 0.5, 1.5];
+        let mut x = [0.0f32; 4];
+        for _ in 0..2000 {
+            let grad: Vec<f32> = x.iter().zip(&target).map(|(xi, ti)| xi - ti).collect();
+            opt.step(&mut x, &grad);
+        }
+        let err: f32 = x
+            .iter()
+            .zip(&target)
+            .map(|(xi, ti)| (xi - ti).abs())
+            .fold(0.0, f32::max);
+        assert!(err < tol, "max err {err}");
+        err
+    }
+
+    #[test]
+    fn sgd_converges() {
+        converges(Sgd::new(0.1, 0.0), 1e-3);
+    }
+
+    #[test]
+    fn adagrad_converges() {
+        converges(Adagrad::new(4, 0.5, 0.0), 1e-2);
+    }
+
+    #[test]
+    fn adam_converges() {
+        converges(Adam::new(4, 0.05, 0.0), 1e-2);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let mut opt = Sgd::new(0.1, 0.5);
+        let mut x = [1.0f32];
+        for _ in 0..100 {
+            opt.step(&mut x, &[0.0]); // zero gradient: only decay acts
+        }
+        assert!(x[0].abs() < 0.01, "weight decay failed: {}", x[0]);
+    }
+
+    #[test]
+    fn sparse_updates_do_not_touch_other_slots() {
+        let mut opt = Adagrad::new(6, 0.1, 0.0);
+        let mut params = vec![1.0f32; 6];
+        opt.step_at(&mut params, 2, &[1.0, 1.0]);
+        assert_eq!(params[0], 1.0);
+        assert_eq!(params[1], 1.0);
+        assert!(params[2] < 1.0);
+        assert!(params[3] < 1.0);
+        assert_eq!(params[4], 1.0);
+        assert_eq!(params[5], 1.0);
+    }
+
+    #[test]
+    fn adam_sparse_bias_correction_is_per_slot() {
+        let mut opt = Adam::new(2, 0.1, 0.0);
+        let mut params = vec![0.0f32; 2];
+        // Update slot 0 many times.
+        for _ in 0..50 {
+            opt.step_at(&mut params, 0, &[1.0]);
+        }
+        let p0_after_50 = params[0];
+        // First update of slot 1 should have the same magnitude as slot 0's
+        // first update did (fresh bias correction), i.e. ≈ lr.
+        opt.step_at(&mut params, 1, &[1.0]);
+        assert!(
+            (params[1] + 0.1).abs() < 1e-3,
+            "first Adam step ≈ -lr, got {}",
+            params[1]
+        );
+        assert!(p0_after_50 < params[1]);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut o = Adagrad::new(1, 0.3, 0.0);
+        assert_eq!(o.learning_rate(), 0.3);
+        o.set_learning_rate(0.1);
+        assert_eq!(o.learning_rate(), 0.1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Principal component analysis via power iteration.
+//!
+//! Used to project relation embeddings to 2-D for the case-study output
+//! (the paper's Figures 3/4 discuss how relations group; a 2-D projection
+//! makes the EM clusters inspectable in a terminal scatter).
+
+use crate::matrix::Matrix;
+use crate::rng::Rng;
+use crate::vecops;
+
+/// Result of a PCA fit.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means subtracted before projection.
+    pub mean: Vec<f32>,
+    /// Principal components, one per row (unit norm).
+    pub components: Matrix,
+    /// Eigenvalue (explained variance) per component, descending.
+    pub explained: Vec<f32>,
+}
+
+/// Fit `k` principal components of the rows of `data` by power iteration
+/// with deflation. Deterministic given `rng`.
+pub fn fit(data: &Matrix, k: usize, rng: &mut Rng) -> Pca {
+    let n = data.rows();
+    let d = data.cols();
+    assert!(n >= 2, "need at least two points");
+    let k = k.min(d);
+
+    // Column means.
+    let mut mean = vec![0.0f32; d];
+    for i in 0..n {
+        vecops::axpy(1.0, data.row(i), &mut mean);
+    }
+    vecops::scale(1.0 / n as f32, &mut mean);
+
+    // Centered data.
+    let mut centered = Matrix::zeros(n, d);
+    for i in 0..n {
+        let row = centered.row_mut(i);
+        row.copy_from_slice(data.row(i));
+        vecops::axpy(-1.0, &mean, row);
+    }
+
+    let mut components = Matrix::zeros(k, d);
+    let mut explained = Vec::with_capacity(k);
+    let mut work = centered.clone();
+    for c in 0..k {
+        // Power iteration on Xᵀ X without forming it: v ← Xᵀ(X v).
+        let mut v: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
+        let mut eigen = 0.0f32;
+        for _ in 0..100 {
+            let mut xv = vec![0.0f32; n];
+            work.matvec(&v, &mut xv);
+            let mut xtxv = vec![0.0f32; d];
+            work.matvec_transpose(&xv, &mut xtxv);
+            let norm = vecops::norm(&xtxv);
+            if norm < 1e-12 {
+                break;
+            }
+            eigen = norm;
+            vecops::scale(1.0 / norm, &mut xtxv);
+            let delta = vecops::dist_sq(&v, &xtxv);
+            v = xtxv;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        components.row_mut(c).copy_from_slice(&v);
+        explained.push(eigen / n as f32);
+        // Deflate: remove the component from every row.
+        for i in 0..n {
+            let row = work.row_mut(i);
+            let proj = vecops::dot(row, &v);
+            vecops::axpy(-proj, &v, row);
+        }
+    }
+
+    Pca {
+        mean,
+        components,
+        explained,
+    }
+}
+
+impl Pca {
+    /// Project one point onto the fitted components.
+    pub fn project(&self, x: &[f32]) -> Vec<f32> {
+        let mut centered = x.to_vec();
+        vecops::axpy(-1.0, &self.mean, &mut centered);
+        (0..self.components.rows())
+            .map(|c| vecops::dot(self.components.row(c), &centered))
+            .collect()
+    }
+
+    /// Project every row of a matrix.
+    pub fn project_all(&self, data: &Matrix) -> Matrix {
+        let k = self.components.rows();
+        let mut out = Matrix::zeros(data.rows(), k);
+        for i in 0..data.rows() {
+            let p = self.project(data.row(i));
+            out.row_mut(i).copy_from_slice(&p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_component_follows_the_data_line() {
+        // Points along the direction (3, 4)/5 with small orthogonal noise.
+        let mut rng = Rng::seed_from_u64(1);
+        let mut data = Matrix::zeros(50, 2);
+        for i in 0..50 {
+            let t = rng.normal() * 5.0;
+            let noise = rng.normal() * 0.1;
+            data.set(i, 0, 0.6 * t - 0.8 * noise);
+            data.set(i, 1, 0.8 * t + 0.6 * noise);
+        }
+        let pca = fit(&data, 2, &mut rng);
+        let c0 = pca.components.row(0);
+        // Component is defined up to sign.
+        let alignment = (c0[0] * 0.6 + c0[1] * 0.8).abs();
+        assert!(alignment > 0.99, "component {c0:?}, alignment {alignment}");
+        assert!(pca.explained[0] > 10.0 * pca.explained[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut rng = Rng::seed_from_u64(2);
+        let data = Matrix::uniform_init(30, 5, 1.0, &mut rng);
+        let pca = fit(&data, 3, &mut rng);
+        for a in 0..3 {
+            let na = vecops::norm(pca.components.row(a));
+            assert!((na - 1.0).abs() < 1e-3, "component {a} norm {na}");
+            for b in (a + 1)..3 {
+                let dot = vecops::dot(pca.components.row(a), pca.components.row(b));
+                assert!(dot.abs() < 1e-2, "components {a},{b} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_recenters() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut data = Matrix::zeros(10, 3);
+        for i in 0..10 {
+            for j in 0..3 {
+                data.set(i, j, 100.0 + rng.normal());
+            }
+        }
+        let pca = fit(&data, 2, &mut rng);
+        // Mean of projections ≈ 0 (centering worked).
+        let proj = pca.project_all(&data);
+        for c in 0..2 {
+            let mean: f32 = (0..10).map(|i| proj.get(i, c)).sum::<f32>() / 10.0;
+            assert!(mean.abs() < 1e-3, "projection mean {mean}");
+        }
+    }
+
+    #[test]
+    fn explained_variance_is_descending() {
+        let mut rng = Rng::seed_from_u64(4);
+        let data = Matrix::uniform_init(40, 6, 1.0, &mut rng);
+        let pca = fit(&data, 4, &mut rng);
+        for w in pca.explained.windows(2) {
+            assert!(w[0] >= w[1] - 1e-4, "{:?}", pca.explained);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Self-contained reproducible pseudo-random number generation.
+//!
+//! Every stochastic component of the reproduction (dataset generation,
+//! embedding initialisation, minibatch shuffling, controller sampling,
+//! REINFORCE) draws from this RNG, so an experiment is fully determined by
+//! its seed. The generator is xoshiro256++ seeded through SplitMix64 — the
+//! standard construction recommended by the xoshiro authors, implemented
+//! here to keep the workspace free of version-dependent stream changes in
+//! external crates.
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Not cryptographically secure; period 2^256 − 1, passes BigCrush. Small
+/// (32 bytes), `Clone`-able so parallel workers can fork deterministic
+/// sub-streams via [`Rng::fork`].
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derive an independent child generator. The child stream is a
+    /// deterministic function of the parent state and `stream`, and the
+    /// parent is advanced once so successive forks differ.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::seed_from_u64(base ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    #[inline]
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "next_below bound must be > 0");
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as usize;
+            }
+            // Rejection zone: only entered when low < bound.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Standard normal sample (Box–Muller, one value per call).
+    pub fn normal(&mut self) -> f32 {
+        loop {
+            let u1 = self.next_f64();
+            if u1 > 1e-300 {
+                let u2 = self.next_f64();
+                let r = (-2.0 * u1.ln()).sqrt();
+                return (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32;
+            }
+        }
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Sample an index from an (unnormalised, non-negative) weight vector.
+    ///
+    /// Falls back to uniform sampling when all weights are zero or
+    /// non-finite mass is encountered.
+    pub fn categorical(&mut self, weights: &[f32]) -> usize {
+        debug_assert!(!weights.is_empty());
+        let total: f64 = weights.iter().map(|&w| f64::from(w.max(0.0))).sum();
+        // NaN-safe: treat non-finite or non-positive mass as "no signal".
+        if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !total.is_finite() {
+            return self.next_below(weights.len());
+        }
+        let mut u = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            u -= f64::from(w.max(0.0));
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        if k * 4 >= n {
+            let mut idx: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut idx);
+            idx.truncate(k);
+            idx
+        } else {
+            // Sparse case: rejection into a small set.
+            let mut chosen = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let c = self.next_below(n);
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            chosen
+        }
+    }
+
+    /// Zipf-distributed sample over `[0, n)` with exponent `s`, via inverse
+    /// CDF on precomputed weights. For repeated sampling prefer
+    /// [`ZipfSampler`].
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        ZipfSampler::new(n, s).sample(self)
+    }
+}
+
+/// Precomputed Zipf(s) sampler over `[0, n)` using binary search on the CDF.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the CDF for `Zipf(s)` over ranks `1..=n` (returned indices are
+    /// zero-based).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs n > 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(7);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(0);
+        // Children forked successively must differ (parent advanced).
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range_and_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let v = rng.next_below(10);
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f = rng.next_f32();
+            assert!((0.0..1.0).contains(&f));
+            let d = rng.next_f64();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = f64::from(rng.normal());
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = Rng::seed_from_u64(13);
+        let w = [1.0f32, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.categorical(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((2.6..3.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn categorical_all_zero_falls_back_to_uniform() {
+        let mut rng = Rng::seed_from_u64(17);
+        let w = [0.0f32; 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.categorical(&w)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(19);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_properties() {
+        let mut rng = Rng::seed_from_u64(23);
+        for (n, k) in [(10, 10), (100, 3), (5, 0), (1, 1)] {
+            let s = rng.sample_distinct(n, k);
+            assert_eq!(s.len(), k);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in sample");
+            assert!(s.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = Rng::seed_from_u64(29);
+        let sampler = ZipfSampler::new(100, 1.0);
+        let mut head = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if sampler.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Zipf(1.0) over 100 ranks puts ~56% of mass on the first 10.
+        let frac = head as f64 / trials as f64;
+        assert!((0.5..0.65).contains(&frac), "head mass {frac}");
+    }
+}

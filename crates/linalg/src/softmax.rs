@@ -1,0 +1,138 @@
+//! Numerically stable softmax / log-softmax / multiclass log-loss.
+//!
+//! The paper trains embeddings with the multiclass log-loss of Lacroix et
+//! al. (1-vs-all over all entities); these kernels implement the forward
+//! loss and the `p − y` residual its gradient needs.
+
+/// In-place stable softmax: `x ← exp(x − max) / Σ exp(x − max)`.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Stable `log Σ exp(x)`.
+pub fn log_sum_exp(x: &[f32]) -> f32 {
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f32 = x.iter().map(|&v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Multiclass log-loss `−log softmax(scores)[target]` and, in-place, the
+/// residual `∂loss/∂scores = softmax(scores) − onehot(target)`.
+///
+/// Returns the loss; `scores` is overwritten with the residual.
+pub fn log_loss_and_residual(scores: &mut [f32], target: usize) -> f32 {
+    assert!(target < scores.len());
+    let lse = log_sum_exp(scores);
+    let loss = lse - scores[target];
+    softmax_inplace(scores);
+    scores[target] -= 1.0;
+    loss
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Stable softplus `log(1 + e^x)` — the logistic loss `ℓ(y·s) = softplus(−y·s)`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![1001.0f32, 1002.0, 1003.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        let sum: f32 = a.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6, "shift invariance violated");
+        }
+        assert!(a[2] > a[1] && a[1] > a[0]);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_values() {
+        let mut x = vec![-1e30f32, 0.0, 1e30];
+        softmax_inplace(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive_in_safe_range() {
+        let x = [0.5f32, -1.0, 2.0, 0.0];
+        let naive = x.iter().map(|v| v.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&x) - naive).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_loss_residual_is_gradient() {
+        // Finite-difference check of ∂loss/∂scores.
+        let scores = vec![0.3f32, -0.7, 1.2, 0.1];
+        let target = 2;
+        let mut work = scores.clone();
+        let loss = log_loss_and_residual(&mut work, target);
+        assert!(loss > 0.0);
+        let eps = 1e-3f32;
+        for k in 0..scores.len() {
+            let mut plus = scores.clone();
+            plus[k] += eps;
+            let lp = log_sum_exp(&plus) - plus[target];
+            let mut minus = scores.clone();
+            minus[k] -= eps;
+            let lm = log_sum_exp(&minus) - minus[target];
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - work[k]).abs() < 1e-3,
+                "residual[{k}] = {} vs fd {}",
+                work[k],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_and_softplus_stable() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-3);
+        assert!((softplus(0.0) - (2.0f32).ln()).abs() < 1e-6);
+        assert!((softplus(50.0) - 50.0).abs() < 1e-3);
+        assert!(softplus(-50.0) >= 0.0 && softplus(-50.0) < 1e-6);
+    }
+}

@@ -1,0 +1,198 @@
+//! Fused vector kernels used by every scoring function and gradient.
+//!
+//! All slices are `f32`; callers guarantee equal lengths (checked with
+//! `debug_assert!` so release builds stay branch-free in the hot loops).
+
+/// Dot product `Σ aᵢ bᵢ`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Triple dot product `⟨a, b, c⟩ = Σ aᵢ bᵢ cᵢ` — the *multiplicative item* of
+/// the AutoSF/ERAS search space (Table II of the paper).
+#[inline]
+pub fn triple_dot(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i] * c[i];
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `out += alpha * (a ⊙ b)` — fused Hadamard-accumulate; the core of the
+/// 1-vs-all query-vector construction (`q_j += sign · h_i ⊙ r_blk`).
+#[inline]
+pub fn hadamard_axpy(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for i in 0..a.len() {
+        out[i] += alpha * a[i] * b[i];
+    }
+}
+
+/// Element-wise product `out = a ⊙ b`.
+#[inline]
+pub fn hadamard(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for i in 0..a.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Squared Euclidean norm.
+#[inline]
+pub fn norm_sq(x: &[f32]) -> f32 {
+    dot(x, x)
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(x: &[f32]) -> f32 {
+    norm_sq(x).sqrt()
+}
+
+/// Squared Euclidean distance `‖a − b‖²` (EM clustering objective, Eq. 5).
+#[inline]
+pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// L1 distance `Σ |aᵢ − bᵢ|` (TransE with L1 norm).
+#[inline]
+pub fn dist_l1(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+/// Panics on empty input.
+#[inline]
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for i in 1..x.len() {
+        if x[i] > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Fill with zeros.
+#[inline]
+pub fn zero(x: &mut [f32]) {
+    for xi in x {
+        *xi = 0.0;
+    }
+}
+
+/// Renormalise `x` to unit L2 norm if its norm exceeds 1 (TransE/TransH
+/// entity constraint). No-op on the zero vector.
+#[inline]
+pub fn project_unit_ball(x: &mut [f32]) {
+    let n = norm(x);
+    if n > 1.0 {
+        scale(1.0 / n, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_triple_dot() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let c = [1.0, 0.5, 2.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(triple_dot(&a, &b, &c), 4.0 + 5.0 + 36.0);
+    }
+
+    #[test]
+    fn triple_dot_is_symmetric_in_all_arguments() {
+        let a = [0.3, -1.2, 2.0, 0.7];
+        let b = [1.5, 0.2, -0.4, 1.0];
+        let c = [-2.0, 0.9, 0.1, 0.6];
+        let abc = triple_dot(&a, &b, &c);
+        assert!((abc - triple_dot(&b, &a, &c)).abs() < 1e-6);
+        assert!((abc - triple_dot(&c, &b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn hadamard_axpy_matches_manual() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 0.5, -1.0];
+        let mut out = [1.0, 1.0, 1.0];
+        hadamard_axpy(-1.0, &a, &b, &mut out);
+        assert_eq!(out, [1.0 - 2.0, 1.0 - 1.0, 1.0 + 3.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(dist_sq(&a, &b), 25.0);
+        assert_eq!(dist_l1(&a, &b), 7.0);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), 1);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    fn unit_ball_projection() {
+        let mut x = [3.0, 4.0];
+        project_unit_ball(&mut x);
+        assert!((norm(&x) - 1.0).abs() < 1e-6);
+        let mut small = [0.1, 0.1];
+        let before = small;
+        project_unit_ball(&mut small);
+        assert_eq!(small, before);
+        let mut zero_v = [0.0, 0.0];
+        project_unit_ball(&mut zero_v);
+        assert_eq!(zero_v, [0.0, 0.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Adjacency view of the training graph for rule mining and firing.
+
+use crate::rule::Atom;
+use eras_data::Triple;
+use std::collections::HashMap;
+
+/// Per-relation forward and backward adjacency lists.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// `out[rel]` maps head → sorted tails.
+    out: Vec<HashMap<u32, Vec<u32>>>,
+    /// `inc[rel]` maps tail → sorted heads.
+    inc: Vec<HashMap<u32, Vec<u32>>>,
+    /// All training triples (for mining walks).
+    triples: Vec<Triple>,
+    num_relations: usize,
+}
+
+impl Graph {
+    /// Build from training triples.
+    pub fn build(triples: &[Triple], num_relations: usize) -> Graph {
+        let mut out: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); num_relations];
+        let mut inc: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); num_relations];
+        for t in triples {
+            out[t.rel as usize].entry(t.head).or_default().push(t.tail);
+            inc[t.rel as usize].entry(t.tail).or_default().push(t.head);
+        }
+        for side in [&mut out, &mut inc] {
+            for rel in side.iter_mut() {
+                for list in rel.values_mut() {
+                    list.sort_unstable();
+                    list.dedup();
+                }
+            }
+        }
+        Graph {
+            out,
+            inc,
+            triples: triples.to_vec(),
+            num_relations,
+        }
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Training triples backing this graph.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Neighbours of `e` along `atom` (forward: tails; reversed: heads).
+    pub fn step(&self, e: u32, atom: Atom) -> &[u32] {
+        let side = if atom.reversed {
+            &self.inc[atom.rel as usize]
+        } else {
+            &self.out[atom.rel as usize]
+        };
+        side.get(&e).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does the edge `rel(h, t)` exist in training?
+    pub fn has_edge(&self, h: u32, rel: u32, t: u32) -> bool {
+        self.out[rel as usize]
+            .get(&h)
+            .map(|tails| tails.binary_search(&t).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Entities with at least one outgoing `atom` step (mining anchors).
+    pub fn sources(&self, atom: Atom) -> impl Iterator<Item = u32> + '_ {
+        let side = if atom.reversed {
+            &self.inc[atom.rel as usize]
+        } else {
+            &self.out[atom.rel as usize]
+        };
+        side.keys().copied()
+    }
+
+    /// Degree-weighted count of `atom`'s groundings (number of edges).
+    pub fn atom_groundings(&self, atom: Atom) -> usize {
+        let side = if atom.reversed {
+            &self.inc[atom.rel as usize]
+        } else {
+            &self.out[atom.rel as usize]
+        };
+        side.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> Graph {
+        // 0 -r0-> 1 -r0-> 2 ; 1 -r1-> 0 (inverse-ish edge)
+        let triples = vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(1, 1, 0),
+        ];
+        Graph::build(&triples, 2)
+    }
+
+    #[test]
+    fn forward_and_backward_steps() {
+        let g = chain_graph();
+        assert_eq!(g.step(0, Atom::fwd(0)), &[1]);
+        assert_eq!(g.step(1, Atom::fwd(0)), &[2]);
+        assert_eq!(g.step(1, Atom::bwd(0)), &[0]);
+        assert_eq!(g.step(2, Atom::bwd(0)), &[1]);
+        assert_eq!(g.step(0, Atom::fwd(1)), &[] as &[u32]);
+        assert_eq!(g.step(0, Atom::bwd(1)), &[1]);
+    }
+
+    #[test]
+    fn has_edge_is_directional() {
+        let g = chain_graph();
+        assert!(g.has_edge(0, 0, 1));
+        assert!(!g.has_edge(1, 0, 0));
+        assert!(g.has_edge(1, 1, 0));
+    }
+
+    #[test]
+    fn groundings_count_edges() {
+        let g = chain_graph();
+        assert_eq!(g.atom_groundings(Atom::fwd(0)), 2);
+        assert_eq!(g.atom_groundings(Atom::bwd(0)), 2);
+        assert_eq!(g.atom_groundings(Atom::fwd(1)), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let triples = vec![Triple::new(0, 0, 1), Triple::new(0, 0, 1)];
+        let g = Graph::build(&triples, 1);
+        assert_eq!(g.step(0, Atom::fwd(0)), &[1]);
+        assert_eq!(g.atom_groundings(Atom::fwd(0)), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! Bottom-up rule mining.
+//!
+//! AnyBURL samples training edges, finds alternative paths between their
+//! endpoints, generalises the paths into rules, and keeps rules whose
+//! (Laplace-smoothed) confidence clears a threshold. This module follows
+//! that recipe for path rules of length 1 and 2.
+
+use crate::graph::Graph;
+use crate::rule::{Atom, Rule, ScoredRule};
+use eras_linalg::Rng;
+use std::collections::HashMap;
+
+/// Mining budget and thresholds.
+#[derive(Debug, Clone)]
+pub struct LearnConfig {
+    /// Training edges sampled per relation when proposing rules.
+    pub samples_per_relation: usize,
+    /// Anchor entities sampled when estimating a rule's confidence.
+    pub confidence_anchors: usize,
+    /// Minimum (sampled) support for a candidate to be scored at all.
+    pub min_support: usize,
+    /// Minimum smoothed confidence to keep a rule.
+    pub min_confidence: f64,
+    /// Laplace pseudo-count (AnyBURL's `pc`).
+    pub pseudo_count: f64,
+    /// Rules kept per head relation (best by confidence).
+    pub max_rules_per_relation: usize,
+    /// Cap on the intermediate-node fan-out explored per path step.
+    pub max_branch: usize,
+    /// Mining seed.
+    pub seed: u64,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            samples_per_relation: 60,
+            confidence_anchors: 150,
+            min_support: 2,
+            min_confidence: 0.05,
+            pseudo_count: 5.0,
+            max_rules_per_relation: 24,
+            max_branch: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// All atoms over the graph's relations, forward and backward.
+fn all_atoms(num_relations: usize) -> Vec<Atom> {
+    (0..num_relations as u32)
+        .flat_map(|r| [Atom::fwd(r), Atom::bwd(r)])
+        .collect()
+}
+
+/// Propose candidate rules by sampling edges of each relation and finding
+/// alternative length-1/2 paths between their endpoints.
+fn propose(graph: &Graph, cfg: &LearnConfig, rng: &mut Rng) -> HashMap<Rule, usize> {
+    let atoms = all_atoms(graph.num_relations());
+    let mut support: HashMap<Rule, usize> = HashMap::new();
+    // Group training edges by relation for sampling.
+    let mut by_rel: Vec<Vec<(u32, u32)>> = vec![Vec::new(); graph.num_relations()];
+    for t in graph.triples() {
+        by_rel[t.rel as usize].push((t.head, t.tail));
+    }
+
+    for (rel, edges) in by_rel.iter().enumerate() {
+        if edges.is_empty() {
+            continue;
+        }
+        let rel = rel as u32;
+        let n = cfg.samples_per_relation.min(edges.len());
+        let picks = rng.sample_distinct(edges.len(), n);
+        for pick in picks {
+            let (h, t) = edges[pick];
+            // Length-1 alternatives.
+            for &a in &atoms {
+                if a.rel == rel && !a.reversed {
+                    continue; // trivial identity
+                }
+                let reaches = graph.step(h, a).binary_search(&t).is_ok();
+                if reaches {
+                    *support.entry(Rule::unary(rel, a)).or_insert(0) += 1;
+                }
+            }
+            // Length-2 alternatives: h --a--> z --b--> t via sorted-list
+            // intersection of step(h, a) and step(t, b̄).
+            for &a in &atoms {
+                let zs = graph.step(h, a);
+                if zs.is_empty() || zs.len() > cfg.max_branch * 4 {
+                    continue;
+                }
+                for &b in &atoms {
+                    let back = Atom {
+                        rel: b.rel,
+                        reversed: !b.reversed,
+                    };
+                    let ws = graph.step(t, back);
+                    if ws.is_empty() {
+                        continue;
+                    }
+                    // Intersect two sorted lists.
+                    let (mut i, mut j) = (0usize, 0usize);
+                    let mut hit = false;
+                    while i < zs.len() && j < ws.len() {
+                        match zs[i].cmp(&ws[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                // Exclude the degenerate midpoint z == h == t path.
+                                hit = true;
+                                break;
+                            }
+                        }
+                    }
+                    if hit {
+                        *support.entry(Rule::binary(rel, a, b)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    support
+}
+
+/// Estimate a rule's confidence by sampling anchor entities, walking the
+/// body, and checking how many produced pairs are true head-relation
+/// edges.
+fn estimate_confidence(
+    graph: &Graph,
+    rule: &Rule,
+    cfg: &LearnConfig,
+    rng: &mut Rng,
+) -> (usize, usize) {
+    let first = rule.body[0];
+    let anchors: Vec<u32> = graph.sources(first).collect();
+    if anchors.is_empty() {
+        return (0, 0);
+    }
+    let n = cfg.confidence_anchors.min(anchors.len());
+    let picks = rng.sample_distinct(anchors.len(), n);
+    let mut body = 0usize;
+    let mut correct = 0usize;
+    for pick in picks {
+        let x = anchors[pick];
+        match rule.body.as_slice() {
+            [a] => {
+                for &y in graph.step(x, *a).iter().take(cfg.max_branch) {
+                    body += 1;
+                    if graph.has_edge(x, rule.head_rel, y) {
+                        correct += 1;
+                    }
+                }
+            }
+            [a, b] => {
+                let mut seen_y: Vec<u32> = Vec::new();
+                for &z in graph.step(x, *a).iter().take(cfg.max_branch) {
+                    for &y in graph.step(z, *b).iter().take(cfg.max_branch) {
+                        if seen_y.contains(&y) {
+                            continue;
+                        }
+                        seen_y.push(y);
+                        body += 1;
+                        if graph.has_edge(x, rule.head_rel, y) {
+                            correct += 1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Scale the sampled counts back to the full anchor population.
+    let scale = anchors.len() as f64 / n as f64;
+    (
+        (correct as f64 * scale) as usize,
+        (body as f64 * scale) as usize,
+    )
+}
+
+/// Mine, score and filter rules from a training graph.
+pub fn learn_rules(graph: &Graph, cfg: &LearnConfig) -> Vec<ScoredRule> {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let proposals = propose(graph, cfg, &mut rng);
+    let mut scored: Vec<ScoredRule> = Vec::new();
+    // Deterministic iteration: sort proposals.
+    let mut candidates: Vec<(Rule, usize)> = proposals.into_iter().collect();
+    candidates.sort();
+    for (rule, sampled_support) in candidates {
+        if sampled_support < cfg.min_support || rule.is_trivial() {
+            continue;
+        }
+        let (correct, body) = estimate_confidence(graph, &rule, cfg, &mut rng);
+        let confidence = correct as f64 / (body as f64 + cfg.pseudo_count);
+        if confidence >= cfg.min_confidence {
+            scored.push(ScoredRule {
+                rule,
+                support: correct,
+                body_count: body,
+                confidence,
+            });
+        }
+    }
+    // Keep the best per head relation.
+    scored.sort_by(|a, b| {
+        (a.rule.head_rel, std::cmp::Reverse(ordered(b.confidence)))
+            .cmp(&(b.rule.head_rel, std::cmp::Reverse(ordered(a.confidence))))
+    });
+    let mut kept: Vec<ScoredRule> = Vec::new();
+    let mut count_for: HashMap<u32, usize> = HashMap::new();
+    // Re-sort: per relation by confidence descending.
+    scored.sort_by(|a, b| {
+        a.rule
+            .head_rel
+            .cmp(&b.rule.head_rel)
+            .then(b.confidence.partial_cmp(&a.confidence).expect("finite"))
+    });
+    for s in scored {
+        let c = count_for.entry(s.rule.head_rel).or_insert(0);
+        if *c < cfg.max_rules_per_relation {
+            *c += 1;
+            kept.push(s);
+        }
+    }
+    kept
+}
+
+/// Total-order wrapper for f64 confidences (finite by construction).
+fn ordered(x: f64) -> u64 {
+    // Monotone map of non-negative finite f64 to u64.
+    x.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_data::Triple;
+
+    /// Build a graph where r1 is exactly the inverse of r0, plus noise
+    /// relation r2.
+    fn inverse_world() -> Graph {
+        let mut triples = Vec::new();
+        for i in 0..30u32 {
+            triples.push(Triple::new(i, 0, (i + 1) % 30));
+            triples.push(Triple::new((i + 1) % 30, 1, i));
+        }
+        triples.push(Triple::new(0, 2, 5));
+        Graph::build(&triples, 3)
+    }
+
+    #[test]
+    fn learns_inversion_rule_with_high_confidence() {
+        let graph = inverse_world();
+        let rules = learn_rules(&graph, &LearnConfig::default());
+        let inv = rules
+            .iter()
+            .find(|s| s.rule == Rule::unary(1, Atom::bwd(0)))
+            .expect("should learn r1(X,Y) <- r0(Y,X)");
+        assert!(
+            inv.confidence > 0.7,
+            "inversion confidence {}",
+            inv.confidence
+        );
+        // And the symmetric counterpart for r0.
+        assert!(rules.iter().any(|s| s.rule == Rule::unary(0, Atom::bwd(1))));
+    }
+
+    #[test]
+    fn learns_symmetry_rule() {
+        // r0 is symmetric.
+        let mut triples = Vec::new();
+        for i in 0..20u32 {
+            triples.push(Triple::new(i, 0, (i + 7) % 20));
+            triples.push(Triple::new((i + 7) % 20, 0, i));
+        }
+        let graph = Graph::build(&triples, 1);
+        let rules = learn_rules(&graph, &LearnConfig::default());
+        let sym = rules
+            .iter()
+            .find(|s| s.rule == Rule::unary(0, Atom::bwd(0)))
+            .expect("should learn the symmetry rule");
+        assert!(sym.confidence > 0.7, "{}", sym.confidence);
+    }
+
+    #[test]
+    fn learns_composition_rule() {
+        // r2 = r0 ∘ r1 on a chain: r0(i, i+1), r1(i+1, i+2), r2(i, i+2).
+        let mut triples = Vec::new();
+        for i in 0..40u32 {
+            triples.push(Triple::new(i, 0, i + 1));
+            triples.push(Triple::new(i + 1, 1, i + 2));
+            triples.push(Triple::new(i, 2, i + 2));
+        }
+        let graph = Graph::build(&triples, 3);
+        let rules = learn_rules(&graph, &LearnConfig::default());
+        let comp = rules
+            .iter()
+            .find(|s| s.rule == Rule::binary(2, Atom::fwd(0), Atom::fwd(1)))
+            .expect("should learn the composition rule");
+        assert!(comp.confidence > 0.5, "{}", comp.confidence);
+    }
+
+    #[test]
+    fn no_rules_from_random_noise() {
+        // Random sparse edges: any surviving rule must clear the
+        // confidence threshold honestly, so there should be few.
+        let mut rng = Rng::seed_from_u64(9);
+        let triples: Vec<Triple> = (0..60)
+            .map(|_| {
+                Triple::new(
+                    rng.next_below(200) as u32,
+                    rng.next_below(4) as u32,
+                    rng.next_below(200) as u32,
+                )
+            })
+            .collect();
+        let graph = Graph::build(&triples, 4);
+        let rules = learn_rules(&graph, &LearnConfig::default());
+        assert!(rules.len() <= 4, "noise produced {} rules", rules.len());
+    }
+
+    #[test]
+    fn trivial_identity_rule_is_never_kept() {
+        let graph = inverse_world();
+        let rules = learn_rules(&graph, &LearnConfig::default());
+        assert!(rules.iter().all(|s| !s.rule.is_trivial()));
+    }
+
+    #[test]
+    fn respects_per_relation_cap() {
+        let graph = inverse_world();
+        let cfg = LearnConfig {
+            max_rules_per_relation: 1,
+            ..LearnConfig::default()
+        };
+        let rules = learn_rules(&graph, &cfg);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for s in &rules {
+            *counts.entry(s.rule.head_rel).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|&c| c <= 1));
+    }
+}

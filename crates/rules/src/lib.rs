@@ -1,0 +1,36 @@
+//! # eras-rules
+//!
+//! An AnyBURL-style bottom-up rule learner (Meilicke et al., IJCAI 2019)
+//! — the rule-based comparator of the paper's Table VI.
+//!
+//! AnyBURL learns horn rules by sampling paths from the knowledge graph
+//! and generalising them, then answers link-prediction queries by firing
+//! the learned rules and ranking candidates by rule confidence. It is the
+//! paper's representative for the non-embedding family: very strong on
+//! datasets with crisp relational regularities (WN18's inverse pairs),
+//! weaker where evidence is statistical.
+//!
+//! This implementation covers the binary path rules that carry almost all
+//! of AnyBURL's benchmark performance:
+//!
+//! ```text
+//! r(X, Y) ← r₁(X, Y)                      (equivalence / hierarchy)
+//! r(X, Y) ← r₁(Y, X)                      (inversion; r₁ = r is symmetry)
+//! r(X, Y) ← r₁(X, Z) ∧ r₂(Z, Y)           (composition, all 4 direction
+//!                                          combinations of the body atoms)
+//! ```
+//!
+//! Rules are mined from sampled training triples ([`learn`]), scored with
+//! the standard *confidence* = support / body-groundings estimate, and
+//! applied with max-confidence aggregation ([`predict`]). The predictor
+//! implements `eras_train::eval::ScoreModel`, so the same filtered-MRR
+//! evaluator that scores the embedding models scores the rule model.
+
+pub mod graph;
+pub mod learn;
+pub mod predict;
+pub mod rule;
+
+pub use learn::{learn_rules, LearnConfig};
+pub use predict::RuleModel;
+pub use rule::{Atom, Rule};

@@ -1,0 +1,146 @@
+//! Rule representation.
+
+use std::fmt;
+
+/// One body atom: a relation traversed forward (`r(X, Y)`) or backward
+/// (`r(Y, X)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Relation id.
+    pub rel: u32,
+    /// True when the atom is traversed tail→head.
+    pub reversed: bool,
+}
+
+impl Atom {
+    /// Forward atom `rel(X, Y)`.
+    pub fn fwd(rel: u32) -> Atom {
+        Atom {
+            rel,
+            reversed: false,
+        }
+    }
+
+    /// Backward atom `rel(Y, X)`.
+    pub fn bwd(rel: u32) -> Atom {
+        Atom {
+            rel,
+            reversed: true,
+        }
+    }
+}
+
+/// A horn rule `head_rel(X, Y) ← body`, with the body a chain of one or
+/// two atoms connecting `X` to `Y`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rule {
+    /// Relation predicted by the rule.
+    pub head_rel: u32,
+    /// Body chain (length 1 or 2).
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Length-1 rule `head(X,Y) ← a(X,Y)`.
+    pub fn unary(head_rel: u32, a: Atom) -> Rule {
+        Rule {
+            head_rel,
+            body: vec![a],
+        }
+    }
+
+    /// Length-2 rule `head(X,Y) ← a(X,Z) ∧ b(Z,Y)`.
+    pub fn binary(head_rel: u32, a: Atom, b: Atom) -> Rule {
+        Rule {
+            head_rel,
+            body: vec![a, b],
+        }
+    }
+
+    /// Is this the trivial identity rule `r(X,Y) ← r(X,Y)`?
+    pub fn is_trivial(&self) -> bool {
+        self.body.len() == 1 && self.body[0].rel == self.head_rel && !self.body[0].reversed
+    }
+
+    /// Body length (1 or 2).
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Rules always have a non-empty body.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A rule with its mined statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredRule {
+    /// The rule.
+    pub rule: Rule,
+    /// Training triples the rule correctly predicts.
+    pub support: usize,
+    /// Estimated number of body groundings.
+    pub body_count: usize,
+    /// Laplace-smoothed confidence `support / (body_count + pc)`.
+    pub confidence: f64,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let var = |a: &Atom, from: char, to: char| {
+            if a.reversed {
+                format!("r{}({to},{from})", a.rel)
+            } else {
+                format!("r{}({from},{to})", a.rel)
+            }
+        };
+        match self.body.as_slice() {
+            [a] => write!(f, "r{}(X,Y) <- {}", self.head_rel, var(a, 'X', 'Y')),
+            [a, b] => write!(
+                f,
+                "r{}(X,Y) <- {} ^ {}",
+                self.head_rel,
+                var(a, 'X', 'Z'),
+                var(b, 'Z', 'Y')
+            ),
+            _ => write!(f, "r{}(X,Y) <- ?", self.head_rel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_rule_detection() {
+        assert!(Rule::unary(3, Atom::fwd(3)).is_trivial());
+        assert!(!Rule::unary(3, Atom::bwd(3)).is_trivial());
+        assert!(!Rule::unary(3, Atom::fwd(2)).is_trivial());
+        assert!(!Rule::binary(3, Atom::fwd(3), Atom::fwd(3)).is_trivial());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Rule::unary(0, Atom::bwd(1)).to_string(),
+            "r0(X,Y) <- r1(Y,X)"
+        );
+        assert_eq!(
+            Rule::binary(2, Atom::fwd(0), Atom::bwd(1)).to_string(),
+            "r2(X,Y) <- r0(X,Z) ^ r1(Y,Z)"
+        );
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut rules = [
+            Rule::binary(1, Atom::fwd(0), Atom::fwd(1)),
+            Rule::unary(0, Atom::fwd(1)),
+            Rule::unary(0, Atom::fwd(0)),
+        ];
+        rules.sort();
+        assert_eq!(rules[0], Rule::unary(0, Atom::fwd(0)));
+    }
+}

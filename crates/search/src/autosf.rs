@@ -1,0 +1,241 @@
+//! AutoSF: progressive greedy search of task-aware scoring functions
+//! (Algorithm 1 of the paper).
+//!
+//! Per budget step `b = 4 … B`:
+//!
+//! 1. keep `N` parent structures with `b − 1` non-zero items;
+//! 2. expand each parent by one multiplicative item in every possible way,
+//!    pruning degenerate structures and canonical duplicates;
+//! 3. rank the children with the [`crate::predictor`];
+//! 4. train the top-`K` stand-alone, record their true validation MRR and
+//!    refit the predictor.
+//!
+//! The expensive part — hundreds of stand-alone trainings — is exactly the
+//! cost ERAS's one-shot supernet eliminates (Table IX).
+
+use crate::evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
+use crate::predictor::Predictor;
+use eras_data::{Dataset, FilterIndex};
+use eras_linalg::Rng;
+use eras_sf::canonical::canonicalize;
+use eras_sf::{BlockSf, Op};
+use eras_train::trainer::TrainConfig;
+use std::collections::HashSet;
+
+/// AutoSF hyperparameters.
+#[derive(Debug, Clone)]
+pub struct AutoSfConfig {
+    /// Number of blocks `M`.
+    pub m: usize,
+    /// Final budget `B` of non-zero items.
+    pub max_budget: usize,
+    /// Parents kept per greedy step (`N` in Algorithm 1).
+    pub parents: usize,
+    /// Children expanded per step before predictor ranking (`N₁`).
+    pub expansions: usize,
+    /// Children actually trained per step (top-`K`).
+    pub train_top_k: usize,
+    /// Search RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AutoSfConfig {
+    fn default() -> Self {
+        AutoSfConfig {
+            m: 4,
+            max_budget: 8,
+            parents: 4,
+            expansions: 64,
+            train_top_k: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Seed structures with `M` non-zero items: generalized diagonals
+/// `f = Σ_i ⟨h_i, ±r_{σ(i)}, t_{π(i)}⟩` sampled at random (DistMult's grid
+/// is always included).
+fn seed_structures(m: usize, count: usize, rng: &mut Rng) -> Vec<BlockSf> {
+    let mut seeds = vec![eras_sf::zoo::distmult(m)];
+    let mut seen: HashSet<BlockSf> = seeds.iter().map(canonicalize).collect();
+    let mut attempts = 0;
+    while seeds.len() < count && attempts < count * 50 {
+        attempts += 1;
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut rels: Vec<usize> = (0..m).collect();
+        rng.shuffle(&mut cols);
+        rng.shuffle(&mut rels);
+        let mut sf = BlockSf::zeros(m);
+        for i in 0..m {
+            let op = if rng.bernoulli(0.5) {
+                Op::pos(rels[i] as u8)
+            } else {
+                Op::neg(rels[i] as u8)
+            };
+            sf.set(i, cols[i], op);
+        }
+        if seen.insert(canonicalize(&sf)) {
+            seeds.push(sf);
+        }
+    }
+    seeds
+}
+
+/// All single-item expansions of a parent (one zero cell set to one op),
+/// filtered for degeneracy.
+fn expand(parent: &BlockSf, rng: &mut Rng, limit: usize) -> Vec<BlockSf> {
+    let m = parent.m();
+    let mut children = Vec::new();
+    for i in 0..m {
+        for j in 0..m {
+            if !parent.get(i, j).is_zero() {
+                continue;
+            }
+            for k in 1..Op::alphabet_size(m) {
+                let mut child = parent.clone();
+                child.set(i, j, Op::from_index(k, m));
+                if !child.is_degenerate() {
+                    children.push(child);
+                }
+            }
+        }
+    }
+    rng.shuffle(&mut children);
+    children.truncate(limit);
+    children
+}
+
+/// Run AutoSF. Returns the best structure found within the budget.
+pub fn search(
+    dataset: &Dataset,
+    filter: &FilterIndex,
+    train_cfg: &TrainConfig,
+    cfg: &AutoSfConfig,
+    budget: SearchBudget,
+) -> SearchResult {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut evaluator =
+        StandaloneEvaluator::new("AutoSF", dataset, filter, train_cfg.clone(), budget);
+    let mut predictor = Predictor::new(1e-3);
+
+    // Budget step b = M: evaluate the seeds.
+    let seeds = seed_structures(cfg.m, cfg.parents.max(2), &mut rng);
+    let mut scored_parents: Vec<(BlockSf, f64)> = Vec::new();
+    for sf in seeds {
+        if let Some(mrr) = evaluator.evaluate(&sf) {
+            predictor.observe(&sf, mrr);
+            scored_parents.push((sf, mrr));
+        }
+    }
+    predictor.fit();
+
+    for _b in (cfg.m + 1)..=cfg.max_budget {
+        if evaluator.exhausted() || scored_parents.is_empty() {
+            break;
+        }
+        // Keep the N best parents.
+        scored_parents.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MRR"));
+        scored_parents.truncate(cfg.parents);
+
+        // Expand, dedupe canonically, rank by predictor.
+        let mut seen: HashSet<BlockSf> = HashSet::new();
+        let mut children: Vec<BlockSf> = Vec::new();
+        let per_parent = (cfg.expansions / scored_parents.len().max(1)).max(1);
+        for (parent, _) in &scored_parents {
+            for child in expand(parent, &mut rng, per_parent) {
+                if seen.insert(canonicalize(&child)) {
+                    children.push(child);
+                }
+            }
+        }
+        let mut ranked: Vec<(f64, BlockSf)> = children
+            .into_iter()
+            .map(|sf| (predictor.predict(&sf), sf))
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite prediction"));
+
+        // Train the top-K for real; they become candidate parents.
+        let mut next_parents = Vec::new();
+        for (_, sf) in ranked.into_iter().take(cfg.train_top_k) {
+            match evaluator.evaluate(&sf) {
+                Some(mrr) => {
+                    predictor.observe(&sf, mrr);
+                    next_parents.push((sf, mrr));
+                }
+                None => break,
+            }
+        }
+        predictor.fit();
+        if next_parents.is_empty() {
+            break;
+        }
+        scored_parents = next_parents;
+    }
+
+    evaluator.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_data::Preset;
+
+    fn fast_train_cfg() -> TrainConfig {
+        TrainConfig {
+            dim: 16,
+            max_epochs: 3,
+            eval_every: 3,
+            patience: 1,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn seeds_are_valid_generalized_diagonals() {
+        let mut rng = Rng::seed_from_u64(1);
+        let seeds = seed_structures(4, 6, &mut rng);
+        assert!(seeds.len() >= 2);
+        for sf in &seeds {
+            assert_eq!(sf.num_nonzero(), 4);
+            assert!(!sf.is_degenerate());
+            assert!(sf.uses_all_blocks());
+        }
+    }
+
+    #[test]
+    fn expansions_add_exactly_one_item() {
+        let mut rng = Rng::seed_from_u64(2);
+        let parent = eras_sf::zoo::distmult(4);
+        let children = expand(&parent, &mut rng, 1000);
+        assert!(!children.is_empty());
+        for child in &children {
+            assert_eq!(child.num_nonzero(), 5);
+            assert!(!child.is_degenerate());
+        }
+    }
+
+    #[test]
+    fn search_respects_budget_and_returns_best() {
+        let dataset = Preset::Tiny.build(2);
+        let filter = FilterIndex::build(&dataset);
+        let result = search(
+            &dataset,
+            &filter,
+            &fast_train_cfg(),
+            &AutoSfConfig {
+                expansions: 16,
+                train_top_k: 2,
+                ..AutoSfConfig::default()
+            },
+            SearchBudget {
+                max_evaluations: 8,
+                max_seconds: f64::INFINITY,
+            },
+        );
+        assert!(result.evaluations <= 8);
+        assert!(result.best_mrr > 0.0);
+        assert!(!result.trace.is_empty());
+        // The reported best matches the trace's final best.
+        assert_eq!(result.trace.final_best().unwrap(), result.best_mrr);
+    }
+}

@@ -1,0 +1,211 @@
+//! Stand-alone candidate evaluation with caching, budgets and tracing.
+//!
+//! Every searcher in this crate evaluates candidates "the AutoSF way":
+//! train the structure stand-alone to convergence and read off the
+//! validation MRR (Definition 1 of the paper). The evaluator
+//! canonicalises structures before caching so equivalent candidates
+//! (Section `eras_sf::canonical`) are never trained twice — the same
+//! deduplication AutoSF applies.
+
+use eras_data::{Dataset, FilterIndex};
+use eras_sf::canonical::canonicalize;
+use eras_sf::BlockSf;
+use eras_train::trainer::{train_standalone, TrainConfig};
+use eras_train::BlockModel;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::trace::SearchTrace;
+
+/// Limits on a search run.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchBudget {
+    /// Maximum stand-alone evaluations (cache hits do not count).
+    pub max_evaluations: usize,
+    /// Wall-clock cap in seconds.
+    pub max_seconds: f64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_evaluations: 50,
+            max_seconds: f64::INFINITY,
+        }
+    }
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best structure found.
+    pub best_sf: BlockSf,
+    /// Its stand-alone validation MRR.
+    pub best_mrr: f64,
+    /// Distinct structures trained.
+    pub evaluations: usize,
+    /// The progress trace.
+    pub trace: SearchTrace,
+}
+
+/// Trains candidates stand-alone and records the run.
+pub struct StandaloneEvaluator<'a> {
+    dataset: &'a Dataset,
+    filter: &'a FilterIndex,
+    cfg: TrainConfig,
+    budget: SearchBudget,
+    cache: HashMap<BlockSf, f64>,
+    started: Instant,
+    trace: SearchTrace,
+    evaluations: usize,
+    best: Option<(BlockSf, f64)>,
+}
+
+impl<'a> StandaloneEvaluator<'a> {
+    /// Create an evaluator for one search run.
+    pub fn new(
+        method: &str,
+        dataset: &'a Dataset,
+        filter: &'a FilterIndex,
+        cfg: TrainConfig,
+        budget: SearchBudget,
+    ) -> Self {
+        StandaloneEvaluator {
+            dataset,
+            filter,
+            cfg,
+            budget,
+            cache: HashMap::new(),
+            started: Instant::now(),
+            trace: SearchTrace::new(method, &dataset.name),
+            evaluations: 0,
+            best: None,
+        }
+    }
+
+    /// Has the evaluation or time budget been exhausted?
+    pub fn exhausted(&self) -> bool {
+        self.evaluations >= self.budget.max_evaluations
+            || self.started.elapsed().as_secs_f64() >= self.budget.max_seconds
+    }
+
+    /// Evaluate a candidate (stand-alone validation MRR). Returns the
+    /// cached value for structures equivalent to one already trained;
+    /// returns `None` when the budget is exhausted.
+    pub fn evaluate(&mut self, sf: &BlockSf) -> Option<f64> {
+        let canonical = canonicalize(sf);
+        if let Some(&mrr) = self.cache.get(&canonical) {
+            return Some(mrr);
+        }
+        if self.exhausted() {
+            return None;
+        }
+        let model = BlockModel::universal(sf.clone(), self.dataset.num_relations());
+        let outcome = train_standalone(&model, self.dataset, self.filter, &self.cfg);
+        let mrr = outcome.best_valid.mrr;
+        self.evaluations += 1;
+        self.cache.insert(canonical, mrr);
+        self.trace.record(self.started.elapsed().as_secs_f64(), mrr);
+        if self.best.as_ref().map(|(_, b)| mrr > *b).unwrap_or(true) {
+            self.best = Some((sf.clone(), mrr));
+        }
+        Some(mrr)
+    }
+
+    /// Distinct candidates trained so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Finish the run. Panics if no candidate was ever evaluated.
+    pub fn finish(self) -> SearchResult {
+        let (best_sf, best_mrr) = self.best.expect("no candidate evaluated");
+        SearchResult {
+            best_sf,
+            best_mrr,
+            evaluations: self.evaluations,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_data::Preset;
+    use eras_sf::canonical::transform;
+    use eras_sf::zoo;
+
+    fn fast_cfg() -> TrainConfig {
+        TrainConfig {
+            dim: 16,
+            max_epochs: 2,
+            eval_every: 1,
+            patience: 1,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn caches_equivalent_structures() {
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let mut ev = StandaloneEvaluator::new(
+            "test",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget::default(),
+        );
+        let sf = zoo::complex();
+        let mrr1 = ev.evaluate(&sf).unwrap();
+        assert_eq!(ev.evaluations(), 1);
+        // A permuted/sign-flipped variant hits the cache.
+        let perm: Vec<usize> = vec![2, 3, 0, 1];
+        let variant = transform(&sf, &perm, 0b0101);
+        let mrr2 = ev.evaluate(&variant).unwrap();
+        assert_eq!(ev.evaluations(), 1, "equivalent structure retrained");
+        assert_eq!(mrr1, mrr2);
+    }
+
+    #[test]
+    fn budget_stops_evaluations() {
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let mut ev = StandaloneEvaluator::new(
+            "test",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget {
+                max_evaluations: 1,
+                max_seconds: f64::INFINITY,
+            },
+        );
+        assert!(ev.evaluate(&zoo::distmult(4)).is_some());
+        assert!(ev.exhausted());
+        assert!(ev.evaluate(&zoo::simple()).is_none());
+        // But cached results remain accessible.
+        assert!(ev.evaluate(&zoo::distmult(4)).is_some());
+        let result = ev.finish();
+        assert_eq!(result.evaluations, 1);
+        assert_eq!(result.trace.len(), 1);
+    }
+
+    #[test]
+    fn best_tracks_maximum() {
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let mut ev = StandaloneEvaluator::new(
+            "test",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget::default(),
+        );
+        let a = ev.evaluate(&zoo::distmult(4)).unwrap();
+        let b = ev.evaluate(&zoo::complex()).unwrap();
+        let result = ev.finish();
+        assert_eq!(result.best_mrr, a.max(b));
+    }
+}

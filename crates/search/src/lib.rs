@@ -1,0 +1,28 @@
+//! # eras-search
+//!
+//! The stand-alone scoring-function searchers ERAS is compared against in
+//! Figure 2 and Table IX of the paper:
+//!
+//! - [`autosf`]: AutoSF's progressive greedy search (Algorithm 1) — expand
+//!   parents by one multiplicative item, prune degenerate/duplicate
+//!   structures, rank candidates with a learned [`predictor`], train the
+//!   top-K stand-alone, repeat;
+//! - [`random`]: random search (Li & Talwalkar), the hard-to-beat NAS
+//!   baseline;
+//! - [`tpe`]: a tree-structured-Parzen-estimator-style sampler standing in
+//!   for the paper's HyperOpt "Bayes" baseline (DESIGN.md §2);
+//! - [`evaluator`]: the shared stand-alone evaluation mechanism — train a
+//!   candidate to convergence, return its validation MRR — with
+//!   canonicalisation-aware caching and wall-clock [`trace`] recording, so
+//!   every searcher reports the same "best-so-far vs time" curves the
+//!   paper plots.
+
+pub mod autosf;
+pub mod evaluator;
+pub mod predictor;
+pub mod random;
+pub mod tpe;
+pub mod trace;
+
+pub use evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
+pub use trace::{SearchTrace, TracePoint};

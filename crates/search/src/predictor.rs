@@ -1,0 +1,197 @@
+//! The AutoSF performance predictor.
+//!
+//! Step 4 of Algorithm 1 ranks freshly expanded candidates with a learned
+//! predictor before spending training budget on them. AutoSF uses a
+//! two-layer perceptron over symmetry-related features; a ridge
+//! regression over the same features (`eras_sf::features`) reproduces the
+//! ranking behaviour at this problem size and keeps the implementation
+//! dependency-free.
+
+use eras_sf::features::{extract, SfFeatures};
+use eras_sf::BlockSf;
+
+/// Ridge regression `ŷ = wᵀφ(sf) + w₀` over structural features.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    /// Regularisation strength λ.
+    pub lambda: f64,
+    weights: Vec<f64>,
+    /// Training pairs seen so far (features, observed MRR).
+    history: Vec<(Vec<f64>, f64)>,
+}
+
+/// Solve the dense symmetric system `A x = b` by Gaussian elimination with
+/// partial pivoting. `A` is row-major `n × n`.
+fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i * n + col]
+                .abs()
+                .partial_cmp(&a[j * n + col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for r in (col + 1)..n {
+            let factor = a[r * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let sub = factor * a[col * n + k];
+                a[r * n + k] -= sub;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col * n + k] * x[k];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    Some(x)
+}
+
+impl Predictor {
+    /// Fresh predictor; predicts 0 until the first [`Predictor::fit`].
+    pub fn new(lambda: f64) -> Self {
+        Predictor {
+            lambda,
+            weights: vec![0.0; SfFeatures::DIM + 1],
+            history: Vec::new(),
+        }
+    }
+
+    /// Record an observed `(structure, stand-alone MRR)` pair.
+    pub fn observe(&mut self, sf: &BlockSf, mrr: f64) {
+        let mut phi = extract(sf).values;
+        phi.push(1.0); // bias
+        self.history.push((phi, mrr));
+    }
+
+    /// Refit the ridge weights on everything observed so far.
+    /// No-op (keeps the previous weights) with fewer than 3 observations.
+    pub fn fit(&mut self) {
+        let n = SfFeatures::DIM + 1;
+        if self.history.len() < 3 {
+            return;
+        }
+        // Normal equations: (ΦᵀΦ + λI) w = Φᵀ y.
+        let mut a = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n];
+        for (phi, y) in &self.history {
+            for i in 0..n {
+                b[i] += phi[i] * y;
+                for j in 0..n {
+                    a[i * n + j] += phi[i] * phi[j];
+                }
+            }
+        }
+        for i in 0..n {
+            a[i * n + i] += self.lambda;
+        }
+        if let Some(w) = solve(a, b, n) {
+            self.weights = w;
+        }
+    }
+
+    /// Predicted MRR for a structure.
+    pub fn predict(&self, sf: &BlockSf) -> f64 {
+        let phi = extract(sf).values;
+        let mut acc = self.weights[SfFeatures::DIM]; // bias
+        for (w, x) in self.weights.iter().zip(&phi) {
+            acc += w * x;
+        }
+        acc
+    }
+
+    /// Number of observations recorded.
+    pub fn num_observations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_linalg::Rng;
+    use eras_sf::zoo;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -2.0];
+        assert_eq!(solve(a, b, 2).unwrap(), vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solve_general_system() {
+        // 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve(a, b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = vec![1.0, 1.0, 1.0, 1.0];
+        let b = vec![1.0, 2.0];
+        assert!(solve(a, b, 2).is_none());
+    }
+
+    #[test]
+    fn predictor_learns_feature_correlated_target() {
+        // Target = nonzero fraction (feature 0): a learnable linear map.
+        let mut rng = Rng::seed_from_u64(5);
+        let mut p = Predictor::new(1e-4);
+        let mut eval_set = Vec::new();
+        for k in 0..60 {
+            let budget = 3 + k % 10;
+            let sf = BlockSf::random(4, budget, &mut rng);
+            let target = sf.num_nonzero() as f64 / 16.0;
+            if k < 50 {
+                p.observe(&sf, target);
+            } else {
+                eval_set.push((sf, target));
+            }
+        }
+        p.fit();
+        for (sf, target) in eval_set {
+            let pred = p.predict(&sf);
+            assert!(
+                (pred - target).abs() < 0.05,
+                "predicted {pred} for target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn predictor_without_fit_predicts_zero() {
+        let p = Predictor::new(0.1);
+        assert_eq!(p.predict(&zoo::distmult(4)), 0.0);
+    }
+
+    #[test]
+    fn fit_with_too_few_points_is_noop() {
+        let mut p = Predictor::new(0.1);
+        p.observe(&zoo::distmult(4), 0.5);
+        p.fit();
+        assert_eq!(p.predict(&zoo::complex()), 0.0);
+        assert_eq!(p.num_observations(), 1);
+    }
+}

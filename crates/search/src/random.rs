@@ -1,0 +1,86 @@
+//! Random search over the block space (Li & Talwalkar 2019) — the
+//! stand-alone baseline in Figure 2 of the paper.
+
+use crate::evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
+use eras_data::{Dataset, FilterIndex};
+use eras_linalg::Rng;
+use eras_sf::BlockSf;
+use eras_train::trainer::TrainConfig;
+
+/// Sample a random non-degenerate structure with budget in
+/// `[m, max_budget]` that uses every relation block.
+pub fn random_candidate(m: usize, max_budget: usize, rng: &mut Rng) -> BlockSf {
+    loop {
+        let budget = m + rng.next_below(max_budget.saturating_sub(m) + 1);
+        let sf = BlockSf::random(m, budget, rng);
+        if !sf.is_degenerate() && sf.uses_all_blocks() {
+            return sf;
+        }
+    }
+}
+
+/// Run random search until the budget is exhausted.
+pub fn search(
+    dataset: &Dataset,
+    filter: &FilterIndex,
+    train_cfg: &TrainConfig,
+    m: usize,
+    max_budget: usize,
+    seed: u64,
+    budget: SearchBudget,
+) -> SearchResult {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut evaluator =
+        StandaloneEvaluator::new("Random", dataset, filter, train_cfg.clone(), budget);
+    while !evaluator.exhausted() {
+        let sf = random_candidate(m, max_budget, &mut rng);
+        if evaluator.evaluate(&sf).is_none() {
+            break;
+        }
+    }
+    evaluator.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_data::Preset;
+
+    #[test]
+    fn random_candidates_are_well_formed() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let sf = random_candidate(4, 10, &mut rng);
+            assert!(!sf.is_degenerate());
+            assert!(sf.uses_all_blocks());
+            assert!(sf.num_nonzero() >= 4 && sf.num_nonzero() <= 10);
+        }
+    }
+
+    #[test]
+    fn search_exhausts_budget() {
+        let dataset = Preset::Tiny.build(3);
+        let filter = FilterIndex::build(&dataset);
+        let cfg = TrainConfig {
+            dim: 16,
+            max_epochs: 2,
+            eval_every: 2,
+            patience: 1,
+            ..TrainConfig::default()
+        };
+        let result = search(
+            &dataset,
+            &filter,
+            &cfg,
+            4,
+            8,
+            1,
+            SearchBudget {
+                max_evaluations: 5,
+                max_seconds: f64::INFINITY,
+            },
+        );
+        assert_eq!(result.evaluations, 5);
+        assert!(result.best_mrr > 0.0);
+    }
+}

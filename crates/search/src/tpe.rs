@@ -1,0 +1,175 @@
+//! TPE-style Bayesian search — the stand-in for the paper's HyperOpt
+//! "Bayes" baseline (Bergstra et al. 2013; substitution documented in
+//! DESIGN.md §2).
+//!
+//! The tree-structured Parzen estimator splits observed candidates into a
+//! *good* set (top γ quantile by MRR) and a *bad* set, fits a categorical
+//! distribution per grid cell to each, and proposes the pooled candidate
+//! maximising the likelihood ratio `l(x)/g(x)` — i.e. "looks like the good
+//! ones, unlike the bad ones".
+
+use crate::evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
+use crate::random::random_candidate;
+use eras_data::{Dataset, FilterIndex};
+use eras_linalg::Rng;
+use eras_sf::{BlockSf, Op};
+use eras_train::trainer::TrainConfig;
+
+/// TPE hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TpeConfig {
+    /// Number of blocks `M`.
+    pub m: usize,
+    /// Maximum non-zero items of proposed structures.
+    pub max_budget: usize,
+    /// Quantile of observations forming the "good" set.
+    pub gamma: f64,
+    /// Random candidates pooled per proposal round.
+    pub pool_size: usize,
+    /// Pure-exploration rounds before TPE kicks in.
+    pub warmup: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpeConfig {
+    fn default() -> Self {
+        TpeConfig {
+            m: 4,
+            max_budget: 8,
+            gamma: 0.3,
+            pool_size: 32,
+            warmup: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-cell categorical distributions with Laplace smoothing.
+struct CellModel {
+    /// `probs[cell][op_index]`.
+    probs: Vec<Vec<f64>>,
+}
+
+impl CellModel {
+    fn fit(samples: &[&BlockSf], m: usize) -> CellModel {
+        let cells = m * m;
+        let alphabet = Op::alphabet_size(m);
+        let mut probs = vec![vec![1.0f64; alphabet]; cells]; // Laplace prior
+        for sf in samples {
+            for (cell, &op) in sf.cells().iter().enumerate() {
+                probs[cell][op.to_index(m)] += 1.0;
+            }
+        }
+        for cell in &mut probs {
+            let total: f64 = cell.iter().sum();
+            for p in cell.iter_mut() {
+                *p /= total;
+            }
+        }
+        CellModel { probs }
+    }
+
+    fn log_likelihood(&self, sf: &BlockSf, m: usize) -> f64 {
+        sf.cells()
+            .iter()
+            .enumerate()
+            .map(|(cell, &op)| self.probs[cell][op.to_index(m)].ln())
+            .sum()
+    }
+}
+
+/// Run TPE search until the budget is exhausted.
+pub fn search(
+    dataset: &Dataset,
+    filter: &FilterIndex,
+    train_cfg: &TrainConfig,
+    cfg: &TpeConfig,
+    budget: SearchBudget,
+) -> SearchResult {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut evaluator =
+        StandaloneEvaluator::new("Bayes", dataset, filter, train_cfg.clone(), budget);
+    let mut observed: Vec<(BlockSf, f64)> = Vec::new();
+
+    while !evaluator.exhausted() {
+        let candidate = if observed.len() < cfg.warmup {
+            random_candidate(cfg.m, cfg.max_budget, &mut rng)
+        } else {
+            // Split observations into good/bad by the γ quantile.
+            let mut sorted: Vec<&(BlockSf, f64)> = observed.iter().collect();
+            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MRR"));
+            let n_good = ((sorted.len() as f64 * cfg.gamma).ceil() as usize)
+                .clamp(1, sorted.len().saturating_sub(1).max(1));
+            let good: Vec<&BlockSf> = sorted[..n_good].iter().map(|(sf, _)| sf).collect();
+            let bad: Vec<&BlockSf> = sorted[n_good..].iter().map(|(sf, _)| sf).collect();
+            let l_good = CellModel::fit(&good, cfg.m);
+            let l_bad = CellModel::fit(&bad, cfg.m);
+            // Propose the pooled candidate with the best likelihood ratio.
+            (0..cfg.pool_size)
+                .map(|_| random_candidate(cfg.m, cfg.max_budget, &mut rng))
+                .max_by(|a, b| {
+                    let ra = l_good.log_likelihood(a, cfg.m) - l_bad.log_likelihood(a, cfg.m);
+                    let rb = l_good.log_likelihood(b, cfg.m) - l_bad.log_likelihood(b, cfg.m);
+                    ra.partial_cmp(&rb).expect("finite ratio")
+                })
+                .expect("pool_size > 0")
+        };
+        match evaluator.evaluate(&candidate) {
+            Some(mrr) => observed.push((candidate, mrr)),
+            None => break,
+        }
+    }
+    evaluator.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_data::Preset;
+
+    #[test]
+    fn cell_model_prefers_frequent_ops() {
+        let a = eras_sf::zoo::distmult(4);
+        let samples = vec![&a, &a, &a];
+        let model = CellModel::fit(&samples, 4);
+        // Cell (0,0) holds +r1 in all samples: its probability must
+        // dominate the alternatives.
+        let p_pos = model.probs[0][Op::pos(0).to_index(4)];
+        let p_zero = model.probs[0][Op::Zero.to_index(4)];
+        assert!(p_pos > 3.0 * p_zero, "{p_pos} vs {p_zero}");
+        // Log-likelihood of the observed structure beats a different one.
+        let ll_obs = model.log_likelihood(&a, 4);
+        let ll_other = model.log_likelihood(&eras_sf::zoo::simple(), 4);
+        assert!(ll_obs > ll_other);
+    }
+
+    #[test]
+    fn search_runs_to_budget() {
+        let dataset = Preset::Tiny.build(4);
+        let filter = FilterIndex::build(&dataset);
+        let train_cfg = TrainConfig {
+            dim: 16,
+            max_epochs: 2,
+            eval_every: 2,
+            patience: 1,
+            ..TrainConfig::default()
+        };
+        let result = search(
+            &dataset,
+            &filter,
+            &train_cfg,
+            &TpeConfig {
+                warmup: 3,
+                pool_size: 8,
+                ..TpeConfig::default()
+            },
+            SearchBudget {
+                max_evaluations: 6,
+                max_seconds: f64::INFINITY,
+            },
+        );
+        assert!(result.evaluations <= 6 && result.evaluations >= 4);
+        assert!(result.best_mrr > 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Search-progress traces (the data behind Figure 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded candidate evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Wall-clock seconds since the search started.
+    pub elapsed_secs: f64,
+    /// Evaluations performed so far (including this one).
+    pub evaluations: usize,
+    /// Validation MRR of this candidate.
+    pub candidate_mrr: f64,
+    /// Best validation MRR seen so far.
+    pub best_mrr: f64,
+}
+
+/// Time-ordered evaluation log of one search run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Searcher name (plot legend).
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// The recorded points.
+    pub points: Vec<TracePoint>,
+}
+
+impl SearchTrace {
+    /// Empty trace for a method/dataset pair.
+    pub fn new(method: &str, dataset: &str) -> Self {
+        SearchTrace {
+            method: method.to_owned(),
+            dataset: dataset.to_owned(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append an evaluation, maintaining the running best.
+    pub fn record(&mut self, elapsed_secs: f64, candidate_mrr: f64) {
+        let best = self
+            .points
+            .last()
+            .map(|p| p.best_mrr)
+            .unwrap_or(f64::NEG_INFINITY)
+            .max(candidate_mrr);
+        self.points.push(TracePoint {
+            elapsed_secs,
+            evaluations: self.points.len() + 1,
+            candidate_mrr,
+            best_mrr: best,
+        });
+    }
+
+    /// Best MRR at or before a given time (for aligned plotting).
+    pub fn best_at(&self, secs: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|p| p.elapsed_secs <= secs)
+            .last()
+            .map(|p| p.best_mrr)
+    }
+
+    /// Final best MRR.
+    pub fn final_best(&self) -> Option<f64> {
+        self.points.last().map(|p| p.best_mrr)
+    }
+
+    /// Total evaluations recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_is_monotone() {
+        let mut t = SearchTrace::new("random", "tiny");
+        for (secs, mrr) in [(1.0, 0.2), (2.0, 0.5), (3.0, 0.3), (4.0, 0.6)] {
+            t.record(secs, mrr);
+        }
+        let bests: Vec<f64> = t.points.iter().map(|p| p.best_mrr).collect();
+        assert_eq!(bests, vec![0.2, 0.5, 0.5, 0.6]);
+        for w in bests.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn best_at_time_boundaries() {
+        let mut t = SearchTrace::new("m", "d");
+        t.record(1.0, 0.1);
+        t.record(5.0, 0.4);
+        assert_eq!(t.best_at(0.5), None);
+        assert_eq!(t.best_at(1.0), Some(0.1));
+        assert_eq!(t.best_at(3.0), Some(0.1));
+        assert_eq!(t.best_at(10.0), Some(0.4));
+        assert_eq!(t.final_best(), Some(0.4));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut t = SearchTrace::new("autosf", "wn18-synth");
+        t.record(0.5, 0.33);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SearchTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.method, "autosf");
+        assert_eq!(back.points, t.points);
+    }
+
+    #[test]
+    fn evaluation_counter_increments() {
+        let mut t = SearchTrace::new("m", "d");
+        t.record(1.0, 0.0);
+        t.record(2.0, 0.0);
+        assert_eq!(t.points[0].evaluations, 1);
+        assert_eq!(t.points[1].evaluations, 2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

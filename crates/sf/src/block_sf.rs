@@ -1,0 +1,263 @@
+//! The block scoring-function structure.
+
+use crate::op::Op;
+use eras_linalg::rng::Rng;
+
+/// An `M × M` grid of operations defining one scoring function in the
+/// AutoSF/ERAS search space (Eq. 1 of the paper).
+///
+/// Cell `(i, j)` holds the op of the multiplicative item `⟨h_i, o, t_j⟩`.
+/// Row index = head block, column index = tail block.
+///
+/// ```
+/// use eras_sf::{BlockSf, Op};
+///
+/// // DistMult's grid: +r_i on the diagonal.
+/// let mut sf = BlockSf::zeros(4);
+/// for i in 0..4 {
+///     sf.set(i, i, Op::pos(i as u8));
+/// }
+/// assert_eq!(sf.num_nonzero(), 4);
+/// assert!(sf.is_structurally_symmetric());
+/// assert_eq!(sf, eras_sf::zoo::distmult(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockSf {
+    m: u8,
+    grid: Vec<Op>,
+}
+
+impl BlockSf {
+    /// All-zero structure (the empty scoring function).
+    pub fn zeros(m: usize) -> Self {
+        assert!((1..=8).contains(&m), "block count M must be in 1..=8");
+        BlockSf {
+            m: m as u8,
+            grid: vec![Op::Zero; m * m],
+        }
+    }
+
+    /// Build from a row-major op grid. Panics unless `grid.len() == m²` and
+    /// every referenced block is `< m`.
+    pub fn from_grid(m: usize, grid: Vec<Op>) -> Self {
+        assert_eq!(grid.len(), m * m, "grid must have M² cells");
+        for op in &grid {
+            if let Some(b) = op.block() {
+                assert!((b as usize) < m, "op references block {b} but M={m}");
+            }
+        }
+        BlockSf { m: m as u8, grid }
+    }
+
+    /// Number of blocks `M`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m as usize
+    }
+
+    /// Op at cell `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Op {
+        debug_assert!(i < self.m() && j < self.m());
+        self.grid[i * self.m() + j]
+    }
+
+    /// Assign cell `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, op: Op) {
+        debug_assert!(i < self.m() && j < self.m());
+        if let Some(b) = op.block() {
+            assert!((b as usize) < self.m(), "op block out of range");
+        }
+        let m = self.m();
+        self.grid[i * m + j] = op;
+    }
+
+    /// Row-major cells.
+    #[inline]
+    pub fn cells(&self) -> &[Op] {
+        &self.grid
+    }
+
+    /// Iterate non-zero cells as `(i, j, op)`.
+    pub fn nonzero_cells(&self) -> impl Iterator<Item = (usize, usize, Op)> + '_ {
+        let m = self.m();
+        self.grid
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| !op.is_zero())
+            .map(move |(k, &op)| (k / m, k % m, op))
+    }
+
+    /// Number of non-zero multiplicative items (the AutoSF budget `b`).
+    pub fn num_nonzero(&self) -> usize {
+        self.grid.iter().filter(|op| !op.is_zero()).count()
+    }
+
+    /// Bitmask of relation blocks referenced by at least one cell.
+    pub fn blocks_used(&self) -> u32 {
+        let mut mask = 0u32;
+        for op in &self.grid {
+            if let Some(b) = op.block() {
+                mask |= 1 << b;
+            }
+        }
+        mask
+    }
+
+    /// Does every relation block `r_1..r_M` appear at least once? This is
+    /// ERAS's *exploitative constraint* applied to a single function; the
+    /// supernet applies it to the union over the group's functions.
+    pub fn uses_all_blocks(&self) -> bool {
+        self.blocks_used() == (1u32 << self.m()) - 1
+    }
+
+    /// The structure scoring reversed triples: `f'(h,r,t) = f(t,r,h)`,
+    /// i.e. the grid transposed. Used for head-side ranking queries.
+    pub fn transposed(&self) -> BlockSf {
+        let m = self.m();
+        let mut out = BlockSf::zeros(m);
+        for i in 0..m {
+            for j in 0..m {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Is the structure *identically* symmetric (`f(h,r,t) = f(t,r,h)` for
+    /// every embedding)? True iff the grid equals its transpose.
+    pub fn is_structurally_symmetric(&self) -> bool {
+        *self == self.transposed()
+    }
+
+    /// Degeneracy filter used by the searchers: a structure is degenerate
+    /// when some head block `h_i` or tail block `t_j` never appears (an
+    /// all-zero row or column) — such functions waste embedding capacity
+    /// and AutoSF prunes them.
+    pub fn is_degenerate(&self) -> bool {
+        let m = self.m();
+        for i in 0..m {
+            if (0..m).all(|j| self.get(i, j).is_zero()) {
+                return true;
+            }
+        }
+        for j in 0..m {
+            if (0..m).all(|i| self.get(i, j).is_zero()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Uniformly random structure with exactly `budget` non-zero cells.
+    pub fn random(m: usize, budget: usize, rng: &mut Rng) -> BlockSf {
+        assert!(budget <= m * m, "budget exceeds grid size");
+        let mut sf = BlockSf::zeros(m);
+        let cells = rng.sample_distinct(m * m, budget);
+        for cell in cells {
+            let block = rng.next_below(m) as u8;
+            let op = if rng.bernoulli(0.5) {
+                Op::pos(block)
+            } else {
+                Op::neg(block)
+            };
+            sf.grid[cell] = op;
+        }
+        sf
+    }
+
+    /// Encode as a flat vector of op indices (length `M²`), the controller's
+    /// token sequence for this function.
+    pub fn to_indices(&self) -> Vec<usize> {
+        let m = self.m();
+        self.grid.iter().map(|op| op.to_index(m)).collect()
+    }
+
+    /// Decode from a flat vector of op indices.
+    pub fn from_indices(m: usize, indices: &[usize]) -> BlockSf {
+        assert_eq!(indices.len(), m * m);
+        BlockSf::from_grid(m, indices.iter().map(|&k| Op::from_index(k, m)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distmult_like_structure() {
+        // Diagonal +r_i: DistMult.
+        let mut sf = BlockSf::zeros(4);
+        for i in 0..4 {
+            sf.set(i, i, Op::pos(i as u8));
+        }
+        assert_eq!(sf.num_nonzero(), 4);
+        assert!(sf.uses_all_blocks());
+        assert!(sf.is_structurally_symmetric());
+        assert!(!sf.is_degenerate());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..20 {
+            let sf = BlockSf::random(4, 6, &mut rng);
+            assert_eq!(sf.transposed().transposed(), sf);
+        }
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let mut sf = BlockSf::zeros(3);
+        sf.set(0, 0, Op::pos(0));
+        sf.set(1, 1, Op::pos(1));
+        // Row/col 2 empty.
+        assert!(sf.is_degenerate());
+        sf.set(2, 2, Op::pos(2));
+        assert!(!sf.is_degenerate());
+    }
+
+    #[test]
+    fn empty_grid_is_degenerate_zero() {
+        let sf = BlockSf::zeros(2);
+        assert_eq!(sf.num_nonzero(), 0);
+        assert!(sf.is_degenerate());
+        assert_eq!(sf.blocks_used(), 0);
+        assert!(!sf.uses_all_blocks());
+    }
+
+    #[test]
+    fn indices_roundtrip() {
+        let mut rng = Rng::seed_from_u64(2);
+        for m in [3usize, 4, 5] {
+            let sf = BlockSf::random(m, m, &mut rng);
+            let idx = sf.to_indices();
+            assert_eq!(BlockSf::from_indices(m, &idx), sf);
+        }
+    }
+
+    #[test]
+    fn random_respects_budget() {
+        let mut rng = Rng::seed_from_u64(3);
+        for budget in 0..=16 {
+            let sf = BlockSf::random(4, budget, &mut rng);
+            assert_eq!(sf.num_nonzero(), budget);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_grid_rejects_out_of_range_blocks() {
+        let _ = BlockSf::from_grid(2, vec![Op::pos(3), Op::Zero, Op::Zero, Op::Zero]);
+    }
+
+    #[test]
+    fn nonzero_cells_enumeration() {
+        let mut sf = BlockSf::zeros(3);
+        sf.set(0, 2, Op::neg(1));
+        sf.set(2, 1, Op::pos(0));
+        let cells: Vec<_> = sf.nonzero_cells().collect();
+        assert_eq!(cells, vec![(0, 2, Op::neg(1)), (2, 1, Op::pos(0))]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Canonicalisation under the search space's symmetry group.
+//!
+//! Two block structures define the same *family* of scoring functions when
+//! one can be turned into the other by relabelling things the training
+//! procedure is free to absorb into the embeddings:
+//!
+//! 1. **Simultaneous block permutation** `π ∈ S_M`: renaming the M
+//!    embedding segments of `h`, `r` and `t` together (`h_i → h_{π(i)}`,
+//!    etc.) permutes rows, columns and relation-block labels of the grid.
+//! 2. **Per-block relation sign flips** `σ ∈ {±1}^M`: replacing `r_b` by
+//!    `−r_b` flips the sign of every cell that uses block `b`.
+//!
+//! AutoSF uses exactly these invariances to prune duplicate candidates;
+//! the canonical form here is the lexicographically smallest op-index
+//! encoding over the whole group (`M! · 2^M` elements — 384 for M = 4).
+
+use crate::block_sf::BlockSf;
+use crate::op::Op;
+
+/// Generate all permutations of `0..m` (Heap's algorithm).
+fn permutations(m: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut items: Vec<usize> = (0..m).collect();
+    fn heap(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    heap(m, &mut items, &mut result);
+    result
+}
+
+/// Apply a block permutation `π` (rows, columns and relation labels
+/// simultaneously) and a sign-flip vector to a structure.
+pub fn transform(sf: &BlockSf, perm: &[usize], flips: u32) -> BlockSf {
+    let m = sf.m();
+    debug_assert_eq!(perm.len(), m);
+    let mut out = BlockSf::zeros(m);
+    for i in 0..m {
+        for j in 0..m {
+            let op = sf.get(i, j);
+            let new_op = match op {
+                Op::Zero => Op::Zero,
+                Op::Rel { block, negated } => {
+                    let new_block = perm[block as usize] as u8;
+                    let flip = (flips >> new_block) & 1 == 1;
+                    Op::Rel {
+                        block: new_block,
+                        negated: negated ^ flip,
+                    }
+                }
+            };
+            out.set(perm[i], perm[j], new_op);
+        }
+    }
+    out
+}
+
+/// Canonical representative of the structure's equivalence class: the
+/// transform with the lexicographically smallest op-index encoding.
+pub fn canonicalize(sf: &BlockSf) -> BlockSf {
+    let m = sf.m();
+    let mut best: Option<(Vec<usize>, BlockSf)> = None;
+    for perm in permutations(m) {
+        for flips in 0..(1u32 << m) {
+            let candidate = transform(sf, &perm, flips);
+            let key = candidate.to_indices();
+            match &best {
+                Some((best_key, _)) if *best_key <= key => {}
+                _ => best = Some((key, candidate)),
+            }
+        }
+    }
+    best.expect("group is non-empty").1
+}
+
+/// Are two structures equivalent under the symmetry group?
+pub fn equivalent(a: &BlockSf, b: &BlockSf) -> bool {
+    if a.m() != b.m() || a.num_nonzero() != b.num_nonzero() {
+        return false;
+    }
+    canonicalize(a) == canonicalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use eras_linalg::rng::Rng;
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        // All distinct.
+        let mut p = permutations(4);
+        p.sort();
+        p.dedup();
+        assert_eq!(p.len(), 24);
+    }
+
+    #[test]
+    fn identity_transform_is_identity() {
+        let sf = zoo::complex();
+        let id: Vec<usize> = (0..4).collect();
+        assert_eq!(transform(&sf, &id, 0), sf);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..30 {
+            let sf = BlockSf::random(4, 5, &mut rng);
+            let c = canonicalize(&sf);
+            assert_eq!(canonicalize(&c), c);
+        }
+    }
+
+    #[test]
+    fn transformed_structures_are_equivalent() {
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..20 {
+            let sf = BlockSf::random(4, 6, &mut rng);
+            let perm = {
+                let mut p: Vec<usize> = (0..4).collect();
+                rng.shuffle(&mut p);
+                p
+            };
+            let flips = (rng.next_u64() & 0xF) as u32;
+            let transformed = transform(&sf, &perm, flips);
+            assert!(equivalent(&sf, &transformed));
+            assert_eq!(canonicalize(&sf), canonicalize(&transformed));
+        }
+    }
+
+    #[test]
+    fn inequivalent_structures_detected() {
+        // DistMult (4 cells, symmetric) vs SimplE (4 cells, asymmetric).
+        assert!(!equivalent(&zoo::distmult(4), &zoo::simple()));
+        // Different budgets shortcut.
+        assert!(!equivalent(&zoo::distmult(4), &zoo::complex()));
+    }
+
+    #[test]
+    fn invariants_preserved_by_transform() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..20 {
+            let sf = BlockSf::random(4, 7, &mut rng);
+            let mut perm: Vec<usize> = (0..4).collect();
+            rng.shuffle(&mut perm);
+            let t = transform(&sf, &perm, 0b1010);
+            assert_eq!(t.num_nonzero(), sf.num_nonzero());
+            assert_eq!(t.uses_all_blocks(), sf.uses_all_blocks());
+            assert_eq!(t.is_degenerate(), sf.is_degenerate());
+            assert_eq!(
+                t.is_structurally_symmetric(),
+                sf.is_structurally_symmetric(),
+            );
+        }
+    }
+
+    #[test]
+    fn sign_flip_only_changes_signs() {
+        let sf = zoo::distmult(4);
+        let id: Vec<usize> = (0..4).collect();
+        let flipped = transform(&sf, &id, 0b1111);
+        for i in 0..4 {
+            assert_eq!(flipped.get(i, i), Op::neg(i as u8));
+        }
+        // And it is equivalent to the original.
+        assert!(equivalent(&sf, &flipped));
+    }
+}

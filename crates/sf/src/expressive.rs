@@ -1,0 +1,364 @@
+//! Exact expressiveness analysis of block structures.
+//!
+//! Table I of the paper classifies scoring functions by whether they can
+//! handle the common relation patterns: symmetry, anti-symmetry,
+//! inversion, general asymmetry. For a block structure the question is
+//! purely algebraic. Writing `G(r)` for the block relation matrix
+//! (`G_{ij} = s_{ij} · diag(r_{b_{ij}})`), a structure can model
+//!
+//! - **symmetry**   iff ∃ r ≠ 0-scoring: `G(r)ᵀ = G(r)`,
+//! - **anti-symmetry** iff ∃ r: `G(r)ᵀ = −G(r)`, `G(r) ≠ 0`,
+//! - **inversion**  iff ∃ r, r′: `G(r)ᵀ = G(r′)` with `G(r)` *not*
+//!   symmetric (otherwise inversion collapses to symmetry, which is why
+//!   DistMult does not count as covering inversion),
+//! - **general asymmetry** iff ∃ r with `G(r)` neither symmetric nor
+//!   anti-symmetric.
+//!
+//! Because every constraint couples whole blocks with a scalar sign, the
+//! analysis over `R^{d/M}`-blocks reduces exactly to the scalar case
+//! `r ∈ R^M`; each condition is then a linear subspace of `R^M` (or
+//! `R^{2M}`) and existence questions are answered by a nullspace
+//! computation plus linear functionals evaluated on its basis.
+
+use crate::block_sf::BlockSf;
+
+const TOL: f64 = 1e-9;
+
+/// Which relation patterns a structure can model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expressiveness {
+    /// Can model symmetric relations.
+    pub symmetric: bool,
+    /// Can model anti-symmetric relations.
+    pub anti_symmetric: bool,
+    /// Can model genuine (non-symmetric) inverse pairs.
+    pub inversion: bool,
+    /// Can model relations that are neither symmetric nor anti-symmetric.
+    pub general_asymmetry: bool,
+}
+
+impl Expressiveness {
+    /// Fully expressive: covers all four patterns (the paper's bar for a
+    /// "universal" scoring function).
+    pub fn is_universal(&self) -> bool {
+        self.symmetric && self.anti_symmetric && self.inversion && self.general_asymmetry
+    }
+}
+
+/// Reduced-row-echelon nullspace basis of the linear system `C x = 0`,
+/// `C` given as dense rows of width `n`.
+fn nullspace(mut rows: Vec<Vec<f64>>, n: usize) -> Vec<Vec<f64>> {
+    let mut pivot_cols: Vec<usize> = Vec::new();
+    let mut rank = 0usize;
+    for col in 0..n {
+        // Find pivot.
+        let pivot = (rank..rows.len()).find(|&r| rows[r][col].abs() > TOL);
+        let Some(p) = pivot else { continue };
+        rows.swap(rank, p);
+        let scale = rows[rank][col];
+        for v in rows[rank].iter_mut() {
+            *v /= scale;
+        }
+        for r in 0..rows.len() {
+            if r != rank && rows[r][col].abs() > TOL {
+                let factor = rows[r][col];
+                for c in 0..n {
+                    let sub = factor * rows[rank][c];
+                    rows[r][c] -= sub;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    // Free columns give basis vectors.
+    let mut basis = Vec::new();
+    for col in 0..n {
+        if pivot_cols.contains(&col) {
+            continue;
+        }
+        let mut v = vec![0.0; n];
+        v[col] = 1.0;
+        for (r, &pc) in pivot_cols.iter().enumerate() {
+            v[pc] = -rows[r][col];
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+/// Scalar-block matrix entry `(sign, block)` or `None` for zero.
+fn entry(sf: &BlockSf, i: usize, j: usize) -> Option<(f64, usize)> {
+    let op = sf.get(i, j);
+    op.block().map(|b| (f64::from(op.sign()), b as usize))
+}
+
+/// `G(r)` at scalar blocks: returns the M×M matrix for a concrete `r`.
+fn g_of(sf: &BlockSf, r: &[f64]) -> Vec<Vec<f64>> {
+    let m = sf.m();
+    let mut g = vec![vec![0.0; m]; m];
+    for i in 0..m {
+        for j in 0..m {
+            if let Some((s, b)) = entry(sf, i, j) {
+                g[i][j] = s * r[b];
+            }
+        }
+    }
+    g
+}
+
+fn is_zero_matrix(g: &[Vec<f64>]) -> bool {
+    g.iter().flatten().all(|v| v.abs() < TOL)
+}
+
+fn is_symmetric(g: &[Vec<f64>]) -> bool {
+    let m = g.len();
+    (0..m).all(|i| (0..m).all(|j| (g[i][j] - g[j][i]).abs() < TOL))
+}
+
+#[allow(dead_code)] // kept: used by future verifier tests and documents the algebra
+fn is_anti_symmetric(g: &[Vec<f64>]) -> bool {
+    let m = g.len();
+    (0..m).all(|i| (0..m).all(|j| (g[i][j] + g[j][i]).abs() < TOL))
+}
+
+/// Does a nonzero `G(r)` exist inside the span of `basis`? Since `G` is
+/// linear in `r`, it suffices to check each basis vector.
+fn some_basis_vector_gives_nonzero_g(sf: &BlockSf, basis: &[Vec<f64>]) -> bool {
+    basis.iter().any(|v| !is_zero_matrix(&g_of(sf, v)))
+}
+
+/// Can the structure model symmetric relations?
+pub fn can_model_symmetric(sf: &BlockSf) -> bool {
+    let m = sf.m();
+    let mut rows = Vec::new();
+    for i in 0..m {
+        for j in (i + 1)..m {
+            // s_ij r_{b_ij} − s_ji r_{b_ji} = 0
+            let mut row = vec![0.0; m];
+            if let Some((s, b)) = entry(sf, i, j) {
+                row[b] += s;
+            }
+            if let Some((s, b)) = entry(sf, j, i) {
+                row[b] -= s;
+            }
+            if row.iter().any(|v| v.abs() > TOL) {
+                rows.push(row);
+            }
+        }
+    }
+    let basis = nullspace(rows, m);
+    some_basis_vector_gives_nonzero_g(sf, &basis)
+}
+
+/// Can the structure model anti-symmetric relations?
+pub fn can_model_anti_symmetric(sf: &BlockSf) -> bool {
+    let m = sf.m();
+    let mut rows = Vec::new();
+    for i in 0..m {
+        for j in i..m {
+            // s_ij r_{b_ij} + s_ji r_{b_ji} = 0 (i == j gives 2 s r = 0)
+            let mut row = vec![0.0; m];
+            if let Some((s, b)) = entry(sf, i, j) {
+                row[b] += s;
+            }
+            if let Some((s, b)) = entry(sf, j, i) {
+                row[b] += s;
+            }
+            if row.iter().any(|v| v.abs() > TOL) {
+                rows.push(row);
+            }
+        }
+    }
+    let basis = nullspace(rows, m);
+    some_basis_vector_gives_nonzero_g(sf, &basis)
+}
+
+/// Can the structure model genuine inverse pairs?
+pub fn can_model_inversion(sf: &BlockSf) -> bool {
+    let m = sf.m();
+    // Unknowns: x = [r ; r'] ∈ R^{2M}. Constraints: G(r)_{ji} = G(r')_{ij}.
+    let mut rows = Vec::new();
+    for i in 0..m {
+        for j in 0..m {
+            let mut row = vec![0.0; 2 * m];
+            if let Some((s, b)) = entry(sf, j, i) {
+                row[b] += s;
+            }
+            if let Some((s, b)) = entry(sf, i, j) {
+                row[m + b] -= s;
+            }
+            if row.iter().any(|v| v.abs() > TOL) {
+                rows.push(row);
+            }
+        }
+    }
+    let basis = nullspace(rows, 2 * m);
+    // Need a solution whose r-part gives a NON-symmetric G.
+    basis.iter().any(|v| {
+        let g = g_of(sf, &v[..m]);
+        !is_zero_matrix(&g) && !is_symmetric(&g)
+    })
+}
+
+/// Can the structure model relations that are neither symmetric nor
+/// anti-symmetric?
+///
+/// The r-values making `G` symmetric form a subspace, as do those making it
+/// anti-symmetric; a union of two proper subspaces can never cover `R^M`,
+/// so the answer is "yes" unless the structure forces one of the two for
+/// *every* `r` — which is a cell-wise syntactic condition.
+pub fn can_model_general_asymmetry(sf: &BlockSf) -> bool {
+    if sf.num_nonzero() == 0 {
+        return false;
+    }
+    let m = sf.m();
+    let forced_sym = (0..m).all(|i| (0..m).all(|j| sf.get(i, j) == sf.get(j, i)));
+    let forced_anti = (0..m).all(|i| (0..m).all(|j| sf.get(j, i) == sf.get(i, j).negate()));
+    !forced_sym && !forced_anti
+}
+
+/// Full expressiveness analysis.
+pub fn analyze(sf: &BlockSf) -> Expressiveness {
+    Expressiveness {
+        symmetric: can_model_symmetric(sf),
+        anti_symmetric: can_model_anti_symmetric(sf),
+        inversion: can_model_inversion(sf),
+        general_asymmetry: can_model_general_asymmetry(sf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+    use eras_linalg::rng::Rng;
+
+    #[test]
+    fn distmult_matches_literature() {
+        // RotatE paper Table 1: DistMult covers symmetry only.
+        let e = analyze(&zoo::distmult(4));
+        assert!(e.symmetric);
+        assert!(!e.anti_symmetric);
+        assert!(!e.inversion);
+        assert!(!e.general_asymmetry);
+        assert!(!e.is_universal());
+    }
+
+    #[test]
+    fn complex_is_universal() {
+        let e = analyze(&zoo::complex());
+        assert!(e.is_universal(), "{e:?}");
+    }
+
+    #[test]
+    fn simple_is_universal() {
+        let e = analyze(&zoo::simple());
+        assert!(e.is_universal(), "{e:?}");
+    }
+
+    #[test]
+    fn analogy_is_universal() {
+        let e = analyze(&zoo::analogy());
+        assert!(e.is_universal(), "{e:?}");
+    }
+
+    #[test]
+    fn empty_structure_models_nothing() {
+        let e = analyze(&BlockSf::zeros(4));
+        assert!(!e.symmetric);
+        assert!(!e.anti_symmetric);
+        assert!(!e.inversion);
+        assert!(!e.general_asymmetry);
+    }
+
+    #[test]
+    fn purely_antisymmetric_structure() {
+        // (0,1) ↦ +r1, (1,0) ↦ −r1 forces G anti-symmetric for all r.
+        use crate::op::Op;
+        let mut sf = BlockSf::zeros(2);
+        sf.set(0, 1, Op::pos(0));
+        sf.set(1, 0, Op::neg(0));
+        let e = analyze(&sf);
+        assert!(!e.symmetric);
+        assert!(e.anti_symmetric);
+        assert!(!e.general_asymmetry, "forced anti-symmetric");
+    }
+
+    #[test]
+    fn nullspace_of_empty_system_is_full_space() {
+        let basis = nullspace(vec![], 3);
+        assert_eq!(basis.len(), 3);
+    }
+
+    #[test]
+    fn nullspace_of_full_rank_system_is_empty() {
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(nullspace(rows, 2).is_empty());
+    }
+
+    #[test]
+    fn nullspace_vectors_satisfy_system() {
+        let rows = vec![vec![1.0, 1.0, 0.0], vec![0.0, 1.0, -1.0]];
+        let basis = nullspace(rows.clone(), 3);
+        assert_eq!(basis.len(), 1);
+        for v in &basis {
+            for row in &rows {
+                let dot: f64 = row.iter().zip(v).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_witnesses_agree_with_analysis() {
+        // For random structures: if the analysis claims symmetry is
+        // modelable, the nullspace construction must produce an actual
+        // symmetric witness — verified by rebuilding G explicitly.
+        let mut rng = Rng::seed_from_u64(11);
+        let mut checked_sym = 0;
+        for _ in 0..200 {
+            let sf = BlockSf::random(4, 6, &mut rng);
+            if can_model_symmetric(&sf) {
+                // Recompute basis and verify a witness.
+                let m = sf.m();
+                let mut rows = Vec::new();
+                for i in 0..m {
+                    for j in (i + 1)..m {
+                        let mut row = vec![0.0; m];
+                        if let Some((s, b)) = entry(&sf, i, j) {
+                            row[b] += s;
+                        }
+                        if let Some((s, b)) = entry(&sf, j, i) {
+                            row[b] -= s;
+                        }
+                        rows.push(row);
+                    }
+                }
+                let basis = nullspace(rows, m);
+                let witness = basis
+                    .iter()
+                    .find(|v| !is_zero_matrix(&g_of(&sf, v)))
+                    .expect("analysis promised a witness");
+                let g = g_of(&sf, witness);
+                assert!(is_symmetric(&g));
+                checked_sym += 1;
+            }
+        }
+        assert!(checked_sym > 10, "too few symmetric-capable samples");
+    }
+
+    #[test]
+    fn general_asymmetry_random_structures_mostly_yes() {
+        // A random 6-cell structure almost never has a forced symmetry,
+        // so the overwhelming majority must report general asymmetry.
+        let mut rng = Rng::seed_from_u64(13);
+        let yes = (0..100)
+            .filter(|_| can_model_general_asymmetry(&BlockSf::random(4, 6, &mut rng)))
+            .count();
+        assert!(yes > 90, "only {yes} / 100");
+    }
+}

@@ -1,0 +1,181 @@
+//! Symmetry-related features (SRF) for the AutoSF performance predictor.
+//!
+//! AutoSF ranks candidate structures with a learned predictor over
+//! structural features before spending training budget on them (step 4 of
+//! Algorithm 1). The features capture the structural properties that
+//! correlate with embedding quality: budget, block coverage, and the
+//! symmetric / anti-symmetric composition of the grid.
+
+use crate::block_sf::BlockSf;
+use crate::expressive;
+
+/// Fixed-width feature vector of a block structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SfFeatures {
+    /// Raw feature values, length [`SfFeatures::DIM`].
+    pub values: Vec<f64>,
+}
+
+impl SfFeatures {
+    /// Feature dimensionality.
+    pub const DIM: usize = 12;
+
+    /// Feature names, aligned with `values`.
+    pub fn names() -> [&'static str; Self::DIM] {
+        [
+            "nonzero_frac",
+            "diag_frac",
+            "offdiag_frac",
+            "sym_pair_frac",
+            "anti_pair_frac",
+            "blocks_used_frac",
+            "neg_frac",
+            "distinct_block_frac",
+            "can_sym",
+            "can_anti",
+            "can_inv",
+            "can_general",
+        ]
+    }
+}
+
+/// Extract features from a structure.
+pub fn extract(sf: &BlockSf) -> SfFeatures {
+    let m = sf.m();
+    let cells = (m * m) as f64;
+    let nonzero = sf.num_nonzero() as f64;
+
+    let mut diag = 0usize;
+    let mut neg = 0usize;
+    for (i, j, op) in sf.nonzero_cells() {
+        if i == j {
+            diag += 1;
+        }
+        if op.sign() < 0.0 {
+            neg += 1;
+        }
+    }
+
+    // Pairwise structure: for i < j, do cells (i,j) and (j,i) mirror
+    // (same op) or anti-mirror (negated op)?
+    let mut sym_pairs = 0usize;
+    let mut anti_pairs = 0usize;
+    let mut active_pairs = 0usize;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let a = sf.get(i, j);
+            let b = sf.get(j, i);
+            if a.is_zero() && b.is_zero() {
+                continue;
+            }
+            active_pairs += 1;
+            if a == b {
+                sym_pairs += 1;
+            } else if a == b.negate() {
+                anti_pairs += 1;
+            }
+        }
+    }
+    let pair_denom = active_pairs.max(1) as f64;
+
+    let blocks_used = sf.blocks_used().count_ones() as f64;
+    let distinct_blocks = {
+        let mut seen = std::collections::HashSet::new();
+        for (_, _, op) in sf.nonzero_cells() {
+            seen.insert(op.block());
+        }
+        seen.len() as f64
+    };
+
+    let e = expressive::analyze(sf);
+    let values = vec![
+        nonzero / cells,
+        diag as f64 / m as f64,
+        (nonzero - diag as f64) / cells,
+        sym_pairs as f64 / pair_denom,
+        anti_pairs as f64 / pair_denom,
+        blocks_used / m as f64,
+        if nonzero > 0.0 {
+            neg as f64 / nonzero
+        } else {
+            0.0
+        },
+        distinct_blocks / m as f64,
+        f64::from(u8::from(e.symmetric)),
+        f64::from(u8::from(e.anti_symmetric)),
+        f64::from(u8::from(e.inversion)),
+        f64::from(u8::from(e.general_asymmetry)),
+    ];
+    debug_assert_eq!(values.len(), SfFeatures::DIM);
+    SfFeatures { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical;
+    use crate::zoo;
+    use eras_linalg::rng::Rng;
+
+    #[test]
+    fn dimensions_match() {
+        let f = extract(&zoo::distmult(4));
+        assert_eq!(f.values.len(), SfFeatures::DIM);
+        assert_eq!(SfFeatures::names().len(), SfFeatures::DIM);
+    }
+
+    #[test]
+    fn distmult_features() {
+        let f = extract(&zoo::distmult(4));
+        assert!((f.values[0] - 4.0 / 16.0).abs() < 1e-12, "nonzero_frac");
+        assert!((f.values[1] - 1.0).abs() < 1e-12, "all-diagonal");
+        assert_eq!(f.values[6], 0.0, "no negations");
+        assert_eq!(f.values[8], 1.0, "can_sym");
+        assert_eq!(f.values[9], 0.0, "can_anti");
+    }
+
+    #[test]
+    fn complex_features() {
+        let f = extract(&zoo::complex());
+        assert_eq!(f.values[8], 1.0);
+        assert_eq!(f.values[9], 1.0);
+        assert_eq!(f.values[10], 1.0);
+        assert_eq!(f.values[11], 1.0);
+        // ComplEx has two anti-mirrored pairs and no mirrored ones.
+        assert_eq!(f.values[3], 0.0);
+        assert_eq!(f.values[4], 1.0);
+    }
+
+    #[test]
+    fn features_bounded() {
+        let mut rng = Rng::seed_from_u64(21);
+        for _ in 0..50 {
+            let sf = BlockSf::random(4, rng.next_below(16), &mut rng);
+            let f = extract(&sf);
+            for (k, v) in f.values.iter().enumerate() {
+                assert!(
+                    (0.0..=1.0).contains(v),
+                    "feature {} = {v} out of [0,1]",
+                    SfFeatures::names()[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sign_flip_invariant_features_mostly_stable() {
+        // Expressiveness flags are invariant under the symmetry group.
+        let mut rng = Rng::seed_from_u64(23);
+        for _ in 0..20 {
+            let sf = BlockSf::random(4, 6, &mut rng);
+            let mut perm: Vec<usize> = (0..4).collect();
+            rng.shuffle(&mut perm);
+            let t = canonical::transform(&sf, &perm, 0);
+            let fa = extract(&sf);
+            let fb = extract(&t);
+            for k in 8..12 {
+                assert_eq!(fa.values[k], fb.values[k], "flag {k} not invariant");
+            }
+        }
+    }
+}

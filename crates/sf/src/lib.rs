@@ -1,0 +1,49 @@
+//! # eras-sf
+//!
+//! The scoring-function DSL shared by AutoSF and ERAS.
+//!
+//! Both searchers operate in the block bilinear space of AutoSF (Eq. 1 of
+//! the paper): embeddings `h, r, t ∈ R^d` are split into `M` equal blocks
+//! and a scoring function is an `M × M` grid of operations
+//!
+//! ```text
+//! f(h, r, t) = Σ_{i,j} ⟨h_i, o_{ij}, t_j⟩,   o_{ij} ∈ {0, ±r_1, …, ±r_M}
+//! ```
+//!
+//! This crate provides:
+//!
+//! - [`op::Op`] — the operation alphabet with its dense index encoding
+//!   (`2M + 1` symbols) used by the supernet and the controller;
+//! - [`BlockSf`] — the grid itself, plus structural queries (non-zero
+//!   count, blocks used, transpose) used throughout search;
+//! - [`zoo`] — canonical [`BlockSf`] encodings of DistMult, ComplEx,
+//!   SimplE and Analogy, the human-designed functions the space
+//!   generalises (Section II-B);
+//! - [`expressive`] — exact algebraic tests for whether a structure *can*
+//!   model symmetry / anti-symmetry / inversion / general asymmetry
+//!   (Table I's "expressive" column), via nullspace computations on the
+//!   per-block scalar algebra;
+//! - [`canonical`] — canonicalisation under the space's symmetry group
+//!   (simultaneous block permutation + per-block sign flips), used to
+//!   deduplicate candidates during search;
+//! - [`features`] — the symmetry-related structural features the AutoSF
+//!   predictor ranks candidates with;
+//! - [`render`] — the grid pretty-printer behind Figures 3 and 4;
+//! - [`space`] — raw and canonical search-space size accounting.
+
+// Indexed loops are the clearer idiom for the small dense matrices in
+// the expressiveness analysis.
+#![allow(clippy::needless_range_loop)]
+
+pub mod block_sf;
+pub mod canonical;
+pub mod expressive;
+pub mod features;
+pub mod op;
+pub mod render;
+pub mod space;
+pub mod zoo;
+
+pub use block_sf::BlockSf;
+pub use expressive::Expressiveness;
+pub use op::Op;

@@ -1,0 +1,189 @@
+//! The operation alphabet `O = {0, ±r_1, …, ±r_M}`.
+
+use std::fmt;
+
+/// One operation in a multiplicative item `⟨h_i, o, t_j⟩`.
+///
+/// `Rel { block, negated }` selects relation block `r_{block+1}` (0-based
+/// internally, 1-based in display to match the paper) with an optional
+/// sign flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Op {
+    /// The zero operation: the item contributes nothing.
+    Zero,
+    /// `±r_block`.
+    Rel {
+        /// 0-based relation block index, `< M`.
+        block: u8,
+        /// True for `−r_block`.
+        negated: bool,
+    },
+}
+
+impl Op {
+    /// Positive relation op `+r_{block+1}`.
+    #[inline]
+    pub fn pos(block: u8) -> Op {
+        Op::Rel {
+            block,
+            negated: false,
+        }
+    }
+
+    /// Negative relation op `−r_{block+1}`.
+    #[inline]
+    pub fn neg(block: u8) -> Op {
+        Op::Rel {
+            block,
+            negated: true,
+        }
+    }
+
+    /// Is this the zero op?
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        matches!(self, Op::Zero)
+    }
+
+    /// Multiplicative sign: 0, +1 or −1.
+    #[inline]
+    pub fn sign(self) -> f32 {
+        match self {
+            Op::Zero => 0.0,
+            Op::Rel { negated: false, .. } => 1.0,
+            Op::Rel { negated: true, .. } => -1.0,
+        }
+    }
+
+    /// The relation block selected, if any.
+    #[inline]
+    pub fn block(self) -> Option<u8> {
+        match self {
+            Op::Zero => None,
+            Op::Rel { block, .. } => Some(block),
+        }
+    }
+
+    /// The op with flipped sign (`-0 = 0`).
+    #[inline]
+    pub fn negate(self) -> Op {
+        match self {
+            Op::Zero => Op::Zero,
+            Op::Rel { block, negated } => Op::Rel {
+                block,
+                negated: !negated,
+            },
+        }
+    }
+
+    /// Dense index in `[0, 2M+1)`: `0 ↦ Zero`, `1..=M ↦ +r_k`,
+    /// `M+1..=2M ↦ −r_k`. This is the supernet's operation-node index and
+    /// the controller's token id.
+    #[inline]
+    pub fn to_index(self, m: usize) -> usize {
+        match self {
+            Op::Zero => 0,
+            Op::Rel { block, negated } => {
+                debug_assert!((block as usize) < m);
+                1 + usize::from(block) + if negated { m } else { 0 }
+            }
+        }
+    }
+
+    /// Inverse of [`Op::to_index`]. Panics when `index ≥ 2M+1`.
+    #[inline]
+    pub fn from_index(index: usize, m: usize) -> Op {
+        assert!(index < 2 * m + 1, "op index {index} out of range for M={m}");
+        if index == 0 {
+            Op::Zero
+        } else if index <= m {
+            Op::pos((index - 1) as u8)
+        } else {
+            Op::neg((index - 1 - m) as u8)
+        }
+    }
+
+    /// Number of distinct ops for a given `M`.
+    #[inline]
+    pub fn alphabet_size(m: usize) -> usize {
+        2 * m + 1
+    }
+
+    /// All ops for a given `M`, in index order.
+    pub fn alphabet(m: usize) -> Vec<Op> {
+        (0..Self::alphabet_size(m))
+            .map(|k| Op::from_index(k, m))
+            .collect()
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Zero => write!(f, "  0"),
+            Op::Rel { block, negated } => {
+                write!(f, "{}r{}", if negated { '-' } else { '+' }, block + 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_all_m() {
+        for m in 1..=6 {
+            for k in 0..Op::alphabet_size(m) {
+                let op = Op::from_index(k, m);
+                assert_eq!(op.to_index(m), k, "m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn alphabet_is_complete_and_distinct() {
+        let ops = Op::alphabet(4);
+        assert_eq!(ops.len(), 9);
+        let mut dedup = ops.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 9);
+        assert_eq!(ops[0], Op::Zero);
+        assert_eq!(ops[1], Op::pos(0));
+        assert_eq!(ops[5], Op::neg(0));
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(Op::Zero.sign(), 0.0);
+        assert_eq!(Op::pos(2).sign(), 1.0);
+        assert_eq!(Op::neg(2).sign(), -1.0);
+    }
+
+    #[test]
+    fn negate_involution() {
+        for m in [3usize, 4] {
+            for k in 0..Op::alphabet_size(m) {
+                let op = Op::from_index(k, m);
+                assert_eq!(op.negate().negate(), op);
+            }
+        }
+        assert_eq!(Op::Zero.negate(), Op::Zero);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = Op::from_index(9, 4); // valid: 0..9 for M=4
+        let _ = Op::from_index(10, 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Op::pos(0).to_string(), "+r1");
+        assert_eq!(Op::neg(3).to_string(), "-r4");
+        assert_eq!(Op::Zero.to_string(), "  0");
+    }
+}

@@ -1,0 +1,118 @@
+//! Pretty-printing of block structures (Figures 3 and 4 of the paper).
+//!
+//! The paper visualises a searched scoring function as its `M × M` grid
+//! with `±r_k` entries. [`render_grid`] produces the same view as ASCII,
+//! and [`render_group`] adds the relation assignment of a relation-aware
+//! set `{f_n}`.
+
+use crate::block_sf::BlockSf;
+
+/// Render a single structure as an ASCII grid, e.g.
+///
+/// ```text
+///        t1   t2   t3   t4
+///  h1 | +r1    0    0    0
+///  h2 |   0 +r2    0    0
+///  h3 |   0    0 +r3    0
+///  h4 |   0    0    0 +r4
+/// ```
+pub fn render_grid(sf: &BlockSf) -> String {
+    let m = sf.m();
+    let mut out = String::new();
+    out.push_str("      ");
+    for j in 0..m {
+        out.push_str(&format!("  t{:<2}", j + 1));
+    }
+    out.push('\n');
+    for i in 0..m {
+        out.push_str(&format!(" h{:<2}|", i + 1));
+        for j in 0..m {
+            out.push_str(&format!(" {:>4}", sf.get(i, j).to_string().trim_start()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a compact one-line formula.
+///
+/// ```
+/// use eras_sf::{render, zoo};
+/// assert_eq!(
+///     render::render_formula(&zoo::distmult(2)),
+///     "f = <h1,r1,t1> + <h2,r2,t2>"
+/// );
+/// ```
+pub fn render_formula(sf: &BlockSf) -> String {
+    let mut parts = Vec::new();
+    for (i, j, op) in sf.nonzero_cells() {
+        let sign = if op.sign() >= 0.0 { '+' } else { '-' };
+        let block = op.block().expect("nonzero cell") + 1;
+        parts.push(format!("{sign} <h{},r{},t{}>", i + 1, block, j + 1));
+    }
+    if parts.is_empty() {
+        return "f = 0".into();
+    }
+    let joined = parts.join(" ");
+    // Drop a leading "+ " for readability.
+    let cleaned = joined.strip_prefix("+ ").unwrap_or(&joined);
+    format!("f = {cleaned}")
+}
+
+/// Render a relation-aware group: the group's structure plus the names of
+/// the relations assigned to it.
+pub fn render_group(group_index: usize, sf: &BlockSf, relation_names: &[&str]) -> String {
+    let mut out = format!("=== group {} ===\n", group_index + 1);
+    out.push_str(&render_formula(sf));
+    out.push('\n');
+    out.push_str(&render_grid(sf));
+    out.push_str("relations: ");
+    if relation_names.is_empty() {
+        out.push_str("(none)");
+    } else {
+        out.push_str(&relation_names.join(", "));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn grid_has_m_plus_one_lines() {
+        let s = render_grid(&zoo::distmult(4));
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("+r1"));
+        assert!(s.contains("h4"));
+        assert!(s.contains("t4"));
+    }
+
+    #[test]
+    fn formula_of_distmult() {
+        let s = render_formula(&zoo::distmult(2));
+        assert_eq!(s, "f = <h1,r1,t1> + <h2,r2,t2>");
+    }
+
+    #[test]
+    fn formula_shows_negations() {
+        let s = render_formula(&zoo::complex());
+        assert!(s.contains("- <h2,r2,t1>"), "{s}");
+    }
+
+    #[test]
+    fn empty_formula() {
+        assert_eq!(render_formula(&BlockSf::zeros(3)), "f = 0");
+    }
+
+    #[test]
+    fn group_rendering_includes_relations() {
+        let s = render_group(0, &zoo::simple(), &["hypernym", "hyponym"]);
+        assert!(s.contains("group 1"));
+        assert!(s.contains("hypernym, hyponym"));
+        let empty = render_group(2, &zoo::simple(), &[]);
+        assert!(empty.contains("(none)"));
+    }
+}

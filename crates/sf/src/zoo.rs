@@ -1,0 +1,134 @@
+//! Canonical block encodings of the human-designed bilinear models.
+//!
+//! AutoSF's key observation (Section II-B of the paper) is that DistMult,
+//! ComplEx, SimplE and Analogy are all points in the block search space.
+//! These constructors reproduce the published encodings; the unit tests
+//! pin each one's structural properties (budget, symmetry, expressiveness
+//! is checked in `expressive.rs`).
+
+use crate::block_sf::BlockSf;
+use crate::op::Op;
+
+/// DistMult (Yang et al., 2015): `g(r) = diag(r)` — the diagonal grid
+/// `(i,i) ↦ +r_i`. Structurally symmetric, so it can only model symmetric
+/// relations.
+pub fn distmult(m: usize) -> BlockSf {
+    let mut sf = BlockSf::zeros(m);
+    for i in 0..m {
+        sf.set(i, i, Op::pos(i as u8));
+    }
+    sf
+}
+
+/// ComplEx (Trouillon et al., 2017) at `M = 4`: two independent complex
+/// planes, blocks (1,2) and (3,4):
+///
+/// ```text
+/// Re⟨(h₁+ih₂)(r₁+ir₂)conj(t₁+it₂)⟩ = ⟨h₁,r₁,t₁⟩+⟨h₂,r₁,t₂⟩+⟨h₁,r₂,t₂⟩−⟨h₂,r₂,t₁⟩
+/// ```
+pub fn complex() -> BlockSf {
+    let mut sf = BlockSf::zeros(4);
+    // First complex plane on blocks {0, 1} with relation blocks {0, 1}.
+    sf.set(0, 0, Op::pos(0));
+    sf.set(1, 1, Op::pos(0));
+    sf.set(0, 1, Op::pos(1));
+    sf.set(1, 0, Op::neg(1));
+    // Second plane on blocks {2, 3} with relation blocks {2, 3}.
+    sf.set(2, 2, Op::pos(2));
+    sf.set(3, 3, Op::pos(2));
+    sf.set(2, 3, Op::pos(3));
+    sf.set(3, 2, Op::neg(3));
+    sf
+}
+
+/// SimplE (Kazemi & Poole, 2018) at `M = 4`: entities carry head-role and
+/// tail-role halves, relations a forward and an inverse half; the score
+/// couples them crosswise.
+pub fn simple() -> BlockSf {
+    let mut sf = BlockSf::zeros(4);
+    sf.set(0, 1, Op::pos(0));
+    sf.set(1, 0, Op::pos(1));
+    sf.set(2, 3, Op::pos(2));
+    sf.set(3, 2, Op::pos(3));
+    sf
+}
+
+/// Analogy (Liu et al., 2017) at `M = 4`: half DistMult (blocks 1–2), half
+/// ComplEx (blocks 3–4).
+pub fn analogy() -> BlockSf {
+    let mut sf = BlockSf::zeros(4);
+    sf.set(0, 0, Op::pos(0));
+    sf.set(1, 1, Op::pos(1));
+    sf.set(2, 2, Op::pos(2));
+    sf.set(3, 3, Op::pos(2));
+    sf.set(2, 3, Op::pos(3));
+    sf.set(3, 2, Op::neg(3));
+    sf
+}
+
+/// Every zoo member at `M = 4`, with its display name.
+pub fn all_m4() -> Vec<(&'static str, BlockSf)> {
+    vec![
+        ("DistMult", distmult(4)),
+        ("ComplEx", complex()),
+        ("SimplE", simple()),
+        ("Analogy", analogy()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_match_published_structures() {
+        assert_eq!(distmult(4).num_nonzero(), 4);
+        assert_eq!(complex().num_nonzero(), 8);
+        assert_eq!(simple().num_nonzero(), 4);
+        assert_eq!(analogy().num_nonzero(), 6);
+    }
+
+    #[test]
+    fn distmult_is_symmetric_others_are_not() {
+        assert!(distmult(4).is_structurally_symmetric());
+        assert!(!complex().is_structurally_symmetric());
+        assert!(!simple().is_structurally_symmetric());
+        assert!(!analogy().is_structurally_symmetric());
+    }
+
+    #[test]
+    fn all_use_every_block_and_are_not_degenerate() {
+        for (name, sf) in all_m4() {
+            assert!(sf.uses_all_blocks(), "{name} does not use all blocks");
+            assert!(!sf.is_degenerate(), "{name} is degenerate");
+        }
+    }
+
+    #[test]
+    fn zoo_members_are_pairwise_distinct() {
+        let sfs = all_m4();
+        for i in 0..sfs.len() {
+            for j in i + 1..sfs.len() {
+                assert_ne!(sfs[i].1, sfs[j].1, "{} == {}", sfs[i].0, sfs[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn simple_transpose_swaps_role_blocks() {
+        // SimplE's transpose is SimplE with relation blocks swapped — the
+        // inversion structure that makes it cover inverse relations.
+        let t = simple().transposed();
+        assert_eq!(t.get(1, 0), Op::pos(0));
+        assert_eq!(t.get(0, 1), Op::pos(1));
+    }
+
+    #[test]
+    fn distmult_any_m() {
+        for m in 1..=6 {
+            let sf = distmult(m);
+            assert_eq!(sf.num_nonzero(), m);
+            assert!(sf.uses_all_blocks());
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Triplet classification (Section V-B2, Table X of the paper).
+//!
+//! A triple `(h, r, t)` is predicted positive when `f(h,r,t) > θ_r`, with
+//! the relation-specific threshold `θ_r` chosen to maximise accuracy on
+//! the validation split. The benchmarks' published classification sets
+//! ship fixed negatives; here negatives are sampled (filtered) alongside
+//! each positive, which reproduces the published construction.
+
+use crate::embeddings::Embeddings;
+use crate::eval::ScoreModel;
+use crate::negative::negatives_for;
+use eras_data::{Dataset, FilterIndex, Triple};
+use eras_linalg::Rng;
+
+/// A labelled classification set: positives paired with filtered negatives.
+#[derive(Debug, Clone)]
+pub struct ClassificationSet {
+    /// True triples.
+    pub positives: Vec<Triple>,
+    /// Sampled non-triples, one per positive.
+    pub negatives: Vec<Triple>,
+}
+
+impl ClassificationSet {
+    /// Build from a triple list by sampling one filtered negative each.
+    pub fn from_positives(
+        positives: &[Triple],
+        num_entities: usize,
+        filter: &FilterIndex,
+        rng: &mut Rng,
+    ) -> Self {
+        ClassificationSet {
+            positives: positives.to_vec(),
+            negatives: negatives_for(positives, num_entities, filter, rng),
+        }
+    }
+}
+
+/// Relation-specific decision thresholds.
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// `θ_r` per relation; relations unseen in validation fall back to
+    /// the global threshold.
+    pub per_relation: Vec<f32>,
+    /// Global threshold over all validation scores.
+    pub global: f32,
+}
+
+/// Best-accuracy threshold for a set of (score, is_positive) pairs: the
+/// midpoint between consecutive distinct scores maximising accuracy.
+fn best_threshold(mut scored: Vec<(f32, bool)>) -> (f32, usize) {
+    if scored.is_empty() {
+        return (0.0, 0);
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    let total_pos = scored.iter().filter(|(_, p)| *p).count();
+    // Threshold below everything: all predicted positive.
+    let mut best_correct = total_pos; // negatives all wrong
+    let mut best_thr = scored[0].0 - 1.0;
+    // Sweep: threshold after position i ⇒ items ≤ i predicted negative.
+    let mut neg_below = 0usize;
+    let mut pos_below = 0usize;
+    for i in 0..scored.len() {
+        if scored[i].1 {
+            pos_below += 1;
+        } else {
+            neg_below += 1;
+        }
+        let correct = neg_below + (total_pos - pos_below);
+        if correct > best_correct && (i + 1 == scored.len() || scored[i + 1].0 > scored[i].0) {
+            best_correct = correct;
+            best_thr = if i + 1 == scored.len() {
+                scored[i].0 + 1.0
+            } else {
+                (scored[i].0 + scored[i + 1].0) / 2.0
+            };
+        }
+    }
+    (best_thr, best_correct)
+}
+
+/// Fit `θ_r` per relation (and a global fallback) on a validation set.
+pub fn fit_thresholds<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    valid: &ClassificationSet,
+    num_relations: usize,
+) -> Thresholds {
+    let mut per_rel: Vec<Vec<(f32, bool)>> = vec![Vec::new(); num_relations];
+    let mut all: Vec<(f32, bool)> = Vec::new();
+    for (&pos, &neg) in valid.positives.iter().zip(&valid.negatives) {
+        let sp = model.score_triple(emb, pos);
+        let sn = model.score_triple(emb, neg);
+        per_rel[pos.rel as usize].push((sp, true));
+        per_rel[neg.rel as usize].push((sn, false));
+        all.push((sp, true));
+        all.push((sn, false));
+    }
+    let (global, _) = best_threshold(all);
+    let per_relation = per_rel
+        .into_iter()
+        .map(|scored| {
+            if scored.is_empty() {
+                global
+            } else {
+                best_threshold(scored).0
+            }
+        })
+        .collect();
+    Thresholds {
+        per_relation,
+        global,
+    }
+}
+
+/// Classification accuracy on a test set under fitted thresholds.
+pub fn accuracy<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    test: &ClassificationSet,
+    thresholds: &Thresholds,
+) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let thr = |rel: u32| -> f32 {
+        thresholds
+            .per_relation
+            .get(rel as usize)
+            .copied()
+            .unwrap_or(thresholds.global)
+    };
+    for &t in &test.positives {
+        if model.score_triple(emb, t) > thr(t.rel) {
+            correct += 1;
+        }
+        total += 1;
+    }
+    for &t in &test.negatives {
+        if model.score_triple(emb, t) <= thr(t.rel) {
+            correct += 1;
+        }
+        total += 1;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// End-to-end harness: build valid/test classification sets from the
+/// dataset splits, fit thresholds on valid, return test accuracy.
+pub fn classify_dataset<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    dataset: &Dataset,
+    filter: &FilterIndex,
+    seed: u64,
+) -> f64 {
+    let mut rng = Rng::seed_from_u64(seed);
+    let valid =
+        ClassificationSet::from_positives(&dataset.valid, dataset.num_entities(), filter, &mut rng);
+    let test =
+        ClassificationSet::from_positives(&dataset.test, dataset.num_entities(), filter, &mut rng);
+    let thresholds = fit_thresholds(model, emb, &valid, dataset.num_relations());
+    accuracy(model, emb, &test, &thresholds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockModel;
+    use eras_sf::zoo;
+
+    struct OracleModel {
+        truth: FilterIndex,
+    }
+
+    impl ScoreModel for OracleModel {
+        fn score_all_tails(&self, _e: &Embeddings, h: u32, r: u32, out: &mut [f32]) {
+            for (t, o) in out.iter_mut().enumerate() {
+                *o = if self.truth.contains(Triple::new(h, r, t as u32)) {
+                    1.0
+                } else {
+                    -1.0
+                };
+            }
+        }
+        fn score_all_heads(&self, _e: &Embeddings, t: u32, r: u32, out: &mut [f32]) {
+            for (h, o) in out.iter_mut().enumerate() {
+                *o = if self.truth.contains(Triple::new(h as u32, r, t)) {
+                    1.0
+                } else {
+                    -1.0
+                };
+            }
+        }
+        fn score_triple(&self, _e: &Embeddings, t: Triple) -> f32 {
+            if self.truth.contains(t) {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+    }
+
+    #[test]
+    fn best_threshold_separable() {
+        let scored = vec![(0.1, false), (0.2, false), (0.8, true), (0.9, true)];
+        let (thr, correct) = best_threshold(scored);
+        assert_eq!(correct, 4);
+        assert!(thr > 0.2 && thr < 0.8);
+    }
+
+    #[test]
+    fn best_threshold_all_positive() {
+        let scored = vec![(0.5, true), (0.6, true)];
+        let (thr, correct) = best_threshold(scored);
+        assert_eq!(correct, 2);
+        assert!(thr < 0.5);
+    }
+
+    #[test]
+    fn best_threshold_empty() {
+        assert_eq!(best_threshold(vec![]), (0.0, 0));
+    }
+
+    #[test]
+    fn oracle_model_achieves_perfect_accuracy() {
+        let dataset = eras_data::Preset::Tiny.build(6);
+        let filter = FilterIndex::build(&dataset);
+        let model = OracleModel {
+            truth: filter.clone(),
+        };
+        let mut rng = Rng::seed_from_u64(0);
+        let emb = Embeddings::init(dataset.num_entities(), dataset.num_relations(), 4, &mut rng);
+        let acc = classify_dataset(&model, &emb, &dataset, &filter, 1);
+        assert!(acc > 0.999, "oracle accuracy {acc}");
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let dataset = eras_data::Preset::Tiny.build(6);
+        let filter = FilterIndex::build(&dataset);
+        let model = BlockModel::universal(zoo::distmult(4), dataset.num_relations());
+        let mut rng = Rng::seed_from_u64(0);
+        let emb = Embeddings::init(
+            dataset.num_entities(),
+            dataset.num_relations(),
+            16,
+            &mut rng,
+        );
+        let acc = classify_dataset(&model, &emb, &dataset, &filter, 1);
+        assert!(
+            (0.3..0.75).contains(&acc),
+            "untrained accuracy should hover near 0.5, got {acc}"
+        );
+    }
+
+    #[test]
+    fn thresholds_fall_back_to_global_for_unseen_relations() {
+        let dataset = eras_data::Preset::Tiny.build(6);
+        let filter = FilterIndex::build(&dataset);
+        let model = OracleModel {
+            truth: filter.clone(),
+        };
+        let mut rng = Rng::seed_from_u64(0);
+        let emb = Embeddings::init(dataset.num_entities(), dataset.num_relations(), 4, &mut rng);
+        let valid = ClassificationSet {
+            positives: vec![dataset.valid[0]],
+            negatives: vec![Triple::new(0, dataset.valid[0].rel, 0)],
+        };
+        let thr = fit_thresholds(&model, &emb, &valid, dataset.num_relations() + 5);
+        assert_eq!(thr.per_relation.len(), dataset.num_relations() + 5);
+        // Relations with no validation data use the global threshold.
+        let unseen = thr.per_relation.last().unwrap();
+        assert_eq!(*unseen, thr.global);
+    }
+}

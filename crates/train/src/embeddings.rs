@@ -1,0 +1,86 @@
+//! The embedding parameters `ω = {E, R}` (Table II of the paper).
+
+use eras_linalg::{Matrix, Rng};
+
+/// Entity and relation embedding tables.
+///
+/// `entity` is `N_e × d`, `relation` is `N_r × d`. Models that need extra
+/// relation parameters (TransH normals, TuckER's core) keep them in their
+/// own structs; these two tables are the parameters *shared through the
+/// supernet* during ERAS search.
+#[derive(Debug, Clone)]
+pub struct Embeddings {
+    /// Entity table `E ∈ R^{N_e × d}`.
+    pub entity: Matrix,
+    /// Relation table `R ∈ R^{N_r × d}`.
+    pub relation: Matrix,
+}
+
+impl Embeddings {
+    /// Initialise both tables with uniform `±scale` noise.
+    pub fn init(num_entities: usize, num_relations: usize, dim: usize, rng: &mut Rng) -> Self {
+        // AutoSF-style init: small uniform noise scaled by dimension.
+        let scale = (6.0 / dim as f32).sqrt() / 3.0;
+        Embeddings {
+            entity: Matrix::uniform_init(num_entities, dim, scale, rng),
+            relation: Matrix::uniform_init(num_relations, dim, scale, rng),
+        }
+    }
+
+    /// Embedding dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.entity.cols()
+    }
+
+    /// Number of entities.
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.entity.rows()
+    }
+
+    /// Number of relations.
+    #[inline]
+    pub fn num_relations(&self) -> usize {
+        self.relation.rows()
+    }
+
+    /// Total parameter count (the model-complexity column of Table I:
+    /// `O(N_e d + N_r d)` for every bilinear model).
+    pub fn num_parameters(&self) -> usize {
+        self.entity.rows() * self.entity.cols() + self.relation.rows() * self.relation.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let mut rng = Rng::seed_from_u64(0);
+        let e = Embeddings::init(10, 3, 8, &mut rng);
+        assert_eq!(e.dim(), 8);
+        assert_eq!(e.num_entities(), 10);
+        assert_eq!(e.num_relations(), 3);
+        assert_eq!(e.num_parameters(), 10 * 8 + 3 * 8);
+    }
+
+    #[test]
+    fn init_is_seeded() {
+        let mut a = Rng::seed_from_u64(5);
+        let mut b = Rng::seed_from_u64(5);
+        let ea = Embeddings::init(4, 2, 4, &mut a);
+        let eb = Embeddings::init(4, 2, 4, &mut b);
+        assert_eq!(ea.entity.as_slice(), eb.entity.as_slice());
+        assert_eq!(ea.relation.as_slice(), eb.relation.as_slice());
+    }
+
+    #[test]
+    fn init_is_nondegenerate() {
+        let mut rng = Rng::seed_from_u64(1);
+        let e = Embeddings::init(5, 2, 16, &mut rng);
+        assert!(e.entity.frobenius_norm() > 0.0);
+        assert!(e.relation.frobenius_norm() > 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Filtered link-prediction evaluation (Section V-B1 of the paper).
+//!
+//! For every evaluation triple `(h, r, t)` the model ranks `t` against all
+//! entities as the answer to `(h, r, ?)` and `h` against all entities as
+//! the answer to `(?, r, t)`. Candidates that form *other* known true
+//! triples are filtered out; ties are resolved to the average rank so an
+//! untrained constant scorer gets chance-level MRR rather than an
+//! optimistic 1.0.
+
+use crate::embeddings::Embeddings;
+use eras_data::patterns::RelationPattern;
+use eras_data::{Dataset, FilterIndex, Triple};
+
+/// Anything that can score candidates for both query directions.
+///
+/// Implemented by [`crate::BlockModel`] and every baseline in
+/// [`crate::baselines`]; the evaluator and the classification harness are
+/// generic over it.
+pub trait ScoreModel {
+    /// Scores of `(h, r, t')` for every entity `t'` into `out`.
+    fn score_all_tails(&self, emb: &Embeddings, h: u32, r: u32, out: &mut [f32]);
+    /// Scores of `(h', r, t)` for every entity `h'` into `out`.
+    fn score_all_heads(&self, emb: &Embeddings, t: u32, r: u32, out: &mut [f32]);
+    /// Score of one triple.
+    fn score_triple(&self, emb: &Embeddings, triple: Triple) -> f32;
+}
+
+impl ScoreModel for Box<dyn ScoreModel> {
+    fn score_all_tails(&self, emb: &Embeddings, h: u32, r: u32, out: &mut [f32]) {
+        self.as_ref().score_all_tails(emb, h, r, out)
+    }
+    fn score_all_heads(&self, emb: &Embeddings, t: u32, r: u32, out: &mut [f32]) {
+        self.as_ref().score_all_heads(emb, t, r, out)
+    }
+    fn score_triple(&self, emb: &Embeddings, triple: Triple) -> f32 {
+        self.as_ref().score_triple(emb, triple)
+    }
+}
+
+/// Aggregated ranking metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkPredictionMetrics {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Fraction of queries ranked 1 (the paper reports this in %).
+    pub hits1: f64,
+    /// Fraction ranked ≤ 3.
+    pub hits3: f64,
+    /// Fraction ranked ≤ 10.
+    pub hits10: f64,
+    /// Number of ranking queries aggregated (2 per triple).
+    pub count: usize,
+}
+
+impl LinkPredictionMetrics {
+    fn accumulate(&mut self, rank: f64) {
+        self.mrr += 1.0 / rank;
+        if rank <= 1.0 {
+            self.hits1 += 1.0;
+        }
+        if rank <= 3.0 {
+            self.hits3 += 1.0;
+        }
+        if rank <= 10.0 {
+            self.hits10 += 1.0;
+        }
+        self.count += 1;
+    }
+
+    fn finalise(mut self) -> Self {
+        if self.count > 0 {
+            let n = self.count as f64;
+            self.mrr /= n;
+            self.hits1 /= n;
+            self.hits3 /= n;
+            self.hits10 /= n;
+        }
+        self
+    }
+}
+
+/// Filtered average-tie rank of `target` among `scores`, excluding the
+/// `filtered` entities (other known-true answers).
+///
+/// `rank = 1 + #{strictly better} + #{ties}/2`, counted over non-filtered
+/// candidates only.
+pub fn filtered_rank(scores: &[f32], target: u32, filtered: &[u32]) -> f64 {
+    let target_score = scores[target as usize];
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    let mut filt_iter = filtered.iter().peekable();
+    for (i, &s) in scores.iter().enumerate() {
+        let i = i as u32;
+        // `filtered` is sorted; advance the cursor and skip matches
+        // (the target itself is always kept).
+        while let Some(&&f) = filt_iter.peek() {
+            if f < i {
+                filt_iter.next();
+            } else {
+                break;
+            }
+        }
+        if i != target {
+            if let Some(&&f) = filt_iter.peek() {
+                if f == i {
+                    continue;
+                }
+            }
+            if s > target_score {
+                better += 1;
+            } else if s == target_score {
+                ties += 1;
+            }
+        }
+    }
+    1.0 + better as f64 + ties as f64 / 2.0
+}
+
+/// Evaluate filtered link prediction over a triple set.
+pub fn link_prediction<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+) -> LinkPredictionMetrics {
+    let mut metrics = LinkPredictionMetrics::default();
+    let mut scores = vec![0.0f32; emb.num_entities()];
+    for &t in triples {
+        model.score_all_tails(emb, t.head, t.rel, &mut scores);
+        let rank_t = filtered_rank(&scores, t.tail, filter.tails(t.head, t.rel));
+        metrics.accumulate(rank_t);
+        model.score_all_heads(emb, t.tail, t.rel, &mut scores);
+        let rank_h = filtered_rank(&scores, t.head, filter.heads(t.tail, t.rel));
+        metrics.accumulate(rank_h);
+    }
+    metrics.finalise()
+}
+
+/// Multi-threaded [`link_prediction`]: splits the triple set across
+/// `threads` workers with `std::thread::scope`. Results are identical to
+/// the sequential version (each query is independent); useful on
+/// multi-core machines where the evaluation's `O(|S| · N_e · d)` cost
+/// dominates an experiment.
+pub fn link_prediction_parallel<M: ScoreModel + Sync + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    threads: usize,
+) -> LinkPredictionMetrics {
+    let threads = threads.max(1).min(triples.len().max(1));
+    if threads == 1 {
+        return link_prediction(model, emb, triples, filter);
+    }
+    let chunk = triples.len().div_ceil(threads);
+    let partials: Vec<LinkPredictionMetrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = triples
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || link_prediction(model, emb, part, filter)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    // Merge: metrics are per-query averages; recombine by counts.
+    let mut merged = LinkPredictionMetrics::default();
+    for p in &partials {
+        let n = p.count as f64;
+        merged.mrr += p.mrr * n;
+        merged.hits1 += p.hits1 * n;
+        merged.hits3 += p.hits3 * n;
+        merged.hits10 += p.hits10 * n;
+        merged.count += p.count;
+    }
+    merged.finalise()
+}
+
+/// Per-pattern link prediction on the test split (Tables III and VIII).
+/// Returns one entry per pattern that has at least one test triple.
+pub fn link_prediction_by_pattern<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    dataset: &Dataset,
+    filter: &FilterIndex,
+) -> Vec<(RelationPattern, LinkPredictionMetrics)> {
+    RelationPattern::all()
+        .iter()
+        .filter_map(|&p| {
+            let triples = dataset.test_triples_with_pattern(p);
+            if triples.is_empty() {
+                None
+            } else {
+                Some((p, link_prediction(model, emb, &triples, filter)))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockModel;
+    use eras_data::vocab::Vocab;
+    use eras_linalg::Rng;
+    use eras_sf::zoo;
+
+    /// A model that scores candidate `e` as a fixed table lookup, with
+    /// separate tables per query direction.
+    struct TableModel {
+        tail_scores: Vec<f32>,
+        head_scores: Vec<f32>,
+    }
+
+    impl TableModel {
+        fn symmetric(scores: Vec<f32>) -> Self {
+            TableModel {
+                head_scores: scores.clone(),
+                tail_scores: scores,
+            }
+        }
+    }
+
+    impl ScoreModel for TableModel {
+        fn score_all_tails(&self, _e: &Embeddings, _h: u32, _r: u32, out: &mut [f32]) {
+            out.copy_from_slice(&self.tail_scores);
+        }
+        fn score_all_heads(&self, _e: &Embeddings, _t: u32, _r: u32, out: &mut [f32]) {
+            out.copy_from_slice(&self.head_scores);
+        }
+        fn score_triple(&self, _e: &Embeddings, t: Triple) -> f32 {
+            self.tail_scores[t.tail as usize]
+        }
+    }
+
+    fn tiny_dataset() -> (Dataset, FilterIndex, Embeddings) {
+        let mut entities = Vocab::new();
+        let mut relations = Vocab::new();
+        for i in 0..5 {
+            entities.intern(&format!("e{i}"));
+        }
+        relations.intern("r");
+        let d = Dataset {
+            name: "t".into(),
+            entities,
+            relations,
+            train: vec![Triple::new(0, 0, 1), Triple::new(0, 0, 2)],
+            valid: vec![],
+            test: vec![Triple::new(0, 0, 3)],
+            pattern_labels: vec![RelationPattern::GeneralAsymmetric],
+        };
+        let f = FilterIndex::build(&d);
+        let mut rng = Rng::seed_from_u64(0);
+        let e = Embeddings::init(5, 1, 4, &mut rng);
+        (d, f, e)
+    }
+
+    #[test]
+    fn filtered_rank_basic() {
+        // scores: e0..e4; target e3 (score 5.0); e1 better, e2 filtered.
+        let scores = [1.0, 9.0, 7.0, 5.0, 2.0];
+        let rank = filtered_rank(&scores, 3, &[1, 2, 3]);
+        // e1 is filtered too? No: filtered = known-true answers {1,2,3};
+        // both e1 and e2 are removed; target kept. Only e0, e4 compete,
+        // both worse → rank 1.
+        assert_eq!(rank, 1.0);
+        // Without filtering, e1 and e2 are better → rank 3.
+        assert_eq!(filtered_rank(&scores, 3, &[3]), 3.0);
+    }
+
+    #[test]
+    fn constant_scores_give_average_rank() {
+        let scores = [0.5f32; 10];
+        let rank = filtered_rank(&scores, 4, &[4]);
+        assert_eq!(rank, 1.0 + 9.0 / 2.0);
+    }
+
+    #[test]
+    fn perfect_model_gets_mrr_one() {
+        let (d, f, e) = tiny_dataset();
+        // Target of the only test triple is e3 for tails and e0 for heads.
+        // A table scoring e3 and e0 highest ranks both first.
+        let mut tail_scores = vec![0.0; 5];
+        tail_scores[3] = 10.0;
+        let mut head_scores = vec![0.0; 5];
+        head_scores[0] = 10.0;
+        let model = TableModel {
+            tail_scores,
+            head_scores,
+        };
+        let m = link_prediction(&model, &e, &d.test, &f);
+        assert_eq!(m.count, 2);
+        assert!((m.mrr - 1.0).abs() < 1e-12, "mrr {}", m.mrr);
+        assert_eq!(m.hits1, 1.0);
+        assert_eq!(m.hits10, 1.0);
+    }
+
+    #[test]
+    fn filtering_removes_known_positives() {
+        let (_d, f, e) = tiny_dataset();
+        // e1, e2 are known tails of (0, r); give them the highest scores.
+        // With filtering the target e3 still ranks 1st among {e0, e3, e4}.
+        let model = TableModel::symmetric(vec![0.0, 10.0, 9.0, 5.0, 1.0]);
+        let mut scores = vec![0.0; 5];
+        model.score_all_tails(&e, 0, 0, &mut scores);
+        let rank = filtered_rank(&scores, 3, f.tails(0, 0));
+        assert_eq!(rank, 1.0);
+    }
+
+    #[test]
+    fn untrained_block_model_is_near_chance() {
+        let (d, f, e) = tiny_dataset();
+        let model = BlockModel::universal(zoo::distmult(4), 1);
+        let m = link_prediction(&model, &e, &d.test, &f);
+        // 5 entities: chance MRR with mild filtering is well below 0.9.
+        assert!(m.mrr < 0.9);
+        assert!(m.mrr > 0.0);
+    }
+
+    #[test]
+    fn pattern_slicing_covers_only_present_patterns() {
+        let (d, f, e) = tiny_dataset();
+        let model = BlockModel::universal(zoo::distmult(4), 1);
+        let per = link_prediction_by_pattern(&model, &e, &d, &f);
+        assert_eq!(per.len(), 1);
+        assert_eq!(per[0].0, RelationPattern::GeneralAsymmetric);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let dataset = eras_data::Preset::Tiny.build(60);
+        let filter = FilterIndex::build(&dataset);
+        let mut rng = Rng::seed_from_u64(1);
+        let emb = Embeddings::init(dataset.num_entities(), dataset.num_relations(), 16, &mut rng);
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        let seq = link_prediction(&model, &emb, &dataset.test, &filter);
+        for threads in [1usize, 2, 3, 7] {
+            let par = link_prediction_parallel(&model, &emb, &dataset.test, &filter, threads);
+            assert_eq!(par.count, seq.count, "threads {threads}");
+            assert!((par.mrr - seq.mrr).abs() < 1e-12, "threads {threads}");
+            assert!((par.hits10 - seq.hits10).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn metrics_monotonicity() {
+        // hits1 <= hits3 <= hits10 and mrr in (0, 1].
+        let (d, f, e) = tiny_dataset();
+        let model = TableModel::symmetric(vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+        let m = link_prediction(&model, &e, &d.test, &f);
+        assert!(m.hits1 <= m.hits3);
+        assert!(m.hits3 <= m.hits10);
+        assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Embedding persistence: a small self-describing binary format.
+//!
+//! Layout (little-endian): magic `b"ERAS"`, format version `u32`, then
+//! `num_entities`, `num_relations`, `dim` as `u64`, then the entity table
+//! and the relation table as raw `f32` rows. Written atomically enough
+//! for a CLI tool (write then rename is left to callers that need it).
+
+use crate::embeddings::Embeddings;
+use eras_linalg::Matrix;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"ERAS";
+const VERSION: u32 = 1;
+
+/// Errors from loading an embedding file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not an embedding file, or an unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serialise embeddings to a writer.
+pub fn write_embeddings<W: Write>(mut w: W, emb: &Embeddings) -> Result<(), IoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    for v in [
+        emb.num_entities() as u64,
+        emb.num_relations() as u64,
+        emb.dim() as u64,
+    ] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for table in [&emb.entity, &emb.relation] {
+        for &x in table.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialise embeddings from a reader.
+pub fn read_embeddings<R: Read>(mut r: R) -> Result<Embeddings, IoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Format(
+            "bad magic; not an ERAS embedding file".into(),
+        ));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut dims = [0u64; 3];
+    for d in &mut dims {
+        r.read_exact(&mut u64buf)?;
+        *d = u64::from_le_bytes(u64buf);
+    }
+    let [ne, nr, dim] = dims.map(|v| v as usize);
+    if dim == 0 || ne == 0 {
+        return Err(IoError::Format("degenerate shape".into()));
+    }
+    let mut read_table = |rows: usize| -> Result<Matrix, IoError> {
+        let mut data = vec![0.0f32; rows * dim];
+        let mut f32buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut f32buf)?;
+            *x = f32::from_le_bytes(f32buf);
+        }
+        Ok(Matrix::from_vec(rows, dim, data))
+    };
+    let entity = read_table(ne)?;
+    let relation = read_table(nr)?;
+    Ok(Embeddings { entity, relation })
+}
+
+/// Save embeddings to a file path.
+pub fn save(path: &Path, emb: &Embeddings) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_embeddings(std::io::BufWriter::new(file), emb)
+}
+
+/// Load embeddings from a file path.
+pub fn load(path: &Path) -> Result<Embeddings, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_embeddings(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_linalg::Rng;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut rng = Rng::seed_from_u64(1);
+        let emb = Embeddings::init(7, 3, 12, &mut rng);
+        let mut buf = Vec::new();
+        write_embeddings(&mut buf, &emb).unwrap();
+        let back = read_embeddings(buf.as_slice()).unwrap();
+        assert_eq!(back.num_entities(), 7);
+        assert_eq!(back.num_relations(), 3);
+        assert_eq!(back.dim(), 12);
+        assert_eq!(back.entity.as_slice(), emb.entity.as_slice());
+        assert_eq!(back.relation.as_slice(), emb.relation.as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOPE0000000000000000000000000000".to_vec();
+        assert!(matches!(
+            read_embeddings(buf.as_slice()),
+            Err(IoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut rng = Rng::seed_from_u64(2);
+        let emb = Embeddings::init(4, 2, 8, &mut rng);
+        let mut buf = Vec::new();
+        write_embeddings(&mut buf, &emb).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            read_embeddings(buf.as_slice()),
+            Err(IoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = Rng::seed_from_u64(3);
+        let emb = Embeddings::init(5, 2, 4, &mut rng);
+        let path = std::env::temp_dir().join(format!("eras_io_test_{}.bin", std::process::id()));
+        save(&path, &emb).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.entity.as_slice(), emb.entity.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,37 @@
+//! Loss-mode configuration shared by the trainers.
+
+/// How the 1-vs-all multiclass log-loss is materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossMode {
+    /// Softmax over every entity — the paper's training objective
+    /// (Lacroix et al. multiclass log-loss). `O(N_e d)` per example.
+    Full,
+    /// Softmax over the target plus `negatives` uniform negatives.
+    /// `O(k d)` per example; used inside search loops where thousands of
+    /// candidate structures must be trained a little rather than one
+    /// structure a lot.
+    Sampled {
+        /// Number of uniform negative candidates.
+        negatives: usize,
+    },
+}
+
+impl LossMode {
+    /// A reasonable sampled default used by the search loops.
+    pub fn sampled_default() -> Self {
+        LossMode::Sampled { negatives: 32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_default_has_negatives() {
+        match LossMode::sampled_default() {
+            LossMode::Sampled { negatives } => assert!(negatives > 0),
+            LossMode::Full => panic!("default should be sampled"),
+        }
+    }
+}

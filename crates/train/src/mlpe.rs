@@ -1,0 +1,315 @@
+//! MlpE — a small neural (NNM) scorer standing in for ConvE/HypER.
+//!
+//! The paper's Table VI includes neural-network models (ConvE, HypER)
+//! that project `(h, r)` through a learned network and score candidates
+//! by inner product with the projection. A 2-D convolution stack is out
+//! of proportion for this reproduction (DESIGN.md §2); MlpE keeps the
+//! family's defining structure — a learned nonlinear projection
+//!
+//! ```text
+//! score(h, r, t) = ⟨ W₂ · relu(W₁ · [h ; r] + b₁) + b₂ , t ⟩
+//! ```
+//!
+//! — with exact manual gradients through both layers (finite-difference
+//! checked). Like ConvE it can model any relation pattern but pays a
+//! `O(d·H)` projection per query and gives up the bilinear models'
+//! algebraic regularisation, which is exactly the trade-off the paper's
+//! taxonomy (Table I) attributes to NNMs.
+
+use crate::embeddings::Embeddings;
+use crate::eval::ScoreModel;
+use eras_data::Triple;
+use eras_linalg::optim::{Adagrad, Optimizer};
+use eras_linalg::softmax::log_loss_and_residual;
+use eras_linalg::vecops;
+use eras_linalg::{Matrix, Rng};
+
+/// The MLP projection scorer.
+#[derive(Debug, Clone)]
+pub struct MlpE {
+    /// First layer, `H × 2d`.
+    w1: Matrix,
+    /// First bias, `H`.
+    b1: Vec<f32>,
+    /// Second layer, `d × H`.
+    w2: Matrix,
+    /// Second bias, `d`.
+    b2: Vec<f32>,
+    hidden: usize,
+    opt_w1: Adagrad,
+    opt_b1: Adagrad,
+    opt_w2: Adagrad,
+    opt_b2: Adagrad,
+    opt_entity: Adagrad,
+    opt_relation: Adagrad,
+    /// Negatives per positive in the sampled softmax.
+    pub negatives: usize,
+}
+
+impl MlpE {
+    /// Create with hidden width `hidden`.
+    pub fn new(emb: &Embeddings, hidden: usize, lr: f32, negatives: usize, rng: &mut Rng) -> Self {
+        let d = emb.dim();
+        let w1 = Matrix::xavier_init(hidden, 2 * d, rng);
+        let w2 = Matrix::xavier_init(d, hidden, rng);
+        MlpE {
+            opt_w1: Adagrad::new(w1.as_slice().len(), lr, 1e-5),
+            opt_b1: Adagrad::new(hidden, lr, 0.0),
+            opt_w2: Adagrad::new(w2.as_slice().len(), lr, 1e-5),
+            opt_b2: Adagrad::new(d, lr, 0.0),
+            opt_entity: Adagrad::new(emb.entity.as_slice().len(), lr, 1e-5),
+            opt_relation: Adagrad::new(emb.relation.as_slice().len(), lr, 1e-5),
+            w1,
+            b1: vec![0.0; hidden],
+            w2,
+            b2: vec![0.0; d],
+            hidden,
+            negatives,
+        }
+    }
+
+    /// One 1-vs-all sampled-softmax step. Returns the loss.
+    fn train_side(
+        &mut self,
+        emb: &mut Embeddings,
+        anchor: u32,
+        rel: u32,
+        target: u32,
+        rng: &mut Rng,
+    ) -> f32 {
+        let d = emb.dim();
+        let ne = emb.num_entities();
+        let h_row: Vec<f32> = emb.entity.row(anchor as usize).to_vec();
+        let r_row: Vec<f32> = emb.relation.row(rel as usize).to_vec();
+        let (hid, q) = self.project_impl(&h_row, &r_row);
+
+        let mut candidates = Vec::with_capacity(self.negatives + 1);
+        candidates.push(target);
+        for _ in 0..self.negatives {
+            let mut c = rng.next_below(ne) as u32;
+            if c == target {
+                c = (c + 1) % ne as u32;
+            }
+            candidates.push(c);
+        }
+        let mut scores: Vec<f32> = candidates
+            .iter()
+            .map(|&c| vecops::dot(&q, emb.entity.row(c as usize)))
+            .collect();
+        let loss = log_loss_and_residual(&mut scores, 0);
+
+        // g_q and candidate updates.
+        let mut g_q = vec![0.0f32; d];
+        let mut row_grad = vec![0.0f32; d];
+        for (slot, &c) in candidates.iter().enumerate() {
+            let resid = scores[slot];
+            vecops::axpy(resid, emb.entity.row(c as usize), &mut g_q);
+            for (g, &qv) in row_grad.iter_mut().zip(&q) {
+                *g = resid * qv;
+            }
+            self.opt_entity
+                .step_at(emb.entity.as_mut_slice(), c as usize * d, &row_grad);
+        }
+
+        // Layer 2: q = W2·hid + b2 → dW2 = g_q ⊗ hid ; db2 = g_q ;
+        // d_hid = W2ᵀ g_q (masked by ReLU).
+        let mut d_hid = vec![0.0f32; self.hidden];
+        for i in 0..d {
+            let gi = g_q[i];
+            if gi != 0.0 {
+                let row = self.w2.row(i);
+                for j in 0..self.hidden {
+                    d_hid[j] += gi * row[j];
+                }
+            }
+        }
+        // Apply W2/b2 updates.
+        let mut w2_row_grad = vec![0.0f32; self.hidden];
+        for i in 0..d {
+            let gi = g_q[i];
+            for (g, &hj) in w2_row_grad.iter_mut().zip(&hid) {
+                *g = gi * hj;
+            }
+            self.opt_w2
+                .step_at(self.w2.as_mut_slice(), i * self.hidden, &w2_row_grad);
+        }
+        self.opt_b2.step_at(&mut self.b2, 0, &g_q);
+
+        // ReLU mask, then layer 1.
+        for j in 0..self.hidden {
+            if hid[j] <= 0.0 {
+                d_hid[j] = 0.0;
+            }
+        }
+        let mut grad_h = vec![0.0f32; d];
+        let mut grad_r = vec![0.0f32; d];
+        let mut w1_row_grad = vec![0.0f32; 2 * d];
+        for j in 0..self.hidden {
+            let gz = d_hid[j];
+            if gz == 0.0 {
+                continue;
+            }
+            let row = self.w1.row(j);
+            vecops::axpy(gz, &row[..d], &mut grad_h);
+            vecops::axpy(gz, &row[d..], &mut grad_r);
+            for (g, &hv) in w1_row_grad[..d].iter_mut().zip(&h_row) {
+                *g = gz * hv;
+            }
+            for (g, &rv) in w1_row_grad[d..].iter_mut().zip(&r_row) {
+                *g = gz * rv;
+            }
+            self.opt_w1
+                .step_at(self.w1.as_mut_slice(), j * 2 * d, &w1_row_grad);
+        }
+        self.opt_b1.step_at(&mut self.b1, 0, &d_hid);
+        self.opt_entity
+            .step_at(emb.entity.as_mut_slice(), anchor as usize * d, &grad_h);
+        self.opt_relation
+            .step_at(emb.relation.as_mut_slice(), rel as usize * d, &grad_r);
+        loss
+    }
+
+    /// Forward pass returning `(hidden activations, query vector)`.
+    fn project_impl(&self, h: &[f32], r: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let d = h.len();
+        let mut hid = vec![0.0f32; self.hidden];
+        for j in 0..self.hidden {
+            let row = self.w1.row(j);
+            let z = vecops::dot(&row[..d], h) + vecops::dot(&row[d..], r) + self.b1[j];
+            hid[j] = z.max(0.0);
+        }
+        let mut q = self.b2.clone();
+        for (i, qv) in q.iter_mut().enumerate() {
+            *qv += vecops::dot(self.w2.row(i), &hid);
+        }
+        (hid, q)
+    }
+
+    /// One pass over the training set (tail prediction only, as ConvE
+    /// trains; head queries at evaluation go through the same projection
+    /// with a reversed lookup). Returns mean loss.
+    pub fn train_epoch(&mut self, emb: &mut Embeddings, train: &[Triple], rng: &mut Rng) -> f32 {
+        if train.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        for &t in train {
+            total += self.train_side(emb, t.head, t.rel, t.tail, rng);
+            total += self.train_side(emb, t.tail, t.rel, t.head, rng);
+        }
+        total / (2.0 * train.len() as f32)
+    }
+}
+
+impl ScoreModel for MlpE {
+    fn score_all_tails(&self, emb: &Embeddings, h: u32, r: u32, out: &mut [f32]) {
+        let (_, q) = self.project_impl(emb.entity.row(h as usize), emb.relation.row(r as usize));
+        emb.entity.matvec(&q, out);
+    }
+
+    fn score_all_heads(&self, emb: &Embeddings, t: u32, r: u32, out: &mut [f32]) {
+        // Symmetric treatment: project (t, r) and score head candidates.
+        // (MlpE trains both directions through the same network.)
+        let (_, q) = self.project_impl(emb.entity.row(t as usize), emb.relation.row(r as usize));
+        emb.entity.matvec(&q, out);
+    }
+
+    fn score_triple(&self, emb: &Embeddings, t: Triple) -> f32 {
+        let (_, q) = self.project_impl(
+            emb.entity.row(t.head as usize),
+            emb.relation.row(t.rel as usize),
+        );
+        vecops::dot(&q, emb.entity.row(t.tail as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_consistency() {
+        let mut rng = Rng::seed_from_u64(1);
+        let emb = Embeddings::init(9, 2, 8, &mut rng);
+        let model = MlpE::new(&emb, 12, 0.05, 4, &mut rng);
+        let mut out = vec![0.0f32; 9];
+        model.score_all_tails(&emb, 3, 1, &mut out);
+        for t in 0..9u32 {
+            let s = model.score_triple(&emb, Triple::new(3, 1, t));
+            assert!((out[t as usize] - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_on_w1() {
+        let mut rng = Rng::seed_from_u64(2);
+        let emb = Embeddings::init(6, 1, 4, &mut rng);
+        let model = MlpE::new(&emb, 5, 0.05, 3, &mut rng);
+        let (h, r, t) = (1u32, 0u32, 2u32);
+
+        let loss_of = |m: &MlpE, e: &Embeddings| -> f32 {
+            let (_, q) = m.project_impl(e.entity.row(h as usize), e.relation.row(r as usize));
+            let mut scores: Vec<f32> = (0..6).map(|c| vecops::dot(&q, e.entity.row(c))).collect();
+            log_loss_and_residual(&mut scores, t as usize)
+        };
+
+        // Analytic: replicate the layer math with full candidates.
+        let (hid, q) = model.project_impl(emb.entity.row(1), emb.relation.row(0));
+        let mut scores: Vec<f32> = (0..6).map(|c| vecops::dot(&q, emb.entity.row(c))).collect();
+        let _ = log_loss_and_residual(&mut scores, t as usize);
+        let mut g_q = vec![0.0f32; 4];
+        for (c, &resid) in scores.iter().enumerate() {
+            vecops::axpy(resid, emb.entity.row(c), &mut g_q);
+        }
+        let mut d_hid = [0.0f32; 5];
+        for i in 0..4 {
+            for j in 0..5 {
+                d_hid[j] += g_q[i] * model.w2.get(i, j);
+            }
+        }
+        for j in 0..5 {
+            if hid[j] <= 0.0 {
+                d_hid[j] = 0.0;
+            }
+        }
+        // dW1[j][k] = d_hid[j] * input[k] with input = [h ; r].
+        let input: Vec<f32> = emb
+            .entity
+            .row(1)
+            .iter()
+            .chain(emb.relation.row(0))
+            .copied()
+            .collect();
+
+        let eps = 1e-3f32;
+        for (j, k) in [(0usize, 0usize), (2, 3), (4, 7), (1, 5)] {
+            let analytic = d_hid[j] * input[k];
+            let mut plus = model.clone();
+            let idx = j * 8 + k;
+            plus.w1.as_mut_slice()[idx] += eps;
+            let mut minus = model.clone();
+            minus.w1.as_mut_slice()[idx] -= eps;
+            let fd = (loss_of(&plus, &emb) - loss_of(&minus, &emb)) / (2.0 * eps);
+            assert!(
+                (fd - analytic).abs() < 2e-2,
+                "w1[{j},{k}]: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut emb = Embeddings::init(12, 2, 8, &mut rng);
+        let train: Vec<Triple> = (0..10u32)
+            .map(|i| Triple::new(i, i % 2, (i + 3) % 12))
+            .collect();
+        let mut model = MlpE::new(&emb, 16, 0.1, 6, &mut rng);
+        let first = model.train_epoch(&mut emb, &train, &mut rng);
+        let mut last = first;
+        for _ in 0..30 {
+            last = model.train_epoch(&mut emb, &train, &mut rng);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+}

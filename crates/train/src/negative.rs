@@ -1,0 +1,187 @@
+//! Filtered negative sampling for margin-based trainers and the
+//! triplet-classification harness.
+//!
+//! Two corruption strategies: uniform head-or-tail (TransE) and the
+//! cardinality-aware *Bernoulli* sampling of TransH, which corrupts the
+//! side less likely to produce a false negative (for a 1-N relation,
+//! corrupting the head risks hitting another true head, so the tail side
+//! is preferred, and vice versa).
+
+use eras_data::analysis::relation_cardinalities;
+use eras_data::{FilterIndex, Triple};
+use eras_linalg::Rng;
+
+/// Corrupt `triple` into a negative by replacing the head or the tail
+/// (chosen uniformly) with a random entity, rejecting corruptions that are
+/// themselves known true triples. Gives up after a bounded number of
+/// rejections and returns the last candidate (which can only happen in
+/// pathologically dense graphs).
+pub fn corrupt(triple: Triple, num_entities: usize, filter: &FilterIndex, rng: &mut Rng) -> Triple {
+    corrupt_with_tail_prob(triple, num_entities, filter, 0.5, rng)
+}
+
+/// TransH-style Bernoulli corruptor: per relation, the probability of
+/// corrupting the tail is `tph / (tph + hpt)` (tails-per-head over the sum
+/// with heads-per-tail), so many-valued sides are corrupted less often.
+#[derive(Debug, Clone)]
+pub struct BernoulliCorruptor {
+    /// Per-relation probability of corrupting the tail.
+    tail_prob: Vec<f64>,
+}
+
+impl BernoulliCorruptor {
+    /// Fit the per-relation probabilities from training triples.
+    pub fn fit(train: &[Triple], num_relations: usize) -> Self {
+        let tail_prob = relation_cardinalities(train, num_relations)
+            .into_iter()
+            .map(|c| {
+                let denom = c.tails_per_head + c.heads_per_tail;
+                if denom <= 0.0 {
+                    0.5
+                } else {
+                    c.tails_per_head / denom
+                }
+            })
+            .collect();
+        BernoulliCorruptor { tail_prob }
+    }
+
+    /// Probability of corrupting the tail for `rel`.
+    pub fn tail_prob(&self, rel: u32) -> f64 {
+        self.tail_prob.get(rel as usize).copied().unwrap_or(0.5)
+    }
+
+    /// Sample a filtered negative for `triple`.
+    pub fn corrupt(
+        &self,
+        triple: Triple,
+        num_entities: usize,
+        filter: &FilterIndex,
+        rng: &mut Rng,
+    ) -> Triple {
+        corrupt_with_tail_prob(
+            triple,
+            num_entities,
+            filter,
+            self.tail_prob(triple.rel),
+            rng,
+        )
+    }
+}
+
+/// Shared corruption core with an explicit tail-corruption probability.
+fn corrupt_with_tail_prob(
+    triple: Triple,
+    num_entities: usize,
+    filter: &FilterIndex,
+    tail_prob: f64,
+    rng: &mut Rng,
+) -> Triple {
+    debug_assert!(num_entities > 1);
+    let corrupt_tail = rng.bernoulli(tail_prob);
+    let mut candidate = triple;
+    for _ in 0..64 {
+        let e = rng.next_below(num_entities) as u32;
+        candidate = if corrupt_tail {
+            Triple::new(triple.head, triple.rel, e)
+        } else {
+            Triple::new(e, triple.rel, triple.tail)
+        };
+        if candidate != triple && !filter.contains(candidate) {
+            return candidate;
+        }
+    }
+    candidate
+}
+
+/// Produce one filtered negative per input triple (for classification
+/// test sets, mirroring how the benchmarks' published negatives were
+/// constructed).
+pub fn negatives_for(
+    triples: &[Triple],
+    num_entities: usize,
+    filter: &FilterIndex,
+    rng: &mut Rng,
+) -> Vec<Triple> {
+    triples
+        .iter()
+        .map(|&t| corrupt(t, num_entities, filter, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_of(triples: &[Triple]) -> FilterIndex {
+        FilterIndex::from_triples(triples.iter().copied())
+    }
+
+    #[test]
+    fn negatives_are_not_known_positives() {
+        let pos: Vec<Triple> = (0..20).map(|i| Triple::new(i, 0, (i + 1) % 21)).collect();
+        let filter = filter_of(&pos);
+        let mut rng = Rng::seed_from_u64(1);
+        for &t in &pos {
+            for _ in 0..10 {
+                let neg = corrupt(t, 21, &filter, &mut rng);
+                assert!(!filter.contains(neg), "sampled a positive {neg:?}");
+                assert_ne!(neg, t);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_shares_relation_and_one_endpoint() {
+        let pos = [Triple::new(0, 3, 1)];
+        let filter = filter_of(&pos);
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..20 {
+            let neg = corrupt(pos[0], 50, &filter, &mut rng);
+            assert_eq!(neg.rel, 3);
+            assert!(neg.head == 0 || neg.tail == 1);
+        }
+    }
+
+    #[test]
+    fn bernoulli_prefers_safer_side() {
+        // 1-N relation: head 0 points at many tails. tph ≈ 10, hpt = 1 →
+        // tail corruption probability ≈ 10/11: corrupting the tail rarely
+        // produces a false negative, corrupting the (single) head often
+        // would.
+        let pos: Vec<Triple> = (0..10).map(|t| Triple::new(0, 0, t + 1)).collect();
+        let corruptor = BernoulliCorruptor::fit(&pos, 1);
+        assert!(
+            corruptor.tail_prob(0) > 0.85,
+            "1-N relation should corrupt tails, p = {}",
+            corruptor.tail_prob(0)
+        );
+        // Empirically, most sampled negatives replace the tail.
+        let filter = filter_of(&pos);
+        let mut rng = Rng::seed_from_u64(5);
+        let mut tail_corruptions = 0;
+        for _ in 0..200 {
+            let neg = corruptor.corrupt(pos[0], 50, &filter, &mut rng);
+            if neg.head == pos[0].head {
+                tail_corruptions += 1;
+            }
+            assert!(!filter.contains(neg));
+        }
+        assert!(tail_corruptions > 160, "{tail_corruptions}/200");
+    }
+
+    #[test]
+    fn bernoulli_unknown_relation_falls_back_to_half() {
+        let corruptor = BernoulliCorruptor::fit(&[], 0);
+        assert_eq!(corruptor.tail_prob(7), 0.5);
+    }
+
+    #[test]
+    fn negatives_for_produces_one_per_triple() {
+        let pos: Vec<Triple> = (0..5).map(|i| Triple::new(i, 0, i + 10)).collect();
+        let filter = filter_of(&pos);
+        let mut rng = Rng::seed_from_u64(3);
+        let negs = negatives_for(&pos, 30, &filter, &mut rng);
+        assert_eq!(negs.len(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Rule mining on a leaky benchmark: why AnyBURL embarrasses embeddings
+//! on WN18.
+//!
+//! ```sh
+//! cargo run --release --example rule_mining
+//! ```
+//!
+//! WN18's inverse relation pairs mean the reverse of many test triples
+//! sits in the training set under the partner relation. A single learned
+//! inversion rule exploits that perfectly — the reason the paper's
+//! Table VI shows the rule-based AnyBURL matching billion-parameter
+//! embedding models on WN18 while trailing on the de-leaked FB15k-237.
+
+use eras::prelude::*;
+
+fn mrr_on(dataset: &Dataset, model: &RuleModel, pattern: RelationPattern) -> Option<f64> {
+    let triples = dataset.test_triples_with_pattern(pattern);
+    if triples.is_empty() {
+        return None;
+    }
+    let filter = FilterIndex::build(dataset);
+    let emb = model.dummy_embeddings();
+    Some(link_prediction(model, &emb, &triples, &filter).mrr)
+}
+
+fn main() {
+    for preset in [Preset::Wn18, Preset::Fb15k237] {
+        let dataset = preset.build(7);
+        println!("=== {} ===", dataset.name);
+        let started = std::time::Instant::now();
+        let model = RuleModel::learn(&dataset, &LearnConfig::default());
+        println!(
+            "mined {} rules in {:.1}s; strongest per relation:",
+            model.num_rules(),
+            started.elapsed().as_secs_f64()
+        );
+        for rel in 0..dataset.num_relations() as u32 {
+            if let Some(best) = model.rules_for(rel).first() {
+                println!(
+                    "  {:<30} conf {:.2}  {}",
+                    dataset.relations.name(rel),
+                    best.confidence,
+                    best.rule
+                );
+            }
+        }
+        for pattern in [
+            RelationPattern::Inverse,
+            RelationPattern::Symmetric,
+            RelationPattern::GeneralAsymmetric,
+        ] {
+            if let Some(mrr) = mrr_on(&dataset, &model, pattern) {
+                println!("  test MRR on {:<20} {:.3}", pattern.label(), mrr);
+            }
+        }
+        println!();
+    }
+    println!(
+        "shape: rules ace the inverse/symmetric slices of the leaky dataset and\n\
+         collapse on generally-asymmetric relations — the paper's AnyBURL row."
+    );
+}

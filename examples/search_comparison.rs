@@ -1,0 +1,100 @@
+//! Search-efficiency comparison (the paper's Figure 2, in miniature).
+//!
+//! ```sh
+//! cargo run --release --example search_comparison
+//! ```
+//!
+//! Runs ERAS (one-shot, embedding-shared) against the stand-alone
+//! searchers — AutoSF's progressive greedy, random search and TPE — under
+//! a small evaluation budget and prints each method's best validation MRR
+//! and wall-clock time.
+
+use eras::prelude::*;
+use eras::search::autosf::{self, AutoSfConfig};
+use eras::search::evaluator::SearchBudget;
+use eras::search::{random, tpe};
+
+fn main() {
+    let dataset = Preset::Tiny.build(5);
+    let filter = FilterIndex::build(&dataset);
+    let train_cfg = TrainConfig {
+        dim: 16,
+        max_epochs: 10,
+        eval_every: 5,
+        patience: 2,
+        ..TrainConfig::default()
+    };
+    let budget = SearchBudget {
+        max_evaluations: 12,
+        max_seconds: f64::INFINITY,
+    };
+
+    println!(
+        "search comparison on {} (budget: 12 stand-alone evaluations)\n",
+        dataset.name
+    );
+    println!(
+        "{:<10} | {:>9} | {:>6} | {:>8}",
+        "method", "evals", "MRR", "time (s)"
+    );
+    println!("{}", "-".repeat(42));
+
+    let started = std::time::Instant::now();
+    let autosf = autosf::search(
+        &dataset,
+        &filter,
+        &train_cfg,
+        &AutoSfConfig::default(),
+        budget,
+    );
+    println!(
+        "{:<10} | {:>9} | {:>6.3} | {:>8.1}",
+        "AutoSF",
+        autosf.evaluations,
+        autosf.best_mrr,
+        started.elapsed().as_secs_f64()
+    );
+
+    let started = std::time::Instant::now();
+    let rand_result = random::search(&dataset, &filter, &train_cfg, 4, 8, 0, budget);
+    println!(
+        "{:<10} | {:>9} | {:>6.3} | {:>8.1}",
+        "Random",
+        rand_result.evaluations,
+        rand_result.best_mrr,
+        started.elapsed().as_secs_f64()
+    );
+
+    let started = std::time::Instant::now();
+    let tpe_result = tpe::search(
+        &dataset,
+        &filter,
+        &train_cfg,
+        &tpe::TpeConfig::default(),
+        budget,
+    );
+    println!(
+        "{:<10} | {:>9} | {:>6.3} | {:>8.1}",
+        "Bayes",
+        tpe_result.evaluations,
+        tpe_result.best_mrr,
+        started.elapsed().as_secs_f64()
+    );
+
+    // ERAS trains ONE shared supernet instead of 12 stand-alone models.
+    let started = std::time::Instant::now();
+    let cfg = ErasConfig {
+        n_groups: 2,
+        epochs: 15,
+        retrain: train_cfg,
+        ..ErasConfig::fast()
+    };
+    let outcome = run_eras(&dataset, &filter, &cfg, Variant::Full);
+    println!(
+        "{:<10} | {:>9} | {:>6.3} | {:>8.1}",
+        "ERAS",
+        "(one-shot)",
+        outcome.valid.mrr,
+        started.elapsed().as_secs_f64()
+    );
+}

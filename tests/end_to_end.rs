@@ -1,0 +1,97 @@
+//! Cross-crate integration tests: the full ERAS pipeline through the
+//! facade API.
+
+use eras::prelude::*;
+
+#[test]
+fn eras_pipeline_produces_consistent_artifacts() {
+    let dataset = Preset::Tiny.build(100);
+    let filter = FilterIndex::build(&dataset);
+    let cfg = ErasConfig {
+        n_groups: 2,
+        epochs: 6,
+        ..ErasConfig::fast()
+    };
+    let outcome = run_eras(&dataset, &filter, &cfg, Variant::Full);
+
+    // Structures, assignment and model agree with each other.
+    assert_eq!(outcome.sfs.len(), cfg.n_groups);
+    assert_eq!(outcome.assignment.len(), dataset.num_relations());
+    assert_eq!(outcome.model.sfs(), outcome.sfs.as_slice());
+    assert_eq!(outcome.model.assignment(), outcome.assignment.as_slice());
+
+    // The exploitative constraint holds on the derived set.
+    let supernet = Supernet::new(cfg.m, cfg.n_groups);
+    assert!(supernet.satisfies_exploitative_constraint(&outcome.sfs));
+
+    // Retrained embeddings have the retrain dimension and score finitely.
+    assert_eq!(outcome.embeddings.dim(), cfg.retrain.dim);
+    let t = dataset.test[0];
+    assert!(outcome
+        .model
+        .score_triple(&outcome.embeddings, t)
+        .is_finite());
+
+    // Metrics are proper probabilities-ish and the trace is non-trivial.
+    for m in [outcome.valid, outcome.test] {
+        assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+        assert!(m.hits1 <= m.hits3 && m.hits3 <= m.hits10);
+    }
+    assert_eq!(outcome.search_trace.len(), cfg.epochs);
+}
+
+#[test]
+fn eras_runs_are_reproducible_through_the_facade() {
+    let dataset = Preset::Tiny.build(101);
+    let filter = FilterIndex::build(&dataset);
+    let cfg = ErasConfig {
+        epochs: 3,
+        ..ErasConfig::fast()
+    };
+    let a = run_eras(&dataset, &filter, &cfg, Variant::Full);
+    let b = run_eras(&dataset, &filter, &cfg, Variant::Full);
+    assert_eq!(a.sfs, b.sfs);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.test.mrr, b.test.mrr);
+    assert_eq!(a.search_trace.points.len(), b.search_trace.points.len());
+    for (pa, pb) in a.search_trace.points.iter().zip(&b.search_trace.points) {
+        assert_eq!(pa.candidate_mrr, pb.candidate_mrr);
+    }
+}
+
+#[test]
+fn every_ablation_variant_completes() {
+    let dataset = Preset::Tiny.build(102);
+    let filter = FilterIndex::build(&dataset);
+    let cfg = ErasConfig {
+        epochs: 2,
+        n_groups: 2,
+        derive_k: 2,
+        derive_screen: 1,
+        ..ErasConfig::fast()
+    };
+    for variant in Variant::ablations() {
+        let outcome = run_eras(&dataset, &filter, &cfg, variant);
+        assert!(
+            outcome.test.mrr.is_finite() && outcome.test.mrr > 0.0,
+            "{variant:?} produced mrr {}",
+            outcome.test.mrr
+        );
+    }
+}
+
+#[test]
+fn searched_model_classifies_triplets() {
+    let dataset = Preset::Tiny.build(103);
+    let filter = FilterIndex::build(&dataset);
+    let cfg = ErasConfig {
+        epochs: 6,
+        ..ErasConfig::fast()
+    };
+    let outcome = run_eras(&dataset, &filter, &cfg, Variant::Full);
+    let acc = classify_dataset(&outcome.model, &outcome.embeddings, &dataset, &filter, 5);
+    assert!(
+        acc > 0.5,
+        "trained searched model should classify better than coin flips, got {acc}"
+    );
+}

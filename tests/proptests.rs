@@ -1,0 +1,168 @@
+//! Cross-crate property-based tests (proptest).
+
+use eras::linalg::Rng;
+use eras::prelude::*;
+use eras::sf::canonical;
+use proptest::prelude::*;
+
+/// Strategy: a random op index for M = 4 (0..9).
+fn op_index() -> impl Strategy<Value = usize> {
+    0usize..9
+}
+
+/// Strategy: a random M = 4 block structure.
+fn block_sf() -> impl Strategy<Value = BlockSf> {
+    proptest::collection::vec(op_index(), 16).prop_map(|idx| BlockSf::from_indices(4, &idx))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalisation is idempotent and stable under group transforms.
+    #[test]
+    fn canonicalization_idempotent_and_invariant(sf in block_sf(), perm_seed in 0u64..1000, flips in 0u32..16) {
+        let canon = canonical::canonicalize(&sf);
+        prop_assert_eq!(canonical::canonicalize(&canon), canon.clone());
+        // Any transform of sf has the same canonical form.
+        let mut rng = Rng::seed_from_u64(perm_seed);
+        let mut perm: Vec<usize> = (0..4).collect();
+        rng.shuffle(&mut perm);
+        let transformed = canonical::transform(&sf, &perm, flips);
+        prop_assert_eq!(canonical::canonicalize(&transformed), canon);
+    }
+
+    /// Structural invariants survive the symmetry group.
+    #[test]
+    fn invariants_stable_under_transform(sf in block_sf(), seed in 0u64..1000, flips in 0u32..16) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..4).collect();
+        rng.shuffle(&mut perm);
+        let t = canonical::transform(&sf, &perm, flips);
+        prop_assert_eq!(t.num_nonzero(), sf.num_nonzero());
+        prop_assert_eq!(t.blocks_used().count_ones(), sf.blocks_used().count_ones());
+        prop_assert_eq!(t.is_degenerate(), sf.is_degenerate());
+    }
+
+    /// Expressiveness flags are invariant under the symmetry group —
+    /// they are properties of the function family, not the encoding.
+    #[test]
+    fn expressiveness_invariant_under_transform(sf in block_sf(), seed in 0u64..1000, flips in 0u32..16) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..4).collect();
+        rng.shuffle(&mut perm);
+        let t = canonical::transform(&sf, &perm, flips);
+        let ea = eras::sf::expressive::analyze(&sf);
+        let eb = eras::sf::expressive::analyze(&t);
+        prop_assert_eq!(ea, eb);
+    }
+
+    /// Token encode/decode through the supernet is a bijection on
+    /// well-formed sequences.
+    #[test]
+    fn supernet_token_roundtrip(tokens in proptest::collection::vec(op_index(), 32)) {
+        let supernet = Supernet::new(4, 2);
+        let sfs = supernet.decode(&tokens);
+        prop_assert_eq!(supernet.encode(&sfs), tokens);
+    }
+
+    /// Scoring is linear in the structure: scoring with a structure whose
+    /// every op sign is flipped negates the score.
+    #[test]
+    fn sign_flip_negates_score(sf in block_sf(), seed in 0u64..1000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let emb = Embeddings::init(10, 2, 16, &mut rng);
+        let flipped_grid: Vec<Op> = sf.cells().iter().map(|op| op.negate()).collect();
+        let flipped = BlockSf::from_grid(4, flipped_grid);
+        let model_a = BlockModel::universal(sf, 2);
+        let model_b = BlockModel::universal(flipped, 2);
+        let t = Triple::new(1, 0, 3);
+        let sa = model_a.score_triple(&emb, t);
+        let sb = model_b.score_triple(&emb, t);
+        prop_assert!((sa + sb).abs() < 1e-4 * (1.0 + sa.abs()));
+    }
+
+    /// Filtered ranks are within [1, N] and reciprocal ranks aggregate to
+    /// an MRR within (0, 1].
+    #[test]
+    fn rank_bounds(scores in proptest::collection::vec(-100.0f32..100.0, 20), target in 0u32..20) {
+        let rank = eras::train::eval::filtered_rank(&scores, target, &[]);
+        prop_assert!(rank >= 1.0);
+        prop_assert!(rank <= scores.len() as f64);
+    }
+
+    /// Quaternion-style rotation scoring (QuatE) preserves candidate
+    /// ordering under global score shifts... more precisely: the
+    /// tail-query identity ⟨h ⊗ r̂, t⟩ = ⟨h, t ⊗ r̂*⟩ holds for random
+    /// embeddings (head/tail query consistency).
+    #[test]
+    fn quate_head_tail_query_identity(seed in 0u64..500) {
+        use eras::train::quate::QuatE;
+        use eras::train::eval::ScoreModel;
+        let mut rng = Rng::seed_from_u64(seed);
+        let emb = Embeddings::init(8, 2, 8, &mut rng);
+        let model = QuatE::new(&emb, 0.1, 2);
+        let mut tails = vec![0.0f32; 8];
+        let mut heads = vec![0.0f32; 8];
+        model.score_all_tails(&emb, 1, 0, &mut tails);
+        model.score_all_heads(&emb, 3, 0, &mut heads);
+        // score(1, r0, 3) computed both ways must agree.
+        prop_assert!((tails[3] - heads[1]).abs() < 1e-3 * (1.0 + tails[3].abs()));
+    }
+
+    /// Mined rules never include the trivial identity and always respect
+    /// the per-relation cap.
+    #[test]
+    fn rule_mining_invariants(seed in 0u64..50, n_edges in 20usize..80) {
+        use eras::rules::{learn_rules, LearnConfig};
+        let mut rng = Rng::seed_from_u64(seed);
+        let triples: Vec<Triple> = (0..n_edges)
+            .map(|_| Triple::new(
+                rng.next_below(30) as u32,
+                rng.next_below(3) as u32,
+                rng.next_below(30) as u32,
+            ))
+            .collect();
+        let graph = eras::rules::graph::Graph::build(&triples, 3);
+        let cfg = LearnConfig { max_rules_per_relation: 5, ..LearnConfig::default() };
+        let rules = learn_rules(&graph, &cfg);
+        let mut counts = std::collections::HashMap::new();
+        for s in &rules {
+            prop_assert!(!s.rule.is_trivial());
+            prop_assert!(s.confidence >= cfg.min_confidence);
+            prop_assert!(s.confidence <= 1.0 + 1e-9);
+            *counts.entry(s.rule.head_rel).or_insert(0usize) += 1;
+        }
+        prop_assert!(counts.values().all(|&c| c <= 5));
+    }
+
+    /// The generator always produces valid datasets across a range of
+    /// shapes.
+    #[test]
+    fn generator_always_valid(
+        num_entities in 10usize..80,
+        seed in 0u64..50,
+        sym in 10usize..60,
+        anti in 10usize..60,
+    ) {
+        let cfg = GeneratorConfig {
+            name: "prop".into(),
+            num_entities,
+            num_clusters: 3,
+            planted_dim: 3,
+            relations: vec![
+                RelationSpec { pattern: RelationPattern::Symmetric, num_triples: sym },
+                RelationSpec { pattern: RelationPattern::AntiSymmetric, num_triples: anti },
+            ],
+            zipf_exponent: 0.4,
+            entity_noise: 0.7,
+            noise: 0.05,
+            candidate_pool: usize::MAX,
+            valid_frac: 0.1,
+            test_frac: 0.1,
+            seed,
+        };
+        let dataset = generate(&cfg);
+        prop_assert!(dataset.validate().is_ok());
+        prop_assert!(!dataset.train.is_empty());
+    }
+}

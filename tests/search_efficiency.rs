@@ -1,0 +1,65 @@
+//! Integration test for the paper's headline efficiency claim
+//! (Figure 2 / Table IX): the one-shot supernet search completes far
+//! faster than a stand-alone searcher given a comparable number of
+//! candidate evaluations, because it never trains candidates from
+//! scratch.
+
+use eras::prelude::*;
+use eras::search::evaluator::SearchBudget;
+use eras::search::random;
+use std::time::Instant;
+
+#[test]
+fn one_shot_search_is_much_faster_than_standalone() {
+    let dataset = Preset::Tiny.build(400);
+    let filter = FilterIndex::build(&dataset);
+
+    // Stand-alone: 10 random candidates, each trained for 8 epochs.
+    let train_cfg = TrainConfig {
+        dim: 16,
+        max_epochs: 8,
+        eval_every: 8,
+        patience: 1,
+        ..TrainConfig::default()
+    };
+    let started = Instant::now();
+    let standalone = random::search(
+        &dataset,
+        &filter,
+        &train_cfg,
+        4,
+        8,
+        1,
+        SearchBudget {
+            max_evaluations: 10,
+            max_seconds: f64::INFINITY,
+        },
+    );
+    let standalone_secs = started.elapsed().as_secs_f64();
+    assert_eq!(standalone.evaluations, 10);
+
+    // One-shot: ERAS evaluates 10 epochs × 2 updates × 4 samples = 80
+    // candidate rewards against ONE shared embedding set.
+    let cfg = ErasConfig {
+        epochs: 10,
+        ctrl_updates_per_epoch: 2,
+        u_samples: 4,
+        derive_k: 2,
+        derive_screen: 1,
+        ..ErasConfig::fast()
+    };
+    let outcome = run_eras(&dataset, &filter, &cfg, Variant::Full);
+
+    // The supernet phase alone must be well under the stand-alone search
+    // (the paper reports >10x; we assert a conservative 2x to stay robust
+    // to CI noise).
+    assert!(
+        outcome.search_secs * 2.0 < standalone_secs,
+        "one-shot search {:.2}s should be well under stand-alone {:.2}s",
+        outcome.search_secs,
+        standalone_secs
+    );
+
+    // And it evaluated at least as many candidates.
+    assert!(cfg.epochs * cfg.ctrl_updates_per_epoch * cfg.u_samples >= 10);
+}
