@@ -1,0 +1,84 @@
+//! Pass 3 — configuration diagnostics.
+//!
+//! Runs the structured validation in `eras_core::config` over the
+//! shipped presets (`ErasConfig::default()`, `ErasConfig::fast()`,
+//! `TrainConfig::default()`) and over any caller-supplied configuration,
+//! and lifts each [`eras_core::ConfigDiagnostic`] into an audit
+//! [`Finding`]. The diagnostic codes (`E3xx` / `W32x`) are defined in
+//! `eras-core`; this pass is the packaging that makes them part of the
+//! CI gate — a preset that stops validating fails the build, not the
+//! first training run that uses it.
+
+use crate::diag::Finding;
+use eras_core::{train_diagnostics, ConfigDiagnostic, ErasConfig};
+use eras_train::trainer::TrainConfig;
+
+/// Lift config diagnostics into audit findings, tagging the source
+/// configuration.
+pub fn findings_from_diagnostics(source: &str, diags: &[ConfigDiagnostic]) -> Vec<Finding> {
+    diags
+        .iter()
+        .map(|d| Finding {
+            code: d.code,
+            severity: d.severity,
+            pass: "config",
+            location: format!("{source}.{}", d.field),
+            message: d.message.clone(),
+        })
+        .collect()
+}
+
+/// Audit one search configuration (its embedded retrain config is
+/// covered by `ErasConfig::diagnostics`).
+pub fn run_on(source: &str, cfg: &ErasConfig) -> Vec<Finding> {
+    findings_from_diagnostics(source, &cfg.diagnostics())
+}
+
+/// Audit one stand-alone training configuration.
+pub fn run_on_train(source: &str, cfg: &TrainConfig) -> Vec<Finding> {
+    findings_from_diagnostics(source, &train_diagnostics(cfg))
+}
+
+/// Audit every preset the repo ships.
+pub fn run() -> Vec<Finding> {
+    let mut findings = run_on("ErasConfig::default", &ErasConfig::default());
+    findings.extend(run_on("ErasConfig::fast", &ErasConfig::fast()));
+    findings.extend(run_on_train(
+        "TrainConfig::default",
+        &TrainConfig::default(),
+    ));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_core::Severity;
+
+    #[test]
+    fn shipped_presets_are_clean() {
+        let findings = run();
+        assert!(
+            findings.iter().all(|f| f.severity != Severity::Error),
+            "shipped presets must validate: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_flagged() {
+        // dim not divisible by M is the canonical E301.
+        let cfg = ErasConfig {
+            dim: 30,
+            m: 4,
+            ..ErasConfig::default()
+        };
+        let findings = run_on("bad", &cfg);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.code == "E301" && f.severity == Severity::Error),
+            "expected E301: {findings:?}"
+        );
+        assert!(findings[0].location.starts_with("bad."));
+    }
+}

@@ -1,0 +1,146 @@
+//! Findings and reports shared by all audit passes.
+
+use eras_core::Severity;
+use eras_data::json::Json;
+use std::fmt;
+
+/// One finding from one audit pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable diagnostic code (`E101`, `W402`, …) — catalogued in
+    /// `docs/audit.md`.
+    pub code: &'static str,
+    /// Severity level (reused from the config diagnostics).
+    pub severity: Severity,
+    /// Which pass produced it (`sf`, `grad`, `config`, `lint`).
+    pub pass: &'static str,
+    /// Where: an SF name, a contract case, a config field, or
+    /// `file:line`.
+    pub location: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} ({}): {}",
+            self.severity, self.code, self.location, self.pass, self.message
+        )
+    }
+}
+
+impl Finding {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("code", self.code)
+            .set("severity", self.severity.to_string())
+            .set("pass", self.pass)
+            .set("location", self.location.as_str())
+            .set("message", self.message.as_str())
+    }
+}
+
+/// The aggregate result of an audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Names of the passes that ran, in order.
+    pub passes_run: Vec<&'static str>,
+    /// All findings, in pass order.
+    pub findings: Vec<Finding>,
+}
+
+impl AuditReport {
+    /// Findings at a given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Whether the audit should exit non-zero. Errors always fail;
+    /// warnings fail only under `--deny warnings`.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) > 0 || (deny_warnings && self.count(Severity::Warning) > 0)
+    }
+
+    /// Findings with a given code (used by the gate tests).
+    pub fn with_code(&self, code: &str) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| f.code == code).collect()
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "audit: passes run: {}\n",
+            self.passes_run.join(", ")
+        ));
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "audit: {} error(s), {} warning(s), {} info\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Machine-readable report for `--format json`.
+    pub fn render_json(&self) -> String {
+        let passes: Vec<Json> = self
+            .passes_run
+            .iter()
+            .map(|p| Json::Str(p.to_string()))
+            .collect();
+        let findings: Vec<Json> = self.findings.iter().map(Finding::to_json).collect();
+        Json::obj()
+            .set("passes_run", Json::Arr(passes))
+            .set("errors", self.count(Severity::Error))
+            .set("warnings", self.count(Severity::Warning))
+            .set("findings", Json::Arr(findings))
+            .to_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: &'static str, severity: Severity) -> Finding {
+        Finding {
+            code,
+            severity,
+            pass: "test",
+            location: "here".into(),
+            message: "msg".into(),
+        }
+    }
+
+    #[test]
+    fn failure_logic() {
+        let mut r = AuditReport::default();
+        assert!(!r.failed(false));
+        r.findings.push(finding("W999", Severity::Warning));
+        assert!(!r.failed(false));
+        assert!(r.failed(true));
+        r.findings.push(finding("E999", Severity::Error));
+        assert!(r.failed(false));
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let mut r = AuditReport::default();
+        r.passes_run.push("sf");
+        r.findings.push(finding("E101", Severity::Error));
+        let parsed = Json::parse(&r.render_json()).expect("valid json");
+        assert_eq!(parsed.get("errors").and_then(Json::as_usize), Some(1));
+        let fs = parsed.get("findings").and_then(Json::as_arr).expect("arr");
+        assert_eq!(fs[0].get("code").and_then(Json::as_str), Some("E101"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Pass 2 — the gradient contract.
+//!
+//! Runs `eras_train::run_all_contracts()`: every analytic gradient in
+//! the training engine (block bilinear, TransE/TransH/RotatE, TuckER,
+//! HolE, QuatE, MlpE, and the shared loss kernels) re-checked against
+//! central finite differences. A contract whose worst per-coordinate
+//! relative error exceeds [`eras_train::contract::DEFAULT_TOLERANCE`]
+//! is an `E201` error; passing contracts are reported as info findings
+//! so the coverage is visible in the audit output.
+
+use crate::diag::Finding;
+use eras_core::Severity;
+use eras_train::contract::DEFAULT_TOLERANCE;
+use eras_train::GradReport;
+
+/// Convert contract reports into findings.
+pub fn findings_from_reports(reports: &[GradReport], tolerance: f64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for report in reports {
+        if report.passes(tolerance) {
+            findings.push(Finding {
+                code: "I200",
+                severity: Severity::Info,
+                pass: "grad",
+                location: report.model.clone(),
+                message: format!(
+                    "{} coordinates checked, max rel err {:.2e} (tolerance {:.0e})",
+                    report.params_checked, report.max_rel_err, tolerance
+                ),
+            });
+            continue;
+        }
+        let worst = report
+            .tensors
+            .iter()
+            .max_by(|a, b| a.max_rel_err.total_cmp(&b.max_rel_err));
+        let detail = match worst {
+            Some(t) => format!(
+                "worst tensor `{}`: rel err {:.2e} (analytic {:.4e}, finite-diff {:.4e})",
+                t.tensor, t.max_rel_err, t.worst_analytic, t.worst_fd
+            ),
+            None => "no tensors checked".to_string(),
+        };
+        findings.push(Finding {
+            code: "E201",
+            severity: Severity::Error,
+            pass: "grad",
+            location: report.model.clone(),
+            message: format!(
+                "analytic gradient disagrees with finite differences \
+                 (max rel err {:.2e} > {:.0e}); {}",
+                report.max_rel_err, tolerance, detail
+            ),
+        });
+    }
+    findings
+}
+
+/// Run the full gradient contract at the default tolerance.
+pub fn run() -> Vec<Finding> {
+    findings_from_reports(&eras_train::run_all_contracts(), DEFAULT_TOLERANCE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_train::contract::{GradReport, TensorCheck};
+
+    fn report(max: f64) -> GradReport {
+        GradReport {
+            model: "fake".to_string(),
+            params_checked: 4,
+            max_rel_err: max,
+            tensors: vec![TensorCheck {
+                tensor: "entity",
+                len: 4,
+                max_rel_err: max,
+                worst_fd: 1.0,
+                worst_analytic: 1.0 + max,
+            }],
+        }
+    }
+
+    #[test]
+    fn failing_report_becomes_e201() {
+        let findings = findings_from_reports(&[report(0.5)], DEFAULT_TOLERANCE);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "E201");
+        assert_eq!(findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn passing_report_becomes_info() {
+        let findings = findings_from_reports(&[report(1e-5)], DEFAULT_TOLERANCE);
+        assert_eq!(findings[0].code, "I200");
+        assert_eq!(findings[0].severity, Severity::Info);
+    }
+}

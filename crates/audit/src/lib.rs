@@ -1,0 +1,115 @@
+//! # eras-audit
+//!
+//! The static verification subsystem behind `eras audit`: four passes
+//! that check the things the compiler and unit tests cannot, in
+//! milliseconds-to-seconds, as a CI gate.
+//!
+//! - [`sf_pass`] — SF-DSL analysis: degeneracy, canonicalisation
+//!   idempotence and duplicate detection over every scoring function
+//!   reachable from the zoo and the search space (`E1xx`/`W104`);
+//! - [`grad_pass`] — the gradient contract: every analytic gradient in
+//!   `eras-train` re-verified against central finite differences
+//!   (`E201`);
+//! - [`config_pass`] — structured configuration diagnostics over the
+//!   shipped presets (`E3xx`/`W32x`, defined in `eras-core`);
+//! - [`lint`] — purpose-built source lints: NaN-unsafe comparisons,
+//!   hot-path `unwrap()`, non-deterministic seeding (`E401`/`W40x`).
+//!
+//! Every finding carries a stable code catalogued in `docs/audit.md`.
+//! [`run_audit`] aggregates the selected passes into an [`AuditReport`]
+//! with text and JSON renderers; errors always fail the audit, warnings
+//! fail under `--deny warnings`.
+
+pub mod config_pass;
+pub mod diag;
+pub mod grad_pass;
+pub mod lint;
+pub mod sf_pass;
+
+pub use diag::{AuditReport, Finding};
+
+use std::path::Path;
+
+/// Which passes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassSet {
+    /// SF-DSL analysis.
+    pub sf: bool,
+    /// Gradient contract.
+    pub grad: bool,
+    /// Config diagnostics.
+    pub config: bool,
+    /// Source lints.
+    pub lint: bool,
+}
+
+impl Default for PassSet {
+    fn default() -> Self {
+        PassSet {
+            sf: true,
+            grad: true,
+            config: true,
+            lint: true,
+        }
+    }
+}
+
+impl PassSet {
+    /// Parse a comma-separated pass list (`"sf,grad"`).
+    pub fn parse(spec: &str) -> Result<PassSet, String> {
+        let mut set = PassSet {
+            sf: false,
+            grad: false,
+            config: false,
+            lint: false,
+        };
+        for part in spec.split(',') {
+            match part.trim() {
+                "sf" => set.sf = true,
+                "grad" => set.grad = true,
+                "config" => set.config = true,
+                "lint" => set.lint = true,
+                other => return Err(format!("unknown pass `{other}` (sf, grad, config, lint)")),
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// Run the selected passes. `root` is the workspace root for the lint
+/// pass; `sf_samples` controls how many random search-space structures
+/// the SF pass checks (seeded with `seed`).
+pub fn run_audit(root: &Path, passes: PassSet, sf_samples: usize, seed: u64) -> AuditReport {
+    let mut report = AuditReport::default();
+    if passes.sf {
+        report.passes_run.push("sf");
+        report
+            .findings
+            .extend(sf_pass::run(&sf_pass::default_corpus(), sf_samples, seed));
+    }
+    if passes.grad {
+        report.passes_run.push("grad");
+        report.findings.extend(grad_pass::run());
+    }
+    if passes.config {
+        report.passes_run.push("config");
+        report.findings.extend(config_pass::run());
+    }
+    if passes.lint {
+        report.passes_run.push("lint");
+        report.findings.extend(lint::run(root));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_set_parses() {
+        let set = PassSet::parse("sf, lint").expect("valid");
+        assert!(set.sf && set.lint && !set.grad && !set.config);
+        assert!(PassSet::parse("bogus").is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! Pass 4 — source lints.
+//!
+//! A small, purpose-built scanner over the workspace's Rust sources for
+//! the failure modes this codebase has actually hit:
+//!
+//! - `E401` — NaN-unsafe comparison: `partial_cmp(..)` immediately
+//!   unwrapped/expected in the same statement. One NaN mid-search turns
+//!   this into a panic; `eras_linalg::cmp` has the total-order
+//!   replacements.
+//! - `W402` — `unwrap()` in non-test code of the numeric hot-path
+//!   crates, where a panic kills a multi-hour run.
+//! - `W403` — non-deterministic seeding (`SystemTime::now`,
+//!   `thread_rng`, `from_entropy`) anywhere: every experiment in the
+//!   reproduction must be replayable from a `u64` seed.
+//!
+//! The scanner strips comments (quote-aware) and skips `#[cfg(test)]`
+//! regions, `tests/`, `benches/` and `examples/` trees. A finding can be
+//! suppressed with a same-line `// audit:allow(E401)` comment carrying
+//! the code.
+//!
+//! Lint patterns below are assembled from split string literals so this
+//! file's own source does not trip the scanner.
+
+use crate::diag::Finding;
+use eras_core::Severity;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code counts as hot path for `W402`.
+const HOT_PATH_CRATES: &[&str] = &["linalg", "sf", "train", "core", "ctrl", "search", "rules"];
+
+fn pat_partial_cmp() -> String {
+    ["partial_", "cmp"].concat()
+}
+
+fn pat_unwrap() -> String {
+    [".unw", "rap()"].concat()
+}
+
+fn pat_expect() -> String {
+    [".exp", "ect("].concat()
+}
+
+fn pats_nondeterministic() -> Vec<String> {
+    vec![
+        ["SystemTime::", "now"].concat(),
+        ["thread_", "rng"].concat(),
+        ["from_", "entropy"].concat(),
+    ]
+}
+
+fn pat_allow() -> String {
+    ["audit:", "allow("].concat()
+}
+
+/// Replace comments with spaces, preserving line structure and string
+/// literals. Handles `//` line comments, nested `/* */` block comments,
+/// string/char literals, and is resilient to lifetimes (`'a`).
+fn strip_comments(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                    }
+                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // String literal: copy verbatim (it is real code).
+                out[i] = b[i];
+                i += 1;
+                while i < b.len() {
+                    out[i] = b[i];
+                    if b[i] == b'\\' {
+                        if i + 1 < b.len() {
+                            out[i + 1] = b[i + 1];
+                        }
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x' or '\x'), not a lifetime.
+                let is_char = (i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\\')
+                    || (i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'');
+                let len = if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\\' {
+                    3
+                } else if i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'' {
+                    4
+                } else {
+                    1
+                };
+                if is_char {
+                    out[i..i + len].copy_from_slice(&b[i..i + len]);
+                } else {
+                    out[i] = b[i];
+                }
+                i += len;
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("ascii-preserving transform")
+}
+
+/// Mark every line inside a `#[cfg(test)]`-gated item (the attribute
+/// line through the close of the item's brace block).
+fn test_region_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            let start = i;
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for c in lines[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(lines.len())).skip(start) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Does the original line carry an `audit:allow(<code>)` suppression?
+fn is_allowed(original_line: &str, code: &str) -> bool {
+    original_line
+        .find(&pat_allow())
+        .map(|p| original_line[p..].contains(code))
+        .unwrap_or(false)
+}
+
+/// Whether the statement starting at byte `pos` (up to the next `;` or
+/// end of input) contains an unwrap/expect call.
+fn statement_unwraps(stripped: &str, pos: usize) -> bool {
+    let end = stripped[pos..]
+        .find(';')
+        .map(|e| pos + e)
+        .unwrap_or(stripped.len());
+    let stmt = &stripped[pos..end];
+    stmt.contains(&pat_unwrap()) || stmt.contains(&pat_expect())
+}
+
+/// Lint one file's contents. `hot_path` enables `W402`.
+pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding> {
+    let stripped = strip_comments(src);
+    let mask = test_region_mask(&stripped);
+    let original_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+
+    // Byte offset of each line start, for statement-scoped checks.
+    let mut line_starts = vec![0usize];
+    for (i, b) in stripped.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+
+    let nondet = pats_nondeterministic();
+    for (idx, line) in stripped.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let original = original_lines.get(idx).copied().unwrap_or("");
+        let lineno = idx + 1;
+
+        if let Some(col) = line.find(&pat_partial_cmp()) {
+            let pos = line_starts[idx] + col;
+            if statement_unwraps(&stripped, pos) && !is_allowed(original, "E401") {
+                findings.push(Finding {
+                    code: "E401",
+                    severity: Severity::Error,
+                    pass: "lint",
+                    location: format!("{display_path}:{lineno}"),
+                    message: "NaN-unsafe comparison: partial ordering unwrapped in the same \
+                              statement; use the total orderings in eras_linalg::cmp"
+                        .to_string(),
+                });
+            }
+        } else if hot_path && line.contains(&pat_unwrap()) && !is_allowed(original, "W402") {
+            findings.push(Finding {
+                code: "W402",
+                severity: Severity::Warning,
+                pass: "lint",
+                location: format!("{display_path}:{lineno}"),
+                message: "unwrap() in hot-path code: a panic here kills a long training or \
+                          search run; handle the None/Err or document with audit:allow(W402)"
+                    .to_string(),
+            });
+        }
+
+        for pat in &nondet {
+            if line.contains(pat.as_str()) && !is_allowed(original, "W403") {
+                findings.push(Finding {
+                    code: "W403",
+                    severity: Severity::Warning,
+                    pass: "lint",
+                    location: format!("{display_path}:{lineno}"),
+                    message: format!(
+                        "non-deterministic source `{pat}`: experiments must be replayable \
+                         from an explicit u64 seed"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+/// Lint every `src/` tree in the workspace rooted at `root` (the crate
+/// `src/` directories only — `tests/`, `benches/` and `examples/` hold
+/// test code by construction).
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut src_dirs: Vec<(PathBuf, bool)> = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        crates.sort();
+        for krate in crates {
+            let name = krate
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            let hot = HOT_PATH_CRATES.contains(&name.as_str());
+            src_dirs.push((krate.join("src"), hot));
+        }
+    }
+    src_dirs.push((root.join("src"), false));
+
+    let mut findings = Vec::new();
+    for (dir, hot) in src_dirs {
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files);
+        for file in files {
+            let Ok(src) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let display = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            findings.extend(lint_source(&display, &src, hot));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nan_unsafe_line() -> String {
+        [
+            "    let m = xs.iter().max_by(|a, b| a.",
+            "partial_",
+            "cmp(b).unw",
+            "rap());\n",
+        ]
+        .concat()
+    }
+
+    #[test]
+    fn flags_nan_unsafe_comparison() {
+        let src = format!("fn f(xs: &[f32]) {{\n{}}}\n", nan_unsafe_line());
+        let findings = lint_source("x.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "E401");
+        assert!(findings[0].location.ends_with(":2"));
+    }
+
+    #[test]
+    fn flags_multiline_statement() {
+        let part1 = [
+            "    let m = xs.iter().max_by(|a, b| a.",
+            "partial_",
+            "cmp(b))\n",
+        ]
+        .concat();
+        let part2 = ["        .exp", "ect(\"nan\");\n"].concat();
+        let src = format!("fn f(xs: &[f32]) {{\n{part1}{part2}}}\n");
+        let findings = lint_source("x.rs", &src, false);
+        assert!(findings.iter().any(|f| f.code == "E401"), "{findings:?}");
+    }
+
+    #[test]
+    fn comments_and_tests_are_skipped() {
+        let comment = ["    // a.", "partial_", "cmp(b).unw", "rap()\n"].concat();
+        let test_mod = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn g(xs: &[f32]) {{\n{}    }}\n}}\n",
+            nan_unsafe_line()
+        );
+        let src = format!("fn f() {{\n{comment}}}\n{test_mod}");
+        let findings = lint_source("x.rs", &src, true);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let line = [
+            "    let m = a.",
+            "partial_",
+            "cmp(b).unw",
+            "rap(); // audit:",
+            "allow(E401): input is NaN-free by construction\n",
+        ]
+        .concat();
+        let src = format!("fn f(a: &f32, b: &f32) {{\n{line}}}\n");
+        let findings = lint_source("x.rs", &src, false);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn hot_path_unwrap_is_warned() {
+        let line = ["    let v = o.unw", "rap();\n"].concat();
+        let src = format!("fn f(o: Option<u32>) {{\n{line}}}\n");
+        assert!(lint_source("x.rs", &src, false).is_empty());
+        let findings = lint_source("x.rs", &src, true);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W402");
+    }
+
+    #[test]
+    fn nondeterminism_is_warned() {
+        let line = ["    let t = SystemTime::", "now();\n"].concat();
+        let src = format!("fn f() {{\n{line}}}\n");
+        let findings = lint_source("x.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W403");
+    }
+
+    #[test]
+    fn string_literals_still_count_as_code() {
+        // A pattern inside a string is code the compiler sees; the
+        // stripper must not eat it (this is exactly how this lint's own
+        // source avoids self-flagging: split literals, not comments).
+        let src = "fn f() -> &'static str {\n    \"https://example.com // not a comment\"\n}\n";
+        assert!(lint_source("x.rs", src, true).is_empty());
+    }
+}

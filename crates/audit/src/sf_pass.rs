@@ -1,0 +1,198 @@
+//! Pass 1 — SF-DSL analysis.
+//!
+//! Audits every scoring function the repo can reach (the bilinear zoo
+//! plus a deterministic sample of the AutoSF/ERAS search space) for:
+//!
+//! - `E101` — degenerate structure: a row or column of the block grid is
+//!   entirely zero, so some embedding block never contributes and the
+//!   function silently trains dead parameters;
+//! - `E102` — canonicalisation is not idempotent
+//!   (`canon(canon(f)) ≠ canon(f)`), which would corrupt search-space
+//!   deduplication;
+//! - `E103` — two *named* functions are permutation/sign-equivalent, so
+//!   the zoo (and any comparison table built from it) double-counts one
+//!   structure;
+//! - `W104` — a function leaves relation blocks unused (weaker than
+//!   E101: every row/column has an entry but some `r_k` never appears).
+
+use crate::diag::Finding;
+use eras_core::Severity;
+use eras_linalg::Rng;
+use eras_sf::canonical::{canonicalize, equivalent};
+use eras_sf::{zoo, BlockSf};
+
+/// The named functions audited by default: the full M=4 zoo plus the
+/// M=2 DistMult the fast preset uses.
+pub fn default_corpus() -> Vec<(String, BlockSf)> {
+    let mut corpus: Vec<(String, BlockSf)> = zoo::all_m4()
+        .into_iter()
+        .map(|(name, sf)| (name.to_string(), sf))
+        .collect();
+    corpus.push(("distmult-m2".to_string(), zoo::distmult(2)));
+    corpus
+}
+
+/// Relation blocks referenced anywhere in the grid.
+fn relation_blocks_used(sf: &BlockSf) -> u32 {
+    let mut mask = 0u32;
+    for (_, _, op) in sf.nonzero_cells() {
+        if let Some(b) = op.block() {
+            mask |= 1 << b;
+        }
+    }
+    mask
+}
+
+/// Audit named scoring functions plus `samples` random structures from
+/// the search space (seeded, so runs are reproducible).
+pub fn run(corpus: &[(String, BlockSf)], samples: usize, seed: u64) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    for (name, sf) in corpus {
+        if sf.is_degenerate() {
+            findings.push(Finding {
+                code: "E101",
+                severity: Severity::Error,
+                pass: "sf",
+                location: name.clone(),
+                message: format!(
+                    "degenerate structure: an entity block of this M={} grid never \
+                     contributes to the score (dead parameters)",
+                    sf.m()
+                ),
+            });
+        }
+        let canon = canonicalize(sf);
+        if canonicalize(&canon) != canon {
+            findings.push(Finding {
+                code: "E102",
+                severity: Severity::Error,
+                pass: "sf",
+                location: name.clone(),
+                message: "canonicalisation is not idempotent for this structure".to_string(),
+            });
+        }
+        let used = relation_blocks_used(sf);
+        let all = (1u32 << sf.m()) - 1;
+        if !sf.is_degenerate() && used != all {
+            findings.push(Finding {
+                code: "W104",
+                severity: Severity::Warning,
+                pass: "sf",
+                location: name.clone(),
+                message: format!(
+                    "uses {}/{} relation blocks; the unused blocks train as dead parameters",
+                    used.count_ones(),
+                    sf.m()
+                ),
+            });
+        }
+    }
+
+    // Pairwise duplicate detection over same-M named functions.
+    for (a, (name_a, sf_a)) in corpus.iter().enumerate() {
+        for (name_b, sf_b) in corpus.iter().skip(a + 1) {
+            if sf_a.m() == sf_b.m() && equivalent(sf_a, sf_b) {
+                findings.push(Finding {
+                    code: "E103",
+                    severity: Severity::Error,
+                    pass: "sf",
+                    location: format!("{name_a} / {name_b}"),
+                    message: "structures are permutation/sign-equivalent; the corpus \
+                              double-counts one scoring function"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Canonicalisation idempotence over a seeded sample of the search
+    // space — the property search-space dedup depends on.
+    let mut rng = Rng::seed_from_u64(seed);
+    for i in 0..samples {
+        let sf = BlockSf::random(4, 6, &mut rng);
+        let canon = canonicalize(&sf);
+        if canonicalize(&canon) != canon {
+            findings.push(Finding {
+                code: "E102",
+                severity: Severity::Error,
+                pass: "sf",
+                location: format!("random-sample-{i} (seed {seed})"),
+                message: format!(
+                    "canonicalisation not idempotent for sampled structure {:?}",
+                    sf.to_indices()
+                ),
+            });
+        }
+        if !equivalent(&sf, &canon) {
+            findings.push(Finding {
+                code: "E102",
+                severity: Severity::Error,
+                pass: "sf",
+                location: format!("random-sample-{i} (seed {seed})"),
+                message: "canonical form is not equivalent to the original structure".to_string(),
+            });
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_sf::Op;
+
+    #[test]
+    fn zoo_is_clean() {
+        let findings = run(&default_corpus(), 32, 7);
+        assert!(
+            findings.iter().all(|f| f.severity != Severity::Error),
+            "zoo should have no errors: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_sf_is_flagged() {
+        // Row 3 and column 3 empty -> block 3 of h and t never used.
+        let mut sf = BlockSf::zeros(4);
+        sf.set(0, 0, Op::pos(0));
+        sf.set(1, 1, Op::pos(1));
+        sf.set(2, 2, Op::pos(2));
+        let corpus = vec![("broken".to_string(), sf)];
+        let findings = run(&corpus, 0, 7);
+        assert!(
+            findings.iter().any(|f| f.code == "E101"),
+            "expected E101: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_pair_is_flagged() {
+        // DistMult and a block-permuted DistMult are the same function.
+        let a = zoo::distmult(4);
+        let b = eras_sf::canonical::transform(&a, &[1, 0, 2, 3], 0);
+        let corpus = vec![("a".to_string(), a), ("b".to_string(), b)];
+        let findings = run(&corpus, 0, 7);
+        assert!(
+            findings.iter().any(|f| f.code == "E103"),
+            "expected E103: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn partial_block_usage_is_warned() {
+        // Every row/col occupied but only r_0 used: not degenerate,
+        // but relation blocks 1..3 are dead.
+        let mut sf = BlockSf::zeros(4);
+        for i in 0..4 {
+            sf.set(i, i, Op::pos(0));
+        }
+        let corpus = vec![("lazy".to_string(), sf)];
+        let findings = run(&corpus, 0, 7);
+        assert!(
+            findings.iter().any(|f| f.code == "W104"),
+            "expected W104: {findings:?}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The audit gate, end to end: the shipped repo must pass every pass,
+//! and each pass must catch its seeded violation (the acceptance
+//! criteria of the verification subsystem).
+
+use eras_audit::{run_audit, sf_pass, PassSet};
+use eras_core::{ErasConfig, Severity};
+use eras_sf::{BlockSf, Op};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/audit -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// The full audit over the real workspace: no errors, no warnings.
+/// This is exactly what CI's `eras audit --deny warnings` enforces.
+#[test]
+fn shipped_repo_is_clean() {
+    let report = run_audit(&workspace_root(), PassSet::default(), 64, 7);
+    assert_eq!(
+        report.passes_run,
+        vec!["sf", "grad", "config", "lint"],
+        "all four passes must run"
+    );
+    let problems: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity != Severity::Info)
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        !report.failed(true),
+        "audit must be clean with --deny warnings:\n{}",
+        problems.join("\n")
+    );
+    // The gradient pass reports one info line per verified contract.
+    assert!(
+        report.findings.iter().filter(|f| f.code == "I200").count() >= 13,
+        "expected every model family's contract in the report"
+    );
+}
+
+/// Seeded violation 1: a degenerate scoring function fails the SF pass.
+#[test]
+fn seeded_degenerate_sf_fails() {
+    let mut sf = BlockSf::zeros(4);
+    sf.set(0, 0, Op::pos(0));
+    sf.set(1, 1, Op::pos(1));
+    sf.set(2, 2, Op::pos(2));
+    // Row/column 3 empty: entity block 4 is dead.
+    let mut corpus = sf_pass::default_corpus();
+    corpus.push(("seeded-degenerate".to_string(), sf));
+    let findings = sf_pass::run(&corpus, 0, 7);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "E101" && f.location == "seeded-degenerate"),
+        "degenerate SF must be caught: {findings:?}"
+    );
+}
+
+/// Seeded violation 2: a perturbed analytic gradient fails the contract.
+#[test]
+fn seeded_gradient_perturbation_fails() {
+    use eras_train::contract::{check_case, GradCase, DEFAULT_TOLERANCE};
+
+    struct Wrong(Box<dyn GradCase>);
+    impl GradCase for Wrong {
+        fn name(&self) -> &str {
+            "seeded-wrong-gradient"
+        }
+        fn segments(&self) -> Vec<(&'static str, usize)> {
+            self.0.segments()
+        }
+        fn params(&self) -> Vec<f32> {
+            self.0.params()
+        }
+        fn loss(&self, params: &[f32]) -> f32 {
+            self.0.loss(params)
+        }
+        fn grad(&self, params: &[f32]) -> Vec<f32> {
+            // The classic off-by-a-factor bug: dropped factor of 2.
+            self.0.grad(params).iter().map(|g| g * 0.5).collect()
+        }
+    }
+
+    let base = eras_train::contract::all_cases()
+        .into_iter()
+        .find(|c| c.name() == "transe")
+        .expect("transe case");
+    let report = check_case(&Wrong(base));
+    assert!(!report.passes(DEFAULT_TOLERANCE));
+    let findings = eras_audit::grad_pass::findings_from_reports(&[report], DEFAULT_TOLERANCE);
+    assert!(
+        findings.iter().any(|f| f.code == "E201"),
+        "perturbed gradient must be caught: {findings:?}"
+    );
+}
+
+/// Seeded violation 3: an invalid configuration fails the config pass.
+#[test]
+fn seeded_invalid_config_fails() {
+    let cfg = ErasConfig {
+        dim: 30, // not divisible by M = 4
+        ..ErasConfig::default()
+    };
+    let findings = eras_audit::config_pass::run_on("seeded", &cfg);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "E301" && f.severity == Severity::Error),
+        "invalid config must be caught: {findings:?}"
+    );
+}
+
+/// Seeded violation 4: reintroducing a NaN-unsafe sort fails the lint.
+#[test]
+fn seeded_nan_unsafe_source_fails() {
+    // The exact pattern satellite #1 removed from the codebase,
+    // assembled from fragments so this test file itself stays clean.
+    let bad_line = [
+        "    xs.sort_by(|a, b| a.",
+        "partial_",
+        "cmp(b).unw",
+        "rap());\n",
+    ]
+    .concat();
+    let src = format!("pub fn sort_scores(xs: &mut [f32]) {{\n{bad_line}}}\n");
+    let findings = eras_audit::lint::lint_source("crates/search/src/seeded.rs", &src, true);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "E401" && f.severity == Severity::Error),
+        "NaN-unsafe comparison must be caught: {findings:?}"
+    );
+}
+
+/// JSON output of a real run parses and carries the pass list.
+#[test]
+fn json_report_is_machine_readable() {
+    let report = run_audit(
+        &workspace_root(),
+        PassSet::parse("sf,config").expect("passes"),
+        8,
+        7,
+    );
+    let json = eras_data::json::Json::parse(&report.render_json()).expect("valid JSON");
+    let passes = json
+        .get("passes_run")
+        .and_then(|p| p.as_arr())
+        .expect("arr");
+    assert_eq!(passes.len(), 2);
+    assert_eq!(json.get("errors").and_then(|e| e.as_usize()), Some(0));
+}

@@ -1,7 +1,7 @@
 //! Filtered-ranking evaluation micro-benchmark: the cost of one full
 //! link-prediction pass, the dominant cost of every `M_val` evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eras_bench::harness::bench;
 use eras_data::{FilterIndex, Preset};
 use eras_linalg::Rng;
 use eras_sf::zoo;
@@ -9,8 +9,7 @@ use eras_train::eval::link_prediction;
 use eras_train::{BlockModel, Embeddings};
 use std::hint::black_box;
 
-fn bench_link_prediction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("link_prediction");
+fn bench_link_prediction() {
     let dataset = Preset::Tiny.build(4);
     let filter = FilterIndex::build(&dataset);
     let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
@@ -23,23 +22,12 @@ fn bench_link_prediction(c: &mut Criterion) {
             &mut rng,
         );
         let triples: Vec<_> = dataset.test.iter().copied().take(n_triples).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_triples),
-            &n_triples,
-            |b, _| {
-                b.iter(|| black_box(link_prediction(&model, &emb, black_box(&triples), &filter)))
-            },
-        );
+        bench(&format!("link_prediction/{n_triples}"), || {
+            black_box(link_prediction(&model, &emb, black_box(&triples), &filter))
+        });
     }
-    group.finish();
 }
 
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    bench_link_prediction();
 }
-
-criterion_group!(name = benches; config = fast_criterion(); targets = bench_link_prediction);
-criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! DistMult-shaped and ComplEx-shaped structures should be within a small
 //! factor of each other, and doubling `d` should roughly double the cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eras_bench::harness::bench;
 use eras_data::Triple;
 use eras_linalg::Rng;
 use eras_sf::{zoo, BlockSf};
@@ -14,8 +14,7 @@ use eras_train::eval::ScoreModel;
 use eras_train::{BlockModel, Embeddings};
 use std::hint::black_box;
 
-fn bench_score_all_tails(c: &mut Criterion) {
-    let mut group = c.benchmark_group("score_all_tails");
+fn bench_score_all_tails() {
     let num_entities = 2000;
     for dim in [32usize, 64] {
         let mut rng = Rng::seed_from_u64(1);
@@ -27,33 +26,25 @@ fn bench_score_all_tails(c: &mut Criterion) {
             ("dense-random", BlockSf::random(4, 14, &mut rng)),
         ] {
             let model = BlockModel::universal(sf, 8);
-            group.bench_with_input(BenchmarkId::new(name, dim), &dim, |b, _| {
-                b.iter(|| {
-                    model.score_all_tails(&emb, black_box(3), black_box(1), &mut out);
-                    black_box(out[0])
-                })
+            bench(&format!("score_all_tails/{name}/d{dim}"), || {
+                model.score_all_tails(&emb, black_box(3), black_box(1), &mut out);
+                black_box(out[0])
             });
         }
     }
-    group.finish();
 }
 
-fn bench_score_single_triple(c: &mut Criterion) {
+fn bench_score_single_triple() {
     let mut rng = Rng::seed_from_u64(2);
     let emb = Embeddings::init(1000, 4, 64, &mut rng);
     let model = BlockModel::universal(zoo::complex(), 4);
     let t = Triple::new(5, 1, 9);
-    c.bench_function("score_triple_complex_d64", |b| {
-        b.iter(|| black_box(model.score_triple(&emb, black_box(t))))
+    bench("score_triple_complex_d64", || {
+        black_box(model.score_triple(&emb, black_box(t)))
     });
 }
 
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    bench_score_all_tails();
+    bench_score_single_triple();
 }
-
-criterion_group!(name = benches; config = fast_criterion(); targets = bench_score_all_tails, bench_score_single_triple);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! updates, supernet reward evaluation, EM clustering — the per-epoch
 //! costs of Algorithm 2.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eras_bench::harness::bench;
 use eras_core::Supernet;
 use eras_ctrl::{kmeans, LstmPolicy, ReinforceTrainer};
 use eras_data::{FilterIndex, Preset};
@@ -10,12 +10,12 @@ use eras_linalg::Rng;
 use eras_train::Embeddings;
 use std::hint::black_box;
 
-fn bench_controller(c: &mut Criterion) {
+fn bench_controller() {
     let mut rng = Rng::seed_from_u64(4);
     let supernet = Supernet::new(4, 3);
     let policy = LstmPolicy::new(supernet.vocab(), 32, 16, &mut rng);
-    c.bench_function("lstm_sample_48_tokens", |b| {
-        b.iter(|| black_box(policy.sample(supernet.num_slots(), 1.0, &mut rng)))
+    bench("lstm_sample_48_tokens", || {
+        black_box(policy.sample(supernet.num_slots(), 1.0, &mut rng))
     });
 
     let mut policy2 = LstmPolicy::new(supernet.vocab(), 32, 16, &mut rng);
@@ -26,12 +26,12 @@ fn bench_controller(c: &mut Criterion) {
             (ep.tokens, 0.1 * i as f64)
         })
         .collect();
-    c.bench_function("reinforce_update_u4", |b| {
-        b.iter(|| black_box(trainer.update(&mut policy2, black_box(&episodes))))
+    bench("reinforce_update_u4", || {
+        black_box(trainer.update(&mut policy2, black_box(&episodes)))
     });
 }
 
-fn bench_one_shot_reward(c: &mut Criterion) {
+fn bench_one_shot_reward() {
     let dataset = Preset::Tiny.build(4);
     let filter = FilterIndex::build(&dataset);
     let mut rng = Rng::seed_from_u64(5);
@@ -45,37 +45,27 @@ fn bench_one_shot_reward(c: &mut Criterion) {
     let assignment = vec![0u8; dataset.num_relations()];
     let sfs = supernet.random_architecture(8, &mut rng);
     let batch: Vec<_> = dataset.valid.iter().copied().take(64).collect();
-    c.bench_function("one_shot_reward_64_triples", |b| {
-        b.iter(|| {
-            black_box(supernet.one_shot_reward(
-                sfs.clone(),
-                &assignment,
-                &emb,
-                black_box(&batch),
-                &filter,
-            ))
-        })
+    bench("one_shot_reward_64_triples", || {
+        black_box(supernet.one_shot_reward(
+            sfs.clone(),
+            &assignment,
+            &emb,
+            black_box(&batch),
+            &filter,
+        ))
     });
 }
 
-fn bench_em_clustering(c: &mut Criterion) {
+fn bench_em_clustering() {
     let mut rng = Rng::seed_from_u64(6);
     let points = eras_linalg::Matrix::uniform_init(256, 32, 1.0, &mut rng);
-    c.bench_function("kmeans_256_relations_k4", |b| {
-        b.iter(|| black_box(kmeans(black_box(&points), 4, 20, &mut rng)))
+    bench("kmeans_256_relations_k4", || {
+        black_box(kmeans(black_box(&points), 4, 20, &mut rng))
     });
 }
 
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    bench_controller();
+    bench_one_shot_reward();
+    bench_em_clustering();
 }
-
-criterion_group!(
-    name = benches;
-    config = fast_criterion();
-    targets = bench_controller, bench_one_shot_reward, bench_em_clustering
-);
-criterion_main!(benches);

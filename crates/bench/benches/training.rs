@@ -1,7 +1,7 @@
 //! Embedding-training micro-benchmarks: the full-softmax vs sampled
 //! 1-vs-all gradient step (the cost trade-off behind `LossMode`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eras_bench::harness::bench;
 use eras_data::Triple;
 use eras_linalg::optim::Adagrad;
 use eras_linalg::Rng;
@@ -10,8 +10,7 @@ use eras_train::block::{train_minibatch, BlockScratch};
 use eras_train::{BlockModel, Embeddings, LossMode};
 use std::hint::black_box;
 
-fn bench_train_minibatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_minibatch_64_triples");
+fn bench_train_minibatch() {
     let num_entities = 2000;
     let dim = 32;
     let batch: Vec<Triple> = (0..64u32)
@@ -22,36 +21,27 @@ fn bench_train_minibatch(c: &mut Criterion) {
         ("sampled128", LossMode::Sampled { negatives: 128 }),
         ("full", LossMode::Full),
     ] {
-        group.bench_with_input(BenchmarkId::new(name, dim), &mode, |b, &mode| {
-            let mut rng = Rng::seed_from_u64(3);
-            let mut emb = Embeddings::init(num_entities, 8, dim, &mut rng);
-            let model = BlockModel::universal(zoo::complex(), 8);
-            let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.1, 0.0);
-            let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.1, 0.0);
-            let mut scratch = BlockScratch::new();
-            b.iter(|| {
-                black_box(train_minibatch(
-                    &model,
-                    &mut emb,
-                    &mut opt_e,
-                    &mut opt_r,
-                    black_box(&batch),
-                    mode,
-                    &mut rng,
-                    &mut scratch,
-                ))
-            })
+        let mut rng = Rng::seed_from_u64(3);
+        let mut emb = Embeddings::init(num_entities, 8, dim, &mut rng);
+        let model = BlockModel::universal(zoo::complex(), 8);
+        let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.1, 0.0);
+        let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.1, 0.0);
+        let mut scratch = BlockScratch::new();
+        bench(&format!("train_minibatch_64_triples/{name}/d{dim}"), || {
+            black_box(train_minibatch(
+                &model,
+                &mut emb,
+                &mut opt_e,
+                &mut opt_r,
+                black_box(&batch),
+                mode,
+                &mut rng,
+                &mut scratch,
+            ))
         });
     }
-    group.finish();
 }
 
-fn fast_criterion() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    bench_train_minibatch();
 }
-
-criterion_group!(name = benches; config = fast_criterion(); targets = bench_train_minibatch);
-criterion_main!(benches);

@@ -22,14 +22,22 @@
 use eras_bench::profiles::quick_flag;
 use eras_bench::report::{mrr, save_json, Table};
 use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     setting: String,
     seed: u64,
     test_mrr: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("setting", self.setting.as_str())
+            .set("seed", self.seed)
+            .set("test_mrr", self.test_mrr)
+    }
 }
 
 fn main() {

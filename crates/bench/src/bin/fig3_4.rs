@@ -14,19 +14,29 @@
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::save_json;
 use eras_core::{run_eras, Variant};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset};
 use eras_linalg::pca;
 use eras_linalg::Rng;
 use eras_sf::{expressive, render};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct GroupReport {
     dataset: String,
     group: usize,
     formula: String,
     expressiveness: String,
     relations: Vec<String>,
+}
+
+impl ToJson for GroupReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("dataset", self.dataset.as_str())
+            .set("group", self.group)
+            .set("formula", self.formula.as_str())
+            .set("expressiveness", self.expressiveness.as_str())
+            .set("relations", self.relations.to_json())
+    }
 }
 
 /// Tiny ASCII scatter: 21 × 48 grid of group digits.

@@ -14,15 +14,24 @@
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::save_json;
 use eras_core::correlation::{one_shot_vs_standalone, OneShotMeasure};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Study {
     measure: String,
     pairs: Vec<(f64, f64)>,
     pearson: f64,
     spearman: f64,
+}
+
+impl ToJson for Study {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("measure", self.measure.as_str())
+            .set("pairs", self.pairs.to_json())
+            .set("pearson", self.pearson)
+            .set("spearman", self.spearman)
+    }
 }
 
 fn main() {

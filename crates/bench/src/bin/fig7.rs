@@ -14,15 +14,24 @@
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::{mrr, save_json, Table};
 use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     dataset: String,
     m: usize,
     total_secs: f64,
     test_mrr: f64,
+}
+
+impl ToJson for Point {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("dataset", self.dataset.as_str())
+            .set("m", self.m)
+            .set("total_secs", self.total_secs)
+            .set("test_mrr", self.test_mrr)
+    }
 }
 
 fn main() {

@@ -9,15 +9,23 @@ use eras_bench::literature;
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::{save_json, Table};
 use eras_core::{run_eras, Variant};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset};
 use eras_train::classify::classify_dataset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     model: String,
     dataset: String,
     accuracy: f64,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("model", self.model.as_str())
+            .set("dataset", self.dataset.as_str())
+            .set("accuracy", self.accuracy)
+    }
 }
 
 fn main() {

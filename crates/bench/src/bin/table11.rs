@@ -13,14 +13,22 @@ use eras_bench::literature;
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::{mrr, save_json, Table};
 use eras_core::{run_eras, Variant};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     variant: String,
     dataset: String,
     mrr: f64,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("variant", self.variant.as_str())
+            .set("dataset", self.dataset.as_str())
+            .set("mrr", self.mrr)
+    }
 }
 
 fn main() {

@@ -14,17 +14,27 @@
 use eras_bench::comparators::{run_comparator, Comparator};
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::{pct, save_json, Table};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset, RelationPattern};
 use eras_train::eval::link_prediction;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     model: String,
     dataset: String,
     pattern: String,
     hits1: f64,
     queries: usize,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("model", self.model.as_str())
+            .set("dataset", self.dataset.as_str())
+            .set("pattern", self.pattern.as_str())
+            .set("hits1", self.hits1)
+            .set("queries", self.queries)
+    }
 }
 
 fn main() {

@@ -5,11 +5,10 @@
 //! ```
 
 use eras_bench::report::{save_json, Table};
+use eras_data::json::{Json, ToJson};
 use eras_data::stats::dataset_stats;
 use eras_data::Preset;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     relations: usize,
@@ -17,6 +16,18 @@ struct Row {
     train: usize,
     valid: usize,
     test: usize,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("dataset", self.dataset.as_str())
+            .set("relations", self.relations)
+            .set("entities", self.entities)
+            .set("train", self.train)
+            .set("valid", self.valid)
+            .set("test", self.test)
+    }
 }
 
 fn main() {

@@ -12,16 +12,25 @@ use eras_bench::literature;
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::{pct, save_json, Table};
 use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset, RelationPattern};
 use eras_train::eval::link_prediction;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     method: String,
     dataset: String,
     pattern: String,
     hits1: f64,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("method", self.method.as_str())
+            .set("dataset", self.dataset.as_str())
+            .set("pattern", self.pattern.as_str())
+            .set("hits1", self.hits1)
+    }
 }
 
 fn main() {

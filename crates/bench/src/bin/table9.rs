@@ -16,19 +16,28 @@ use eras_bench::literature;
 use eras_bench::profiles::{quick_flag, Profile};
 use eras_bench::report::{save_json, Table};
 use eras_core::{run_eras, ErasConfig, Variant};
+use eras_data::json::{Json, ToJson};
 use eras_data::{FilterIndex, Preset};
 use eras_search::autosf;
 use eras_train::trainer::train_standalone;
 use eras_train::BlockModel;
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Serialize)]
 struct Row {
     method: String,
     dataset: String,
     search_secs: f64,
     evaluation_secs: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("method", self.method.as_str())
+            .set("dataset", self.dataset.as_str())
+            .set("search_secs", self.search_secs)
+            .set("evaluation_secs", self.evaluation_secs)
+    }
 }
 
 fn main() {

@@ -6,13 +6,13 @@
 //! classification (Table X) — runs through the same code path.
 
 use crate::profiles::Profile;
+use eras_data::json::{Json, ToJson};
 use eras_data::{Dataset, FilterIndex};
 use eras_linalg::Rng;
 use eras_train::baselines::{MarginConfig, RotatE, TransE, TransH, TuckEr};
 use eras_train::eval::{link_prediction, LinkPredictionMetrics, ScoreModel};
 use eras_train::trainer::train_standalone;
 use eras_train::{BlockModel, Embeddings};
-use serde::Serialize;
 use std::time::Instant;
 
 /// The implemented comparison models (Table VI rows built here; remaining
@@ -94,7 +94,7 @@ impl Comparator {
 }
 
 /// One row of an evaluation table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EvalRow {
     /// Model name.
     pub model: String,
@@ -121,6 +121,18 @@ impl EvalRow {
             hits10: m.hits10,
             train_secs: secs,
         }
+    }
+}
+
+impl ToJson for EvalRow {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("model", self.model.as_str())
+            .set("dataset", self.dataset.as_str())
+            .set("mrr", self.mrr)
+            .set("hits1", self.hits1)
+            .set("hits10", self.hits10)
+            .set("train_secs", self.train_secs)
     }
 }
 

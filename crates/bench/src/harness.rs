@@ -1,0 +1,86 @@
+//! A dependency-free micro-benchmark harness.
+//!
+//! The workspace builds with zero registry access, so the Criterion-style
+//! benches under `benches/` run on this small timing loop instead:
+//! warm-up, iteration-count calibration to a fixed measurement window,
+//! several samples, median-of-samples reporting.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark.
+const SAMPLES: usize = 7;
+/// Target wall-clock per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(120);
+/// Warm-up budget before calibration.
+const WARMUP: Duration = Duration::from_millis(150);
+
+/// Time one closure and print `name ... median ns/iter`.
+///
+/// Returns the median nanoseconds per iteration so callers can assert
+/// coarse regressions if they want to.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> f64 {
+    // Warm up and measure a first estimate of the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+    let iters = ((SAMPLE_TARGET.as_nanos() as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let spread = (samples[samples.len() - 1] - samples[0]) / median.max(1.0);
+    println!(
+        "{name:<40} {:>14} ns/iter  (x{iters}, spread {:.0}%)",
+        group_digits(median.round() as u64),
+        100.0 * spread
+    );
+    median
+}
+
+/// `1234567 → "1,234,567"` for readable ns counts.
+fn group_digits(mut n: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        if n < 1000 {
+            parts.push(format!("{n}"));
+            break;
+        }
+        parts.push(format!("{:03}", n % 1000));
+        n /= 1000;
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let ns = bench("harness_self_test", || {
+            (0..100u64).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(1234567), "1,234,567");
+    }
+}

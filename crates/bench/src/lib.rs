@@ -24,6 +24,7 @@
 //! table on stdout.
 
 pub mod comparators;
+pub mod harness;
 pub mod literature;
 pub mod profiles;
 pub mod report;

@@ -1,6 +1,6 @@
 //! ASCII table rendering and JSON result persistence.
 
-use serde::Serialize;
+use eras_data::json::ToJson;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -70,12 +70,11 @@ pub fn mrr(x: f64) -> String {
 
 /// Write a serialisable result to `results/<name>.json` (directory created
 /// on demand). Returns the path written.
-pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+pub fn save_json<T: ToJson>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialisable result");
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, value.to_json().to_pretty())?;
     Ok(path)
 }
 

@@ -25,10 +25,14 @@ USAGE:
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
   eras rules    (--preset NAME | --data DIR) [--seed N]
+  eras audit    [--pass sf,grad,config,lint] [--format text|json]
+                [--deny warnings] [--root DIR] [--sf-samples N] [--seed N]
 
 PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny
 MODELS:  distmult complex simple analogy
-METHODS: eras autosf random tpe";
+METHODS: eras autosf random tpe
+PASSES:  sf (DSL analysis)  grad (gradient contracts)
+         config (preset diagnostics)  lint (source lints)";
 
 fn preset_by_name(name: &str) -> Result<Preset, String> {
     Ok(match name {
@@ -298,5 +302,40 @@ pub fn rules(args: &Args) -> Result<(), String> {
         100.0 * m.hits1,
         100.0 * m.hits10
     );
+    Ok(())
+}
+
+/// `eras audit` — the static verification gate. Exits non-zero when any
+/// pass reports an error (or a warning under `--deny warnings`).
+pub fn audit(args: &Args) -> Result<(), String> {
+    let passes = match args.get("pass") {
+        Some(spec) => eras_audit::PassSet::parse(spec)?,
+        None => eras_audit::PassSet::default(),
+    };
+    let deny_warnings = args.get("deny").map(|v| v == "warnings").unwrap_or(false);
+    let sf_samples: usize = args.get_or("sf-samples", 64usize)?;
+    let seed: u64 = args.get_or("seed", 7u64)?;
+    let root = args.get("root").unwrap_or(".").to_owned();
+    // A wrong --root would silently pass the lint gate with zero files
+    // scanned — refuse roots that don't look like a workspace.
+    if passes.lint && !Path::new(&root).join("crates").is_dir() {
+        return Err(format!(
+            "--root `{root}` has no crates/ directory; not a workspace root"
+        ));
+    }
+
+    let report = eras_audit::run_audit(Path::new(&root), passes, sf_samples, seed);
+    match args.get("format").unwrap_or("text") {
+        "json" => println!("{}", report.render_json()),
+        "text" => print!("{}", report.render_text()),
+        other => return Err(format!("unknown format `{other}` (text, json)")),
+    }
+    if report.failed(deny_warnings) {
+        return Err(format!(
+            "audit failed: {} error(s), {} warning(s)",
+            report.count(eras_core::Severity::Error),
+            report.count(eras_core::Severity::Warning),
+        ));
+    }
     Ok(())
 }

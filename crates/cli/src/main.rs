@@ -8,6 +8,7 @@
 //! eras search   (--preset NAME | --data DIR) [--method eras|autosf|random|tpe]
 //!               [--groups 3] [--epochs 20] [--seed 7]
 //! eras rules    (--preset NAME | --data DIR) [--seed 7]
+//! eras audit    [--pass sf,grad,config,lint] [--format json] [--deny warnings]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         "search" => commands::search(&parsed),
         "eval" => commands::evaluate(&parsed),
         "rules" => commands::rules(&parsed),
+        "audit" => commands::audit(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

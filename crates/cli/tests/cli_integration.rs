@@ -149,3 +149,78 @@ fn rules_command_mines_rules() {
     assert!(stdout.contains("mined"), "{stdout}");
     assert!(stdout.contains("MRR"));
 }
+
+#[test]
+fn audit_runs_clean_on_the_workspace() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap();
+    let out = eras()
+        .args([
+            "audit",
+            "--deny",
+            "warnings",
+            "--sf-samples",
+            "16",
+            "--root",
+            root.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "audit must pass on the shipped repo:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("passes run: sf, grad, config, lint"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn audit_catches_seeded_lint_violation_with_json_output() {
+    let dir = std::env::temp_dir().join(format!("eras_audit_it_{}", std::process::id()));
+    let src = dir.join("crates/train/src");
+    std::fs::create_dir_all(&src).unwrap();
+    // Reassembled from fragments so this test file stays lint-clean.
+    let bad = [
+        "pub fn f(xs: &mut [f32]) {\n    xs.sort_by(|a, b| a.",
+        "partial_",
+        "cmp(b).unw",
+        "rap());\n}\n",
+    ]
+    .concat();
+    std::fs::write(src.join("lib.rs"), bad).unwrap();
+    let out = eras()
+        .args([
+            "audit",
+            "--pass",
+            "lint",
+            "--format",
+            "json",
+            "--root",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        !out.status.success(),
+        "seeded violation must fail the audit"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("E401"), "{stdout}");
+    assert!(stdout.contains("\"errors\": 1"), "{stdout}");
+}
+
+#[test]
+fn audit_rejects_unknown_pass() {
+    let out = eras().args(["audit", "--pass", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown pass"));
+}

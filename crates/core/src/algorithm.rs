@@ -5,6 +5,7 @@ use crate::supernet::Supernet;
 use crate::variants::{ArchUpdater, Variant};
 use eras_ctrl::{kmeans, LstmPolicy, ReinforceTrainer};
 use eras_data::{Dataset, FilterIndex, Triple};
+use eras_linalg::cmp::{nan_last_desc_f64, nan_lowest_f64};
 use eras_linalg::optim::Adagrad;
 use eras_linalg::Rng;
 use eras_search::SearchTrace;
@@ -172,7 +173,7 @@ pub fn run_eras(
         // winner's curse; a brief real training run of the short-list is
         // what Table IX accounts as the "evaluation" phase.
         let mut scored: Vec<(Vec<BlockSf>, f64)> = scored_candidates;
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite reward"));
+        scored.sort_by(|a, b| nan_last_desc_f64(a.1, b.1));
         scored.truncate(cfg.derive_screen);
         let screen_cfg = eras_train::trainer::TrainConfig {
             max_epochs: (cfg.retrain.max_epochs / 3).max(3),
@@ -187,7 +188,7 @@ pub fn run_eras(
                     .mrr;
                 (sfs, mrr)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite MRR"))
+            .max_by(|a, b| nan_lowest_f64(a.1, b.1))
             .map(|(sfs, _)| sfs)
             .unwrap_or(fallback_sfs)
     } else {

@@ -43,6 +43,6 @@ pub mod supernet;
 pub mod variants;
 
 pub use algorithm::{run_eras, ErasOutcome};
-pub use config::ErasConfig;
+pub use config::{train_diagnostics, ConfigDiagnostic, ErasConfig, Severity};
 pub use supernet::Supernet;
 pub use variants::Variant;

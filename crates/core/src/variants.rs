@@ -16,6 +16,7 @@ use crate::supernet::Supernet;
 use eras_ctrl::{LstmPolicy, ReinforceTrainer};
 use eras_data::patterns::detect_patterns;
 use eras_data::{Dataset, FilterIndex, Triple};
+use eras_linalg::cmp::nan_last_desc_f64;
 use eras_linalg::vecops;
 use eras_linalg::{Matrix, Rng};
 use eras_sf::{BlockSf, Op};
@@ -174,8 +175,7 @@ impl ArchUpdater {
             return;
         }
         self.archive.push((sfs.to_vec(), reward));
-        self.archive
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite reward"));
+        self.archive.sort_by(|a, b| nan_last_desc_f64(a.1, b.1));
         self.archive.truncate(ARCHIVE_CAPACITY);
     }
 

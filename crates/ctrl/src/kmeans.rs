@@ -6,6 +6,7 @@
 //! reseeded to the point farthest from its centroid so every group keeps
 //! at least one relation whenever `N_r ≥ N`.
 
+use eras_linalg::cmp::nan_lowest_f32;
 use eras_linalg::vecops;
 use eras_linalg::{Matrix, Rng};
 
@@ -99,7 +100,7 @@ pub fn kmeans(points: &Matrix, k: usize, iters: usize, rng: &mut Rng) -> KMeansR
                             vecops::dist_sq(points.row(a), centroids.row(assignment[a] as usize));
                         let db =
                             vecops::dist_sq(points.row(b), centroids.row(assignment[b] as usize));
-                        da.partial_cmp(&db).expect("finite distances")
+                        nan_lowest_f32(da, db)
                     })
                     .expect("n >= 1");
                 centroids.row_mut(c).copy_from_slice(points.row(far));

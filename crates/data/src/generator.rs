@@ -34,6 +34,7 @@ use crate::dataset::{Dataset, Triple};
 use crate::patterns::RelationPattern;
 use crate::splits::{split_triples, SplitConfig};
 use crate::vocab::Vocab;
+use eras_linalg::cmp::nan_last_desc_f32;
 use eras_linalg::rng::{Rng, ZipfSampler};
 use std::collections::HashSet;
 
@@ -351,7 +352,7 @@ pub fn generate_with_planted(config: &GeneratorConfig) -> (Dataset, PlantedVecto
             if best.is_empty() {
                 continue;
             }
-            best.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+            best.sort_by(|a, b| nan_last_desc_f32(a.0, b.0));
             let top = &best[..best.len().min(4)];
             let weights: Vec<f32> = (0..top.len()).map(|i| 0.5f32.powi(i as i32)).collect();
             let pick = rng.categorical(&weights);

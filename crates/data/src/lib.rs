@@ -28,6 +28,7 @@ pub mod analysis;
 pub mod dataset;
 pub mod generator;
 pub mod index;
+pub mod json;
 pub mod patterns;
 pub mod presets;
 pub mod splits;
@@ -37,5 +38,6 @@ pub mod vocab;
 
 pub use dataset::{Dataset, Triple};
 pub use index::FilterIndex;
+pub use json::{Json, ToJson};
 pub use patterns::RelationPattern;
 pub use presets::Preset;

@@ -1,0 +1,125 @@
+//! NaN-aware total orderings for ranking floating-point scores.
+//!
+//! A diverged training run can hand the searchers a NaN validation MRR;
+//! `partial_cmp(..).expect(..)` turns that into a mid-search panic. These
+//! helpers give every sort/argmax in the workspace a total order with an
+//! explicit NaN policy instead:
+//!
+//! - the `*_desc` / `*_asc` orders place NaN **last**, so a NaN score can
+//!   never outrank a real one in a sorted ranking;
+//! - [`nan_lowest_f64`] / [`nan_lowest_f32`] treat NaN as smaller than
+//!   every number (including `-inf`), which makes `max_by` NaN-proof: a
+//!   NaN candidate never wins an argmax.
+//!
+//! Built on `total_cmp`, so all of these are consistent total orders
+//! (safe for `sort_by` / `binary_search_by`).
+
+use std::cmp::Ordering;
+
+macro_rules! nan_orders {
+    ($desc:ident, $asc:ident, $lowest:ident, $t:ty) => {
+        /// Descending order with NaN sorted last.
+        #[inline]
+        pub fn $desc(a: $t, b: $t) -> Ordering {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater, // a (NaN) after b
+                (false, true) => Ordering::Less,
+                (false, false) => b.total_cmp(&a),
+            }
+        }
+
+        /// Ascending order with NaN sorted last.
+        #[inline]
+        pub fn $asc(a: $t, b: $t) -> Ordering {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => a.total_cmp(&b),
+            }
+        }
+
+        /// Total order treating NaN as below every number — use with
+        /// `max_by` so a NaN candidate never wins, and with `min_by` so a
+        /// NaN is only picked when everything is NaN.
+        #[inline]
+        pub fn $lowest(a: $t, b: $t) -> Ordering {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => a.total_cmp(&b),
+            }
+        }
+    };
+}
+
+nan_orders!(nan_last_desc_f64, nan_last_asc_f64, nan_lowest_f64, f64);
+nan_orders!(nan_last_desc_f32, nan_last_asc_f32, nan_lowest_f32, f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_sorts_nan_last() {
+        let mut v = [0.3f64, f64::NAN, 0.9, f64::NEG_INFINITY, 0.5];
+        v.sort_by(|a, b| nan_last_desc_f64(*a, *b));
+        assert_eq!(v[0], 0.9);
+        assert_eq!(v[1], 0.5);
+        assert_eq!(v[2], 0.3);
+        assert_eq!(v[3], f64::NEG_INFINITY);
+        assert!(v[4].is_nan());
+    }
+
+    #[test]
+    fn asc_sorts_nan_last() {
+        let mut v = [f32::NAN, 2.0f32, -1.0, f32::NAN, 0.0];
+        v.sort_by(|a, b| nan_last_asc_f32(*a, *b));
+        assert_eq!(&v[..3], &[-1.0, 0.0, 2.0]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn max_by_never_picks_nan() {
+        let v = [f64::NAN, 0.2, f64::NAN, 0.7, 0.1];
+        let best = v
+            .iter()
+            .copied()
+            .max_by(|a, b| nan_lowest_f64(*a, *b))
+            .unwrap();
+        assert_eq!(best, 0.7);
+        // min_by picks the smallest real number, not NaN.
+        let worst = v
+            .iter()
+            .copied()
+            .min_by(|a, b| nan_lowest_f64(*a, *b))
+            .unwrap();
+        assert!(worst.is_nan(), "NaN is below every number in this order");
+    }
+
+    #[test]
+    fn all_orders_are_total_on_mixed_input() {
+        // sort_by panics on inconsistent comparators in debug builds;
+        // surviving a sort of adversarial input is the contract.
+        let base = [
+            f32::NAN,
+            -f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1.0,
+        ];
+        let mut a = base;
+        a.sort_by(|x, y| nan_last_desc_f32(*x, *y));
+        let mut b = base;
+        b.sort_by(|x, y| nan_last_asc_f32(*x, *y));
+        let mut c = base;
+        c.sort_by(|x, y| nan_lowest_f32(*x, *y));
+        assert!(c[0].is_nan());
+        assert_eq!(a[0], f32::INFINITY);
+        assert_eq!(b[0], f32::NEG_INFINITY);
+    }
+}

@@ -27,6 +27,7 @@
 // suggests would obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod cmp;
 pub mod matrix;
 pub mod optim;
 pub mod pca;

@@ -207,10 +207,7 @@ impl ZipfSampler {
     /// Draw one sample.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
-        {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

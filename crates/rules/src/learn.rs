@@ -7,6 +7,7 @@
 
 use crate::graph::Graph;
 use crate::rule::{Atom, Rule, ScoredRule};
+use eras_linalg::cmp::nan_last_desc_f64;
 use eras_linalg::Rng;
 use std::collections::HashMap;
 
@@ -213,7 +214,7 @@ pub fn learn_rules(graph: &Graph, cfg: &LearnConfig) -> Vec<ScoredRule> {
         a.rule
             .head_rel
             .cmp(&b.rule.head_rel)
-            .then(b.confidence.partial_cmp(&a.confidence).expect("finite"))
+            .then(nan_last_desc_f64(a.confidence, b.confidence))
     });
     for s in scored {
         let c = count_for.entry(s.rule.head_rel).or_insert(0);

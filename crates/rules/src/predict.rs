@@ -4,6 +4,7 @@ use crate::graph::Graph;
 use crate::learn::{learn_rules, LearnConfig};
 use crate::rule::{Atom, Rule, ScoredRule};
 use eras_data::{Dataset, Triple};
+use eras_linalg::cmp::nan_last_desc_f64;
 use eras_train::eval::ScoreModel;
 use eras_train::Embeddings;
 
@@ -30,7 +31,7 @@ impl RuleModel {
             by_relation[s.rule.head_rel as usize].push(s);
         }
         for list in &mut by_relation {
-            list.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).expect("finite"));
+            list.sort_by(|a, b| nan_last_desc_f64(a.confidence, b.confidence));
         }
         RuleModel {
             graph,

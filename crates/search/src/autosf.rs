@@ -16,6 +16,7 @@
 use crate::evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
 use crate::predictor::Predictor;
 use eras_data::{Dataset, FilterIndex};
+use eras_linalg::cmp::nan_last_desc_f64;
 use eras_linalg::Rng;
 use eras_sf::canonical::canonicalize;
 use eras_sf::{BlockSf, Op};
@@ -134,7 +135,7 @@ pub fn search(
             break;
         }
         // Keep the N best parents.
-        scored_parents.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MRR"));
+        scored_parents.sort_by(|a, b| nan_last_desc_f64(a.1, b.1));
         scored_parents.truncate(cfg.parents);
 
         // Expand, dedupe canonically, rank by predictor.
@@ -152,7 +153,7 @@ pub fn search(
             .into_iter()
             .map(|sf| (predictor.predict(&sf), sf))
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite prediction"));
+        ranked.sort_by(|a, b| nan_last_desc_f64(a.0, b.0));
 
         // Train the top-K for real; they become candidate parents.
         let mut next_parents = Vec::new();

@@ -7,6 +7,7 @@
 //! ranking behaviour at this problem size and keeps the implementation
 //! dependency-free.
 
+use eras_linalg::cmp::nan_lowest_f64;
 use eras_sf::features::{extract, SfFeatures};
 use eras_sf::BlockSf;
 
@@ -25,12 +26,8 @@ pub struct Predictor {
 fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i * n + col]
-                .abs()
-                .partial_cmp(&a[j * n + col].abs())
-                .expect("finite")
-        })?;
+        let pivot =
+            (col..n).max_by(|&i, &j| nan_lowest_f64(a[i * n + col].abs(), a[j * n + col].abs()))?;
         if a[pivot * n + col].abs() < 1e-12 {
             return None;
         }

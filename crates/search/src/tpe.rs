@@ -11,6 +11,7 @@
 use crate::evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
 use crate::random::random_candidate;
 use eras_data::{Dataset, FilterIndex};
+use eras_linalg::cmp::{nan_last_desc_f64, nan_lowest_f64};
 use eras_linalg::Rng;
 use eras_sf::{BlockSf, Op};
 use eras_train::trainer::TrainConfig;
@@ -98,7 +99,7 @@ pub fn search(
         } else {
             // Split observations into good/bad by the γ quantile.
             let mut sorted: Vec<&(BlockSf, f64)> = observed.iter().collect();
-            sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite MRR"));
+            sorted.sort_by(|a, b| nan_last_desc_f64(a.1, b.1));
             let n_good = ((sorted.len() as f64 * cfg.gamma).ceil() as usize)
                 .clamp(1, sorted.len().saturating_sub(1).max(1));
             let good: Vec<&BlockSf> = sorted[..n_good].iter().map(|(sf, _)| sf).collect();
@@ -111,7 +112,7 @@ pub fn search(
                 .max_by(|a, b| {
                     let ra = l_good.log_likelihood(a, cfg.m) - l_bad.log_likelihood(a, cfg.m);
                     let rb = l_good.log_likelihood(b, cfg.m) - l_bad.log_likelihood(b, cfg.m);
-                    ra.partial_cmp(&rb).expect("finite ratio")
+                    nan_lowest_f64(ra, rb)
                 })
                 .expect("pool_size > 0")
         };

@@ -1,9 +1,9 @@
 //! Search-progress traces (the data behind Figure 2 of the paper).
 
-use serde::{Deserialize, Serialize};
+use eras_data::json::{Json, ToJson};
 
 /// One recorded candidate evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TracePoint {
     /// Wall-clock seconds since the search started.
     pub elapsed_secs: f64,
@@ -15,8 +15,38 @@ pub struct TracePoint {
     pub best_mrr: f64,
 }
 
+impl ToJson for TracePoint {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("elapsed_secs", self.elapsed_secs)
+            .set("evaluations", self.evaluations)
+            .set("candidate_mrr", self.candidate_mrr)
+            .set("best_mrr", self.best_mrr)
+    }
+}
+
+impl TracePoint {
+    /// Rebuild from the JSON written by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<TracePoint, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("TracePoint: missing number `{key}`"))
+        };
+        Ok(TracePoint {
+            elapsed_secs: num("elapsed_secs")?,
+            evaluations: v
+                .get("evaluations")
+                .and_then(Json::as_usize)
+                .ok_or("TracePoint: missing `evaluations`")?,
+            candidate_mrr: num("candidate_mrr")?,
+            best_mrr: num("best_mrr")?,
+        })
+    }
+}
+
 /// Time-ordered evaluation log of one search run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SearchTrace {
     /// Searcher name (plot legend).
     pub method: String,
@@ -75,6 +105,37 @@ impl SearchTrace {
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
+
+    /// Rebuild from the JSON written by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<SearchTrace, String> {
+        let text = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("SearchTrace: missing string `{key}`"))
+        };
+        let points = v
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("SearchTrace: missing `points`")?
+            .iter()
+            .map(TracePoint::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SearchTrace {
+            method: text("method")?,
+            dataset: text("dataset")?,
+            points,
+        })
+    }
+}
+
+impl ToJson for SearchTrace {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("method", self.method.as_str())
+            .set("dataset", self.dataset.as_str())
+            .set("points", self.points.to_json())
+    }
 }
 
 #[cfg(test)]
@@ -110,10 +171,21 @@ mod tests {
     fn serialization_roundtrip() {
         let mut t = SearchTrace::new("autosf", "wn18-synth");
         t.record(0.5, 0.33);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: SearchTrace = serde_json::from_str(&json).unwrap();
+        t.record(1.25, 0.5);
+        let json = t.to_json().to_pretty();
+        let back = SearchTrace::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.method, "autosf");
+        assert_eq!(back.dataset, "wn18-synth");
         assert_eq!(back.points, t.points);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        let bad = Json::parse("{\"method\":\"m\",\"dataset\":\"d\"}").unwrap();
+        assert!(SearchTrace::from_json(&bad).is_err());
+        let bad_point =
+            Json::parse("{\"method\":\"m\",\"dataset\":\"d\",\"points\":[{}]}").unwrap();
+        assert!(SearchTrace::from_json(&bad_point).is_err());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Regression tests for NaN-unsafe ranking.
+//!
+//! The seed used `partial_cmp(..).expect("finite MRR")` in the AutoSF /
+//! TPE candidate sorts and in the predictor's pivot selection, so one
+//! diverged training run (NaN validation MRR) panicked mid-search. These
+//! tests pin the fixed behaviour: NaN scores flow through ranking and
+//! fitting without panics and never outrank real scores.
+
+use eras_linalg::cmp::{nan_last_desc_f64, nan_lowest_f64};
+use eras_linalg::Rng;
+use eras_search::predictor::Predictor;
+use eras_sf::BlockSf;
+
+fn sample_sf(seed: u64) -> BlockSf {
+    let mut rng = Rng::seed_from_u64(seed);
+    BlockSf::random(4, 6, &mut rng)
+}
+
+/// The exact sort the AutoSF parent-selection loop runs, fed a NaN MRR.
+/// With the seed's `partial_cmp(..).expect(..)` this panicked; now NaN
+/// parents rank strictly last and are truncated away first.
+#[test]
+fn autosf_parent_sort_survives_nan_mrr() {
+    let mut scored_parents: Vec<(BlockSf, f64)> = vec![
+        (sample_sf(1), 0.41),
+        (sample_sf(2), f64::NAN), // diverged stand-alone run
+        (sample_sf(3), 0.55),
+        (sample_sf(4), 0.13),
+    ];
+    scored_parents.sort_by(|a, b| nan_last_desc_f64(a.1, b.1));
+    assert_eq!(scored_parents[0].1, 0.55);
+    assert_eq!(scored_parents[1].1, 0.41);
+    assert_eq!(scored_parents[2].1, 0.13);
+    assert!(
+        scored_parents[3].1.is_nan(),
+        "NaN must rank last, not first"
+    );
+}
+
+/// The TPE likelihood-ratio argmax, fed NaN ratios: the max must be a
+/// real candidate, and an all-NaN pool must still return *something*
+/// rather than panic.
+#[test]
+fn tpe_argmax_never_selects_nan_ratio() {
+    let pool = [(0usize, f64::NAN), (1, 0.2), (2, f64::NAN), (3, 0.9)];
+    let best = pool
+        .iter()
+        .max_by(|a, b| nan_lowest_f64(a.1, b.1))
+        .expect("non-empty pool");
+    assert_eq!(best.0, 3);
+
+    let all_nan = [(0usize, f64::NAN), (1, f64::NAN)];
+    let picked = all_nan.iter().max_by(|a, b| nan_lowest_f64(a.1, b.1));
+    assert!(picked.is_some(), "all-NaN pool must not panic");
+}
+
+/// The ridge predictor used to panic inside Gaussian-elimination pivot
+/// selection when any observed MRR was NaN (NaN propagates into the
+/// normal equations). It must now fit and predict without panicking, and
+/// keep returning finite predictions once refit on clean data.
+#[test]
+fn predictor_survives_nan_observations() {
+    let mut predictor = Predictor::new(1e-3);
+    for seed in 0..6u64 {
+        predictor.observe(&sample_sf(seed), 0.1 + 0.05 * seed as f64);
+    }
+    predictor.observe(&sample_sf(99), f64::NAN);
+    predictor.fit(); // must not panic
+    let _ = predictor.predict(&sample_sf(100)); // may be NaN, must not panic
+
+    // A fresh predictor on clean data still produces finite predictions.
+    let mut clean = Predictor::new(1e-3);
+    for seed in 0..8u64 {
+        clean.observe(&sample_sf(seed), 0.1 + 0.05 * seed as f64);
+    }
+    clean.fit();
+    assert!(clean.predict(&sample_sf(100)).is_finite());
+}

@@ -1,0 +1,107 @@
+//! Property tests for the invariants the `eras audit` SF-DSL analyzer
+//! enforces: canonicalization idempotence, degeneracy stability under the
+//! symmetry group, and pairwise non-equivalence of the zoo models.
+//!
+//! Hand-rolled seeded loops over the in-repo RNG (the workspace builds
+//! with zero registry access, so no proptest).
+
+use eras_linalg::Rng;
+use eras_sf::canonical::{canonicalize, equivalent, transform};
+use eras_sf::{zoo, BlockSf};
+
+const CASES: u64 = 128;
+
+fn random_sf(rng: &mut Rng) -> BlockSf {
+    let idx: Vec<usize> = (0..16).map(|_| rng.next_below(9)).collect();
+    BlockSf::from_indices(4, &idx)
+}
+
+/// `canonical(canonical(x)) == canonical(x)` on random structures.
+#[test]
+fn canonicalization_is_idempotent() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA000 + case);
+        let sf = random_sf(&mut rng);
+        let once = canonicalize(&sf);
+        let twice = canonicalize(&once);
+        assert_eq!(twice, once, "case {case}: canonicalize not idempotent");
+    }
+}
+
+/// Degeneracy (an empty row or column of the block grid) is a property of
+/// the function family: every member of an orbit under simultaneous block
+/// permutation + sign flips is degenerate or none is.
+#[test]
+fn degeneracy_stable_under_block_permutation() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xB000 + case);
+        let sf = random_sf(&mut rng);
+        let mut perm: Vec<usize> = (0..4).collect();
+        rng.shuffle(&mut perm);
+        let flips = rng.next_below(16) as u32;
+        let moved = transform(&sf, &perm, flips);
+        assert_eq!(
+            moved.is_degenerate(),
+            sf.is_degenerate(),
+            "case {case}: degeneracy changed under perm {perm:?} flips {flips:#b}"
+        );
+        // And the canonical representative agrees with the orbit.
+        assert_eq!(
+            canonicalize(&moved),
+            canonicalize(&sf),
+            "case {case}: orbit members canonicalize differently"
+        );
+    }
+}
+
+/// DistMult, ComplEx, SimplE and Analogy are genuinely different scoring
+/// functions — no two are related by a block permutation + sign flips.
+#[test]
+fn zoo_models_pairwise_non_equivalent() {
+    let zoo = zoo::all_m4();
+    for (i, (name_a, a)) in zoo.iter().enumerate() {
+        for (name_b, b) in zoo.iter().skip(i + 1) {
+            assert!(
+                !equivalent(a, b),
+                "{name_a} and {name_b} are symmetry-equivalent"
+            );
+        }
+    }
+}
+
+/// The zoo members are all well-formed search-space citizens: M=4,
+/// non-degenerate, and fixed points of canonical-form idempotence.
+#[test]
+fn zoo_models_are_non_degenerate() {
+    for (name, sf) in zoo::all_m4() {
+        assert!(!sf.is_degenerate(), "{name} is degenerate");
+        assert!(
+            sf.uses_all_blocks(),
+            "{name} leaves a relation block unused"
+        );
+        let canon = canonicalize(&sf);
+        assert_eq!(
+            canonicalize(&canon),
+            canon,
+            "{name}: canonicalize not idempotent on zoo member"
+        );
+    }
+}
+
+/// Every structure is equivalent to its own canonical form, and
+/// `equivalent` is symmetric on random pairs.
+#[test]
+fn equivalence_consistency() {
+    for case in 0..CASES / 2 {
+        let mut rng = Rng::seed_from_u64(0xC000 + case);
+        let a = random_sf(&mut rng);
+        let b = random_sf(&mut rng);
+        assert!(equivalent(&a, &canonicalize(&a)), "case {case}");
+        assert_eq!(equivalent(&a, &b), equivalent(&b, &a), "case {case}");
+        assert_eq!(
+            equivalent(&a, &b),
+            canonicalize(&a) == canonicalize(&b),
+            "case {case}: equivalent() disagrees with canonical forms"
+        );
+    }
+}

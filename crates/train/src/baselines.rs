@@ -13,6 +13,7 @@
 
 use crate::embeddings::Embeddings;
 use crate::eval::ScoreModel;
+use crate::grads::{TransHGrads, TripleGrads, TuckErGrads};
 use crate::negative::corrupt;
 use eras_data::{FilterIndex, Triple};
 use eras_linalg::optim::{Adagrad, Optimizer};
@@ -74,6 +75,22 @@ impl TransE {
         -acc
     }
 
+    /// Gradient of the squared translational distance `‖h + r − t‖²`
+    /// (= −score) with respect to the triple's three rows. Pure: reads
+    /// `emb`, writes only `g`.
+    pub fn distance_grads(emb: &Embeddings, t: Triple, g: &mut TripleGrads) {
+        let dim = emb.dim();
+        let h = emb.entity.row(t.head as usize);
+        let r = emb.relation.row(t.rel as usize);
+        let tl = emb.entity.row(t.tail as usize);
+        for k in 0..dim {
+            let d = h[k] + r[k] - tl[k];
+            g.head[k] = 2.0 * d;
+            g.rel[k] = 2.0 * d;
+            g.tail[k] = -2.0 * d;
+        }
+    }
+
     /// One pass over `train` with margin loss `max(0, γ − s⁺ + s⁻)`.
     /// Returns the mean loss.
     pub fn train_epoch(
@@ -87,6 +104,7 @@ impl TransE {
         let num_entities = emb.num_entities();
         let mut total = 0.0f32;
         let mut count = 0usize;
+        let mut g = TripleGrads::new(dim);
         let mut grad = vec![0.0f32; dim];
         for &pos in train {
             for _ in 0..self.cfg.negatives {
@@ -99,20 +117,24 @@ impl TransE {
                 if loss <= 0.0 {
                     continue;
                 }
-                // ∂loss/∂(h,r,t) for positive: −∂s⁺ = +2d⁺ wrt h,r; −2d⁺ wrt t.
-                // For negative: +∂s⁻ = −2d⁻ wrt h,r; +2d⁻ wrt t.
+                // ∂loss/∂(h,r,t) for positive: −∂s⁺ = +∂dist⁺; for the
+                // negative: +∂s⁻ = −∂dist⁻.
                 for (triple, sign) in [(pos, 1.0f32), (neg, -1.0f32)] {
                     let (h, r, t) = (triple.head, triple.rel, triple.tail);
+                    Self::distance_grads(emb, triple, &mut g);
                     for k in 0..dim {
-                        let d = emb.entity.get(h as usize, k) + emb.relation.get(r as usize, k)
-                            - emb.entity.get(t as usize, k);
-                        grad[k] = 2.0 * sign * d;
+                        grad[k] = sign * g.head[k];
                     }
                     self.opt_entity
                         .step_at(emb.entity.as_mut_slice(), h as usize * dim, &grad);
+                    for k in 0..dim {
+                        grad[k] = sign * g.rel[k];
+                    }
                     self.opt_relation
                         .step_at(emb.relation.as_mut_slice(), r as usize * dim, &grad);
-                    vecops::scale(-1.0, &mut grad);
+                    for k in 0..dim {
+                        grad[k] = sign * g.tail[k];
+                    }
                     self.opt_entity
                         .step_at(emb.entity.as_mut_slice(), t as usize * dim, &grad);
                 }
@@ -225,6 +247,40 @@ impl TransH {
         -acc
     }
 
+    /// Gradient of the hyperplane distance `‖h⊥ + r − t⊥‖²` (= −score)
+    /// with respect to the triple's rows and the normal `w_r`. Pure:
+    /// reads `emb` and `self.normals`, writes only `g`.
+    pub fn distance_grads(&self, emb: &Embeddings, t: Triple, g: &mut TransHGrads) {
+        let dim = emb.dim();
+        let (hid, rid, tid) = (t.head as usize, t.rel as usize, t.tail as usize);
+        let w = self.normals.row(rid);
+        let h_row = emb.entity.row(hid);
+        let t_row = emb.entity.row(tid);
+        let mut hp = vec![0.0f32; dim];
+        let mut tp = vec![0.0f32; dim];
+        let mut d_vec = vec![0.0f32; dim];
+        Self::project(h_row, w, &mut hp);
+        Self::project(t_row, w, &mut tp);
+        for k in 0..dim {
+            d_vec[k] = hp[k] + emb.relation.get(rid, k) - tp[k];
+        }
+        // ∂dist/∂h = 2 P d where P = I − wwᵀ (P is symmetric); ∂/∂t = −∂/∂h.
+        let wd = vecops::dot(w, &d_vec);
+        for k in 0..dim {
+            g.head[k] = 2.0 * (d_vec[k] - wd * w[k]);
+            g.tail[k] = -g.head[k];
+            // ∂dist/∂r = 2 d.
+            g.rel[k] = 2.0 * d_vec[k];
+        }
+        // With x = h − t: d = x + r − (wᵀx)w, so
+        // ∂dist/∂w = −2[(wᵀd)·x + (wᵀx)·d].
+        let wh = vecops::dot(w, h_row);
+        let wt = vecops::dot(w, t_row);
+        for k in 0..dim {
+            g.normal[k] = -2.0 * (wd * (h_row[k] - t_row[k]) + (wh - wt) * d_vec[k]);
+        }
+    }
+
     /// One margin-loss epoch. Returns the mean loss.
     pub fn train_epoch(
         &mut self,
@@ -237,10 +293,8 @@ impl TransH {
         let num_entities = emb.num_entities();
         let mut total = 0.0f32;
         let mut count = 0usize;
-        let mut d_vec = vec![0.0f32; dim];
+        let mut g = TransHGrads::new(dim);
         let mut grad = vec![0.0f32; dim];
-        let mut hp = vec![0.0f32; dim];
-        let mut tp = vec![0.0f32; dim];
         for &pos in train {
             for _ in 0..self.cfg.negatives {
                 let neg = corrupt(pos, num_entities, filter, rng);
@@ -258,37 +312,24 @@ impl TransH {
                         triple.rel as usize,
                         triple.tail as usize,
                     );
-                    // Recompute d = h⊥ + r − t⊥ with current parameters.
-                    let w: Vec<f32> = self.normals.row(rid).to_vec();
-                    Self::project(emb.entity.row(hid), &w, &mut hp);
-                    Self::project(emb.entity.row(tid), &w, &mut tp);
+                    self.distance_grads(emb, triple, &mut g);
                     for k in 0..dim {
-                        d_vec[k] = hp[k] + emb.relation.get(rid, k) - tp[k];
-                    }
-                    // ∂(−s)/∂h = 2 P d where P = I − wwᵀ (P is symmetric).
-                    let wd = vecops::dot(&w, &d_vec);
-                    for k in 0..dim {
-                        grad[k] = 2.0 * sign * (d_vec[k] - wd * w[k]);
+                        grad[k] = sign * g.head[k];
                     }
                     self.opt_entity
                         .step_at(emb.entity.as_mut_slice(), hid * dim, &grad);
-                    vecops::scale(-1.0, &mut grad);
+                    for k in 0..dim {
+                        grad[k] = sign * g.tail[k];
+                    }
                     self.opt_entity
                         .step_at(emb.entity.as_mut_slice(), tid * dim, &grad);
-                    // ∂(−s)/∂r = 2 d.
                     for k in 0..dim {
-                        grad[k] = 2.0 * sign * d_vec[k];
+                        grad[k] = sign * g.rel[k];
                     }
                     self.opt_relation
                         .step_at(emb.relation.as_mut_slice(), rid * dim, &grad);
-                    // With x = h − t: d = x + r − (wᵀx)w, so
-                    // ∂‖d‖²/∂w = −2[(wᵀd)·x + (wᵀx)·d].
-                    let h_row: Vec<f32> = emb.entity.row(hid).to_vec();
-                    let t_row: Vec<f32> = emb.entity.row(tid).to_vec();
-                    let wh = vecops::dot(&w, &h_row);
-                    let wt = vecops::dot(&w, &t_row);
                     for k in 0..dim {
-                        grad[k] = -2.0 * sign * (wd * (h_row[k] - t_row[k]) + (wh - wt) * d_vec[k]);
+                        grad[k] = sign * g.normal[k];
                     }
                     self.opt_normals
                         .step_at(self.normals.as_mut_slice(), rid * dim, &grad);
@@ -389,6 +430,70 @@ impl RotatE {
         -acc
     }
 
+    /// Gradient of the rotation distance `Σ_k |h_k e^{iθ_k} − t_k|`
+    /// (= −score) with respect to the triple's three rows. The relation
+    /// gradient lives in the first `d/2` slots (the phases); the rest
+    /// stays zero. Pure: reads `emb`, writes only `g`.
+    pub fn distance_grads(emb: &Embeddings, t: Triple, g: &mut TripleGrads) {
+        let dim = emb.dim();
+        let pairs = dim / 2;
+        let h = emb.entity.row(t.head as usize);
+        let r = emb.relation.row(t.rel as usize);
+        let tl = emb.entity.row(t.tail as usize);
+        vecops::zero(&mut g.head);
+        vecops::zero(&mut g.tail);
+        vecops::zero(&mut g.rel);
+        for k in 0..pairs {
+            let (hr, hi) = (h[2 * k], h[2 * k + 1]);
+            let (c, s) = (r[k].cos(), r[k].sin());
+            let dr = hr * c - hi * s - tl[2 * k];
+            let di = hr * s + hi * c - tl[2 * k + 1];
+            let norm = (dr * dr + di * di).sqrt().max(1e-8);
+            // Unit residual u = d/‖d‖.
+            let (ur, ui) = (dr / norm, di / norm);
+            // ∂d/∂hr = (c, s); ∂d/∂hi = (−s, c).
+            g.head[2 * k] = ur * c + ui * s;
+            g.head[2 * k + 1] = -ur * s + ui * c;
+            // ∂d/∂t = −I.
+            g.tail[2 * k] = -ur;
+            g.tail[2 * k + 1] = -ui;
+            // ∂d/∂θ = h · i e^{iθ} = (−hr s − hi c, hr c − hi s).
+            g.rel[k] = ur * (-hr * s - hi * c) + ui * (hr * c - hi * s);
+        }
+    }
+
+    /// Scale `g` by `weight` and hand the three rows to the optimizers.
+    fn apply_weighted(
+        &mut self,
+        emb: &mut Embeddings,
+        triple: Triple,
+        weight: f32,
+        g: &TripleGrads,
+        grad: &mut [f32],
+    ) {
+        let dim = emb.dim();
+        let (hid, rid, tid) = (
+            triple.head as usize,
+            triple.rel as usize,
+            triple.tail as usize,
+        );
+        for k in 0..dim {
+            grad[k] = weight * g.head[k];
+        }
+        self.opt_entity
+            .step_at(emb.entity.as_mut_slice(), hid * dim, grad);
+        for k in 0..dim {
+            grad[k] = weight * g.tail[k];
+        }
+        self.opt_entity
+            .step_at(emb.entity.as_mut_slice(), tid * dim, grad);
+        for k in 0..dim {
+            grad[k] = weight * g.rel[k];
+        }
+        self.opt_relation
+            .step_at(emb.relation.as_mut_slice(), rid * dim, grad);
+    }
+
     /// One margin-loss epoch. Returns the mean loss.
     pub fn train_epoch(
         &mut self,
@@ -398,13 +503,11 @@ impl RotatE {
         rng: &mut Rng,
     ) -> f32 {
         let dim = emb.dim();
-        let pairs = dim / 2;
         let num_entities = emb.num_entities();
         let mut total = 0.0f32;
         let mut count = 0usize;
-        let mut grad_h = vec![0.0f32; dim];
-        let mut grad_t = vec![0.0f32; dim];
-        let mut grad_r = vec![0.0f32; dim];
+        let mut g = TripleGrads::new(dim);
+        let mut grad = vec![0.0f32; dim];
         for &pos in train {
             for _ in 0..self.cfg.negatives {
                 let neg = corrupt(pos, num_entities, filter, rng);
@@ -417,41 +520,8 @@ impl RotatE {
                     continue;
                 }
                 for (triple, sign) in [(pos, 1.0f32), (neg, -1.0f32)] {
-                    let (hid, rid, tid) = (
-                        triple.head as usize,
-                        triple.rel as usize,
-                        triple.tail as usize,
-                    );
-                    let h: Vec<f32> = emb.entity.row(hid).to_vec();
-                    let r: Vec<f32> = emb.relation.row(rid).to_vec();
-                    let tl: Vec<f32> = emb.entity.row(tid).to_vec();
-                    vecops::zero(&mut grad_h);
-                    vecops::zero(&mut grad_t);
-                    vecops::zero(&mut grad_r);
-                    for k in 0..pairs {
-                        let (hr, hi) = (h[2 * k], h[2 * k + 1]);
-                        let (c, s) = (r[k].cos(), r[k].sin());
-                        let dr = hr * c - hi * s - tl[2 * k];
-                        let di = hr * s + hi * c - tl[2 * k + 1];
-                        let norm = (dr * dr + di * di).sqrt().max(1e-8);
-                        // ∂(−s)/∂· = +∂‖d‖/∂· ; unit residual u = d/‖d‖.
-                        let (ur, ui) = (dr / norm, di / norm);
-                        let g = sign;
-                        // ∂d/∂hr = (c, s); ∂d/∂hi = (−s, c).
-                        grad_h[2 * k] = g * (ur * c + ui * s);
-                        grad_h[2 * k + 1] = g * (-ur * s + ui * c);
-                        // ∂d/∂t = −I.
-                        grad_t[2 * k] = -g * ur;
-                        grad_t[2 * k + 1] = -g * ui;
-                        // ∂d/∂θ = h · i e^{iθ} = (−hr s − hi c, hr c − hi s).
-                        grad_r[k] = g * (ur * (-hr * s - hi * c) + ui * (hr * c - hi * s));
-                    }
-                    self.opt_entity
-                        .step_at(emb.entity.as_mut_slice(), hid * dim, &grad_h);
-                    self.opt_entity
-                        .step_at(emb.entity.as_mut_slice(), tid * dim, &grad_t);
-                    self.opt_relation
-                        .step_at(emb.relation.as_mut_slice(), rid * dim, &grad_r);
+                    Self::distance_grads(emb, triple, &mut g);
+                    self.apply_weighted(emb, triple, sign, &g, &mut grad);
                 }
             }
         }
@@ -481,68 +551,19 @@ impl RotatE {
     ) -> f32 {
         use eras_linalg::softmax::{sigmoid, softmax_inplace, softplus};
         let dim = emb.dim();
-        let pairs = dim / 2;
         let num_entities = emb.num_entities();
         let gamma = self.cfg.margin;
         let mut total = 0.0f32;
         let mut count = 0usize;
-        let mut grad_h = vec![0.0f32; dim];
-        let mut grad_t = vec![0.0f32; dim];
-        let mut grad_r = vec![0.0f32; dim];
-
-        // Accumulate the distance gradient of `weight · d(triple)` into
-        // the three parameter rows.
-        let apply = |emb: &mut Embeddings,
-                     opt_e: &mut Adagrad,
-                     opt_r: &mut Adagrad,
-                     triple: Triple,
-                     weight: f32,
-                     grad_h: &mut [f32],
-                     grad_t: &mut [f32],
-                     grad_r: &mut [f32]| {
-            let (hid, rid, tid) = (
-                triple.head as usize,
-                triple.rel as usize,
-                triple.tail as usize,
-            );
-            let h: Vec<f32> = emb.entity.row(hid).to_vec();
-            let r: Vec<f32> = emb.relation.row(rid).to_vec();
-            let tl: Vec<f32> = emb.entity.row(tid).to_vec();
-            vecops::zero(grad_h);
-            vecops::zero(grad_t);
-            vecops::zero(grad_r);
-            for kk in 0..pairs {
-                let (hr, hi) = (h[2 * kk], h[2 * kk + 1]);
-                let (c, s) = (r[kk].cos(), r[kk].sin());
-                let dr = hr * c - hi * s - tl[2 * kk];
-                let di = hr * s + hi * c - tl[2 * kk + 1];
-                let norm = (dr * dr + di * di).sqrt().max(1e-8);
-                let (ur, ui) = (dr / norm, di / norm);
-                grad_h[2 * kk] = weight * (ur * c + ui * s);
-                grad_h[2 * kk + 1] = weight * (-ur * s + ui * c);
-                grad_t[2 * kk] = -weight * ur;
-                grad_t[2 * kk + 1] = -weight * ui;
-                grad_r[kk] = weight * (ur * (-hr * s - hi * c) + ui * (hr * c - hi * s));
-            }
-            opt_e.step_at(emb.entity.as_mut_slice(), hid * dim, grad_h);
-            opt_e.step_at(emb.entity.as_mut_slice(), tid * dim, grad_t);
-            opt_r.step_at(emb.relation.as_mut_slice(), rid * dim, grad_r);
-        };
+        let mut g = TripleGrads::new(dim);
+        let mut grad = vec![0.0f32; dim];
 
         for &pos in train {
             let d_pos = -Self::score_raw(emb, pos);
             // Positive term: −log σ(γ − d⁺); ∂/∂d⁺ = σ(d⁺ − γ).
             total += softplus(d_pos - gamma);
-            apply(
-                emb,
-                &mut self.opt_entity,
-                &mut self.opt_relation,
-                pos,
-                sigmoid(d_pos - gamma),
-                &mut grad_h,
-                &mut grad_t,
-                &mut grad_r,
-            );
+            Self::distance_grads(emb, pos, &mut g);
+            self.apply_weighted(emb, pos, sigmoid(d_pos - gamma), &g, &mut grad);
             // Negatives with self-adversarial weights.
             let negs: Vec<Triple> = (0..k.max(1))
                 .map(|_| corrupt(pos, num_entities, filter, rng))
@@ -553,16 +574,8 @@ impl RotatE {
             for ((&neg, &d_neg), &p) in negs.iter().zip(&dists).zip(&weights) {
                 // Term: −p · log σ(d⁻ − γ); ∂/∂d⁻ = −p σ(γ − d⁻).
                 total += p * softplus(gamma - d_neg);
-                apply(
-                    emb,
-                    &mut self.opt_entity,
-                    &mut self.opt_relation,
-                    neg,
-                    -p * sigmoid(gamma - d_neg),
-                    &mut grad_h,
-                    &mut grad_t,
-                    &mut grad_r,
-                );
+                Self::distance_grads(emb, neg, &mut g);
+                self.apply_weighted(emb, neg, -p * sigmoid(gamma - d_neg), &g, &mut grad);
             }
             count += 1;
         }
@@ -707,58 +720,89 @@ impl TuckEr {
         }
     }
 
+    /// The trained core tensor (read access for checkpointing and the
+    /// gradient contract checker).
+    pub fn core(&self) -> &[f32] {
+        &self.core
+    }
+
+    /// Mutable core access (used by the gradient contract checker to
+    /// finite-difference through the core).
+    pub fn core_mut(&mut self) -> &mut [f32] {
+        &mut self.core
+    }
+
+    /// Gradients of the full-softmax tail step at the current
+    /// parameters. Pure: reads `emb` and `self.core`, writes only `g`.
+    ///
+    /// The per-entity row gradient is `g.resid[c] · g.v`; head, relation
+    /// and core gradients are dense in `g`.
+    pub fn step_grads(&self, emb: &Embeddings, t: Triple, g: &mut TuckErGrads) {
+        let d = self.dim;
+        let h = emb.entity.row(t.head as usize);
+        let r = emb.relation.row(t.rel as usize);
+        self.tail_vec(h, r, &mut g.v);
+        emb.entity.matvec(&g.v, &mut g.resid);
+        g.loss = eras_linalg::softmax::log_loss_and_residual(&mut g.resid, t.tail as usize);
+        // g_v = Eᵀ resid.
+        let mut g_v = vec![0.0f32; d];
+        emb.entity.matvec_transpose(&g.resid, &mut g_v);
+        // ∂L/∂h_i = Σ_k r_k ⟨W[i][k][:], g_v⟩ ; ∂L/∂r_k symmetric;
+        // ∂L/∂W[i][k][j] = h_i r_k g_v[j].
+        vecops::zero(&mut g.head);
+        vecops::zero(&mut g.rel);
+        for i in 0..d {
+            for k in 0..d {
+                let base = (i * d + k) * d;
+                let wg = vecops::dot(&self.core[base..base + d], &g_v);
+                g.head[i] += r[k] * wg;
+                g.rel[k] += h[i] * wg;
+                let scale = h[i] * r[k];
+                for j in 0..d {
+                    g.core[base + j] = scale * g_v[j];
+                }
+            }
+        }
+    }
+
     /// One pass over `train` (tail-prediction side with full softmax).
     /// Returns the mean loss.
     pub fn train_epoch(&mut self, emb: &mut Embeddings, train: &[Triple]) -> f32 {
         let d = self.dim;
         let ne = emb.num_entities();
-        let mut v = vec![0.0f32; d];
-        let mut scores = vec![0.0f32; ne];
-        let mut g_v = vec![0.0f32; d];
+        let mut g = TuckErGrads::new(d, ne);
         let mut grad = vec![0.0f32; d];
         let mut total = 0.0f32;
         for &t in train {
             let h: Vec<f32> = emb.entity.row(t.head as usize).to_vec();
             let r: Vec<f32> = emb.relation.row(t.rel as usize).to_vec();
-            self.tail_vec(&h, &r, &mut v);
-            emb.entity.matvec(&v, &mut scores);
-            total += eras_linalg::softmax::log_loss_and_residual(&mut scores, t.tail as usize);
-            // g_v = Eᵀ resid; entity rows += resid · v.
-            emb.entity.matvec_transpose(&scores, &mut g_v);
+            self.step_grads(emb, t, &mut g);
+            total += g.loss;
+            // Entity rows += resid · v.
             for c in 0..ne {
-                let resid = scores[c];
+                let resid = g.resid[c];
                 if resid == 0.0 {
                     continue;
                 }
-                for (g, &vv) in grad.iter_mut().zip(&v) {
-                    *g = resid * vv;
+                for (gr, &vv) in grad.iter_mut().zip(&g.v) {
+                    *gr = resid * vv;
                 }
                 self.opt_entity
                     .step_at(emb.entity.as_mut_slice(), c * d, &grad);
             }
-            // ∂L/∂h_i = Σ_k r_k ⟨W[i][k][:], g_v⟩ ; ∂L/∂r_k symmetric;
-            // ∂L/∂W[i][k][j] = h_i r_k g_v[j].
-            let mut grad_h = vec![0.0f32; d];
-            let mut grad_r = vec![0.0f32; d];
             for i in 0..d {
                 for k in 0..d {
-                    let base = (i * d + k) * d;
-                    let wg = vecops::dot(&self.core[base..base + d], &g_v);
-                    grad_h[i] += r[k] * wg;
-                    grad_r[k] += h[i] * wg;
-                    let scale = h[i] * r[k];
-                    if scale != 0.0 {
-                        for (j, g) in grad.iter_mut().enumerate() {
-                            *g = scale * g_v[j];
-                        }
-                        self.opt_core.step_at(&mut self.core, base, &grad);
+                    if h[i] * r[k] != 0.0 {
+                        let base = (i * d + k) * d;
+                        self.opt_core
+                            .step_at(&mut self.core, base, &g.core[base..base + d]);
                     }
                 }
             }
             self.opt_entity
-                .step_at(emb.entity.as_mut_slice(), t.head as usize * d, &grad_h);
+                .step_at(emb.entity.as_mut_slice(), t.head as usize * d, &g.head);
             self.opt_relation
-                .step_at(emb.relation.as_mut_slice(), t.rel as usize * d, &grad_r);
+                .step_at(emb.relation.as_mut_slice(), t.rel as usize * d, &g.rel);
         }
         if train.is_empty() {
             0.0

@@ -251,8 +251,9 @@ impl BlockScratch {
 
 /// One direction of the 1-vs-all step. `anchor` is the known entity
 /// (head for tail-prediction), `target` the entity to predict.
+/// `pub(crate)` so the gradient contract checker can isolate one side.
 #[allow(clippy::too_many_arguments)]
-fn train_side(
+pub(crate) fn train_side(
     model: &BlockModel,
     sf_is_transposed: bool,
     emb: &mut Embeddings,

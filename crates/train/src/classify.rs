@@ -10,6 +10,7 @@ use crate::embeddings::Embeddings;
 use crate::eval::ScoreModel;
 use crate::negative::negatives_for;
 use eras_data::{Dataset, FilterIndex, Triple};
+use eras_linalg::cmp::nan_last_asc_f32;
 use eras_linalg::Rng;
 
 /// A labelled classification set: positives paired with filtered negatives.
@@ -52,7 +53,7 @@ fn best_threshold(mut scored: Vec<(f32, bool)>) -> (f32, usize) {
     if scored.is_empty() {
         return (0.0, 0);
     }
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    scored.sort_by(|a, b| nan_last_asc_f32(a.0, b.0));
     let total_pos = scored.iter().filter(|(_, p)| *p).count();
     // Threshold below everything: all predicted positive.
     let mut best_correct = total_pos; // negatives all wrong

@@ -158,7 +158,10 @@ pub fn link_prediction_parallel<M: ScoreModel + Sync + ?Sized>(
             .chunks(chunk)
             .map(|part| scope.spawn(move || link_prediction(model, emb, part, filter)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     // Merge: metrics are per-query averages; recombine by counts.
     let mut merged = LinkPredictionMetrics::default();
@@ -328,7 +331,12 @@ mod tests {
         let dataset = eras_data::Preset::Tiny.build(60);
         let filter = FilterIndex::build(&dataset);
         let mut rng = Rng::seed_from_u64(1);
-        let emb = Embeddings::init(dataset.num_entities(), dataset.num_relations(), 16, &mut rng);
+        let emb = Embeddings::init(
+            dataset.num_entities(),
+            dataset.num_relations(),
+            16,
+            &mut rng,
+        );
         let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
         let seq = link_prediction(&model, &emb, &dataset.test, &filter);
         for threads in [1usize, 2, 3, 7] {

@@ -21,6 +21,7 @@
 
 use crate::embeddings::Embeddings;
 use crate::eval::ScoreModel;
+use crate::grads::SideGrads;
 use eras_data::Triple;
 use eras_linalg::optim::{Adagrad, Optimizer};
 use eras_linalg::softmax::log_loss_and_residual;
@@ -70,66 +71,48 @@ impl HolE {
         }
     }
 
-    /// One 1-vs-all step. `tail_side` picks the query direction.
-    fn train_side(
-        &mut self,
-        emb: &mut Embeddings,
+    /// Pure gradients of one 1-vs-all step over an explicit candidate
+    /// list (`candidates[0]` is the target; `tail_side` picks the query
+    /// direction). Reads `emb`, writes only `g`; the sampled-softmax
+    /// trainer and the gradient contract checker share this kernel.
+    pub fn side_grads(
+        emb: &Embeddings,
         anchor: u32,
         rel: u32,
-        target: u32,
+        candidates: &[u32],
         tail_side: bool,
-        rng: &mut Rng,
-    ) -> f32 {
+        g: &mut SideGrads,
+    ) {
         let d = emb.dim();
-        let ne = emb.num_entities();
-        let a_row: Vec<f32> = emb.entity.row(anchor as usize).to_vec();
-        let r_row: Vec<f32> = emb.relation.row(rel as usize).to_vec();
-        let mut q = vec![0.0f32; d];
+        let a_row = emb.entity.row(anchor as usize);
+        let r_row = emb.relation.row(rel as usize);
         if tail_side {
             // score(t) = ⟨t, r ∗ h⟩.
-            convolve(&r_row, &a_row, &mut q);
+            convolve(r_row, a_row, &mut g.q);
         } else {
             // score(h) = ⟨h, r ⋆ t⟩.
-            correlate(&r_row, &a_row, &mut q);
+            correlate(r_row, a_row, &mut g.q);
         }
 
-        let mut candidates = Vec::with_capacity(self.negatives + 1);
-        candidates.push(target);
-        for _ in 0..self.negatives {
-            let mut c = rng.next_below(ne) as u32;
-            if c == target {
-                c = (c + 1) % ne as u32;
-            }
-            candidates.push(c);
-        }
-        let mut scores: Vec<f32> = candidates
-            .iter()
-            .map(|&c| vecops::dot(&q, emb.entity.row(c as usize)))
-            .collect();
-        let loss = log_loss_and_residual(&mut scores, 0);
+        g.resid.clear();
+        g.resid.extend(
+            candidates
+                .iter()
+                .map(|&c| vecops::dot(&g.q, emb.entity.row(c as usize))),
+        );
+        g.loss = log_loss_and_residual(&mut g.resid, 0);
 
-        // g_q and candidate updates.
         let mut g_q = vec![0.0f32; d];
-        let mut row_grad = vec![0.0f32; d];
         for (slot, &c) in candidates.iter().enumerate() {
-            let resid = scores[slot];
-            vecops::axpy(resid, emb.entity.row(c as usize), &mut g_q);
-            for (g, &qv) in row_grad.iter_mut().zip(&q) {
-                *g = resid * qv;
-            }
-            self.opt_entity
-                .step_at(emb.entity.as_mut_slice(), c as usize * d, &row_grad);
+            vecops::axpy(g.resid[slot], emb.entity.row(c as usize), &mut g_q);
         }
 
         // Back through the correlation/convolution. Both are bilinear:
         // tail side, q = r ∗ a:  ∂⟨g,q⟩/∂r = g ⋆ a ;  ∂/∂a = r ⋆ g.
-        // head side, q = r ⋆ a:  ∂⟨g,q⟩/∂r = a ∗ ... derived below via
-        //   ⟨g, r ⋆ a⟩ = ⟨r, g ∗ ā⟩-type identities; we use the direct
-        //   index forms which the finite-difference test verifies.
-        let mut grad_a = vec![0.0f32; d];
-        let mut grad_r = vec![0.0f32; d];
+        // head side, q = r ⋆ a:  direct index forms, finite-difference
+        // checked by the gradient contract.
         if tail_side {
-            // q_k = Σ_i r_i a_{(k−i)}: ∂/∂r_i = Σ_k g_k a_{(k−i)} = (g ⋆ r→)…
+            // q_k = Σ_i r_i a_{(k−i)}: ∂/∂r_i = Σ_k g_k a_{(k−i)}.
             for i in 0..d {
                 let mut acc_r = 0.0f32;
                 let mut acc_a = 0.0f32;
@@ -137,8 +120,8 @@ impl HolE {
                     acc_r += g_q[k] * a_row[(k + d - i) % d];
                     acc_a += g_q[k] * r_row[(k + d - i) % d];
                 }
-                grad_r[i] = acc_r;
-                grad_a[i] = acc_a;
+                g.rel[i] = acc_r;
+                g.anchor[i] = acc_a;
             }
         } else {
             // q_k = Σ_i r_i a_{(i+k)}: ∂/∂r_i = Σ_k g_k a_{(i+k)};
@@ -148,21 +131,57 @@ impl HolE {
                 for k in 0..d {
                     acc_r += g_q[k] * a_row[(i + k) % d];
                 }
-                grad_r[i] = acc_r;
+                g.rel[i] = acc_r;
             }
             for j in 0..d {
                 let mut acc_a = 0.0f32;
                 for k in 0..d {
                     acc_a += g_q[k] * r_row[(j + d - k) % d];
                 }
-                grad_a[j] = acc_a;
+                g.anchor[j] = acc_a;
             }
         }
+    }
+
+    /// One 1-vs-all step. `tail_side` picks the query direction.
+    #[allow(clippy::too_many_arguments)]
+    fn train_side(
+        &mut self,
+        emb: &mut Embeddings,
+        anchor: u32,
+        rel: u32,
+        target: u32,
+        tail_side: bool,
+        rng: &mut Rng,
+        g: &mut SideGrads,
+    ) -> f32 {
+        let d = emb.dim();
+        let ne = emb.num_entities();
+        let mut candidates = Vec::with_capacity(self.negatives + 1);
+        candidates.push(target);
+        for _ in 0..self.negatives {
+            let mut c = rng.next_below(ne) as u32;
+            if c == target {
+                c = (c + 1) % ne as u32;
+            }
+            candidates.push(c);
+        }
+        Self::side_grads(emb, anchor, rel, &candidates, tail_side, g);
+
+        let mut row_grad = vec![0.0f32; d];
+        for (slot, &c) in candidates.iter().enumerate() {
+            let resid = g.resid[slot];
+            for (gr, &qv) in row_grad.iter_mut().zip(&g.q) {
+                *gr = resid * qv;
+            }
+            self.opt_entity
+                .step_at(emb.entity.as_mut_slice(), c as usize * d, &row_grad);
+        }
         self.opt_entity
-            .step_at(emb.entity.as_mut_slice(), anchor as usize * d, &grad_a);
+            .step_at(emb.entity.as_mut_slice(), anchor as usize * d, &g.anchor);
         self.opt_relation
-            .step_at(emb.relation.as_mut_slice(), rel as usize * d, &grad_r);
-        loss
+            .step_at(emb.relation.as_mut_slice(), rel as usize * d, &g.rel);
+        g.loss
     }
 
     /// One pass over the training set (both directions). Returns mean loss.
@@ -170,10 +189,11 @@ impl HolE {
         if train.is_empty() {
             return 0.0;
         }
+        let mut g = SideGrads::new(emb.dim());
         let mut total = 0.0f32;
         for &t in train {
-            total += self.train_side(emb, t.head, t.rel, t.tail, true, rng);
-            total += self.train_side(emb, t.tail, t.rel, t.head, false, rng);
+            total += self.train_side(emb, t.head, t.rel, t.tail, true, rng, &mut g);
+            total += self.train_side(emb, t.tail, t.rel, t.head, false, rng, &mut g);
         }
         total / (2.0 * train.len() as f32)
     }

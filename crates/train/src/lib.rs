@@ -33,7 +33,11 @@
 //!   per-relation and per-pattern slicing (Tables III, VI, VIII);
 //! - [`classify`] — triplet classification with relation-specific
 //!   thresholds fitted on validation (Table X);
-//! - [`negative`] — filtered negative sampling.
+//! - [`negative`] — filtered negative sampling;
+//! - [`grads`] — the gradient containers the trainers' pure gradient
+//!   kernels fill (gradient math separated from optimizer application);
+//! - [`contract`] — the gradient contract: every analytic gradient above
+//!   checked against central finite differences (`eras audit` runs it).
 
 // Indexed loops are the clearer idiom in the numeric kernels below
 // (parallel arrays, strided block views); the iterator forms clippy
@@ -43,8 +47,10 @@
 pub mod baselines;
 pub mod block;
 pub mod classify;
+pub mod contract;
 pub mod embeddings;
 pub mod eval;
+pub mod grads;
 pub mod hole;
 pub mod io;
 pub mod loss;
@@ -54,6 +60,7 @@ pub mod quate;
 pub mod trainer;
 
 pub use block::BlockModel;
+pub use contract::{check_case, run_all_contracts, GradCase, GradReport};
 pub use embeddings::Embeddings;
 pub use eval::{LinkPredictionMetrics, ScoreModel};
 pub use loss::LossMode;

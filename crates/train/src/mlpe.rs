@@ -18,6 +18,7 @@
 
 use crate::embeddings::Embeddings;
 use crate::eval::ScoreModel;
+use crate::grads::MlpSideGrads;
 use eras_data::Triple;
 use eras_linalg::optim::{Adagrad, Optimizer};
 use eras_linalg::softmax::log_loss_and_residual;
@@ -68,6 +69,69 @@ impl MlpE {
         }
     }
 
+    /// Pure gradients of one 1-vs-all step over an explicit candidate
+    /// list (`candidates[0]` is the target). Reads `emb` and the network
+    /// weights, writes only `g`; the sampled-softmax trainer and the
+    /// gradient contract checker share this kernel. Layer gradients are
+    /// the outer products documented on [`MlpSideGrads`].
+    pub fn side_grads(
+        &self,
+        emb: &Embeddings,
+        anchor: u32,
+        rel: u32,
+        candidates: &[u32],
+        g: &mut MlpSideGrads,
+    ) {
+        let d = emb.dim();
+        let h_row = emb.entity.row(anchor as usize);
+        let r_row = emb.relation.row(rel as usize);
+        let (hid, q) = self.project_impl(h_row, r_row);
+        g.hid.copy_from_slice(&hid);
+        g.q.copy_from_slice(&q);
+
+        g.resid.clear();
+        g.resid.extend(
+            candidates
+                .iter()
+                .map(|&c| vecops::dot(&q, emb.entity.row(c as usize))),
+        );
+        g.loss = log_loss_and_residual(&mut g.resid, 0);
+
+        vecops::zero(&mut g.g_q);
+        for (slot, &c) in candidates.iter().enumerate() {
+            vecops::axpy(g.resid[slot], emb.entity.row(c as usize), &mut g.g_q);
+        }
+
+        // Layer 2: q = W2·hid + b2 → d_hid = W2ᵀ g_q, then the ReLU mask.
+        vecops::zero(&mut g.d_hid);
+        for i in 0..d {
+            let gi = g.g_q[i];
+            if gi != 0.0 {
+                let row = self.w2.row(i);
+                for j in 0..self.hidden {
+                    g.d_hid[j] += gi * row[j];
+                }
+            }
+        }
+        for j in 0..self.hidden {
+            if hid[j] <= 0.0 {
+                g.d_hid[j] = 0.0;
+            }
+        }
+        // Layer 1 chain rule into the anchor and relation rows.
+        vecops::zero(&mut g.anchor);
+        vecops::zero(&mut g.rel);
+        for j in 0..self.hidden {
+            let gz = g.d_hid[j];
+            if gz == 0.0 {
+                continue;
+            }
+            let row = self.w1.row(j);
+            vecops::axpy(gz, &row[..d], &mut g.anchor);
+            vecops::axpy(gz, &row[d..], &mut g.rel);
+        }
+    }
+
     /// One 1-vs-all sampled-softmax step. Returns the loss.
     fn train_side(
         &mut self,
@@ -76,12 +140,12 @@ impl MlpE {
         rel: u32,
         target: u32,
         rng: &mut Rng,
+        g: &mut MlpSideGrads,
     ) -> f32 {
         let d = emb.dim();
         let ne = emb.num_entities();
         let h_row: Vec<f32> = emb.entity.row(anchor as usize).to_vec();
         let r_row: Vec<f32> = emb.relation.row(rel as usize).to_vec();
-        let (hid, q) = self.project_impl(&h_row, &r_row);
 
         let mut candidates = Vec::with_capacity(self.negatives + 1);
         candidates.push(target);
@@ -92,81 +156,53 @@ impl MlpE {
             }
             candidates.push(c);
         }
-        let mut scores: Vec<f32> = candidates
-            .iter()
-            .map(|&c| vecops::dot(&q, emb.entity.row(c as usize)))
-            .collect();
-        let loss = log_loss_and_residual(&mut scores, 0);
+        self.side_grads(emb, anchor, rel, &candidates, g);
 
-        // g_q and candidate updates.
-        let mut g_q = vec![0.0f32; d];
+        // Candidate rows move by resid · q.
         let mut row_grad = vec![0.0f32; d];
         for (slot, &c) in candidates.iter().enumerate() {
-            let resid = scores[slot];
-            vecops::axpy(resid, emb.entity.row(c as usize), &mut g_q);
-            for (g, &qv) in row_grad.iter_mut().zip(&q) {
-                *g = resid * qv;
+            let resid = g.resid[slot];
+            for (gr, &qv) in row_grad.iter_mut().zip(&g.q) {
+                *gr = resid * qv;
             }
             self.opt_entity
                 .step_at(emb.entity.as_mut_slice(), c as usize * d, &row_grad);
         }
 
-        // Layer 2: q = W2·hid + b2 → dW2 = g_q ⊗ hid ; db2 = g_q ;
-        // d_hid = W2ᵀ g_q (masked by ReLU).
-        let mut d_hid = vec![0.0f32; self.hidden];
-        for i in 0..d {
-            let gi = g_q[i];
-            if gi != 0.0 {
-                let row = self.w2.row(i);
-                for j in 0..self.hidden {
-                    d_hid[j] += gi * row[j];
-                }
-            }
-        }
-        // Apply W2/b2 updates.
+        // W2 rows (g_q[i] · hid), then b2.
         let mut w2_row_grad = vec![0.0f32; self.hidden];
         for i in 0..d {
-            let gi = g_q[i];
-            for (g, &hj) in w2_row_grad.iter_mut().zip(&hid) {
-                *g = gi * hj;
+            let gi = g.g_q[i];
+            for (gr, &hj) in w2_row_grad.iter_mut().zip(&g.hid) {
+                *gr = gi * hj;
             }
             self.opt_w2
                 .step_at(self.w2.as_mut_slice(), i * self.hidden, &w2_row_grad);
         }
-        self.opt_b2.step_at(&mut self.b2, 0, &g_q);
+        self.opt_b2.step_at(&mut self.b2, 0, &g.g_q);
 
-        // ReLU mask, then layer 1.
-        for j in 0..self.hidden {
-            if hid[j] <= 0.0 {
-                d_hid[j] = 0.0;
-            }
-        }
-        let mut grad_h = vec![0.0f32; d];
-        let mut grad_r = vec![0.0f32; d];
+        // W1 rows (d_hid[j] · [h ; r]), then b1.
         let mut w1_row_grad = vec![0.0f32; 2 * d];
         for j in 0..self.hidden {
-            let gz = d_hid[j];
+            let gz = g.d_hid[j];
             if gz == 0.0 {
                 continue;
             }
-            let row = self.w1.row(j);
-            vecops::axpy(gz, &row[..d], &mut grad_h);
-            vecops::axpy(gz, &row[d..], &mut grad_r);
-            for (g, &hv) in w1_row_grad[..d].iter_mut().zip(&h_row) {
-                *g = gz * hv;
+            for (gr, &hv) in w1_row_grad[..d].iter_mut().zip(&h_row) {
+                *gr = gz * hv;
             }
-            for (g, &rv) in w1_row_grad[d..].iter_mut().zip(&r_row) {
-                *g = gz * rv;
+            for (gr, &rv) in w1_row_grad[d..].iter_mut().zip(&r_row) {
+                *gr = gz * rv;
             }
             self.opt_w1
                 .step_at(self.w1.as_mut_slice(), j * 2 * d, &w1_row_grad);
         }
-        self.opt_b1.step_at(&mut self.b1, 0, &d_hid);
+        self.opt_b1.step_at(&mut self.b1, 0, &g.d_hid);
         self.opt_entity
-            .step_at(emb.entity.as_mut_slice(), anchor as usize * d, &grad_h);
+            .step_at(emb.entity.as_mut_slice(), anchor as usize * d, &g.anchor);
         self.opt_relation
-            .step_at(emb.relation.as_mut_slice(), rel as usize * d, &grad_r);
-        loss
+            .step_at(emb.relation.as_mut_slice(), rel as usize * d, &g.rel);
+        g.loss
     }
 
     /// Forward pass returning `(hidden activations, query vector)`.
@@ -192,12 +228,48 @@ impl MlpE {
         if train.is_empty() {
             return 0.0;
         }
+        let mut g = MlpSideGrads::new(emb.dim(), self.hidden);
         let mut total = 0.0f32;
         for &t in train {
-            total += self.train_side(emb, t.head, t.rel, t.tail, rng);
-            total += self.train_side(emb, t.tail, t.rel, t.head, rng);
+            total += self.train_side(emb, t.head, t.rel, t.tail, rng, &mut g);
+            total += self.train_side(emb, t.tail, t.rel, t.head, rng, &mut g);
         }
         total / (2.0 * train.len() as f32)
+    }
+
+    /// Hidden width `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// The network parameters flattened as `[W1, b1, W2, b2]` (used for
+    /// checkpointing and by the gradient contract checker).
+    pub fn net_param_vec(&self) -> Vec<f32> {
+        let mut v = Vec::with_capacity(
+            self.w1.as_slice().len() + self.b1.len() + self.w2.as_slice().len() + self.b2.len(),
+        );
+        v.extend_from_slice(self.w1.as_slice());
+        v.extend_from_slice(&self.b1);
+        v.extend_from_slice(self.w2.as_slice());
+        v.extend_from_slice(&self.b2);
+        v
+    }
+
+    /// Restore network parameters from a `[W1, b1, W2, b2]` flat vector.
+    /// Panics on a length mismatch.
+    pub fn set_net_params(&mut self, v: &[f32]) {
+        let (n1, nb1, n2) = (
+            self.w1.as_slice().len(),
+            self.b1.len(),
+            self.w2.as_slice().len(),
+        );
+        assert_eq!(v.len(), n1 + nb1 + n2 + self.b2.len(), "bad param vector");
+        self.w1.as_mut_slice().copy_from_slice(&v[..n1]);
+        self.b1.copy_from_slice(&v[n1..n1 + nb1]);
+        self.w2
+            .as_mut_slice()
+            .copy_from_slice(&v[n1 + nb1..n1 + nb1 + n2]);
+        self.b2.copy_from_slice(&v[n1 + nb1 + n2..]);
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::embeddings::Embeddings;
 use crate::eval::ScoreModel;
+use crate::grads::SideGrads;
 use eras_data::Triple;
 use eras_linalg::optim::{Adagrad, Optimizer};
 use eras_linalg::softmax::log_loss_and_residual;
@@ -125,6 +126,62 @@ impl QuatE {
         }
     }
 
+    /// Pure gradients of one 1-vs-all step over an explicit candidate
+    /// list (`candidates[0]` is the target; `tail_side` picks the query
+    /// direction). Reads `emb`, writes only `g`; the sampled-softmax
+    /// trainer and the gradient contract checker share this kernel.
+    pub fn side_grads(
+        emb: &Embeddings,
+        anchor: u32,
+        rel: u32,
+        candidates: &[u32],
+        tail_side: bool,
+        g: &mut SideGrads,
+    ) {
+        let dim = emb.dim();
+        if tail_side {
+            Self::tail_query(emb, anchor, rel, &mut g.q);
+        } else {
+            Self::head_query(emb, anchor, rel, &mut g.q);
+        }
+        g.resid.clear();
+        g.resid.extend(
+            candidates
+                .iter()
+                .map(|&c| vecops::dot(&g.q, emb.entity.row(c as usize))),
+        );
+        g.loss = log_loss_and_residual(&mut g.resid, 0);
+
+        let anchor_row = emb.entity.row(anchor as usize);
+        let rel_row = emb.relation.row(rel as usize);
+        let mut g_q = vec![0.0f32; dim];
+        for (slot, &c) in candidates.iter().enumerate() {
+            vecops::axpy(g.resid[slot], emb.entity.row(c as usize), &mut g_q);
+        }
+
+        // Back through the Hamilton product into anchor and relation.
+        for k in 0..dim / 4 {
+            let gq = quat_at(&g_q, k);
+            let r_raw = quat_at(rel_row, k);
+            let (rhat, rnorm) = normalize(r_raw);
+            let a = quat_at(anchor_row, k);
+            let (ga, g_rhat): (Quat, Quat) = if tail_side {
+                // q_k = a ⊗ r̂ : ∂/∂a = g ⊗ r̂*, ∂/∂r̂ = H(a)ᵀ g.
+                (hamilton(gq, conjugate(rhat)), lmul_transpose(a, gq))
+            } else {
+                // q_k = a ⊗ r̂* : ∂/∂a = g ⊗ r̂ (conj of conj),
+                // ∂/∂r̂* = H(a)ᵀ g, then ∂/∂r̂ = conj of that.
+                (hamilton(gq, rhat), conjugate(lmul_transpose(a, gq)))
+            };
+            g.anchor[4 * k..4 * k + 4].copy_from_slice(&ga);
+            // Through the normalisation: ∂r̂/∂r = (I − r̂ r̂ᵀ) / ‖r‖.
+            let dot_rg: f32 = (0..4).map(|i| rhat[i] * g_rhat[i]).sum();
+            for i in 0..4 {
+                g.rel[4 * k + i] = (g_rhat[i] - dot_rg * rhat[i]) / rnorm;
+            }
+        }
+    }
+
     /// One 1-vs-all step predicting `target` from `(anchor, rel)` on the
     /// given side. Returns the loss.
     #[allow(clippy::too_many_arguments)]
@@ -136,15 +193,10 @@ impl QuatE {
         target: u32,
         tail_side: bool,
         rng: &mut Rng,
+        g: &mut SideGrads,
     ) -> f32 {
         let dim = emb.dim();
         let ne = emb.num_entities();
-        let mut q = vec![0.0f32; dim];
-        if tail_side {
-            Self::tail_query(emb, anchor, rel, &mut q);
-        } else {
-            Self::head_query(emb, anchor, rel, &mut q);
-        }
         // Candidates: target + negatives.
         let mut candidates = Vec::with_capacity(self.negatives + 1);
         candidates.push(target);
@@ -155,63 +207,22 @@ impl QuatE {
             }
             candidates.push(c);
         }
-        let mut scores: Vec<f32> = candidates
-            .iter()
-            .map(|&c| vecops::dot(&q, emb.entity.row(c as usize)))
-            .collect();
-        let loss = log_loss_and_residual(&mut scores, 0);
+        Self::side_grads(emb, anchor, rel, &candidates, tail_side, g);
 
-        // g_q and candidate-row updates.
-        let anchor_row: Vec<f32> = emb.entity.row(anchor as usize).to_vec();
-        let rel_row: Vec<f32> = emb.relation.row(rel as usize).to_vec();
-        let mut g_q = vec![0.0f32; dim];
         let mut row_grad = vec![0.0f32; dim];
         for (slot, &c) in candidates.iter().enumerate() {
-            let resid = scores[slot];
-            vecops::axpy(resid, emb.entity.row(c as usize), &mut g_q);
-            for (g, &qv) in row_grad.iter_mut().zip(&q) {
-                *g = resid * qv;
+            let resid = g.resid[slot];
+            for (gr, &qv) in row_grad.iter_mut().zip(&g.q) {
+                *gr = resid * qv;
             }
             self.opt_entity
                 .step_at(emb.entity.as_mut_slice(), c as usize * dim, &row_grad);
         }
-
-        // Back through the Hamilton product into anchor and relation.
-        let mut grad_anchor = vec![0.0f32; dim];
-        let mut grad_rel = vec![0.0f32; dim];
-        for k in 0..dim / 4 {
-            let g = quat_at(&g_q, k);
-            let r_raw = quat_at(&rel_row, k);
-            let (rhat, rnorm) = normalize(r_raw);
-            let a = quat_at(&anchor_row, k);
-            let (reff, ga, g_rhat): (Quat, Quat, Quat) = if tail_side {
-                // q_k = a ⊗ r̂ : ∂/∂a = g ⊗ r̂*, ∂/∂r̂ = H(a)ᵀ g.
-                (rhat, hamilton(g, conjugate(rhat)), lmul_transpose(a, g))
-            } else {
-                // q_k = a ⊗ r̂* : ∂/∂a = g ⊗ r̂ (conj of conj),
-                // ∂/∂r̂* = H(a)ᵀ g, then ∂/∂r̂ = conj of that.
-                (
-                    conjugate(rhat),
-                    hamilton(g, rhat),
-                    conjugate(lmul_transpose(a, g)),
-                )
-            };
-            let _ = reff;
-            grad_anchor[4 * k..4 * k + 4].copy_from_slice(&ga);
-            // Through the normalisation: ∂r̂/∂r = (I − r̂ r̂ᵀ) / ‖r‖.
-            let dot_rg: f32 = (0..4).map(|i| rhat[i] * g_rhat[i]).sum();
-            for i in 0..4 {
-                grad_rel[4 * k + i] = (g_rhat[i] - dot_rg * rhat[i]) / rnorm;
-            }
-        }
-        self.opt_entity.step_at(
-            emb.entity.as_mut_slice(),
-            anchor as usize * dim,
-            &grad_anchor,
-        );
+        self.opt_entity
+            .step_at(emb.entity.as_mut_slice(), anchor as usize * dim, &g.anchor);
         self.opt_relation
-            .step_at(emb.relation.as_mut_slice(), rel as usize * dim, &grad_rel);
-        loss
+            .step_at(emb.relation.as_mut_slice(), rel as usize * dim, &g.rel);
+        g.loss
     }
 
     /// One pass over the training set (both prediction directions).
@@ -220,10 +231,11 @@ impl QuatE {
         if train.is_empty() {
             return 0.0;
         }
+        let mut g = SideGrads::new(emb.dim());
         let mut total = 0.0f32;
         for &t in train {
-            total += self.train_side(emb, t.head, t.rel, t.tail, true, rng);
-            total += self.train_side(emb, t.tail, t.rel, t.head, false, rng);
+            total += self.train_side(emb, t.head, t.rel, t.tail, true, rng, &mut g);
+            total += self.train_side(emb, t.tail, t.rel, t.head, false, rng, &mut g);
         }
         total / (2.0 * train.len() as f32)
     }

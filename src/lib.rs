@@ -28,6 +28,7 @@
 //! println!("test MRR = {:.3}", outcome.test.mrr);
 //! ```
 
+pub use eras_audit as audit;
 pub use eras_ctrl as ctrl;
 pub use eras_data as data;
 pub use eras_linalg as linalg;

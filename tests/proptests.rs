@@ -1,75 +1,98 @@
-//! Cross-crate property-based tests (proptest).
+//! Cross-crate property-based tests.
+//!
+//! Hand-rolled property loops over the in-repo deterministic [`Rng`]
+//! (64 seeded cases per property) — the workspace builds with zero
+//! registry access, so no external proptest dependency.
 
 use eras::linalg::Rng;
 use eras::prelude::*;
 use eras::sf::canonical;
-use proptest::prelude::*;
 
-/// Strategy: a random op index for M = 4 (0..9).
-fn op_index() -> impl Strategy<Value = usize> {
-    0usize..9
+const CASES: u64 = 64;
+
+/// A random M = 4 block structure (each cell uniform over the 9 ops).
+fn random_block_sf(rng: &mut Rng) -> BlockSf {
+    let idx: Vec<usize> = (0..16).map(|_| rng.next_below(9)).collect();
+    BlockSf::from_indices(4, &idx)
 }
 
-/// Strategy: a random M = 4 block structure.
-fn block_sf() -> impl Strategy<Value = BlockSf> {
-    proptest::collection::vec(op_index(), 16).prop_map(|idx| BlockSf::from_indices(4, &idx))
+/// A random permutation of `0..4` and a random flip mask.
+fn random_transform(rng: &mut Rng) -> (Vec<usize>, u32) {
+    let mut perm: Vec<usize> = (0..4).collect();
+    rng.shuffle(&mut perm);
+    (perm, rng.next_below(16) as u32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Canonicalisation is idempotent and stable under group transforms.
-    #[test]
-    fn canonicalization_idempotent_and_invariant(sf in block_sf(), perm_seed in 0u64..1000, flips in 0u32..16) {
+/// Canonicalisation is idempotent and stable under group transforms.
+#[test]
+fn canonicalization_idempotent_and_invariant() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1000 + case);
+        let sf = random_block_sf(&mut rng);
         let canon = canonical::canonicalize(&sf);
-        prop_assert_eq!(canonical::canonicalize(&canon), canon.clone());
+        assert_eq!(canonical::canonicalize(&canon), canon, "case {case}");
         // Any transform of sf has the same canonical form.
-        let mut rng = Rng::seed_from_u64(perm_seed);
-        let mut perm: Vec<usize> = (0..4).collect();
-        rng.shuffle(&mut perm);
+        let (perm, flips) = random_transform(&mut rng);
         let transformed = canonical::transform(&sf, &perm, flips);
-        prop_assert_eq!(canonical::canonicalize(&transformed), canon);
+        assert_eq!(canonical::canonicalize(&transformed), canon, "case {case}");
     }
+}
 
-    /// Structural invariants survive the symmetry group.
-    #[test]
-    fn invariants_stable_under_transform(sf in block_sf(), seed in 0u64..1000, flips in 0u32..16) {
-        let mut rng = Rng::seed_from_u64(seed);
-        let mut perm: Vec<usize> = (0..4).collect();
-        rng.shuffle(&mut perm);
+/// Structural invariants survive the symmetry group.
+#[test]
+fn invariants_stable_under_transform() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2000 + case);
+        let sf = random_block_sf(&mut rng);
+        let (perm, flips) = random_transform(&mut rng);
         let t = canonical::transform(&sf, &perm, flips);
-        prop_assert_eq!(t.num_nonzero(), sf.num_nonzero());
-        prop_assert_eq!(t.blocks_used().count_ones(), sf.blocks_used().count_ones());
-        prop_assert_eq!(t.is_degenerate(), sf.is_degenerate());
+        assert_eq!(t.num_nonzero(), sf.num_nonzero(), "case {case}");
+        assert_eq!(
+            t.blocks_used().count_ones(),
+            sf.blocks_used().count_ones(),
+            "case {case}"
+        );
+        assert_eq!(t.is_degenerate(), sf.is_degenerate(), "case {case}");
     }
+}
 
-    /// Expressiveness flags are invariant under the symmetry group —
-    /// they are properties of the function family, not the encoding.
-    #[test]
-    fn expressiveness_invariant_under_transform(sf in block_sf(), seed in 0u64..1000, flips in 0u32..16) {
-        let mut rng = Rng::seed_from_u64(seed);
-        let mut perm: Vec<usize> = (0..4).collect();
-        rng.shuffle(&mut perm);
+/// Expressiveness flags are invariant under the symmetry group —
+/// they are properties of the function family, not the encoding.
+#[test]
+fn expressiveness_invariant_under_transform() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x3000 + case);
+        let sf = random_block_sf(&mut rng);
+        let (perm, flips) = random_transform(&mut rng);
         let t = canonical::transform(&sf, &perm, flips);
-        let ea = eras::sf::expressive::analyze(&sf);
-        let eb = eras::sf::expressive::analyze(&t);
-        prop_assert_eq!(ea, eb);
+        assert_eq!(
+            eras::sf::expressive::analyze(&sf),
+            eras::sf::expressive::analyze(&t),
+            "case {case}"
+        );
     }
+}
 
-    /// Token encode/decode through the supernet is a bijection on
-    /// well-formed sequences.
-    #[test]
-    fn supernet_token_roundtrip(tokens in proptest::collection::vec(op_index(), 32)) {
+/// Token encode/decode through the supernet is a bijection on
+/// well-formed sequences.
+#[test]
+fn supernet_token_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4000 + case);
+        let tokens: Vec<usize> = (0..32).map(|_| rng.next_below(9)).collect();
         let supernet = Supernet::new(4, 2);
         let sfs = supernet.decode(&tokens);
-        prop_assert_eq!(supernet.encode(&sfs), tokens);
+        assert_eq!(supernet.encode(&sfs), tokens, "case {case}");
     }
+}
 
-    /// Scoring is linear in the structure: scoring with a structure whose
-    /// every op sign is flipped negates the score.
-    #[test]
-    fn sign_flip_negates_score(sf in block_sf(), seed in 0u64..1000) {
-        let mut rng = Rng::seed_from_u64(seed);
+/// Scoring is linear in the structure: scoring with a structure whose
+/// every op sign is flipped negates the score.
+#[test]
+fn sign_flip_negates_score() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5000 + case);
+        let sf = random_block_sf(&mut rng);
         let emb = Embeddings::init(10, 2, 16, &mut rng);
         let flipped_grid: Vec<Op> = sf.cells().iter().map(|op| op.negate()).collect();
         let flipped = BlockSf::from_grid(4, flipped_grid);
@@ -78,27 +101,34 @@ proptest! {
         let t = Triple::new(1, 0, 3);
         let sa = model_a.score_triple(&emb, t);
         let sb = model_b.score_triple(&emb, t);
-        prop_assert!((sa + sb).abs() < 1e-4 * (1.0 + sa.abs()));
+        assert!(
+            (sa + sb).abs() < 1e-4 * (1.0 + sa.abs()),
+            "case {case}: {sa} vs {sb}"
+        );
     }
+}
 
-    /// Filtered ranks are within [1, N] and reciprocal ranks aggregate to
-    /// an MRR within (0, 1].
-    #[test]
-    fn rank_bounds(scores in proptest::collection::vec(-100.0f32..100.0, 20), target in 0u32..20) {
+/// Filtered ranks are within [1, N].
+#[test]
+fn rank_bounds() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6000 + case);
+        let scores: Vec<f32> = (0..20).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let target = rng.next_below(20) as u32;
         let rank = eras::train::eval::filtered_rank(&scores, target, &[]);
-        prop_assert!(rank >= 1.0);
-        prop_assert!(rank <= scores.len() as f64);
+        assert!(rank >= 1.0, "case {case}");
+        assert!(rank <= scores.len() as f64, "case {case}");
     }
+}
 
-    /// Quaternion-style rotation scoring (QuatE) preserves candidate
-    /// ordering under global score shifts... more precisely: the
-    /// tail-query identity ⟨h ⊗ r̂, t⟩ = ⟨h, t ⊗ r̂*⟩ holds for random
-    /// embeddings (head/tail query consistency).
-    #[test]
-    fn quate_head_tail_query_identity(seed in 0u64..500) {
-        use eras::train::quate::QuatE;
-        use eras::train::eval::ScoreModel;
-        let mut rng = Rng::seed_from_u64(seed);
+/// The QuatE tail-query identity ⟨h ⊗ r̂, t⟩ = ⟨h, t ⊗ r̂*⟩ holds for
+/// random embeddings (head/tail query consistency).
+#[test]
+fn quate_head_tail_query_identity() {
+    use eras::train::eval::ScoreModel;
+    use eras::train::quate::QuatE;
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7000 + case);
         let emb = Embeddings::init(8, 2, 8, &mut rng);
         let model = QuatE::new(&emb, 0.1, 2);
         let mut tails = vec![0.0f32; 8];
@@ -106,52 +136,68 @@ proptest! {
         model.score_all_tails(&emb, 1, 0, &mut tails);
         model.score_all_heads(&emb, 3, 0, &mut heads);
         // score(1, r0, 3) computed both ways must agree.
-        prop_assert!((tails[3] - heads[1]).abs() < 1e-3 * (1.0 + tails[3].abs()));
+        assert!(
+            (tails[3] - heads[1]).abs() < 1e-3 * (1.0 + tails[3].abs()),
+            "case {case}: {} vs {}",
+            tails[3],
+            heads[1]
+        );
     }
+}
 
-    /// Mined rules never include the trivial identity and always respect
-    /// the per-relation cap.
-    #[test]
-    fn rule_mining_invariants(seed in 0u64..50, n_edges in 20usize..80) {
-        use eras::rules::{learn_rules, LearnConfig};
-        let mut rng = Rng::seed_from_u64(seed);
+/// Mined rules never include the trivial identity and always respect
+/// the per-relation cap.
+#[test]
+fn rule_mining_invariants() {
+    use eras::rules::{learn_rules, LearnConfig};
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x8000 + case);
+        let n_edges = 20 + rng.next_below(60);
         let triples: Vec<Triple> = (0..n_edges)
-            .map(|_| Triple::new(
-                rng.next_below(30) as u32,
-                rng.next_below(3) as u32,
-                rng.next_below(30) as u32,
-            ))
+            .map(|_| {
+                Triple::new(
+                    rng.next_below(30) as u32,
+                    rng.next_below(3) as u32,
+                    rng.next_below(30) as u32,
+                )
+            })
             .collect();
         let graph = eras::rules::graph::Graph::build(&triples, 3);
-        let cfg = LearnConfig { max_rules_per_relation: 5, ..LearnConfig::default() };
+        let cfg = LearnConfig {
+            max_rules_per_relation: 5,
+            ..LearnConfig::default()
+        };
         let rules = learn_rules(&graph, &cfg);
         let mut counts = std::collections::HashMap::new();
         for s in &rules {
-            prop_assert!(!s.rule.is_trivial());
-            prop_assert!(s.confidence >= cfg.min_confidence);
-            prop_assert!(s.confidence <= 1.0 + 1e-9);
+            assert!(!s.rule.is_trivial(), "case {case}");
+            assert!(s.confidence >= cfg.min_confidence, "case {case}");
+            assert!(s.confidence <= 1.0 + 1e-9, "case {case}");
             *counts.entry(s.rule.head_rel).or_insert(0usize) += 1;
         }
-        prop_assert!(counts.values().all(|&c| c <= 5));
+        assert!(counts.values().all(|&c| c <= 5), "case {case}");
     }
+}
 
-    /// The generator always produces valid datasets across a range of
-    /// shapes.
-    #[test]
-    fn generator_always_valid(
-        num_entities in 10usize..80,
-        seed in 0u64..50,
-        sym in 10usize..60,
-        anti in 10usize..60,
-    ) {
+/// The generator always produces valid datasets across a range of shapes.
+#[test]
+fn generator_always_valid() {
+    for case in 0..32 {
+        let mut rng = Rng::seed_from_u64(0x9000 + case);
         let cfg = GeneratorConfig {
             name: "prop".into(),
-            num_entities,
+            num_entities: 10 + rng.next_below(70),
             num_clusters: 3,
             planted_dim: 3,
             relations: vec![
-                RelationSpec { pattern: RelationPattern::Symmetric, num_triples: sym },
-                RelationSpec { pattern: RelationPattern::AntiSymmetric, num_triples: anti },
+                RelationSpec {
+                    pattern: RelationPattern::Symmetric,
+                    num_triples: 10 + rng.next_below(50),
+                },
+                RelationSpec {
+                    pattern: RelationPattern::AntiSymmetric,
+                    num_triples: 10 + rng.next_below(50),
+                },
             ],
             zipf_exponent: 0.4,
             entity_noise: 0.7,
@@ -159,10 +205,10 @@ proptest! {
             candidate_pool: usize::MAX,
             valid_frac: 0.1,
             test_frac: 0.1,
-            seed,
+            seed: case,
         };
         let dataset = generate(&cfg);
-        prop_assert!(dataset.validate().is_ok());
-        prop_assert!(!dataset.train.is_empty());
+        assert!(dataset.validate().is_ok(), "case {case}");
+        assert!(!dataset.train.is_empty(), "case {case}");
     }
 }
