@@ -26,8 +26,12 @@ use eras_core::Severity;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Crates whose non-test code counts as hot path for `W402`.
-const HOT_PATH_CRATES: &[&str] = &["linalg", "sf", "train", "core", "ctrl", "search", "rules"];
+/// Crates whose non-test code counts as hot path for `W402`. `serve`
+/// qualifies: a panicking worker thread takes down an online query
+/// server, not just an experiment.
+const HOT_PATH_CRATES: &[&str] = &[
+    "linalg", "sf", "train", "core", "ctrl", "search", "rules", "serve",
+];
 
 fn pat_partial_cmp() -> String {
     ["partial_", "cmp"].concat()
@@ -274,10 +278,12 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     out.sort();
 }
 
-/// Lint every `src/` tree in the workspace rooted at `root` (the crate
-/// `src/` directories only — `tests/`, `benches/` and `examples/` hold
-/// test code by construction).
-pub fn run(root: &Path) -> Vec<Finding> {
+/// Every `.rs` file the lint pass walks for the workspace rooted at
+/// `root`, paired with its hot-path flag: the crate `src/` directories
+/// plus the facade's `src/` — `tests/`, `benches/` and `examples/` hold
+/// test code by construction. Public so the audit gate tests can assert
+/// that a crate is actually covered rather than silently skipped.
+pub fn workspace_sources(root: &Path) -> Vec<(PathBuf, bool)> {
     let mut src_dirs: Vec<(PathBuf, bool)> = Vec::new();
     if let Ok(entries) = fs::read_dir(root.join("crates")) {
         let mut crates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
@@ -294,21 +300,28 @@ pub fn run(root: &Path) -> Vec<Finding> {
     }
     src_dirs.push((root.join("src"), false));
 
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for (dir, hot) in src_dirs {
         let mut files = Vec::new();
         collect_rs_files(&dir, &mut files);
-        for file in files {
-            let Ok(src) = fs::read_to_string(&file) else {
-                continue;
-            };
-            let display = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .display()
-                .to_string();
-            findings.extend(lint_source(&display, &src, hot));
-        }
+        sources.extend(files.into_iter().map(|f| (f, hot)));
+    }
+    sources
+}
+
+/// Lint every `src/` tree in the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (file, hot) in workspace_sources(root) {
+        let Ok(src) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let display = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        findings.extend(lint_source(&display, &src, hot));
     }
     findings
 }

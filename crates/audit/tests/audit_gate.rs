@@ -156,3 +156,29 @@ fn json_report_is_machine_readable() {
     assert_eq!(passes.len(), 2);
     assert_eq!(json.get("errors").and_then(|e| e.as_usize()), Some(0));
 }
+
+/// The serving crate is inside the lint perimeter: its sources are
+/// walked, and walked as hot-path (W402 applies). Guards against the
+/// silent-skip failure mode where a new crate ships outside the gate.
+#[test]
+fn serve_crate_is_walked_as_hot_path() {
+    let sources = eras_audit::lint::workspace_sources(&workspace_root());
+    let serve: Vec<&(PathBuf, bool)> = sources
+        .iter()
+        .filter(|(p, _)| p.components().any(|c| c.as_os_str() == "serve"))
+        .collect();
+    let names: Vec<String> = serve
+        .iter()
+        .filter_map(|(p, _)| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+        .collect();
+    for required in ["lib.rs", "engine.rs", "http.rs", "cache.rs", "metrics.rs"] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "crates/serve/src/{required} must be inside the lint perimeter; walked: {names:?}"
+        );
+    }
+    assert!(
+        serve.iter().all(|(_, hot)| *hot),
+        "crates/serve must be linted as a hot-path crate"
+    );
+}

@@ -1,0 +1,110 @@
+//! Serving-engine benchmark: single-query latency and batched top-k
+//! throughput on a synthetic 50k-entity graph.
+//!
+//! Measures the `QueryEngine` kernel itself (cache disabled, anchors
+//! rotated so no result is reused): one pass over the entity table per
+//! query, and one *shared* pass for a 64-query batch — the difference is
+//! the batching win. Emits `results/BENCH_serving.json`.
+
+use eras_bench::harness::bench;
+use eras_bench::report::save_json;
+use eras_data::vocab::Vocab;
+use eras_data::{Json, Triple};
+use eras_linalg::Rng;
+use eras_serve::{Direction, Query, QueryEngine};
+use eras_sf::zoo;
+use eras_train::io::Snapshot;
+use eras_train::{BlockModel, Embeddings};
+use std::hint::black_box;
+
+const NUM_ENTITIES: usize = 50_000;
+const NUM_RELATIONS: usize = 16;
+const DIM: usize = 32;
+const KNOWN_TRIPLES: usize = 150_000;
+const BATCH: usize = 64;
+
+fn synthetic_engine() -> QueryEngine {
+    let mut rng = Rng::seed_from_u64(7);
+    let mut entities = Vocab::new();
+    for i in 0..NUM_ENTITIES {
+        entities.intern(&format!("ent_{i}"));
+    }
+    let mut relations = Vocab::new();
+    for r in 0..NUM_RELATIONS {
+        relations.intern(&format!("rel_{r}"));
+    }
+    let model = BlockModel::universal(zoo::complex(), NUM_RELATIONS);
+    let embeddings = Embeddings::init(NUM_ENTITIES, NUM_RELATIONS, DIM, &mut rng);
+    let known: Vec<Triple> = (0..KNOWN_TRIPLES)
+        .map(|_| {
+            Triple::new(
+                rng.next_below(NUM_ENTITIES) as u32,
+                rng.next_below(NUM_RELATIONS) as u32,
+                rng.next_below(NUM_ENTITIES) as u32,
+            )
+        })
+        .collect();
+    let snap = Snapshot::new(
+        "bench-serving",
+        entities,
+        relations,
+        &model,
+        embeddings,
+        known,
+    );
+    // Cache disabled: this benchmark measures the scoring kernel.
+    QueryEngine::new(snap, 0).expect("valid synthetic snapshot")
+}
+
+fn query(anchor: u32, k: usize) -> Query {
+    Query {
+        dir: Direction::Tail,
+        anchor: anchor % NUM_ENTITIES as u32,
+        rel: anchor % NUM_RELATIONS as u32,
+        k,
+        filtered: true,
+    }
+}
+
+fn main() {
+    let engine = synthetic_engine();
+    let mut results = Json::obj()
+        .set("entities", NUM_ENTITIES)
+        .set("relations", NUM_RELATIONS)
+        .set("dim", DIM)
+        .set("known_triples", KNOWN_TRIPLES)
+        .set("batch", BATCH);
+
+    for k in [1usize, 10, 100] {
+        // Single-query latency, rotating anchors to defeat any reuse.
+        let mut anchor = 0u32;
+        let ns = bench(&format!("serve/single_query/k{k}"), || {
+            anchor = anchor.wrapping_add(1);
+            black_box(engine.answer(black_box(query(anchor, k))).expect("query"))
+        });
+        results = results
+            .set(&format!("single_query_k{k}_ns"), ns)
+            .set(&format!("single_query_k{k}_qps"), 1e9 / ns);
+
+        // Batched throughput: BATCH queries, one shared table pass.
+        let mut base = 0u32;
+        let ns = bench(&format!("serve/batch{BATCH}/k{k}"), || {
+            base = base.wrapping_add(BATCH as u32);
+            let queries: Vec<Query> = (0..BATCH as u32).map(|i| query(base + i, k)).collect();
+            black_box(engine.answer_batch(black_box(&queries)).expect("batch"))
+        });
+        let qps = BATCH as f64 * 1e9 / ns;
+        results = results
+            .set(&format!("batch{BATCH}_k{k}_ns"), ns)
+            .set(&format!("batch{BATCH}_k{k}_qps"), qps);
+        println!(
+            "{:<40} {qps:>14.0} queries/sec",
+            format!("serve/batch{BATCH}/k{k} throughput")
+        );
+    }
+
+    match save_json("BENCH_serving", &results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_serving.json: {e}"),
+    }
+}

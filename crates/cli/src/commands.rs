@@ -20,13 +20,18 @@ USAGE:
   eras stats    --preset NAME [--seed N]
   eras generate --preset NAME --out DIR [--seed N]
   eras train    (--preset NAME | --data DIR) [--model complex] [--dim 32]
-                [--epochs 40] [--seed N] [--save FILE] [--full-loss]
+                [--epochs 40] [--seed N] [--save FILE] [--snapshot FILE]
+                [--full-loss]
   eras search   (--preset NAME | --data DIR) [--method eras] [--groups 3]
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
   eras rules    (--preset NAME | --data DIR) [--seed N]
   eras audit    [--pass sf,grad,config,lint] [--format text|json]
                 [--deny warnings] [--root DIR] [--sf-samples N] [--seed N]
+  eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
+                [--cache 1024]
+  eras query    --snapshot FILE (--head E | --tail E) --relation R
+                [--k 10] [--unfiltered]
 
 PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny
 MODELS:  distmult complex simple analogy
@@ -168,6 +173,81 @@ pub fn train(args: &Args) -> Result<(), String> {
         eras_train::io::save(Path::new(path), &outcome.embeddings).map_err(|e| e.to_string())?;
         println!("saved embeddings to {path}");
     }
+    if let Some(path) = args.get("snapshot") {
+        // Bundle everything a server needs. Known triples are train +
+        // valid: the test split stays out so served filtered rankings
+        // agree with the offline filtered evaluator.
+        let mut known = dataset.train.clone();
+        known.extend_from_slice(&dataset.valid);
+        let snap = eras_train::io::Snapshot::new(
+            &dataset.name,
+            dataset.entities.clone(),
+            dataset.relations.clone(),
+            &model,
+            outcome.embeddings,
+            known,
+        );
+        eras_train::io::save_snapshot(Path::new(path), &snap).map_err(|e| e.to_string())?;
+        println!("saved serving snapshot to {path}");
+    }
+    Ok(())
+}
+
+/// `eras serve`: std-only HTTP front end on a serving snapshot.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let path = args.require("snapshot")?;
+    let cache: usize = args.get_or("cache", 1024usize)?;
+    let workers: usize = args.get_or("workers", 4usize)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080");
+    let engine =
+        eras_serve::QueryEngine::load(Path::new(path), cache).map_err(|e| e.to_string())?;
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // The first stdout line is the bound address so scripts can discover
+    // an ephemeral port (`--addr 127.0.0.1:0`); flush because stdout is
+    // block-buffered when piped.
+    println!("listening on http://{local}");
+    println!(
+        "model `{}`: {} entities, {} relations, dim {}, {} known triples",
+        engine.snapshot().name,
+        engine.num_entities(),
+        engine.num_relations(),
+        engine.snapshot().embeddings.dim(),
+        engine.snapshot().known.len()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    eras_serve::serve(listener, std::sync::Arc::new(engine), workers).map_err(|e| e.to_string())
+}
+
+/// `eras query`: one-shot top-k query against a snapshot, JSON to stdout.
+pub fn query(args: &Args) -> Result<(), String> {
+    let path = args.require("snapshot")?;
+    let engine = eras_serve::QueryEngine::load(Path::new(path), 0).map_err(|e| e.to_string())?;
+    let (dir, anchor) = match (args.get("head"), args.get("tail")) {
+        (Some(h), None) => (eras_serve::Direction::Tail, h),
+        (None, Some(t)) => (eras_serve::Direction::Head, t),
+        _ => {
+            return Err(
+                "give exactly one of --head (predict tails) or --tail (predict heads)".into(),
+            )
+        }
+    };
+    let q = eras_serve::Query {
+        dir,
+        anchor: engine.resolve_entity(anchor).map_err(|e| e.to_string())?,
+        rel: engine
+            .resolve_relation(args.require("relation")?)
+            .map_err(|e| e.to_string())?,
+        k: args.get_or("k", 10usize)?,
+        filtered: !args.has("unfiltered"),
+    };
+    let answer = engine.answer(q).map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        eras_serve::render_answer(&engine, &answer).to_pretty()
+    );
     Ok(())
 }
 

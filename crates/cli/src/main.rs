@@ -9,6 +9,8 @@
 //!               [--groups 3] [--epochs 20] [--seed 7]
 //! eras rules    (--preset NAME | --data DIR) [--seed 7]
 //! eras audit    [--pass sf,grad,config,lint] [--format json] [--deny warnings]
+//! eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
+//! eras query    --snapshot FILE (--head E | --tail E) --relation R [--k 10]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -40,6 +42,8 @@ fn main() -> ExitCode {
         "eval" => commands::evaluate(&parsed),
         "rules" => commands::rules(&parsed),
         "audit" => commands::audit(&parsed),
+        "serve" => commands::serve(&parsed),
+        "query" => commands::query(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -224,3 +224,148 @@ fn audit_rejects_unknown_pass() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown pass"));
 }
+
+#[test]
+fn train_snapshot_query_and_serve_roundtrip() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("eras_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("tiny.eras");
+
+    // 1. Train on the tiny preset and export a serving snapshot.
+    let out = eras()
+        .args([
+            "train",
+            "--preset",
+            "tiny",
+            "--model",
+            "complex",
+            "--dim",
+            "16",
+            "--epochs",
+            "3",
+            "--seed",
+            "9",
+            "--snapshot",
+            snap_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("saved serving snapshot"));
+    let snap = eras_train::io::load_snapshot(&snap_path).expect("valid snapshot file");
+    assert_eq!(snap.embeddings.dim(), 16);
+    assert!(!snap.known.is_empty());
+
+    // 2. One-shot query against the snapshot.
+    let out = eras()
+        .args([
+            "query",
+            "--snapshot",
+            snap_path.to_str().unwrap(),
+            "--head",
+            "ent_00000",
+            "--relation",
+            "rel_000_symmetric",
+            "--k",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = eras_data::Json::parse(&stdout).expect("query prints JSON");
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .expect("results");
+    assert_eq!(results.len(), 5);
+    assert_eq!(results[0].get("rank").and_then(|r| r.as_usize()), Some(1));
+
+    // Unknown entity exits non-zero with a clear message.
+    let out = eras()
+        .args([
+            "query",
+            "--snapshot",
+            snap_path.to_str().unwrap(),
+            "--head",
+            "no-such-entity",
+            "--relation",
+            "rel_000_symmetric",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown entity"));
+
+    // 3. Serve over HTTP on an ephemeral port; the first stdout line
+    // announces the bound address.
+    let mut child = eras()
+        .args([
+            "serve",
+            "--snapshot",
+            snap_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut first_line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut first_line)
+        .expect("reads bound address");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner {first_line:?}"))
+        .to_string();
+
+    let do_request = |payload: &str| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(
+            stream,
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read");
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status");
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    };
+
+    let (status, body) =
+        do_request(r#"{"head":"ent_00000","relation":"rel_000_symmetric","k":10}"#);
+    let json = eras_data::Json::parse(&body).expect("JSON response body");
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(status, 200, "{body}");
+    let results = json
+        .get("results")
+        .and_then(|r| r.as_arr())
+        .expect("results");
+    assert_eq!(results.len(), 10);
+    assert_eq!(results[0].get("rank").and_then(|r| r.as_usize()), Some(1));
+    assert_eq!(json.get("filtered").and_then(|f| f.as_bool()), Some(true));
+}

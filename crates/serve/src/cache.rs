@@ -1,0 +1,124 @@
+//! A small LRU cache for query results.
+//!
+//! Recency is tracked with a monotonically increasing stamp per entry:
+//! lookups and inserts are `O(1)` hash operations, eviction scans for the
+//! oldest stamp (`O(capacity)`), which is the right trade-off for the
+//! result cache's modest capacities (hundreds to a few thousand entries)
+//! and keeps the implementation dependency- and unsafe-free.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Least-recently-used map with a fixed capacity.
+///
+/// A capacity of zero disables the cache: every `get` misses and `put`
+/// is a no-op.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Insert or replace `key`, evicting the least-recently-used entry
+    /// when full.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Evict the entry with the oldest stamp.
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = oldest {
+                self.map.remove(&k);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.put(1, "a");
+        assert_eq!(c.get(&1), Some("a"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(2, "b");
+        // Touch 1 so 2 is the LRU entry.
+        assert_eq!(c.get(&1), Some("a"));
+        c.put(3, "c");
+        assert_eq!(c.get(&2), None, "LRU entry evicted");
+        assert_eq!(c.get(&1), Some("a"));
+        assert_eq!(c.get(&3), Some("c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(2, "b");
+        c.put(1, "a2");
+        assert_eq!(c.get(&1), Some("a2"));
+        assert_eq!(c.get(&2), Some("b"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.put(1, "a");
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,564 @@
+//! A minimal, std-only HTTP/1.1 front end for the query engine.
+//!
+//! Deliberately small: one request per connection (`Connection: close`),
+//! a fixed worker-thread pool fed over an `mpsc` channel, hard limits on
+//! request-line, header and body sizes, and JSON in/out via
+//! `eras_data::json`. No external dependencies, no async runtime — a
+//! handful of threads blocked on `accept`/`read` is exactly the right
+//! tool for a serving sidecar of this size.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path      | Meaning                                      |
+//! |--------|-----------|----------------------------------------------|
+//! | GET    | `/health` | liveness probe                               |
+//! | GET    | `/stats`  | serving counters + model shape               |
+//! | POST   | `/query`  | one top-k query, or `{"queries": [...]}`     |
+//!
+//! A query object holds `"head"` (tail prediction) **or** `"tail"` (head
+//! prediction), `"relation"`, and optional `"k"` (default 10) and
+//! `"filtered"` (default true). Entities/relations are referenced by
+//! vocabulary name, with a numeric-id fallback.
+
+use crate::engine::{Answer, Direction, Query, QueryEngine, ServeError};
+use eras_data::Json;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Longest accepted request line (method + path + version).
+const MAX_REQUEST_LINE: u64 = 8 * 1024;
+/// Longest accepted header line.
+const MAX_HEADER_LINE: u64 = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+/// Largest accepted request body.
+const MAX_BODY: usize = 1024 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request — just the parts the router needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path with any `?query` suffix stripped.
+    pub path: String,
+    /// Raw request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; maps onto 400 vs 413.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request → 400.
+    BadRequest(String),
+    /// A configured size limit was exceeded → 413.
+    TooLarge(String),
+}
+
+/// Read one `\n`-terminated line, refusing lines longer than `max`.
+fn read_line_limited<R: BufRead>(r: &mut R, max: u64) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    r.take(max)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| HttpError::BadRequest(format!("read failed: {e}")))?;
+    if buf.is_empty() {
+        return Err(HttpError::BadRequest("connection closed".into()));
+    }
+    if !buf.ends_with(b"\n") {
+        return Err(HttpError::TooLarge(format!(
+            "line exceeds {max} bytes or was truncated"
+        )));
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::BadRequest("line is not UTF-8".into()))
+}
+
+/// Parse one HTTP/1.1 request from a buffered stream, enforcing the
+/// size limits above.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
+    let line = read_line_limited(r, MAX_REQUEST_LINE)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_owned();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no path".into()))?;
+    if parts.next().is_none() {
+        return Err(HttpError::BadRequest("request line has no version".into()));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut content_length = 0usize;
+    for n in 0..=MAX_HEADERS {
+        let header = read_line_limited(r, MAX_HEADER_LINE)?;
+        if header.is_empty() {
+            break;
+        }
+        if n == MAX_HEADERS {
+            return Err(HttpError::TooLarge(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds limit {MAX_BODY}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|_| HttpError::BadRequest("body shorter than Content-Length".into()))?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Serialise a JSON response with status line, length and close header.
+pub fn write_response<W: Write>(w: &mut W, status: u16, body: &Json) -> std::io::Result<()> {
+    let payload = body.to_compact();
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{payload}",
+        reason(status),
+        payload.len()
+    )?;
+    w.flush()
+}
+
+fn err_json(message: &str) -> Json {
+    Json::obj().set("error", message)
+}
+
+fn error_response(e: &ServeError) -> (u16, Json) {
+    let status = match e {
+        ServeError::UnknownEntity(_) | ServeError::UnknownRelation(_) => 404,
+        ServeError::BadQuery(_) => 400,
+        ServeError::Snapshot(_) => 500,
+    };
+    (status, err_json(&e.to_string()))
+}
+
+/// Decode one query object from the wire format.
+fn parse_query(engine: &QueryEngine, j: &Json) -> Result<Query, ServeError> {
+    let head = j.get("head").and_then(Json::as_str);
+    let tail = j.get("tail").and_then(Json::as_str);
+    let rel_name = j
+        .get("relation")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadQuery("missing \"relation\"".into()))?;
+    let (dir, anchor_name) = match (head, tail) {
+        (Some(h), None) => (Direction::Tail, h),
+        (None, Some(t)) => (Direction::Head, t),
+        (Some(_), Some(_)) => {
+            return Err(ServeError::BadQuery(
+                "give either \"head\" or \"tail\", not both".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(ServeError::BadQuery(
+                "missing \"head\" (tail prediction) or \"tail\" (head prediction)".into(),
+            ))
+        }
+    };
+    let k = match j.get("k") {
+        None => 10,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| ServeError::BadQuery("\"k\" must be a non-negative integer".into()))?,
+    };
+    let filtered = match j.get("filtered") {
+        None => true,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| ServeError::BadQuery("\"filtered\" must be a boolean".into()))?,
+    };
+    Ok(Query {
+        dir,
+        anchor: engine.resolve_entity(anchor_name)?,
+        rel: engine.resolve_relation(rel_name)?,
+        k,
+        filtered,
+    })
+}
+
+/// Render an answer in the wire format (ranks are 1-based).
+pub fn render_answer(engine: &QueryEngine, a: &Answer) -> Json {
+    let snap = engine.snapshot();
+    let results: Vec<Json> = a
+        .ranked
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            Json::obj()
+                .set("rank", i + 1)
+                .set("id", r.id)
+                .set("entity", snap.entities.name(r.id))
+                .set("score", r.score)
+        })
+        .collect();
+    Json::obj()
+        .set("model", snap.name.as_str())
+        .set("direction", a.query.dir.as_str())
+        .set("anchor", snap.entities.name(a.query.anchor))
+        .set("relation", snap.relations.name(a.query.rel))
+        .set("k", a.query.k)
+        .set("filtered", a.query.filtered)
+        .set("cached", a.cached)
+        .set("latency_us", a.latency_us)
+        .set("results", results)
+}
+
+fn handle_query(engine: &QueryEngine, body: &[u8]) -> (u16, Json) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, err_json("body is not UTF-8")),
+    };
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => return (400, err_json(&format!("invalid JSON: {e}"))),
+    };
+    if let Some(arr) = json.get("queries").and_then(Json::as_arr) {
+        let mut queries = Vec::with_capacity(arr.len());
+        for q in arr {
+            match parse_query(engine, q) {
+                Ok(q) => queries.push(q),
+                Err(e) => return error_response(&e),
+            }
+        }
+        match engine.answer_batch(&queries) {
+            Ok(answers) => {
+                let rendered: Vec<Json> =
+                    answers.iter().map(|a| render_answer(engine, a)).collect();
+                (200, Json::obj().set("answers", rendered))
+            }
+            Err(e) => error_response(&e),
+        }
+    } else {
+        match parse_query(engine, &json).and_then(|q| engine.answer(q)) {
+            Ok(a) => (200, render_answer(engine, &a)),
+            Err(e) => error_response(&e),
+        }
+    }
+}
+
+/// Route a parsed request to a `(status, body)` pair. Pure with respect
+/// to the connection, which keeps it unit-testable without sockets.
+pub fn route(engine: &QueryEngine, req: &Request) -> (u16, Json) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (
+            200,
+            Json::obj()
+                .set("status", "ok")
+                .set("model", engine.snapshot().name.as_str()),
+        ),
+        ("GET", "/stats") => (200, engine.stats()),
+        ("POST", "/query") => handle_query(engine, &req.body),
+        (_, "/health") | (_, "/stats") | (_, "/query") => {
+            (405, err_json("method not allowed for this endpoint"))
+        }
+        _ => (404, err_json("no such endpoint")),
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &QueryEngine) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_stream);
+    let (status, body) = match read_request(&mut reader) {
+        Ok(req) => route(engine, &req),
+        Err(HttpError::BadRequest(m)) => (400, err_json(&m)),
+        Err(HttpError::TooLarge(m)) => (413, err_json(&m)),
+    };
+    engine.metrics().record_http(status);
+    let mut writer = BufWriter::new(stream);
+    let _ = write_response(&mut writer, status, &body);
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, engine: &QueryEngine) {
+    loop {
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|poison| poison.into_inner());
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, engine),
+            // The acceptor dropped the sender: orderly shutdown.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Accept connections forever, dispatching them to a fixed pool of
+/// `workers` threads. Returns only if the listener fails fatally (the
+/// accept loop itself skips transient errors).
+pub fn serve(
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    workers: usize,
+) -> std::io::Result<()> {
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut handles = Vec::new();
+    for _ in 0..workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let engine = Arc::clone(&engine);
+        handles.push(thread::spawn(move || worker_loop(&rx, &engine)));
+    }
+    for stream in listener.incoming() {
+        match stream {
+            Ok(s) => {
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    drop(tx);
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_data::vocab::Vocab;
+    use eras_data::Triple;
+    use eras_linalg::Rng;
+    use eras_sf::zoo;
+    use eras_train::io::Snapshot;
+    use eras_train::{BlockModel, Embeddings};
+    use std::io::Cursor;
+
+    fn engine() -> QueryEngine {
+        let mut rng = Rng::seed_from_u64(5);
+        let ne = 12;
+        let nr = 2;
+        let mut entities = Vocab::new();
+        for i in 0..ne {
+            entities.intern(&format!("e{i}"));
+        }
+        let mut relations = Vocab::new();
+        for r in 0..nr {
+            relations.intern(&format!("r{r}"));
+        }
+        let model = BlockModel::universal(zoo::complex(), nr);
+        let emb = Embeddings::init(ne, nr, 8, &mut rng);
+        let known = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)];
+        let snap = Snapshot::new("http-test", entities, relations, &model, emb, known);
+        QueryEngine::new(snap, 16).expect("valid snapshot")
+    }
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.into(),
+            path: path.into(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let r = read_request(&mut Cursor::new(&raw[..])).expect("parse ok");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn strips_query_strings_from_the_path() {
+        let raw = b"GET /stats?verbose=1 HTTP/1.1\r\n\r\n";
+        let r = read_request(&mut Cursor::new(&raw[..])).expect("parse ok");
+        assert_eq!(r.path, "/stats");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_with_413() {
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        match read_request(&mut Cursor::new(raw.as_bytes())) {
+            Err(HttpError::TooLarge(_)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in ["GARBAGE\r\n\r\n", "GET /x\r\n\r\n", "\r\n\r\n"] {
+            match read_request(&mut Cursor::new(raw.as_bytes())) {
+                Err(HttpError::BadRequest(_)) => {}
+                other => panic!("{raw:?}: expected BadRequest, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_bad_requests() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        match read_request(&mut Cursor::new(&raw[..])) {
+            Err(HttpError::BadRequest(_)) => {}
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_and_stats_routes() {
+        let eng = engine();
+        let (s, body) = route(&eng, &req("GET", "/health", ""));
+        assert_eq!(s, 200);
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+        let (s, body) = route(&eng, &req("GET", "/stats", ""));
+        assert_eq!(s, 200);
+        assert!(body.get("queries").is_some());
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let eng = engine();
+        assert_eq!(route(&eng, &req("GET", "/nope", "")).0, 404);
+        assert_eq!(route(&eng, &req("DELETE", "/query", "")).0, 405);
+        assert_eq!(route(&eng, &req("POST", "/health", "")).0, 405);
+    }
+
+    #[test]
+    fn query_roundtrip_over_the_router() {
+        let eng = engine();
+        let (s, body) = route(
+            &eng,
+            &req("POST", "/query", r#"{"head":"e0","relation":"r0","k":3}"#),
+        );
+        assert_eq!(s, 200, "{body:?}");
+        let results = body.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("rank").and_then(Json::as_usize), Some(1));
+        assert_eq!(body.get("direction").and_then(Json::as_str), Some("tail"));
+        assert_eq!(body.get("filtered").and_then(Json::as_bool), Some(true));
+        // Filtered by default: e1 is a known tail of (e0, r0).
+        assert!(results
+            .iter()
+            .all(|r| r.get("entity").and_then(Json::as_str) != Some("e1")));
+    }
+
+    #[test]
+    fn batch_queries_over_the_router() {
+        let eng = engine();
+        let body = r#"{"queries":[
+            {"head":"e0","relation":"r0","k":2},
+            {"tail":"e2","relation":"r1","k":2,"filtered":false}
+        ]}"#;
+        let (s, out) = route(&eng, &req("POST", "/query", body));
+        assert_eq!(s, 200, "{out:?}");
+        let answers = out.get("answers").and_then(Json::as_arr).expect("answers");
+        assert_eq!(answers.len(), 2);
+        assert_eq!(
+            answers[1].get("direction").and_then(Json::as_str),
+            Some("head")
+        );
+    }
+
+    #[test]
+    fn error_statuses_are_mapped() {
+        let eng = engine();
+        // Unknown entity → 404.
+        let (s, _) = route(
+            &eng,
+            &req("POST", "/query", r#"{"head":"nope","relation":"r0"}"#),
+        );
+        assert_eq!(s, 404);
+        // Bad JSON → 400.
+        assert_eq!(route(&eng, &req("POST", "/query", "{oops")).0, 400);
+        // Both head and tail → 400.
+        let (s, _) = route(
+            &eng,
+            &req(
+                "POST",
+                "/query",
+                r#"{"head":"e0","tail":"e1","relation":"r0"}"#,
+            ),
+        );
+        assert_eq!(s, 400);
+        // k = 0 → 400 from the engine.
+        let (s, _) = route(
+            &eng,
+            &req("POST", "/query", r#"{"head":"e0","relation":"r0","k":0}"#),
+        );
+        assert_eq!(s, 400);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, &Json::obj().set("a", 1)).expect("write ok");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+        let len = "{\"a\":1}".len();
+        assert!(text.contains(&format!("content-length: {len}\r\n")));
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        let eng = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = Arc::clone(&eng);
+        thread::spawn(move || serve(listener, server, 2));
+
+        let payload = r#"{"head":"e3","relation":"r1","k":5}"#;
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let json = Json::parse(body).expect("json body");
+        let results = json.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 5);
+        assert_eq!(eng.metrics().queries(), 1);
+    }
+}

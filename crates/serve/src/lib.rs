@@ -1,0 +1,28 @@
+//! # eras-serve — link-prediction serving for searched ERAS models
+//!
+//! Turns a trained model into an online service in three layers:
+//!
+//! 1. **Snapshots** — `eras_train::io`'s format v2 bundles vocabularies,
+//!    the searched `BlockSf` structures, the relation assignment, the
+//!    embedding tables and the known-triple set into one self-describing
+//!    file, so a server needs no access to the original dataset.
+//! 2. **[`QueryEngine`]** — loads a snapshot, rebuilds the scoring model
+//!    and the filter index, and answers `(h, r, ?)` / `(?, r, t)` top-k
+//!    queries with one batched pass over the entity table, an LRU result
+//!    cache and lock-free metrics.
+//! 3. **[`http`]** — a std-only multi-threaded HTTP/1.1 + JSON front end
+//!    (`eras serve` in the CLI), plus a one-shot `eras query` path that
+//!    uses the engine directly.
+//!
+//! Everything is `std`-only, matching the workspace's zero-dependency
+//! policy.
+
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+
+pub use cache::LruCache;
+pub use engine::{Answer, Direction, Query, QueryEngine, Ranked, ServeError};
+pub use http::{read_request, render_answer, route, serve, write_response, Request};
+pub use metrics::ServeMetrics;

@@ -1,0 +1,115 @@
+//! Lock-free serving counters surfaced at the `/stats` endpoint.
+
+use eras_data::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process serving metrics. All counters are relaxed atomics — they
+/// are monotone tallies, not synchronisation points.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency_us_total: AtomicU64,
+    latency_us_max: AtomicU64,
+    http_requests: AtomicU64,
+    http_errors: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Record one answered query with its end-to-end latency.
+    pub fn record_query(&self, latency_us: u64, cache_hit: bool) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency_us_total
+            .fetch_add(latency_us, Ordering::Relaxed);
+        self.latency_us_max.fetch_max(latency_us, Ordering::Relaxed);
+    }
+
+    /// Record one HTTP request and whether it produced an error status.
+    pub fn record_http(&self, status: u16) {
+        self.http_requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.http_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total queries answered (cache hits included).
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Result-cache hits.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// JSON rendering for `/stats`.
+    pub fn to_json(&self) -> Json {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let total_us = self.latency_us_total.load(Ordering::Relaxed);
+        let mean_us = if queries > 0 {
+            total_us as f64 / queries as f64
+        } else {
+            0.0
+        };
+        let hit_rate = if queries > 0 {
+            hits as f64 / queries as f64
+        } else {
+            0.0
+        };
+        Json::obj()
+            .set("queries", queries)
+            .set("cache_hits", hits)
+            .set("cache_misses", self.cache_misses.load(Ordering::Relaxed))
+            .set("cache_hit_rate", hit_rate)
+            .set("latency_us_total", total_us)
+            .set("latency_us_mean", mean_us)
+            .set(
+                "latency_us_max",
+                self.latency_us_max.load(Ordering::Relaxed),
+            )
+            .set("http_requests", self.http_requests.load(Ordering::Relaxed))
+            .set("http_errors", self.http_errors.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.record_query(100, false);
+        m.record_query(300, true);
+        m.record_http(200);
+        m.record_http(404);
+        assert_eq!(m.queries(), 2);
+        assert_eq!(m.cache_hits(), 1);
+        let j = m.to_json();
+        assert_eq!(j.get("queries").and_then(Json::as_usize), Some(2));
+        assert_eq!(j.get("cache_misses").and_then(Json::as_usize), Some(1));
+        assert_eq!(j.get("latency_us_max").and_then(Json::as_usize), Some(300));
+        assert_eq!(j.get("latency_us_mean").and_then(Json::as_f64), Some(200.0));
+        assert_eq!(j.get("http_errors").and_then(Json::as_usize), Some(1));
+        assert_eq!(j.get("cache_hit_rate").and_then(Json::as_f64), Some(0.5));
+    }
+
+    #[test]
+    fn zero_queries_report_zero_means() {
+        let j = ServeMetrics::new().to_json();
+        assert_eq!(j.get("latency_us_mean").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(j.get("cache_hit_rate").and_then(Json::as_f64), Some(0.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! The serving acceptance tests: a trained model served through
+//! `QueryEngine` (and through the HTTP front end) must rank candidates in
+//! **exact** agreement with the offline filtered evaluator in
+//! `eras_train::eval` — same scores bit-for-bit, same order, same
+//! filtering semantics.
+
+use eras_data::{FilterIndex, Json, Preset};
+use eras_linalg::cmp;
+use eras_serve::{http, Direction, Query, QueryEngine};
+use eras_train::eval::{filtered_rank, ScoreModel};
+use eras_train::io::Snapshot;
+use eras_train::trainer::{train_standalone, TrainConfig};
+use eras_train::{BlockModel, LossMode};
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Train a small model on the tiny preset and wrap it in a snapshot whose
+/// known set is train + valid (test stays out, exactly like the offline
+/// filtered evaluator's index built from the full dataset minus nothing —
+/// see below).
+fn trained_fixture() -> (eras_data::Dataset, Snapshot) {
+    let dataset = Preset::Tiny.build(7);
+    let filter = FilterIndex::build(&dataset);
+    let cfg = TrainConfig {
+        dim: 16,
+        max_epochs: 5,
+        eval_every: 10,
+        loss: LossMode::Sampled { negatives: 16 },
+        seed: 7,
+        ..TrainConfig::default()
+    };
+    let model = BlockModel::universal(eras_sf::zoo::complex(), dataset.num_relations());
+    let outcome = train_standalone(&model, &dataset, &filter, &cfg);
+    let mut known = dataset.train.clone();
+    known.extend_from_slice(&dataset.valid);
+    let snap = Snapshot::new(
+        "tiny-agreement",
+        dataset.entities.clone(),
+        dataset.relations.clone(),
+        &model,
+        outcome.embeddings,
+        known,
+    );
+    (dataset, snap)
+}
+
+/// Offline reference: score every candidate with the evaluator's scoring
+/// path, drop the filtered ids, order by (score desc, id asc) using the
+/// same NaN-total-order comparator family the engine uses.
+fn offline_topk(snap: &Snapshot, filter: &FilterIndex, q: Query) -> Vec<(u32, f32)> {
+    let model = snap.block_model();
+    let mut scores = vec![0.0f32; snap.entities.len()];
+    match q.dir {
+        Direction::Tail => model.score_all_tails(&snap.embeddings, q.anchor, q.rel, &mut scores),
+        Direction::Head => model.score_all_heads(&snap.embeddings, q.anchor, q.rel, &mut scores),
+    }
+    let filt: &[u32] = if q.filtered {
+        match q.dir {
+            Direction::Tail => filter.tails(q.anchor, q.rel),
+            Direction::Head => filter.heads(q.anchor, q.rel),
+        }
+    } else {
+        &[]
+    };
+    let mut ranked: Vec<(u32, f32)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as u32, s))
+        .filter(|(i, _)| filt.binary_search(i).is_err())
+        .collect();
+    ranked.sort_by(|a, b| cmp::nan_last_desc_f32(a.1, b.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(q.k);
+    ranked
+}
+
+#[test]
+fn engine_topk_matches_offline_evaluator_exactly() {
+    let (dataset, snap) = trained_fixture();
+    let serve_filter = FilterIndex::from_triples(snap.known.iter().copied());
+    let engine = QueryEngine::new(snap.clone(), 0).expect("valid snapshot");
+
+    let mut checked = 0usize;
+    for t in dataset.test.iter().take(20) {
+        for (dir, anchor) in [(Direction::Tail, t.head), (Direction::Head, t.tail)] {
+            for filtered in [true, false] {
+                let q = Query {
+                    dir,
+                    anchor,
+                    rel: t.rel,
+                    k: 10,
+                    filtered,
+                };
+                let want = offline_topk(&snap, &serve_filter, q);
+                let got = engine.answer(q).expect("query ok");
+                assert_eq!(got.ranked.len(), want.len(), "{q:?}");
+                for (g, (wid, wscore)) in got.ranked.iter().zip(&want) {
+                    assert_eq!(g.id, *wid, "{q:?}");
+                    assert_eq!(g.score.to_bits(), wscore.to_bits(), "{q:?}");
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 8, "fixture produced too few queries");
+}
+
+/// The engine's served position of the true answer is consistent with the
+/// evaluator's `filtered_rank`: with the deterministic smaller-id-first
+/// tie-break, position = 1 + #better + #{ties with smaller id}, while the
+/// evaluator reports the average-tie rank 1 + #better + #ties/2.
+#[test]
+fn served_position_is_consistent_with_filtered_rank() {
+    let (dataset, snap) = trained_fixture();
+    let serve_filter = FilterIndex::from_triples(snap.known.iter().copied());
+    let model = snap.block_model();
+    let ne = snap.entities.len();
+
+    for t in dataset.test.iter().take(10) {
+        let engine = QueryEngine::new(snap.clone(), 0).expect("valid snapshot");
+        let mut scores = vec![0.0f32; ne];
+        model.score_all_tails(&snap.embeddings, t.head, t.rel, &mut scores);
+        let filt = serve_filter.tails(t.head, t.rel);
+        let fr = filtered_rank(&scores, t.tail, filt);
+
+        let q = Query {
+            dir: Direction::Tail,
+            anchor: t.head,
+            rel: t.rel,
+            k: ne,
+            filtered: true,
+        };
+        let a = engine.answer(q).expect("query ok");
+        let pos = a
+            .ranked
+            .iter()
+            .position(|r| r.id == t.tail)
+            .expect("target must be served (test triples are not filtered)")
+            + 1;
+
+        let target_score = scores[t.tail as usize];
+        let mut better = 0usize;
+        let mut ties_before = 0usize;
+        let mut ties = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            let i = i as u32;
+            if i == t.tail || filt.binary_search(&i).is_ok() {
+                continue;
+            }
+            if s > target_score {
+                better += 1;
+            } else if s == target_score {
+                ties += 1;
+                if i < t.tail {
+                    ties_before += 1;
+                }
+            }
+        }
+        assert_eq!(pos, 1 + better + ties_before, "triple {t:?}");
+        assert_eq!(fr, 1.0 + better as f64 + ties as f64 / 2.0, "triple {t:?}");
+    }
+}
+
+fn http_roundtrip(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .expect("read");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let payload = response.split("\r\n\r\n").nth(1).expect("body");
+    (status, Json::parse(payload).expect("json body"))
+}
+
+/// The ISSUE acceptance criterion: a filtered top-10 `(h, r, ?)` query
+/// over HTTP returns exactly the offline evaluator's ranking.
+#[test]
+fn http_topk_matches_offline_evaluator() {
+    let (dataset, snap) = trained_fixture();
+    let serve_filter = FilterIndex::from_triples(snap.known.iter().copied());
+    let engine = Arc::new(QueryEngine::new(snap.clone(), 64).expect("valid snapshot"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = Arc::clone(&engine);
+    std::thread::spawn(move || http::serve(listener, server, 2));
+
+    let t = dataset
+        .test
+        .first()
+        .copied()
+        .expect("tiny has test triples");
+    let head = dataset.entities.name(t.head);
+    let rel = dataset.relations.name(t.rel);
+    let payload = format!(r#"{{"head":"{head}","relation":"{rel}","k":10}}"#);
+
+    let (status, body) = http_roundtrip(addr, "POST", "/query", &payload);
+    assert_eq!(status, 200, "{body:?}");
+    assert_eq!(body.get("cached").and_then(Json::as_bool), Some(false));
+
+    let want = offline_topk(
+        &snap,
+        &serve_filter,
+        Query {
+            dir: Direction::Tail,
+            anchor: t.head,
+            rel: t.rel,
+            k: 10,
+            filtered: true,
+        },
+    );
+    let results = body.get("results").and_then(Json::as_arr).expect("results");
+    assert_eq!(results.len(), want.len());
+    for (i, (r, (wid, wscore))) in results.iter().zip(&want).enumerate() {
+        assert_eq!(r.get("rank").and_then(Json::as_usize), Some(i + 1));
+        assert_eq!(r.get("id").and_then(Json::as_usize), Some(*wid as usize));
+        assert_eq!(
+            r.get("entity").and_then(Json::as_str),
+            Some(dataset.entities.name(*wid)),
+        );
+        let served = r.get("score").and_then(Json::as_f64).expect("score");
+        assert_eq!(served as f32, *wscore, "rank {}", i + 1);
+    }
+
+    // Repeating the identical request must hit the result cache.
+    let (status, body) = http_roundtrip(addr, "POST", "/query", &payload);
+    assert_eq!(status, 200);
+    assert_eq!(body.get("cached").and_then(Json::as_bool), Some(true));
+
+    // And /stats reflects both queries and the hit.
+    let (status, stats) = http_roundtrip(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    assert_eq!(stats.get("queries").and_then(Json::as_usize), Some(2));
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_usize), Some(1));
+}
+
+/// HTTP error codes: unknown entity → 404, malformed query → 400,
+/// unknown endpoint → 404, wrong method → 405.
+#[test]
+fn http_error_codes() {
+    let (_dataset, snap) = trained_fixture();
+    let engine = Arc::new(QueryEngine::new(snap, 0).expect("valid snapshot"));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || http::serve(listener, engine, 1));
+
+    let (s, body) = http_roundtrip(
+        addr,
+        "POST",
+        "/query",
+        r#"{"head":"not-an-entity","relation":"0"}"#,
+    );
+    assert_eq!(s, 404, "{body:?}");
+    assert!(body.get("error").is_some());
+    let (s, _) = http_roundtrip(addr, "POST", "/query", r#"{"relation":"0"}"#);
+    assert_eq!(s, 400);
+    let (s, _) = http_roundtrip(addr, "GET", "/missing", "");
+    assert_eq!(s, 404);
+    let (s, _) = http_roundtrip(addr, "PUT", "/query", "");
+    assert_eq!(s, 405);
+}
+
+/// A snapshot written by `io::save_snapshot` and served from disk behaves
+/// identically to the in-memory engine (the full train → save → load →
+/// serve path).
+#[test]
+fn snapshot_file_serves_identically_to_memory() {
+    let (_dataset, snap) = trained_fixture();
+    let path = std::env::temp_dir().join(format!("eras_agree_{}.eras", std::process::id()));
+    eras_train::io::save_snapshot(&path, &snap).expect("save");
+    let from_disk = QueryEngine::load(&path, 0).expect("load");
+    let in_memory = QueryEngine::new(snap, 0).expect("valid snapshot");
+    std::fs::remove_file(&path).ok();
+
+    for anchor in [0u32, 5, 17] {
+        let q = Query {
+            dir: Direction::Tail,
+            anchor,
+            rel: 0,
+            k: 10,
+            filtered: true,
+        };
+        let a = from_disk.answer(q).expect("disk ok");
+        let b = in_memory.answer(q).expect("memory ok");
+        assert_eq!(a.ranked.len(), b.ranked.len());
+        for (x, y) in a.ranked.iter().zip(b.ranked.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+}
+
+/// Reading a BufRead line helper is exercised through the public parser
+/// against a socket-less reader, keeping coverage of the limits without
+/// sockets (the socket paths are covered above).
+#[test]
+fn request_parser_enforces_limits_without_sockets() {
+    let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(10_000));
+    match http::read_request(&mut std::io::Cursor::new(long_line.as_bytes())) {
+        Err(e) => {
+            let msg = format!("{e:?}");
+            assert!(msg.contains("TooLarge"), "{msg}");
+        }
+        Ok(_) => panic!("oversized request line must be rejected"),
+    }
+}

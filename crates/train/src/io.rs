@@ -1,24 +1,48 @@
-//! Embedding persistence: a small self-describing binary format.
+//! Model persistence: self-describing binary formats.
 //!
-//! Layout (little-endian): magic `b"ERAS"`, format version `u32`, then
-//! `num_entities`, `num_relations`, `dim` as `u64`, then the entity table
-//! and the relation table as raw `f32` rows. Written atomically enough
-//! for a CLI tool (write then rename is left to callers that need it).
+//! Two formats share the magic `b"ERAS"` and a little-endian layout:
+//!
+//! - **v1** — embeddings only: `num_entities`, `num_relations`, `dim` as
+//!   `u64`, then the entity and relation tables as raw `f32` rows. Kept
+//!   for forward compatibility; v1 files still load as embeddings-only
+//!   via [`load`] / [`read_embeddings`].
+//! - **v2** — a complete [`Snapshot`] of a trained link-prediction model:
+//!   entity/relation vocabularies, the searched `BlockSf` structures with
+//!   the relation→group assignment, the embedding tables, and the known
+//!   true triples used to build the serving-time filter index. This is
+//!   the format `eras serve` loads.
+//!
+//! Both save paths are **atomic**: the bytes are written to a sibling
+//! temporary file, fsynced, and renamed over the destination, so a crash
+//! mid-save can never leave a torn file at the target path. A truncated
+//! or corrupted v2 file loads as a clean [`IoError::Format`], never a
+//! panic or an over-allocation.
 
+use crate::block::BlockModel;
 use crate::embeddings::Embeddings;
+use eras_data::vocab::Vocab;
+use eras_data::Triple;
 use eras_linalg::Matrix;
+use eras_sf::{BlockSf, Op};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"ERAS";
 const VERSION: u32 = 1;
+const VERSION_V2: u32 = 2;
 
-/// Errors from loading an embedding file.
+/// Hard cap on any single length field in a v2 file. A corrupt header
+/// can therefore never request a pathological allocation; real models
+/// stay far below this.
+const MAX_LEN: u64 = 1 << 28;
+
+/// Errors from loading a model file.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Not an embedding file, or an unsupported version.
+    /// Not a model file, an unsupported version, or a corrupt/truncated
+    /// body.
     Format(String),
 }
 
@@ -39,7 +63,7 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Serialise embeddings to a writer.
+/// Serialise embeddings to a writer (format v1).
 pub fn write_embeddings<W: Write>(mut w: W, emb: &Embeddings) -> Result<(), IoError> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
@@ -51,14 +75,12 @@ pub fn write_embeddings<W: Write>(mut w: W, emb: &Embeddings) -> Result<(), IoEr
         w.write_all(&v.to_le_bytes())?;
     }
     for table in [&emb.entity, &emb.relation] {
-        for &x in table.as_slice() {
-            w.write_all(&x.to_le_bytes())?;
-        }
+        write_f32_table(&mut w, table)?;
     }
     Ok(())
 }
 
-/// Deserialise embeddings from a reader.
+/// Deserialise embeddings from a reader (format v1).
 pub fn read_embeddings<R: Read>(mut r: R) -> Result<Embeddings, IoError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -97,22 +119,379 @@ pub fn read_embeddings<R: Read>(mut r: R) -> Result<Embeddings, IoError> {
     Ok(Embeddings { entity, relation })
 }
 
-/// Save embeddings to a file path.
+/// Save embeddings to a file path (format v1), atomically.
 pub fn save(path: &Path, emb: &Embeddings) -> Result<(), IoError> {
-    let file = std::fs::File::create(path)?;
-    write_embeddings(std::io::BufWriter::new(file), emb)
+    atomic_write(path, |w| write_embeddings(w, emb))
 }
 
-/// Load embeddings from a file path.
+/// Load embeddings from a file path (format v1).
 pub fn load(path: &Path) -> Result<Embeddings, IoError> {
     let file = std::fs::File::open(path)?;
     read_embeddings(std::io::BufReader::new(file))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format v2
+// ---------------------------------------------------------------------------
+
+/// A complete trained link-prediction model: everything a serving process
+/// needs to answer `(h, r, ?)` / `(?, r, t)` queries with no access to
+/// the original dataset files.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Dataset / model name (informational).
+    pub name: String,
+    /// Entity vocabulary; row `i` of `embeddings.entity` is entity `i`.
+    pub entities: Vocab,
+    /// Relation vocabulary; row `r` of `embeddings.relation` is relation `r`.
+    pub relations: Vocab,
+    /// The searched scoring-function structures, one per relation group.
+    pub sfs: Vec<BlockSf>,
+    /// Relation → group assignment (the paper's `B`); length equals the
+    /// relation vocabulary.
+    pub assignment: Vec<u8>,
+    /// Trained embedding tables.
+    pub embeddings: Embeddings,
+    /// Known true triples (typically train + valid) used to build the
+    /// filtered-ranking index at serving time.
+    pub known: Vec<Triple>,
+}
+
+impl Snapshot {
+    /// Assemble a snapshot from training artefacts. `known` is the triple
+    /// set a server should filter against (usually train + valid).
+    pub fn new(
+        name: &str,
+        entities: Vocab,
+        relations: Vocab,
+        model: &BlockModel,
+        embeddings: Embeddings,
+        known: Vec<Triple>,
+    ) -> Snapshot {
+        Snapshot {
+            name: name.to_owned(),
+            entities,
+            relations,
+            sfs: model.sfs().to_vec(),
+            assignment: model.assignment().to_vec(),
+            embeddings,
+            known,
+        }
+    }
+
+    /// Reconstruct the scoring model this snapshot was trained with.
+    pub fn block_model(&self) -> BlockModel {
+        BlockModel::relation_aware(self.sfs.clone(), self.assignment.clone())
+    }
+
+    /// Internal consistency check; every loaded snapshot satisfies this.
+    pub fn validate(&self) -> Result<(), String> {
+        let ne = self.entities.len();
+        let nr = self.relations.len();
+        if ne == 0 {
+            return Err("snapshot has no entities".into());
+        }
+        if nr == 0 {
+            return Err("snapshot has no relations".into());
+        }
+        if self.embeddings.num_entities() != ne {
+            return Err(format!(
+                "entity table has {} rows for {} vocabulary entries",
+                self.embeddings.num_entities(),
+                ne
+            ));
+        }
+        if self.embeddings.num_relations() != nr {
+            return Err(format!(
+                "relation table has {} rows for {} vocabulary entries",
+                self.embeddings.num_relations(),
+                nr
+            ));
+        }
+        if self.sfs.is_empty() {
+            return Err("snapshot has no scoring functions".into());
+        }
+        let m = self.sfs[0].m();
+        if self.sfs.iter().any(|sf| sf.m() != m) {
+            return Err("scoring functions disagree on block count M".into());
+        }
+        if self.embeddings.dim() == 0 || !self.embeddings.dim().is_multiple_of(m) {
+            return Err(format!(
+                "dim {} is not divisible by M={m}",
+                self.embeddings.dim()
+            ));
+        }
+        if self.assignment.len() != nr {
+            return Err(format!(
+                "assignment has {} entries for {} relations",
+                self.assignment.len(),
+                nr
+            ));
+        }
+        let groups = self.sfs.len() as u8;
+        if self.assignment.iter().any(|&g| g >= groups) {
+            return Err(format!("assignment references group >= {groups}"));
+        }
+        for t in &self.known {
+            if t.head as usize >= ne || t.tail as usize >= ne {
+                return Err(format!("known triple {t:?}: entity id out of range"));
+            }
+            if t.rel as usize >= nr {
+                return Err(format!("known triple {t:?}: relation id out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serialise a snapshot to a writer (format v2).
+pub fn write_snapshot<W: Write>(mut w: W, snap: &Snapshot) -> Result<(), IoError> {
+    snap.validate().map_err(IoError::Format)?;
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION_V2.to_le_bytes())?;
+    write_str(&mut w, &snap.name)?;
+    write_vocab(&mut w, &snap.entities)?;
+    write_vocab(&mut w, &snap.relations)?;
+    // Scoring functions: group count, M, then M² op indices per group.
+    w.write_all(&[snap.sfs.len() as u8, snap.sfs[0].m() as u8])?;
+    for sf in &snap.sfs {
+        let indices: Vec<u8> = sf.to_indices().iter().map(|&k| k as u8).collect();
+        w.write_all(&indices)?;
+    }
+    w.write_all(&snap.assignment)?;
+    w.write_all(&(snap.embeddings.dim() as u64).to_le_bytes())?;
+    write_f32_table(&mut w, &snap.embeddings.entity)?;
+    write_f32_table(&mut w, &snap.embeddings.relation)?;
+    w.write_all(&(snap.known.len() as u64).to_le_bytes())?;
+    for t in &snap.known {
+        for v in [t.head, t.rel, t.tail] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialise a snapshot from a reader (format v2). Truncation and
+/// corruption surface as [`IoError::Format`].
+pub fn read_snapshot<R: Read>(r: R) -> Result<Snapshot, IoError> {
+    let mut r = FormatReader { inner: r };
+    let magic = r.bytes::<4>()?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic; not an ERAS model file".into()));
+    }
+    let version = r.u32()?;
+    if version == VERSION {
+        return Err(IoError::Format(
+            "version 1 file holds embeddings only; load it with io::load".into(),
+        ));
+    }
+    if version != VERSION_V2 {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let name = r.string()?;
+    let entities = r.vocab()?;
+    let relations = r.vocab()?;
+
+    let [n_groups, m] = r.bytes::<2>()?;
+    let (n_groups, m) = (n_groups as usize, m as usize);
+    if n_groups == 0 || !(1..=8).contains(&m) {
+        return Err(IoError::Format(format!(
+            "invalid structure header: {n_groups} groups, M={m}"
+        )));
+    }
+    let mut sfs = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        let mut indices = vec![0usize; m * m];
+        for slot in &mut indices {
+            let [idx] = r.bytes::<1>()?;
+            if idx as usize >= Op::alphabet_size(m) {
+                return Err(IoError::Format(format!(
+                    "group {g}: op index {idx} out of range for M={m}"
+                )));
+            }
+            *slot = idx as usize;
+        }
+        sfs.push(BlockSf::from_indices(m, &indices));
+    }
+
+    let mut assignment = vec![0u8; relations.len()];
+    r.fill(&mut assignment)?;
+
+    let dim = r.len_u64("dim")? as usize;
+    if dim == 0 || !dim.is_multiple_of(m) {
+        return Err(IoError::Format(format!("dim {dim} not divisible by M={m}")));
+    }
+    let entity = r.f32_table(entities.len(), dim)?;
+    let relation = r.f32_table(relations.len(), dim)?;
+
+    let n_known = r.len_u64("triple count")? as usize;
+    let mut known = Vec::new();
+    for _ in 0..n_known {
+        let (head, rel, tail) = (r.u32()?, r.u32()?, r.u32()?);
+        known.push(Triple { head, rel, tail });
+    }
+
+    let snap = Snapshot {
+        name,
+        entities,
+        relations,
+        sfs,
+        assignment,
+        embeddings: Embeddings { entity, relation },
+        known,
+    };
+    snap.validate().map_err(IoError::Format)?;
+    Ok(snap)
+}
+
+/// Save a snapshot to a file path (format v2), atomically.
+pub fn save_snapshot(path: &Path, snap: &Snapshot) -> Result<(), IoError> {
+    atomic_write(path, |w| write_snapshot(w, snap))
+}
+
+/// Load a snapshot from a file path (format v2).
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_snapshot(std::io::BufReader::new(file))
+}
+
+// ---------------------------------------------------------------------------
+// Shared primitives
+// ---------------------------------------------------------------------------
+
+/// Write through a sibling temporary file, fsync, then rename into place,
+/// so the destination path only ever holds a complete file.
+fn atomic_write(
+    path: &Path,
+    write_fn: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        write_fn(&mut w)?;
+        let file = w.into_inner().map_err(|e| IoError::Io(e.into_error()))?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// `<name>.tmp.<pid>` next to `path` — same filesystem, so the rename is
+/// atomic; pid-suffixed so concurrent processes never share a temp file.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "snapshot".into());
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+fn write_f32_table<W: Write>(w: &mut W, table: &Matrix) -> Result<(), IoError> {
+    let mut buf = Vec::with_capacity(table.as_slice().len() * 4);
+    for &x in table.as_slice() {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> Result<(), IoError> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+fn write_vocab<W: Write>(w: &mut W, vocab: &Vocab) -> Result<(), IoError> {
+    w.write_all(&(vocab.len() as u64).to_le_bytes())?;
+    for (_, name) in vocab.iter() {
+        write_str(w, name)?;
+    }
+    Ok(())
+}
+
+/// Reader wrapper for the v2 body: every short read becomes a clean
+/// [`IoError::Format`], and length fields are bounds-checked before any
+/// allocation they drive.
+struct FormatReader<R> {
+    inner: R,
+}
+
+impl<R: Read> FormatReader<R> {
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), IoError> {
+        self.inner.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                IoError::Format("truncated snapshot".into())
+            } else {
+                IoError::Io(e)
+            }
+        })
+    }
+
+    fn bytes<const N: usize>(&mut self) -> Result<[u8; N], IoError> {
+        let mut buf = [0u8; N];
+        self.fill(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn u32(&mut self) -> Result<u32, IoError> {
+        Ok(u32::from_le_bytes(self.bytes::<4>()?))
+    }
+
+    fn len_u64(&mut self, what: &str) -> Result<u64, IoError> {
+        let v = u64::from_le_bytes(self.bytes::<8>()?);
+        if v > MAX_LEN {
+            return Err(IoError::Format(format!("implausible {what}: {v}")));
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, IoError> {
+        let len = self.u32()? as usize;
+        if len as u64 > MAX_LEN {
+            return Err(IoError::Format(format!("implausible string length {len}")));
+        }
+        let mut buf = vec![0u8; len];
+        self.fill(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| IoError::Format("string is not UTF-8".into()))
+    }
+
+    fn vocab(&mut self) -> Result<Vocab, IoError> {
+        let count = self.len_u64("vocabulary size")?;
+        let mut vocab = Vocab::new();
+        for i in 0..count {
+            let name = self.string()?;
+            let id = vocab.intern(&name);
+            if u64::from(id) != i {
+                return Err(IoError::Format(format!(
+                    "duplicate vocabulary entry `{name}`"
+                )));
+            }
+        }
+        Ok(vocab)
+    }
+
+    fn f32_table(&mut self, rows: usize, cols: usize) -> Result<Matrix, IoError> {
+        let mut bytes = vec![0u8; rows * cols * 4];
+        self.fill(&mut bytes)?;
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use eras_linalg::Rng;
+    use eras_sf::zoo;
 
     #[test]
     fn roundtrip_preserves_everything() {
@@ -159,5 +538,122 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(back.entity.as_slice(), emb.entity.as_slice());
         std::fs::remove_file(&path).ok();
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut entities = Vocab::new();
+        let mut relations = Vocab::new();
+        for i in 0..9 {
+            entities.intern(&format!("ent_{i}"));
+        }
+        for r in 0..4 {
+            relations.intern(&format!("rel_{r}"));
+        }
+        let model =
+            BlockModel::relation_aware(vec![zoo::complex(), zoo::simple()], vec![0, 1, 0, 1]);
+        let embeddings = Embeddings::init(9, 4, 8, &mut rng);
+        let known = vec![Triple::new(0, 0, 1), Triple::new(2, 3, 4)];
+        Snapshot::new("unit", entities, relations, &model, embeddings, known)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        let back = read_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(back.name, "unit");
+        assert_eq!(back.entities.len(), 9);
+        assert_eq!(back.entities.name(3), "ent_3");
+        assert_eq!(back.relations.name(2), "rel_2");
+        assert_eq!(back.sfs, snap.sfs);
+        assert_eq!(back.assignment, snap.assignment);
+        assert_eq!(
+            back.embeddings.entity.as_slice(),
+            snap.embeddings.entity.as_slice()
+        );
+        assert_eq!(
+            back.embeddings.relation.as_slice(),
+            snap.embeddings.relation.as_slice()
+        );
+        assert_eq!(back.known, snap.known);
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip_is_atomic() {
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join(format!("eras_snap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.eras");
+        save_snapshot(&path, &snap).unwrap();
+        // No temp residue: the only file is the destination.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["model.eras".to_string()], "{names:?}");
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.known, snap.known);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The crash-torn-file contract: every prefix of a valid snapshot
+    /// loads as a clean `Format` error — no panic, no `Io` leak.
+    #[test]
+    fn truncated_snapshot_is_a_clean_format_error() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        for cut in 0..buf.len() {
+            match read_snapshot(&buf[..cut]) {
+                Err(IoError::Format(_)) => {}
+                other => panic!("prefix of {cut} bytes: expected Format error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn v1_files_are_rejected_by_the_snapshot_loader_with_guidance() {
+        let mut rng = Rng::seed_from_u64(4);
+        let emb = Embeddings::init(4, 2, 8, &mut rng);
+        let mut buf = Vec::new();
+        write_embeddings(&mut buf, &emb).unwrap();
+        match read_snapshot(buf.as_slice()) {
+            Err(IoError::Format(m)) => assert!(m.contains("version 1"), "{m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_op_index_is_rejected() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &snap).unwrap();
+        // The sf section starts right after the two vocabularies; flip the
+        // first op byte to an out-of-range index (M=4 → alphabet 9).
+        let sf_header = buf
+            .windows(2)
+            .position(|w| w == [2u8, 4u8])
+            .expect("sf header");
+        buf[sf_header + 2] = 200;
+        match read_snapshot(buf.as_slice()) {
+            Err(IoError::Format(m)) => assert!(m.contains("op index"), "{m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_length_fields_do_not_allocate() {
+        // magic + version 2 + a name length of u32::MAX.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION_V2.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_snapshot(buf.as_slice()),
+            Err(IoError::Format(_))
+        ));
     }
 }

@@ -1,0 +1,148 @@
+//! Property tests for the snapshot v2 format: random models survive a
+//! save/load cycle with *byte-identical* scoring behaviour, and v1 files
+//! keep loading as embeddings-only.
+
+use eras_data::vocab::Vocab;
+use eras_data::Triple;
+use eras_linalg::Rng;
+use eras_sf::canonical::canonicalize;
+use eras_sf::BlockSf;
+use eras_train::eval::ScoreModel;
+use eras_train::io;
+use eras_train::Embeddings;
+
+/// A random snapshot: fresh vocabularies, `n_groups` random canonical
+/// structures over `m` blocks, a random assignment, random embeddings
+/// and a random known-triple set.
+fn random_snapshot(seed: u64) -> io::Snapshot {
+    let mut rng = Rng::seed_from_u64(seed);
+    let m = 2 + rng.next_below(3); // M ∈ {2, 3, 4}
+    let n_groups = 1 + rng.next_below(3);
+    let ne = 8 + rng.next_below(24);
+    let nr = 2 + rng.next_below(5);
+    let dim = m * (1 + rng.next_below(4));
+
+    let mut entities = Vocab::new();
+    for i in 0..ne {
+        entities.intern(&format!("entity/{seed}/{i}"));
+    }
+    let mut relations = Vocab::new();
+    for r in 0..nr {
+        relations.intern(&format!("relation-{r}"));
+    }
+
+    let sfs: Vec<BlockSf> = (0..n_groups)
+        .map(|_| {
+            // Random non-degenerate structure, reduced to its canonical
+            // representative under the search space's symmetry group.
+            loop {
+                let budget = m + rng.next_below(m * m - m + 1);
+                let sf = BlockSf::random(m, budget, &mut rng);
+                if !sf.is_degenerate() {
+                    break canonicalize(&sf);
+                }
+            }
+        })
+        .collect();
+    let assignment: Vec<u8> = (0..nr).map(|_| rng.next_below(n_groups) as u8).collect();
+    let embeddings = Embeddings::init(ne, nr, dim, &mut rng);
+    let known: Vec<Triple> = (0..40)
+        .map(|_| {
+            Triple::new(
+                rng.next_below(ne) as u32,
+                rng.next_below(nr) as u32,
+                rng.next_below(ne) as u32,
+            )
+        })
+        .collect();
+
+    io::Snapshot {
+        name: format!("prop-{seed}"),
+        entities,
+        relations,
+        sfs,
+        assignment,
+        embeddings,
+        known,
+    }
+}
+
+/// Save → load → the reloaded model scores 100 sampled triples with
+/// bit-for-bit identical results (same embedding bytes, same structure,
+/// same kernel ⇒ same f32 operations).
+#[test]
+fn snapshot_roundtrip_scores_are_byte_identical() {
+    for seed in 0..8u64 {
+        let snap = random_snapshot(seed);
+        let path = std::env::temp_dir().join(format!(
+            "eras_snapshot_prop_{seed}_{}.eras",
+            std::process::id()
+        ));
+        io::save_snapshot(&path, &snap).unwrap();
+        let back = io::load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.sfs, snap.sfs, "seed {seed}");
+        assert_eq!(back.assignment, snap.assignment, "seed {seed}");
+        assert_eq!(
+            back.embeddings.entity.as_slice(),
+            snap.embeddings.entity.as_slice(),
+            "seed {seed}"
+        );
+
+        let model = snap.block_model();
+        let model_back = back.block_model();
+        let ne = snap.entities.len() as u32;
+        let nr = snap.relations.len() as u32;
+        let mut rng = Rng::seed_from_u64(seed ^ 0xDEAD);
+        for _ in 0..100 {
+            let t = Triple::new(
+                rng.next_below(ne as usize) as u32,
+                rng.next_below(nr as usize) as u32,
+                rng.next_below(ne as usize) as u32,
+            );
+            let a = model.score_triple(&snap.embeddings, t);
+            let b = model_back.score_triple(&back.embeddings, t);
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "seed {seed}, triple {t:?}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Forward compatibility: files written in the v1 embeddings-only format
+/// still load as embeddings via the v1 loader, and the v2 loader points
+/// at it instead of misparsing.
+#[test]
+fn v1_files_still_load_as_embeddings_only() {
+    let mut rng = Rng::seed_from_u64(11);
+    let emb = Embeddings::init(6, 2, 8, &mut rng);
+    let path = std::env::temp_dir().join(format!("eras_v1_compat_{}.bin", std::process::id()));
+    io::save(&path, &emb).unwrap();
+
+    let back = io::load(&path).unwrap();
+    assert_eq!(back.entity.as_slice(), emb.entity.as_slice());
+    assert_eq!(back.relation.as_slice(), emb.relation.as_slice());
+
+    match io::load_snapshot(&path) {
+        Err(io::IoError::Format(m)) => assert!(m.contains("version 1"), "{m}"),
+        other => panic!("v2 loader must reject v1 files cleanly, got {other:?}"),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Saving over an existing snapshot never exposes a torn intermediate:
+/// the destination always parses, before and after.
+#[test]
+fn overwrite_is_atomic_at_the_destination() {
+    let a = random_snapshot(100);
+    let b = random_snapshot(101);
+    let path = std::env::temp_dir().join(format!("eras_snap_over_{}.eras", std::process::id()));
+    io::save_snapshot(&path, &a).unwrap();
+    assert_eq!(io::load_snapshot(&path).unwrap().name, a.name);
+    io::save_snapshot(&path, &b).unwrap();
+    assert_eq!(io::load_snapshot(&path).unwrap().name, b.name);
+    std::fs::remove_file(&path).ok();
+}

@@ -34,6 +34,7 @@ pub use eras_data as data;
 pub use eras_linalg as linalg;
 pub use eras_rules as rules;
 pub use eras_search as search;
+pub use eras_serve as serve;
 pub use eras_sf as sf;
 pub use eras_train as train;
 
@@ -53,11 +54,13 @@ pub mod prelude {
     pub use eras_data::{Dataset, FilterIndex, Preset, RelationPattern, Triple};
     pub use eras_linalg::Rng;
     pub use eras_rules::{LearnConfig, RuleModel};
+    pub use eras_serve::{Answer, Direction, Query, QueryEngine};
     pub use eras_sf::{render, zoo, BlockSf, Op};
     pub use eras_train::classify::classify_dataset;
     pub use eras_train::eval::{
         link_prediction, link_prediction_by_pattern, LinkPredictionMetrics, ScoreModel,
     };
+    pub use eras_train::io::Snapshot;
     pub use eras_train::trainer::{train_standalone, TrainConfig};
     pub use eras_train::{BlockModel, Embeddings, LossMode};
 }
