@@ -12,6 +12,12 @@
 //! - `W403` — non-deterministic seeding (`SystemTime::now`,
 //!   `thread_rng`, `from_entropy`) anywhere: every experiment in the
 //!   reproduction must be replayable from a `u64` seed.
+//! - `W405` — raw `std::thread` spawn/scope outside
+//!   `eras_linalg::pool`: ad-hoc threading bypasses the shared pool's
+//!   deterministic chunking and the `ERAS_THREADS` override, and
+//!   oversubscribes the machine when it nests inside pooled work.
+//!   Blocking-IO threads (e.g. socket accept loops) are legitimate and
+//!   carry an `audit:allow(W405)` note.
 //!
 //! The scanner strips comments (quote-aware) and skips `#[cfg(test)]`
 //! regions, `tests/`, `benches/` and `examples/` trees. A finding can be
@@ -51,6 +57,21 @@ fn pats_nondeterministic() -> Vec<String> {
         ["thread_", "rng"].concat(),
         ["from_", "entropy"].concat(),
     ]
+}
+
+fn pats_raw_thread() -> Vec<String> {
+    vec![
+        ["thread::", "spawn"].concat(),
+        ["thread::", "scope"].concat(),
+    ]
+}
+
+/// The one file allowed to touch `std::thread` directly: the shared
+/// pool's own worker spawning.
+fn is_pool_source(display_path: &str) -> bool {
+    display_path
+        .replace('\\', "/")
+        .ends_with("linalg/src/pool.rs")
 }
 
 fn pat_allow() -> String {
@@ -213,6 +234,7 @@ pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding
     }
 
     let nondet = pats_nondeterministic();
+    let raw_thread = pats_raw_thread();
     for (idx, line) in stripped.lines().enumerate() {
         if mask.get(idx).copied().unwrap_or(false) {
             continue;
@@ -243,6 +265,25 @@ pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding
                           search run; handle the None/Err or document with audit:allow(W402)"
                     .to_string(),
             });
+        }
+
+        if !is_pool_source(display_path) {
+            for pat in &raw_thread {
+                if line.contains(pat.as_str()) && !is_allowed(original, "W405") {
+                    findings.push(Finding {
+                        code: "W405",
+                        severity: Severity::Warning,
+                        pass: "lint",
+                        location: format!("{display_path}:{lineno}"),
+                        message: format!(
+                            "raw `{pat}` outside eras_linalg::pool: route CPU-parallel work \
+                             through the shared ThreadPool (deterministic chunking, \
+                             ERAS_THREADS); blocking-IO threads may document with \
+                             audit:allow(W405)"
+                        ),
+                    });
+                }
+            }
         }
 
         for pat in &nondet {
@@ -407,6 +448,42 @@ mod tests {
         let findings = lint_source("x.rs", &src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W403");
+    }
+
+    #[test]
+    fn raw_thread_spawn_is_warned_outside_the_pool() {
+        let line = ["    std::thread::", "spawn(|| work());\n"].concat();
+        let src = format!("fn f() {{\n{line}}}\n");
+        let findings = lint_source("crates/serve/src/http.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W405");
+
+        let scoped = ["    thread::", "scope(|s| {{}});\n"].concat();
+        let src = format!("fn g() {{\n{scoped}}}\n");
+        let findings = lint_source("crates/train/src/eval.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W405");
+    }
+
+    #[test]
+    fn pool_source_is_exempt_from_raw_thread_lint() {
+        let line = ["    std::thread::", "spawn(|| work());\n"].concat();
+        let src = format!("fn f() {{\n{line}}}\n");
+        let findings = lint_source("crates/linalg/src/pool.rs", &src, false);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn raw_thread_allow_comment_suppresses() {
+        let line = [
+            "    std::thread::",
+            "spawn(|| accept_loop()); // audit:",
+            "allow(W405): blocking IO thread\n",
+        ]
+        .concat();
+        let src = format!("fn f() {{\n{line}}}\n");
+        let findings = lint_source("crates/serve/src/http.rs", &src, false);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

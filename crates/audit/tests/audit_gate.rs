@@ -139,6 +139,27 @@ fn seeded_nan_unsafe_source_fails() {
     );
 }
 
+/// Seeded violation 5: spawning a raw thread outside the shared pool
+/// fails the lint — parallel work must go through eras_linalg::pool.
+#[test]
+fn seeded_raw_thread_spawn_fails() {
+    let bad_line = ["    std::thread::", "spawn(move || eval(chunk));\n"].concat();
+    let src = format!("pub fn eval_all() {{\n{bad_line}}}\n");
+    let findings = eras_audit::lint::lint_source("crates/train/src/seeded.rs", &src, true);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "W405" && f.severity == Severity::Warning),
+        "raw thread spawn must be caught: {findings:?}"
+    );
+    // The pool's own source is the one sanctioned spawn site.
+    let findings = eras_audit::lint::lint_source("crates/linalg/src/pool.rs", &src, true);
+    assert!(
+        !findings.iter().any(|f| f.code == "W405"),
+        "pool.rs is exempt: {findings:?}"
+    );
+}
+
 /// JSON output of a real run parses and carries the pass list.
 #[test]
 fn json_report_is_machine_readable() {

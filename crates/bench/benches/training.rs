@@ -1,14 +1,33 @@
-//! Embedding-training micro-benchmarks: the full-softmax vs sampled
-//! 1-vs-all gradient step (the cost trade-off behind `LossMode`).
+//! Embedding-training benchmarks.
+//!
+//! Two sections:
+//!
+//! 1. The original minibatch micro-benchmark — full-softmax vs sampled
+//!    1-vs-all gradient step (the cost trade-off behind `LossMode`).
+//! 2. Thread-scaling epoch benchmark — one sequential training epoch
+//!    vs the data-parallel path at pool sizes 1/2/4/8 on the Tiny
+//!    preset at dim 64. Configurations are interleaved round-robin
+//!    within each repetition so machine noise hits all of them alike,
+//!    and the minimum over repetitions is reported (the standard
+//!    noise-robust estimator for a deterministic workload). Emits
+//!    `results/BENCH_training.json`.
+//!
+//! Set `ERAS_BENCH_QUICK=1` to cut the repetition count for CI smoke
+//! runs; the JSON is still written, with `"quick": true`.
 
 use eras_bench::harness::bench;
-use eras_data::Triple;
+use eras_bench::report::save_json;
+use eras_data::presets::Preset;
+use eras_data::{Json, Triple};
 use eras_linalg::optim::Adagrad;
+use eras_linalg::pool::ThreadPool;
 use eras_linalg::Rng;
 use eras_sf::zoo;
 use eras_train::block::{train_minibatch, BlockScratch};
+use eras_train::parallel::{train_minibatch_parallel, GradShards};
 use eras_train::{BlockModel, Embeddings, LossMode};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_train_minibatch() {
     let num_entities = 2000;
@@ -42,6 +61,146 @@ fn bench_train_minibatch() {
     }
 }
 
+/// Pool sizes exercised by the scaling section.
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+const DIM: usize = 64;
+const BATCH_SIZE: usize = 512;
+
+/// Mutable per-configuration training state; every configuration gets
+/// an identical seed-3 start so the epochs do identical numeric work.
+struct TrainState {
+    rng: Rng,
+    emb: Embeddings,
+    opt_e: Adagrad,
+    opt_r: Adagrad,
+}
+
+impl TrainState {
+    fn fresh(num_entities: usize, num_relations: usize) -> TrainState {
+        let mut rng = Rng::seed_from_u64(3);
+        let emb = Embeddings::init(num_entities, num_relations, DIM, &mut rng);
+        let opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.1, 0.0);
+        let opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.1, 0.0);
+        TrainState {
+            rng,
+            emb,
+            opt_e,
+            opt_r,
+        }
+    }
+}
+
+fn min_med(times: &mut [f64]) -> (f64, f64) {
+    times.sort_by(f64::total_cmp);
+    (times[0], times[times.len() / 2])
+}
+
+fn bench_epoch_scaling() -> Json {
+    let quick = std::env::var("ERAS_BENCH_QUICK").is_ok();
+    let reps = if quick { 8 } else { 60 };
+    let ds = Preset::Tiny.build(7);
+    let model = BlockModel::universal(zoo::complex(), ds.num_relations());
+
+    let mut seq = TrainState::fresh(ds.num_entities(), ds.num_relations());
+    let mut seq_scratch = BlockScratch::new();
+    let mut seq_times = Vec::with_capacity(reps);
+
+    let mut dp: Vec<(ThreadPool, TrainState, GradShards, Vec<f64>)> = POOL_SIZES
+        .iter()
+        .map(|&t| {
+            (
+                ThreadPool::new(t),
+                TrainState::fresh(ds.num_entities(), ds.num_relations()),
+                GradShards::new(),
+                Vec::with_capacity(reps),
+            )
+        })
+        .collect();
+
+    // Round-robin: every repetition runs one epoch of every
+    // configuration back-to-back, so a slow phase of the machine taxes
+    // all of them equally instead of biasing whichever config it hits.
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for chunk in ds.train.chunks(BATCH_SIZE) {
+            black_box(train_minibatch(
+                &model,
+                &mut seq.emb,
+                &mut seq.opt_e,
+                &mut seq.opt_r,
+                chunk,
+                LossMode::Full,
+                &mut seq.rng,
+                &mut seq_scratch,
+            ));
+        }
+        seq_times.push(t0.elapsed().as_secs_f64());
+
+        for (pool, state, shards, times) in dp.iter_mut() {
+            let t0 = Instant::now();
+            for chunk in ds.train.chunks(BATCH_SIZE) {
+                black_box(train_minibatch_parallel(
+                    &model,
+                    &mut state.emb,
+                    &mut state.opt_e,
+                    &mut state.opt_r,
+                    chunk,
+                    LossMode::Full,
+                    0.0,
+                    &mut state.rng,
+                    pool,
+                    shards,
+                ));
+            }
+            times.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    let (seq_min, seq_med) = min_med(&mut seq_times);
+    println!(
+        "{:<40} min {:>8.3} ms  med {:>8.3} ms",
+        "train_epoch/tiny_d64_full/sequential",
+        seq_min * 1e3,
+        seq_med * 1e3
+    );
+    let mut results = Json::obj()
+        .set("entities", ds.num_entities())
+        .set("relations", ds.num_relations())
+        .set("train_triples", ds.train.len())
+        .set("dim", DIM)
+        .set("batch", BATCH_SIZE)
+        .set("loss", "full")
+        .set("reps", reps)
+        .set("quick", quick)
+        .set("seq_epoch_ms_min", seq_min * 1e3)
+        .set("seq_epoch_ms_med", seq_med * 1e3);
+
+    let mut speedup_at_4 = 0.0;
+    for ((_, _, _, times), &t) in dp.iter_mut().zip(&POOL_SIZES) {
+        let (dp_min, dp_med) = min_med(times);
+        let speedup = seq_min / dp_min;
+        if t == 4 {
+            speedup_at_4 = speedup;
+        }
+        println!(
+            "{:<40} min {:>8.3} ms  med {:>8.3} ms  speedup(min) {speedup:.2}x",
+            format!("train_epoch/tiny_d64_full/dp_{t}t"),
+            dp_min * 1e3,
+            dp_med * 1e3
+        );
+        results = results
+            .set(&format!("dp{t}_epoch_ms_min"), dp_min * 1e3)
+            .set(&format!("dp{t}_epoch_ms_med"), dp_med * 1e3)
+            .set(&format!("dp{t}_speedup_min"), speedup);
+    }
+    results.set("speedup_at_4_threads", speedup_at_4)
+}
+
 fn main() {
     bench_train_minibatch();
+    let results = bench_epoch_scaling();
+    match save_json("BENCH_training", &results) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_training.json: {e}"),
+    }
 }

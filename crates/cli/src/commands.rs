@@ -4,10 +4,11 @@ use crate::args::Args;
 use eras_core::{run_eras, ErasConfig, Variant};
 use eras_data::stats::{dataset_stats, stats_header};
 use eras_data::{Dataset, FilterIndex, Preset};
+use eras_linalg::pool::ThreadPool;
 use eras_search::evaluator::SearchBudget;
 use eras_search::{autosf, random, tpe};
 use eras_train::eval::link_prediction;
-use eras_train::trainer::{train_standalone, TrainConfig};
+use eras_train::trainer::{train_standalone, train_standalone_on, Execution, TrainConfig};
 use eras_train::{BlockModel, LossMode};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -21,7 +22,7 @@ USAGE:
   eras generate --preset NAME --out DIR [--seed N]
   eras train    (--preset NAME | --data DIR) [--model complex] [--dim 32]
                 [--epochs 40] [--seed N] [--save FILE] [--snapshot FILE]
-                [--full-loss]
+                [--full-loss] [--parallel] [--threads N]
   eras search   (--preset NAME | --data DIR) [--method eras] [--groups 3]
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
@@ -141,6 +142,11 @@ fn train_config(args: &Args) -> Result<TrainConfig, String> {
         },
         n3: args.get_or("n3", 0.0f32)?,
         seed: args.get_or("seed", 7u64)?,
+        execution: if args.has("parallel") {
+            Execution::DataParallel
+        } else {
+            Execution::Sequential
+        },
         ..TrainConfig::default()
     })
 }
@@ -160,7 +166,16 @@ pub fn train(args: &Args) -> Result<(), String> {
     );
     let model = BlockModel::universal(sf, dataset.num_relations());
     let started = std::time::Instant::now();
-    let outcome = train_standalone(&model, &dataset, &filter, &cfg);
+    // `--threads N` sizes a dedicated pool for this run; otherwise the
+    // process-wide pool applies (`ERAS_THREADS`, see docs/performance.md).
+    // The pool size never changes the numbers, only the wall clock.
+    let outcome = match args.get("threads") {
+        Some(_) => {
+            let pool = ThreadPool::new(args.get_or("threads", 1usize)?);
+            train_standalone_on(&model, &dataset, &filter, &cfg, &pool)
+        }
+        None => train_standalone(&model, &dataset, &filter, &cfg),
+    };
     println!(
         "test: MRR {:.3}  Hit@1 {:.1}%  Hit@10 {:.1}%  ({} epochs, {:.1}s)",
         outcome.test.mrr,

@@ -21,6 +21,8 @@
 //!   paper), online moving average (REINFORCE baseline).
 //! - [`pca`]: power-iteration PCA for 2-D inspection of relation
 //!   embeddings (the Figures 3/4 case study).
+//! - [`pool`]: the shared chunked thread pool every parallel code path
+//!   in the workspace dispatches through (`ERAS_THREADS` sizing).
 
 // Indexed loops are the clearer idiom in the numeric kernels below
 // (parallel arrays, strided block views); the iterator forms clippy
@@ -31,6 +33,7 @@ pub mod cmp;
 pub mod matrix;
 pub mod optim;
 pub mod pca;
+pub mod pool;
 pub mod rng;
 pub mod softmax;
 pub mod stats;
@@ -38,4 +41,5 @@ pub mod vecops;
 
 pub use matrix::Matrix;
 pub use optim::{Adagrad, Adam, Optimizer, Sgd};
+pub use pool::{PoolStats, ThreadPool};
 pub use rng::Rng;

@@ -1,0 +1,471 @@
+//! Shared chunked thread pool — the process-wide parallel execution
+//! substrate.
+//!
+//! Every parallel code path in the workspace (data-parallel minibatch
+//! training, pooled link-prediction evaluation, concurrent candidate
+//! evaluation, batched serve scoring) dispatches through one
+//! [`ThreadPool`] so the process keeps a single fixed worker set instead
+//! of spawning threads at every call site.
+//!
+//! ## Design
+//!
+//! - **Fixed worker set, steal-free.** A pool of parallelism `T` owns
+//!   `T − 1` parked worker threads; the caller participates as the `T`-th
+//!   executor. There are no per-worker deques and no work stealing: a
+//!   dispatch publishes one job (an index range `0..tasks`) and all
+//!   executors pull the next index from a single shared cursor
+//!   (chunked self-scheduling). Which executor runs which index is
+//!   scheduling-dependent, so *callers must make per-index work
+//!   independent*; every deterministic algorithm built on top (see
+//!   `eras-train`'s tree-reduced gradient shards) keys its output on the
+//!   index, never on the worker.
+//! - **Scoped borrows.** [`ThreadPool::run`] and [`ThreadPool::map`]
+//!   accept closures borrowing the caller's stack. The dispatch barrier
+//!   (every worker checks in exactly once per job) guarantees no worker
+//!   can touch the closure after the call returns, which is what makes
+//!   the lifetime erasure in `JobHandle` sound.
+//! - **Sizing.** [`ThreadPool::global`] is the process-wide pool, sized
+//!   by the `ERAS_THREADS` environment variable with an
+//!   `available_parallelism()` fallback.
+//!
+//! ## Counters
+//!
+//! Each pool tracks how many jobs were dispatched and how many tasks ran
+//! ([`ThreadPool::stats`]). Because the pool is steal-free by
+//! construction, `dispatches` doubles as the steal-free dispatch count —
+//! there is no slow path to fall back to.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// True while this thread is executing a pool task. A nested
+    /// dispatch from inside a task runs inline instead of publishing a
+    /// second job: two tasks publishing concurrently would race on the
+    /// single job slot and strand one dispatch's check-in barrier.
+    /// Inline execution is semantically identical because every
+    /// deterministic caller produces index-keyed results.
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Snapshot of a pool's dispatch counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs published to the pool (each `run`/`map` call is one).
+    pub dispatches: u64,
+    /// Individual task indices executed across all jobs.
+    pub tasks: u64,
+    /// Steal-free dispatches. The pool has no stealing path, so this
+    /// always equals `dispatches`; it is kept separate so the invariant
+    /// is observable.
+    pub steal_free_dispatches: u64,
+}
+
+/// One published job: a type-erased `Fn(usize)` plus the shared cursor.
+struct Job {
+    /// Pointer to the caller's closure. Valid for the lifetime of the
+    /// dispatch only; the check-in barrier enforces that.
+    func: *const (),
+    /// Monomorphized trampoline that re-types `func` and calls it.
+    call: unsafe fn(*const (), usize),
+    /// Number of task indices.
+    tasks: usize,
+    /// Next unclaimed task index.
+    cursor: AtomicUsize,
+    /// Set when a task panicked; the dispatching caller re-panics.
+    panicked: AtomicBool,
+    /// Workers that have not yet finished this job.
+    pending: AtomicUsize,
+}
+
+// SAFETY: `func` points at a `F: Fn(usize) + Sync` borrowed by the
+// dispatching caller, which blocks until every worker has checked in.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Pool state shared with workers.
+struct Shared {
+    /// Current job and its sequence number (bumped per dispatch), plus
+    /// the shutdown flag. Workers sleep on `work_cv` until the sequence
+    /// number moves past the one they last served.
+    slot: Mutex<JobSlot>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+struct JobSlot {
+    seq: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// A fixed set of worker threads executing chunked parallel-for jobs.
+///
+/// Parallelism 1 is the degenerate pool: no threads are spawned and
+/// every dispatch runs inline on the caller, so sequential and parallel
+/// call sites share one code path.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    parallelism: usize,
+    dispatches: AtomicU64,
+    tasks: AtomicU64,
+}
+
+impl ThreadPool {
+    /// Create a pool with the given total parallelism (caller included).
+    /// `threads` is clamped to at least 1; a pool of 1 spawns nothing.
+    pub fn new(threads: usize) -> ThreadPool {
+        let parallelism = threads.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(JobSlot {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (1..parallelism)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("eras-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker") // audit:allow(W402): startup-time spawn failure is fatal by design
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            parallelism,
+            dispatches: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared pool, created on first use. Its size is
+    /// `ERAS_THREADS` when set to a positive integer, otherwise
+    /// `std::thread::available_parallelism()`.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(configured_threads()))
+    }
+
+    /// Total parallelism (worker threads + the participating caller).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Dispatch counters.
+    pub fn stats(&self) -> PoolStats {
+        let dispatches = self.dispatches.load(Ordering::Relaxed);
+        PoolStats {
+            dispatches,
+            tasks: self.tasks.load(Ordering::Relaxed),
+            steal_free_dispatches: dispatches,
+        }
+    }
+
+    /// Run `f(i)` for every `i in 0..tasks`, distributing indices across
+    /// the pool. Blocks until all tasks have finished. Panics (after all
+    /// workers check in) if any task panicked.
+    ///
+    /// Indices are claimed dynamically, so `f` must not depend on which
+    /// executor serves which index.
+    pub fn run<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.tasks.fetch_add(tasks as u64, Ordering::Relaxed);
+        if tasks == 0 {
+            return;
+        }
+        // Degenerate, tiny, or nested dispatch: run inline, skip the
+        // barrier. Nested means we are already inside a pool task (see
+        // `IN_POOL_TASK`).
+        if self.workers.is_empty() || tasks == 1 || IN_POOL_TASK.with(Cell::get) {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+
+        unsafe fn trampoline<F: Fn(usize) + Sync>(ptr: *const (), idx: usize) {
+            let f = unsafe { &*(ptr as *const F) };
+            f(idx);
+        }
+
+        let job = Arc::new(Job {
+            func: &f as *const F as *const (),
+            call: trampoline::<F>,
+            tasks,
+            cursor: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            pending: AtomicUsize::new(self.workers.len()),
+        });
+
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.seq += 1;
+            slot.job = Some(Arc::clone(&job));
+            self.shared.work_cv.notify_all();
+        }
+
+        // The caller is an executor too.
+        drain(&job);
+
+        // Barrier: wait until every worker has checked in, so no worker
+        // can still hold a pointer into our stack frame when we return.
+        let mut slot = lock(&self.shared.slot);
+        while job.pending.load(Ordering::Acquire) != 0 {
+            slot = self
+                .shared
+                .done_cv
+                .wait(slot)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        slot.job = None;
+        drop(slot);
+
+        if job.panicked.load(Ordering::Acquire) {
+            panic!("a thread-pool task panicked");
+        }
+    }
+
+    /// Run `f(i)` for every index and collect the results in index
+    /// order. The output order is always `0..tasks` regardless of pool
+    /// size or scheduling, which is what the deterministic callers rely
+    /// on.
+    pub fn map<T, F>(&self, tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        use std::cell::UnsafeCell;
+        use std::mem::MaybeUninit;
+
+        struct Slots<T>(Vec<UnsafeCell<MaybeUninit<T>>>);
+        // SAFETY: each task index writes exactly its own slot.
+        unsafe impl<T: Send> Sync for Slots<T> {}
+
+        let mut slots = Slots(Vec::with_capacity(tasks));
+        slots
+            .0
+            .resize_with(tasks, || UnsafeCell::new(MaybeUninit::uninit()));
+        // Capture the `Sync` wrapper, not its (non-Sync) field: edition
+        // 2021 closures would otherwise capture `slots.0` directly.
+        let slots_ref = &slots;
+        self.run(tasks, |i| {
+            let value = f(i);
+            // SAFETY: index i is claimed by exactly one executor.
+            unsafe { (*slots_ref.0[i].get()).write(value) };
+        });
+        // `run` returned without panicking, so every slot is initialized.
+        slots
+            .0
+            .into_iter()
+            .map(|c| unsafe { c.into_inner().assume_init() })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn lock(m: &Mutex<JobSlot>) -> std::sync::MutexGuard<'_, JobSlot> {
+    // A poisoned slot only means a worker panicked while holding the
+    // guard; the slot data itself stays structurally sound.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pull task indices off the job's cursor until it is exhausted.
+fn drain(job: &Job) {
+    IN_POOL_TASK.with(|f| f.set(true));
+    loop {
+        let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= job.tasks {
+            break;
+        }
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: the dispatching caller keeps the closure alive
+            // until every worker checks in.
+            unsafe { (job.call)(job.func, i) }
+        }));
+        if result.is_err() {
+            job.panicked.store(true, Ordering::Release);
+        }
+    }
+    IN_POOL_TASK.with(|f| f.set(false));
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut served = 0u64;
+    loop {
+        let job = {
+            let mut slot = lock(&shared.slot);
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.seq > served {
+                    served = slot.seq;
+                    break slot.job.clone();
+                }
+                slot = shared.work_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { continue };
+        drain(&job);
+        // Check in: the last worker out wakes the dispatching caller.
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _slot = lock(&shared.slot);
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Thread count the global pool is sized with: `ERAS_THREADS` when set
+/// to a positive integer, else `available_parallelism()`, else 1.
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("ERAS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let hits: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+            pool.run(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1usize, 3, 7] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_and_one_task_dispatches() {
+        let pool = ThreadPool::new(4);
+        pool.run(0, |_| panic!("no tasks to run"));
+        let one = pool.map(1, |i| i + 41);
+        assert_eq!(one, vec![41]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let pool = ThreadPool::new(8);
+        let out = pool.map(3, |i| i as u64 + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_dispatches() {
+        let pool = ThreadPool::new(3);
+        let mut total = 0usize;
+        for round in 0..50 {
+            let out = pool.map(round % 7 + 1, |i| i);
+            total += out.len();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.dispatches, 50);
+        assert_eq!(stats.steal_free_dispatches, 50);
+        assert_eq!(stats.tasks as usize, total);
+    }
+
+    #[test]
+    fn borrows_caller_stack() {
+        let pool = ThreadPool::new(4);
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled = pool.map(input.len(), |i| input[i] * 2);
+        assert_eq!(doubled[999], 1998);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and keeps working.
+        assert_eq!(pool.map(4, |i| i).len(), 4);
+    }
+
+    #[test]
+    fn parallelism_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.parallelism(), 1);
+        assert_eq!(pool.map(5, |i| i).len(), 5);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = ThreadPool::global() as *const ThreadPool;
+        let b = ThreadPool::global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(ThreadPool::global().parallelism() >= 1);
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU32> = (0..8 * 16).map(|_| AtomicU32::new(0)).collect();
+        pool.run(8, |outer| {
+            // A dispatch from inside a pool task must degrade to inline
+            // execution instead of publishing a competing job.
+            pool.run(16, |inner| {
+                hits[outer * 16 + inner].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

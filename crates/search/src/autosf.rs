@@ -119,13 +119,13 @@ pub fn search(
         StandaloneEvaluator::new("AutoSF", dataset, filter, train_cfg.clone(), budget);
     let mut predictor = Predictor::new(1e-3);
 
-    // Budget step b = M: evaluate the seeds.
+    // Budget step b = M: evaluate the seeds as one concurrent batch.
     let seeds = seed_structures(cfg.m, cfg.parents.max(2), &mut rng);
     let mut scored_parents: Vec<(BlockSf, f64)> = Vec::new();
-    for sf in seeds {
-        if let Some(mrr) = evaluator.evaluate(&sf) {
-            predictor.observe(&sf, mrr);
-            scored_parents.push((sf, mrr));
+    for (sf, mrr) in seeds.iter().zip(evaluator.evaluate_batch(&seeds)) {
+        if let Some(mrr) = mrr {
+            predictor.observe(sf, mrr);
+            scored_parents.push((sf.clone(), mrr));
         }
     }
     predictor.fit();
@@ -155,15 +155,21 @@ pub fn search(
             .collect();
         ranked.sort_by(|a, b| nan_last_desc_f64(a.0, b.0));
 
-        // Train the top-K for real; they become candidate parents.
+        // Train the top-K for real — batched through the evaluator, at
+        // most `batch_width` concurrent trainings per dispatch; they
+        // become candidate parents.
+        let top: Vec<BlockSf> = ranked
+            .into_iter()
+            .take(cfg.train_top_k)
+            .map(|(_, sf)| sf)
+            .collect();
         let mut next_parents = Vec::new();
-        for (_, sf) in ranked.into_iter().take(cfg.train_top_k) {
-            match evaluator.evaluate(&sf) {
-                Some(mrr) => {
-                    predictor.observe(&sf, mrr);
-                    next_parents.push((sf, mrr));
+        for chunk in top.chunks(evaluator.batch_width()) {
+            for (sf, mrr) in chunk.iter().zip(evaluator.evaluate_batch(chunk)) {
+                if let Some(mrr) = mrr {
+                    predictor.observe(sf, mrr);
+                    next_parents.push((sf.clone(), mrr));
                 }
-                None => break,
             }
         }
         predictor.fit();

@@ -6,13 +6,29 @@
 //! canonicalises structures before caching so equivalent candidates
 //! (Section `eras_sf::canonical`) are never trained twice — the same
 //! deduplication AutoSF applies.
+//!
+//! ## Concurrent candidate evaluation
+//!
+//! Candidate trainings are embarrassingly parallel — each is a pure
+//! function of `(structure, dataset, config)` — so
+//! [`StandaloneEvaluator::evaluate_batch`] trains a batch's cache
+//! misses concurrently on the shared thread pool, publishing results
+//! through a mutex-free [`ShardedCache`]. Inside a batch the training
+//! config is pinned to [`Execution::Sequential`] (the classic AutoSF
+//! protocol), so a candidate's MRR never depends on how many
+//! candidates ride in its batch, and bookkeeping (budget, trace, best)
+//! is applied in candidate order after the parallel region — batched
+//! and one-at-a-time evaluation produce the same MRRs, the same trace
+//! sequence and the same winner.
 
+use crate::sharded::ShardedCache;
 use eras_data::{Dataset, FilterIndex};
+use eras_linalg::pool::ThreadPool;
 use eras_sf::canonical::canonicalize;
 use eras_sf::BlockSf;
-use eras_train::trainer::{train_standalone, TrainConfig};
+use eras_train::trainer::{train_standalone_on, Execution, TrainConfig};
 use eras_train::BlockModel;
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::time::Instant;
 
 use crate::trace::SearchTrace;
@@ -54,7 +70,9 @@ pub struct StandaloneEvaluator<'a> {
     filter: &'a FilterIndex,
     cfg: TrainConfig,
     budget: SearchBudget,
-    cache: HashMap<BlockSf, f64>,
+    cache: ShardedCache<BlockSf, f64>,
+    pool: &'a ThreadPool,
+    batch_width: usize,
     started: Instant,
     trace: SearchTrace,
     evaluations: usize,
@@ -62,7 +80,8 @@ pub struct StandaloneEvaluator<'a> {
 }
 
 impl<'a> StandaloneEvaluator<'a> {
-    /// Create an evaluator for one search run.
+    /// Create an evaluator for one search run, on the process-wide
+    /// pool with a batch width matching its parallelism.
     pub fn new(
         method: &str,
         dataset: &'a Dataset,
@@ -70,17 +89,41 @@ impl<'a> StandaloneEvaluator<'a> {
         cfg: TrainConfig,
         budget: SearchBudget,
     ) -> Self {
+        let pool = ThreadPool::global();
         StandaloneEvaluator {
             dataset,
             filter,
             cfg,
             budget,
-            cache: HashMap::new(),
+            cache: ShardedCache::new(),
+            pool,
+            batch_width: pool.parallelism(),
             started: Instant::now(),
             trace: SearchTrace::new(method, &dataset.name),
             evaluations: 0,
             best: None,
         }
+    }
+
+    /// Evaluate up to `n` candidates concurrently per
+    /// [`StandaloneEvaluator::evaluate_batch`] call. The width steers
+    /// how many proposals the searchers hand over per round; results
+    /// are identical for every width.
+    pub fn parallel_candidates(mut self, n: usize) -> Self {
+        self.batch_width = n.max(1);
+        self
+    }
+
+    /// Dispatch candidate trainings on an explicit pool instead of
+    /// [`ThreadPool::global`]. The pool never affects results.
+    pub fn with_pool(mut self, pool: &'a ThreadPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// How many candidates the searchers should propose per batch.
+    pub fn batch_width(&self) -> usize {
+        self.batch_width
     }
 
     /// Has the evaluation or time budget been exhausted?
@@ -93,23 +136,73 @@ impl<'a> StandaloneEvaluator<'a> {
     /// cached value for structures equivalent to one already trained;
     /// returns `None` when the budget is exhausted.
     pub fn evaluate(&mut self, sf: &BlockSf) -> Option<f64> {
-        let canonical = canonicalize(sf);
-        if let Some(&mrr) = self.cache.get(&canonical) {
-            return Some(mrr);
+        self.evaluate_batch(std::slice::from_ref(sf)).pop()?
+    }
+
+    /// Evaluate a batch of candidates, training the distinct cache
+    /// misses concurrently on the pool. `results[i]` is the MRR of
+    /// `candidates[i]`, or `None` when the budget ran out before that
+    /// candidate could be trained. The budget, trace and best-so-far
+    /// bookkeeping advance in candidate order, exactly as if the batch
+    /// had been evaluated one candidate at a time.
+    pub fn evaluate_batch(&mut self, candidates: &[BlockSf]) -> Vec<Option<f64>> {
+        let canon: Vec<BlockSf> = candidates.iter().map(canonicalize).collect();
+        let mut results: Vec<Option<f64>> = canon.iter().map(|c| self.cache.get(c)).collect();
+
+        // Distinct misses in first-appearance order, capped by the
+        // remaining evaluation budget. The wall-clock budget is checked
+        // once per batch: a batch is the unit of dispatch.
+        let mut missing: Vec<usize> = Vec::new();
+        let mut seen: HashSet<&BlockSf> = HashSet::new();
+        for (i, c) in canon.iter().enumerate() {
+            if results[i].is_none() && seen.insert(c) {
+                missing.push(i);
+            }
         }
         if self.exhausted() {
-            return None;
+            missing.clear();
+        } else {
+            let remaining = self.budget.max_evaluations.saturating_sub(self.evaluations);
+            missing.truncate(remaining);
         }
-        let model = BlockModel::universal(sf.clone(), self.dataset.num_relations());
-        let outcome = train_standalone(&model, self.dataset, self.filter, &self.cfg);
-        let mrr = outcome.best_valid.mrr;
-        self.evaluations += 1;
-        self.cache.insert(canonical, mrr);
-        self.trace.record(self.started.elapsed().as_secs_f64(), mrr);
-        if self.best.as_ref().map(|(_, b)| mrr > *b).unwrap_or(true) {
-            self.best = Some((sf.clone(), mrr));
+
+        if !missing.is_empty() {
+            // Train misses concurrently. The per-candidate protocol is
+            // pinned to the sequential minibatch step — the classic
+            // AutoSF evaluation — so an MRR never depends on the batch
+            // or the pool. Each task publishes straight into the
+            // lock-free cache.
+            let mut inner_cfg = self.cfg.clone();
+            inner_cfg.execution = Execution::Sequential;
+            let dataset = self.dataset;
+            let filter = self.filter;
+            let pool = self.pool;
+            let cache = &self.cache;
+            let trained: Vec<f64> = pool.map(missing.len(), |k| {
+                let i = missing[k];
+                let model = BlockModel::universal(candidates[i].clone(), dataset.num_relations());
+                let outcome = train_standalone_on(&model, dataset, filter, &inner_cfg, pool);
+                let mrr = outcome.best_valid.mrr;
+                cache.insert(canon[i].clone(), mrr);
+                mrr
+            });
+            for (&i, &mrr) in missing.iter().zip(&trained) {
+                self.evaluations += 1;
+                self.trace.record(self.started.elapsed().as_secs_f64(), mrr);
+                if self.best.as_ref().map(|(_, b)| mrr > *b).unwrap_or(true) {
+                    self.best = Some((candidates[i].clone(), mrr));
+                }
+            }
         }
-        Some(mrr)
+
+        // Canonical duplicates of freshly trained candidates resolve
+        // from the cache now; anything still missing hit the budget.
+        for (i, r) in results.iter_mut().enumerate() {
+            if r.is_none() {
+                *r = self.cache.get(&canon[i]);
+            }
+        }
+        results
     }
 
     /// Distinct candidates trained so far.
@@ -190,6 +283,91 @@ mod tests {
         let result = ev.finish();
         assert_eq!(result.evaluations, 1);
         assert_eq!(result.trace.len(), 1);
+    }
+
+    #[test]
+    fn batched_evaluation_matches_one_at_a_time() {
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let candidates = vec![
+            zoo::distmult(4),
+            zoo::complex(),
+            zoo::simple(),
+            zoo::distmult(4), // duplicate: must resolve from the cache
+            zoo::analogy(),
+        ];
+
+        // Reference: strictly sequential evaluation.
+        let mut seq = StandaloneEvaluator::new(
+            "seq",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget::default(),
+        )
+        .parallel_candidates(1);
+        let seq_mrrs: Vec<Option<f64>> = candidates.iter().map(|sf| seq.evaluate(sf)).collect();
+        let seq_result = seq.finish();
+
+        // Concurrent: one batch on a pool of 4.
+        let pool = eras_linalg::pool::ThreadPool::new(4);
+        let mut par = StandaloneEvaluator::new(
+            "par",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget::default(),
+        )
+        .parallel_candidates(4)
+        .with_pool(&pool);
+        let par_mrrs = par.evaluate_batch(&candidates);
+        let par_result = par.finish();
+
+        assert_eq!(seq_mrrs, par_mrrs);
+        assert_eq!(seq_result.evaluations, par_result.evaluations);
+        assert_eq!(seq_result.best_mrr, par_result.best_mrr);
+        assert_eq!(seq_result.best_sf, par_result.best_sf);
+        // The trace records the same MRR sequence (wall times differ).
+        let seq_trace: Vec<f64> = seq_result
+            .trace
+            .points
+            .iter()
+            .map(|p| p.candidate_mrr)
+            .collect();
+        let par_trace: Vec<f64> = par_result
+            .trace
+            .points
+            .iter()
+            .map(|p| p.candidate_mrr)
+            .collect();
+        assert_eq!(seq_trace, par_trace);
+    }
+
+    #[test]
+    fn batch_respects_remaining_budget() {
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let mut ev = StandaloneEvaluator::new(
+            "test",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget {
+                max_evaluations: 2,
+                max_seconds: f64::INFINITY,
+            },
+        )
+        .parallel_candidates(4);
+        let batch = vec![zoo::distmult(4), zoo::complex(), zoo::simple()];
+        let results = ev.evaluate_batch(&batch);
+        // Only the first two fit the budget; the third is cut off.
+        assert!(results[0].is_some());
+        assert!(results[1].is_some());
+        assert!(results[2].is_none());
+        assert_eq!(ev.evaluations(), 2);
+        assert!(ev.exhausted());
+        // Cached entries still resolve after exhaustion.
+        assert!(ev.evaluate(&zoo::complex()).is_some());
     }
 
     #[test]

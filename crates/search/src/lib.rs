@@ -15,14 +15,18 @@
 //!   candidate to convergence, return its validation MRR — with
 //!   canonicalisation-aware caching and wall-clock [`trace`] recording, so
 //!   every searcher reports the same "best-so-far vs time" curves the
-//!   paper plots.
+//!   paper plots. Batches of candidates train concurrently on the shared
+//!   thread pool, with a lock-free [`sharded`] cache underneath;
+//!   results are identical to one-at-a-time evaluation.
 
 pub mod autosf;
 pub mod evaluator;
 pub mod predictor;
 pub mod random;
+pub mod sharded;
 pub mod tpe;
 pub mod trace;
 
 pub use evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
+pub use sharded::ShardedCache;
 pub use trace::{SearchTrace, TracePoint};

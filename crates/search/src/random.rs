@@ -33,8 +33,14 @@ pub fn search(
     let mut evaluator =
         StandaloneEvaluator::new("Random", dataset, filter, train_cfg.clone(), budget);
     while !evaluator.exhausted() {
-        let sf = random_candidate(m, max_budget, &mut rng);
-        if evaluator.evaluate(&sf).is_none() {
+        // Propose a full batch per round; the evaluator trains the
+        // distinct misses concurrently. Proposals are drawn from the
+        // RNG in sequence, so a width-1 run proposes the exact
+        // candidate stream the pre-batching searcher did.
+        let batch: Vec<BlockSf> = (0..evaluator.batch_width())
+            .map(|_| random_candidate(m, max_budget, &mut rng))
+            .collect();
+        if evaluator.evaluate_batch(&batch).iter().any(Option::is_none) {
             break;
         }
     }

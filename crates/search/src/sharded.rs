@@ -1,0 +1,214 @@
+//! A mutex-free sharded map for concurrent candidate-evaluation caching.
+//!
+//! [`ShardedCache`] hashes each key to one of a fixed set of shards;
+//! every shard is an append-only singly-linked list whose head pointer
+//! is advanced with a CAS loop. Readers walk the list after an
+//! `Acquire` load of the head, so a published node (and the key/value
+//! it carries) is always fully visible — no locks anywhere on either
+//! path.
+//!
+//! The structure is deliberately minimal: the evaluator's access
+//! pattern is "look up before training, publish after", entries are
+//! never removed or overwritten (a candidate's stand-alone MRR is a
+//! pure function of the candidate), and the map lives as long as one
+//! search run. Inserting the same key twice is not an error — readers
+//! see the most recently published node first — but the evaluator
+//! dedupes by canonical form before training, so it never happens
+//! there.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Default shard count: enough to make CAS contention unlikely at the
+/// batch widths the searchers use, small enough to stay cheap to scan
+/// on drop.
+const DEFAULT_SHARDS: usize = 16;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    next: *mut Node<K, V>,
+}
+
+/// Lock-free insert-only hash map from `K` to a `Copy` value.
+pub struct ShardedCache<K, V> {
+    shards: Vec<AtomicPtr<Node<K, V>>>,
+    /// The map owns its nodes (freed in `Drop`); this marker gives it
+    /// the auto traits and drop-check behaviour of that ownership.
+    _own: PhantomData<Box<Node<K, V>>>,
+}
+
+// SAFETY: the map owns its nodes, so sending it sends the K/V it
+// holds (hence `Send` bounds); sharing it shares references to them
+// across threads and moves inserted pairs from the inserting thread
+// into the shared structure (hence `Send + Sync` for `Sync`). The
+// pointer plumbing itself is race-free: heads move by CAS and nodes
+// are immutable once published.
+unsafe impl<K: Send, V: Send> Send for ShardedCache<K, V> {}
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for ShardedCache<K, V> {}
+
+impl<K: Hash + Eq, V: Copy> ShardedCache<K, V> {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedCache {
+            shards: (0..shards.max(1))
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
+            _own: PhantomData,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &AtomicPtr<Node<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % self.shards.len()]
+    }
+
+    /// Look up a key. Concurrent with inserts.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut p = self.shard(key).load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: nodes are only freed in `Drop`, which takes
+            // `&mut self`, so every pointer reachable from a shard head
+            // stays valid while any `&self` borrow is live.
+            let node = unsafe { &*p };
+            if node.key == *key {
+                return Some(node.value);
+            }
+            p = node.next;
+        }
+        None
+    }
+
+    /// Publish a key/value pair. Concurrent with gets and other
+    /// inserts; lock-free (a failed CAS means another insert won the
+    /// head, and the loop retries on the new head).
+    pub fn insert(&self, key: K, value: V) {
+        let head = self.shard(&key);
+        let node = Box::into_raw(Box::new(Node {
+            key,
+            value,
+            next: ptr::null_mut(),
+        }));
+        let mut cur = head.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `node` is ours alone until the CAS publishes it.
+            unsafe { (*node).next = cur };
+            match head.compare_exchange_weak(cur, node, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of stored entries (walks every shard; meant for tests
+    /// and diagnostics, not hot paths).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            let mut p = shard.load(Ordering::Acquire);
+            while !p.is_null() {
+                n += 1;
+                // SAFETY: as in `get`.
+                p = unsafe { (*p).next };
+            }
+        }
+        n
+    }
+
+    /// True when no entry has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Hash + Eq, V: Copy> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> Drop for ShardedCache<K, V> {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            let mut p = *shard.get_mut();
+            while !p.is_null() {
+                // SAFETY: `&mut self` means no reader or writer is
+                // live; every node was allocated with `Box::into_raw`.
+                let node = unsafe { Box::from_raw(p) };
+                p = node.next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eras_linalg::pool::ThreadPool;
+
+    #[test]
+    fn get_returns_inserted_values() {
+        let cache: ShardedCache<String, f64> = ShardedCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&"a".to_owned()), None);
+        cache.insert("a".to_owned(), 1.5);
+        cache.insert("b".to_owned(), -2.0);
+        assert_eq!(cache.get(&"a".to_owned()), Some(1.5));
+        assert_eq!(cache.get(&"b".to_owned()), Some(-2.0));
+        assert_eq!(cache.get(&"c".to_owned()), None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn single_shard_chains_collisions() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(1);
+        for k in 0..100u64 {
+            cache.insert(k, k * 3);
+        }
+        for k in 0..100u64 {
+            assert_eq!(cache.get(&k), Some(k * 3));
+        }
+        assert_eq!(cache.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_inserts_from_pool_tasks_all_land() {
+        let pool = ThreadPool::new(8);
+        let cache: ShardedCache<u64, u64> = ShardedCache::with_shards(4);
+        pool.run(256, |i| {
+            cache.insert(i as u64, i as u64 + 1000);
+        });
+        assert_eq!(cache.len(), 256);
+        for i in 0..256u64 {
+            assert_eq!(cache.get(&i), Some(i + 1000), "key {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_during_inserts_see_published_entries() {
+        let pool = ThreadPool::new(4);
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        // Half the tasks write, half read back keys that are already
+        // guaranteed published (their own writes from earlier rounds).
+        for round in 0..8u64 {
+            pool.run(32, |i| {
+                let key = round * 32 + i as u64;
+                cache.insert(key, key);
+                if round > 0 {
+                    let prev = (round - 1) * 32 + i as u64;
+                    assert_eq!(cache.get(&prev), Some(prev));
+                }
+            });
+        }
+        assert_eq!(cache.len(), 256);
+    }
+}

@@ -11,7 +11,7 @@
 use crate::evaluator::{SearchBudget, SearchResult, StandaloneEvaluator};
 use crate::random::random_candidate;
 use eras_data::{Dataset, FilterIndex};
-use eras_linalg::cmp::{nan_last_desc_f64, nan_lowest_f64};
+use eras_linalg::cmp::nan_last_desc_f64;
 use eras_linalg::Rng;
 use eras_sf::{BlockSf, Op};
 use eras_train::trainer::TrainConfig;
@@ -94,8 +94,16 @@ pub fn search(
     let mut observed: Vec<(BlockSf, f64)> = Vec::new();
 
     while !evaluator.exhausted() {
-        let candidate = if observed.len() < cfg.warmup {
-            random_candidate(cfg.m, cfg.max_budget, &mut rng)
+        // Propose one batch per round — during warmup pure random
+        // draws, afterwards the best likelihood-ratio candidates of
+        // the same fitted good/bad models — and let the evaluator
+        // train the batch concurrently. Width 1 reproduces the
+        // pre-batching proposal stream exactly.
+        let width = evaluator.batch_width();
+        let batch: Vec<BlockSf> = if observed.len() < cfg.warmup {
+            (0..width)
+                .map(|_| random_candidate(cfg.m, cfg.max_budget, &mut rng))
+                .collect()
         } else {
             // Split observations into good/bad by the γ quantile.
             let mut sorted: Vec<&(BlockSf, f64)> = observed.iter().collect();
@@ -106,19 +114,30 @@ pub fn search(
             let bad: Vec<&BlockSf> = sorted[n_good..].iter().map(|(sf, _)| sf).collect();
             let l_good = CellModel::fit(&good, cfg.m);
             let l_bad = CellModel::fit(&bad, cfg.m);
-            // Propose the pooled candidate with the best likelihood ratio.
-            (0..cfg.pool_size)
-                .map(|_| random_candidate(cfg.m, cfg.max_budget, &mut rng))
-                .max_by(|a, b| {
-                    let ra = l_good.log_likelihood(a, cfg.m) - l_bad.log_likelihood(a, cfg.m);
-                    let rb = l_good.log_likelihood(b, cfg.m) - l_bad.log_likelihood(b, cfg.m);
-                    nan_lowest_f64(ra, rb)
+            // Propose the pooled candidates with the best likelihood
+            // ratios, best first.
+            let mut pool: Vec<(f64, BlockSf)> = (0..cfg.pool_size)
+                .map(|_| {
+                    let sf = random_candidate(cfg.m, cfg.max_budget, &mut rng);
+                    let ratio =
+                        l_good.log_likelihood(&sf, cfg.m) - l_bad.log_likelihood(&sf, cfg.m);
+                    (ratio, sf)
                 })
-                .expect("pool_size > 0")
+                .collect();
+            pool.sort_by(|a, b| nan_last_desc_f64(a.0, b.0));
+            pool.truncate(width);
+            pool.into_iter().map(|(_, sf)| sf).collect()
         };
-        match evaluator.evaluate(&candidate) {
-            Some(mrr) => observed.push((candidate, mrr)),
-            None => break,
+        let results = evaluator.evaluate_batch(&batch);
+        let mut stop = false;
+        for (sf, mrr) in batch.into_iter().zip(results) {
+            match mrr {
+                Some(mrr) => observed.push((sf, mrr)),
+                None => stop = true,
+            }
+        }
+        if stop {
+            break;
         }
     }
     evaluator.finish()

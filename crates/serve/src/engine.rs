@@ -25,6 +25,7 @@
 use crate::cache::LruCache;
 use crate::metrics::ServeMetrics;
 use eras_data::{FilterIndex, Json};
+use eras_linalg::pool::ThreadPool;
 use eras_linalg::{cmp, vecops};
 use eras_train::io::{self, Snapshot};
 use eras_train::BlockModel;
@@ -125,6 +126,11 @@ impl fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// Queries per batch-scoring shard. A group shares one pass over the
+/// entity table; the group size is fixed (never a function of the pool
+/// size) so batches shard the same way on every machine.
+const BATCH_SHARD_QUERIES: usize = 8;
 
 /// Candidate wrapper ordering "greater = ranks higher": descending score
 /// with NaN below everything, ties broken toward the smaller id.
@@ -400,12 +406,29 @@ impl QueryEngine {
             .collect())
     }
 
-    /// The batched kernel: one ascending pass over the entity table,
-    /// queries in the inner loop.
+    /// The batched kernel, sharded over the shared thread pool: the
+    /// query list is cut into fixed groups of [`BATCH_SHARD_QUERIES`]
+    /// and each group makes its own ascending pass over the entity
+    /// table via [`QueryEngine::topk_group`]. Every query's ranking is
+    /// a pure function of that query alone, so the sharding (and the
+    /// pool size) cannot change any result; `ThreadPool::map` returns
+    /// groups in index order.
     fn topk_batch(&self, queries: &[Query]) -> Vec<Vec<Ranked>> {
         if queries.is_empty() {
             return Vec::new();
         }
+        let groups: Vec<&[Query]> = queries.chunks(BATCH_SHARD_QUERIES).collect();
+        ThreadPool::global()
+            .map(groups.len(), |g| self.topk_group(groups[g]))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// One ascending pass over the entity table for a group of queries
+    /// (queries in the inner loop, so a group of `B` queries costs one
+    /// table pass).
+    fn topk_group(&self, queries: &[Query]) -> Vec<Vec<Ranked>> {
         let emb = &self.snapshot.embeddings;
         let dim = emb.dim();
         let ne = emb.num_entities();

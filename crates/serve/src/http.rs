@@ -333,7 +333,9 @@ pub fn serve(
     for _ in 0..workers.max(1) {
         let rx = Arc::clone(&rx);
         let engine = Arc::clone(&engine);
-        handles.push(thread::spawn(move || worker_loop(&rx, &engine)));
+        // Blocking-IO worker threads parked on an mpsc channel, not
+        // CPU-parallel work for the shared pool.
+        handles.push(thread::spawn(move || worker_loop(&rx, &engine))); // audit:allow(W405)
     }
     for stream in listener.incoming() {
         match stream {

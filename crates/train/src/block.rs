@@ -120,8 +120,10 @@ impl BlockModel {
         &self.sfs[self.assignment[rel as usize] as usize]
     }
 
+    /// Transposed structure for relation `rel` (head-side queries).
+    /// `pub(crate)` so the data-parallel trainer can share the kernels.
     #[inline]
-    fn sf_for_transposed(&self, rel: u32) -> &BlockSf {
+    pub(crate) fn sf_for_transposed(&self, rel: u32) -> &BlockSf {
         &self.transposed[self.assignment[rel as usize] as usize]
     }
 
@@ -153,7 +155,7 @@ impl BlockModel {
     }
 
     /// `q_j += sign · (x_i ⊙ r_b)` over the non-zero cells of `sf`.
-    fn query_with(&self, sf: &BlockSf, x: &[f32], rel: &[f32], q: &mut [f32]) {
+    pub(crate) fn query_with(&self, sf: &BlockSf, x: &[f32], rel: &[f32], q: &mut [f32]) {
         let bs = self.block_size(x.len());
         vecops::zero(q);
         for (i, j, op) in sf.nonzero_cells() {
@@ -169,7 +171,7 @@ impl BlockModel {
 
     /// Back-propagate from `g_q = ∂L/∂q` to the head/tail row (`grad_x`)
     /// and the relation row (`grad_r`), for the grid used forward.
-    fn backprop_query(
+    pub(crate) fn backprop_query(
         &self,
         sf: &BlockSf,
         x: &[f32],

@@ -10,6 +10,7 @@
 use crate::embeddings::Embeddings;
 use eras_data::patterns::RelationPattern;
 use eras_data::{Dataset, FilterIndex, Triple};
+use eras_linalg::pool::ThreadPool;
 
 /// Anything that can score candidates for both query directions.
 ///
@@ -52,31 +53,98 @@ pub struct LinkPredictionMetrics {
     pub count: usize,
 }
 
-impl LinkPredictionMetrics {
+/// Triples per evaluation shard. Both the sequential and the pooled
+/// evaluator cut the triple set into shards of this size and merge the
+/// per-shard partials with the same fixed reduction tree, so the two
+/// paths produce bit-identical metrics (see [`reduce_counts`]).
+const EVAL_SHARD_TRIPLES: usize = 64;
+
+/// Per-shard metric partials: integer hit counts (exact under any
+/// merge order) plus the reciprocal-rank sum as the one floating-point
+/// accumulator whose merge order the reduction tree pins down.
+#[derive(Debug, Clone, Copy, Default)]
+struct RankCounts {
+    mrr: f64,
+    hits1: u64,
+    hits3: u64,
+    hits10: u64,
+    count: u64,
+}
+
+impl RankCounts {
     fn accumulate(&mut self, rank: f64) {
         self.mrr += 1.0 / rank;
         if rank <= 1.0 {
-            self.hits1 += 1.0;
+            self.hits1 += 1;
         }
         if rank <= 3.0 {
-            self.hits3 += 1.0;
+            self.hits3 += 1;
         }
         if rank <= 10.0 {
-            self.hits10 += 1.0;
+            self.hits10 += 1;
         }
         self.count += 1;
     }
 
-    fn finalise(mut self) -> Self {
-        if self.count > 0 {
-            let n = self.count as f64;
-            self.mrr /= n;
-            self.hits1 /= n;
-            self.hits3 /= n;
-            self.hits10 /= n;
-        }
-        self
+    fn merge(&mut self, other: &RankCounts) {
+        self.mrr += other.mrr;
+        self.hits1 += other.hits1;
+        self.hits3 += other.hits3;
+        self.hits10 += other.hits10;
+        self.count += other.count;
     }
+
+    fn finalise(self) -> LinkPredictionMetrics {
+        if self.count == 0 {
+            return LinkPredictionMetrics::default();
+        }
+        let n = self.count as f64;
+        LinkPredictionMetrics {
+            mrr: self.mrr / n,
+            hits1: self.hits1 as f64 / n,
+            hits3: self.hits3 as f64 / n,
+            hits10: self.hits10 as f64 / n,
+            count: self.count as usize,
+        }
+    }
+}
+
+/// Rank both directions of every triple in one shard. A pure function
+/// of the shard's triples — which worker runs it cannot matter.
+fn eval_shard<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    scores: &mut [f32],
+) -> RankCounts {
+    let mut counts = RankCounts::default();
+    for &t in triples {
+        model.score_all_tails(emb, t.head, t.rel, scores);
+        counts.accumulate(filtered_rank(scores, t.tail, filter.tails(t.head, t.rel)));
+        model.score_all_heads(emb, t.tail, t.rel, scores);
+        counts.accumulate(filtered_rank(scores, t.head, filter.heads(t.tail, t.rel)));
+    }
+    counts
+}
+
+/// Merge shard partials with stride doubling (`p[i] += p[i + stride]`,
+/// stride 1, 2, 4, …). The tree shape depends only on the shard count,
+/// so the reciprocal-rank sums come out bit-identical whether the
+/// shards were evaluated inline or scattered across a pool.
+fn reduce_counts(mut parts: Vec<RankCounts>) -> RankCounts {
+    let n = parts.len();
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            let src = parts[i + stride];
+            parts[i].merge(&src);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+    parts.into_iter().next().unwrap_or_default()
 }
 
 /// Filtered average-tie rank of `target` among `scores`, excluding the
@@ -117,30 +185,50 @@ pub fn filtered_rank(scores: &[f32], target: u32, filtered: &[u32]) -> f64 {
 }
 
 /// Evaluate filtered link prediction over a triple set.
+///
+/// Internally sharded and tree-reduced exactly like
+/// [`link_prediction_pool`], so the sequential and pooled evaluators
+/// agree to the last bit.
 pub fn link_prediction<M: ScoreModel + ?Sized>(
     model: &M,
     emb: &Embeddings,
     triples: &[Triple],
     filter: &FilterIndex,
 ) -> LinkPredictionMetrics {
-    let mut metrics = LinkPredictionMetrics::default();
     let mut scores = vec![0.0f32; emb.num_entities()];
-    for &t in triples {
-        model.score_all_tails(emb, t.head, t.rel, &mut scores);
-        let rank_t = filtered_rank(&scores, t.tail, filter.tails(t.head, t.rel));
-        metrics.accumulate(rank_t);
-        model.score_all_heads(emb, t.tail, t.rel, &mut scores);
-        let rank_h = filtered_rank(&scores, t.head, filter.heads(t.tail, t.rel));
-        metrics.accumulate(rank_h);
-    }
-    metrics.finalise()
+    let parts: Vec<RankCounts> = triples
+        .chunks(EVAL_SHARD_TRIPLES)
+        .map(|shard| eval_shard(model, emb, shard, filter, &mut scores))
+        .collect();
+    reduce_counts(parts).finalise()
 }
 
-/// Multi-threaded [`link_prediction`]: splits the triple set across
-/// `threads` workers with `std::thread::scope`. Results are identical to
-/// the sequential version (each query is independent); useful on
-/// multi-core machines where the evaluation's `O(|S| · N_e · d)` cost
-/// dominates an experiment.
+/// Pooled [`link_prediction`]: shards the triple set on the shared
+/// thread pool. Every query is independent and the per-shard partials
+/// are merged with the same fixed tree as the sequential path, so the
+/// metrics are bit-identical to [`link_prediction`] for every pool
+/// size — including a pool of 1 and more workers than shards.
+pub fn link_prediction_pool<M: ScoreModel + Sync + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    pool: &ThreadPool,
+) -> LinkPredictionMetrics {
+    let shards: Vec<&[Triple]> = triples.chunks(EVAL_SHARD_TRIPLES).collect();
+    let parts = pool.map(shards.len(), |s| {
+        let mut scores = vec![0.0f32; emb.num_entities()];
+        eval_shard(model, emb, shards[s], filter, &mut scores)
+    });
+    reduce_counts(parts).finalise()
+}
+
+/// Multi-threaded [`link_prediction`] with an explicit thread count —
+/// a compatibility wrapper over [`link_prediction_pool`] that sizes a
+/// dedicated pool. Prefer passing [`ThreadPool::global`] to
+/// `link_prediction_pool` so evaluation shares the process-wide worker
+/// set. Results are bit-identical to the sequential version for every
+/// `threads` value.
 pub fn link_prediction_parallel<M: ScoreModel + Sync + ?Sized>(
     model: &M,
     emb: &Embeddings,
@@ -152,28 +240,8 @@ pub fn link_prediction_parallel<M: ScoreModel + Sync + ?Sized>(
     if threads == 1 {
         return link_prediction(model, emb, triples, filter);
     }
-    let chunk = triples.len().div_ceil(threads);
-    let partials: Vec<LinkPredictionMetrics> = std::thread::scope(|scope| {
-        let handles: Vec<_> = triples
-            .chunks(chunk)
-            .map(|part| scope.spawn(move || link_prediction(model, emb, part, filter)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    // Merge: metrics are per-query averages; recombine by counts.
-    let mut merged = LinkPredictionMetrics::default();
-    for p in &partials {
-        let n = p.count as f64;
-        merged.mrr += p.mrr * n;
-        merged.hits1 += p.hits1 * n;
-        merged.hits3 += p.hits3 * n;
-        merged.hits10 += p.hits10 * n;
-        merged.count += p.count;
-    }
-    merged.finalise()
+    let pool = ThreadPool::new(threads);
+    link_prediction_pool(model, emb, triples, filter, &pool)
 }
 
 /// Per-pattern link prediction on the test split (Tables III and VIII).
@@ -327,7 +395,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential() {
+    fn link_prediction_parallel_is_bit_identical_to_sequential() {
         let dataset = eras_data::Preset::Tiny.build(60);
         let filter = FilterIndex::build(&dataset);
         let mut rng = Rng::seed_from_u64(1);
@@ -339,11 +407,38 @@ mod tests {
         );
         let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
         let seq = link_prediction(&model, &emb, &dataset.test, &filter);
-        for threads in [1usize, 2, 3, 7] {
+        for threads in [1usize, 2, 3, 4] {
             let par = link_prediction_parallel(&model, &emb, &dataset.test, &filter, threads);
-            assert_eq!(par.count, seq.count, "threads {threads}");
-            assert!((par.mrr - seq.mrr).abs() < 1e-12, "threads {threads}");
-            assert!((par.hits10 - seq.hits10).abs() < 1e-12);
+            assert_eq!(par, seq, "threads {threads}");
+        }
+        // More workers than shards (and than triples).
+        let two = &dataset.test[..2.min(dataset.test.len())];
+        let seq_two = link_prediction(&model, &emb, two, &filter);
+        let par_two = link_prediction_parallel(&model, &emb, two, &filter, 16);
+        assert_eq!(par_two, seq_two);
+        // Empty triple set: zero metrics on every path.
+        let empty = link_prediction_parallel(&model, &emb, &[], &filter, 4);
+        assert_eq!(empty, LinkPredictionMetrics::default());
+        assert_eq!(empty, link_prediction(&model, &emb, &[], &filter));
+    }
+
+    #[test]
+    fn pooled_evaluator_matches_sequential_for_every_pool_size() {
+        let dataset = eras_data::Preset::Tiny.build(60);
+        let filter = FilterIndex::build(&dataset);
+        let mut rng = Rng::seed_from_u64(2);
+        let emb = Embeddings::init(
+            dataset.num_entities(),
+            dataset.num_relations(),
+            16,
+            &mut rng,
+        );
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        let seq = link_prediction(&model, &emb, &dataset.test, &filter);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let pooled = link_prediction_pool(&model, &emb, &dataset.test, &filter, &pool);
+            assert_eq!(pooled, seq, "pool size {threads}");
         }
     }
 

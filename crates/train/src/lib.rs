@@ -34,6 +34,8 @@
 //! - [`classify`] — triplet classification with relation-specific
 //!   thresholds fitted on validation (Table X);
 //! - [`negative`] — filtered negative sampling;
+//! - [`parallel`] — deterministic data-parallel minibatch training on
+//!   the shared thread pool (bit-identical for every thread count);
 //! - [`grads`] — the gradient containers the trainers' pure gradient
 //!   kernels fill (gradient math separated from optimizer application);
 //! - [`contract`] — the gradient contract: every analytic gradient above
@@ -56,6 +58,7 @@ pub mod io;
 pub mod loss;
 pub mod mlpe;
 pub mod negative;
+pub mod parallel;
 pub mod quate;
 pub mod trainer;
 

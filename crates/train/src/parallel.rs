@@ -1,0 +1,661 @@
+//! Deterministic data-parallel minibatch training.
+//!
+//! [`train_minibatch_parallel`] is the pool-backed counterpart of
+//! [`crate::block::train_minibatch`]. The sequential step interleaves
+//! gradient computation with optimizer application per example; that
+//! serialises on the optimizer state and, under [`LossMode::Full`],
+//! pays an Adagrad sweep over *every* entity row per side. The
+//! data-parallel step restructures the batch instead:
+//!
+//! 1. **Fixed sharding.** The batch is cut into `ceil(len / 32)` shards
+//!    of [`SHARD_TRIPLES`] triples. Shard boundaries depend only on the
+//!    batch length — never on the pool size — and shard `s` draws its
+//!    negatives from an RNG derived from `(batch_base, s)`, so the work
+//!    a shard does is a pure function of the shard index.
+//! 2. **Snapshot gradients.** Every shard computes exact gradients
+//!    against the batch-start embeddings into its own accumulator
+//!    (entity/relation tables with touched-row tracking, so
+//!    [`LossMode::Sampled`] shards stay sparse). No shard writes
+//!    anything another shard reads.
+//! 3. **Fixed tree reduction.** Shard accumulators are merged
+//!    sequentially with stride doubling (`s[i] += s[i + stride]`,
+//!    stride 1, 2, 4, …). Floating-point addition is not associative;
+//!    fixing the reduction *tree* — not just the set of addends — is
+//!    what makes the sums bit-identical for every pool size.
+//! 4. **Single application.** The optimizer applies the merged gradient
+//!    once per touched row in ascending row order.
+//!
+//! The result is bit-identical for every thread count (the pool only
+//! decides *which worker* runs a shard, never what the shard computes),
+//! and the restructuring itself is the throughput win: under
+//! `LossMode::Full` the per-side entity sweep collapses from a
+//! `sqrt`/`div`-bound Adagrad pass over the whole table to two fused
+//! `axpy` passes, with one Adagrad pass per *batch* instead of per
+//! side.
+//!
+//! N3 regularisation is folded into the same batch gradient (evaluated
+//! on the batch-start snapshot) rather than applied as a separate
+//! post-batch pass like the sequential `apply_n3`.
+
+use crate::block::BlockModel;
+use crate::embeddings::Embeddings;
+use crate::loss::LossMode;
+use eras_data::Triple;
+use eras_linalg::optim::Optimizer;
+use eras_linalg::pool::ThreadPool;
+use eras_linalg::softmax::{self, log_loss_and_residual};
+use eras_linalg::{vecops, Rng};
+use std::cell::UnsafeCell;
+
+/// Triples per gradient shard. Shard count is `ceil(batch / 32)` — a
+/// function of the batch length only, which is what keeps results
+/// independent of the pool size.
+pub const SHARD_TRIPLES: usize = 32;
+
+/// A gradient table with touched-row tracking: dense storage (so merges
+/// are plain row adds) but clearing and application cost only the rows
+/// a batch actually touched — `LossMode::Sampled` shards touch a few
+/// dozen rows out of the whole entity table.
+#[derive(Default)]
+struct GradTable {
+    grad: Vec<f32>,
+    in_touched: Vec<bool>,
+    touched: Vec<u32>,
+    dense: bool,
+}
+
+impl GradTable {
+    fn ensure(&mut self, rows: usize, dim: usize) {
+        if self.grad.len() != rows * dim {
+            self.grad = vec![0.0; rows * dim];
+            self.in_touched = vec![false; rows];
+            self.touched = Vec::new();
+            self.dense = false;
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, row: u32) {
+        if !self.in_touched[row as usize] {
+            self.in_touched[row as usize] = true;
+            self.touched.push(row);
+        }
+    }
+
+    /// Mark every row touched — the `LossMode::Full` sweep writes the
+    /// whole table, and a dense flag beats a branch per row. Idempotent
+    /// within a batch (the flag is reset by [`GradTable::clear`]).
+    fn mark_dense(&mut self, rows: usize) {
+        if self.dense {
+            return;
+        }
+        self.dense = true;
+        self.touched.clear();
+        self.touched.extend(0..rows as u32);
+        for f in &mut self.in_touched {
+            *f = true;
+        }
+    }
+
+    #[inline]
+    fn row(&self, row: usize, dim: usize) -> &[f32] {
+        &self.grad[row * dim..(row + 1) * dim]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, row: usize, dim: usize) -> &mut [f32] {
+        &mut self.grad[row * dim..(row + 1) * dim]
+    }
+
+    /// `self[r] += src[r]` for every row `src` touched. Row values are
+    /// independent, so the merge order of rows cannot affect the sums.
+    /// A dense source merges as one whole-table add — the same
+    /// element-wise sums as the row loop, minus the per-row marking.
+    fn merge_from(&mut self, src: &GradTable, dim: usize) {
+        if src.dense {
+            self.mark_dense(src.in_touched.len());
+            for (d, &v) in self.grad.iter_mut().zip(&src.grad) {
+                *d += v;
+            }
+            return;
+        }
+        for &r in &src.touched {
+            self.mark(r);
+            let s = src.row(r as usize, dim);
+            for (d, &v) in self.row_mut(r as usize, dim).iter_mut().zip(s) {
+                *d += v;
+            }
+        }
+    }
+
+    /// Re-zero exactly the touched rows, restoring the all-zero
+    /// invariant the next batch relies on.
+    fn clear(&mut self, dim: usize) {
+        if self.dense {
+            vecops::zero(&mut self.grad);
+            for f in &mut self.in_touched {
+                *f = false;
+            }
+            self.touched.clear();
+            self.dense = false;
+            return;
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        for &r in &touched {
+            self.in_touched[r as usize] = false;
+            vecops::zero(self.row_mut(r as usize, dim));
+        }
+        touched.clear();
+        self.touched = touched; // keep the capacity
+        self.dense = false;
+    }
+}
+
+/// One shard's accumulators plus its private work buffers.
+#[derive(Default)]
+struct Shard {
+    entity: GradTable,
+    relation: GradTable,
+    loss: f32,
+    q: Vec<f32>,
+    g_q: Vec<f32>,
+    scores: Vec<f32>,
+    candidates: Vec<u32>,
+    /// Deferred `LossMode::Full` outer products: side `s` stores its
+    /// residual row `p_s` (one scalar per entity) and query `q_s` here,
+    /// and [`Shard::flush_full`] materialises `G += Σ_s p_s ⊗ q_s` in
+    /// one table-resident pass per shard instead of a read-modify-write
+    /// of the whole gradient table per side.
+    p_rows: Vec<f32>,
+    q_rows: Vec<f32>,
+    n_sides: usize,
+    g_q_b: Vec<f32>,
+}
+
+impl Shard {
+    /// Accumulate exact gradients for `triples` against the snapshot
+    /// `emb`, mirroring the math of `train_side` for both directions.
+    fn accumulate(
+        &mut self,
+        model: &BlockModel,
+        emb: &Embeddings,
+        triples: &[Triple],
+        mode: LossMode,
+        n3_lambda: f32,
+        rng: &mut Rng,
+    ) {
+        self.entity.ensure(emb.num_entities(), emb.dim());
+        self.relation.ensure(emb.num_relations(), emb.dim());
+        self.q.resize(emb.dim(), 0.0);
+        self.g_q.resize(emb.dim(), 0.0);
+        self.g_q_b.resize(emb.dim(), 0.0);
+        self.loss = 0.0;
+        if matches!(mode, LossMode::Full) {
+            let sides = 2 * triples.len();
+            self.p_rows.resize(sides * emb.num_entities(), 0.0);
+            self.q_rows.resize(sides * emb.dim(), 0.0);
+            self.n_sides = 0;
+        }
+        for &t in triples {
+            self.loss += self.side(model, emb, false, t.head, t.rel, t.tail, mode, rng);
+            self.loss += self.side(model, emb, true, t.tail, t.rel, t.head, mode, rng);
+            if n3_lambda > 0.0 {
+                self.accumulate_n3(emb, t, n3_lambda);
+            }
+        }
+        if matches!(mode, LossMode::Full) {
+            self.flush_full(emb.num_entities(), emb.dim());
+        }
+    }
+
+    /// One 1-vs-all direction: residuals into candidate entity rows,
+    /// chain rule through `q` into the anchor and relation rows.
+    #[allow(clippy::too_many_arguments)]
+    fn side(
+        &mut self,
+        model: &BlockModel,
+        emb: &Embeddings,
+        transposed: bool,
+        anchor: u32,
+        rel: u32,
+        target: u32,
+        mode: LossMode,
+        rng: &mut Rng,
+    ) -> f32 {
+        let dim = emb.dim();
+        let num_entities = emb.num_entities();
+        let sf = if transposed {
+            model.sf_for_transposed(rel)
+        } else {
+            model.sf_for(rel)
+        };
+        let x = emb.entity.row(anchor as usize);
+        let r_row = emb.relation.row(rel as usize);
+        model.query_with(sf, x, r_row, &mut self.q);
+
+        vecops::zero(&mut self.g_q);
+        let loss = match mode {
+            LossMode::Full => {
+                self.scores.resize(num_entities, 0.0);
+                emb.entity.matvec(&self.q, &mut self.scores);
+                // Fast softmax: scores become unnormalised exp values;
+                // the 1/Σ normalisation folds into each row's gradient
+                // scalar below instead of costing its own pass.
+                let (loss, inv) = softmax::log_loss_exp_scale(&mut self.scores, target as usize);
+                // One pass over the entity table yields g_q (= Eᵀ·p)
+                // and records the residual scalars — the per-row grads
+                // `p_c·q` are *deferred* to [`Shard::flush_full`], so
+                // the gradient table is written once per shard instead
+                // of read-modify-written once per side. Rows go two at
+                // a time with split g_q accumulators so the two
+                // streams stay independent; the combine order is
+                // fixed, keeping the result a pure function of the
+                // input.
+                let s_idx = self.n_sides;
+                self.n_sides += 1;
+                let p_row = &mut self.p_rows[s_idx * num_entities..(s_idx + 1) * num_entities];
+                self.q_rows[s_idx * dim..(s_idx + 1) * dim].copy_from_slice(&self.q);
+                {
+                    let gq = &mut self.g_q[..dim];
+                    let gqb = &mut self.g_q_b[..dim];
+                    let mut pi = p_row.chunks_exact_mut(2);
+                    let mut ei = emb.entity.as_slice().chunks_exact(2 * dim);
+                    let mut si = self.scores.chunks_exact(2);
+                    for ((p2, e2), s2) in (&mut pi).zip(&mut ei).zip(&mut si) {
+                        let r0 = s2[0] * inv;
+                        let r1 = s2[1] * inv;
+                        p2[0] = r0;
+                        p2[1] = r1;
+                        let (e0, e1) = e2.split_at(dim);
+                        vecops::axpy(r0, e0, gq);
+                        vecops::axpy(r1, e1, gqb);
+                    }
+                    for ((p, e_row), &s) in pi
+                        .into_remainder()
+                        .iter_mut()
+                        .zip(ei.remainder().chunks_exact(dim))
+                        .zip(si.remainder())
+                    {
+                        let r = s * inv;
+                        *p = r;
+                        vecops::axpy(r, e_row, gq);
+                    }
+                    vecops::axpy(1.0, gqb, gq);
+                    vecops::zero(gqb);
+                }
+                // The pass used p (softmax) rather than the residual
+                // p − onehot; subtract the one-hot column here.
+                p_row[target as usize] -= 1.0;
+                vecops::axpy(-1.0, emb.entity.row(target as usize), &mut self.g_q);
+                loss
+            }
+            LossMode::Sampled { negatives } => {
+                self.candidates.clear();
+                self.candidates.push(target);
+                for _ in 0..negatives {
+                    let mut c = rng.next_below(num_entities) as u32;
+                    if c == target {
+                        c = (c + 1) % num_entities as u32;
+                    }
+                    self.candidates.push(c);
+                }
+                self.scores.resize(self.candidates.len(), 0.0);
+                for slot in 0..self.candidates.len() {
+                    let c = self.candidates[slot] as usize;
+                    self.scores[slot] = vecops::dot(&self.q, emb.entity.row(c));
+                }
+                let loss = log_loss_and_residual(&mut self.scores, 0);
+                // self.scores now holds resid = softmax − onehot.
+                for slot in 0..self.candidates.len() {
+                    let c = self.candidates[slot] as usize;
+                    let resid = self.scores[slot];
+                    self.entity.mark(c as u32);
+                    vecops::axpy(resid, emb.entity.row(c), &mut self.g_q);
+                    vecops::axpy(resid, &self.q, self.entity.row_mut(c, dim));
+                }
+                loss
+            }
+        };
+
+        self.entity.mark(anchor);
+        self.relation.mark(rel);
+        model.backprop_query(
+            sf,
+            x,
+            r_row,
+            &self.g_q,
+            self.entity.row_mut(anchor as usize, dim),
+            self.relation.row_mut(rel as usize, dim),
+        );
+        loss
+    }
+
+    /// N3 gradient `3λ·sign(x)·x²` for the factor rows of `t`,
+    /// evaluated on the batch-start snapshot.
+    fn accumulate_n3(&mut self, emb: &Embeddings, t: Triple, lambda: f32) {
+        let dim = emb.dim();
+        for &e in &[t.head, t.tail] {
+            self.entity.mark(e);
+            let dst = self.entity.row_mut(e as usize, dim);
+            for (g, &x) in dst.iter_mut().zip(emb.entity.row(e as usize)) {
+                *g += 3.0 * lambda * x * x * x.signum();
+            }
+        }
+        self.relation.mark(t.rel);
+        let dst = self.relation.row_mut(t.rel as usize, dim);
+        for (g, &x) in dst.iter_mut().zip(emb.relation.row(t.rel as usize)) {
+            *g += 3.0 * lambda * x * x * x.signum();
+        }
+    }
+
+    /// Materialise the deferred `LossMode::Full` entity gradients:
+    /// `G_c += Σ_s p_s[c] · q_s`, entity rows outermost so each row
+    /// stays cache-resident across all sides of the shard. The side
+    /// order `s` is ascending — fixed — so the sums are a pure
+    /// function of the shard's input.
+    fn flush_full(&mut self, num_entities: usize, dim: usize) {
+        if self.n_sides == 0 {
+            return;
+        }
+        self.entity.mark_dense(num_entities);
+        let q_rows = &self.q_rows[..self.n_sides * dim];
+        for (c, g_row) in self
+            .entity
+            .grad
+            .chunks_exact_mut(dim)
+            .enumerate()
+            .take(num_entities)
+        {
+            for (s, q_s) in q_rows.chunks_exact(dim).enumerate() {
+                vecops::axpy(self.p_rows[s * num_entities + c], q_s, g_row);
+            }
+        }
+        self.n_sides = 0;
+    }
+
+    fn merge_from(&mut self, src: &Shard, dim: usize) {
+        self.loss += src.loss;
+        self.entity.merge_from(&src.entity, dim);
+        self.relation.merge_from(&src.relation, dim);
+    }
+
+    fn clear(&mut self, dim: usize) {
+        self.loss = 0.0;
+        self.entity.clear(dim);
+        self.relation.clear(dim);
+    }
+}
+
+/// Reusable per-shard accumulators for [`train_minibatch_parallel`] —
+/// one set per trainer, sized lazily (the data-parallel analogue of
+/// [`crate::block::BlockScratch`]).
+#[derive(Default)]
+pub struct GradShards {
+    shards: Vec<UnsafeCell<Shard>>,
+}
+
+impl GradShards {
+    /// Fresh accumulator set; shards are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        while self.shards.len() < n {
+            self.shards.push(UnsafeCell::new(Shard::default()));
+        }
+    }
+}
+
+/// Shared view of the shard cells for the parallel region.
+struct ShardCells<'a>(&'a [UnsafeCell<Shard>]);
+// SAFETY: pool task index `s` is claimed by exactly one executor and
+// touches exactly `cells.0[s]`; no two tasks alias a shard.
+unsafe impl Sync for ShardCells<'_> {}
+
+impl ShardCells<'_> {
+    /// SAFETY: the caller must be the sole accessor of shard `s` for
+    /// the lifetime of the returned borrow. Accessed through a method
+    /// so closures capture the `Sync` wrapper, not its non-Sync field
+    /// (edition 2021 closures capture fields precisely).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn shard(&self, s: usize) -> &mut Shard {
+        unsafe { &mut *self.0[s].get() }
+    }
+}
+
+/// One data-parallel pass over a minibatch: shard gradients on the
+/// pool, tree-reduce, apply once. Returns the mean per-side loss.
+///
+/// Bit-identical for every pool size — see the module docs for the
+/// argument. N3 regularisation (`n3_lambda > 0`) is folded into the
+/// batch gradient.
+#[allow(clippy::too_many_arguments)]
+pub fn train_minibatch_parallel(
+    model: &BlockModel,
+    emb: &mut Embeddings,
+    opt_entity: &mut dyn Optimizer,
+    opt_relation: &mut dyn Optimizer,
+    batch: &[Triple],
+    mode: LossMode,
+    n3_lambda: f32,
+    rng: &mut Rng,
+    pool: &ThreadPool,
+    state: &mut GradShards,
+) -> f32 {
+    if batch.is_empty() {
+        return 0.0;
+    }
+    let dim = emb.dim();
+    let num_shards = batch.len().div_ceil(SHARD_TRIPLES);
+    state.ensure(num_shards);
+    // One parent draw per batch; shard RNGs derive from (base, s) the
+    // same way `Rng::fork` mixes streams, so the negative samples a
+    // shard draws are a function of the shard index alone.
+    let base = rng.next_u64();
+
+    {
+        let emb_ref: &Embeddings = emb;
+        let cells = ShardCells(&state.shards[..num_shards]);
+        let cells_ref = &cells;
+        pool.run(num_shards, |s| {
+            // SAFETY: task `s` is the sole accessor of shard `s`.
+            let shard = unsafe { cells_ref.shard(s) };
+            let lo = s * SHARD_TRIPLES;
+            let hi = (lo + SHARD_TRIPLES).min(batch.len());
+            let mut srng =
+                Rng::seed_from_u64(base ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            shard.accumulate(model, emb_ref, &batch[lo..hi], mode, n3_lambda, &mut srng);
+        });
+    }
+
+    // Fixed tree reduction: stride doubling on the shard index. The
+    // tree shape depends only on the shard count, so the floating-point
+    // sums are bit-identical regardless of how the pool scheduled the
+    // shards above.
+    let mut stride = 1;
+    while stride < num_shards {
+        let mut i = 0;
+        while i + stride < num_shards {
+            // SAFETY: `i != i + stride`; both cells are exclusively
+            // ours (the parallel region is over).
+            let (dst, src) = unsafe {
+                (
+                    &mut *state.shards[i].get(),
+                    &*state.shards[i + stride].get(),
+                )
+            };
+            dst.merge_from(src, dim);
+            i += 2 * stride;
+        }
+        stride *= 2;
+    }
+
+    // Apply the merged gradient once per touched row, ascending — a
+    // fixed order, and one optimizer pass per batch instead of one per
+    // example side.
+    let mean = {
+        let root = state.shards[0].get_mut();
+        root.entity.touched.sort_unstable();
+        root.relation.touched.sort_unstable();
+        for &r in &root.entity.touched {
+            opt_entity.step_at(
+                emb.entity.as_mut_slice(),
+                r as usize * dim,
+                root.entity.row(r as usize, dim),
+            );
+        }
+        for &r in &root.relation.touched {
+            opt_relation.step_at(
+                emb.relation.as_mut_slice(),
+                r as usize * dim,
+                root.relation.row(r as usize, dim),
+            );
+        }
+        root.loss / (2.0 * batch.len() as f32)
+    };
+
+    // Restore the all-zero invariant for the next batch.
+    for cell in &mut state.shards[..num_shards] {
+        cell.get_mut().clear(dim);
+    }
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::evaluate_loss;
+    use eras_linalg::Adagrad;
+    use eras_sf::zoo;
+
+    fn planted(n: usize) -> Vec<Triple> {
+        (0..n as u32)
+            .map(|i| Triple::new(i % 40, i % 3, (i * 7 + 1) % 40))
+            .collect()
+    }
+
+    fn run_training(pool_size: usize, mode: LossMode, n3: f32) -> (Embeddings, f32) {
+        let pool = ThreadPool::new(pool_size);
+        let mut rng = Rng::seed_from_u64(99);
+        let mut emb = Embeddings::init(40, 3, 16, &mut rng);
+        let model = BlockModel::universal(zoo::complex(), 3);
+        let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.1, 1e-4);
+        let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.1, 1e-4);
+        let mut state = GradShards::new();
+        let data = planted(100);
+        let mut loss = 0.0;
+        for _ in 0..10 {
+            loss = train_minibatch_parallel(
+                &model, &mut emb, &mut opt_e, &mut opt_r, &data, mode, n3, &mut rng, &pool,
+                &mut state,
+            );
+        }
+        (emb, loss)
+    }
+
+    #[test]
+    fn bit_identical_across_pool_sizes() {
+        for mode in [LossMode::Full, LossMode::Sampled { negatives: 8 }] {
+            let (ref_emb, ref_loss) = run_training(1, mode, 1e-3);
+            for threads in [2usize, 3, 8] {
+                let (emb, loss) = run_training(threads, mode, 1e-3);
+                assert_eq!(
+                    ref_emb.entity.as_slice(),
+                    emb.entity.as_slice(),
+                    "entity table diverged at {threads} threads ({mode:?})"
+                );
+                assert_eq!(
+                    ref_emb.relation.as_slice(),
+                    emb.relation.as_slice(),
+                    "relation table diverged at {threads} threads ({mode:?})"
+                );
+                assert_eq!(ref_loss, loss, "loss diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn full_mode_learns() {
+        let pool = ThreadPool::new(4);
+        let mut rng = Rng::seed_from_u64(7);
+        let mut emb = Embeddings::init(40, 3, 16, &mut rng);
+        let model = BlockModel::universal(zoo::complex(), 3);
+        let data = planted(60);
+        let before = evaluate_loss(&model, &emb, &data);
+        let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.2, 0.0);
+        let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.2, 0.0);
+        let mut state = GradShards::new();
+        for _ in 0..40 {
+            train_minibatch_parallel(
+                &model,
+                &mut emb,
+                &mut opt_e,
+                &mut opt_r,
+                &data,
+                LossMode::Full,
+                0.0,
+                &mut rng,
+                &pool,
+                &mut state,
+            );
+        }
+        let after = evaluate_loss(&model, &emb, &data);
+        assert!(after < before * 0.8, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn sampled_mode_learns() {
+        let pool = ThreadPool::new(3);
+        let mut rng = Rng::seed_from_u64(11);
+        let mut emb = Embeddings::init(40, 3, 16, &mut rng);
+        let model = BlockModel::universal(zoo::simple(), 3);
+        let data = planted(60);
+        let before = evaluate_loss(&model, &emb, &data);
+        let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.2, 0.0);
+        let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.2, 0.0);
+        let mut state = GradShards::new();
+        for _ in 0..60 {
+            train_minibatch_parallel(
+                &model,
+                &mut emb,
+                &mut opt_e,
+                &mut opt_r,
+                &data,
+                LossMode::Sampled { negatives: 8 },
+                0.0,
+                &mut rng,
+                &pool,
+                &mut state,
+            );
+        }
+        let after = evaluate_loss(&model, &emb, &data);
+        assert!(after < before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        let mut rng = Rng::seed_from_u64(0);
+        let mut emb = Embeddings::init(8, 2, 8, &mut rng);
+        let before = emb.entity.as_slice().to_vec();
+        let model = BlockModel::universal(zoo::distmult(4), 2);
+        let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.1, 0.0);
+        let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.1, 0.0);
+        let mut state = GradShards::new();
+        let loss = train_minibatch_parallel(
+            &model,
+            &mut emb,
+            &mut opt_e,
+            &mut opt_r,
+            &[],
+            LossMode::Full,
+            0.0,
+            &mut rng,
+            &pool,
+            &mut state,
+        );
+        assert_eq!(loss, 0.0);
+        assert_eq!(emb.entity.as_slice(), &before[..]);
+    }
+}

@@ -8,11 +8,32 @@
 
 use crate::block::{train_minibatch, BlockModel, BlockScratch};
 use crate::embeddings::Embeddings;
-use crate::eval::{link_prediction, LinkPredictionMetrics};
+use crate::eval::{link_prediction_pool, LinkPredictionMetrics};
 use crate::loss::LossMode;
+use crate::parallel::{train_minibatch_parallel, GradShards};
 use eras_data::{Dataset, FilterIndex, Triple};
 use eras_linalg::optim::{Adagrad, Optimizer};
+use eras_linalg::pool::ThreadPool;
 use eras_linalg::Rng;
+
+/// How a training run spends the thread pool on each minibatch.
+///
+/// Either way the run is deterministic given the seed; the two modes
+/// differ in *which* deterministic sequence of updates they produce
+/// (the data-parallel step applies the optimizer once per batch, the
+/// sequential step once per example side), so a given `(seed, mode)`
+/// pair is reproducible but the modes are not bit-comparable to each
+/// other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// The classic per-example loop of [`train_minibatch`].
+    #[default]
+    Sequential,
+    /// Sharded snapshot gradients on the thread pool with a fixed
+    /// reduction tree — see [`crate::parallel`]. Bit-identical for
+    /// every pool size.
+    DataParallel,
+}
 
 /// Hyperparameters of a stand-alone training run.
 #[derive(Debug, Clone)]
@@ -44,6 +65,9 @@ pub struct TrainConfig {
     pub loss: LossMode,
     /// RNG seed for init, shuffling and negative sampling.
     pub seed: u64,
+    /// Minibatch execution strategy (evaluation always runs on the
+    /// pool; results there are pool-size independent).
+    pub execution: Execution,
 }
 
 impl Default for TrainConfig {
@@ -60,6 +84,7 @@ impl Default for TrainConfig {
             patience: 3,
             loss: LossMode::sampled_default(),
             seed: 0,
+            execution: Execution::Sequential,
         }
     }
 }
@@ -81,12 +106,28 @@ pub struct TrainOutcome {
     pub final_loss: f32,
 }
 
-/// Train `model` stand-alone on `dataset` and evaluate it.
+/// Train `model` stand-alone on `dataset` and evaluate it, using the
+/// process-wide [`ThreadPool::global`] for evaluation and (under
+/// [`Execution::DataParallel`]) for the minibatch gradients.
 pub fn train_standalone(
     model: &BlockModel,
     dataset: &Dataset,
     filter: &FilterIndex,
     cfg: &TrainConfig,
+) -> TrainOutcome {
+    train_standalone_on(model, dataset, filter, cfg, ThreadPool::global())
+}
+
+/// [`train_standalone`] on an explicit pool. The pool size never
+/// affects the outcome — minibatch gradients and evaluation metrics
+/// are bit-identical for every pool size — so callers pick a pool for
+/// resource reasons only.
+pub fn train_standalone_on(
+    model: &BlockModel,
+    dataset: &Dataset,
+    filter: &FilterIndex,
+    cfg: &TrainConfig,
+    pool: &ThreadPool,
 ) -> TrainOutcome {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut emb = Embeddings::init(
@@ -98,6 +139,7 @@ pub fn train_standalone(
     let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), cfg.lr, cfg.l2);
     let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), cfg.lr, cfg.l2);
     let mut scratch = BlockScratch::new();
+    let mut shards = GradShards::new();
     let mut order: Vec<Triple> = dataset.train.clone();
 
     let mut best_valid = LinkPredictionMetrics::default();
@@ -110,18 +152,38 @@ pub fn train_standalone(
         let mut loss_sum = 0.0f32;
         let mut batches = 0usize;
         for batch in order.chunks(cfg.batch_size.max(1)) {
-            loss_sum += train_minibatch(
-                model,
-                &mut emb,
-                &mut opt_e,
-                &mut opt_r,
-                batch,
-                cfg.loss,
-                &mut rng,
-                &mut scratch,
-            );
-            if cfg.n3 > 0.0 {
-                crate::block::apply_n3(&mut emb, &mut opt_e, &mut opt_r, batch, cfg.n3);
+            match cfg.execution {
+                Execution::Sequential => {
+                    loss_sum += train_minibatch(
+                        model,
+                        &mut emb,
+                        &mut opt_e,
+                        &mut opt_r,
+                        batch,
+                        cfg.loss,
+                        &mut rng,
+                        &mut scratch,
+                    );
+                    if cfg.n3 > 0.0 {
+                        crate::block::apply_n3(&mut emb, &mut opt_e, &mut opt_r, batch, cfg.n3);
+                    }
+                }
+                Execution::DataParallel => {
+                    // N3 is folded into the batch gradient here rather
+                    // than applied as a separate pass.
+                    loss_sum += train_minibatch_parallel(
+                        model,
+                        &mut emb,
+                        &mut opt_e,
+                        &mut opt_r,
+                        batch,
+                        cfg.loss,
+                        cfg.n3,
+                        &mut rng,
+                        pool,
+                        &mut shards,
+                    );
+                }
             }
             batches += 1;
         }
@@ -133,7 +195,7 @@ pub fn train_standalone(
         }
 
         if epoch % cfg.eval_every.max(1) == 0 && !dataset.valid.is_empty() {
-            let metrics = link_prediction(model, &emb, &dataset.valid, filter);
+            let metrics = link_prediction_pool(model, &emb, &dataset.valid, filter, pool);
             if metrics.mrr > best_valid.mrr {
                 best_valid = metrics;
                 strikes = 0;
@@ -146,7 +208,7 @@ pub fn train_standalone(
         }
     }
 
-    let test = link_prediction(model, &emb, &dataset.test, filter);
+    let test = link_prediction_pool(model, &emb, &dataset.test, filter, pool);
     if dataset.valid.is_empty() {
         best_valid = test;
     }
@@ -217,6 +279,69 @@ mod tests {
         assert_eq!(
             a.embeddings.entity.as_slice(),
             b.embeddings.entity.as_slice()
+        );
+    }
+
+    #[test]
+    fn data_parallel_training_is_identical_for_every_pool_size() {
+        // Property: with `Execution::DataParallel`, the *entire*
+        // stand-alone protocol — init, shuffling, negative sampling,
+        // minibatch gradients, N3, validation-driven early stopping —
+        // is a pure function of the seed, for both loss modes and any
+        // pool size.
+        let dataset = Preset::Tiny.build(6);
+        let filter = FilterIndex::build(&dataset);
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        for loss in [LossMode::Full, LossMode::Sampled { negatives: 8 }] {
+            let cfg = TrainConfig {
+                dim: 16,
+                max_epochs: 3,
+                eval_every: 2,
+                n3: 1e-3,
+                loss,
+                execution: Execution::DataParallel,
+                ..TrainConfig::default()
+            };
+            let reference = {
+                let pool = ThreadPool::new(1);
+                train_standalone_on(&model, &dataset, &filter, &cfg, &pool)
+            };
+            for threads in [2usize, 3, 8] {
+                let pool = ThreadPool::new(threads);
+                let run = train_standalone_on(&model, &dataset, &filter, &cfg, &pool);
+                assert_eq!(
+                    reference.embeddings.entity.as_slice(),
+                    run.embeddings.entity.as_slice(),
+                    "entity table diverged at {threads} threads ({loss:?})"
+                );
+                assert_eq!(
+                    reference.embeddings.relation.as_slice(),
+                    run.embeddings.relation.as_slice(),
+                    "relation table diverged at {threads} threads ({loss:?})"
+                );
+                assert_eq!(reference.final_loss, run.final_loss, "{loss:?}");
+                assert_eq!(reference.test, run.test, "{loss:?}");
+                assert_eq!(reference.best_valid, run.best_valid, "{loss:?}");
+                assert_eq!(reference.epochs_run, run.epochs_run, "{loss:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn data_parallel_training_learns_on_tiny_preset() {
+        let dataset = Preset::Tiny.build(3);
+        let filter = FilterIndex::build(&dataset);
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        let cfg = TrainConfig {
+            loss: LossMode::Full,
+            execution: Execution::DataParallel,
+            ..fast_cfg()
+        };
+        let outcome = train_standalone(&model, &dataset, &filter, &cfg);
+        assert!(
+            outcome.test.mrr > 0.15,
+            "data-parallel run should learn the planted structure, got {}",
+            outcome.test.mrr
         );
     }
 
