@@ -19,6 +19,15 @@
 //!   independent*; every deterministic algorithm built on top (see
 //!   `eras-train`'s tree-reduced gradient shards) keys its output on the
 //!   index, never on the worker.
+//! - **One dispatcher at a time.** The pool has a single job slot, so a
+//!   dispatch mutex serialises outer dispatches for the whole
+//!   publish → drain → barrier sequence. Any dispatch that cannot take
+//!   the mutex — a nested dispatch from inside a pool task, or an
+//!   independent OS thread dispatching while another job is live (e.g.
+//!   two serve workers batch-scoring concurrently) — degrades to inline
+//!   execution on the caller, which is semantically identical because
+//!   results are index-keyed. `run` therefore never blocks on another
+//!   dispatcher and can never strand a check-in barrier.
 //! - **Scoped borrows.** [`ThreadPool::run`] and [`ThreadPool::map`]
 //!   accept closures borrowing the caller's stack. The dispatch barrier
 //!   (every worker checks in exactly once per job) guarantees no worker
@@ -47,7 +56,10 @@ thread_local! {
     /// second job: two tasks publishing concurrently would race on the
     /// single job slot and strand one dispatch's check-in barrier.
     /// Inline execution is semantically identical because every
-    /// deterministic caller produces index-keyed results.
+    /// deterministic caller produces index-keyed results. (The dispatch
+    /// mutex would catch a nested dispatch too — a worker can never
+    /// hold it while the dispatcher does — but this flag skips the
+    /// failed `try_lock` and documents the invariant.)
     static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -111,6 +123,11 @@ pub struct ThreadPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     parallelism: usize,
+    /// Owned by the dispatcher for the whole publish → drain → barrier
+    /// sequence: the pool has one job slot, so at most one outer
+    /// dispatch may be live at a time. Contended dispatches run inline
+    /// instead of blocking (see [`ThreadPool::run`]).
+    dispatch: Mutex<()>,
     dispatches: AtomicU64,
     tasks: AtomicU64,
 }
@@ -142,6 +159,7 @@ impl ThreadPool {
             shared,
             workers,
             parallelism,
+            dispatch: Mutex::new(()),
             dispatches: AtomicU64::new(0),
             tasks: AtomicU64::new(0),
         }
@@ -194,6 +212,26 @@ impl ThreadPool {
             }
             return;
         }
+        // Claim the single job slot. If another OS thread is mid-
+        // dispatch (two serve workers batch-scoring at once, say),
+        // publishing over its live job would bump `seq` under workers
+        // that had not yet claimed it — they would skip to the new job,
+        // never decrement the first job's `pending`, and strand its
+        // caller on `done_cv` forever. Contended dispatches run inline
+        // instead: semantically identical (results are index-keyed) and
+        // the caller makes progress immediately rather than idling.
+        let _dispatch = match self.dispatch.try_lock() {
+            Ok(guard) => guard,
+            // A prior dispatcher panicked after the barrier; the slot
+            // itself is back in a sound state (its job was drained).
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                for i in 0..tasks {
+                    f(i);
+                }
+                return;
+            }
+        };
 
         unsafe fn trampoline<F: Fn(usize) + Sync>(ptr: *const (), idx: usize) {
             let f = unsafe { &*(ptr as *const F) };
@@ -453,6 +491,43 @@ mod tests {
     #[test]
     fn configured_threads_is_positive() {
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_do_not_deadlock() {
+        // Regression: two OS threads dispatching at once used to race
+        // on the single job slot — the second publish bumped `seq` under
+        // workers that had not yet claimed the first job, stranding the
+        // first caller on its check-in barrier forever. Contended
+        // dispatches must instead run inline and complete.
+        let pool = ThreadPool::new(4);
+        let dispatchers = 6;
+        let rounds = 25;
+        let tasks = 64;
+        let hits: Vec<AtomicU32> = (0..dispatchers * tasks)
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        std::thread::scope(|s| {
+            for d in 0..dispatchers {
+                let pool = &pool;
+                let hits = &hits;
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        pool.run(tasks, |i| {
+                            hits[d * tasks + i].fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(Ordering::Relaxed) == rounds as u32));
+        assert_eq!(
+            pool.stats().dispatches,
+            (dispatchers * rounds) as u64,
+            "every dispatch, contended or not, is counted"
+        );
     }
 
     #[test]

@@ -164,11 +164,20 @@ pub fn search(
             .map(|(_, sf)| sf)
             .collect();
         let mut next_parents = Vec::new();
-        for chunk in top.chunks(evaluator.batch_width()) {
+        'topk: for chunk in top.chunks(evaluator.batch_width()) {
             for (sf, mrr) in chunk.iter().zip(evaluator.evaluate_batch(chunk)) {
-                if let Some(mrr) = mrr {
-                    predictor.observe(sf, mrr);
-                    next_parents.push((sf.clone(), mrr));
+                match mrr {
+                    Some(mrr) => {
+                        predictor.observe(sf, mrr);
+                        next_parents.push((sf.clone(), mrr));
+                    }
+                    // Budget exhausted: stop at the first miss, exactly
+                    // like the one-at-a-time protocol — later canonical
+                    // duplicates of already-trained structures would
+                    // still resolve from the cache, but observing them
+                    // would skew the predictor and parent selection
+                    // relative to the sequential run.
+                    None => break 'topk,
                 }
             }
         }

@@ -17,9 +17,13 @@
 //! config is pinned to [`Execution::Sequential`] (the classic AutoSF
 //! protocol), so a candidate's MRR never depends on how many
 //! candidates ride in its batch, and bookkeeping (budget, trace, best)
-//! is applied in candidate order after the parallel region — batched
-//! and one-at-a-time evaluation produce the same MRRs, the same trace
-//! sequence and the same winner.
+//! is applied in candidate order after the parallel region — for a
+//! given candidate sequence, batched and one-at-a-time evaluation
+//! produce the same MRRs, the same trace sequence and the same winner.
+//! The *searchers'* proposal streams, however, depend on the configured
+//! batch width (TPE refits its good/bad models once per batch), which
+//! is why the default width is a fixed constant rather than the pool's
+//! parallelism — see [`StandaloneEvaluator::parallel_candidates`].
 
 use crate::sharded::ShardedCache;
 use eras_data::{Dataset, FilterIndex};
@@ -32,6 +36,18 @@ use std::collections::HashSet;
 use std::time::Instant;
 
 use crate::trace::SearchTrace;
+
+/// Default number of candidates trained concurrently per batch.
+///
+/// A fixed constant — deliberately *not* the pool's parallelism. The
+/// searchers draw one batch of proposals per round (and TPE refits its
+/// good/bad models between rounds), so the width shapes the candidate
+/// stream a seeded search visits; tying it to the machine's core count
+/// would make seeded searches produce different traces and winners on
+/// different hosts. With a constant width, reproducibility depends only
+/// on the seed and the config, and the pool size changes wall-clock
+/// time alone.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
 
 /// Limits on a search run.
 #[derive(Debug, Clone, Copy)]
@@ -81,7 +97,8 @@ pub struct StandaloneEvaluator<'a> {
 
 impl<'a> StandaloneEvaluator<'a> {
     /// Create an evaluator for one search run, on the process-wide
-    /// pool with a batch width matching its parallelism.
+    /// pool with the fixed default batch width
+    /// ([`DEFAULT_BATCH_WIDTH`]).
     pub fn new(
         method: &str,
         dataset: &'a Dataset,
@@ -97,7 +114,7 @@ impl<'a> StandaloneEvaluator<'a> {
             budget,
             cache: ShardedCache::new(),
             pool,
-            batch_width: pool.parallelism(),
+            batch_width: DEFAULT_BATCH_WIDTH,
             started: Instant::now(),
             trace: SearchTrace::new(method, &dataset.name),
             evaluations: 0,
@@ -106,9 +123,16 @@ impl<'a> StandaloneEvaluator<'a> {
     }
 
     /// Evaluate up to `n` candidates concurrently per
-    /// [`StandaloneEvaluator::evaluate_batch`] call. The width steers
-    /// how many proposals the searchers hand over per round; results
-    /// are identical for every width.
+    /// [`StandaloneEvaluator::evaluate_batch`] call (default
+    /// [`DEFAULT_BATCH_WIDTH`]). The width steers how many proposals
+    /// the searchers hand over per round. The evaluator's own
+    /// bookkeeping (budget, trace, best) is width-independent, but the
+    /// searchers' proposal streams are not: TPE draws `width` proposals
+    /// per refit of its good/bad models, and random search draws
+    /// `width` candidates per round, so changing the width changes
+    /// which candidates a seeded search visits. Treat the width as part
+    /// of the seeded configuration; the default is a fixed constant so
+    /// results never depend on the machine's core count.
     pub fn parallel_candidates(mut self, n: usize) -> Self {
         self.batch_width = n.max(1);
         self
@@ -368,6 +392,30 @@ mod tests {
         assert!(ev.exhausted());
         // Cached entries still resolve after exhaustion.
         assert!(ev.evaluate(&zoo::complex()).is_some());
+    }
+
+    #[test]
+    fn default_batch_width_is_machine_independent() {
+        // Seeded searches must propose the same candidate stream on
+        // every host: the default width is a fixed constant, never the
+        // pool's core-count-derived parallelism.
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let ev = StandaloneEvaluator::new(
+            "test",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget::default(),
+        );
+        assert_eq!(ev.batch_width(), DEFAULT_BATCH_WIDTH);
+        let pool = eras_linalg::pool::ThreadPool::new(3);
+        let ev = ev.with_pool(&pool);
+        assert_eq!(
+            ev.batch_width(),
+            DEFAULT_BATCH_WIDTH,
+            "the dispatch pool must not steer the proposal width"
+        );
     }
 
     #[test]

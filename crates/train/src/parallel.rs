@@ -25,6 +25,30 @@
 //! 4. **Single application.** The optimizer applies the merged gradient
 //!    once per touched row in ascending row order.
 //!
+//! ## Bounded memory under `LossMode::Full`
+//!
+//! A full-softmax shard is dense: its entity accumulator spans the
+//! whole table and its deferred outer products carry one residual per
+//! entity per example side. Letting every shard of a large batch hold
+//! that at once would cost memory linear in the batch length, so two
+//! machine-independent constants bound it instead:
+//!
+//! - [`FULL_FLUSH_SIDES`] caps the deferred `p ⊗ q` buffer: a shard
+//!   flushes after that many sides, in ascending side order, which
+//!   leaves every per-element sum in exactly the same order as one big
+//!   flush.
+//! - [`FULL_LIVE_SHARDS`] caps how many dense shard accumulators are
+//!   live at once: the batch runs as a sequence of *super-steps* over a
+//!   fixed-size window of shard buffers. Each super-step tree-reduces
+//!   its window, then folds it into a running batch accumulator in
+//!   ascending step order. Window size and step order are constants of
+//!   the batch length — never the pool size — so the overall reduction
+//!   shape, and therefore every floating-point sum, stays bit-identical
+//!   for every thread count.
+//!
+//! `LossMode::Sampled` shards are sparse (a few dozen rows each), so
+//! they keep the single-window path with every shard live.
+//!
 //! The result is bit-identical for every thread count (the pool only
 //! decides *which worker* runs a shard, never what the shard computes),
 //! and the restructuring itself is the throughput win: under
@@ -51,6 +75,24 @@ use std::cell::UnsafeCell;
 /// function of the batch length only, which is what keeps results
 /// independent of the pool size.
 pub const SHARD_TRIPLES: usize = 32;
+
+/// Deferred outer-product group size under [`LossMode::Full`]: a shard
+/// materialises its `p ⊗ q` sides every this-many sides instead of
+/// buffering one residual row per side of the whole shard, capping
+/// `p_rows` at `FULL_FLUSH_SIDES · num_entities` floats per shard.
+/// Groups flush in ascending side order, so each gradient element
+/// accumulates its sides in the same order as a single flush would —
+/// the sums are bitwise unchanged.
+const FULL_FLUSH_SIDES: usize = 8;
+
+/// Maximum shard accumulators live at once under [`LossMode::Full`],
+/// where each accumulator holds a dense `num_entities × dim` gradient
+/// table. Batches with more shards run as a sequence of super-steps
+/// over a window this wide, so a batch's footprint is bounded by a
+/// constant independent of its length. This is a fixed constant — never
+/// the pool size — so the reduction shape (and with it every
+/// floating-point sum) remains a pure function of the batch length.
+const FULL_LIVE_SHARDS: usize = 8;
 
 /// A gradient table with touched-row tracking: dense storage (so merges
 /// are plain row adds) but clearing and application cost only the rows
@@ -191,7 +233,7 @@ impl Shard {
         self.g_q_b.resize(emb.dim(), 0.0);
         self.loss = 0.0;
         if matches!(mode, LossMode::Full) {
-            let sides = 2 * triples.len();
+            let sides = (2 * triples.len()).min(FULL_FLUSH_SIDES);
             self.p_rows.resize(sides * emb.num_entities(), 0.0);
             self.q_rows.resize(sides * emb.dim(), 0.0);
             self.n_sides = 0;
@@ -236,6 +278,13 @@ impl Shard {
         vecops::zero(&mut self.g_q);
         let loss = match mode {
             LossMode::Full => {
+                // Side group full: materialise the deferred outer
+                // products before claiming a new slot. Ascending side
+                // order per group keeps every element's sum order
+                // identical to one big flush.
+                if self.n_sides * num_entities >= self.p_rows.len() {
+                    self.flush_full(num_entities, dim);
+                }
                 self.scores.resize(num_entities, 0.0);
                 emb.entity.matvec(&self.q, &mut self.scores);
                 // Fast softmax: scores become unnormalised exp values;
@@ -391,7 +440,11 @@ impl Shard {
 /// [`crate::block::BlockScratch`]).
 #[derive(Default)]
 pub struct GradShards {
+    /// Live shard buffers — the window one super-step accumulates into.
     shards: Vec<UnsafeCell<Shard>>,
+    /// Running batch total: each super-step's reduced window folds into
+    /// here (ascending step order), and the optimizer reads from here.
+    root: Shard,
 }
 
 impl GradShards {
@@ -448,77 +501,95 @@ pub fn train_minibatch_parallel(
     }
     let dim = emb.dim();
     let num_shards = batch.len().div_ceil(SHARD_TRIPLES);
-    state.ensure(num_shards);
+    // Full-softmax shards are dense, so only a bounded window of them
+    // is live at once and the batch runs as super-steps over that
+    // window; sampled shards are sparse and all stay live. The window
+    // size is a machine-independent constant, keeping the reduction
+    // shape a pure function of the batch length.
+    let window = match mode {
+        LossMode::Full => num_shards.min(FULL_LIVE_SHARDS),
+        LossMode::Sampled { .. } => num_shards,
+    };
+    state.ensure(window);
     // One parent draw per batch; shard RNGs derive from (base, s) the
     // same way `Rng::fork` mixes streams, so the negative samples a
     // shard draws are a function of the shard index alone.
     let base = rng.next_u64();
 
-    {
-        let emb_ref: &Embeddings = emb;
-        let cells = ShardCells(&state.shards[..num_shards]);
-        let cells_ref = &cells;
-        pool.run(num_shards, |s| {
-            // SAFETY: task `s` is the sole accessor of shard `s`.
-            let shard = unsafe { cells_ref.shard(s) };
-            let lo = s * SHARD_TRIPLES;
-            let hi = (lo + SHARD_TRIPLES).min(batch.len());
-            let mut srng =
-                Rng::seed_from_u64(base ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-            shard.accumulate(model, emb_ref, &batch[lo..hi], mode, n3_lambda, &mut srng);
-        });
-    }
+    let GradShards { shards, root } = state;
+    root.entity.ensure(emb.num_entities(), dim);
+    root.relation.ensure(emb.num_relations(), dim);
 
-    // Fixed tree reduction: stride doubling on the shard index. The
-    // tree shape depends only on the shard count, so the floating-point
-    // sums are bit-identical regardless of how the pool scheduled the
-    // shards above.
-    let mut stride = 1;
-    while stride < num_shards {
-        let mut i = 0;
-        while i + stride < num_shards {
-            // SAFETY: `i != i + stride`; both cells are exclusively
-            // ours (the parallel region is over).
-            let (dst, src) = unsafe {
-                (
-                    &mut *state.shards[i].get(),
-                    &*state.shards[i + stride].get(),
-                )
-            };
-            dst.merge_from(src, dim);
-            i += 2 * stride;
+    let mut step_base = 0;
+    while step_base < num_shards {
+        let count = window.min(num_shards - step_base);
+        {
+            let emb_ref: &Embeddings = emb;
+            let cells = ShardCells(&shards[..count]);
+            let cells_ref = &cells;
+            pool.run(count, |k| {
+                // SAFETY: task `k` is the sole accessor of buffer `k`.
+                let shard = unsafe { cells_ref.shard(k) };
+                let s = step_base + k;
+                let lo = s * SHARD_TRIPLES;
+                let hi = (lo + SHARD_TRIPLES).min(batch.len());
+                let mut srng =
+                    Rng::seed_from_u64(base ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                shard.accumulate(model, emb_ref, &batch[lo..hi], mode, n3_lambda, &mut srng);
+            });
         }
-        stride *= 2;
+
+        // Fixed tree reduction within the super-step: stride doubling
+        // on the buffer index (= shard index offset by `step_base`).
+        // The tree shape depends only on the step's shard count, so the
+        // floating-point sums are bit-identical regardless of how the
+        // pool scheduled the shards above.
+        let mut stride = 1;
+        while stride < count {
+            let mut i = 0;
+            while i + stride < count {
+                // SAFETY: `i != i + stride`; both cells are exclusively
+                // ours (the parallel region is over).
+                let (dst, src) = unsafe { (&mut *shards[i].get(), &*shards[i + stride].get()) };
+                dst.merge_from(src, dim);
+                i += 2 * stride;
+            }
+            stride *= 2;
+        }
+
+        // Fold the reduced super-step into the running batch total —
+        // ascending step order, another fixed shape — and re-zero the
+        // window for the next step.
+        root.merge_from(unsafe { &*shards[0].get() }, dim);
+        for cell in &mut shards[..count] {
+            cell.get_mut().clear(dim);
+        }
+        step_base += count;
     }
 
     // Apply the merged gradient once per touched row, ascending — a
     // fixed order, and one optimizer pass per batch instead of one per
     // example side.
-    let mean = {
-        let root = state.shards[0].get_mut();
-        root.entity.touched.sort_unstable();
-        root.relation.touched.sort_unstable();
-        for &r in &root.entity.touched {
-            opt_entity.step_at(
-                emb.entity.as_mut_slice(),
-                r as usize * dim,
-                root.entity.row(r as usize, dim),
-            );
-        }
-        for &r in &root.relation.touched {
-            opt_relation.step_at(
-                emb.relation.as_mut_slice(),
-                r as usize * dim,
-                root.relation.row(r as usize, dim),
-            );
-        }
-        root.loss / (2.0 * batch.len() as f32)
-    };
+    root.entity.touched.sort_unstable();
+    root.relation.touched.sort_unstable();
+    for &r in &root.entity.touched {
+        opt_entity.step_at(
+            emb.entity.as_mut_slice(),
+            r as usize * dim,
+            root.entity.row(r as usize, dim),
+        );
+    }
+    for &r in &root.relation.touched {
+        opt_relation.step_at(
+            emb.relation.as_mut_slice(),
+            r as usize * dim,
+            root.relation.row(r as usize, dim),
+        );
+    }
+    let mean = root.loss / (2.0 * batch.len() as f32);
 
     // Restore the all-zero invariant for the next batch.
-    for cell in &mut state.shards[..num_shards] {
-        cell.get_mut().clear(dim);
-    }
+    root.clear(dim);
     mean
 }
 
@@ -535,7 +606,13 @@ mod tests {
             .collect()
     }
 
-    fn run_training(pool_size: usize, mode: LossMode, n3: f32) -> (Embeddings, f32) {
+    fn run_training(
+        pool_size: usize,
+        mode: LossMode,
+        n3: f32,
+        batch_len: usize,
+        steps: usize,
+    ) -> (Embeddings, f32) {
         let pool = ThreadPool::new(pool_size);
         let mut rng = Rng::seed_from_u64(99);
         let mut emb = Embeddings::init(40, 3, 16, &mut rng);
@@ -543,9 +620,9 @@ mod tests {
         let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.1, 1e-4);
         let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.1, 1e-4);
         let mut state = GradShards::new();
-        let data = planted(100);
+        let data = planted(batch_len);
         let mut loss = 0.0;
-        for _ in 0..10 {
+        for _ in 0..steps {
             loss = train_minibatch_parallel(
                 &model, &mut emb, &mut opt_e, &mut opt_r, &data, mode, n3, &mut rng, &pool,
                 &mut state,
@@ -554,12 +631,11 @@ mod tests {
         (emb, loss)
     }
 
-    #[test]
-    fn bit_identical_across_pool_sizes() {
+    fn assert_bit_identical_across_pool_sizes(batch_len: usize, steps: usize) {
         for mode in [LossMode::Full, LossMode::Sampled { negatives: 8 }] {
-            let (ref_emb, ref_loss) = run_training(1, mode, 1e-3);
+            let (ref_emb, ref_loss) = run_training(1, mode, 1e-3, batch_len, steps);
             for threads in [2usize, 3, 8] {
-                let (emb, loss) = run_training(threads, mode, 1e-3);
+                let (emb, loss) = run_training(threads, mode, 1e-3, batch_len, steps);
                 assert_eq!(
                     ref_emb.entity.as_slice(),
                     emb.entity.as_slice(),
@@ -573,6 +649,21 @@ mod tests {
                 assert_eq!(ref_loss, loss, "loss diverged at {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn bit_identical_across_pool_sizes() {
+        assert_bit_identical_across_pool_sizes(100, 10);
+    }
+
+    #[test]
+    fn bit_identical_across_pool_sizes_with_multiple_super_steps() {
+        // 300 triples → 10 shards → two Full-mode super-steps over the
+        // 8-wide window (the second with a partial count): the in-step
+        // tree plus the cross-step fold must stay a pure function of
+        // the batch length, for full and partial windows alike.
+        assert!(300usize.div_ceil(SHARD_TRIPLES) > FULL_LIVE_SHARDS);
+        assert_bit_identical_across_pool_sizes(300, 3);
     }
 
     #[test]
