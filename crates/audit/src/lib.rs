@@ -13,7 +13,11 @@
 //! - [`config_pass`] — structured configuration diagnostics over the
 //!   shipped presets (`E3xx`/`W32x`, defined in `eras-core`);
 //! - [`lint`] — purpose-built source lints: NaN-unsafe comparisons,
-//!   hot-path `unwrap()`, non-deterministic seeding (`E401`/`W40x`).
+//!   hot-path `unwrap()`, non-deterministic seeding, unjustified
+//!   `unsafe impl Send/Sync` (`E401`/`W40x`);
+//! - [`sched`] — schedule-exploring model checking of the parallel
+//!   execution layer's synchronisation protocols through the
+//!   `eras_linalg::sync` scheduler hooks (`E5xx`/`I500`).
 //!
 //! Every finding carries a stable code catalogued in `docs/audit.md`.
 //! [`run_audit`] aggregates the selected passes into an [`AuditReport`]
@@ -24,6 +28,7 @@ pub mod config_pass;
 pub mod diag;
 pub mod grad_pass;
 pub mod lint;
+pub mod sched;
 pub mod sf_pass;
 
 pub use diag::{AuditReport, Finding};
@@ -41,6 +46,8 @@ pub struct PassSet {
     pub config: bool,
     /// Source lints.
     pub lint: bool,
+    /// Concurrency model checking.
+    pub sched: bool,
 }
 
 impl Default for PassSet {
@@ -50,11 +57,16 @@ impl Default for PassSet {
             grad: true,
             config: true,
             lint: true,
+            sched: true,
         }
     }
 }
 
 impl PassSet {
+    /// Every valid pass name, in run order — the single source of truth
+    /// for `parse` errors and the CLI usage text.
+    pub const NAMES: [&'static str; 5] = ["sf", "grad", "config", "lint", "sched"];
+
     /// Parse a comma-separated pass list (`"sf,grad"`).
     pub fn parse(spec: &str) -> Result<PassSet, String> {
         let mut set = PassSet {
@@ -62,6 +74,7 @@ impl PassSet {
             grad: false,
             config: false,
             lint: false,
+            sched: false,
         };
         for part in spec.split(',') {
             match part.trim() {
@@ -69,7 +82,13 @@ impl PassSet {
                 "grad" => set.grad = true,
                 "config" => set.config = true,
                 "lint" => set.lint = true,
-                other => return Err(format!("unknown pass `{other}` (sf, grad, config, lint)")),
+                "sched" => set.sched = true,
+                other => {
+                    return Err(format!(
+                        "unknown pass `{other}` (valid passes: {})",
+                        Self::NAMES.join(", ")
+                    ))
+                }
             }
         }
         Ok(set)
@@ -99,6 +118,12 @@ pub fn run_audit(root: &Path, passes: PassSet, sf_samples: usize, seed: u64) -> 
         report.passes_run.push("lint");
         report.findings.extend(lint::run(root));
     }
+    if passes.sched {
+        report.passes_run.push("sched");
+        report
+            .findings
+            .extend(sched::run(&sched::SchedOptions::default()));
+    }
     report
 }
 
@@ -109,7 +134,19 @@ mod tests {
     #[test]
     fn pass_set_parses() {
         let set = PassSet::parse("sf, lint").expect("valid");
-        assert!(set.sf && set.lint && !set.grad && !set.config);
+        assert!(set.sf && set.lint && !set.grad && !set.config && !set.sched);
+        let set = PassSet::parse("sched").expect("valid");
+        assert!(set.sched && !set.sf);
         assert!(PassSet::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn unknown_pass_error_lists_every_valid_pass() {
+        // A typo like `shed` must name the valid passes instead of
+        // silently gating nothing.
+        let err = PassSet::parse("shed").expect_err("invalid");
+        for name in PassSet::NAMES {
+            assert!(err.contains(name), "error `{err}` missing `{name}`");
+        }
     }
 }

@@ -18,11 +18,16 @@
 //!   oversubscribes the machine when it nests inside pooled work.
 //!   Blocking-IO threads (e.g. socket accept loops) are legitimate and
 //!   carry an `audit:allow(W405)` note.
+//! - `W406` — unjustified `unsafe impl Send`/`Sync` in library code
+//!   outside `eras_linalg::pool`: hand-rolled thread-safety claims are
+//!   exactly what the sched pass exists to check, so each one must say
+//!   why it is sound in an `audit:allow(W406): <why>` note (trailing,
+//!   or on the comment line directly above the impl).
 //!
-//! The scanner strips comments (quote-aware) and skips `#[cfg(test)]`
-//! regions, `tests/`, `benches/` and `examples/` trees. A finding can be
-//! suppressed with a same-line `// audit:allow(E401)` comment carrying
-//! the code.
+//! The scanner strips comments (quote-aware, including raw string
+//! literals) and skips `#[cfg(test)]` regions, `tests/`, `benches/` and
+//! `examples/` trees. A finding can be suppressed with a same-line
+//! `// audit:allow(E401)` comment carrying the code.
 //!
 //! Lint patterns below are assembled from split string literals so this
 //! file's own source does not trip the scanner.
@@ -78,15 +83,67 @@ fn pat_allow() -> String {
     ["audit:", "allow("].concat()
 }
 
+fn pat_unsafe_impl() -> String {
+    ["unsafe ", "impl"].concat()
+}
+
+/// Length of the raw string literal starting at `i` (`r"…"`,
+/// `r#"…"#`, `br##"…"##`), or `None` when `i` does not start one. A
+/// leading `r`/`br` that is part of an identifier (`var"x"` cannot
+/// parse anyway, but `for r in …` can precede `"`) is rejected by the
+/// caller's previous-byte check.
+fn raw_string_len(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by the same number of `#`s. No escapes in
+    // raw strings — that is the point of them.
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..].len() >= hashes
+            && b[j + 1..j + 1 + hashes].iter().all(|&c| c == b'#')
+        {
+            return Some(j + 1 + hashes - i);
+        }
+        j += 1;
+    }
+    Some(b.len() - i) // unterminated: consume to end of input
+}
+
 /// Replace comments with spaces, preserving line structure and string
 /// literals. Handles `//` line comments, nested `/* */` block comments,
-/// string/char literals, and is resilient to lifetimes (`'a`).
+/// string/char literals, raw strings (`r"…"`, `r#"…"#`, byte-string
+/// prefixes), and is resilient to lifetimes (`'a`).
 fn strip_comments(src: &str) -> String {
     let b = src.as_bytes();
     let mut out = vec![b' '; b.len()];
     let mut i = 0;
     while i < b.len() {
         match b[i] {
+            b'r' | b'b'
+                if (i == 0 || (!b[i - 1].is_ascii_alphanumeric() && b[i - 1] != b'_'))
+                    && raw_string_len(b, i).is_some() =>
+            {
+                // Raw string literal: copy verbatim (it is real code; a
+                // `//` inside it must NOT start a comment).
+                let len = raw_string_len(b, i).unwrap_or(1);
+                out[i..i + len].copy_from_slice(&b[i..i + len]);
+                i += len;
+            }
             b'\n' => {
                 out[i] = b'\n';
                 i += 1;
@@ -235,6 +292,7 @@ pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding
 
     let nondet = pats_nondeterministic();
     let raw_thread = pats_raw_thread();
+    let unsafe_impl = pat_unsafe_impl();
     for (idx, line) in stripped.lines().enumerate() {
         if mask.get(idx).copied().unwrap_or(false) {
             continue;
@@ -283,6 +341,31 @@ pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding
                         ),
                     });
                 }
+            }
+
+            // The justification is prose, so it may sit on its own
+            // comment line directly above the impl instead of trailing.
+            let prev = if idx > 0 {
+                original_lines.get(idx - 1).copied().unwrap_or("")
+            } else {
+                ""
+            };
+            if line.contains(unsafe_impl.as_str())
+                && (line.contains("Send") || line.contains("Sync"))
+                && !is_allowed(original, "W406")
+                && !is_allowed(prev, "W406")
+            {
+                findings.push(Finding {
+                    code: "W406",
+                    severity: Severity::Warning,
+                    pass: "lint",
+                    location: format!("{display_path}:{lineno}"),
+                    message: "hand-rolled thread-safety claim outside eras_linalg::pool: \
+                              this is exactly what `eras audit --pass sched` model-checks; \
+                              state why it is sound with audit:allow(W406): <why>, and add \
+                              a sched model if the protocol is new"
+                        .to_string(),
+                });
             }
         }
 
@@ -493,5 +576,91 @@ mod tests {
         // source avoids self-flagging: split literals, not comments).
         let src = "fn f() -> &'static str {\n    \"https://example.com // not a comment\"\n}\n";
         assert!(lint_source("x.rs", src, true).is_empty());
+    }
+
+    #[test]
+    fn raw_string_does_not_hide_the_rest_of_the_line() {
+        // A `//` inside a raw string once swallowed everything after it
+        // on the line, hiding real code from every lint.
+        let unwrap_call = [".unw", "rap()"].concat();
+        let src = format!("fn f(o: Option<&str>) {{\n    let v = o.filter(|s| s != r\"a//b\"){unwrap_call};\n}}\n");
+        let findings = lint_source("x.rs", &src, true);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W402");
+    }
+
+    #[test]
+    fn hashed_and_byte_raw_strings_are_handled() {
+        // `r#"…"#` with embedded quotes, and `br"…"` byte strings.
+        let line = ["    let t = SystemTime::", "now();\n"].concat();
+        let src = format!(
+            "fn f() -> (&'static str, &'static [u8]) {{\n{line}    (r#\"say \"hi\" // ok\"#, br\"x//y\")\n}}\n"
+        );
+        let findings = lint_source("x.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W403");
+        assert!(findings[0].location.ends_with(":2"));
+    }
+
+    #[test]
+    fn patterns_inside_raw_strings_still_count_as_code() {
+        let pat = ["thread_", "rng"].concat();
+        let src = format!("fn f() -> &'static str {{\n    r\"{pat}\"\n}}\n");
+        let findings = lint_source("x.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W403");
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        // `for r in …` can put an `r` token before a `"`; the stripper
+        // must not treat `var` + string as a raw literal either.
+        let src = "fn f(var: u8) -> String {\n    format!(\"{var}\") // trailing comment\n}\n";
+        assert!(lint_source("x.rs", src, true).is_empty());
+    }
+
+    fn unsafe_send_line() -> String {
+        ["unsafe ", "impl Send for Handle {}\n"].concat()
+    }
+
+    #[test]
+    fn unjustified_unsafe_impl_is_warned() {
+        let src = format!("struct Handle(*mut u8);\n{}", unsafe_send_line());
+        let findings = lint_source("crates/search/src/sharded.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W406");
+
+        let sync_line = ["unsafe ", "impl Sync for Handle {}\n"].concat();
+        let src = format!("struct Handle(*mut u8);\n{sync_line}");
+        let findings = lint_source("crates/train/src/parallel.rs", &src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W406");
+    }
+
+    #[test]
+    fn justified_unsafe_impl_is_allowed_trailing_or_above() {
+        let trailing = [
+            "unsafe ",
+            "impl Send for Handle {} // audit:",
+            "allow(W406): owner-only mutation\n",
+        ]
+        .concat();
+        let src = format!("struct Handle(*mut u8);\n{trailing}");
+        assert!(lint_source("x.rs", &src, false).is_empty());
+
+        let above = [
+            "// audit:",
+            "allow(W406): nodes are immutable after publish\n",
+        ]
+        .concat();
+        let src = format!("struct Handle(*mut u8);\n{above}{}", unsafe_send_line());
+        assert!(lint_source("x.rs", &src, false).is_empty());
+    }
+
+    #[test]
+    fn pool_source_is_exempt_from_unsafe_impl_lint() {
+        let src = format!("struct Handle(*mut u8);\n{}", unsafe_send_line());
+        let findings = lint_source("crates/linalg/src/pool.rs", &src, false);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

@@ -1,0 +1,355 @@
+//! Schedule exploration: sleep-set DFS, counterexample minimisation,
+//! deterministic replay.
+//!
+//! The main round is a single depth-first search over schedules. At
+//! every scheduling point the chooser keeps a stack node holding the
+//! enabled candidates and a *sleep set* (Godefroid): when a candidate's
+//! subtree has been fully explored the candidate enters the sleep set,
+//! and a child node inherits every slept thread whose pending operation
+//! is independent of the op just taken — so commuting interleavings are
+//! explored once, not `n!` times, without missing any reachable
+//! deadlock or assertion failure. Candidates are ordered
+//! previously-running-thread-first, which makes the DFS visit
+//! low-preemption (simple) schedules before heavily interleaved ones;
+//! a violation found early therefore tends to already be short.
+//!
+//! When a violation is found, a second, *bounded-preemption* search
+//! (CHESS-style, bounds 0..=2, sleep sets off) looks for a smaller
+//! counterexample, and the winner is replayed step-for-step with
+//! [`ReplayChooser`] to confirm the schedule reproduces the violation
+//! deterministically before it is reported.
+
+use super::models::Model;
+use super::scheduler::{run_execution, Chooser, Event, Op, Outcome, Tid};
+use std::collections::BTreeSet;
+
+/// Aggregate statistics of one exploration.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Executions that ran to an outcome (completed or violating).
+    pub schedules: u64,
+    /// Prefixes abandoned by sleep-set (or bound) pruning.
+    pub pruned: u64,
+    /// True when the DFS emptied its stack within budget — every
+    /// Mazurkiewicz trace of the model was covered.
+    pub exhaustive: bool,
+    /// Longest schedule seen.
+    pub max_depth: usize,
+}
+
+/// What went wrong, with the evidence.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub outcome: Outcome,
+    pub trace: Vec<Event>,
+    pub schedule: Vec<Tid>,
+    /// True when replaying `schedule` reproduced the same outcome kind.
+    pub replay_confirmed: bool,
+}
+
+struct Node {
+    /// Enabled candidates at this point, previous-thread-first.
+    enabled: Vec<(Tid, Op)>,
+    /// Threads whose subtrees here are already covered (or inherited
+    /// as covered); never re-chosen at this node.
+    sleep: BTreeSet<Tid>,
+    /// Index into `enabled` of the current choice.
+    cursor: usize,
+    /// The current choice (cleared by `advance` when its subtree is
+    /// done).
+    chosen: Option<(Tid, Op)>,
+    /// Preemptions along the path *before* this node's choice.
+    base_preemptions: usize,
+    /// Preemptions including this node's choice.
+    preemptions: usize,
+    /// The thread granted at the previous step.
+    prev: Option<Tid>,
+}
+
+impl Node {
+    fn preempt_cost(&self, tid: Tid) -> usize {
+        match self.prev {
+            Some(p) if tid != p && self.enabled.iter().any(|(t, _)| *t == p) => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// Depth-first schedule enumerator, persistent across executions.
+/// Replays the stack prefix, then extends at the frontier; `advance`
+/// backtracks after each execution.
+pub struct DfsChooser {
+    stack: Vec<Node>,
+    depth: usize,
+    /// `Some(b)`: skip candidates that would exceed `b` preemptions
+    /// (used for counterexample minimisation; incomplete).
+    bound: Option<usize>,
+    /// Sleep-set pruning on (main round) or off (bounded rounds).
+    use_sleep: bool,
+    /// A candidate was skipped because of `bound`.
+    pub bound_hit: bool,
+    /// The replayed prefix diverged (should not happen for
+    /// deterministic models; surfaced so it is never silent).
+    pub diverged: bool,
+}
+
+impl DfsChooser {
+    pub fn new(bound: Option<usize>, use_sleep: bool) -> DfsChooser {
+        DfsChooser {
+            stack: Vec::new(),
+            depth: 0,
+            bound,
+            use_sleep,
+            bound_hit: false,
+            diverged: false,
+        }
+    }
+
+    /// Backtrack after an execution: retire the deepest choice into its
+    /// node's sleep set and move to the next unexplored candidate.
+    /// Returns false when the whole tree is exhausted.
+    pub fn advance(&mut self) -> bool {
+        self.depth = 0;
+        loop {
+            let Some(top) = self.stack.last_mut() else {
+                return false;
+            };
+            if let Some((tid, _)) = top.chosen.take() {
+                if self.use_sleep {
+                    top.sleep.insert(tid);
+                }
+            }
+            let mut next = None;
+            for i in top.cursor + 1..top.enabled.len() {
+                let (tid, _) = top.enabled[i];
+                if top.sleep.contains(&tid) {
+                    continue;
+                }
+                let cost = top.preempt_cost(tid);
+                if let Some(b) = self.bound {
+                    if top.base_preemptions + cost > b {
+                        self.bound_hit = true;
+                        continue;
+                    }
+                }
+                next = Some((i, cost));
+                break;
+            }
+            match next {
+                Some((i, cost)) => {
+                    top.cursor = i;
+                    top.chosen = Some(top.enabled[i]);
+                    top.preemptions = top.base_preemptions + cost;
+                    return true;
+                }
+                None => {
+                    self.stack.pop();
+                }
+            }
+        }
+    }
+}
+
+impl Chooser for DfsChooser {
+    fn choose(&mut self, enabled: &[(Tid, Op)], prev: Option<Tid>) -> Option<Tid> {
+        if self.depth < self.stack.len() {
+            // Replaying the committed prefix of this execution.
+            let node = &mut self.stack[self.depth];
+            let Some((tid, _)) = node.chosen else {
+                self.diverged = true;
+                return None;
+            };
+            if !node.enabled.iter().any(|(t, _)| *t == tid) || node.enabled.len() != enabled.len() {
+                self.diverged = true;
+                return None;
+            }
+            self.depth += 1;
+            return Some(tid);
+        }
+        // Frontier: open a new node.
+        let (sleep, base_preemptions) = match self.stack.last() {
+            Some(parent) => {
+                let Some((_, parent_op)) = parent.chosen else {
+                    self.diverged = true;
+                    return None;
+                };
+                let mut inherited = BTreeSet::new();
+                for &u in &parent.sleep {
+                    // A slept thread stays asleep only while its pending
+                    // op commutes with what was just executed.
+                    if let Some((_, u_op)) = parent.enabled.iter().find(|(t, _)| *t == u) {
+                        if enabled.iter().any(|(t, _)| *t == u) && !Op::dependent(*u_op, parent_op)
+                        {
+                            inherited.insert(u);
+                        }
+                    }
+                }
+                (inherited, parent.preemptions)
+            }
+            None => (BTreeSet::new(), 0),
+        };
+        // Previous thread first: continuation schedules come before
+        // preemption schedules.
+        let mut ordered: Vec<(Tid, Op)> = Vec::with_capacity(enabled.len());
+        if let Some(p) = prev {
+            ordered.extend(enabled.iter().copied().filter(|(t, _)| *t == p));
+        }
+        ordered.extend(enabled.iter().copied().filter(|(t, _)| Some(*t) != prev));
+        let mut node = Node {
+            enabled: ordered,
+            sleep,
+            cursor: 0,
+            chosen: None,
+            base_preemptions,
+            preemptions: base_preemptions,
+            prev,
+        };
+        let mut first = None;
+        for i in 0..node.enabled.len() {
+            let (tid, _) = node.enabled[i];
+            if node.sleep.contains(&tid) {
+                continue;
+            }
+            let cost = node.preempt_cost(tid);
+            if let Some(b) = self.bound {
+                if node.base_preemptions + cost > b {
+                    self.bound_hit = true;
+                    continue;
+                }
+            }
+            first = Some((i, cost));
+            break;
+        }
+        let (i, cost) = first?; // all candidates slept or over bound: prune
+        node.cursor = i;
+        node.chosen = Some(node.enabled[i]);
+        node.preemptions = node.base_preemptions + cost;
+        let (tid, _) = node.enabled[i];
+        self.stack.push(node);
+        self.depth += 1;
+        Some(tid)
+    }
+}
+
+/// Follows a recorded schedule exactly; prunes on any divergence.
+pub struct ReplayChooser {
+    script: Vec<Tid>,
+    pos: usize,
+}
+
+impl ReplayChooser {
+    pub fn new(script: Vec<Tid>) -> ReplayChooser {
+        ReplayChooser { script, pos: 0 }
+    }
+}
+
+impl Chooser for ReplayChooser {
+    fn choose(&mut self, enabled: &[(Tid, Op)], _prev: Option<Tid>) -> Option<Tid> {
+        let tid = *self.script.get(self.pos)?;
+        self.pos += 1;
+        if enabled.iter().any(|(t, _)| *t == tid) {
+            Some(tid)
+        } else {
+            None
+        }
+    }
+}
+
+/// Exploration knobs.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Cap on executions (completed + pruned) in the main round.
+    pub max_executions: u64,
+    /// Run the bounded-preemption minimiser on violations.
+    pub minimize: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_executions: 500_000,
+            minimize: true,
+        }
+    }
+}
+
+fn is_violation(outcome: &Outcome) -> bool {
+    matches!(
+        outcome,
+        Outcome::Deadlock { .. } | Outcome::Assert(_) | Outcome::Panic(_)
+    )
+}
+
+/// Explore every schedule of `model` (up to the budget). Returns the
+/// statistics and the first violation found, minimised and
+/// replay-confirmed.
+pub fn explore(model: &dyn Model, cfg: &ExploreConfig) -> (ExploreStats, Option<Violation>) {
+    let mut stats = ExploreStats::default();
+    let mut chooser = DfsChooser::new(None, true);
+    let mut violation: Option<Violation> = None;
+    loop {
+        let result = run_execution(model.plan(), &mut chooser);
+        match &result.outcome {
+            Outcome::Pruned => stats.pruned += 1,
+            Outcome::Completed => {
+                stats.schedules += 1;
+                stats.max_depth = stats.max_depth.max(result.schedule.len());
+            }
+            _ => {
+                stats.schedules += 1;
+                stats.max_depth = stats.max_depth.max(result.schedule.len());
+                violation = Some(Violation {
+                    outcome: result.outcome,
+                    trace: result.trace,
+                    schedule: result.schedule,
+                    replay_confirmed: false,
+                });
+                break;
+            }
+        }
+        if stats.schedules + stats.pruned >= cfg.max_executions {
+            break;
+        }
+        if !chooser.advance() {
+            stats.exhaustive = true;
+            break;
+        }
+    }
+
+    if let Some(v) = &mut violation {
+        if cfg.minimize {
+            minimize(model, v);
+        }
+        let mut replayer = ReplayChooser::new(v.schedule.clone());
+        let replayed = run_execution(model.plan(), &mut replayer);
+        v.replay_confirmed = is_violation(&replayed.outcome)
+            && std::mem::discriminant(&replayed.outcome) == std::mem::discriminant(&v.outcome);
+    }
+    (stats, violation)
+}
+
+/// Look for a shorter counterexample with few preemptions. Bounded
+/// search is incomplete by design — it only ever *replaces* a known
+/// violation with a simpler one of the same model.
+fn minimize(model: &dyn Model, found: &mut Violation) {
+    const PER_BOUND_BUDGET: u64 = 20_000;
+    for bound in 0..=2usize {
+        let mut chooser = DfsChooser::new(Some(bound), false);
+        let mut executions = 0u64;
+        loop {
+            let result = run_execution(model.plan(), &mut chooser);
+            executions += 1;
+            if is_violation(&result.outcome) {
+                if result.schedule.len() <= found.schedule.len() {
+                    found.outcome = result.outcome;
+                    found.trace = result.trace;
+                    found.schedule = result.schedule;
+                }
+                return;
+            }
+            if executions >= PER_BOUND_BUDGET || !chooser.advance() {
+                break;
+            }
+        }
+    }
+}

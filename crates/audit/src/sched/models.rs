@@ -1,0 +1,769 @@
+//! The protocol models the sched pass verifies.
+//!
+//! Each model re-states one synchronisation protocol of the parallel
+//! execution layer on the `eras_linalg::sync` shim, small enough to
+//! explore exhaustively but faithful to the production control flow in
+//! `crates/linalg/src/pool.rs` / `crates/search/src/sharded.rs`:
+//!
+//! - [`DispatchModel`] — outer dispatch with try-lock inline fallback
+//!   (publish → drain → barrier), the protocol whose missing dispatch
+//!   mutex was the PR 3 race;
+//! - [`CursorModel`] — work-cursor chunk claiming (every task claimed
+//!   exactly once);
+//! - [`BarrierModel`] — pending-countdown completion barrier with
+//!   condvar wakeups (notify must happen under the slot lock);
+//! - [`PanicFlagModel`] — panic-flag propagation (the flag store must
+//!   happen-before the check-in the dispatcher's barrier observes);
+//! - [`CachePublishModel`] — `ShardedCache`-style CAS head publication
+//!   (initialise-before-publish, no lost or duplicate nodes).
+//!
+//! Every model carries seeded-violation knobs (`Default` is the clean,
+//! shipped protocol). The knobs re-introduce the historical or
+//! plausible bug — bypassing the dispatch mutex, a load/store cursor,
+//! notifying outside the lock, publishing before initialising — so the
+//! gate tests can prove the explorer actually finds these schedules
+//! rather than vacuously passing.
+//!
+//! Model *bookkeeping* (claim counts, observed values) deliberately
+//! uses raw `std` atomics and mutexes: those carry no scheduler hook,
+//! add no scheduling points, and — because the scheduler runs exactly
+//! one model thread at a time — are still fully deterministic per
+//! schedule.
+
+use super::scheduler::{obj_addr, ExecutionPlan, Role};
+use eras_linalg::sync::{AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
+use std::sync::atomic::AtomicUsize as RawAtomicUsize;
+use std::sync::atomic::Ordering as RawOrdering;
+use std::sync::Arc;
+
+/// One verifiable protocol: a factory of identical [`ExecutionPlan`]s.
+pub trait Model: Sync {
+    /// Stable model name (used in finding locations and `I500`).
+    fn name(&self) -> &'static str;
+    /// Diagnostic code for assertion-style violations (`E502`/`E504`);
+    /// deadlocks map to `E501`/`E503` regardless of model.
+    fn assert_code(&self) -> &'static str;
+    /// One-line description of the protocol and property.
+    fn describe(&self) -> &'static str;
+    /// A fresh execution. Must be deterministic: every call builds the
+    /// same roles over the same registered objects.
+    fn plan(&self) -> ExecutionPlan;
+}
+
+/// The clean model suite the `sched` pass runs.
+pub fn all() -> Vec<Box<dyn Model>> {
+    vec![
+        Box::new(DispatchModel::default()),
+        Box::new(CursorModel::default()),
+        Box::new(BarrierModel::default()),
+        Box::new(PanicFlagModel::default()),
+        Box::new(CachePublishModel::default()),
+    ]
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> eras_linalg::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Model: outer dispatch with inline fallback (the PR 3 race)
+// ---------------------------------------------------------------------
+
+/// Two dispatchers and one worker on the pool's single-job-slot
+/// protocol. Clean mode serialises publishes with the dispatch mutex
+/// (contended dispatch degrades to inline execution); the
+/// `bypass_dispatch_mutex` knob removes it, re-introducing the PR 3
+/// race where a second publish bumps `seq` under the worker and
+/// strands the first dispatcher's barrier forever.
+pub struct DispatchModel {
+    pub bypass_dispatch_mutex: bool,
+    /// Tasks per published job.
+    pub tasks: usize,
+}
+
+impl Default for DispatchModel {
+    fn default() -> Self {
+        DispatchModel {
+            bypass_dispatch_mutex: false,
+            tasks: 2,
+        }
+    }
+}
+
+struct MiniSlot {
+    seq: u64,
+    job: Option<usize>,
+    shutdown: bool,
+}
+
+struct MiniJob {
+    cursor: AtomicUsize,
+    pending: AtomicUsize,
+    tasks: usize,
+}
+
+struct DispatchState {
+    slot: Mutex<MiniSlot>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    dispatch: Mutex<()>,
+    jobs: [MiniJob; 2],
+    /// Bookkeeping: dispatchers still running (last one shuts the
+    /// worker down).
+    live_dispatchers: RawAtomicUsize,
+    /// Bookkeeping: claim counts per (dispatcher, task).
+    claims: Vec<RawAtomicUsize>,
+}
+
+impl DispatchState {
+    fn new(tasks: usize) -> DispatchState {
+        let job = || MiniJob {
+            cursor: AtomicUsize::new(0),
+            // One worker must check in per published job.
+            pending: AtomicUsize::new(1),
+            tasks,
+        };
+        DispatchState {
+            slot: Mutex::new(MiniSlot {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            dispatch: Mutex::new(()),
+            jobs: [job(), job()],
+            live_dispatchers: RawAtomicUsize::new(2),
+            claims: (0..2 * tasks).map(|_| RawAtomicUsize::new(0)).collect(),
+        }
+    }
+
+    fn claim(&self, d: usize, i: usize) {
+        self.claims[d * self.jobs[d].tasks + i].fetch_add(1, RawOrdering::Relaxed);
+    }
+
+    /// Pull task indices off a job's cursor, mirroring `pool::drain`.
+    fn drain(&self, d: usize) {
+        let job = &self.jobs[d];
+        loop {
+            let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= job.tasks {
+                break;
+            }
+            self.claim(d, i);
+        }
+    }
+
+    fn publish_and_barrier(&self, d: usize) {
+        {
+            let mut slot = lock(&self.slot);
+            slot.seq += 1;
+            slot.job = Some(d);
+            self.work_cv.notify_all();
+        }
+        self.drain(d);
+        let mut slot = lock(&self.slot);
+        while self.jobs[d].pending.load(Ordering::Acquire) != 0 {
+            slot = self.done_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        slot.job = None;
+    }
+
+    fn dispatcher(&self, d: usize, bypass: bool) {
+        if bypass {
+            // Seeded violation: publish without claiming the dispatch
+            // mutex — the exact shape of the PR 3 bug.
+            self.publish_and_barrier(d);
+        } else {
+            match self.dispatch.try_lock() {
+                Ok(_guard) => self.publish_and_barrier(d),
+                Err(_) => {
+                    // Contended dispatch degrades to inline execution.
+                    for i in 0..self.jobs[d].tasks {
+                        self.claim(d, i);
+                    }
+                }
+            }
+        }
+        if self.live_dispatchers.fetch_sub(1, RawOrdering::Relaxed) == 1 {
+            let mut slot = lock(&self.slot);
+            slot.shutdown = true;
+            self.work_cv.notify_all();
+        }
+    }
+
+    fn worker(&self) {
+        let mut served = 0u64;
+        loop {
+            let job = {
+                let mut slot = lock(&self.slot);
+                loop {
+                    if slot.shutdown {
+                        return;
+                    }
+                    if slot.seq > served {
+                        served = slot.seq;
+                        break slot.job;
+                    }
+                    slot = self.work_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some(d) = job else { continue };
+            self.drain(d);
+            if self.jobs[d].pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _slot = lock(&self.slot);
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+impl Model for DispatchModel {
+    fn name(&self) -> &'static str {
+        "dispatch-inline-fallback"
+    }
+
+    fn assert_code(&self) -> &'static str {
+        "E502"
+    }
+
+    fn describe(&self) -> &'static str {
+        "two outer dispatchers race one job slot; the dispatch mutex must \
+         serialise publishes (contended dispatch runs inline) so no barrier strands"
+    }
+
+    fn plan(&self) -> ExecutionPlan {
+        let state = Arc::new(DispatchState::new(self.tasks));
+        let objects = vec![
+            (obj_addr(&state.slot), "slot"),
+            (obj_addr(&state.work_cv), "work_cv"),
+            (obj_addr(&state.done_cv), "done_cv"),
+            (obj_addr(&state.dispatch), "dispatch"),
+            (obj_addr(&state.jobs[0].cursor), "job_a.cursor"),
+            (obj_addr(&state.jobs[0].pending), "job_a.pending"),
+            (obj_addr(&state.jobs[1].cursor), "job_b.cursor"),
+            (obj_addr(&state.jobs[1].pending), "job_b.pending"),
+        ];
+        let bypass = self.bypass_dispatch_mutex;
+        let mk_dispatcher = |name: &'static str, d: usize| {
+            let state = Arc::clone(&state);
+            Role {
+                name,
+                run: Box::new(move || state.dispatcher(d, bypass)),
+            }
+        };
+        let worker = {
+            let state = Arc::clone(&state);
+            Role {
+                name: "worker",
+                run: Box::new(move || state.worker()),
+            }
+        };
+        let check_state = Arc::clone(&state);
+        let tasks = self.tasks;
+        ExecutionPlan {
+            roles: vec![
+                mk_dispatcher("dispatcher-a", 0),
+                mk_dispatcher("dispatcher-b", 1),
+                worker,
+            ],
+            objects,
+            check: Box::new(move || {
+                for d in 0..2 {
+                    for i in 0..tasks {
+                        let n = check_state.claims[d * tasks + i].load(RawOrdering::Relaxed);
+                        if n != 1 {
+                            return Err(format!(
+                                "dispatch {d} task {i} executed {n} times (expected exactly once)"
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model: work-cursor chunk claiming
+// ---------------------------------------------------------------------
+
+/// Three executors drain one shared cursor over `tasks` indices (the
+/// pool's chunked self-scheduling). Clean mode claims with a single
+/// `fetch_add`; the `racy_cursor` knob splits it into load + store,
+/// letting two executors claim the same index.
+pub struct CursorModel {
+    pub racy_cursor: bool,
+    pub tasks: usize,
+}
+
+impl Default for CursorModel {
+    fn default() -> Self {
+        CursorModel {
+            racy_cursor: false,
+            tasks: 4,
+        }
+    }
+}
+
+struct CursorState {
+    cursor: AtomicUsize,
+    tasks: usize,
+    claims: Vec<RawAtomicUsize>,
+}
+
+impl CursorState {
+    fn executor(&self, racy: bool) {
+        loop {
+            let i = if racy {
+                // Seeded violation: non-atomic claim.
+                let v = self.cursor.load(Ordering::Relaxed);
+                if v >= self.tasks {
+                    break;
+                }
+                self.cursor.store(v + 1, Ordering::Relaxed);
+                v
+            } else {
+                self.cursor.fetch_add(1, Ordering::Relaxed)
+            };
+            if i >= self.tasks {
+                break;
+            }
+            self.claims[i].fetch_add(1, RawOrdering::Relaxed);
+        }
+    }
+}
+
+impl Model for CursorModel {
+    fn name(&self) -> &'static str {
+        "work-cursor-claim"
+    }
+
+    fn assert_code(&self) -> &'static str {
+        "E502"
+    }
+
+    fn describe(&self) -> &'static str {
+        "three executors drain one atomic work cursor; every task index \
+         must be claimed exactly once"
+    }
+
+    fn plan(&self) -> ExecutionPlan {
+        let state = Arc::new(CursorState {
+            cursor: AtomicUsize::new(0),
+            tasks: self.tasks,
+            claims: (0..self.tasks).map(|_| RawAtomicUsize::new(0)).collect(),
+        });
+        let objects = vec![(obj_addr(&state.cursor), "cursor")];
+        let racy = self.racy_cursor;
+        let mk = |name: &'static str| {
+            let state = Arc::clone(&state);
+            Role {
+                name,
+                run: Box::new(move || state.executor(racy)),
+            }
+        };
+        let check_state = Arc::clone(&state);
+        ExecutionPlan {
+            roles: vec![mk("dispatcher"), mk("worker-a"), mk("worker-b")],
+            objects,
+            check: Box::new(move || {
+                for (i, c) in check_state.claims.iter().enumerate() {
+                    let n = c.load(RawOrdering::Relaxed);
+                    if n != 1 {
+                        return Err(format!(
+                            "task {i} claimed {n} times (expected exactly once: \
+                             chunk {})",
+                            if n == 0 { "lost" } else { "double-claimed" }
+                        ));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model: pending-countdown completion barrier
+// ---------------------------------------------------------------------
+
+/// Two workers count a pending counter down to zero; the dispatcher
+/// waits on `done_cv` until it reads zero. Clean mode notifies under
+/// the slot lock (the pool's check-in protocol); the
+/// `notify_without_lock` knob fires the notify outside it, so the
+/// wakeup can land between the dispatcher's pending check and its
+/// wait — the classic lost wakeup that strands the barrier.
+#[derive(Default)]
+pub struct BarrierModel {
+    pub notify_without_lock: bool,
+}
+
+struct BarrierState {
+    slot: Mutex<()>,
+    done_cv: Condvar,
+    pending: AtomicUsize,
+}
+
+impl BarrierState {
+    fn dispatcher(&self) {
+        let mut slot = lock(&self.slot);
+        while self.pending.load(Ordering::Acquire) != 0 {
+            slot = self.done_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(slot);
+    }
+
+    fn worker(&self, notify_without_lock: bool) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if notify_without_lock {
+                // Seeded violation: the notify can race ahead of the
+                // dispatcher's wait and be lost.
+                self.done_cv.notify_all();
+            } else {
+                let _slot = lock(&self.slot);
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+impl Model for BarrierModel {
+    fn name(&self) -> &'static str {
+        "completion-barrier"
+    }
+
+    fn assert_code(&self) -> &'static str {
+        "E502"
+    }
+
+    fn describe(&self) -> &'static str {
+        "pending-countdown barrier: the last worker's check-in notify must \
+         happen under the slot lock or the dispatcher's wakeup can be lost"
+    }
+
+    fn plan(&self) -> ExecutionPlan {
+        let state = Arc::new(BarrierState {
+            slot: Mutex::new(()),
+            done_cv: Condvar::new(),
+            pending: AtomicUsize::new(2),
+        });
+        let objects = vec![
+            (obj_addr(&state.slot), "slot"),
+            (obj_addr(&state.done_cv), "done_cv"),
+            (obj_addr(&state.pending), "pending"),
+        ];
+        let knob = self.notify_without_lock;
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            Role {
+                name: "dispatcher",
+                run: Box::new(move || state.dispatcher()),
+            }
+        };
+        let mk_worker = |name: &'static str| {
+            let state = Arc::clone(&state);
+            Role {
+                name,
+                run: Box::new(move || state.worker(knob)),
+            }
+        };
+        ExecutionPlan {
+            roles: vec![dispatcher, mk_worker("worker-a"), mk_worker("worker-b")],
+            objects,
+            // The property is liveness-shaped: the dispatcher returning
+            // at all is the success condition, so a violation shows up
+            // as a deadlock (E503), not an assertion.
+            check: Box::new(|| Ok(())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model: panic-flag propagation
+// ---------------------------------------------------------------------
+
+/// A worker records a task panic in a shared flag, then checks in; the
+/// dispatcher must observe the flag after its barrier. Clean mode
+/// stores the flag before the check-in (the pool's `drain` order); the
+/// `flag_after_checkin` knob inverts them, so the dispatcher can pass
+/// the barrier and miss the panic.
+#[derive(Default)]
+pub struct PanicFlagModel {
+    pub flag_after_checkin: bool,
+}
+
+struct PanicFlagState {
+    slot: Mutex<()>,
+    done_cv: Condvar,
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+    /// Bookkeeping: what the dispatcher observed.
+    observed: RawAtomicUsize,
+}
+
+impl PanicFlagState {
+    fn checkin(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _slot = lock(&self.slot);
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn worker(&self, flag_after_checkin: bool) {
+        if flag_after_checkin {
+            // Seeded violation: the panic flag trails the check-in.
+            self.checkin();
+            self.panicked.store(true, Ordering::Release);
+        } else {
+            self.panicked.store(true, Ordering::Release);
+            self.checkin();
+        }
+    }
+
+    fn dispatcher(&self) {
+        {
+            let mut slot = lock(&self.slot);
+            while self.pending.load(Ordering::Acquire) != 0 {
+                slot = self.done_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let saw = self.panicked.load(Ordering::Acquire);
+        self.observed
+            .store(if saw { 1 } else { 2 }, RawOrdering::Relaxed);
+    }
+}
+
+impl Model for PanicFlagModel {
+    fn name(&self) -> &'static str {
+        "panic-flag"
+    }
+
+    fn assert_code(&self) -> &'static str {
+        "E502"
+    }
+
+    fn describe(&self) -> &'static str {
+        "a task panic recorded before check-in must be visible to the \
+         dispatcher once its barrier passes"
+    }
+
+    fn plan(&self) -> ExecutionPlan {
+        let state = Arc::new(PanicFlagState {
+            slot: Mutex::new(()),
+            done_cv: Condvar::new(),
+            pending: AtomicUsize::new(1),
+            panicked: AtomicBool::new(false),
+            observed: RawAtomicUsize::new(0),
+        });
+        let objects = vec![
+            (obj_addr(&state.slot), "slot"),
+            (obj_addr(&state.done_cv), "done_cv"),
+            (obj_addr(&state.pending), "pending"),
+            (obj_addr(&state.panicked), "panicked"),
+        ];
+        let knob = self.flag_after_checkin;
+        let worker = {
+            let state = Arc::clone(&state);
+            Role {
+                name: "worker",
+                run: Box::new(move || state.worker(knob)),
+            }
+        };
+        let dispatcher = {
+            let state = Arc::clone(&state);
+            Role {
+                name: "dispatcher",
+                run: Box::new(move || state.dispatcher()),
+            }
+        };
+        let check_state = Arc::clone(&state);
+        ExecutionPlan {
+            roles: vec![dispatcher, worker],
+            objects,
+            check: Box::new(
+                move || match check_state.observed.load(RawOrdering::Relaxed) {
+                    1 => Ok(()),
+                    2 => Err("dispatcher passed the barrier without observing the \
+                         panic flag (lost completion state)"
+                        .to_string()),
+                    other => Err(format!(
+                        "dispatcher never recorded an observation ({other})"
+                    )),
+                },
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model: ShardedCache CAS publication
+// ---------------------------------------------------------------------
+
+/// Two inserters CAS-publish nodes onto one shard head (`0` encodes
+/// null, `k + 1` node `k`) while a reader walks the chain; a final
+/// check walks it again after all threads join. Clean mode initialises
+/// each node before publishing and advances the head by CAS. The
+/// `publish_before_init` knob lets the reader observe a torn node; the
+/// `racy_head` knob replaces the CAS with a blind store, losing a
+/// concurrently published node.
+#[derive(Default)]
+pub struct CachePublishModel {
+    pub publish_before_init: bool,
+    pub racy_head: bool,
+}
+
+struct CacheNode {
+    init: AtomicBool,
+    next: AtomicUsize,
+}
+
+struct CacheState {
+    head: AtomicUsize,
+    nodes: [CacheNode; 2],
+    /// Bookkeeping: 1 when the reader observed an uninitialised node.
+    torn_seen: RawAtomicUsize,
+}
+
+impl CacheState {
+    fn publish(&self, k: usize, racy_head: bool) {
+        let mut cur = self.head.load(Ordering::Relaxed);
+        loop {
+            self.nodes[k].next.store(cur, Ordering::Relaxed);
+            if racy_head {
+                // Seeded violation: blind store instead of CAS — a
+                // concurrent publish is silently overwritten.
+                self.head.store(k + 1, Ordering::Relaxed);
+                return;
+            }
+            match self
+                .head
+                .compare_exchange_weak(cur, k + 1, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn inserter(&self, k: usize, publish_before_init: bool, racy_head: bool) {
+        if publish_before_init {
+            // Seeded violation: the node is reachable before its
+            // payload is written.
+            self.publish(k, racy_head);
+            self.nodes[k].init.store(true, Ordering::Release);
+        } else {
+            self.nodes[k].init.store(true, Ordering::Release);
+            self.publish(k, racy_head);
+        }
+    }
+
+    fn reader(&self) {
+        let mut p = self.head.load(Ordering::Acquire);
+        let mut steps = 0;
+        while p != 0 && steps < 4 {
+            let node = &self.nodes[p - 1];
+            if !node.init.load(Ordering::Acquire) {
+                self.torn_seen.store(1, RawOrdering::Relaxed);
+                return;
+            }
+            p = node.next.load(Ordering::Relaxed);
+            steps += 1;
+        }
+    }
+}
+
+impl Model for CachePublishModel {
+    fn name(&self) -> &'static str {
+        "cache-cas-publish"
+    }
+
+    fn assert_code(&self) -> &'static str {
+        "E504"
+    }
+
+    fn describe(&self) -> &'static str {
+        "ShardedCache head publication: nodes are initialised before the \
+         CAS makes them reachable, and no concurrent publish is lost"
+    }
+
+    fn plan(&self) -> ExecutionPlan {
+        let state = Arc::new(CacheState {
+            head: AtomicUsize::new(0),
+            nodes: [
+                CacheNode {
+                    init: AtomicBool::new(false),
+                    next: AtomicUsize::new(0),
+                },
+                CacheNode {
+                    init: AtomicBool::new(false),
+                    next: AtomicUsize::new(0),
+                },
+            ],
+            torn_seen: RawAtomicUsize::new(0),
+        });
+        let objects = vec![
+            (obj_addr(&state.head), "head"),
+            (obj_addr(&state.nodes[0].init), "node_a.init"),
+            (obj_addr(&state.nodes[0].next), "node_a.next"),
+            (obj_addr(&state.nodes[1].init), "node_b.init"),
+            (obj_addr(&state.nodes[1].next), "node_b.next"),
+        ];
+        let (torn_knob, racy_knob) = (self.publish_before_init, self.racy_head);
+        let mk_inserter = |name: &'static str, k: usize| {
+            let state = Arc::clone(&state);
+            Role {
+                name,
+                run: Box::new(move || state.inserter(k, torn_knob, racy_knob)),
+            }
+        };
+        let reader = {
+            let state = Arc::clone(&state);
+            Role {
+                name: "reader",
+                run: Box::new(move || state.reader()),
+            }
+        };
+        let check_state = Arc::clone(&state);
+        ExecutionPlan {
+            roles: vec![
+                mk_inserter("inserter-a", 0),
+                mk_inserter("inserter-b", 1),
+                reader,
+            ],
+            objects,
+            check: Box::new(move || {
+                // Runs on the (unhooked) harness thread: shim ops take
+                // the plain forwarding path.
+                if check_state.torn_seen.load(RawOrdering::Relaxed) != 0 {
+                    return Err("reader reached a published node before its payload \
+                         was initialised (torn entry)"
+                        .to_string());
+                }
+                let mut reached = [0usize; 2];
+                let mut p = check_state.head.load(Ordering::Acquire);
+                let mut steps = 0;
+                while p != 0 && steps < 4 {
+                    reached[p - 1] += 1;
+                    p = check_state.nodes[p - 1].next.load(Ordering::Relaxed);
+                    steps += 1;
+                }
+                for (k, n) in reached.iter().enumerate() {
+                    if *n != 1 {
+                        return Err(format!(
+                            "node {k} reachable {n} times after both inserts \
+                             (expected exactly once: {})",
+                            if *n == 0 {
+                                "a publish was lost"
+                            } else {
+                                "a duplicate entry was published"
+                            }
+                        ));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    }
+}

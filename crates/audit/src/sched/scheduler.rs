@@ -1,0 +1,568 @@
+//! The deterministic scheduler: real threads, one runnable at a time.
+//!
+//! A checked execution runs each model role on its own OS thread with a
+//! [`SchedHook`] installed (see `eras_linalg::sync`). Every
+//! synchronisation operation announces itself and parks; the harness
+//! (on the caller's thread) waits until *every* live thread is parked,
+//! asks a [`Chooser`] which one may take its pending operation, applies
+//! the operation's scheduler-level semantics (mutex ownership, condvar
+//! wait queues), and resumes exactly that thread. Model code therefore
+//! executes fully serialised, in an order the chooser controls — which
+//! is what lets the explorer enumerate interleavings and replay a
+//! recorded schedule bit-for-bit.
+//!
+//! Blocking semantics live here, not in the OS: a shim `Mutex` is
+//! "owned" in [`ExecState::mutex_owner`] (the real mutex is only ever
+//! taken uncontended, by the one runnable thread), and a condvar wait
+//! is a three-step protocol — `WaitEnter` releases the mutex and joins
+//! the wait queue without resuming, a later `Notify` moves the waiter
+//! to a pending `Reacquire`, and granting the `Reacquire` hands the
+//! mutex back and finally resumes the thread. A `Notify` that finds an
+//! empty wait queue is dropped, exactly like the real thing — that is
+//! what makes lost-wakeup bugs reachable states instead of timing
+//! accidents.
+
+use eras_linalg::sync::hook::{self, AtomicOp, SchedHook};
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Index of a model role thread within one execution.
+pub type Tid = usize;
+
+/// Index of a registered sync object (its position in
+/// [`ExecutionPlan::objects`]) — stable across executions of the same
+/// model, unlike the raw address it is translated from.
+pub type ObjId = usize;
+
+/// Hard cap on scheduling points per execution; a model that exceeds
+/// it has an unbounded protocol loop and is reported as a panic.
+const MAX_STEPS: usize = 4096;
+
+/// Marker payload unwound through a model thread when the harness
+/// abandons an execution (deadlock found, prefix pruned).
+struct SchedAbort;
+
+/// A synchronisation operation a thread has announced. `Reacquire` is
+/// never announced by a thread; the harness synthesises it when a
+/// notify wakes a waiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Atomic(AtomicOp, ObjId),
+    Lock(ObjId),
+    TryLock(ObjId),
+    Unlock(ObjId),
+    Notify { cv: ObjId, all: bool },
+    WaitEnter { cv: ObjId, mutex: ObjId },
+    Reacquire { cv: ObjId, mutex: ObjId },
+}
+
+const NO_OBJ: (ObjId, bool) = (usize::MAX, false);
+
+impl Op {
+    /// Objects this operation touches, with a write flag (padded with
+    /// `usize::MAX`). An atomic load is the only read; everything else
+    /// writes its object's scheduler-visible state.
+    fn touches(self) -> [(ObjId, bool); 2] {
+        match self {
+            Op::Atomic(kind, o) => [(o, kind != AtomicOp::Load), NO_OBJ],
+            Op::Lock(m) | Op::TryLock(m) | Op::Unlock(m) => [(m, true), NO_OBJ],
+            Op::Notify { cv, .. } => [(cv, true), NO_OBJ],
+            Op::WaitEnter { cv, mutex } | Op::Reacquire { cv, mutex } => {
+                [(cv, true), (mutex, true)]
+            }
+        }
+    }
+
+    /// Conservative dependence: two operations commute only when no
+    /// object is touched by both with at least one write. The sleep-set
+    /// pruning in the explorer relies on this being an
+    /// over-approximation, never an under-approximation.
+    pub fn dependent(a: Op, b: Op) -> bool {
+        for (oa, wa) in a.touches() {
+            if oa == usize::MAX {
+                continue;
+            }
+            for (ob, wb) in b.touches() {
+                if ob == usize::MAX {
+                    continue;
+                }
+                if oa == ob && (wa || wb) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn render(self, objects: &[&'static str]) -> String {
+        let name = |o: ObjId| objects.get(o).copied().unwrap_or("?");
+        match self {
+            Op::Atomic(kind, o) => {
+                let k = match kind {
+                    AtomicOp::Load => "load",
+                    AtomicOp::Store => "store",
+                    AtomicOp::Rmw => "rmw",
+                    AtomicOp::Cas => "cas",
+                };
+                format!("{}({})", k, name(o))
+            }
+            Op::Lock(m) => format!("lock({})", name(m)),
+            Op::TryLock(m) => format!("try_lock({})", name(m)),
+            Op::Unlock(m) => format!("unlock({})", name(m)),
+            Op::Notify { cv, all } => {
+                format!(
+                    "{}({})",
+                    if all { "notify_all" } else { "notify_one" },
+                    name(cv)
+                )
+            }
+            Op::WaitEnter { cv, mutex } => format!("wait({}, releases {})", name(cv), name(mutex)),
+            Op::Reacquire { cv, mutex } => {
+                format!("wake({}, reacquires {})", name(cv), name(mutex))
+            }
+        }
+    }
+}
+
+/// One granted scheduling step.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub tid: Tid,
+    pub op: Op,
+    /// For `TryLock`: whether the attempt succeeded.
+    pub try_ok: Option<bool>,
+}
+
+/// How one execution ended.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every thread finished and the plan's final check passed.
+    Completed,
+    /// The chooser declined to continue this prefix.
+    Pruned,
+    /// No pending operation was enabled while threads were still alive.
+    Deadlock {
+        /// True when a stuck thread was parked on a condvar (a lost
+        /// wakeup / stranded barrier, `E503`) rather than a pure lock
+        /// cycle (`E501`).
+        condvar_waiter: bool,
+        /// Per-thread description of where everyone was stuck.
+        detail: String,
+    },
+    /// Threads finished but the plan's final check failed.
+    Assert(String),
+    /// A model thread panicked mid-execution.
+    Panic(String),
+}
+
+/// Result of [`run_execution`].
+pub struct ExecutionResult {
+    pub outcome: Outcome,
+    pub trace: Vec<Event>,
+    /// The tid granted at each step — replaying this schedule with
+    /// [`ReplayChooser`](super::explore::ReplayChooser) reproduces the
+    /// execution deterministically.
+    pub schedule: Vec<Tid>,
+}
+
+/// One model role: a named closure run on its own hooked thread.
+pub struct Role {
+    pub name: &'static str,
+    pub run: Box<dyn FnOnce() + Send>,
+}
+
+/// Everything one checked execution needs: the roles, the registered
+/// sync objects (address → stable label, in registration order — every
+/// shim object a role touches MUST be registered), and a final check
+/// run on the harness thread after all roles complete.
+pub struct ExecutionPlan {
+    pub roles: Vec<Role>,
+    pub objects: Vec<(usize, &'static str)>,
+    pub check: Box<dyn FnOnce() -> Result<(), String> + Send>,
+}
+
+/// Address of a shim sync object, as its hook reports it. Use this to
+/// register objects in [`ExecutionPlan::objects`].
+pub fn obj_addr<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const () as usize
+}
+
+/// Picks which enabled thread runs at each scheduling point.
+pub trait Chooser {
+    /// `enabled` lists (tid, pending op) in ascending tid order; `prev`
+    /// is the previously granted tid. Return the tid to grant, or
+    /// `None` to prune the execution.
+    fn choose(&mut self, enabled: &[(Tid, Op)], prev: Option<Tid>) -> Option<Tid>;
+}
+
+struct ExecState {
+    pending: Vec<Option<Op>>,
+    resume: Vec<bool>,
+    try_ok: Vec<bool>,
+    /// Thread is in a condvar wait queue (granted `WaitEnter`, not yet
+    /// notified): parked with no pending op.
+    waiting: Vec<bool>,
+    finished: Vec<bool>,
+    panic_msg: Option<String>,
+    aborting: bool,
+    mutex_owner: BTreeMap<ObjId, Tid>,
+    cv_waiters: BTreeMap<ObjId, Vec<(Tid, ObjId)>>,
+}
+
+struct Core {
+    state: StdMutex<ExecState>,
+    /// Harness sleeps here until every live thread is parked.
+    harness_cv: StdCondvar,
+    /// Threads sleep here until their resume flag is set.
+    grant_cv: StdCondvar,
+    /// Raw shim-object address → stable id (registration order).
+    addr_ids: BTreeMap<usize, ObjId>,
+}
+
+impl Core {
+    fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn id(&self, addr: usize) -> ObjId {
+        match self.addr_ids.get(&addr) {
+            Some(&id) => id,
+            None => panic!(
+                "sched model error: sync object at {addr:#x} was not registered in ExecutionPlan::objects"
+            ),
+        }
+    }
+}
+
+struct ThreadHook {
+    core: Arc<Core>,
+    tid: Tid,
+}
+
+impl ThreadHook {
+    /// Publish a pending op, wake the harness, park until granted.
+    /// Returns the `try_ok` slot (meaningful for `TryLock` only).
+    fn announce(&self, op: Op) -> bool {
+        let mut st = self.core.lock();
+        if st.aborting {
+            drop(st);
+            panic::resume_unwind(Box::new(SchedAbort));
+        }
+        st.pending[self.tid] = Some(op);
+        self.core.harness_cv.notify_all();
+        while !st.resume[self.tid] {
+            if st.aborting {
+                drop(st);
+                panic::resume_unwind(Box::new(SchedAbort));
+            }
+            st = self
+                .core
+                .grant_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.resume[self.tid] = false;
+        st.try_ok[self.tid]
+    }
+}
+
+impl SchedHook for ThreadHook {
+    fn atomic_op(&self, addr: usize, op: AtomicOp) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.announce(Op::Atomic(op, self.core.id(addr)));
+    }
+
+    fn mutex_lock(&self, addr: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.announce(Op::Lock(self.core.id(addr)));
+    }
+
+    fn mutex_try_lock(&self, addr: usize) -> bool {
+        if std::thread::panicking() {
+            return false;
+        }
+        self.announce(Op::TryLock(self.core.id(addr)))
+    }
+
+    fn mutex_unlock(&self, addr: usize) {
+        // The shim already skips this during unwinding, but guard again:
+        // re-parking a panicking thread would hang the teardown.
+        if std::thread::panicking() {
+            return;
+        }
+        self.announce(Op::Unlock(self.core.id(addr)));
+    }
+
+    fn condvar_wait(&self, cv_addr: usize, mutex_addr: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.announce(Op::WaitEnter {
+            cv: self.core.id(cv_addr),
+            mutex: self.core.id(mutex_addr),
+        });
+    }
+
+    fn condvar_notify(&self, cv_addr: usize, all: bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.announce(Op::Notify {
+            cv: self.core.id(cv_addr),
+            all,
+        });
+    }
+}
+
+fn op_enabled(st: &ExecState, op: Op) -> bool {
+    match op {
+        Op::Lock(m) | Op::Reacquire { mutex: m, .. } => !st.mutex_owner.contains_key(&m),
+        _ => true,
+    }
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn abort_all(core: &Core, st: &mut ExecState) {
+    st.aborting = true;
+    core.grant_cv.notify_all();
+}
+
+fn describe_stuck(st: &ExecState, roles: &[&'static str], objects: &[&'static str]) -> String {
+    let name = |o: ObjId| objects.get(o).copied().unwrap_or("?");
+    let mut parts = Vec::new();
+    for t in 0..st.finished.len() {
+        if st.finished[t] {
+            continue;
+        }
+        let role = roles.get(t).copied().unwrap_or("?");
+        if st.waiting[t] {
+            let cv = st
+                .cv_waiters
+                .iter()
+                .find(|(_, ws)| ws.iter().any(|(w, _)| *w == t))
+                .map(|(cv, _)| name(*cv))
+                .unwrap_or("?");
+            parts.push(format!("{role} parked on {cv} with no notify coming"));
+        } else if let Some(op) = st.pending[t] {
+            parts.push(format!("{role} blocked at {}", op.render(objects)));
+        }
+    }
+    parts.join("; ")
+}
+
+/// Run one execution of `plan` under `chooser`'s schedule.
+pub fn run_execution(plan: ExecutionPlan, chooser: &mut dyn Chooser) -> ExecutionResult {
+    let n = plan.roles.len();
+    let role_names: Vec<&'static str> = plan.roles.iter().map(|r| r.name).collect();
+    let object_names: Vec<&'static str> = plan.objects.iter().map(|(_, l)| *l).collect();
+    let mut addr_ids = BTreeMap::new();
+    for (i, (addr, _)) in plan.objects.iter().enumerate() {
+        addr_ids.insert(*addr, i);
+    }
+    let core = Arc::new(Core {
+        state: StdMutex::new(ExecState {
+            pending: vec![None; n],
+            resume: vec![false; n],
+            try_ok: vec![false; n],
+            waiting: vec![false; n],
+            finished: vec![false; n],
+            panic_msg: None,
+            aborting: false,
+            mutex_owner: BTreeMap::new(),
+            cv_waiters: BTreeMap::new(),
+        }),
+        harness_cv: StdCondvar::new(),
+        grant_cv: StdCondvar::new(),
+        addr_ids,
+    });
+
+    let mut handles = Vec::with_capacity(n);
+    for (tid, role) in plan.roles.into_iter().enumerate() {
+        let core = Arc::clone(&core);
+        let handle = std::thread::Builder::new()
+            .name(format!("sched-{}", role.name))
+            // audit:allow(W405): checker-controlled model threads, joined below
+            .spawn(move || {
+                hook::install(Arc::new(ThreadHook {
+                    core: Arc::clone(&core),
+                    tid,
+                }));
+                let result = panic::catch_unwind(AssertUnwindSafe(role.run));
+                hook::clear();
+                let mut st = core.lock();
+                st.finished[tid] = true;
+                st.pending[tid] = None;
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<SchedAbort>().is_none() && st.panic_msg.is_none() {
+                        st.panic_msg = Some(payload_to_string(payload.as_ref()));
+                    }
+                }
+                core.harness_cv.notify_all();
+            })
+            .expect("spawn sched model thread");
+        handles.push(handle);
+    }
+
+    let mut trace: Vec<Event> = Vec::new();
+    let mut schedule: Vec<Tid> = Vec::new();
+    let mut prev: Option<Tid> = None;
+    let outcome = loop {
+        let mut st = core.lock();
+        // Quiescence: every live thread parked (announced or cv-waiting).
+        loop {
+            if st.panic_msg.is_some() {
+                break;
+            }
+            let ready = (0..n).all(|t| st.finished[t] || st.waiting[t] || st.pending[t].is_some());
+            if ready {
+                break;
+            }
+            st = core.harness_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(msg) = st.panic_msg.clone() {
+            abort_all(&core, &mut st);
+            break Outcome::Panic(msg);
+        }
+        if (0..n).all(|t| st.finished[t]) {
+            break Outcome::Completed;
+        }
+        let mut enabled: Vec<(Tid, Op)> = Vec::new();
+        for t in 0..n {
+            if let Some(op) = st.pending[t] {
+                if op_enabled(&st, op) {
+                    enabled.push((t, op));
+                }
+            }
+        }
+        if enabled.is_empty() {
+            let condvar_waiter = (0..n).any(|t| {
+                !st.finished[t]
+                    && (st.waiting[t] || matches!(st.pending[t], Some(Op::Reacquire { .. })))
+            });
+            let detail = describe_stuck(&st, &role_names, &object_names);
+            abort_all(&core, &mut st);
+            break Outcome::Deadlock {
+                condvar_waiter,
+                detail,
+            };
+        }
+        if trace.len() >= MAX_STEPS {
+            abort_all(&core, &mut st);
+            break Outcome::Panic(format!(
+                "execution exceeded {MAX_STEPS} scheduling points (unbounded protocol loop?)"
+            ));
+        }
+        let chosen = match chooser.choose(&enabled, prev) {
+            Some(t) => t,
+            None => {
+                abort_all(&core, &mut st);
+                break Outcome::Pruned;
+            }
+        };
+        let op = match st.pending[chosen].take() {
+            Some(op) => op,
+            None => {
+                abort_all(&core, &mut st);
+                break Outcome::Panic(format!("chooser picked tid {chosen} with no pending op"));
+            }
+        };
+        let mut try_ok = None;
+        let mut resume_now = true;
+        match op {
+            Op::Atomic(..) => {}
+            Op::Lock(m) | Op::Reacquire { mutex: m, .. } => {
+                st.mutex_owner.insert(m, chosen);
+            }
+            Op::TryLock(m) => {
+                let free = !st.mutex_owner.contains_key(&m);
+                if free {
+                    st.mutex_owner.insert(m, chosen);
+                }
+                st.try_ok[chosen] = free;
+                try_ok = Some(free);
+            }
+            Op::Unlock(m) => {
+                st.mutex_owner.remove(&m);
+            }
+            Op::Notify { cv, all } => {
+                if let Some(waiters) = st.cv_waiters.get_mut(&cv) {
+                    let woken: Vec<(Tid, ObjId)> = if all {
+                        std::mem::take(waiters)
+                    } else if waiters.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![waiters.remove(0)]
+                    };
+                    for (w, m) in woken {
+                        st.waiting[w] = false;
+                        st.pending[w] = Some(Op::Reacquire { cv, mutex: m });
+                    }
+                }
+            }
+            Op::WaitEnter { cv, mutex } => {
+                st.mutex_owner.remove(&mutex);
+                st.cv_waiters.entry(cv).or_default().push((chosen, mutex));
+                st.waiting[chosen] = true;
+                resume_now = false;
+            }
+        }
+        trace.push(Event {
+            tid: chosen,
+            op,
+            try_ok,
+        });
+        schedule.push(chosen);
+        prev = Some(chosen);
+        if resume_now {
+            st.resume[chosen] = true;
+            core.grant_cv.notify_all();
+        }
+        drop(st);
+    };
+
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let outcome = if matches!(outcome, Outcome::Completed) {
+        match (plan.check)() {
+            Ok(()) => Outcome::Completed,
+            Err(msg) => Outcome::Assert(msg),
+        }
+    } else {
+        outcome
+    };
+    ExecutionResult {
+        outcome,
+        trace,
+        schedule,
+    }
+}
+
+/// Render a trace as numbered `role: op` lines for diagnostics.
+pub fn render_trace(trace: &[Event], roles: &[&'static str], objects: &[&'static str]) -> String {
+    let mut out = String::new();
+    for (i, ev) in trace.iter().enumerate() {
+        let role = roles.get(ev.tid).copied().unwrap_or("?");
+        let mut line = format!("  {:>3}. {:<14} {}", i + 1, role, ev.op.render(objects));
+        if let Some(ok) = ev.try_ok {
+            line.push_str(if ok { " -> acquired" } else { " -> contended" });
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}

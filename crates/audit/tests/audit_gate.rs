@@ -23,8 +23,8 @@ fn shipped_repo_is_clean() {
     let report = run_audit(&workspace_root(), PassSet::default(), 64, 7);
     assert_eq!(
         report.passes_run,
-        vec!["sf", "grad", "config", "lint"],
-        "all four passes must run"
+        vec!["sf", "grad", "config", "lint", "sched"],
+        "all five passes must run"
     );
     let problems: Vec<String> = report
         .findings

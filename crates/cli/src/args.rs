@@ -1,4 +1,4 @@
-//! Minimal `--key value` argument parsing.
+//! Minimal `--key value` / `--key=value` argument parsing.
 
 use std::collections::HashMap;
 
@@ -9,8 +9,8 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse a flat list of `--key value` tokens. Bare `--flag` (no
-    /// value) stores `"true"`.
+    /// Parse a flat list of `--key value` / `--key=value` tokens. Bare
+    /// `--flag` (no value) stores `"true"`.
     pub fn parse(tokens: &[String]) -> Result<Args, String> {
         let mut values = HashMap::new();
         let mut i = 0;
@@ -21,6 +21,17 @@ impl Args {
             };
             if key.is_empty() {
                 return Err("empty flag name".into());
+            }
+            // `--key=value` must split, never be swallowed as a bare
+            // flag: `--pass=shed` silently becoming flag `pass=shed`
+            // once let a typo masquerade as a clean audit gate.
+            if let Some((key, value)) = key.split_once('=') {
+                if key.is_empty() {
+                    return Err(format!("empty flag name in `{tok}`"));
+                }
+                values.insert(key.to_owned(), value.to_owned());
+                i += 1;
+                continue;
             }
             let next_is_value = tokens
                 .get(i + 1)
@@ -83,6 +94,27 @@ mod tests {
     #[test]
     fn rejects_bare_values() {
         assert!(Args::parse(&toks(&["wn18rr"])).is_err());
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        let a = Args::parse(&toks(&["--pass=sched", "--dim=64", "--quick"])).unwrap();
+        assert_eq!(a.get("pass"), Some("sched"));
+        assert_eq!(a.get_or("dim", 32usize).unwrap(), 64);
+        assert!(a.has("quick"));
+        // An equals form never registers as the literal `key=value` flag.
+        assert!(!a.has("pass=sched"));
+    }
+
+    #[test]
+    fn equals_form_keeps_later_equals_in_value() {
+        let a = Args::parse(&toks(&["--filter=a=b"])).unwrap();
+        assert_eq!(a.get("filter"), Some("a=b"));
+    }
+
+    #[test]
+    fn equals_form_rejects_empty_key() {
+        assert!(Args::parse(&toks(&["--=value"])).is_err());
     }
 
     #[test]

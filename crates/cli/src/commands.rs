@@ -27,7 +27,7 @@ USAGE:
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
   eras rules    (--preset NAME | --data DIR) [--seed N]
-  eras audit    [--pass sf,grad,config,lint] [--format text|json]
+  eras audit    [--pass sf,grad,config,lint,sched] [--format text|json]
                 [--deny warnings] [--root DIR] [--sf-samples N] [--seed N]
   eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
                 [--cache 1024]
@@ -38,7 +38,8 @@ PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny
 MODELS:  distmult complex simple analogy
 METHODS: eras autosf random tpe
 PASSES:  sf (DSL analysis)  grad (gradient contracts)
-         config (preset diagnostics)  lint (source lints)";
+         config (preset diagnostics)  lint (source lints)
+         sched (concurrency model checking)";
 
 fn preset_by_name(name: &str) -> Result<Preset, String> {
     Ok(match name {

@@ -176,7 +176,7 @@ fn audit_runs_clean_on_the_workspace() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("passes run: sf, grad, config, lint"),
+        stdout.contains("passes run: sf, grad, config, lint, sched"),
         "{stdout}"
     );
     assert!(stdout.contains("0 error(s)"), "{stdout}");
@@ -223,6 +223,26 @@ fn audit_rejects_unknown_pass() {
     let out = eras().args(["audit", "--pass", "bogus"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown pass"));
+}
+
+#[test]
+fn audit_rejects_unknown_pass_in_equals_form() {
+    // `--pass=shed` used to parse as a bare flag literally named
+    // `pass=shed`, silently running the full default audit instead of
+    // erroring — a typo masquerading as a clean gate.
+    let out = eras().args(["audit", "--pass=shed"]).output().unwrap();
+    assert!(
+        !out.status.success(),
+        "typo'd pass must fail, not be ignored"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown pass"), "{stderr}");
+    for name in ["sf", "grad", "config", "lint", "sched"] {
+        assert!(
+            stderr.contains(name),
+            "valid passes must be listed: {stderr}"
+        );
+    }
 }
 
 #[test]

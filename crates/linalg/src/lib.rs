@@ -23,6 +23,10 @@
 //!   embeddings (the Figures 3/4 case study).
 //! - [`pool`]: the shared chunked thread pool every parallel code path
 //!   in the workspace dispatches through (`ERAS_THREADS` sizing).
+//! - [`sync`]: the synchronisation shim the pool and the lock-free
+//!   caches are built on — forwards to `std::sync` in production and
+//!   yields to the `eras audit --pass sched` model checker under the
+//!   `sched-hook` feature.
 
 // Indexed loops are the clearer idiom in the numeric kernels below
 // (parallel arrays, strided block views); the iterator forms clippy
@@ -37,6 +41,7 @@ pub mod pool;
 pub mod rng;
 pub mod softmax;
 pub mod stats;
+pub mod sync;
 pub mod vecops;
 
 pub use matrix::Matrix;

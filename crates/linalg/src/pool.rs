@@ -44,10 +44,10 @@
 //! construction, `dispatches` doubles as the steal-free dispatch count —
 //! there is no slow path to fall back to.
 
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 thread_local! {
@@ -325,7 +325,7 @@ impl Drop for ThreadPool {
     }
 }
 
-fn lock(m: &Mutex<JobSlot>) -> std::sync::MutexGuard<'_, JobSlot> {
+fn lock(m: &Mutex<JobSlot>) -> MutexGuard<'_, JobSlot> {
     // A poisoned slot only means a worker panicked while holding the
     // guard; the slot data itself stays structurally sound.
     m.lock().unwrap_or_else(|e| e.into_inner())

@@ -1,0 +1,681 @@
+//! Synchronisation shim — the primitive layer under the pool and the
+//! lock-free caches.
+//!
+//! Every synchronisation primitive the parallel execution layer touches
+//! (`AtomicUsize`/`AtomicBool`/`AtomicU64`/`AtomicPtr`, [`Mutex`],
+//! [`Condvar`]) is a newtype defined here instead of a direct
+//! `std::sync` import. In a normal build each method is an `#[inline]`
+//! one-liner forwarding to the `std` type — same layout, same
+//! semantics, same codegen — so production behavior is bit-identical
+//! to using `std::sync` directly.
+//!
+//! The point of the indirection is the `sched-hook` cargo feature:
+//! with it enabled, every acquire/release/load/store/lock/wait first
+//! consults a per-thread [`hook::SchedHook`]. The schedule-exploring
+//! model checker in `eras-audit` (`eras audit --pass sched`) installs
+//! a hook on the threads it controls, which turns every
+//! synchronisation operation into a yield point of a deterministic
+//! scheduler — the checker decides which thread moves next, one
+//! operation at a time, and can therefore enumerate interleavings of
+//! the pool's dispatch, chunk-claim, barrier and publication
+//! protocols exhaustively. Threads without an installed hook (which
+//! is every thread outside the checker, even in a `sched-hook` build)
+//! take the forwarding path unchanged.
+//!
+//! ## Shim contract
+//!
+//! - **Production builds are zero-cost.** Without the `sched-hook`
+//!   feature, [`hook::current`] is a `const None` and every wrapper
+//!   inlines to the bare `std` operation.
+//! - **Unhooked threads are untouched.** With the feature on, a thread
+//!   that never installed a hook pays one thread-local read per
+//!   operation and otherwise behaves identically; these operations are
+//!   per-dispatch / per-chunk, never per-element.
+//! - **Hooked threads serialise through the scheduler.** The hook is
+//!   called *before* the underlying operation; `Mutex`/`Condvar`
+//!   blocking is resolved at the scheduler level (the real mutex is
+//!   only ever taken uncontended), so the checker can model
+//!   enabledness, detect deadlocks and lost wakeups, and replay a
+//!   recorded schedule deterministically.
+//! - **Poisoning is preserved** on the forwarding path: `lock`,
+//!   `try_lock` and `wait` return the same `LockResult`/
+//!   `TryLockResult` shapes as `std::sync`, so callers like the
+//!   pool's `unwrap_or_else(|e| e.into_inner())` idiom port verbatim.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+pub use std::sync::atomic::Ordering;
+
+/// The checker-facing side of the shim: a per-thread hook that every
+/// shim operation announces itself to before executing.
+pub mod hook {
+    #[cfg(not(feature = "sched-hook"))]
+    use std::sync::Arc;
+
+    /// What kind of atomic access is about to happen. `Rmw` covers
+    /// `swap`/`fetch_add`/`fetch_sub`; `Cas` the compare-exchange
+    /// family. The distinction matters to the checker's dependence
+    /// relation (two `Load`s commute, everything else does not).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum AtomicOp {
+        Load,
+        Store,
+        Rmw,
+        Cas,
+    }
+
+    /// A deterministic scheduler driving the current thread. Each
+    /// method is called *before* the underlying operation and blocks
+    /// until the scheduler grants the thread its turn; objects are
+    /// identified by address (stable for the lifetime of one checked
+    /// execution).
+    pub trait SchedHook {
+        /// An atomic access on the object at `addr` is about to run.
+        fn atomic_op(&self, addr: usize, op: AtomicOp);
+        /// Block until the scheduler grants ownership of the mutex.
+        fn mutex_lock(&self, addr: usize);
+        /// One `try_lock` attempt; the scheduler decides (and records)
+        /// whether it would succeed. On `true` the caller owns the
+        /// mutex at the scheduler level.
+        fn mutex_try_lock(&self, addr: usize) -> bool;
+        /// Ownership of the mutex is being released.
+        fn mutex_unlock(&self, addr: usize);
+        /// Condvar wait: the caller has released the real mutex;
+        /// blocks until the scheduler has seen a wakeup *and*
+        /// re-granted the mutex.
+        fn condvar_wait(&self, cv_addr: usize, mutex_addr: usize);
+        /// A notify on the condvar at `cv_addr`.
+        fn condvar_notify(&self, cv_addr: usize, all: bool);
+    }
+
+    #[cfg(feature = "sched-hook")]
+    mod enabled {
+        use super::SchedHook;
+        use std::cell::RefCell;
+        use std::sync::Arc;
+
+        thread_local! {
+            static HOOK: RefCell<Option<Arc<dyn SchedHook>>> = const { RefCell::new(None) };
+        }
+
+        /// Install a scheduler hook for the current thread. Installed
+        /// by the model checker on the threads of one checked
+        /// execution; never installed in production.
+        pub fn install(h: Arc<dyn SchedHook>) {
+            HOOK.with(|c| *c.borrow_mut() = Some(h));
+        }
+
+        /// Remove the current thread's hook.
+        pub fn clear() {
+            HOOK.with(|c| *c.borrow_mut() = None);
+        }
+
+        /// The current thread's hook, if any. Clones the `Arc` out so
+        /// no `RefCell` borrow is held across the (blocking) hook call.
+        #[inline]
+        pub fn current() -> Option<Arc<dyn SchedHook>> {
+            HOOK.with(|c| c.borrow().clone())
+        }
+    }
+
+    #[cfg(feature = "sched-hook")]
+    pub use enabled::{clear, current, install};
+
+    /// Without the `sched-hook` feature there is never a hook: this
+    /// constant-`None` inlines away and the shim compiles to plain
+    /// forwarding.
+    #[cfg(not(feature = "sched-hook"))]
+    #[inline(always)]
+    pub fn current() -> Option<Arc<dyn SchedHook>> {
+        None
+    }
+}
+
+#[inline]
+fn addr_of<T: ?Sized>(x: &T) -> usize {
+    x as *const T as *const () as usize
+}
+
+macro_rules! int_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $int:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// A new atomic with the given initial value.
+            pub const fn new(v: $int) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $int {
+                if let Some(h) = hook::current() {
+                    h.atomic_op(addr_of(self), hook::AtomicOp::Load);
+                }
+                self.inner.load(order)
+            }
+
+            #[inline]
+            pub fn store(&self, val: $int, order: Ordering) {
+                if let Some(h) = hook::current() {
+                    h.atomic_op(addr_of(self), hook::AtomicOp::Store);
+                }
+                self.inner.store(val, order)
+            }
+
+            #[inline]
+            pub fn swap(&self, val: $int, order: Ordering) -> $int {
+                if let Some(h) = hook::current() {
+                    h.atomic_op(addr_of(self), hook::AtomicOp::Rmw);
+                }
+                self.inner.swap(val, order)
+            }
+
+            #[inline]
+            pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                if let Some(h) = hook::current() {
+                    h.atomic_op(addr_of(self), hook::AtomicOp::Rmw);
+                }
+                self.inner.fetch_add(val, order)
+            }
+
+            #[inline]
+            pub fn fetch_sub(&self, val: $int, order: Ordering) -> $int {
+                if let Some(h) = hook::current() {
+                    h.atomic_op(addr_of(self), hook::AtomicOp::Rmw);
+                }
+                self.inner.fetch_sub(val, order)
+            }
+
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                if let Some(h) = hook::current() {
+                    h.atomic_op(addr_of(self), hook::AtomicOp::Cas);
+                }
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                if let Some(h) = hook::current() {
+                    h.atomic_op(addr_of(self), hook::AtomicOp::Cas);
+                }
+                self.inner
+                    .compare_exchange_weak(current, new, success, failure)
+            }
+
+            /// Exclusive access needs no scheduling point: no other
+            /// thread can observe the object.
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.inner.get_mut()
+            }
+
+            #[inline]
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+int_atomic!(
+    /// Shimmed `std::sync::atomic::AtomicUsize`.
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+int_atomic!(
+    /// Shimmed `std::sync::atomic::AtomicU64`.
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+int_atomic!(
+    /// Shimmed `std::sync::atomic::AtomicU32`.
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+
+/// Shimmed `std::sync::atomic::AtomicBool`.
+#[derive(Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// A new atomic flag with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> bool {
+        if let Some(h) = hook::current() {
+            h.atomic_op(addr_of(self), hook::AtomicOp::Load);
+        }
+        self.inner.load(order)
+    }
+
+    #[inline]
+    pub fn store(&self, val: bool, order: Ordering) {
+        if let Some(h) = hook::current() {
+            h.atomic_op(addr_of(self), hook::AtomicOp::Store);
+        }
+        self.inner.store(val, order)
+    }
+
+    #[inline]
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        if let Some(h) = hook::current() {
+            h.atomic_op(addr_of(self), hook::AtomicOp::Rmw);
+        }
+        self.inner.swap(val, order)
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shimmed `std::sync::atomic::AtomicPtr<T>`.
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    /// A new atomic pointer with the given initial value.
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> *mut T {
+        if let Some(h) = hook::current() {
+            h.atomic_op(addr_of(self), hook::AtomicOp::Load);
+        }
+        self.inner.load(order)
+    }
+
+    #[inline]
+    pub fn store(&self, val: *mut T, order: Ordering) {
+        if let Some(h) = hook::current() {
+            h.atomic_op(addr_of(self), hook::AtomicOp::Store);
+        }
+        self.inner.store(val, order)
+    }
+
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if let Some(h) = hook::current() {
+            h.atomic_op(addr_of(self), hook::AtomicOp::Cas);
+        }
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        if let Some(h) = hook::current() {
+            h.atomic_op(addr_of(self), hook::AtomicOp::Cas);
+        }
+        self.inner
+            .compare_exchange_weak(current, new, success, failure)
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T> fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Shimmed `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]/[`Mutex::try_lock`]. Wraps the
+/// `std` guard; `hooked` records whether the acquisition went through
+/// a scheduler hook (and must release through it).
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    hooked: bool,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    #[inline]
+    fn addr(&self) -> usize {
+        addr_of(self)
+    }
+
+    /// Acquire the lock, blocking. Mirrors `std::sync::Mutex::lock`,
+    /// including poison reporting.
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(h) = hook::current() {
+            h.mutex_lock(self.addr());
+            // The scheduler admits one owner at a time, so the real
+            // mutex is uncontended here.
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            return Ok(MutexGuard {
+                mutex: self,
+                inner: Some(inner),
+                hooked: true,
+            });
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                mutex: self,
+                inner: Some(g),
+                hooked: false,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                mutex: self,
+                inner: Some(p.into_inner()),
+                hooked: false,
+            })),
+        }
+    }
+
+    /// One non-blocking acquisition attempt. Mirrors
+    /// `std::sync::Mutex::try_lock`.
+    #[inline]
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if let Some(h) = hook::current() {
+            if h.mutex_try_lock(self.addr()) {
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                return Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    hooked: true,
+                });
+            }
+            return Err(TryLockError::WouldBlock);
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                mutex: self,
+                inner: Some(g),
+                hooked: false,
+            }),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(p)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    mutex: self,
+                    inner: Some(p.into_inner()),
+                    hooked: false,
+                })))
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard holds the lock until dropped"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard holds the lock until dropped"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        if self.hooked {
+            // A guard dropped while unwinding from a scheduler abort
+            // (or any panic on a hooked thread) must not re-enter the
+            // scheduler: announcing from a panic path could park a
+            // thread that is being torn down.
+            if !std::thread::panicking() {
+                if let Some(h) = hook::current() {
+                    h.mutex_unlock(self.mutex.addr());
+                }
+            }
+        }
+        // The std guard in `inner` drops here, releasing the real lock.
+    }
+}
+
+/// Shimmed `std::sync::Condvar`.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    #[inline]
+    fn addr(&self) -> usize {
+        addr_of(self)
+    }
+
+    /// Atomically release the guard and wait for a notification.
+    /// Mirrors `std::sync::Condvar::wait`, including poison reporting.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        if guard.hooked {
+            if let Some(h) = hook::current() {
+                // Release the real mutex, neutralise the guard's drop
+                // (the scheduler-level release is part of the wait),
+                // and hand the whole wait/wake/reacquire protocol to
+                // the scheduler.
+                guard.inner.take();
+                guard.hooked = false;
+                drop(guard);
+                h.condvar_wait(self.addr(), mutex.addr());
+                let inner = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                return Ok(MutexGuard {
+                    mutex,
+                    inner: Some(inner),
+                    hooked: true,
+                });
+            }
+        }
+        let std_guard = match guard.inner.take() {
+            Some(g) => g,
+            None => unreachable!("guard holds the lock until dropped"),
+        };
+        guard.hooked = false;
+        drop(guard);
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard {
+                mutex,
+                inner: Some(g),
+                hooked: false,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                mutex,
+                inner: Some(p.into_inner()),
+                hooked: false,
+            })),
+        }
+    }
+
+    /// Wake one waiter.
+    #[inline]
+    pub fn notify_one(&self) {
+        if let Some(h) = hook::current() {
+            h.condvar_notify(self.addr(), false);
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    #[inline]
+    pub fn notify_all(&self) {
+        if let Some(h) = hook::current() {
+            h.condvar_notify(self.addr(), true);
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomics_forward() {
+        let a = AtomicUsize::new(5);
+        assert_eq!(a.fetch_add(3, Ordering::Relaxed), 5);
+        assert_eq!(a.load(Ordering::Acquire), 8);
+        a.store(1, Ordering::Release);
+        assert_eq!(a.swap(2, Ordering::AcqRel), 1);
+        assert_eq!(
+            a.compare_exchange(2, 9, Ordering::AcqRel, Ordering::Acquire),
+            Ok(2)
+        );
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::Release);
+        assert!(b.load(Ordering::Acquire));
+        let mut p = AtomicPtr::<u32>::new(std::ptr::null_mut());
+        assert!(p.load(Ordering::Acquire).is_null());
+        assert!(p.get_mut().is_null());
+    }
+
+    #[test]
+    fn mutex_and_condvar_forward() {
+        let m = Mutex::new(0u32);
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        assert!(m.try_lock().is_ok());
+        let cv = Condvar::new();
+        cv.notify_all();
+        cv.notify_one();
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn mutex_blocks_second_owner() {
+        let m = Mutex::new(());
+        let g = m.lock().unwrap();
+        assert!(matches!(m.try_lock(), Err(TryLockError::WouldBlock)));
+        drop(g);
+        assert!(m.try_lock().is_ok());
+    }
+
+    #[test]
+    fn poison_is_preserved() {
+        let m = std::sync::Arc::new(Mutex::new(7u32));
+        let m2 = std::sync::Arc::clone(&m);
+        // audit:allow(W405): test-only thread provoking mutex poisoning
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        let v = *m.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn condvar_wait_roundtrips_with_notify() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        // audit:allow(W405): test-only thread exercising the wait path
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut started = m.lock().unwrap();
+            *started = true;
+            cv.notify_all();
+            drop(started);
+        });
+        let (m, cv) = &*pair;
+        let mut started = m.lock().unwrap();
+        while !*started {
+            started = cv.wait(started).unwrap_or_else(|e| e.into_inner());
+        }
+        t.join().unwrap();
+        assert!(*started);
+    }
+}

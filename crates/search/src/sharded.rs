@@ -16,11 +16,11 @@
 //! dedupes by canonical form before training, so it never happens
 //! there.
 
+use eras_linalg::sync::{AtomicPtr, Ordering};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// Default shard count: enough to make CAS contention unlikely at the
 /// batch widths the searchers use, small enough to stay cheap to scan
@@ -47,7 +47,9 @@ pub struct ShardedCache<K, V> {
 // into the shared structure (hence `Send + Sync` for `Sync`). The
 // pointer plumbing itself is race-free: heads move by CAS and nodes
 // are immutable once published.
+// audit:allow(W406): owns its nodes; CAS-published heads, immutable nodes
 unsafe impl<K: Send, V: Send> Send for ShardedCache<K, V> {}
+// audit:allow(W406): shared walks only see fully published (Release) nodes
 unsafe impl<K: Send + Sync, V: Send + Sync> Sync for ShardedCache<K, V> {}
 
 impl<K: Hash + Eq, V: Copy> ShardedCache<K, V> {

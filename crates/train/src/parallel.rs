@@ -464,6 +464,7 @@ impl GradShards {
 struct ShardCells<'a>(&'a [UnsafeCell<Shard>]);
 // SAFETY: pool task index `s` is claimed by exactly one executor and
 // touches exactly `cells.0[s]`; no two tasks alias a shard.
+// audit:allow(W406): per-index exclusive access under the pool barrier
 unsafe impl Sync for ShardCells<'_> {}
 
 impl ShardCells<'_> {
