@@ -1,0 +1,184 @@
+//! The `chaos` audit pass: seeded fault-injection runs against the
+//! real training, pool and serving code.
+//!
+//! Where the `sched` pass model-checks synchronisation *protocols* in
+//! miniature, this pass drives the *production* code paths under the
+//! deterministic fault plane (`eras_linalg::faults`): every scenario
+//! installs a seeded [`FaultPlane`](eras_linalg::faults::FaultPlane),
+//! lets faults fire at the named injection sites, and asserts the
+//! system's recovery invariants. One seed is one fault schedule, so a
+//! red run replays exactly (`--pass chaos --seed N`).
+//!
+//! Scenarios and invariants:
+//!
+//! - [`train_loop`] — closed train→crash→resume loop: checkpoint saves
+//!   fail, tear, or their reads error out; after any number of injected
+//!   crashes the finished run must be **bit-identical** to the
+//!   uninterrupted reference, and a torn checkpoint must never load as
+//!   valid (clean `Format` error, never a panic).
+//! - [`pool_chaos`] — worker threads and task bodies are killed
+//!   mid-dispatch; the pool must never deadlock (watchdog-bounded),
+//!   and a dispatch that returns without panicking must have run every
+//!   task. The pool stays usable after losing workers.
+//! - [`serve_chaos`] — torn snapshot writes must never load as valid;
+//!   snapshot-open retry must recover from transient open faults
+//!   without perturbing the loaded bits; a live HTTP server under
+//!   injected latency and dropped connections must answer every
+//!   request with either a complete well-formed response or a clean
+//!   all-or-nothing close — never a torn response.
+//!
+//! Codes: `E601` — an invariant was violated (the finding carries the
+//! replayable seed); `I600` — a scenario verified clean, with schedule
+//! counts; `W601` — the time budget expired before the seed budget was
+//! spent (partial coverage, not a verdict).
+//!
+//! The fault plane is process-global, so scenarios serialise on an
+//! internal run lock; the pass is safe to call from concurrent tests.
+
+pub mod pool_chaos;
+pub mod serve_chaos;
+pub mod train_loop;
+
+use crate::diag::Finding;
+use eras_core::Severity;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Knobs for the chaos pass.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Base seed; scenario seed `i` derives its fault schedule from
+    /// `(base_seed, scenario, i)`.
+    pub base_seed: u64,
+    /// Seeds for the train→crash→resume scenario (the expensive one:
+    /// each seed is a full training run plus its crashed attempts).
+    pub train_seeds: u64,
+    /// Seeds for the pool worker/task-death scenario.
+    pub pool_seeds: u64,
+    /// Requests fired at the live server under injected latency and
+    /// drops (plus a fixed torn-snapshot / open-retry sweep).
+    pub serve_seeds: u64,
+    /// Wall-clock budget for the whole pass; expiry yields `W601` with
+    /// partial counts instead of running long.
+    pub time_budget: Duration,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            base_seed: 7,
+            train_seeds: 24,
+            pool_seeds: 120,
+            serve_seeds: 80,
+            time_budget: Duration::from_secs(45),
+        }
+    }
+}
+
+/// The plane is process-global; two scenarios injecting at once would
+/// corrupt each other's schedules.
+static RUN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run every chaos scenario under the shared run lock.
+pub fn run(opts: &ChaosOptions) -> Vec<Finding> {
+    let _guard = RUN_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _quiet = QuietInjectedPanics::install();
+    let deadline = Instant::now() + opts.time_budget;
+    vec![
+        train_loop::run(opts, deadline),
+        pool_chaos::run(opts, deadline),
+        serve_chaos::run(opts, deadline),
+    ]
+}
+
+/// While alive, the process panic hook swallows the panics the chaos
+/// scenarios inject on purpose (and the pool's re-panic for them), so
+/// hundreds of expected unwinds don't bury the report in backtraces.
+/// Every other panic still reaches the previous hook.
+struct QuietInjectedPanics {
+    prev: std::sync::Arc<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>,
+}
+
+impl QuietInjectedPanics {
+    fn install() -> QuietInjectedPanics {
+        let prev: std::sync::Arc<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send> =
+            std::sync::Arc::from(std::panic::take_hook());
+        let forward = std::sync::Arc::clone(&prev);
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+            let expected = msg.is_some_and(|m| {
+                m.contains("injected fault") || m.contains("a thread-pool task panicked")
+            });
+            if !expected {
+                forward(info);
+            }
+        }));
+        QuietInjectedPanics { prev }
+    }
+}
+
+impl Drop for QuietInjectedPanics {
+    fn drop(&mut self) {
+        let prev = std::sync::Arc::clone(&self.prev);
+        std::panic::set_hook(Box::new(move |info| prev(info)));
+    }
+}
+
+/// An invariant violation, with the seed that replays it.
+pub(crate) fn e601(location: &str, seed: u64, message: String) -> Finding {
+    Finding {
+        code: "E601",
+        severity: Severity::Error,
+        pass: "chaos",
+        location: location.to_string(),
+        message: format!("{message} — replay with `--pass chaos --seed {seed}`"),
+    }
+}
+
+/// A scenario verified clean.
+pub(crate) fn i600(location: &str, message: String) -> Finding {
+    Finding {
+        code: "I600",
+        severity: Severity::Info,
+        pass: "chaos",
+        location: location.to_string(),
+        message,
+    }
+}
+
+/// Budget expired mid-scenario.
+pub(crate) fn w601(location: &str, done: u64, budget: u64, message: String) -> Finding {
+    Finding {
+        code: "W601",
+        severity: Severity::Warning,
+        pass: "chaos",
+        location: location.to_string(),
+        message: format!(
+            "time budget expired after {done} of {budget} seeds; partial \
+             coverage proves nothing — raise the budget or lower the seed \
+             count. Progress so far: {message}"
+        ),
+    }
+}
+
+/// Scenario seed `i` of `scenario`, derived so scenarios never share a
+/// fault schedule even under one base seed.
+pub(crate) fn scenario_seed(base: u64, scenario: u64, i: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(scenario.wrapping_mul(0x8BB84B93962EACC9))
+        .wrapping_add(i.wrapping_mul(0x2545F4914F6CDD1D));
+    z = (z ^ (z >> 29)).wrapping_mul(0xFF51AFD7ED558CCD);
+    z ^ (z >> 32)
+}
+
+/// A scratch directory under the system temp dir, unique to this
+/// process and tag; created on call, best-effort removed by the caller.
+pub(crate) fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("eras_chaos_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}

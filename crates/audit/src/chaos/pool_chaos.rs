@@ -1,0 +1,140 @@
+//! Chaos scenario: pool worker and task death.
+//!
+//! Each seed builds a fresh 3-thread pool and dispatches a batch of
+//! tasks while the fault plane kills worker threads outright (a panic
+//! *outside* the per-task catch) and panics individual task bodies
+//! (inside it). Invariants:
+//!
+//! - the dispatch always completes within a watchdog bound — a worker
+//!   death must never strand the dispatcher on the completion barrier;
+//! - a dispatch that returns *without* panicking ran every task
+//!   exactly once (no task silently lost);
+//! - the pool remains fully usable after losing workers: a fault-free
+//!   follow-up dispatch on the same pool runs every task.
+
+use super::{e601, i600, scenario_seed, w601};
+use crate::diag::Finding;
+use eras_linalg::faults::{self, FaultConfig, FaultPlane, Site};
+use eras_linalg::pool::ThreadPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+const LOCATION: &str = "chaos/pool";
+
+/// Tasks per dispatch; enough that multi-worker interleavings and
+/// multiple injections happen within one job.
+const TASKS: usize = 24;
+
+/// A dispatch that outlives this is declared deadlocked. The real
+/// dispatch takes microseconds; the margin absorbs CI-machine noise.
+const WATCHDOG: Duration = Duration::from_secs(10);
+
+pub fn run(opts: &super::ChaosOptions, deadline: Instant) -> Finding {
+    let config = FaultConfig::none()
+        .with(Site::PoolWorker, 40)
+        .with(Site::PoolTask, 40);
+    let mut seeds_done = 0u64;
+    let mut workers_lost = 0u64;
+    let mut task_panics = 0u64;
+    for i in 0..opts.pool_seeds {
+        if Instant::now() > deadline {
+            return w601(
+                LOCATION,
+                seeds_done,
+                opts.pool_seeds,
+                progress(seeds_done, workers_lost, task_panics),
+            );
+        }
+        let seed = scenario_seed(opts.base_seed, 2, i);
+        let pool = Arc::new(ThreadPool::new(3));
+        let plane = Arc::new(FaultPlane::new(seed, config));
+        let guard = faults::install(Arc::clone(&plane));
+
+        // Watchdog: run the dispatch on a helper thread so a stranded
+        // completion barrier turns into a finding instead of hanging
+        // the audit binary.
+        let (tx, rx) = mpsc::channel();
+        let dispatch_pool = Arc::clone(&pool);
+        let count = Arc::new(AtomicUsize::new(0));
+        let dispatch_count = Arc::clone(&count);
+        let helper = std::thread::spawn(move || { // audit:allow(W405): chaos watchdog, not CPU work
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                dispatch_pool.run(TASKS, |_i| {
+                    dispatch_count.fetch_add(1, Ordering::Relaxed);
+                })
+            }));
+            let _ = tx.send(outcome.is_ok());
+        });
+        let verdict = rx.recv_timeout(WATCHDOG);
+        drop(guard);
+        match verdict {
+            Err(_) => {
+                // Deliberately leak the helper (it is stuck on the
+                // barrier); joining it would hang the audit too.
+                return e601(
+                    LOCATION,
+                    opts.base_seed,
+                    format!(
+                        "pool dispatch deadlocked after injected worker/task death \
+                         (seed {i}: no completion within {WATCHDOG:?})"
+                    ),
+                );
+            }
+            Ok(clean) => {
+                let _ = helper.join();
+                let ran = count.load(Ordering::Relaxed);
+                if clean && ran != TASKS {
+                    return e601(
+                        LOCATION,
+                        opts.base_seed,
+                        format!(
+                            "dispatch returned cleanly but ran {ran} of {TASKS} tasks \
+                             (seed {i}) — tasks were silently lost"
+                        ),
+                    );
+                }
+                if !clean {
+                    task_panics += 1;
+                }
+            }
+        }
+        workers_lost += pool.lost_workers() as u64;
+
+        // The pool must still work (fault-free) after losing workers.
+        let after = AtomicUsize::new(0);
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |_i| {
+                after.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        if ok.is_err() || after.load(Ordering::Relaxed) != 8 {
+            return e601(
+                LOCATION,
+                opts.base_seed,
+                format!(
+                    "pool unusable after losing {} worker(s) (seed {i}): follow-up \
+                     dispatch ran {} of 8 tasks",
+                    pool.lost_workers(),
+                    after.load(Ordering::Relaxed),
+                ),
+            );
+        }
+        seeds_done += 1;
+    }
+    i600(
+        LOCATION,
+        format!(
+            "pool chaos verified: {}",
+            progress(seeds_done, workers_lost, task_panics)
+        ),
+    )
+}
+
+fn progress(seeds: u64, lost: u64, task_panics: u64) -> String {
+    format!(
+        "{seeds} seeds, {lost} worker threads killed, {task_panics} dispatches \
+         with task panics; no deadlock, no lost task, every pool usable after"
+    )
+}

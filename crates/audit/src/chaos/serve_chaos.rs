@@ -1,0 +1,330 @@
+//! Chaos scenario: the serving layer under storage and network faults.
+//!
+//! Three sweeps, one invariant family:
+//!
+//! 1. **Torn snapshots never serve.** Every save under an always-fire
+//!    torn-write plane must error out, and the torn file it leaves
+//!    behind must be rejected by the engine loader — cleanly, never a
+//!    panic, never `Ok`.
+//! 2. **Open retry recovers without perturbing bits.** Under transient
+//!    snapshot-open faults the engine's retry-with-backoff load must
+//!    either fail cleanly (every attempt faulted) or produce an engine
+//!    whose embedding tables are bit-identical to a fault-free load.
+//! 3. **Responses are all-or-nothing.** A live server under injected
+//!    latency and dropped connections, fed a seeded mix of valid,
+//!    malformed and oversized requests, must answer each one with a
+//!    complete well-formed HTTP response — or close the connection
+//!    having sent nothing at all. A torn response is a violation.
+
+use super::{e601, i600, scenario_seed, scratch_dir, w601};
+use crate::diag::Finding;
+use eras_data::vocab::Vocab;
+use eras_data::Triple;
+use eras_linalg::faults::{self, FaultConfig, FaultPlane, Site};
+use eras_linalg::Rng;
+use eras_serve::{request_shutdown, serve_with_options, QueryEngine, ServeOptions};
+use eras_sf::zoo;
+use eras_train::io::{self, Snapshot};
+use eras_train::{BlockModel, Embeddings};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LOCATION: &str = "chaos/serve";
+
+/// Iterations of the torn-snapshot and open-retry sweeps (cheap:
+/// each is one small file write + load).
+const STORAGE_SWEEP: u64 = 16;
+
+/// Client-side read timeout; injected latency tops out at 19 ms, so a
+/// response that takes this long is stalled, not slow.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(3);
+
+fn snapshot() -> Snapshot {
+    let mut rng = Rng::seed_from_u64(5);
+    let (ne, nr) = (12usize, 2usize);
+    let mut entities = Vocab::new();
+    for i in 0..ne {
+        entities.intern(&format!("e{i}"));
+    }
+    let mut relations = Vocab::new();
+    for r in 0..nr {
+        relations.intern(&format!("r{r}"));
+    }
+    let model = BlockModel::universal(zoo::complex(), nr);
+    let emb = Embeddings::init(ne, nr, 8, &mut rng);
+    let known = vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)];
+    Snapshot::new("chaos", entities, relations, &model, emb, known)
+}
+
+pub fn run(opts: &super::ChaosOptions, deadline: Instant) -> Finding {
+    let dir = scratch_dir("serve");
+    let finding = run_in(opts, deadline, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+    finding
+}
+
+fn run_in(opts: &super::ChaosOptions, deadline: Instant, dir: &std::path::Path) -> Finding {
+    let snap_path = dir.join("model.snap");
+    if let Err(e) = io::save_snapshot(&snap_path, &snapshot()) {
+        return e601(LOCATION, opts.base_seed, format!("fault-free snapshot save failed: {e}"));
+    }
+    let reference = match QueryEngine::load(&snap_path, 16) {
+        Ok(engine) => engine,
+        Err(e) => return e601(LOCATION, opts.base_seed, format!("fault-free snapshot load failed: {e}")),
+    };
+
+    // Sweep 1: torn snapshot writes.
+    let mut torn_rejected = 0u64;
+    for t in 0..STORAGE_SWEEP {
+        let seed = scenario_seed(opts.base_seed, 4, t);
+        let torn_path = dir.join("torn.snap");
+        let config = FaultConfig::none().with(Site::TornWrite, 256);
+        let guard = faults::install(Arc::new(FaultPlane::new(seed, config)));
+        let saved = io::save_snapshot(&torn_path, &snapshot());
+        drop(guard);
+        if saved.is_ok() {
+            return e601(LOCATION, opts.base_seed, "torn write reported success".to_string());
+        }
+        match catch_unwind(AssertUnwindSafe(|| QueryEngine::load(&torn_path, 4))) {
+            Err(_) => {
+                return e601(
+                    LOCATION,
+                    opts.base_seed,
+                    format!("engine loader panicked on a torn snapshot (sweep {t})"),
+                )
+            }
+            Ok(Ok(_)) => {
+                return e601(
+                    LOCATION,
+                    opts.base_seed,
+                    format!("a torn snapshot loaded as valid (sweep {t})"),
+                )
+            }
+            Ok(Err(_)) => torn_rejected += 1,
+        }
+        std::fs::remove_file(&torn_path).ok();
+    }
+
+    // Sweep 2: transient open faults against the retrying loader.
+    let mut retry_recovered = 0u64;
+    for t in 0..STORAGE_SWEEP {
+        let seed = scenario_seed(opts.base_seed, 5, t);
+        let config = FaultConfig::none().with(Site::SnapshotOpen, 128);
+        let guard = faults::install(Arc::new(FaultPlane::new(seed, config)));
+        let loaded = catch_unwind(AssertUnwindSafe(|| QueryEngine::load(&snap_path, 4)));
+        drop(guard);
+        match loaded {
+            Err(_) => {
+                return e601(
+                    LOCATION,
+                    opts.base_seed,
+                    format!("engine loader panicked under transient open faults (sweep {t})"),
+                )
+            }
+            Ok(Ok(engine)) => {
+                let same = engine.snapshot().embeddings.entity.as_slice()
+                    == reference.snapshot().embeddings.entity.as_slice()
+                    && engine.snapshot().embeddings.relation.as_slice()
+                        == reference.snapshot().embeddings.relation.as_slice();
+                if !same {
+                    return e601(
+                        LOCATION,
+                        opts.base_seed,
+                        format!("retried load produced different bits (sweep {t})"),
+                    );
+                }
+                retry_recovered += 1;
+            }
+            // Every retry attempt drew a fault: a clean error is the
+            // correct answer for that schedule.
+            Ok(Err(_)) => {}
+        }
+    }
+    if retry_recovered == 0 {
+        return e601(
+            LOCATION,
+            opts.base_seed,
+            format!("open retry never recovered in {STORAGE_SWEEP} sweeps at rate 128/256"),
+        );
+    }
+
+    // Sweep 3: live HTTP under injected latency and dropped connections.
+    let engine = Arc::new(reference);
+    let listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => return e601(LOCATION, opts.base_seed, format!("cannot bind a loopback listener: {e}")),
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => return e601(LOCATION, opts.base_seed, format!("listener has no address: {e}")),
+    };
+    let flag = Arc::new(AtomicBool::new(false));
+    let server_opts = ServeOptions {
+        workers: 2,
+        queue_capacity: 16,
+        io_timeout: Duration::from_secs(2),
+        shutdown: Some(Arc::clone(&flag)),
+    };
+    let srv = Arc::clone(&engine);
+    let server = std::thread::spawn(move || serve_with_options(listener, srv, server_opts)); // audit:allow(W405): chaos HTTP server host, not CPU work
+
+    let net_seed = scenario_seed(opts.base_seed, 3, 0);
+    let config = FaultConfig::none()
+        .with(Site::ServeLatency, 48)
+        .with(Site::ServeDrop, 64);
+    let guard = faults::install(Arc::new(FaultPlane::new(net_seed, config)));
+    let mut rng = Rng::seed_from_u64(net_seed);
+    let mut requests_done = 0u64;
+    let mut drops = 0u64;
+    let mut deadline_hit = false;
+    for i in 0..opts.serve_seeds {
+        if Instant::now() > deadline {
+            deadline_hit = true;
+            break;
+        }
+        let kind = (rng.next_u64() % 8) as u8;
+        match exchange(addr, &request_bytes(kind)) {
+            Exchange::Dropped => drops += 1,
+            Exchange::WellFormed => {}
+            Exchange::Violation(why) => {
+                drop(guard);
+                let _ = shut_down(&flag, addr, server);
+                return e601(
+                    LOCATION,
+                    opts.base_seed,
+                    format!("request {i} (kind {kind}): {why}"),
+                );
+            }
+        }
+        requests_done += 1;
+    }
+    drop(guard);
+    if let Err(why) = shut_down(&flag, addr, server) {
+        return e601(LOCATION, opts.base_seed, why);
+    }
+    let msg = format!(
+        "{requests_done} live requests ({drops} dropped all-or-nothing, rest \
+         well-formed), {torn_rejected} torn snapshots rejected, {retry_recovered} \
+         of {STORAGE_SWEEP} loads recovered by open retry, graceful drain verified"
+    );
+    if deadline_hit {
+        return w601(LOCATION, requests_done, opts.serve_seeds, msg);
+    }
+    i600(LOCATION, format!("serve chaos verified: {msg}"))
+}
+
+/// Stop the server and join its thread.
+fn shut_down(
+    flag: &AtomicBool,
+    addr: SocketAddr,
+    server: std::thread::JoinHandle<std::io::Result<()>>,
+) -> Result<(), String> {
+    request_shutdown(flag, addr);
+    match server.join() {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(format!("server returned an error on drain: {e}")),
+        Err(_) => Err("server thread panicked".to_string()),
+    }
+}
+
+/// The seeded request mix: valid endpoints, malformed framing, and
+/// every size-cap class.
+fn request_bytes(kind: u8) -> Vec<u8> {
+    match kind {
+        0 => b"GET /health HTTP/1.1\r\n\r\n".to_vec(),
+        1 => {
+            let body = r#"{"head":"e0","relation":"r0","k":3}"#;
+            format!(
+                "POST /query HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        }
+        2 => b"GET /stats HTTP/1.1\r\n\r\n".to_vec(),
+        3 => b"GARBAGE\r\n\r\n".to_vec(),
+        4 => format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(9 * 1024)).into_bytes(),
+        5 => b"GET /nope HTTP/1.1\r\n\r\n".to_vec(),
+        6 => b"POST /query HTTP/1.1\r\ncontent-length: 5\r\n\r\n{oops".to_vec(),
+        _ => b"POST /query HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n".to_vec(),
+    }
+}
+
+enum Exchange {
+    /// The connection closed having sent zero response bytes.
+    Dropped,
+    /// A complete, parseable response with a known status.
+    WellFormed,
+    /// Anything else — a torn response, an unknown status, a stall.
+    Violation(String),
+}
+
+/// Send one request and classify what came back.
+fn exchange(addr: SocketAddr, request: &[u8]) -> Exchange {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => return Exchange::Violation(format!("connect failed: {e}")),
+    };
+    let _ = stream.set_read_timeout(Some(CLIENT_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(CLIENT_TIMEOUT));
+    // A dropped connection may reset mid-send; that is the drop, not a
+    // violation, so send errors are classified by what we then read.
+    let _ = stream.write_all(request);
+    let _ = stream.flush();
+    let mut response = Vec::new();
+    let read = stream.read_to_end(&mut response);
+    match (read, response.is_empty()) {
+        // Reset/EOF with nothing sent: the all-or-nothing close.
+        (_, true) => Exchange::Dropped,
+        (Err(e), false) => Exchange::Violation(format!(
+            "connection died mid-response after {} bytes: {e}",
+            response.len()
+        )),
+        (Ok(_), false) => classify(&response),
+    }
+}
+
+/// A response is well-formed iff it has a known status line, a blank
+/// line, and a body of exactly `content-length` bytes.
+fn classify(response: &[u8]) -> Exchange {
+    let text = String::from_utf8_lossy(response);
+    let Some(status) = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse::<u16>().ok())
+    else {
+        return Exchange::Violation(format!(
+            "unparseable status line: {:?}",
+            text.lines().next().unwrap_or("")
+        ));
+    };
+    if ![200, 400, 404, 405, 413, 431, 503].contains(&status) {
+        return Exchange::Violation(format!("unexpected status {status}"));
+    }
+    let Some(header_end) = find_blank_line(response) else {
+        return Exchange::Violation("no blank line terminates the headers".to_string());
+    };
+    let headers = String::from_utf8_lossy(&response[..header_end]);
+    let Some(length) = headers.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse::<usize>().ok())?
+    }) else {
+        return Exchange::Violation("no parseable content-length header".to_string());
+    };
+    let body = &response[header_end + 4..];
+    if body.len() != length {
+        return Exchange::Violation(format!(
+            "torn response: content-length {length} but {} body bytes arrived",
+            body.len()
+        ));
+    }
+    Exchange::WellFormed
+}
+
+fn find_blank_line(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}

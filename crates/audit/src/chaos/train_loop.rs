@@ -1,0 +1,204 @@
+//! Chaos scenario: the closed train→crash→resume loop.
+//!
+//! Each seed runs a small training job with periodic checkpointing
+//! while the fault plane fails checkpoint writes, tears them to a
+//! prefix, and errors out checkpoint opens and reads. Every injected
+//! save failure is a crash; the scenario then *resumes from the file
+//! on disk* — exactly what an operator restart does — until the run
+//! finishes. Invariants:
+//!
+//! - the finished run equals the uninterrupted reference **bit for
+//!   bit** in every outcome field, no matter where the crashes landed;
+//! - a torn or truncated checkpoint never loads as valid and never
+//!   panics the loader (clean `Format`/`Io` error only);
+//! - training itself never panics under injected I/O faults.
+
+use super::{e601, i600, scenario_seed, scratch_dir, w601};
+use crate::diag::Finding;
+use eras_data::{FilterIndex, Preset};
+use eras_linalg::faults::{self, FaultConfig, FaultPlane, Site};
+use eras_linalg::pool::ThreadPool;
+use eras_sf::zoo;
+use eras_train::checkpoint::TrainCheckpoint;
+use eras_train::trainer::{train_standalone_resumable, CheckpointSpec, TrainConfig, TrainOutcome};
+use eras_train::BlockModel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+const LOCATION: &str = "chaos/train-resume";
+
+/// Faulted attempts per seed before the scenario clears the plane for
+/// a guaranteed-clean final run (which must then succeed and match).
+const MAX_FAULT_ATTEMPTS: u64 = 6;
+
+/// Per-site rates (over 256) while a faulted attempt runs. Writes and
+/// opens fail often enough that most seeds crash at least once; reads
+/// fail rarely enough that resumes still usually get through.
+fn fault_config() -> FaultConfig {
+    FaultConfig::none()
+        .with(Site::IoWrite, 64)
+        .with(Site::TornWrite, 48)
+        .with(Site::SnapshotOpen, 64)
+        .with(Site::IoRead, 6)
+}
+
+pub fn run(opts: &super::ChaosOptions, deadline: Instant) -> Finding {
+    let dataset = Preset::Tiny.build(8);
+    let filter = FilterIndex::build(&dataset);
+    let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+    let cfg = TrainConfig {
+        dim: 8,
+        max_epochs: 3,
+        eval_every: 3,
+        patience: 3,
+        batch_size: 256,
+        ..TrainConfig::default()
+    };
+    let pool = ThreadPool::new(2);
+    let reference = match train_standalone_resumable(&model, &dataset, &filter, &cfg, &pool, None) {
+        Ok(out) => out,
+        // Statically unreachable (no spec → no I/O), but a chaos pass
+        // must not panic its host.
+        Err(e) => return e601(LOCATION, opts.base_seed, format!("reference run failed: {e}")),
+    };
+
+    let dir = scratch_dir("train");
+    let mut crashes = 0u64;
+    let mut resumes = 0u64;
+    let mut torn_rejected = 0u64;
+    let mut seeds_done = 0u64;
+    for i in 0..opts.train_seeds {
+        if Instant::now() > deadline {
+            let msg = progress(seeds_done, crashes, resumes, torn_rejected);
+            std::fs::remove_dir_all(&dir).ok();
+            return w601(LOCATION, seeds_done, opts.train_seeds, msg);
+        }
+        let seed = scenario_seed(opts.base_seed, 1, i);
+        let path = dir.join(format!("seed_{i}.ckpt"));
+        let spec = CheckpointSpec {
+            path: path.clone(),
+            every: 1,
+            resume: true,
+        };
+
+        let mut finished: Option<TrainOutcome> = None;
+        for attempt in 0..=MAX_FAULT_ATTEMPTS {
+            // The last attempt runs without a plane: a crash there is
+            // a real bug, not an injected one.
+            let guard = (attempt < MAX_FAULT_ATTEMPTS).then(|| {
+                faults::install(Arc::new(FaultPlane::new(
+                    seed.wrapping_add(attempt),
+                    fault_config(),
+                )))
+            });
+            if attempt > 0 && path.exists() {
+                resumes += 1;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                train_standalone_resumable(&model, &dataset, &filter, &cfg, &pool, Some(&spec))
+            }));
+            drop(guard);
+            match result {
+                Err(_) => {
+                    std::fs::remove_dir_all(&dir).ok();
+                    return e601(
+                        LOCATION,
+                        opts.base_seed,
+                        format!("training panicked under injected I/O faults (seed {i}, attempt {attempt})"),
+                    );
+                }
+                Ok(Ok(out)) => {
+                    finished = Some(out);
+                    break;
+                }
+                Ok(Err(_)) => {
+                    // An injected crash. Whatever the save left on disk
+                    // (possibly a torn file), the loader must reject or
+                    // accept it cleanly — never panic.
+                    crashes += 1;
+                    if path.exists() {
+                        match catch_unwind(AssertUnwindSafe(|| TrainCheckpoint::load(&path))) {
+                            Err(_) => {
+                                std::fs::remove_dir_all(&dir).ok();
+                                return e601(
+                                    LOCATION,
+                                    opts.base_seed,
+                                    format!(
+                                        "checkpoint loader panicked on a post-crash file \
+                                         (seed {i}, attempt {attempt})"
+                                    ),
+                                );
+                            }
+                            Ok(Err(_)) => torn_rejected += 1,
+                            Ok(Ok(_)) => {}
+                        }
+                    }
+                }
+            }
+        }
+        let out = match finished {
+            Some(out) => out,
+            None => {
+                std::fs::remove_dir_all(&dir).ok();
+                return e601(
+                    LOCATION,
+                    opts.base_seed,
+                    format!("fault-free final attempt did not complete (seed {i})"),
+                );
+            }
+        };
+        if let Some(field) = diff_outcome(&out, &reference) {
+            std::fs::remove_dir_all(&dir).ok();
+            return e601(
+                LOCATION,
+                opts.base_seed,
+                format!(
+                    "resumed run diverged from the uninterrupted reference in `{field}` \
+                     (seed {i}, {crashes} crashes so far)"
+                ),
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        seeds_done += 1;
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    i600(
+        LOCATION,
+        format!(
+            "train→crash→resume verified: {}",
+            progress(seeds_done, crashes, resumes, torn_rejected)
+        ),
+    )
+}
+
+fn progress(seeds: u64, crashes: u64, resumes: u64, torn: u64) -> String {
+    format!(
+        "{seeds} seeds, {crashes} injected crashes, {resumes} resumes from disk, \
+         {torn} torn/unreadable checkpoints rejected cleanly; every completed \
+         run bit-identical to the uninterrupted reference"
+    )
+}
+
+/// First outcome field that differs from the reference, if any.
+fn diff_outcome(a: &TrainOutcome, b: &TrainOutcome) -> Option<&'static str> {
+    if a.embeddings.entity.as_slice() != b.embeddings.entity.as_slice() {
+        return Some("embeddings.entity");
+    }
+    if a.embeddings.relation.as_slice() != b.embeddings.relation.as_slice() {
+        return Some("embeddings.relation");
+    }
+    if a.best_valid != b.best_valid {
+        return Some("best_valid");
+    }
+    if a.test != b.test {
+        return Some("test");
+    }
+    if a.epochs_run != b.epochs_run {
+        return Some("epochs_run");
+    }
+    if a.final_loss.to_bits() != b.final_loss.to_bits() {
+        return Some("final_loss");
+    }
+    None
+}

@@ -17,13 +17,19 @@
 //!   `unsafe impl Send/Sync` (`E401`/`W40x`);
 //! - [`sched`] — schedule-exploring model checking of the parallel
 //!   execution layer's synchronisation protocols through the
-//!   `eras_linalg::sync` scheduler hooks (`E5xx`/`I500`).
+//!   `eras_linalg::sync` scheduler hooks (`E5xx`/`I500`);
+//! - [`chaos`] — seeded fault injection against the real training,
+//!   pool and serving code through the `eras_linalg::faults` plane
+//!   (`E601`/`I600`/`W601`). Opt-in (`--pass chaos`): it runs real
+//!   training jobs and a live HTTP server, so it takes seconds-to-a-
+//!   minute rather than milliseconds.
 //!
 //! Every finding carries a stable code catalogued in `docs/audit.md`.
 //! [`run_audit`] aggregates the selected passes into an [`AuditReport`]
 //! with text and JSON renderers; errors always fail the audit, warnings
 //! fail under `--deny warnings`.
 
+pub mod chaos;
 pub mod config_pass;
 pub mod diag;
 pub mod grad_pass;
@@ -48,6 +54,10 @@ pub struct PassSet {
     pub lint: bool,
     /// Concurrency model checking.
     pub sched: bool,
+    /// Seeded fault-injection harness. Off by default: chaos runs real
+    /// training jobs and a live server, so the default `eras audit`
+    /// stays fast; select it explicitly with `--pass chaos`.
+    pub chaos: bool,
 }
 
 impl Default for PassSet {
@@ -58,6 +68,7 @@ impl Default for PassSet {
             config: true,
             lint: true,
             sched: true,
+            chaos: false,
         }
     }
 }
@@ -65,7 +76,7 @@ impl Default for PassSet {
 impl PassSet {
     /// Every valid pass name, in run order — the single source of truth
     /// for `parse` errors and the CLI usage text.
-    pub const NAMES: [&'static str; 5] = ["sf", "grad", "config", "lint", "sched"];
+    pub const NAMES: [&'static str; 6] = ["sf", "grad", "config", "lint", "sched", "chaos"];
 
     /// Parse a comma-separated pass list (`"sf,grad"`).
     pub fn parse(spec: &str) -> Result<PassSet, String> {
@@ -75,6 +86,7 @@ impl PassSet {
             config: false,
             lint: false,
             sched: false,
+            chaos: false,
         };
         for part in spec.split(',') {
             match part.trim() {
@@ -83,6 +95,7 @@ impl PassSet {
                 "config" => set.config = true,
                 "lint" => set.lint = true,
                 "sched" => set.sched = true,
+                "chaos" => set.chaos = true,
                 other => {
                     return Err(format!(
                         "unknown pass `{other}` (valid passes: {})",
@@ -97,8 +110,25 @@ impl PassSet {
 
 /// Run the selected passes. `root` is the workspace root for the lint
 /// pass; `sf_samples` controls how many random search-space structures
-/// the SF pass checks (seeded with `seed`).
+/// the SF pass checks (seeded with `seed`). The chaos pass, when
+/// selected, runs with [`chaos::ChaosOptions::default`] re-seeded from
+/// `seed`; use [`run_audit_with`] to size its budgets.
 pub fn run_audit(root: &Path, passes: PassSet, sf_samples: usize, seed: u64) -> AuditReport {
+    let chaos_opts = chaos::ChaosOptions {
+        base_seed: seed,
+        ..chaos::ChaosOptions::default()
+    };
+    run_audit_with(root, passes, sf_samples, seed, &chaos_opts)
+}
+
+/// [`run_audit`] with explicit chaos budgets.
+pub fn run_audit_with(
+    root: &Path,
+    passes: PassSet,
+    sf_samples: usize,
+    seed: u64,
+    chaos_opts: &chaos::ChaosOptions,
+) -> AuditReport {
     let mut report = AuditReport::default();
     if passes.sf {
         report.passes_run.push("sf");
@@ -124,6 +154,10 @@ pub fn run_audit(root: &Path, passes: PassSet, sf_samples: usize, seed: u64) -> 
             .findings
             .extend(sched::run(&sched::SchedOptions::default()));
     }
+    if passes.chaos {
+        report.passes_run.push("chaos");
+        report.findings.extend(chaos::run(chaos_opts));
+    }
     report
 }
 
@@ -134,9 +168,13 @@ mod tests {
     #[test]
     fn pass_set_parses() {
         let set = PassSet::parse("sf, lint").expect("valid");
-        assert!(set.sf && set.lint && !set.grad && !set.config && !set.sched);
+        assert!(set.sf && set.lint && !set.grad && !set.config && !set.sched && !set.chaos);
         let set = PassSet::parse("sched").expect("valid");
         assert!(set.sched && !set.sf);
+        let set = PassSet::parse("chaos").expect("valid");
+        assert!(set.chaos && !set.lint);
+        // Chaos is opt-in: the default set must leave it off.
+        assert!(!PassSet::default().chaos);
         assert!(PassSet::parse("bogus").is_err());
     }
 

@@ -1,0 +1,74 @@
+//! Gate tests for the chaos pass: the shipped tree must verify clean,
+//! and the verdict must be a pure function of the seed.
+//!
+//! These live in their own integration-test binary because the fault
+//! plane is process-global; `chaos::run` serialises concurrent callers
+//! on its internal run lock, so the tests here may run in parallel
+//! with each other but not share a binary with tests that install
+//! planes directly.
+
+use eras_audit::chaos::{self, ChaosOptions};
+use std::time::Duration;
+
+/// Small budgets keep the gate fast; the full budget runs in CI's
+/// dedicated chaos-smoke job and locally via `eras audit --pass chaos`.
+fn gate_options(base_seed: u64) -> ChaosOptions {
+    ChaosOptions {
+        base_seed,
+        train_seeds: 4,
+        pool_seeds: 24,
+        serve_seeds: 16,
+        time_budget: Duration::from_secs(120),
+    }
+}
+
+#[test]
+fn shipped_tree_survives_chaos() {
+    let findings = chaos::run(&gate_options(7));
+    assert_eq!(findings.len(), 3, "one finding per scenario");
+    for f in &findings {
+        assert_ne!(f.code, "E601", "chaos invariant violated: {f}");
+        assert!(
+            f.code == "I600" || f.code == "W601",
+            "unexpected code {}: {f}",
+            f.code
+        );
+    }
+    // Every scenario reported under its own location.
+    let locations: Vec<&str> = findings.iter().map(|f| f.location.as_str()).collect();
+    assert!(locations.contains(&"chaos/train-resume"), "{locations:?}");
+    assert!(locations.contains(&"chaos/pool"), "{locations:?}");
+    assert!(locations.contains(&"chaos/serve"), "{locations:?}");
+}
+
+/// Same seed, same verdict codes — a red chaos run must be replayable.
+/// (Messages can differ in racy counters: pool fault draws race for
+/// hit indices across worker threads; the *verdict* may not.)
+#[test]
+fn verdict_is_deterministic_in_the_seed() {
+    let a: Vec<&str> = chaos::run(&gate_options(11))
+        .iter()
+        .map(|f| f.code)
+        .collect();
+    let b: Vec<&str> = chaos::run(&gate_options(11))
+        .iter()
+        .map(|f| f.code)
+        .collect();
+    assert_eq!(a, b);
+}
+
+/// The train scenario's schedule counters are single-threaded and must
+/// reproduce exactly, message included.
+#[test]
+fn train_scenario_counts_reproduce() {
+    let opts = gate_options(23);
+    let a = chaos::run(&opts);
+    let b = chaos::run(&opts);
+    let msg = |fs: &[eras_audit::Finding]| {
+        fs.iter()
+            .find(|f| f.location == "chaos/train-resume")
+            .map(|f| f.message.clone())
+            .expect("train finding present")
+    };
+    assert_eq!(msg(&a), msg(&b));
+}

@@ -8,7 +8,9 @@ use eras_linalg::pool::ThreadPool;
 use eras_search::evaluator::SearchBudget;
 use eras_search::{autosf, random, tpe};
 use eras_train::eval::link_prediction;
-use eras_train::trainer::{train_standalone, train_standalone_on, Execution, TrainConfig};
+use eras_train::trainer::{
+    train_standalone, train_standalone_resumable, CheckpointSpec, Execution, TrainConfig,
+};
 use eras_train::{BlockModel, LossMode};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -23,12 +25,14 @@ USAGE:
   eras train    (--preset NAME | --data DIR) [--model complex] [--dim 32]
                 [--epochs 40] [--seed N] [--save FILE] [--snapshot FILE]
                 [--full-loss] [--parallel] [--threads N]
+                [--checkpoint FILE] [--checkpoint-every N] [--resume]
   eras search   (--preset NAME | --data DIR) [--method eras] [--groups 3]
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
   eras rules    (--preset NAME | --data DIR) [--seed N]
-  eras audit    [--pass sf,grad,config,lint,sched] [--format text|json]
+  eras audit    [--pass sf,grad,config,lint,sched,chaos] [--format text|json]
                 [--deny warnings] [--root DIR] [--sf-samples N] [--seed N]
+                [--chaos-seeds N] [--chaos-budget SECS]
   eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
                 [--cache 1024]
   eras query    --snapshot FILE (--head E | --tail E) --relation R
@@ -39,7 +43,8 @@ MODELS:  distmult complex simple analogy
 METHODS: eras autosf random tpe
 PASSES:  sf (DSL analysis)  grad (gradient contracts)
          config (preset diagnostics)  lint (source lints)
-         sched (concurrency model checking)";
+         sched (concurrency model checking)
+         chaos (seeded fault-injection harness)";
 
 fn preset_by_name(name: &str) -> Result<Preset, String> {
     Ok(match name {
@@ -167,16 +172,35 @@ pub fn train(args: &Args) -> Result<(), String> {
     );
     let model = BlockModel::universal(sf, dataset.num_relations());
     let started = std::time::Instant::now();
+    // `--checkpoint FILE` saves the complete training state every
+    // `--checkpoint-every N` epochs (atomic write); `--resume` continues
+    // a crashed run from the file bit-identically.
+    let ckpt = args.get("checkpoint").map(|path| CheckpointSpec {
+        path: Path::new(path).to_path_buf(),
+        every: args.get_or("checkpoint-every", 10usize).unwrap_or(10),
+        resume: args.has("resume"),
+    });
+    if args.has("resume") && ckpt.is_none() {
+        return Err("--resume requires --checkpoint FILE".into());
+    }
     // `--threads N` sizes a dedicated pool for this run; otherwise the
     // process-wide pool applies (`ERAS_THREADS`, see docs/performance.md).
     // The pool size never changes the numbers, only the wall clock.
     let outcome = match args.get("threads") {
         Some(_) => {
             let pool = ThreadPool::new(args.get_or("threads", 1usize)?);
-            train_standalone_on(&model, &dataset, &filter, &cfg, &pool)
+            train_standalone_resumable(&model, &dataset, &filter, &cfg, &pool, ckpt.as_ref())
         }
-        None => train_standalone(&model, &dataset, &filter, &cfg),
-    };
+        None => train_standalone_resumable(
+            &model,
+            &dataset,
+            &filter,
+            &cfg,
+            ThreadPool::global(),
+            ckpt.as_ref(),
+        ),
+    }
+    .map_err(|e| e.to_string())?;
     println!(
         "test: MRR {:.3}  Hit@1 {:.1}%  Hit@10 {:.1}%  ({} epochs, {:.1}s)",
         outcome.test.mrr,
@@ -420,7 +444,31 @@ pub fn audit(args: &Args) -> Result<(), String> {
         ));
     }
 
-    let report = eras_audit::run_audit(Path::new(&root), passes, sf_samples, seed);
+    let mut chaos_opts = eras_audit::chaos::ChaosOptions {
+        base_seed: seed,
+        ..eras_audit::chaos::ChaosOptions::default()
+    };
+    // `--chaos-seeds N` scales every scenario's seed budget by
+    // N / default-train-seeds, so one knob sizes the whole pass.
+    if let Some(train_seeds) = args.get("chaos-seeds") {
+        let train_seeds: u64 = train_seeds
+            .parse()
+            .map_err(|_| format!("--chaos-seeds `{train_seeds}` is not a number"))?;
+        let defaults = eras_audit::chaos::ChaosOptions::default();
+        chaos_opts.train_seeds = train_seeds;
+        chaos_opts.pool_seeds = (train_seeds * defaults.pool_seeds).div_ceil(defaults.train_seeds);
+        chaos_opts.serve_seeds =
+            (train_seeds * defaults.serve_seeds).div_ceil(defaults.train_seeds);
+    }
+    if let Some(secs) = args.get("chaos-budget") {
+        let secs: u64 = secs
+            .parse()
+            .map_err(|_| format!("--chaos-budget `{secs}` is not a number of seconds"))?;
+        chaos_opts.time_budget = std::time::Duration::from_secs(secs);
+    }
+
+    let report =
+        eras_audit::run_audit_with(Path::new(&root), passes, sf_samples, seed, &chaos_opts);
     match args.get("format").unwrap_or("text") {
         "json" => println!("{}", report.render_json()),
         "text" => print!("{}", report.render_text()),

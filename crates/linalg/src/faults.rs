@@ -1,0 +1,448 @@
+//! Deterministic fault-injection plane — the seeded chaos substrate
+//! under `eras audit --pass chaos`.
+//!
+//! Production code paths that can fail in the real world (file I/O in
+//! `eras-train`'s snapshot/checkpoint layer, worker threads in the
+//! shared pool, connection handling in `eras-serve`) each carry a named
+//! injection [`Site`]. At every site the code asks [`check`] whether a
+//! fault should fire *now*; the answer is a pure function of the
+//! installed [`FaultPlane`]'s seed and the site's hit counter, so one
+//! seed always produces one fault schedule — a failing chaos run is a
+//! recipe, not a coin flip.
+//!
+//! ## Plane contract (mirrors `eras_linalg::sync`)
+//!
+//! - **Production builds are zero-cost.** Without the `fault-hook`
+//!   cargo feature, [`check`] is a `const None` that inlines away; the
+//!   fault plane cannot exist and binaries are bit-identical to a tree
+//!   without any injection sites.
+//! - **Hooked builds without a plane are inert.** With the feature on
+//!   but no plane installed (every production thread, and every test
+//!   that did not opt in), [`check`] is one relaxed atomic load.
+//! - **Installed planes are deterministic.** A plane decides site `s`'s
+//!   `n`-th hit by hashing `(seed, s, n)`; the decision does not depend
+//!   on wall clock, thread identity, or scheduling. Concurrent hits on
+//!   one site race only for *which* hit index each caller draws, so
+//!   chaos scenarios that require a bit-reproducible verdict drive the
+//!   faulted path from one thread at a time.
+//!
+//! The plane is process-global (faults must reach pool workers and
+//! serve connection threads that never see the installer), so at most
+//! one chaos scenario may run per process at a time — the chaos
+//! harness serialises itself with an internal run lock.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a fault can be injected. Each variant is one named point in
+/// production code; the discriminant indexes the plane's per-site
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// A body read in the snapshot/checkpoint decoder
+    /// (`eras_train::io::FormatReader::fill`): the read errors out or
+    /// comes back short.
+    IoRead = 0,
+    /// A write/sync step inside the atomic save path
+    /// (`eras_train::io::atomic_write`): the write errors out.
+    IoWrite = 1,
+    /// The atomicity of the save path itself: the temp file is torn to
+    /// a prefix and renamed anyway, simulating a filesystem whose
+    /// rename is not atomic (or a crash mid-rename).
+    TornWrite = 2,
+    /// Opening a snapshot/checkpoint file for reading: a transient
+    /// `IoError::Io` (the retry-with-backoff target).
+    SnapshotOpen = 3,
+    /// One pool task body (`eras_linalg::pool`): panics inside the
+    /// pool's per-task `catch_unwind`, exercising the panic-flag path.
+    PoolTask = 4,
+    /// A pool worker thread between claiming a job and draining it:
+    /// panics *outside* the per-task catch, killing the worker thread
+    /// outright.
+    PoolWorker = 5,
+    /// One serve connection, before the request is read: injected
+    /// latency.
+    ServeLatency = 6,
+    /// One serve connection: dropped without a response (the client
+    /// must observe a clean close, never a torn response).
+    ServeDrop = 7,
+}
+
+/// Number of [`Site`] variants (the plane's counter-array width).
+pub const NUM_SITES: usize = 8;
+
+impl Site {
+    /// All sites, in discriminant order.
+    pub const ALL: [Site; NUM_SITES] = [
+        Site::IoRead,
+        Site::IoWrite,
+        Site::TornWrite,
+        Site::SnapshotOpen,
+        Site::PoolTask,
+        Site::PoolWorker,
+        Site::ServeLatency,
+        Site::ServeDrop,
+    ];
+
+    /// Stable lowercase name (used in chaos reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::IoRead => "io-read",
+            Site::IoWrite => "io-write",
+            Site::TornWrite => "torn-write",
+            Site::SnapshotOpen => "snapshot-open",
+            Site::PoolTask => "pool-task",
+            Site::PoolWorker => "pool-worker",
+            Site::ServeLatency => "serve-latency",
+            Site::ServeDrop => "serve-drop",
+        }
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an injection site should do, when its check fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail with an injected `std::io::Error` (I/O sites).
+    Error,
+    /// Deliver fewer bytes than requested (read sites); the decoder
+    /// must surface a clean format/truncation error.
+    ShortRead,
+    /// Keep only `keep_num / 256` of the written bytes and publish the
+    /// torn file anyway (torn-write site).
+    Truncate {
+        /// Numerator of the kept fraction, over 256.
+        keep_num: u8,
+    },
+    /// Panic at the site (pool sites).
+    Panic,
+    /// Sleep for this many milliseconds before proceeding (serve).
+    Delay {
+        /// Injected latency in milliseconds.
+        millis: u16,
+    },
+    /// Close the connection without responding (serve).
+    Drop,
+}
+
+/// Per-site injection probability, as a numerator over 256 hits
+/// (0 = site disabled, 256 = every hit faults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultConfig {
+    /// Rates indexed by `Site` discriminant, each in `0..=256`.
+    pub rate_num: [u16; NUM_SITES],
+}
+
+impl FaultConfig {
+    /// A config with every site disabled.
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// Set one site's rate (numerator over 256), builder-style.
+    pub fn with(mut self, site: Site, rate_num: u16) -> FaultConfig {
+        self.rate_num[site as usize] = rate_num.min(256);
+        self
+    }
+}
+
+/// Per-site hit/injection counters, snapshot form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounts {
+    /// Times each site's check was consulted.
+    pub hits: [u64; NUM_SITES],
+    /// Times each site's check answered with a fault.
+    pub injected: [u64; NUM_SITES],
+}
+
+impl FaultCounts {
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Total site checks consulted across all sites.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+}
+
+/// SplitMix64-style finaliser: decorrelates `(seed, site, hit)` into
+/// an unbiased 64-bit draw.
+#[inline]
+fn mix(seed: u64, site: u64, hit: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(site.wrapping_mul(0xA0761D6478BD642F))
+        .wrapping_add(hit.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded fault schedule. The `n`-th hit on site `s` faults iff
+/// `mix(seed, s, n) mod 256 < rate_num[s]`, and the fault's shape
+/// (short vs. error, torn fraction, delay length) is carved from the
+/// same hash — fully reproducible from `(seed, config)`.
+#[derive(Debug)]
+pub struct FaultPlane {
+    seed: u64,
+    config: FaultConfig,
+    hits: [AtomicU64; NUM_SITES],
+    injected: [AtomicU64; NUM_SITES],
+}
+
+impl FaultPlane {
+    /// A new plane with the given seed and per-site rates.
+    pub fn new(seed: u64, config: FaultConfig) -> FaultPlane {
+        FaultPlane {
+            seed,
+            config,
+            hits: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// The plane's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decide the current hit on `site`. Advances the site's hit
+    /// counter; deterministic in the hit index.
+    pub fn decide(&self, site: Site) -> Option<Fault> {
+        let i = site as usize;
+        let n = self.hits[i].fetch_add(1, Ordering::Relaxed);
+        let rate = self.config.rate_num[i];
+        if rate == 0 {
+            return None;
+        }
+        let h = mix(self.seed, i as u64, n);
+        if (h & 0xFF) as u16 >= rate {
+            return None;
+        }
+        self.injected[i].fetch_add(1, Ordering::Relaxed);
+        // Shape bits, independent of the fire/no-fire byte.
+        let shape = h >> 8;
+        Some(match site {
+            Site::IoRead => {
+                if shape & 1 == 0 {
+                    Fault::Error
+                } else {
+                    Fault::ShortRead
+                }
+            }
+            Site::IoWrite | Site::SnapshotOpen => Fault::Error,
+            Site::TornWrite => Fault::Truncate {
+                keep_num: (shape & 0xFF) as u8,
+            },
+            Site::PoolTask | Site::PoolWorker => Fault::Panic,
+            Site::ServeLatency => Fault::Delay {
+                millis: (shape % 20) as u16,
+            },
+            Site::ServeDrop => Fault::Drop,
+        })
+    }
+
+    /// Snapshot of the per-site counters.
+    pub fn counts(&self) -> FaultCounts {
+        let mut c = FaultCounts::default();
+        for i in 0..NUM_SITES {
+            c.hits[i] = self.hits[i].load(Ordering::Relaxed);
+            c.injected[i] = self.injected[i].load(Ordering::Relaxed);
+        }
+        c
+    }
+}
+
+/// An injected I/O error, recognisable in messages; `ErrorKind::Other`
+/// so it never collides with a kind production code special-cases.
+pub fn injected_io_error(site: Site) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at site {site}"))
+}
+
+#[cfg(feature = "fault-hook")]
+mod enabled {
+    use super::FaultPlane;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Fast-path flag: checked before touching the mutex, so a hooked
+    /// build with no plane installed pays one relaxed load per site.
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static PLANE: Mutex<Option<Arc<FaultPlane>>> = Mutex::new(None);
+
+    /// Install a process-global plane. Returns a guard that uninstalls
+    /// it on drop, so a panicking chaos scenario cannot leak faults
+    /// into unrelated code.
+    pub fn install(plane: Arc<FaultPlane>) -> InstalledPlane {
+        *PLANE.lock().unwrap_or_else(PoisonError::into_inner) = Some(plane);
+        ACTIVE.store(true, Ordering::Release);
+        InstalledPlane { _private: () }
+    }
+
+    /// Remove the global plane (idempotent).
+    pub fn clear() {
+        ACTIVE.store(false, Ordering::Release);
+        *PLANE.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// The installed plane, if any.
+    pub fn current() -> Option<Arc<FaultPlane>> {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return None;
+        }
+        PLANE.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// RAII handle for an installed plane; uninstalls on drop.
+    #[must_use = "dropping the guard uninstalls the plane"]
+    pub struct InstalledPlane {
+        _private: (),
+    }
+
+    impl Drop for InstalledPlane {
+        fn drop(&mut self) {
+            clear();
+        }
+    }
+}
+
+#[cfg(feature = "fault-hook")]
+pub use enabled::{clear, current, install, InstalledPlane};
+
+/// Ask the installed plane whether this hit of `site` should fault.
+#[cfg(feature = "fault-hook")]
+#[inline]
+pub fn check(site: Site) -> Option<Fault> {
+    enabled::current().and_then(|p| p.decide(site))
+}
+
+/// Without the `fault-hook` feature there is never a plane: this
+/// constant `None` inlines away and every injection site compiles to
+/// nothing.
+#[cfg(not(feature = "fault-hook"))]
+#[inline(always)]
+pub fn check(_site: Site) -> Option<Fault> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_in_seed_and_hit() {
+        let cfg = FaultConfig::none()
+            .with(Site::IoRead, 64)
+            .with(Site::TornWrite, 128);
+        let a = FaultPlane::new(9, cfg);
+        let b = FaultPlane::new(9, cfg);
+        let seq_a: Vec<_> = (0..200).map(|_| a.decide(Site::IoRead)).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.decide(Site::IoRead)).collect();
+        assert_eq!(seq_a, seq_b);
+        let torn_a: Vec<_> = (0..50).map(|_| a.decide(Site::TornWrite)).collect();
+        let torn_b: Vec<_> = (0..50).map(|_| b.decide(Site::TornWrite)).collect();
+        assert_eq!(torn_a, torn_b);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_schedules() {
+        let cfg = FaultConfig::none().with(Site::IoRead, 64);
+        let a = FaultPlane::new(1, cfg);
+        let b = FaultPlane::new(2, cfg);
+        let seq_a: Vec<bool> = (0..256).map(|_| a.decide(Site::IoRead).is_some()).collect();
+        let seq_b: Vec<bool> = (0..256).map(|_| b.decide(Site::IoRead).is_some()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let cfg = FaultConfig::none().with(Site::PoolTask, 64); // 1 in 4
+        let p = FaultPlane::new(3, cfg);
+        let fired = (0..4096)
+            .filter(|_| p.decide(Site::PoolTask).is_some())
+            .count();
+        assert!(
+            (700..1350).contains(&fired),
+            "expected ~1024 of 4096, got {fired}"
+        );
+        let counts = p.counts();
+        assert_eq!(counts.hits[Site::PoolTask as usize], 4096);
+        assert_eq!(counts.injected[Site::PoolTask as usize], fired as u64);
+        assert_eq!(counts.total_injected(), fired as u64);
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_disabled_sites_stay_silent() {
+        let p = FaultPlane::new(7, FaultConfig::none());
+        for site in Site::ALL {
+            for _ in 0..64 {
+                assert_eq!(p.decide(site), None);
+            }
+        }
+        assert_eq!(p.counts().total_injected(), 0);
+        assert_eq!(p.counts().total_hits(), 64 * NUM_SITES as u64);
+    }
+
+    #[test]
+    fn fault_shapes_match_their_sites() {
+        let mut cfg = FaultConfig::none();
+        for site in Site::ALL {
+            cfg = cfg.with(site, 256); // always fire
+        }
+        let p = FaultPlane::new(11, cfg);
+        for _ in 0..32 {
+            assert!(matches!(
+                p.decide(Site::IoRead),
+                Some(Fault::Error | Fault::ShortRead)
+            ));
+            assert_eq!(p.decide(Site::IoWrite), Some(Fault::Error));
+            assert_eq!(p.decide(Site::SnapshotOpen), Some(Fault::Error));
+            assert!(matches!(
+                p.decide(Site::TornWrite),
+                Some(Fault::Truncate { .. })
+            ));
+            assert_eq!(p.decide(Site::PoolTask), Some(Fault::Panic));
+            assert_eq!(p.decide(Site::PoolWorker), Some(Fault::Panic));
+            match p.decide(Site::ServeLatency) {
+                Some(Fault::Delay { millis }) => assert!(millis < 20),
+                other => panic!("expected Delay, got {other:?}"),
+            }
+            assert_eq!(p.decide(Site::ServeDrop), Some(Fault::Drop));
+        }
+    }
+
+    #[test]
+    fn injected_error_names_the_site() {
+        let e = injected_io_error(Site::SnapshotOpen);
+        assert!(e.to_string().contains("snapshot-open"));
+        assert!(e.to_string().contains("injected"));
+    }
+
+    #[cfg(feature = "fault-hook")]
+    #[test]
+    fn install_guard_scopes_the_plane() {
+        // Serialised with any other global-plane test by taking the
+        // install path in one thread only (unit tests in this module
+        // are the only installers in this crate's test binary).
+        let cfg = FaultConfig::none().with(Site::IoRead, 256);
+        {
+            let _guard = install(std::sync::Arc::new(FaultPlane::new(5, cfg)));
+            assert!(check(Site::IoRead).is_some());
+        }
+        assert_eq!(check(Site::IoRead), None, "guard drop must uninstall");
+    }
+
+    #[cfg(not(feature = "fault-hook"))]
+    #[test]
+    fn unhooked_check_is_constant_none() {
+        for site in Site::ALL {
+            assert_eq!(check(site), None);
+        }
+    }
+}

@@ -27,6 +27,9 @@
 //!   caches are built on — forwards to `std::sync` in production and
 //!   yields to the `eras audit --pass sched` model checker under the
 //!   `sched-hook` feature.
+//! - [`faults`]: the deterministic fault-injection plane the
+//!   `eras audit --pass chaos` harness drives — every injection site
+//!   compiles to nothing without the `fault-hook` feature.
 
 // Indexed loops are the clearer idiom in the numeric kernels below
 // (parallel arrays, strided block views); the iterator forms clippy
@@ -34,6 +37,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cmp;
+pub mod faults;
 pub mod matrix;
 pub mod optim;
 pub mod pca;

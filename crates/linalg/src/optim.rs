@@ -78,6 +78,24 @@ impl Adagrad {
             accum: vec![0.0; state_len],
         }
     }
+
+    /// The per-parameter squared-gradient accumulator, for
+    /// checkpointing.
+    pub fn accumulator(&self) -> &[f32] {
+        &self.accum
+    }
+
+    /// Rebuild an optimizer from a checkpointed accumulator. Together
+    /// with the learning rate this is the optimizer's entire state, so
+    /// a restored Adagrad continues bit-identically.
+    pub fn from_accumulator(lr: f32, l2: f32, accum: Vec<f32>) -> Self {
+        Adagrad {
+            lr,
+            l2,
+            eps: 1e-10,
+            accum,
+        }
+    }
 }
 
 impl Optimizer for Adagrad {

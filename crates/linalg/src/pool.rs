@@ -44,6 +44,7 @@
 //! construction, `dispatches` doubles as the steal-free dispatch count —
 //! there is no slow path to fall back to.
 
+use crate::faults;
 use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
@@ -106,12 +107,22 @@ struct Shared {
     slot: Mutex<JobSlot>,
     work_cv: Condvar,
     done_cv: Condvar,
+    /// Workers that died (unwound out of the worker loop) over the
+    /// pool's lifetime. Purely observational; `JobSlot::live` is the
+    /// authoritative count dispatches size their barrier with.
+    lost_workers: AtomicUsize,
 }
 
 struct JobSlot {
     seq: u64,
     job: Option<Arc<Job>>,
     shutdown: bool,
+    /// Worker threads still serving jobs. A dispatch sizes its check-in
+    /// barrier with this count (under the slot lock), so a worker that
+    /// died — a panic outside the per-task catch, however unlikely —
+    /// can never strand a future dispatch waiting for a check-in that
+    /// will not come.
+    live: usize,
 }
 
 /// A fixed set of worker threads executing chunked parallel-for jobs.
@@ -142,9 +153,11 @@ impl ThreadPool {
                 seq: 0,
                 job: None,
                 shutdown: false,
+                live: parallelism - 1,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            lost_workers: AtomicUsize::new(0),
         });
         let workers = (1..parallelism)
             .map(|i| {
@@ -176,6 +189,14 @@ impl ThreadPool {
     /// Total parallelism (worker threads + the participating caller).
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Worker threads lost to a panic outside the per-task catch over
+    /// the pool's lifetime (in practice only the chaos harness's
+    /// injected worker deaths). The pool keeps dispatching with the
+    /// survivors; it never deadlocks on a dead worker's check-in.
+    pub fn lost_workers(&self) -> usize {
+        self.shared.lost_workers.load(Ordering::Relaxed)
     }
 
     /// Dispatch counters.
@@ -244,11 +265,15 @@ impl ThreadPool {
             tasks,
             cursor: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
-            pending: AtomicUsize::new(self.workers.len()),
+            pending: AtomicUsize::new(0),
         });
 
         {
             let mut slot = lock(&self.shared.slot);
+            // Size the barrier with the workers actually alive, read
+            // under the same lock a dying worker updates `live` under:
+            // a dead worker can neither claim this job nor check in.
+            job.pending.store(slot.live, Ordering::Release);
             slot.seq += 1;
             slot.job = Some(Arc::clone(&job));
             self.shared.work_cv.notify_all();
@@ -340,6 +365,9 @@ fn drain(job: &Job) {
             break;
         }
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            if faults::check(faults::Site::PoolTask).is_some() {
+                panic!("injected fault: pool task panic");
+            }
             // SAFETY: the dispatching caller keeps the closure alive
             // until every worker checks in.
             unsafe { (job.call)(job.func, i) }
@@ -351,14 +379,48 @@ fn drain(job: &Job) {
     IN_POOL_TASK.with(|f| f.set(false));
 }
 
+/// Keeps the pool's live-worker accounting truthful even if the worker
+/// thread unwinds: on drop it retires the worker from `JobSlot::live`
+/// and, if a job was claimed but not checked in, checks in for it (as
+/// panicked — a worker that died mid-job cannot prove it lost nothing)
+/// so the dispatching caller is never stranded on the barrier.
+struct WorkerGuard<'a> {
+    shared: &'a Shared,
+    /// The job claimed but not yet checked in, if any.
+    current: Option<Arc<Job>>,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.live -= 1;
+        }
+        if std::thread::panicking() {
+            self.shared.lost_workers.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(job) = self.current.take() {
+            job.panicked.store(true, Ordering::Release);
+            if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _slot = lock(&self.shared.slot);
+                self.shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let mut served = 0u64;
+    let mut guard = WorkerGuard {
+        shared,
+        current: None,
+    };
     loop {
         let job = {
             let mut slot = lock(&shared.slot);
             loop {
                 if slot.shutdown {
-                    return;
+                    return; // guard drop retires this worker from `live`
                 }
                 if slot.seq > served {
                     served = slot.seq;
@@ -368,8 +430,16 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { continue };
+        guard.current = Some(Arc::clone(&job));
+        // Worker-death injection point: a panic here unwinds the whole
+        // thread (no per-task catch), exercising the guard above.
+        if faults::check(faults::Site::PoolWorker).is_some() {
+            panic!("injected fault: pool worker death");
+        }
         drain(&job);
         // Check in: the last worker out wakes the dispatching caller.
+        // Clear the guard first so the check-in happens exactly once.
+        guard.current = None;
         if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             let _slot = lock(&shared.slot);
             shared.done_cv.notify_all();

@@ -41,6 +41,17 @@ impl Rng {
         Rng { s }
     }
 
+    /// The raw generator state, for checkpointing. Restoring it with
+    /// [`Rng::from_state`] continues the exact output stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`Rng::state`] snapshot.
+    pub fn from_state(s: [u64; 4]) -> Rng {
+        Rng { s }
+    }
+
     /// Derive an independent child generator. The child stream is a
     /// deterministic function of the parent state and `stream`, and the
     /// parent is advanced once so successive forks differ.

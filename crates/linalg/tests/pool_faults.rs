@@ -1,0 +1,115 @@
+//! Worker-death and task-panic injection against a live thread pool.
+//!
+//! These tests live in their own integration-test binary because the
+//! fault plane is process-global: installing it would leak injected
+//! faults into unrelated unit tests running concurrently in the
+//! library's test process. Within this binary, tests that install a
+//! plane serialize on [`PLANE_LOCK`].
+#![cfg(feature = "fault-hook")]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use eras_linalg::faults::{self, FaultConfig, FaultPlane, Site};
+use eras_linalg::pool::ThreadPool;
+
+static PLANE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Killing every worker that claims a job must never deadlock the
+/// dispatching caller: dead workers check in through their unwind
+/// guard, and later dispatches size their barrier with the survivors.
+#[test]
+fn worker_death_does_not_deadlock_dispatch() {
+    let _serial = PLANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let pool = ThreadPool::new(4);
+    assert_eq!(pool.map(8, |i| i).len(), 8); // warm-up, no plane
+
+    let mut observed_panics = 0;
+    {
+        let plane = FaultPlane::new(7, FaultConfig::none().with(Site::PoolWorker, 256));
+        let _installed = faults::install(Arc::new(plane));
+        // Rate 256/256: every worker that claims a job dies. Each
+        // dispatch must still complete (the caller drains the cursor
+        // itself) and surface the loss as a panic, not a hang.
+        for _ in 0..3 {
+            let done = AtomicUsize::new(0);
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(16, |_| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }));
+            if r.is_err() {
+                observed_panics += 1;
+            }
+            // Every task index ran exactly once even when workers died
+            // before claiming any: the caller's drain finishes the job.
+            assert_eq!(done.load(Ordering::Relaxed), 16);
+        }
+    }
+    assert_eq!(pool.lost_workers(), 3, "all three workers were killed");
+    assert!(
+        observed_panics >= 1,
+        "injected worker deaths must surface as dispatch panics"
+    );
+    // With the plane gone the pool still serves dispatches correctly
+    // (inline on the caller, since no workers survive).
+    let out = pool.map(100, |i| i * 3);
+    assert_eq!(out[99], 297);
+    assert_eq!(pool.map(5, |i| i), vec![0, 1, 2, 3, 4]);
+}
+
+/// A partial loss (some workers die, some survive) leaves a pool that
+/// keeps distributing work across the survivors.
+#[test]
+fn pool_survives_partial_worker_loss() {
+    let _serial = PLANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let pool = ThreadPool::new(8);
+    assert_eq!(pool.map(8, |i| i).len(), 8);
+
+    {
+        // ~50% per-claim death rate: across a few dispatches some of
+        // the seven workers die and some survive.
+        let plane = FaultPlane::new(11, FaultConfig::none().with(Site::PoolWorker, 128));
+        let _installed = faults::install(Arc::new(plane));
+        for _ in 0..4 {
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(32, |_| {});
+            }));
+        }
+    }
+    let lost = pool.lost_workers();
+    assert!(lost >= 1, "seed 11 at rate 128/256 kills at least one");
+    assert!(lost <= 7, "cannot lose more workers than were spawned");
+    // Post-fault sanity: results are complete and index-ordered.
+    let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+    pool.run(hits.len(), |i| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+/// Task-level injection panics inside the per-task catch: the worker
+/// survives, the dispatch reports the panic, nothing is lost.
+#[test]
+fn task_fault_injection_is_caught_per_task() {
+    let _serial = PLANE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let pool = ThreadPool::new(4);
+    {
+        let plane = FaultPlane::new(3, FaultConfig::none().with(Site::PoolTask, 64));
+        let _installed = faults::install(Arc::new(plane));
+        let mut panicked = 0;
+        for _ in 0..8 {
+            if panic::catch_unwind(AssertUnwindSafe(|| pool.run(64, |_| {}))).is_err() {
+                panicked += 1;
+            }
+        }
+        assert!(panicked >= 1, "rate 64/256 over 512 tasks must fire");
+    }
+    assert_eq!(
+        pool.lost_workers(),
+        0,
+        "task faults are caught; no worker thread dies"
+    );
+    assert_eq!(pool.map(10, |i| i + 1)[9], 10);
+}

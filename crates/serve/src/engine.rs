@@ -248,8 +248,12 @@ impl QueryEngine {
     }
 
     /// Load a snapshot file (format v2) and build an engine on it.
+    ///
+    /// Transient I/O failures (a file momentarily unreadable during a
+    /// deploy, an injected fault) are retried with exponential backoff;
+    /// a corrupt file is a permanent [`ServeError::Snapshot`] at once.
     pub fn load(path: &Path, cache_capacity: usize) -> Result<QueryEngine, ServeError> {
-        let snap = io::load_snapshot(path)
+        let snap = io::load_snapshot_retry(path, 3, std::time::Duration::from_millis(25))
             .map_err(|e| ServeError::Snapshot(format!("{}: {e}", path.display())))?;
         QueryEngine::new(snap, cache_capacity)
     }

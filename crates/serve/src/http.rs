@@ -22,8 +22,10 @@
 
 use crate::engine::{Answer, Direction, Query, QueryEngine, ServeError};
 use eras_data::Json;
+use eras_linalg::faults;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -51,16 +53,21 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
-/// Why a request could not be parsed; maps onto 400 vs 413.
+/// Why a request could not be parsed; maps onto 400 vs 413 vs 431.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
     /// Malformed request → 400.
     BadRequest(String),
-    /// A configured size limit was exceeded → 413.
+    /// The body size limit was exceeded → 413.
     TooLarge(String),
+    /// The request line, a header line, or the header count exceeded
+    /// its limit → 431.
+    HeadersTooLarge(String),
 }
 
 /// Read one `\n`-terminated line, refusing lines longer than `max`.
+/// Only request-line/header reads come through here, so overflow is a
+/// 431, not a 413.
 fn read_line_limited<R: BufRead>(r: &mut R, max: u64) -> Result<String, HttpError> {
     let mut buf = Vec::new();
     r.take(max)
@@ -70,7 +77,7 @@ fn read_line_limited<R: BufRead>(r: &mut R, max: u64) -> Result<String, HttpErro
         return Err(HttpError::BadRequest("connection closed".into()));
     }
     if !buf.ends_with(b"\n") {
-        return Err(HttpError::TooLarge(format!(
+        return Err(HttpError::HeadersTooLarge(format!(
             "line exceeds {max} bytes or was truncated"
         )));
     }
@@ -104,7 +111,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, HttpError> {
             break;
         }
         if n == MAX_HEADERS {
-            return Err(HttpError::TooLarge(format!(
+            return Err(HttpError::HeadersTooLarge(format!(
                 "more than {MAX_HEADERS} headers"
             )));
         }
@@ -135,7 +142,9 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -287,9 +296,19 @@ pub fn route(engine: &QueryEngine, req: &Request) -> (u16, Json) {
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &QueryEngine) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+fn handle_connection(stream: TcpStream, engine: &QueryEngine, io_timeout: Duration) {
+    // Injected latency: stall before touching the socket, as a slow
+    // disk or scheduler hiccup would.
+    if let Some(faults::Fault::Delay { millis }) = faults::check(faults::Site::ServeLatency) {
+        thread::sleep(Duration::from_millis(millis as u64));
+    }
+    // Injected drop: close the connection without a byte of response.
+    // The client must see a clean EOF, never a torn response.
+    if faults::check(faults::Site::ServeDrop).is_some() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -299,24 +318,80 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine) {
         Ok(req) => route(engine, &req),
         Err(HttpError::BadRequest(m)) => (400, err_json(&m)),
         Err(HttpError::TooLarge(m)) => (413, err_json(&m)),
+        Err(HttpError::HeadersTooLarge(m)) => (431, err_json(&m)),
     };
     engine.metrics().record_http(status);
     let mut writer = BufWriter::new(stream);
     let _ = write_response(&mut writer, status, &body);
+    if status >= 400 {
+        // Lingering close: an error response usually leaves unread
+        // request bytes in the kernel buffer, and closing with pending
+        // input sends RST, destroying the in-flight response. Signal
+        // end-of-response, then drain (bounded by the read timeout)
+        // until the client finishes or hangs up.
+        let _ = writer.flush();
+        let _ = writer.get_ref().shutdown(Shutdown::Write);
+        let mut sink = [0u8; 1024];
+        while matches!(reader.get_mut().read(&mut sink), Ok(n) if n > 0) {}
+    }
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<TcpStream>>, engine: &QueryEngine) {
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    engine: &QueryEngine,
+    depth: &AtomicUsize,
+    io_timeout: Duration,
+) {
     loop {
         let next = {
             let guard = rx.lock().unwrap_or_else(|poison| poison.into_inner());
             guard.recv()
         };
         match next {
-            Ok(stream) => handle_connection(stream, engine),
+            Ok(stream) => {
+                depth.fetch_sub(1, Ordering::AcqRel);
+                handle_connection(stream, engine, io_timeout);
+            }
             // The acceptor dropped the sender: orderly shutdown.
             Err(_) => break,
         }
     }
+}
+
+/// Tuning knobs for [`serve_with_options`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Connections allowed to sit in the accept queue before new
+    /// arrivals are shed with a 503 + `Retry-After`.
+    pub queue_capacity: usize,
+    /// Per-connection read and write timeout.
+    pub io_timeout: Duration,
+    /// When this flag turns true (and the listener is poked with one
+    /// more connection, see [`request_shutdown`]), the acceptor stops
+    /// taking connections, drains everything already queued, and joins
+    /// its workers before returning.
+    pub shutdown: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_capacity: 64,
+            io_timeout: IO_TIMEOUT,
+            shutdown: None,
+        }
+    }
+}
+
+/// Ask a [`serve_with_options`] loop to drain and exit: set its
+/// shutdown flag, then open (and immediately drop) one connection so a
+/// blocked `accept` wakes up and observes the flag.
+pub fn request_shutdown(flag: &AtomicBool, addr: std::net::SocketAddr) {
+    flag.store(true, Ordering::Release);
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
 }
 
 /// Accept connections forever, dispatching them to a fixed pool of
@@ -327,19 +402,63 @@ pub fn serve(
     engine: Arc<QueryEngine>,
     workers: usize,
 ) -> std::io::Result<()> {
+    serve_with_options(
+        listener,
+        engine,
+        ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        },
+    )
+}
+
+/// [`serve`] with explicit limits, timeouts and a shutdown flag.
+///
+/// Overload behaviour: the acceptor tracks how many accepted
+/// connections are queued but not yet claimed by a worker; past
+/// `queue_capacity` it answers new connections directly with
+/// `503 Service Unavailable` + `Retry-After` instead of queueing them,
+/// so the queue (and client tail latency) stays bounded.
+///
+/// Shutdown behaviour: once `shutdown` reads true the acceptor stops
+/// accepting, drops the channel sender, and joins the workers — which
+/// first finish every connection already accepted (graceful drain).
+pub fn serve_with_options(
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
+    let depth = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::new();
-    for _ in 0..workers.max(1) {
+    for _ in 0..opts.workers.max(1) {
         let rx = Arc::clone(&rx);
         let engine = Arc::clone(&engine);
+        let depth = Arc::clone(&depth);
+        let io_timeout = opts.io_timeout;
         // Blocking-IO worker threads parked on an mpsc channel, not
         // CPU-parallel work for the shared pool.
-        handles.push(thread::spawn(move || worker_loop(&rx, &engine))); // audit:allow(W405)
+        handles.push(thread::spawn(move || { // audit:allow(W405): blocking-IO workers, not CPU work
+            worker_loop(&rx, &engine, &depth, io_timeout)
+        }));
     }
     for stream in listener.incoming() {
+        if opts
+            .shutdown
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Acquire))
+        {
+            break;
+        }
         match stream {
             Ok(s) => {
+                if depth.load(Ordering::Acquire) >= opts.queue_capacity.max(1) {
+                    engine.metrics().record_http(503);
+                    shed(s, opts.io_timeout);
+                    continue;
+                }
+                depth.fetch_add(1, Ordering::AcqRel);
                 if tx.send(s).is_err() {
                     break;
                 }
@@ -347,11 +466,27 @@ pub fn serve(
             Err(_) => continue,
         }
     }
+    // Graceful drain: closing the sender lets each worker finish its
+    // current and queued connections, then exit on the channel error.
     drop(tx);
     for h in handles {
         let _ = h.join();
     }
     Ok(())
+}
+
+/// Refuse one connection with `503` + `Retry-After: 1`, cheaply, on the
+/// acceptor thread.
+fn shed(stream: TcpStream, io_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let mut w = BufWriter::new(stream);
+    let payload = err_json("server overloaded; retry shortly").to_compact();
+    let _ = write!(
+        w,
+        "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\ncontent-length: {}\r\nretry-after: 1\r\nconnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    let _ = w.flush();
 }
 
 #[cfg(test)]
@@ -418,6 +553,67 @@ mod tests {
             Err(HttpError::TooLarge(_)) => {}
             other => panic!("expected TooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rejects_oversized_request_line_with_431() {
+        let raw = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "a".repeat(MAX_REQUEST_LINE as usize)
+        );
+        match read_request(&mut Cursor::new(raw.as_bytes())) {
+            Err(HttpError::HeadersTooLarge(_)) => {}
+            other => panic!("expected HeadersTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_header_line_with_431() {
+        let raw = format!(
+            "GET /health HTTP/1.1\r\nx-big: {}\r\n\r\n",
+            "b".repeat(MAX_HEADER_LINE as usize)
+        );
+        match read_request(&mut Cursor::new(raw.as_bytes())) {
+            Err(HttpError::HeadersTooLarge(_)) => {}
+            other => panic!("expected HeadersTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_too_many_headers_with_431() {
+        let mut raw = String::from("GET /health HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        match read_request(&mut Cursor::new(raw.as_bytes())) {
+            Err(HttpError::HeadersTooLarge(m)) => assert!(m.contains("headers"), "{m}"),
+            other => panic!("expected HeadersTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_limit_errors_map_to_431_responses() {
+        let eng = engine();
+        // Drive the full connection path over a socket so the status
+        // mapping (not just the parser) is covered.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = Arc::clone(&Arc::new(eng));
+        let srv = Arc::clone(&server);
+        thread::spawn(move || serve(listener, srv, 1));
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "x".repeat(MAX_REQUEST_LINE as usize)
+        )
+        .expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read");
+        assert!(response.starts_with("HTTP/1.1 431 "), "{response}");
     }
 
     #[test]
@@ -534,6 +730,81 @@ mod tests {
         assert!(text.ends_with("{\"a\":1}"));
         let len = "{\"a\":1}".len();
         assert!(text.contains(&format!("content-length: {len}\r\n")));
+    }
+
+    /// With a single stalled worker and a queue of one, the next
+    /// connection must be shed with `503` + `Retry-After`, not queued
+    /// without bound.
+    #[test]
+    fn overload_sheds_with_503_and_retry_after() {
+        let eng = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let flag = Arc::new(AtomicBool::new(false));
+        let opts = ServeOptions {
+            workers: 1,
+            queue_capacity: 1,
+            io_timeout: Duration::from_secs(2),
+            shutdown: Some(Arc::clone(&flag)),
+        };
+        let srv = Arc::clone(&eng);
+        let server = thread::spawn(move || serve_with_options(listener, srv, opts));
+
+        // `a` occupies the worker: it sends nothing, so once claimed the
+        // worker blocks in read for the full `io_timeout`. The sleep lets
+        // the worker claim it; `b` then fills the single queue slot and
+        // `c` — processed after `b` by the sequential accept loop — must
+        // find the queue at capacity and be shed.
+        let a = TcpStream::connect(addr).expect("connect a");
+        thread::sleep(Duration::from_millis(200));
+        let b = TcpStream::connect(addr).expect("connect b");
+        let c = TcpStream::connect(addr).expect("connect c");
+        let mut response = String::new();
+        BufReader::new(c)
+            .read_to_string(&mut response)
+            .expect("read shed response");
+        assert!(response.starts_with("HTTP/1.1 503 "), "{response}");
+        assert!(response.contains("retry-after: 1\r\n"), "{response}");
+
+        drop(a);
+        drop(b);
+        request_shutdown(&flag, addr);
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve returns Ok");
+    }
+
+    /// Setting the shutdown flag and poking the listener makes the
+    /// accept loop drain its workers and return.
+    #[test]
+    fn shutdown_drains_and_returns() {
+        let eng = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let flag = Arc::new(AtomicBool::new(false));
+        let opts = ServeOptions {
+            workers: 2,
+            shutdown: Some(Arc::clone(&flag)),
+            ..ServeOptions::default()
+        };
+        let srv = Arc::clone(&eng);
+        let server = thread::spawn(move || serve_with_options(listener, srv, opts));
+
+        // A request served before shutdown completes normally.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /health HTTP/1.1\r\n\r\n").expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+        request_shutdown(&flag, addr);
+        server
+            .join()
+            .expect("server thread")
+            .expect("serve returns Ok after drain");
     }
 
     #[test]

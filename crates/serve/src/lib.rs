@@ -24,5 +24,8 @@ pub mod metrics;
 
 pub use cache::LruCache;
 pub use engine::{Answer, Direction, Query, QueryEngine, Ranked, ServeError};
-pub use http::{read_request, render_answer, route, serve, write_response, Request};
+pub use http::{
+    read_request, render_answer, request_shutdown, route, serve, serve_with_options,
+    write_response, Request, ServeOptions,
+};
 pub use metrics::ServeMetrics;

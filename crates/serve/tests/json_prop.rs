@@ -1,0 +1,126 @@
+//! Property tests for the JSON layer the serve front end rides on:
+//! the encoder and parser must round-trip arbitrary values, and the
+//! parser must answer *any* byte soup with `Ok` or `Err` — never a
+//! panic — because it reads request bodies straight off the network.
+
+use eras_data::Json;
+use eras_linalg::Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// An arbitrary JSON value, depth-bounded so generation terminates.
+fn arbitrary(rng: &mut Rng, depth: usize) -> Json {
+    let choice = if depth == 0 {
+        rng.next_below(4)
+    } else {
+        rng.next_below(6)
+    };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64() & 1 == 0),
+        2 => {
+            // Mix of integers, fractions and negatives; keep them
+            // finite (non-finite prints as `null` by design, which
+            // legitimately does not round-trip).
+            let whole = (rng.next_u64() % 2_000_000) as f64 - 1_000_000.0;
+            if rng.next_u64() & 1 == 0 {
+                Json::Num(whole)
+            } else {
+                Json::Num(whole + f64::from(rng.next_f32()))
+            }
+        }
+        3 => Json::Str(arbitrary_string(rng)),
+        4 => {
+            let n = rng.next_below(4);
+            Json::Arr((0..n).map(|_| arbitrary(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.next_below(4);
+            Json::Obj(
+                (0..n)
+                    .map(|i| (format!("k{i}_{}", arbitrary_string(rng)), arbitrary(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Strings with the characters that stress an encoder: quotes,
+/// backslashes, control bytes, non-ASCII, and the escape letters.
+fn arbitrary_string(rng: &mut Rng) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', 'é', '→',
+        '𝄞', '{', '}', '[', ']', ':', ',',
+    ];
+    let len = rng.next_below(12);
+    (0..len)
+        .map(|_| ALPHABET[rng.next_below(ALPHABET.len())])
+        .collect()
+}
+
+/// Values that survive one encode→parse trip must keep surviving:
+/// parse(compact(v)) == v and parse(pretty(v)) == v, for both writers.
+#[test]
+fn encode_parse_roundtrips_arbitrary_values() {
+    let mut rng = Rng::seed_from_u64(0xA11CE);
+    for case in 0..500 {
+        let value = arbitrary(&mut rng, 3);
+        let compact = value.to_compact();
+        let parsed = Json::parse(&compact)
+            .unwrap_or_else(|e| panic!("case {case}: emitted invalid JSON {compact:?}: {e}"));
+        assert_eq!(parsed, value, "case {case}: compact round-trip changed the value");
+        let pretty = value.to_pretty();
+        let parsed = Json::parse(&pretty)
+            .unwrap_or_else(|e| panic!("case {case}: emitted invalid pretty JSON: {e}"));
+        assert_eq!(parsed, value, "case {case}: pretty round-trip changed the value");
+    }
+}
+
+/// Fuzz-lite: seeded byte mutations of valid documents must parse to
+/// `Ok` or `Err`, never panic — and a re-encode of any `Ok` result
+/// must itself parse (no corrupt value can be constructed).
+#[test]
+fn mutated_documents_never_panic_the_parser() {
+    let mut rng = Rng::seed_from_u64(0xBEEF);
+    for case in 0..400 {
+        let mut bytes = arbitrary(&mut rng, 3).to_compact().into_bytes();
+        for _ in 0..=rng.next_below(4) {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = rng.next_below(bytes.len());
+            match rng.next_below(3) {
+                0 => bytes[at] = (rng.next_u64() & 0xFF) as u8,
+                1 => {
+                    bytes.truncate(at);
+                }
+                _ => bytes.insert(at, (rng.next_u64() & 0x7F) as u8),
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let outcome = catch_unwind(AssertUnwindSafe(|| Json::parse(&text)));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(_) => panic!("case {case}: parser panicked on {text:?}"),
+        };
+        if let Ok(value) = result {
+            let reencoded = value.to_compact();
+            Json::parse(&reencoded).unwrap_or_else(|e| {
+                panic!("case {case}: accepted {text:?} but re-encoding broke: {e}")
+            });
+        }
+    }
+}
+
+/// Pure garbage (not derived from valid documents) is also safe.
+#[test]
+fn random_bytes_never_panic_the_parser() {
+    let mut rng = Rng::seed_from_u64(0xD00D);
+    for case in 0..400 {
+        let len = rng.next_below(64);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if catch_unwind(AssertUnwindSafe(|| Json::parse(&text))).is_err() {
+            panic!("case {case}: parser panicked on {bytes:?}");
+        }
+    }
+}

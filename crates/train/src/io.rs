@@ -15,14 +15,18 @@
 //! Both save paths are **atomic**: the bytes are written to a sibling
 //! temporary file, fsynced, and renamed over the destination, so a crash
 //! mid-save can never leave a torn file at the target path. A truncated
-//! or corrupted v2 file loads as a clean [`IoError::Format`], never a
-//! panic or an over-allocation.
+//! or corrupted file — v1 or v2 — loads as a clean [`IoError::Format`],
+//! never a panic or an over-allocation.
+//!
+//! Every path in this module carries [`eras_linalg::faults`] injection
+//! sites (reads, writes, torn renames, snapshot opens). Without the
+//! `fault-hook` feature each check compiles to a constant `None`.
 
 use crate::block::BlockModel;
 use crate::embeddings::Embeddings;
 use eras_data::vocab::Vocab;
 use eras_data::Triple;
-use eras_linalg::Matrix;
+use eras_linalg::{faults, Matrix};
 use eras_sf::{BlockSf, Op};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -34,7 +38,7 @@ const VERSION_V2: u32 = 2;
 /// Hard cap on any single length field in a v2 file. A corrupt header
 /// can therefore never request a pathological allocation; real models
 /// stay far below this.
-const MAX_LEN: u64 = 1 << 28;
+pub(crate) const MAX_LEN: u64 = 1 << 28;
 
 /// Errors from loading a model file.
 #[derive(Debug)]
@@ -55,7 +59,24 @@ impl std::fmt::Display for IoError {
     }
 }
 
-impl std::error::Error for IoError {}
+impl IoError {
+    /// Whether retrying the operation could plausibly succeed. I/O
+    /// errors are transient (the file may reappear, the disk may
+    /// recover); format errors are permanent — re-reading a corrupt
+    /// file cannot fix it.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, IoError::Io(_))
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Format(_) => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for IoError {
     fn from(e: std::io::Error) -> Self {
@@ -80,42 +101,30 @@ pub fn write_embeddings<W: Write>(mut w: W, emb: &Embeddings) -> Result<(), IoEr
     Ok(())
 }
 
-/// Deserialise embeddings from a reader (format v1).
-pub fn read_embeddings<R: Read>(mut r: R) -> Result<Embeddings, IoError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+/// Deserialise embeddings from a reader (format v1). Truncation and
+/// corruption surface as [`IoError::Format`], same as the v2 loader.
+pub fn read_embeddings<R: Read>(r: R) -> Result<Embeddings, IoError> {
+    let mut r = FormatReader { inner: r };
+    let magic = r.bytes::<4>()?;
     if &magic != MAGIC {
         return Err(IoError::Format(
             "bad magic; not an ERAS embedding file".into(),
         ));
     }
-    let mut u32buf = [0u8; 4];
-    r.read_exact(&mut u32buf)?;
-    let version = u32::from_le_bytes(u32buf);
+    let version = r.u32()?;
     if version != VERSION {
         return Err(IoError::Format(format!("unsupported version {version}")));
     }
-    let mut u64buf = [0u8; 8];
     let mut dims = [0u64; 3];
     for d in &mut dims {
-        r.read_exact(&mut u64buf)?;
-        *d = u64::from_le_bytes(u64buf);
+        *d = r.len_u64("embedding shape")?;
     }
     let [ne, nr, dim] = dims.map(|v| v as usize);
     if dim == 0 || ne == 0 {
         return Err(IoError::Format("degenerate shape".into()));
     }
-    let mut read_table = |rows: usize| -> Result<Matrix, IoError> {
-        let mut data = vec![0.0f32; rows * dim];
-        let mut f32buf = [0u8; 4];
-        for x in &mut data {
-            r.read_exact(&mut f32buf)?;
-            *x = f32::from_le_bytes(f32buf);
-        }
-        Ok(Matrix::from_vec(rows, dim, data))
-    };
-    let entity = read_table(ne)?;
-    let relation = read_table(nr)?;
+    let entity = r.f32_table(ne, dim)?;
+    let relation = r.f32_table(nr, dim)?;
     Ok(Embeddings { entity, relation })
 }
 
@@ -126,6 +135,11 @@ pub fn save(path: &Path, emb: &Embeddings) -> Result<(), IoError> {
 
 /// Load embeddings from a file path (format v1).
 pub fn load(path: &Path) -> Result<Embeddings, IoError> {
+    if faults::check(faults::Site::SnapshotOpen).is_some() {
+        return Err(IoError::Io(faults::injected_io_error(
+            faults::Site::SnapshotOpen,
+        )));
+    }
     let file = std::fs::File::open(path)?;
     read_embeddings(std::io::BufReader::new(file))
 }
@@ -351,8 +365,36 @@ pub fn save_snapshot(path: &Path, snap: &Snapshot) -> Result<(), IoError> {
 
 /// Load a snapshot from a file path (format v2).
 pub fn load_snapshot(path: &Path) -> Result<Snapshot, IoError> {
+    if faults::check(faults::Site::SnapshotOpen).is_some() {
+        return Err(IoError::Io(faults::injected_io_error(
+            faults::Site::SnapshotOpen,
+        )));
+    }
     let file = std::fs::File::open(path)?;
     read_snapshot(std::io::BufReader::new(file))
+}
+
+/// Load a snapshot, retrying transient failures with exponential
+/// backoff. Only [`IoError::Io`] is retried — a [`IoError::Format`]
+/// error is permanent (re-reading a corrupt file cannot fix it) and is
+/// returned immediately. `attempts` counts total tries, so `1` means no
+/// retry; the sleep starts at `initial_backoff` and doubles per retry.
+pub fn load_snapshot_retry(
+    path: &Path,
+    attempts: u32,
+    initial_backoff: std::time::Duration,
+) -> Result<Snapshot, IoError> {
+    let mut backoff = initial_backoff;
+    for attempt in 1.. {
+        match load_snapshot(path) {
+            Err(e) if e.is_transient() && attempt < attempts => {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            other => return other,
+        }
+    }
+    unreachable!("the loop above always returns")
 }
 
 // ---------------------------------------------------------------------------
@@ -361,17 +403,36 @@ pub fn load_snapshot(path: &Path) -> Result<Snapshot, IoError> {
 
 /// Write through a sibling temporary file, fsync, then rename into place,
 /// so the destination path only ever holds a complete file.
-fn atomic_write(
+pub(crate) fn atomic_write(
     path: &Path,
     write_fn: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> Result<(), IoError>,
 ) -> Result<(), IoError> {
     let tmp = tmp_sibling(path);
     let result = (|| {
+        if faults::check(faults::Site::IoWrite).is_some() {
+            return Err(IoError::Io(faults::injected_io_error(faults::Site::IoWrite)));
+        }
         let file = std::fs::File::create(&tmp)?;
         let mut w = std::io::BufWriter::new(file);
         write_fn(&mut w)?;
         let file = w.into_inner().map_err(|e| IoError::Io(e.into_error()))?;
         file.sync_all()?;
+        // Torn-write injection: simulate a crash on a filesystem whose
+        // rename was not atomic by truncating the temp file to a seeded
+        // fraction of its length and renaming it into place anyway. The
+        // destination now holds a torn file — exactly the condition the
+        // chaos harness asserts every loader rejects cleanly.
+        if let Some(faults::Fault::Truncate { keep_num }) = faults::check(faults::Site::TornWrite)
+        {
+            let full = file.metadata()?.len();
+            file.set_len(full * keep_num as u64 / 256)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)?;
+            return Err(IoError::Io(faults::injected_io_error(
+                faults::Site::TornWrite,
+            )));
+        }
         std::fs::rename(&tmp, path)?;
         Ok(())
     })();
@@ -392,7 +453,7 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-fn write_f32_table<W: Write>(w: &mut W, table: &Matrix) -> Result<(), IoError> {
+pub(crate) fn write_f32_table<W: Write>(w: &mut W, table: &Matrix) -> Result<(), IoError> {
     let mut buf = Vec::with_capacity(table.as_slice().len() * 4);
     for &x in table.as_slice() {
         buf.extend_from_slice(&x.to_le_bytes());
@@ -418,12 +479,25 @@ fn write_vocab<W: Write>(w: &mut W, vocab: &Vocab) -> Result<(), IoError> {
 /// Reader wrapper for the v2 body: every short read becomes a clean
 /// [`IoError::Format`], and length fields are bounds-checked before any
 /// allocation they drive.
-struct FormatReader<R> {
-    inner: R,
+pub(crate) struct FormatReader<R> {
+    pub(crate) inner: R,
 }
 
 impl<R: Read> FormatReader<R> {
-    fn fill(&mut self, buf: &mut [u8]) -> Result<(), IoError> {
+    pub(crate) fn fill(&mut self, buf: &mut [u8]) -> Result<(), IoError> {
+        match faults::check(faults::Site::IoRead) {
+            // A short read at end-of-file is indistinguishable from a
+            // truncated file, so it surfaces the same way.
+            Some(faults::Fault::ShortRead) => {
+                return Err(IoError::Format(
+                    "truncated snapshot (injected short read)".into(),
+                ));
+            }
+            Some(_) => {
+                return Err(IoError::Io(faults::injected_io_error(faults::Site::IoRead)));
+            }
+            None => {}
+        }
         self.inner.read_exact(buf).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
                 IoError::Format("truncated snapshot".into())
@@ -433,17 +507,17 @@ impl<R: Read> FormatReader<R> {
         })
     }
 
-    fn bytes<const N: usize>(&mut self) -> Result<[u8; N], IoError> {
+    pub(crate) fn bytes<const N: usize>(&mut self) -> Result<[u8; N], IoError> {
         let mut buf = [0u8; N];
         self.fill(&mut buf)?;
         Ok(buf)
     }
 
-    fn u32(&mut self) -> Result<u32, IoError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, IoError> {
         Ok(u32::from_le_bytes(self.bytes::<4>()?))
     }
 
-    fn len_u64(&mut self, what: &str) -> Result<u64, IoError> {
+    pub(crate) fn len_u64(&mut self, what: &str) -> Result<u64, IoError> {
         let v = u64::from_le_bytes(self.bytes::<8>()?);
         if v > MAX_LEN {
             return Err(IoError::Format(format!("implausible {what}: {v}")));
@@ -476,7 +550,14 @@ impl<R: Read> FormatReader<R> {
         Ok(vocab)
     }
 
-    fn f32_table(&mut self, rows: usize, cols: usize) -> Result<Matrix, IoError> {
+    pub(crate) fn f32_table(&mut self, rows: usize, cols: usize) -> Result<Matrix, IoError> {
+        // Bound the *product* too: each factor can pass `len_u64` while
+        // their product requests a pathological allocation.
+        if (rows as u64).checked_mul(cols as u64).is_none_or(|n| n > MAX_LEN) {
+            return Err(IoError::Format(format!(
+                "implausible table shape {rows}x{cols}"
+            )));
+        }
         let mut bytes = vec![0u8; rows * cols * 4];
         self.fill(&mut bytes)?;
         let data = bytes
@@ -516,17 +597,36 @@ mod tests {
         ));
     }
 
+    /// Every prefix of a valid v1 file is a clean `Format` error, same
+    /// contract as the v2 loader: truncation is corruption, not I/O.
     #[test]
     fn rejects_truncated_file() {
         let mut rng = Rng::seed_from_u64(2);
         let emb = Embeddings::init(4, 2, 8, &mut rng);
         let mut buf = Vec::new();
         write_embeddings(&mut buf, &emb).unwrap();
-        buf.truncate(buf.len() - 10);
-        assert!(matches!(
-            read_embeddings(buf.as_slice()),
-            Err(IoError::Io(_))
+        for cut in 0..buf.len() {
+            match read_embeddings(&buf[..cut]) {
+                Err(IoError::Format(_)) => {}
+                other => panic!("prefix of {cut} bytes: expected Format error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_source_exposes_the_io_cause() {
+        use std::error::Error as _;
+        let io = IoError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "disk on fire",
         ));
+        let src = io.source().expect("Io carries a source");
+        assert!(src.to_string().contains("disk on fire"));
+        assert!(io.is_transient());
+
+        let fmt = IoError::Format("bad magic".into());
+        assert!(fmt.source().is_none(), "Format is the root cause");
+        assert!(!fmt.is_transient());
     }
 
     #[test]

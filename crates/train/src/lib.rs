@@ -48,6 +48,7 @@
 
 pub mod baselines;
 pub mod block;
+pub mod checkpoint;
 pub mod classify;
 pub mod contract;
 pub mod embeddings;

@@ -7,14 +7,17 @@
 //! window.
 
 use crate::block::{train_minibatch, BlockModel, BlockScratch};
+use crate::checkpoint::{config_fingerprint, TrainCheckpoint};
 use crate::embeddings::Embeddings;
 use crate::eval::{link_prediction_pool, LinkPredictionMetrics};
+use crate::io::IoError;
 use crate::loss::LossMode;
 use crate::parallel::{train_minibatch_parallel, GradShards};
 use eras_data::{Dataset, FilterIndex, Triple};
 use eras_linalg::optim::{Adagrad, Optimizer};
 use eras_linalg::pool::ThreadPool;
 use eras_linalg::Rng;
+use std::path::PathBuf;
 
 /// How a training run spends the thread pool on each minibatch.
 ///
@@ -89,6 +92,21 @@ impl Default for TrainConfig {
     }
 }
 
+/// Where and how often a training run checkpoints itself.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Checkpoint file path (written atomically on every save).
+    pub path: PathBuf,
+    /// Save after every this many completed epochs (0 disables saves;
+    /// resume can still read an existing file).
+    pub every: usize,
+    /// Attempt to resume from an existing checkpoint at `path`. A
+    /// missing, torn, or corrupt file falls back to a fresh start —
+    /// which converges to the same bits, just from epoch 1 — while a
+    /// checkpoint from a *different* configuration is a hard error.
+    pub resume: bool,
+}
+
 /// Result of a stand-alone run.
 #[derive(Debug, Clone)]
 pub struct TrainOutcome {
@@ -129,6 +147,32 @@ pub fn train_standalone_on(
     cfg: &TrainConfig,
     pool: &ThreadPool,
 ) -> TrainOutcome {
+    train_standalone_resumable(model, dataset, filter, cfg, pool, None)
+        .expect("training without a checkpoint spec performs no I/O") // audit:allow(W402): statically infallible — the None branch never touches a file
+}
+
+/// [`train_standalone_on`] with optional checkpointing: with a
+/// [`CheckpointSpec`] the run saves its complete state every
+/// `spec.every` epochs and, when `spec.resume` is set, continues a
+/// previous run from its last checkpoint **bit-identically** — the
+/// outcome equals the uninterrupted run's in every field. The only
+/// errors are checkpoint I/O failures and a resume/config mismatch;
+/// with `spec == None` this function cannot fail.
+pub fn train_standalone_resumable(
+    model: &BlockModel,
+    dataset: &Dataset,
+    filter: &FilterIndex,
+    cfg: &TrainConfig,
+    pool: &ThreadPool,
+    spec: Option<&CheckpointSpec>,
+) -> Result<TrainOutcome, IoError> {
+    let fingerprint = config_fingerprint(
+        cfg,
+        dataset.num_entities(),
+        dataset.num_relations(),
+        dataset.train.len(),
+    );
+
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut emb = Embeddings::init(
         dataset.num_entities(),
@@ -146,8 +190,39 @@ pub fn train_standalone_on(
     let mut strikes = 0usize;
     let mut epochs_run = 0usize;
     let mut final_loss = 0.0f32;
+    let mut start_epoch = 1usize;
 
-    for epoch in 1..=cfg.max_epochs {
+    if let Some(spec) = spec.filter(|s| s.resume) {
+        match TrainCheckpoint::load(&spec.path) {
+            Ok(ck) if ck.fingerprint == fingerprint => {
+                rng = Rng::from_state(ck.rng_state);
+                emb = ck.embeddings;
+                opt_e = Adagrad::from_accumulator(ck.lr_entity, cfg.l2, ck.ent_accum);
+                opt_r = Adagrad::from_accumulator(ck.lr_relation, cfg.l2, ck.rel_accum);
+                order = ck.order;
+                best_valid = ck.best_valid;
+                strikes = ck.strikes;
+                final_loss = ck.final_loss;
+                epochs_run = ck.epoch;
+                start_epoch = ck.epoch + 1;
+            }
+            Ok(ck) => {
+                return Err(IoError::Format(format!(
+                    "checkpoint {} was written by a different run \
+                     (fingerprint {:#018x}, this run {:#018x})",
+                    spec.path.display(),
+                    ck.fingerprint,
+                    fingerprint
+                )));
+            }
+            // Missing, torn, or unreadable checkpoint: start fresh.
+            // The from-scratch run walks the same deterministic path,
+            // so the outcome is still bit-identical, only slower.
+            Err(_) => {}
+        }
+    }
+
+    for epoch in start_epoch..=cfg.max_epochs {
         rng.shuffle(&mut order);
         let mut loss_sum = 0.0f32;
         let mut batches = 0usize;
@@ -206,19 +281,42 @@ pub fn train_standalone_on(
                 }
             }
         }
+
+        // Checkpoint *after* this epoch's eval so the patience state is
+        // captured; the early-stop `break` above skips the save, so no
+        // checkpoint ever records a run that already decided to stop.
+        if let Some(spec) = spec {
+            if spec.every > 0 && epoch.is_multiple_of(spec.every) {
+                TrainCheckpoint {
+                    fingerprint,
+                    epoch,
+                    rng_state: rng.state(),
+                    order: order.clone(),
+                    embeddings: emb.clone(),
+                    ent_accum: opt_e.accumulator().to_vec(),
+                    rel_accum: opt_r.accumulator().to_vec(),
+                    lr_entity: opt_e.learning_rate(),
+                    lr_relation: opt_r.learning_rate(),
+                    best_valid,
+                    strikes,
+                    final_loss,
+                }
+                .save(&spec.path)?;
+            }
+        }
     }
 
     let test = link_prediction_pool(model, &emb, &dataset.test, filter, pool);
     if dataset.valid.is_empty() {
         best_valid = test;
     }
-    TrainOutcome {
+    Ok(TrainOutcome {
         embeddings: emb,
         best_valid,
         test,
         epochs_run,
         final_loss,
-    }
+    })
 }
 
 /// Convenience: stand-alone validation MRR of a structure (the quantity
@@ -390,6 +488,72 @@ mod tests {
         let outcome = train_standalone(&model, &dataset, &filter, &cfg);
         assert!(outcome.test.mrr > 0.0);
         assert_eq!(outcome.epochs_run, 6);
+    }
+
+    /// Resume-from-checkpoint reproduces the uninterrupted run exactly:
+    /// run once with a checkpoint saved mid-run, then "crash" (discard
+    /// the in-memory result) and resume from the file — every outcome
+    /// field must match the plain run bit-for-bit.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let dataset = Preset::Tiny.build(8);
+        let filter = FilterIndex::build(&dataset);
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        let cfg = TrainConfig {
+            dim: 16,
+            max_epochs: 6,
+            eval_every: 2,
+            patience: 3,
+            batch_size: 128,
+            ..TrainConfig::default()
+        };
+        let reference = train_standalone(&model, &dataset, &filter, &cfg);
+
+        let dir = std::env::temp_dir().join(format!("eras_resume_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = CheckpointSpec {
+            path: dir.join("train.ckpt"),
+            every: 4, // last save lands at epoch 4, two epochs short
+            resume: false,
+        };
+        let pool = ThreadPool::new(2);
+        let first =
+            train_standalone_resumable(&model, &dataset, &filter, &cfg, &pool, Some(&spec))
+                .unwrap();
+        assert_eq!(
+            first.embeddings.entity.as_slice(),
+            reference.embeddings.entity.as_slice(),
+            "checkpointing must not perturb the run itself"
+        );
+
+        let resume = CheckpointSpec {
+            resume: true,
+            ..spec.clone()
+        };
+        let resumed =
+            train_standalone_resumable(&model, &dataset, &filter, &cfg, &pool, Some(&resume))
+                .unwrap();
+        assert_eq!(
+            resumed.embeddings.entity.as_slice(),
+            reference.embeddings.entity.as_slice()
+        );
+        assert_eq!(
+            resumed.embeddings.relation.as_slice(),
+            reference.embeddings.relation.as_slice()
+        );
+        assert_eq!(resumed.best_valid, reference.best_valid);
+        assert_eq!(resumed.test, reference.test);
+        assert_eq!(resumed.epochs_run, reference.epochs_run);
+        assert_eq!(resumed.final_loss, reference.final_loss);
+
+        // A checkpoint from a different configuration is refused.
+        let mut other = cfg.clone();
+        other.seed = 99;
+        match train_standalone_resumable(&model, &dataset, &filter, &other, &pool, Some(&resume)) {
+            Err(crate::io::IoError::Format(m)) => assert!(m.contains("different run"), "{m}"),
+            res => panic!("expected a fingerprint mismatch, got {res:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Table-driven corruption corpus: every committed file under
+//! `tests/data/` is a damaged (truncated or bit-flipped) v1 or v2 model
+//! file, and every one must load as a clean [`IoError::Format`] — never
+//! a panic, never an allocation blow-up, never a leaked `Io` error.
+//!
+//! The corpus is generated deterministically by the `#[ignore]`d
+//! `regenerate_corpus` test below (`cargo test -p eras-train --test
+//! corrupt_corpus -- --ignored`) and committed, so the exact bytes that
+//! once exposed a bug keep guarding against its return even if the
+//! writer changes.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use eras_data::vocab::Vocab;
+use eras_data::Triple;
+use eras_linalg::Rng;
+use eras_sf::zoo;
+use eras_train::block::BlockModel;
+use eras_train::embeddings::Embeddings;
+use eras_train::io::{self, IoError, Snapshot};
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data")
+}
+
+/// The deterministic model both generations of corpus files are carved
+/// from. Seeded, so `regenerate_corpus` is reproducible.
+fn sample_snapshot() -> Snapshot {
+    let mut rng = Rng::seed_from_u64(42);
+    let mut entities = Vocab::new();
+    let mut relations = Vocab::new();
+    for i in 0..11 {
+        entities.intern(&format!("entity_{i}"));
+    }
+    for r in 0..5 {
+        relations.intern(&format!("relation_{r}"));
+    }
+    let model = BlockModel::relation_aware(vec![zoo::complex(), zoo::simple()], vec![0, 1, 0, 1, 0]);
+    let embeddings = Embeddings::init(11, 5, 8, &mut rng);
+    let known = vec![Triple::new(0, 0, 1), Triple::new(2, 3, 4), Triple::new(9, 4, 10)];
+    Snapshot::new("corpus", entities, relations, &model, embeddings, known)
+}
+
+fn v1_bytes() -> Vec<u8> {
+    let mut rng = Rng::seed_from_u64(43);
+    let emb = Embeddings::init(6, 3, 8, &mut rng);
+    let mut buf = Vec::new();
+    io::write_embeddings(&mut buf, &emb).unwrap();
+    buf
+}
+
+fn v2_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    io::write_snapshot(&mut buf, &sample_snapshot()).unwrap();
+    buf
+}
+
+/// Every committed corpus file must fail to load with `Format` — from
+/// the snapshot loader always, and from the v1 embedding loader too for
+/// `v1_*` files. A panic or an `Io` error is a bug.
+#[test]
+fn every_corpus_file_is_a_clean_format_error() {
+    let dir = data_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} missing: {e}", dir.display()))
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    entries.sort();
+    assert!(
+        entries.len() >= 8,
+        "corpus unexpectedly small: {} files",
+        entries.len()
+    );
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let bytes = std::fs::read(&path).unwrap();
+
+        let snap = panic::catch_unwind(AssertUnwindSafe(|| io::read_snapshot(bytes.as_slice())))
+            .unwrap_or_else(|_| panic!("{name}: snapshot loader panicked"));
+        match snap {
+            Err(IoError::Format(_)) => {}
+            Err(IoError::Io(e)) => panic!("{name}: leaked Io error {e}"),
+            Ok(_) => panic!("{name}: corrupt file loaded as a valid snapshot"),
+        }
+
+        if name.starts_with("v1_") {
+            let emb =
+                panic::catch_unwind(AssertUnwindSafe(|| io::read_embeddings(bytes.as_slice())))
+                    .unwrap_or_else(|_| panic!("{name}: v1 loader panicked"));
+            match emb {
+                Err(IoError::Format(_)) => {}
+                Err(IoError::Io(e)) => panic!("{name}: v1 loader leaked Io error {e}"),
+                Ok(_) => panic!("{name}: corrupt v1 file loaded as valid embeddings"),
+            }
+        }
+    }
+}
+
+/// The corpus matches what the generator produces from today's writer:
+/// guards against the committed files silently going stale.
+#[test]
+fn corpus_is_in_sync_with_the_generator() {
+    for (name, bytes) in corpus() {
+        let path = data_dir().join(name);
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{name} missing ({e}); run the regenerate_corpus test"));
+        assert_eq!(
+            committed, bytes,
+            "{name} is stale; rerun `cargo test -p eras-train --test corrupt_corpus -- --ignored`"
+        );
+    }
+}
+
+/// All corpus files, derived deterministically from the sample model.
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let v1 = v1_bytes();
+    let v2 = v2_bytes();
+    let mut files = Vec::new();
+
+    // v1 damage.
+    files.push(("v1_truncated_header.bin", v1[..9].to_vec()));
+    files.push(("v1_truncated_body.bin", v1[..v1.len() - 10].to_vec()));
+    {
+        // Dim field starts at offset 4 + 4 + 16; blow its high byte so
+        // the header requests an implausible allocation.
+        let mut b = v1.clone();
+        b[4 + 4 + 16 + 7] = 0xFF;
+        files.push(("v1_bitflip_dim.bin", b));
+    }
+
+    // v2 damage.
+    files.push(("v2_truncated_header.bin", v2[..6].to_vec()));
+    files.push(("v2_truncated_mid.bin", v2[..v2.len() / 2].to_vec()));
+    files.push(("v2_truncated_tail.bin", v2[..v2.len() - 4].to_vec()));
+    {
+        let mut b = v2.clone();
+        b[1] ^= 0x20; // magic: "ERAS" -> "ErAS"
+        files.push(("v2_bitflip_magic.bin", b));
+    }
+    {
+        let mut b = v2.clone();
+        b[4] = 77; // version field
+        files.push(("v2_bad_version.bin", b));
+    }
+    {
+        // Name-length field (first field after the version) flipped
+        // high: the loader must refuse before allocating.
+        let mut b = v2.clone();
+        b[8 + 3] = 0xFF;
+        files.push(("v2_bitflip_len.bin", b));
+    }
+    {
+        // First op index in the sf section flipped out of range.
+        let mut b = v2.clone();
+        let sf_header = b
+            .windows(2)
+            .position(|w| w == [2u8, 4u8])
+            .expect("sf header (2 groups, M=4)");
+        b[sf_header + 2] = 0xC8;
+        files.push(("v2_bitflip_opindex.bin", b));
+    }
+
+    files
+}
+
+/// Regenerates the committed corpus. Run explicitly after a format
+/// change: `cargo test -p eras-train --test corrupt_corpus -- --ignored`
+#[test]
+#[ignore = "writes into the source tree; run explicitly to regenerate"]
+fn regenerate_corpus() {
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, bytes) in corpus() {
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+}
