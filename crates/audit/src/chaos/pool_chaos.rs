@@ -59,7 +59,8 @@ pub fn run(opts: &super::ChaosOptions, deadline: Instant) -> Finding {
         let dispatch_pool = Arc::clone(&pool);
         let count = Arc::new(AtomicUsize::new(0));
         let dispatch_count = Arc::clone(&count);
-        let helper = std::thread::spawn(move || { // audit:allow(W405): chaos watchdog, not CPU work
+        // audit:allow(W405): chaos watchdog, not CPU work
+        let helper = std::thread::spawn(move || {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 dispatch_pool.run(TASKS, |_i| {
                     dispatch_count.fetch_add(1, Ordering::Relaxed);

@@ -70,11 +70,21 @@ pub fn run(opts: &super::ChaosOptions, deadline: Instant) -> Finding {
 fn run_in(opts: &super::ChaosOptions, deadline: Instant, dir: &std::path::Path) -> Finding {
     let snap_path = dir.join("model.snap");
     if let Err(e) = io::save_snapshot(&snap_path, &snapshot()) {
-        return e601(LOCATION, opts.base_seed, format!("fault-free snapshot save failed: {e}"));
+        return e601(
+            LOCATION,
+            opts.base_seed,
+            format!("fault-free snapshot save failed: {e}"),
+        );
     }
     let reference = match QueryEngine::load(&snap_path, 16) {
         Ok(engine) => engine,
-        Err(e) => return e601(LOCATION, opts.base_seed, format!("fault-free snapshot load failed: {e}")),
+        Err(e) => {
+            return e601(
+                LOCATION,
+                opts.base_seed,
+                format!("fault-free snapshot load failed: {e}"),
+            )
+        }
     };
 
     // Sweep 1: torn snapshot writes.
@@ -87,7 +97,11 @@ fn run_in(opts: &super::ChaosOptions, deadline: Instant, dir: &std::path::Path) 
         let saved = io::save_snapshot(&torn_path, &snapshot());
         drop(guard);
         if saved.is_ok() {
-            return e601(LOCATION, opts.base_seed, "torn write reported success".to_string());
+            return e601(
+                LOCATION,
+                opts.base_seed,
+                "torn write reported success".to_string(),
+            );
         }
         match catch_unwind(AssertUnwindSafe(|| QueryEngine::load(&torn_path, 4))) {
             Err(_) => {
@@ -156,11 +170,23 @@ fn run_in(opts: &super::ChaosOptions, deadline: Instant, dir: &std::path::Path) 
     let engine = Arc::new(reference);
     let listener = match TcpListener::bind("127.0.0.1:0") {
         Ok(l) => l,
-        Err(e) => return e601(LOCATION, opts.base_seed, format!("cannot bind a loopback listener: {e}")),
+        Err(e) => {
+            return e601(
+                LOCATION,
+                opts.base_seed,
+                format!("cannot bind a loopback listener: {e}"),
+            )
+        }
     };
     let addr = match listener.local_addr() {
         Ok(a) => a,
-        Err(e) => return e601(LOCATION, opts.base_seed, format!("listener has no address: {e}")),
+        Err(e) => {
+            return e601(
+                LOCATION,
+                opts.base_seed,
+                format!("listener has no address: {e}"),
+            )
+        }
     };
     let flag = Arc::new(AtomicBool::new(false));
     let server_opts = ServeOptions {

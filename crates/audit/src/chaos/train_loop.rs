@@ -60,7 +60,13 @@ pub fn run(opts: &super::ChaosOptions, deadline: Instant) -> Finding {
         Ok(out) => out,
         // Statically unreachable (no spec → no I/O), but a chaos pass
         // must not panic its host.
-        Err(e) => return e601(LOCATION, opts.base_seed, format!("reference run failed: {e}")),
+        Err(e) => {
+            return e601(
+                LOCATION,
+                opts.base_seed,
+                format!("reference run failed: {e}"),
+            )
+        }
     };
 
     let dir = scratch_dir("train");

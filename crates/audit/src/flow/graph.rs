@@ -1,0 +1,452 @@
+//! Workspace call-graph builder for the flow pass.
+//!
+//! Name resolution is best-effort and documented in `docs/audit.md`:
+//!
+//! - **Qualified calls** (`Type::name(..)`, `module::name(..)`,
+//!   `Self::name(..)`): the last path segment is the function name; the
+//!   segment before it is matched against impl `Self` types, then
+//!   module names, then crate names. If nothing matches, falls back to
+//!   name-only resolution among free fns.
+//! - **Method calls** (`recv.name(..)`, including turbofish
+//!   `recv.name::<T>(..)`): resolved to *every* workspace fn named
+//!   `name` defined in an impl/trait block — receiver types are not
+//!   inferred, so this over-approximates (sound for reachability,
+//!   imprecise for chains).
+//! - **Free calls** (`name(..)`): resolved to free fns named `name`,
+//!   preferring same-file, then same-crate, then any.
+//! - **Qualified references** (`Type::name` passed as a value, e.g.
+//!   `.map(TopK::into_sorted)`) create edges like qualified calls.
+//!   Bare-identifier fn references are *not* tracked.
+//! - Closures are lexically part of the enclosing fn, so calls inside
+//!   them attribute to it. The thread-pool's type-erased trampoline
+//!   dispatch is a resolution boundary: reachability into pool jobs is
+//!   modelled by treating the pool worker body as an analysis root,
+//!   not by resolving through the `unsafe fn` pointer. `Drop` impls
+//!   are only reached via explicit `drop(..)`-style calls.
+
+use super::lex::Kind;
+use super::parse::{FileModel, FnDef};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Identifies a function: (file index, fn index within the file).
+pub type FnId = (usize, usize);
+
+/// The parsed workspace plus its call graph.
+pub struct Graph<'a> {
+    pub files: &'a [FileModel],
+    /// Outgoing call edges per function.
+    pub edges: BTreeMap<FnId, BTreeSet<FnId>>,
+}
+
+/// One extracted call site (before resolution), for diagnostics/tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `recv.name(..)`
+    Method(String),
+    /// `a::b::name(..)` or `a::b::name` as a value — path segments.
+    Qualified(Vec<String>),
+    /// `name(..)`
+    Free(String),
+}
+
+struct Indices<'a> {
+    /// fns with a Self type, by bare name.
+    by_method: BTreeMap<&'a str, Vec<FnId>>,
+    /// (self_ty, name) pairs.
+    by_typed: BTreeMap<(&'a str, &'a str), Vec<FnId>>,
+    /// free fns (no Self type), by name.
+    by_free: BTreeMap<&'a str, Vec<FnId>>,
+}
+
+impl<'a> Graph<'a> {
+    pub fn fn_def(&self, id: FnId) -> &'a FnDef {
+        &self.files[id.0].fns[id.1]
+    }
+
+    pub fn file(&self, id: FnId) -> &'a FileModel {
+        &self.files[id.0]
+    }
+
+    pub fn qname(&self, id: FnId) -> String {
+        self.file(id).qname(self.fn_def(id))
+    }
+
+    /// Look up a fn by file-path suffix and bare name.
+    pub fn find(&self, path_suffix: &str, name: &str) -> Option<FnId> {
+        for (fi, file) in self.files.iter().enumerate() {
+            if !file.path.replace('\\', "/").ends_with(path_suffix) {
+                continue;
+            }
+            for (gi, f) in file.fns.iter().enumerate() {
+                if f.name == name && !f.is_test {
+                    return Some((fi, gi));
+                }
+            }
+        }
+        None
+    }
+
+    /// Build the call graph over all non-test fns in `files`.
+    pub fn build(files: &'a [FileModel]) -> Graph<'a> {
+        let mut idx = Indices {
+            by_method: BTreeMap::new(),
+            by_typed: BTreeMap::new(),
+            by_free: BTreeMap::new(),
+        };
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if f.is_test || f.name.is_empty() {
+                    continue;
+                }
+                let id = (fi, gi);
+                match &f.self_ty {
+                    Some(ty) => {
+                        idx.by_method.entry(&f.name).or_default().push(id);
+                        idx.by_typed.entry((ty, &f.name)).or_default().push(id);
+                    }
+                    None => idx.by_free.entry(&f.name).or_default().push(id),
+                }
+            }
+        }
+
+        let mut edges: BTreeMap<FnId, BTreeSet<FnId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let Some(body) = &f.body else { continue };
+                let caller = (fi, gi);
+                let out = edges.entry(caller).or_default();
+                for call in extract_calls(file, body.clone()) {
+                    for callee in resolve(&call, fi, files, f, &idx) {
+                        if callee != caller {
+                            out.insert(callee);
+                        }
+                    }
+                }
+            }
+        }
+        Graph { files, edges }
+    }
+
+    /// Shortest call chains from `roots` to every reachable fn (BFS).
+    /// Returns parent pointers; absent key = unreachable.
+    pub fn reachable_from(&self, roots: &[FnId]) -> BTreeMap<FnId, Option<FnId>> {
+        let mut parent: BTreeMap<FnId, Option<FnId>> = BTreeMap::new();
+        let mut queue: Vec<FnId> = Vec::new();
+        for &r in roots {
+            if let Entry::Vacant(e) = parent.entry(r) {
+                e.insert(None);
+                queue.push(r);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            if let Some(outs) = self.edges.get(&cur) {
+                for &next in outs {
+                    if let Entry::Vacant(e) = parent.entry(next) {
+                        e.insert(Some(cur));
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Render the minimized chain root → … → `id` as qualified names.
+    pub fn chain(&self, parents: &BTreeMap<FnId, Option<FnId>>, id: FnId) -> String {
+        let mut path = vec![id];
+        let mut cur = id;
+        while let Some(Some(p)) = parents.get(&cur) {
+            path.push(*p);
+            cur = *p;
+        }
+        path.reverse();
+        path.iter()
+            .map(|&f| self.qname(f))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Extract call sites from a token range of `file`.
+pub fn extract_calls(file: &FileModel, body: Range<usize>) -> Vec<Call> {
+    let toks = &file.toks;
+    let mut calls = Vec::new();
+    let mut j = body.start;
+    while j < body.end {
+        let t = &toks[j];
+        if t.kind != Kind::Ident {
+            j += 1;
+            continue;
+        }
+        let next = toks.get(j + 1);
+        let prev = if j > body.start {
+            toks.get(j - 1)
+        } else {
+            None
+        };
+        // Macro use: `name!(…)` — not a call edge.
+        if next.is_some_and(|n| n.is_punct("!")) {
+            j += 2;
+            continue;
+        }
+        let prev_dot = prev.is_some_and(|p| p.is_punct("."));
+        let prev_path = prev.is_some_and(|p| p.is_punct("::"));
+        // Turbofish: `name::<T>(..)` — the `(` is not adjacent.
+        let turbofish = next.is_some_and(|n| n.is_punct("::"))
+            && toks.get(j + 2).is_some_and(|n| n.is_punct("<"));
+        let called = next.is_some_and(|n| n.is_punct("(")) || turbofish;
+        if prev_dot {
+            if called {
+                calls.push(Call::Method(t.text.clone()));
+            }
+            j += 1;
+            continue;
+        }
+        if called && prev_path {
+            // Walk the path backwards: `a :: b :: name`.
+            let mut segs = vec![t.text.clone()];
+            let mut k = j - 1;
+            while k > 0 && toks[k].is_punct("::") && toks[k - 1].kind == Kind::Ident {
+                segs.push(toks[k - 1].text.clone());
+                if k < 2 {
+                    break;
+                }
+                k -= 2;
+            }
+            segs.reverse();
+            calls.push(Call::Qualified(segs));
+            j += 1;
+            continue;
+        }
+        if called {
+            calls.push(Call::Free(t.text.clone()));
+            j += 1;
+            continue;
+        }
+        // Qualified reference as a value: `Type::name` not followed by
+        // `(` or a longer path (`a::b::c` is handled at `c`'s turn).
+        if prev_path
+            && !next.is_some_and(|n| n.is_punct("::"))
+            && j >= 2
+            && toks.get(j - 2).is_some_and(|p| p.kind == Kind::Ident)
+        {
+            let parent = toks[j - 2].text.clone();
+            calls.push(Call::Qualified(vec![parent, t.text.clone()]));
+        }
+        j += 1;
+    }
+    calls
+}
+
+/// Normalise a crate-ish path segment for matching against crate dir
+/// names: `eras_serve` / `eras-serve` → `serve`.
+fn crate_segment(seg: &str) -> &str {
+    seg.strip_prefix("eras_")
+        .or_else(|| seg.strip_prefix("eras-"))
+        .unwrap_or(seg)
+}
+
+fn resolve(
+    call: &Call,
+    file_idx: usize,
+    files: &[FileModel],
+    caller: &FnDef,
+    idx: &Indices<'_>,
+) -> Vec<FnId> {
+    match call {
+        Call::Method(name) => idx
+            .by_method
+            .get(name.as_str())
+            .cloned()
+            .unwrap_or_default(),
+        Call::Free(name) => {
+            let Some(cands) = idx.by_free.get(name.as_str()) else {
+                return Vec::new();
+            };
+            let same_file: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|id| id.0 == file_idx)
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            let krate = &files[file_idx].crate_name;
+            let same_crate: Vec<FnId> = cands
+                .iter()
+                .copied()
+                .filter(|id| &files[id.0].crate_name == krate)
+                .collect();
+            if !same_crate.is_empty() {
+                return same_crate;
+            }
+            cands.clone()
+        }
+        Call::Qualified(segs) => {
+            let Some(name) = segs.last().map(|n| n.as_str()) else {
+                return Vec::new();
+            };
+            let parent = if segs.len() >= 2 {
+                segs[segs.len() - 2].as_str()
+            } else {
+                ""
+            };
+            if parent == "Self" {
+                if let Some(ty) = &caller.self_ty {
+                    if let Some(ids) = idx.by_typed.get(&(ty.as_str(), name)) {
+                        return ids.clone();
+                    }
+                }
+                return idx.by_method.get(name).cloned().unwrap_or_default();
+            }
+            // 1. Self-type match (`QueryEngine::answer`).
+            if let Some(ids) = idx.by_typed.get(&(parent, name)) {
+                return ids.clone();
+            }
+            // 2. Free fns filtered by module or crate path segment
+            //    (`vecops::dot`, `eras_linalg::dot`, `crate::dot`).
+            if let Some(cands) = idx.by_free.get(name) {
+                let parent_crate = crate_segment(parent);
+                let matched: Vec<FnId> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&(fi, gi)| {
+                        let file = &files[fi];
+                        let f = &file.fns[gi];
+                        parent == "crate" && file.crate_name == files[file_idx].crate_name
+                            || f.module.iter().any(|m| m == parent)
+                            || file.crate_name == parent_crate
+                            || module_of_path(&file.path) == parent
+                    })
+                    .collect();
+                if !matched.is_empty() {
+                    return matched;
+                }
+                // Unknown parent (std paths etc. fall out naturally:
+                // no candidate exists). A known name under an alien
+                // parent is still linked — over-approximation keeps
+                // reachability sound.
+                return cands.clone();
+            }
+            Vec::new()
+        }
+    }
+}
+
+/// File-stem module name: `crates/linalg/src/vecops.rs` → `vecops`.
+fn module_of_path(path: &str) -> String {
+    let norm = path.replace('\\', "/");
+    norm.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("")
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse::parse;
+    use super::*;
+
+    fn two_files() -> Vec<FileModel> {
+        let a = parse(
+            "crates/app/src/main_mod.rs",
+            r#"
+pub fn root() {
+    helper();
+    eras_util::shared();
+    let e = Engine::new();
+    e.run();
+    xs.iter().map(Engine::step);
+}
+fn helper() { leaf(); }
+fn leaf() {}
+pub struct Engine;
+impl Engine {
+    pub fn new() -> Engine { Engine }
+    pub fn run(&self) { self.step(); }
+    pub fn step(&self) {}
+}
+"#,
+        );
+        let b = parse(
+            "crates/util/src/lib.rs",
+            r#"
+pub fn shared() { deep(); }
+fn deep() {}
+"#,
+        );
+        vec![a, b]
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file() {
+        let files = two_files();
+        let g = Graph::build(&files);
+        let root = g.find("main_mod.rs", "root").expect("root");
+        let helper = g.find("main_mod.rs", "helper").expect("helper");
+        assert!(g.edges[&root].contains(&helper));
+    }
+
+    #[test]
+    fn qualified_crate_calls_cross_crates() {
+        let files = two_files();
+        let g = Graph::build(&files);
+        let root = g.find("main_mod.rs", "root").expect("root");
+        let shared = g.find("crates/util/src/lib.rs", "shared").expect("shared");
+        assert!(
+            g.edges[&root].contains(&shared),
+            "eras_util::shared() should resolve into the util crate: {:?}",
+            g.edges[&root]
+        );
+    }
+
+    #[test]
+    fn method_calls_resolve_to_impl_fns() {
+        let files = two_files();
+        let g = Graph::build(&files);
+        let root = g.find("main_mod.rs", "root").expect("root");
+        let run = g.find("main_mod.rs", "run").expect("run");
+        let step = g.find("main_mod.rs", "step").expect("step");
+        assert!(g.edges[&root].contains(&run));
+        assert!(
+            g.edges[&root].contains(&step),
+            "Engine::step passed as a value should create an edge"
+        );
+        assert!(g.edges[&run].contains(&step), "self.step() inside run()");
+    }
+
+    #[test]
+    fn reachability_and_chains() {
+        let files = two_files();
+        let g = Graph::build(&files);
+        let root = g.find("main_mod.rs", "root").expect("root");
+        let leaf = g.find("main_mod.rs", "leaf").expect("leaf");
+        let deep = g.find("crates/util/src/lib.rs", "deep").expect("deep");
+        let parents = g.reachable_from(&[root]);
+        assert!(parents.contains_key(&leaf), "root -> helper -> leaf");
+        assert!(parents.contains_key(&deep), "root -> shared -> deep");
+        let chain = g.chain(&parents, leaf);
+        assert_eq!(chain, "app::root -> app::helper -> app::leaf");
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let files = vec![parse(
+            "crates/app/src/m.rs",
+            "fn f() { println!(\"x\"); g(); } fn g() {} fn println() {}",
+        )];
+        let g = Graph::build(&files);
+        let f = g.find("m.rs", "f").expect("f");
+        let println_fn = g.find("m.rs", "println").expect("println fn");
+        assert!(!g.edges[&f].contains(&println_fn), "println! is a macro");
+    }
+}

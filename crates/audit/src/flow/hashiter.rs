@@ -1,0 +1,187 @@
+//! W702 — determinism dataflow: `HashMap`/`HashSet` iteration feeding
+//! order-sensitive sinks.
+//!
+//! Hash iteration order is unspecified, so results must not flow into:
+//!
+//! - **numeric accumulation** — float `+=`/`-=`/`*=`/`/=` inside the
+//!   loop (float addition is not associative, so the sum depends on
+//!   visit order); integer-literal counter increments are exempt,
+//! - **sorting-free output** — `.push(..)` collecting into a sequence
+//!   with no `sort*` call later in the same function,
+//! - **RNG seeding** — `seed_from_u64(..)` / `reseed(..)` in the loop,
+//! - **reductions** — `.iter()/.keys()/.values()/.drain()` chains
+//!   ending in `.sum()`/`.fold()`/`.product()` in the same statement.
+//!
+//! Hash-typed identifiers are recognised per file: any identifier
+//! annotated or assigned with `HashMap`/`HashSet` (let bindings,
+//! params, struct fields). This is a per-file heuristic, documented as
+//! such; the workspace convention is to prefer `BTreeMap`/`BTreeSet`
+//! on any path that feeds results.
+
+use super::lex::Kind;
+use super::parse::FileModel;
+use super::site_allowed;
+use crate::diag::Finding;
+use eras_core::Severity;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "keys",
+    "values",
+    "into_iter",
+    "drain",
+    "iter_mut",
+    "values_mut",
+];
+const REDUCERS: &[&str] = &["sum", "fold", "product"];
+const SEEDERS: &[&str] = &["seed_from_u64", "reseed"];
+
+/// Identifiers in `file` that are (heuristically) hash-typed.
+pub fn hash_idents(file: &FileModel) -> BTreeSet<String> {
+    let toks = &file.toks;
+    let mut out = BTreeSet::new();
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk backwards over type sugar to the `:`/`=` and take the
+        // identifier before it: `let mut m: HashMap<..>`,
+        // `m = HashMap::new()`, `field: HashMap<..>`, `p: &HashSet<..>`.
+        let mut k = j;
+        while k > 0 {
+            k -= 1;
+            let p = &toks[k];
+            if p.is_punct("&") || p.is_punct("<") || p.kind == Kind::Life || p.is_ident("mut") {
+                continue;
+            }
+            if (p.is_punct(":") || p.is_punct("=")) && k > 0 && toks[k - 1].kind == Kind::Ident {
+                out.insert(toks[k - 1].text.clone());
+            }
+            break;
+        }
+    }
+    out
+}
+
+fn range_has_hash_ident(file: &FileModel, r: Range<usize>, hashes: &BTreeSet<String>) -> bool {
+    file.toks[r]
+        .iter()
+        .any(|t| t.kind == Kind::Ident && hashes.contains(&t.text))
+}
+
+fn finding(file: &FileModel, line: u32, sink: &str) -> Finding {
+    Finding {
+        code: "W702",
+        severity: Severity::Warning,
+        pass: "flow",
+        location: format!("{}:{}", file.path, line),
+        message: format!(
+            "HashMap/HashSet iteration feeds {sink}: hash order is unspecified, so this is \
+             not replayable; iterate a sorted view (BTreeMap, or collect+sort) or justify \
+             with audit:allow(W702): <why>"
+        ),
+    }
+}
+
+/// Run W702 over all files.
+pub fn check(files: &[FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let hashes = hash_idents(file);
+        if hashes.is_empty() {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = &f.body else { continue };
+            for lp in &f.loops {
+                if !range_has_hash_ident(file, lp.header.clone(), &hashes) {
+                    continue;
+                }
+                if site_allowed(file, lp.line, "W702", true) {
+                    continue;
+                }
+                let toks = &file.toks;
+                let mut flagged = false;
+                let mut j = lp.body.start;
+                while j < lp.body.end && !flagged {
+                    let t = &toks[j];
+                    if t.kind == Kind::Punct && matches!(t.text.as_str(), "+=" | "-=" | "*=" | "/=")
+                    {
+                        // Integer-literal counter increments are
+                        // order-independent; anything else is suspect.
+                        let rhs_int_literal = toks.get(j + 1).is_some_and(|n| {
+                            n.kind == Kind::Num && !n.text.contains('.') && !n.text.contains('e')
+                        }) && toks
+                            .get(j + 2)
+                            .is_some_and(|n| n.is_punct(";"));
+                        if !rhs_int_literal && !site_allowed(file, t.line, "W702", true) {
+                            findings.push(finding(file, t.line, "numeric accumulation"));
+                            flagged = true;
+                        }
+                    } else if t.kind == Kind::Ident && SEEDERS.contains(&t.text.as_str()) {
+                        if !site_allowed(file, t.line, "W702", true) {
+                            findings.push(finding(file, t.line, "RNG seeding"));
+                            flagged = true;
+                        }
+                    } else if t.is_ident("push")
+                        && j > 0
+                        && toks[j - 1].is_punct(".")
+                        && toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+                    {
+                        // Order-dependent output: exempt if the fn
+                        // sorts anything after the loop.
+                        let rest = lp.body.end..body.end;
+                        let sorted_later = file.toks[rest]
+                            .iter()
+                            .any(|t| t.kind == Kind::Ident && t.text.starts_with("sort"));
+                        if !sorted_later && !site_allowed(file, t.line, "W702", true) {
+                            findings.push(finding(file, t.line, "sorting-free output"));
+                            flagged = true;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Reduction chains outside loops:
+            // `m.values().sum::<f32>()` in one statement.
+            let toks = &file.toks;
+            let mut j = body.start;
+            while j < body.end {
+                let t = &toks[j];
+                let is_hash_recv = t.kind == Kind::Ident
+                    && hashes.contains(&t.text)
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct("."))
+                    && toks
+                        .get(j + 2)
+                        .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()));
+                if is_hash_recv {
+                    // Scan the rest of the statement for a reducer.
+                    let mut k = j + 2;
+                    while k < body.end && !toks[k].is_punct(";") {
+                        if toks[k].kind == Kind::Ident
+                            && REDUCERS.contains(&toks[k].text.as_str())
+                            && k > 0
+                            && toks[k - 1].is_punct(".")
+                        {
+                            if !site_allowed(file, t.line, "W702", true) {
+                                findings.push(finding(file, t.line, "numeric accumulation"));
+                            }
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.location.cmp(&b.location));
+    findings.dedup_by(|a, b| a.location == b.location && a.message == b.message);
+    findings
+}

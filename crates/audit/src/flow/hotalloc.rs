@@ -1,0 +1,109 @@
+//! W703 — allocation inside hot-loop bodies of kernel files.
+//!
+//! The kernel files (linalg vector/matrix ops, sf scoring, train
+//! gradients) are called millions of times per epoch; an allocation
+//! inside one of their loops turns O(1) scratch reuse into allocator
+//! traffic. Flagged constructs inside any loop body of a kernel file:
+//! `Vec::new()`, `vec![..]`, `.collect(..)`, `.to_vec()`, `.clone()`.
+//!
+//! The fix is to hoist the buffer out of the loop (allocate once,
+//! refill per iteration); where the allocation is intentional — e.g.
+//! building the return value — justify with `audit:allow(W703): <why>`
+//! on the site line or the line above.
+
+use super::lex::Kind;
+use super::parse::FileModel;
+use super::site_allowed;
+use crate::diag::Finding;
+use eras_core::Severity;
+use std::collections::BTreeSet;
+
+/// Files whose loops count as hot kernels (workspace-relative path
+/// suffixes). Matches the ROADMAP item-1 SIMD target list.
+pub const KERNEL_FILES: &[&str] = &[
+    "crates/linalg/src/vecops.rs",
+    "crates/linalg/src/matrix.rs",
+    "crates/linalg/src/softmax.rs",
+    "crates/linalg/src/optim.rs",
+    "crates/linalg/src/stats.rs",
+    "crates/linalg/src/pca.rs",
+    "crates/sf/src/block_sf.rs",
+    "crates/sf/src/op.rs",
+    "crates/train/src/grads.rs",
+];
+
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "clone", "cloned", "to_owned"];
+
+/// Run W703 over all files.
+pub fn check(files: &[FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let norm = file.path.replace('\\', "/");
+        if !KERNEL_FILES.iter().any(|k| norm.ends_with(k)) {
+            continue;
+        }
+        // Nested loops produce overlapping ranges; dedupe per site.
+        let mut seen: BTreeSet<(u32, &'static str)> = BTreeSet::new();
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            for lp in &f.loops {
+                let toks = &file.toks;
+                let mut j = lp.body.start;
+                while j < lp.body.end {
+                    let t = &toks[j];
+                    let mut hit: Option<(u32, &'static str)> = None;
+                    if t.is_ident("Vec")
+                        && toks.get(j + 1).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(j + 2).is_some_and(|n| n.is_ident("new"))
+                    {
+                        hit = Some((t.line, "Vec::new()"));
+                        j += 2;
+                    } else if t.is_ident("vec") && toks.get(j + 1).is_some_and(|n| n.is_punct("!"))
+                    {
+                        hit = Some((t.line, "vec![..]"));
+                        j += 1;
+                    } else if t.kind == Kind::Ident
+                        && ALLOC_METHODS.contains(&t.text.as_str())
+                        && j > 0
+                        && toks[j - 1].is_punct(".")
+                        && (toks.get(j + 1).is_some_and(|n| n.is_punct("("))
+                            || (toks.get(j + 1).is_some_and(|n| n.is_punct("::"))
+                                && toks.get(j + 2).is_some_and(|n| n.is_punct("<"))))
+                    {
+                        let what: &'static str = match t.text.as_str() {
+                            "collect" => ".collect()",
+                            "to_vec" => ".to_vec()",
+                            "cloned" => ".cloned()",
+                            "to_owned" => ".to_owned()",
+                            _ => ".clone()",
+                        };
+                        hit = Some((t.line, what));
+                    }
+                    if let Some((line, what)) = hit {
+                        if !seen.contains(&(line, what)) && !site_allowed(file, line, "W703", true)
+                        {
+                            seen.insert((line, what));
+                            findings.push(Finding {
+                                code: "W703",
+                                severity: Severity::Warning,
+                                pass: "flow",
+                                location: format!("{}:{}", file.path, line),
+                                message: format!(
+                                    "{what} inside a kernel loop (fn `{}`): hoist the buffer \
+                                     out of the loop and refill it, or justify with \
+                                     audit:allow(W703): <why>",
+                                    f.name
+                                ),
+                            });
+                        }
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.location.cmp(&b.location));
+    findings
+}

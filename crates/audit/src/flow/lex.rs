@@ -1,0 +1,445 @@
+//! A purpose-built Rust lexer for the flow pass.
+//!
+//! Replaces the old comment-stripping line scanner with a real token
+//! stream: identifiers, lifetimes, string/raw-string/byte-string
+//! literals, char literals (including the `'"'` case that used to
+//! desynchronise the quote-aware stripper), numbers, nested block
+//! comments, and compound punctuation (`::`, `->`, `..`, `+=`, …).
+//!
+//! The lexer is lossy exactly where the analyses don't care: comments
+//! and whitespace produce no tokens (suppression notes are matched
+//! against raw source *lines*, not tokens), and numeric literals are
+//! not decoded. Every token carries the 1-based line it starts on.
+
+/// Token classes the analyses distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`), *not* a char literal.
+    Life,
+    /// String literal of any flavour (`"…"`, `r"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `'\n'`, `'"'`, `b'\0'`).
+    Char,
+    /// Numeric literal (undecoded).
+    Num,
+    /// Punctuation, possibly compound (`::`, `->`, `+=`, `[`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: Kind,
+    /// Identifier/punctuation text; for `Str`, the literal's contents
+    /// (escapes undecoded); for `Num`, the raw literal text; empty for
+    /// `Char`/`Life`.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this the identifier (or keyword) `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation `s`?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+}
+
+/// Compound punctuation, longest first so maximal munch wins.
+const COMPOUND: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "|=", "&=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte length of a raw (or raw byte) string starting at `i`
+/// (`r"…"`, `r#"…"#`, `br##"…"##`), or `None` if `i` does not start
+/// one. Raw strings have no escapes, which is the point of them.
+fn raw_string_len(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"'
+            && b[j + 1..].len() >= hashes
+            && b[j + 1..j + 1 + hashes].iter().all(|&c| c == b'#')
+        {
+            return Some(j + 1 + hashes - i);
+        }
+        j += 1;
+    }
+    Some(b.len() - i) // unterminated: consume to end of input
+}
+
+/// Lex `src` into a token stream. Never fails: unrecognised bytes
+/// become single-character `Punct` tokens, unterminated literals run
+/// to end of input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let count_lines = |from: usize, to: usize| -> u32 {
+        b[from..to].iter().filter(|&&c| c == b'\n').count() as u32
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                let start = i;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(start, i.min(b.len()));
+            }
+            // Raw strings and byte strings before the generic ident
+            // branch, so `r"…"` / `br#"…"#` are literals, not idents.
+            b'r' | b'b' if raw_string_len(b, i).is_some() => {
+                let len = raw_string_len(b, i).unwrap_or(1);
+                let open = b[i..i + len].iter().position(|&c| c == b'"').unwrap_or(0);
+                let hashes = open.saturating_sub(if b[i] == b'b' { 2 } else { 1 });
+                let inner = &b[i + open + 1..i + len - 1 - hashes];
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    text: String::from_utf8_lossy(inner).into_owned(),
+                    line,
+                });
+                line += count_lines(i, i + len);
+                i += len;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let (tok, next) = lex_string(b, i + 1, line);
+                toks.push(tok);
+                line += count_lines(i, next);
+                i = next;
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                let next = lex_char(b, i + 1);
+                toks.push(Tok {
+                    kind: Kind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i = next;
+            }
+            b'"' => {
+                let (tok, next) = lex_string(b, i, line);
+                toks.push(tok);
+                line += count_lines(i, next);
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'x'` (any single byte,
+                // including `'"'`) and `'\…'` are chars; `'ident` with
+                // no closing quote is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    let next = lex_char(b, i);
+                    toks.push(Tok {
+                        kind: Kind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = next;
+                } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                    toks.push(Tok {
+                        kind: Kind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i += 3;
+                } else if b.get(i + 1).copied().is_some_and(is_ident_start) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: Kind::Life,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j;
+                } else if let Some(close) = b[i + 1..].iter().take(8).position(|&c| c == b'\'') {
+                    // Multibyte char literal ('é', '→').
+                    toks.push(Tok {
+                        kind: Kind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = i + 1 + close + 1;
+                } else {
+                    toks.push(Tok {
+                        kind: Kind::Punct,
+                        text: "'".into(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                // Fractional part, but never eat a `..` range.
+                if j < b.len()
+                    && b[j] == b'.'
+                    && b.get(j + 1).copied().is_some_and(|c| c.is_ascii_digit())
+                {
+                    j += 1;
+                    while j < b.len() && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                // Raw identifier `r#ident`.
+                if c == b'r'
+                    && b.get(i + 1) == Some(&b'#')
+                    && b.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    j = i + 2;
+                }
+                let start = j;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: String::from_utf8_lossy(&b[start..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let rest = &src[i..];
+                let comp = COMPOUND.iter().find(|p| rest.starts_with(**p));
+                let text = match comp {
+                    Some(p) => (*p).to_string(),
+                    None => (c as char).to_string(),
+                };
+                let len = text.len();
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text,
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    toks
+}
+
+/// Lex a `"…"` literal starting at the opening quote; returns the token
+/// and the index one past the closing quote.
+fn lex_string(b: &[u8], start: usize, line: u32) -> (Tok, usize) {
+    let mut j = start + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => {
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    let end = j.min(b.len());
+    let inner = &b[start + 1..end.saturating_sub(1).max(start + 1)];
+    (
+        Tok {
+            kind: Kind::Str,
+            text: String::from_utf8_lossy(inner).into_owned(),
+            line,
+        },
+        end,
+    )
+}
+
+/// Lex a char literal starting at the opening quote; returns the index
+/// one past the closing quote.
+fn lex_char(b: &[u8], start: usize) -> usize {
+    let mut j = start + 1;
+    if b.get(j) == Some(&b'\\') {
+        j += 1;
+        if b.get(j) == Some(&b'u') && b.get(j + 1) == Some(&b'{') {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+        }
+        j += 1;
+    } else {
+        j += 1;
+    }
+    // Tolerate slack (hex escapes): scan to the closing quote nearby.
+    while j < b.len() && b[j] != b'\'' && j < start + 12 {
+        j += 1;
+    }
+    (j + 1).min(b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("fn f(x: u32) -> u32 { x + 1 }");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("f"));
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+        assert!(toks.iter().any(|t| t.kind == Kind::Num));
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        let toks = lex("a // unwrap() in a comment\n/* block\nnested /* deep */ end */ b");
+        let names: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(toks[1].line, 3, "block comment newlines must be counted");
+    }
+
+    #[test]
+    fn string_contents_are_not_code() {
+        let toks = lex("let s = \"unwrap() // not a comment\"; after");
+        assert!(toks.iter().any(|t| t.kind == Kind::Str));
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn raw_strings_do_not_hide_the_rest_of_the_line() {
+        let toks = lex(r##"let x = r"a//b"; o.unwrap();"##);
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+        let toks = lex("let (a, b) = (r#\"say \"hi\" // ok\"#, br\"x//y\"); tail()");
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 2);
+    }
+
+    /// The char-literal blind spot the old stripper had: `'"'`
+    /// desynchronised its quote state, hiding the rest of the line.
+    #[test]
+    fn double_quote_char_literal_does_not_desync() {
+        let toks = lex("let q = '\"'; o.unwrap();");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+        assert!(
+            toks.iter().any(|t| t.is_ident("unwrap")),
+            "code after a '\"' char literal must still be lexed: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals_and_lifetimes() {
+        let toks = lex(r"let c = '\''; let n = '\n'; let u = '\u{1F600}'; &'a str; 'static");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 3);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Life).count(), 2);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let toks = lex(r#"let a = b'x'; let s = b"bytes"; let r = br"raw";"#);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 2);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        assert_eq!(idents("for r in xs"), vec!["for", "r", "in", "xs"]);
+        let toks = lex("format!(\"{var}\")");
+        assert!(toks.iter().any(|t| t.is_ident("format")));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 1);
+    }
+
+    #[test]
+    fn compound_punctuation_is_single_tokens() {
+        let toks = lex("a..b; c..=d; x += 1; p::q; f -> g; m => n; v[..k]");
+        for p in ["..", "..=", "+=", "::", "->", "=>"] {
+            assert!(toks.iter().any(|t| t.is_punct(p)), "missing `{p}`");
+        }
+        // `..` inside `[..k]` must not merge with `[`.
+        assert!(toks.iter().any(|t| t.is_punct("[")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("0..n; 1.5; 0x1F; 1_000; 1e-3");
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("r#type r#fn plain"), vec!["type", "fn", "plain"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_literals() {
+        let toks = lex("a\n\"two\nline\"\nb");
+        let b = toks.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b.line, 4);
+    }
+}

@@ -1,0 +1,320 @@
+//! Pass 7 — flow: token-level source analysis over the whole
+//! workspace.
+//!
+//! Where the lint pass checks lines, this pass builds real structure:
+//! a lexer ([`lex`]), an item/signature parser ([`parse`]), and a
+//! workspace call graph ([`graph`]), and runs four interprocedural
+//! analyses on top:
+//!
+//! - [`panics`] **E701** — panic sources reachable from serve/pool
+//!   no-panic roots, with minimized call chains.
+//! - [`hashiter`] **W702** — `HashMap`/`HashSet` iteration feeding
+//!   numeric accumulation, sorting-free output, or RNG seeding.
+//! - [`hotalloc`] **W703** — allocations inside kernel-file loops.
+//! - [`unsafety`] **W704** — `unsafe` sites without justification
+//!   notes.
+//!
+//! Suppression notes are comments on the site line or the line
+//! directly above. E701/W702/W703/W704 all require the *justified*
+//! form — `audit:allow(CODE): <why>` with non-empty prose — a bare
+//! `audit:allow(CODE)` does not count. W704 additionally accepts the
+//! idiomatic `// SAFETY:` comment, scanning the contiguous comment
+//! block above the site ([`comment_block_has`]).
+
+pub mod graph;
+pub mod hashiter;
+pub mod hotalloc;
+pub mod lex;
+pub mod panics;
+pub mod parse;
+pub mod unsafety;
+
+use crate::diag::Finding;
+use parse::FileModel;
+use std::fs;
+use std::path::Path;
+
+/// Does `line` carry `audit:allow(<code>)`? With `justified`, the note
+/// must also carry a non-empty `: <why>` after the closing paren.
+pub fn line_allows(line: &str, code: &str, justified: bool) -> bool {
+    let pat = ["audit:", "allow("].concat();
+    let Some(p) = line.find(&pat) else {
+        return false;
+    };
+    let rest = &line[p + pat.len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    if !rest[..close].contains(code) {
+        return false;
+    }
+    if !justified {
+        return true;
+    }
+    let after = &rest[close + 1..];
+    after
+        .strip_prefix(':')
+        .map(|why| !why.trim().is_empty())
+        .unwrap_or(false)
+}
+
+/// Is the site at 1-based `line` in `file` suppressed for `code` by a
+/// note on the site line or the line directly above?
+pub fn site_allowed(file: &FileModel, line: u32, code: &str, justified: bool) -> bool {
+    if line_allows(file.line_text(line), code, justified) {
+        return true;
+    }
+    line > 1 && line_allows(file.line_text(line - 1), code, justified)
+}
+
+/// Does the site line at 1-based `line`, or any line of the contiguous
+/// `//` comment block directly above it, satisfy `pred`? Used where a
+/// multi-line prose justification is idiomatic (W704's `// SAFETY:`
+/// convention): the scan walks upward and stops at the first line that
+/// is neither a comment nor an attribute. Single-line `#[...]`
+/// attribute lines are transparent (skipped, not matched) so a doc
+/// comment above `#[allow(...)]` still vouches for the item below.
+pub fn comment_block_has(file: &FileModel, line: u32, pred: impl Fn(&str) -> bool) -> bool {
+    if pred(file.line_text(line)) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let text = file.line_text(l).trim_start();
+        if text.starts_with("#[") {
+            continue;
+        }
+        if !text.starts_with("//") {
+            return false;
+        }
+        if pred(text) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Parse every workspace source file (same walk as the lint pass:
+/// crate `src/` trees plus the facade `src/`).
+pub fn load_workspace(root: &Path) -> Vec<FileModel> {
+    let mut files = Vec::new();
+    for (path, _hot) in crate::lint::workspace_sources(root) {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .display()
+            .to_string()
+            .replace('\\', "/");
+        files.push(parse::parse(&display, &src));
+    }
+    files
+}
+
+/// Run all four analyses over already-parsed files. Public so gate
+/// tests can seed in-memory fixtures (paths decide root/kernel roles).
+pub fn analyze(files: &[FileModel]) -> Vec<Finding> {
+    let g = graph::Graph::build(files);
+    let mut findings = panics::check(&g);
+    findings.extend(hashiter::check(files));
+    findings.extend(hotalloc::check(files));
+    findings.extend(unsafety::check(files));
+    findings
+}
+
+/// Parse `(path, source)` pairs and analyze them — fixture entry point.
+pub fn analyze_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
+    let files: Vec<FileModel> = sources
+        .iter()
+        .map(|(path, src)| parse::parse(path, src))
+        .collect();
+    analyze(&files)
+}
+
+/// Run the flow pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Vec<Finding> {
+    analyze(&load_workspace(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_notes_require_justification() {
+        let plain = "x(); // audit:".to_string() + "allow(E701)";
+        let justified = "x(); // audit:".to_string() + "allow(E701): bounds checked at load";
+        let empty_why = "x(); // audit:".to_string() + "allow(E701):   ";
+        assert!(!line_allows(&plain, "E701", true));
+        assert!(line_allows(&plain, "E701", false));
+        assert!(line_allows(&justified, "E701", true));
+        assert!(!line_allows(&empty_why, "E701", true));
+        assert!(!line_allows(&justified, "W702", true), "code must match");
+    }
+
+    #[test]
+    fn e701_fires_cross_function_and_respects_allows() {
+        let http = r#"
+pub fn handle_connection() { helper(); }
+fn helper() { inner(); }
+fn inner(o: Option<u32>) -> u32 { o.unwrap() }
+"#;
+        let findings = analyze_sources(&[("crates/serve/src/http.rs", http)]);
+        let e701: Vec<&Finding> = findings.iter().filter(|f| f.code == "E701").collect();
+        assert_eq!(e701.len(), 1, "{findings:?}");
+        assert!(
+            e701[0]
+                .message
+                .contains("serve::handle_connection -> serve::helper -> serve::inner"),
+            "minimized chain expected: {}",
+            e701[0].message
+        );
+
+        let suppressed = r#"
+pub fn handle_connection() { helper(); }
+fn helper(o: Option<u32>) -> u32 {
+    // audit:allow(E701): input validated by caller
+    o.unwrap()
+}
+"#;
+        let findings = analyze_sources(&[("crates/serve/src/http.rs", suppressed)]);
+        assert!(findings.iter().all(|f| f.code != "E701"), "{findings:?}");
+    }
+
+    #[test]
+    fn unreachable_panics_are_not_flagged() {
+        let http = r#"
+pub fn handle_connection() {}
+fn offline_tool(o: Option<u32>) -> u32 { o.unwrap() }
+"#;
+        let findings = analyze_sources(&[("crates/serve/src/http.rs", http)]);
+        assert!(findings.iter().all(|f| f.code != "E701"), "{findings:?}");
+    }
+
+    #[test]
+    fn w702_fires_on_hash_accumulation() {
+        let src = r#"
+use std::collections::HashMap;
+fn total(m: &HashMap<u32, f32>) -> f32 {
+    let mut sum = 0.0f32;
+    for (_k, v) in m {
+        sum += *v;
+    }
+    sum
+}
+"#;
+        let findings = analyze_sources(&[("crates/data/src/x.rs", src)]);
+        assert_eq!(
+            findings.iter().filter(|f| f.code == "W702").count(),
+            1,
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn w702_integer_counters_and_sorted_output_are_fine() {
+        let src = r#"
+use std::collections::HashMap;
+fn count(m: &HashMap<u32, f32>) -> (usize, Vec<u32>) {
+    let mut n = 0usize;
+    let mut keys = Vec::new();
+    for (k, _v) in m {
+        n += 1;
+        keys.push(*k);
+    }
+    keys.sort_unstable();
+    (n, keys)
+}
+"#;
+        let findings = analyze_sources(&[("crates/data/src/x.rs", src)]);
+        assert!(findings.iter().all(|f| f.code != "W702"), "{findings:?}");
+    }
+
+    #[test]
+    fn w703_fires_in_kernel_loops_only() {
+        let looped = r#"
+pub fn power_iter(n: usize) {
+    for _ in 0..n {
+        let scratch = vec![0.0f32; 8];
+        let _ = scratch;
+    }
+}
+"#;
+        let findings = analyze_sources(&[("crates/linalg/src/pca.rs", looped)]);
+        assert_eq!(
+            findings.iter().filter(|f| f.code == "W703").count(),
+            1,
+            "{findings:?}"
+        );
+        // Same code outside the kernel list: no finding.
+        let findings = analyze_sources(&[("crates/data/src/gen.rs", looped)]);
+        assert!(findings.iter().all(|f| f.code != "W703"), "{findings:?}");
+        // Hoisted: no finding.
+        let hoisted = r#"
+pub fn power_iter(n: usize) {
+    let mut scratch = vec![0.0f32; 8];
+    for _ in 0..n {
+        scratch.fill(0.0);
+    }
+}
+"#;
+        let findings = analyze_sources(&[("crates/linalg/src/pca.rs", hoisted)]);
+        assert!(findings.iter().all(|f| f.code != "W703"), "{findings:?}");
+    }
+
+    #[test]
+    fn w704_inventories_unjustified_unsafe() {
+        let src = r#"
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+"#;
+        let findings = analyze_sources(&[("crates/search/src/sharded.rs", src)]);
+        assert_eq!(
+            findings.iter().filter(|f| f.code == "W704").count(),
+            1,
+            "{findings:?}"
+        );
+        let justified = r#"
+pub fn read(p: *const u32) -> u32 {
+    // audit:allow(W704): p is non-null and aligned by construction
+    unsafe { *p }
+}
+"#;
+        let findings = analyze_sources(&[("crates/search/src/sharded.rs", justified)]);
+        assert!(findings.iter().all(|f| f.code != "W704"), "{findings:?}");
+    }
+
+    #[test]
+    fn w704_accepts_safety_comment_blocks() {
+        // The idiomatic multi-line SAFETY: comment satisfies W704 even
+        // when the keyword is not on the line directly above the site.
+        let src = r#"
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: p is non-null and aligned by construction; the caller
+    // holds the only live reference to the pointee for this call.
+    unsafe { *p }
+}
+"#;
+        let findings = analyze_sources(&[("crates/search/src/sharded.rs", src)]);
+        assert!(findings.iter().all(|f| f.code != "W704"), "{findings:?}");
+        // But a SAFETY: comment separated from the site by code does
+        // not vouch for it.
+        let detached = r#"
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: stale note.
+    let q = p;
+    unsafe { *q }
+}
+"#;
+        let findings = analyze_sources(&[("crates/search/src/sharded.rs", detached)]);
+        assert_eq!(
+            findings.iter().filter(|f| f.code == "W704").count(),
+            1,
+            "{findings:?}"
+        );
+    }
+}

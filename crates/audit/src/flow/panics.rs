@@ -1,0 +1,188 @@
+//! E701 — panic-reachability from serve/pool roots.
+//!
+//! A panic source in non-test code (`unwrap`/`expect`, panicking
+//! macros, indexing) that is reachable over the call graph from a
+//! serve request-handler or pool task-body root is an error: a panic
+//! there takes down a connection handler or poisons the shared pool,
+//! not just an experiment. Findings are per *function* (one finding
+//! lists the function's unsuppressed sites and the minimized call
+//! chain from the nearest root).
+//!
+//! Suppression is deliberately strict: only a *justified*
+//! `audit:allow(E701): <why>` note counts — on the site line (or the
+//! line directly above) for a single site, or on the `fn` signature
+//! line (or the line above) to vouch for the whole function, the
+//! idiom for kernels whose indexing is guarded by shape contracts.
+//!
+//! `debug_assert*` is not a panic source (compiled out of release
+//! builds). Slice-pattern access is covered through the indexing rule
+//! (`xs[..k]` and friends); irrefutable `let [a, b] = …` destructuring
+//! is compile-checked and not flagged.
+
+use super::graph::{FnId, Graph};
+use super::parse::FileModel;
+use super::site_allowed;
+use crate::diag::Finding;
+use eras_core::Severity;
+use std::ops::Range;
+
+/// Analysis roots: functions whose execution must never panic.
+/// (file path suffix, fn name).
+pub const ROOTS: &[(&str, &str)] = &[
+    // The serve front end: a panic here drops or wedges a client
+    // connection (the accept loop survives, the request does not).
+    ("crates/serve/src/http.rs", "handle_connection"),
+    ("crates/serve/src/http.rs", "worker_loop"),
+    ("crates/serve/src/http.rs", "serve_with_options"),
+    ("crates/serve/src/http.rs", "shed"),
+    // The shared pool's task body: a panicking job poisons the single
+    // job slot for every other user of the global pool.
+    ("crates/linalg/src/pool.rs", "worker_loop"),
+];
+
+/// Macros that unconditionally (or on failed condition) panic.
+/// `debug_assert*` is deliberately absent.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords/positions after which `[` opens a pattern or type, not an
+/// index expression.
+const NONINDEX_PREV: &[&str] = &[
+    "let", "in", "return", "match", "if", "else", "while", "for", "loop", "break", "continue",
+    "move", "ref", "mut", "as", "dyn", "impl", "where", "const", "static", "fn", "unsafe",
+];
+
+/// One panic source inside a fn body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub line: u32,
+    pub what: &'static str,
+}
+
+/// Collect panic sources in a token range of `file`.
+pub fn panic_sites(file: &FileModel, body: Range<usize>) -> Vec<PanicSite> {
+    let toks = &file.toks;
+    let mut sites = Vec::new();
+    let mut j = body.start;
+    while j < body.end {
+        let t = &toks[j];
+        let next = toks.get(j + 1);
+        let prev = if j > 0 { toks.get(j - 1) } else { None };
+        if t.kind == super::lex::Kind::Ident {
+            if next.is_some_and(|n| n.is_punct("!")) {
+                if PANIC_MACROS.contains(&t.text.as_str()) {
+                    sites.push(PanicSite {
+                        line: t.line,
+                        what: match t.text.as_str() {
+                            "panic" => "panic!",
+                            "unreachable" => "unreachable!",
+                            "todo" => "todo!",
+                            "unimplemented" => "unimplemented!",
+                            "assert" => "assert!",
+                            "assert_eq" => "assert_eq!",
+                            _ => "assert_ne!",
+                        },
+                    });
+                }
+                j += 2;
+                continue;
+            }
+            let called = next.is_some_and(|n| n.is_punct("("))
+                || (next.is_some_and(|n| n.is_punct("::"))
+                    && toks.get(j + 2).is_some_and(|n| n.is_punct("<")));
+            if called && prev.is_some_and(|p| p.is_punct(".")) {
+                if t.text == "unwrap" {
+                    sites.push(PanicSite {
+                        line: t.line,
+                        what: ".unwrap()",
+                    });
+                } else if t.text == "expect" {
+                    sites.push(PanicSite {
+                        line: t.line,
+                        what: ".expect()",
+                    });
+                }
+            }
+            j += 1;
+            continue;
+        }
+        if t.is_punct("[") {
+            // Index expression: `expr[..]` — `[` directly after an
+            // identifier (not a keyword), `)`, or `]`.
+            let indexes = match prev {
+                Some(p) if p.kind == super::lex::Kind::Ident => {
+                    !NONINDEX_PREV.contains(&p.text.as_str())
+                }
+                Some(p) => p.is_punct(")") || p.is_punct("]"),
+                None => false,
+            };
+            if indexes {
+                sites.push(PanicSite {
+                    line: t.line,
+                    what: "indexing",
+                });
+            }
+        }
+        j += 1;
+    }
+    sites
+}
+
+/// Run E701 over the built call graph.
+pub fn check(graph: &Graph<'_>) -> Vec<Finding> {
+    let mut roots: Vec<FnId> = Vec::new();
+    for (suffix, name) in ROOTS {
+        if let Some(id) = graph.find(suffix, name) {
+            roots.push(id);
+        }
+    }
+    let parents = graph.reachable_from(&roots);
+    let mut findings = Vec::new();
+    for (&id, _) in parents.iter() {
+        let file = graph.file(id);
+        let f = graph.fn_def(id);
+        let Some(body) = &f.body else { continue };
+        // A justified note on the fn signature — or anywhere in the
+        // comment block directly above it — vouches for the whole
+        // function body.
+        if super::comment_block_has(file, f.sig_line, |t| super::line_allows(t, "E701", true)) {
+            continue;
+        }
+        let sites: Vec<PanicSite> = panic_sites(file, body.clone())
+            .into_iter()
+            .filter(|s| !site_allowed(file, s.line, "E701", true))
+            .collect();
+        if sites.is_empty() {
+            continue;
+        }
+        let mut shown: Vec<String> = sites
+            .iter()
+            .take(3)
+            .map(|s| format!("line {} ({})", s.line, s.what))
+            .collect();
+        if sites.len() > 3 {
+            shown.push(format!("+{} more", sites.len() - 3));
+        }
+        findings.push(Finding {
+            code: "E701",
+            severity: Severity::Error,
+            pass: "flow",
+            location: format!("{}:{}", file.path, f.sig_line),
+            message: format!(
+                "panic source reachable from a no-panic root: {} [chain: {}]; handle the \
+                 error or vouch with audit:allow(E701): <why> on the site or fn signature",
+                shown.join(", "),
+                graph.chain(&parents, id),
+            ),
+        });
+    }
+    findings.sort_by(|a, b| a.location.cmp(&b.location));
+    findings
+}

@@ -1,0 +1,759 @@
+//! Item-level parser for the flow pass.
+//!
+//! Walks the token stream produced by [`super::lex`] and extracts the
+//! structure the analyses need: `fn` definitions with qualified names
+//! and body spans, `impl` blocks (for the `Self` type of methods),
+//! `unsafe` sites (blocks, fns, impls), loop bodies, and
+//! `#[cfg(test)]` regions. It is a recogniser, not a full parser:
+//! anything it does not understand is skipped token-by-token, so it
+//! degrades to missing structure rather than failing.
+
+use super::lex::{lex, Kind, Tok};
+use std::ops::Range;
+
+/// What kind of `unsafe` site was found (for the W704 inventory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// An `unsafe { … }` block inside a function body.
+    Block,
+    /// An `unsafe fn` definition (top-level, impl, or nested).
+    Fn,
+    /// An `unsafe impl Trait for Type` block.
+    Impl,
+}
+
+/// One `unsafe` site.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub kind: UnsafeKind,
+    /// Line of the `unsafe` keyword.
+    pub line: u32,
+    /// True when the site is inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+}
+
+/// One loop inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Line of the `for`/`while`/`loop` keyword.
+    pub line: u32,
+    /// Token range from the loop keyword up to (excluding) the body
+    /// brace — the iterated expression for `for`, the condition for
+    /// `while`, empty for bare `loop`.
+    pub header: Range<usize>,
+    /// Token range of the loop body, exclusive of the braces.
+    pub body: Range<usize>,
+}
+
+/// A parsed function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (`handle_connection`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any (`QueryEngine`).
+    pub self_ty: Option<String>,
+    /// Module path within the file (`mod` nesting), outermost first.
+    pub module: Vec<String>,
+    /// Line of the `fn` keyword (suppression notes on this line or the
+    /// line above apply to the whole function).
+    pub sig_line: u32,
+    /// Token range of the body, exclusive of the outer braces.
+    /// `None` for bodyless declarations (trait methods).
+    pub body: Option<Range<usize>>,
+    /// True for `#[test]` fns or fns inside `#[cfg(test)]` regions.
+    pub is_test: bool,
+    /// Loops in the body (`for`/`while`/`loop`), nested loops included
+    /// as separate entries.
+    pub loops: Vec<Loop>,
+}
+
+/// A parsed source file.
+pub struct FileModel {
+    /// Display path (as passed in, workspace-relative).
+    pub path: String,
+    /// Crate directory name (`serve`, `linalg`, …) or `facade` for the
+    /// root `src/`.
+    pub crate_name: String,
+    /// The full token stream.
+    pub toks: Vec<Tok>,
+    /// All function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// All `unsafe` sites, in source order.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Token ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<Range<usize>>,
+    /// Raw source lines, for suppression-note matching.
+    pub lines: Vec<String>,
+}
+
+impl FileModel {
+    /// Is token index `i` inside a `#[cfg(test)]` region?
+    pub fn is_test_tok(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&i))
+    }
+
+    /// Raw text of 1-based source line `line` (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get((line as usize).saturating_sub(1))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Fully qualified display name for a function in this file.
+    pub fn qname(&self, f: &FnDef) -> String {
+        let mut s = self.crate_name.clone();
+        for m in &f.module {
+            s.push_str("::");
+            s.push_str(m);
+        }
+        if let Some(ty) = &f.self_ty {
+            s.push_str("::");
+            s.push_str(ty);
+        }
+        s.push_str("::");
+        s.push_str(&f.name);
+        s
+    }
+}
+
+/// Crate directory name from a workspace-relative path.
+fn crate_of(path: &str) -> String {
+    let norm = path.replace('\\', "/");
+    if let Some(rest) = norm.split("crates/").nth(1) {
+        if let Some(name) = rest.split('/').next() {
+            return name.to_string();
+        }
+    }
+    "facade".to_string()
+}
+
+/// Parse one source file into a [`FileModel`].
+pub fn parse(path: &str, src: &str) -> FileModel {
+    let toks = lex(src);
+    let mut p = Parser {
+        toks: &toks,
+        i: 0,
+        fns: Vec::new(),
+        unsafe_sites: Vec::new(),
+        test_ranges: Vec::new(),
+    };
+    let ctx = Ctx {
+        module: Vec::new(),
+        self_ty: None,
+        in_test: false,
+    };
+    let end = toks.len();
+    p.items(end, &ctx);
+    FileModel {
+        path: path.to_string(),
+        crate_name: crate_of(path),
+        fns: p.fns,
+        unsafe_sites: p.unsafe_sites,
+        test_ranges: p.test_ranges,
+        lines: src.lines().map(|l| l.to_string()).collect(),
+        toks,
+    }
+}
+
+#[derive(Clone)]
+struct Ctx {
+    module: Vec<String>,
+    self_ty: Option<String>,
+    in_test: bool,
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    fns: Vec<FnDef>,
+    unsafe_sites: Vec<UnsafeSite>,
+    test_ranges: Vec<Range<usize>>,
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    fn peek_ident(&self, s: &str) -> bool {
+        self.at(self.i).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn peek_punct(&self, s: &str) -> bool {
+        self.at(self.i).is_some_and(|t| t.is_punct(s))
+    }
+
+    /// Index of the token closing the bracket opened at `open`
+    /// (which must be `{`, `(`, or `[`).
+    fn matching(&self, open: usize) -> usize {
+        let (o, c) = match self.toks[open].text.as_str() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            _ => ("{", "}"),
+        };
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.toks.len().saturating_sub(1)
+    }
+
+    /// Skip a balanced `<…>` generics list starting at `self.i`
+    /// (which must be `<`). `>>` closes two levels.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while self.i < self.toks.len() {
+            let t = &self.toks[self.i];
+            if t.is_punct("<") || t.is_punct("<<") {
+                depth += if t.text == "<<" { 2 } else { 1 };
+            } else if t.is_punct(">") || t.is_punct(">>") {
+                depth -= if t.text == ">>" { 2 } else { 1 };
+                if depth <= 0 {
+                    self.i += 1;
+                    return;
+                }
+            } else if t.is_punct("->") || t.is_punct("=>") {
+                // `->` inside Fn(..) -> Ret bounds: fine, no angle change.
+            } else if t.is_punct("{") || t.is_punct(";") {
+                return; // malformed; bail without consuming
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Consume a run of `#[…]` / `#![…]` attributes at `self.i`.
+    /// Returns (has `#[test]`, has `#[cfg(test)]`-like).
+    fn attrs(&mut self) -> (bool, bool) {
+        let mut is_test_attr = false;
+        let mut is_cfg_test = false;
+        while self.peek_punct("#") {
+            let mut j = self.i + 1;
+            if self.at(j).is_some_and(|t| t.is_punct("!")) {
+                j += 1;
+            }
+            if !self.at(j).is_some_and(|t| t.is_punct("[")) {
+                break;
+            }
+            let close = self.matching(j);
+            let body = &self.toks[j + 1..close];
+            let has = |s: &str| body.iter().any(|t| t.is_ident(s));
+            if body.len() == 1 && has("test") {
+                is_test_attr = true;
+            }
+            if has("cfg") && has("test") {
+                is_cfg_test = true;
+            }
+            self.i = close + 1;
+        }
+        (is_test_attr, is_cfg_test)
+    }
+
+    /// Parse items until token index `end`.
+    fn items(&mut self, end: usize, ctx: &Ctx) {
+        while self.i < end {
+            let item_start = self.i;
+            let (attr_test, attr_cfg_test) = self.attrs();
+            let mut ctx = ctx.clone();
+            if attr_cfg_test {
+                ctx.in_test = true;
+            }
+            // Visibility and misc qualifiers before the item keyword.
+            while self.peek_ident("pub") {
+                self.i += 1;
+                if self.peek_punct("(") {
+                    self.i = self.matching(self.i) + 1;
+                }
+            }
+            let mut is_unsafe = false;
+            while self.peek_ident("unsafe")
+                || self.peek_ident("async")
+                || self.peek_ident("extern")
+                    && self.at(self.i + 1).is_some_and(|t| t.kind == Kind::Str)
+            {
+                if self.peek_ident("unsafe") {
+                    is_unsafe = true;
+                    self.i += 1;
+                } else if self.peek_ident("async") {
+                    self.i += 1;
+                } else {
+                    self.i += 2; // extern "C"
+                }
+            }
+            if self.i >= end {
+                break;
+            }
+            let t = &self.toks[self.i];
+            let handled = match t.text.as_str() {
+                "mod" if t.kind == Kind::Ident => {
+                    self.i += 1;
+                    let name = self
+                        .at(self.i)
+                        .filter(|t| t.kind == Kind::Ident)
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    self.i += 1;
+                    if self.peek_punct("{") {
+                        let close = self.matching(self.i);
+                        self.i += 1;
+                        let mut inner = ctx.clone();
+                        inner.module.push(name);
+                        inner.self_ty = None;
+                        self.items(close, &inner);
+                        self.i = close + 1;
+                    } // `mod name;` — the `;` falls through harmlessly
+                    true
+                }
+                "fn" if t.kind == Kind::Ident => {
+                    self.parse_fn(&ctx, attr_test, is_unsafe);
+                    true
+                }
+                "const"
+                    if t.kind == Kind::Ident
+                        && self.at(self.i + 1).is_some_and(|t| t.is_ident("fn")) =>
+                {
+                    self.i += 1;
+                    self.parse_fn(&ctx, attr_test, is_unsafe);
+                    true
+                }
+                "impl" if t.kind == Kind::Ident => {
+                    self.parse_impl(&ctx, is_unsafe);
+                    true
+                }
+                "trait" if t.kind == Kind::Ident => {
+                    self.i += 1;
+                    let name = self
+                        .at(self.i)
+                        .filter(|t| t.kind == Kind::Ident)
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    self.i += 1;
+                    while self.i < self.toks.len() && !self.peek_punct("{") && !self.peek_punct(";")
+                    {
+                        if self.peek_punct("<") {
+                            self.skip_angles();
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                    if self.peek_punct("{") {
+                        let close = self.matching(self.i);
+                        self.i += 1;
+                        let mut inner = ctx.clone();
+                        inner.self_ty = Some(name);
+                        self.items(close, &inner);
+                        self.i = close + 1;
+                    }
+                    true
+                }
+                "macro_rules" if t.kind == Kind::Ident => {
+                    // macro_rules! name { … } — skip entirely.
+                    while self.i < self.toks.len() && !self.peek_punct("{") {
+                        self.i += 1;
+                    }
+                    if self.peek_punct("{") {
+                        self.i = self.matching(self.i) + 1;
+                    }
+                    true
+                }
+                "struct" | "enum" | "union" | "use" | "static" | "type" | "extern" | "const"
+                    if t.kind == Kind::Ident =>
+                {
+                    // Skip to `;` or the end of a balanced `{…}` at depth 0.
+                    self.i += 1;
+                    while self.i < self.toks.len() {
+                        if self.peek_punct(";") {
+                            self.i += 1;
+                            break;
+                        }
+                        if self.peek_punct("{") {
+                            self.i = self.matching(self.i) + 1;
+                            break;
+                        }
+                        if self.peek_punct("<") {
+                            self.skip_angles();
+                        } else if self.peek_punct("(") || self.peek_punct("[") {
+                            self.i = self.matching(self.i) + 1;
+                        } else {
+                            self.i += 1;
+                        }
+                    }
+                    true
+                }
+                "{" => {
+                    self.i = self.matching(self.i) + 1;
+                    true
+                }
+                _ => {
+                    self.i += 1;
+                    false
+                }
+            };
+            let _ = handled;
+            if attr_cfg_test && self.i > item_start {
+                self.test_ranges.push(item_start..self.i);
+            }
+        }
+    }
+
+    /// Parse a `fn` starting at the `fn` keyword.
+    fn parse_fn(&mut self, ctx: &Ctx, attr_test: bool, is_unsafe: bool) {
+        let sig_line = self.toks[self.i].line;
+        self.i += 1; // fn
+        let name = self
+            .at(self.i)
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        self.i += 1;
+        let is_test = ctx.in_test || attr_test;
+        if is_unsafe && !is_test {
+            self.unsafe_sites.push(UnsafeSite {
+                kind: UnsafeKind::Fn,
+                line: sig_line,
+                is_test,
+            });
+        }
+        // Signature: skip to the body `{` or a `;` at bracket depth 0.
+        let mut body = None;
+        while self.i < self.toks.len() {
+            if self.peek_punct("<") {
+                self.skip_angles();
+                continue;
+            }
+            if self.peek_punct("(") || self.peek_punct("[") {
+                self.i = self.matching(self.i) + 1;
+                continue;
+            }
+            if self.peek_punct(";") {
+                self.i += 1;
+                break;
+            }
+            if self.peek_punct("{") {
+                let close = self.matching(self.i);
+                body = Some(self.i + 1..close);
+                self.i = close + 1;
+                break;
+            }
+            self.i += 1;
+        }
+        let loops = match &body {
+            Some(r) => self.scan_body(r.clone(), is_test),
+            None => Vec::new(),
+        };
+        self.fns.push(FnDef {
+            name,
+            self_ty: ctx.self_ty.clone(),
+            module: ctx.module.clone(),
+            sig_line,
+            body,
+            is_test,
+            loops,
+        });
+    }
+
+    /// Parse an `impl` block starting at the `impl` keyword.
+    fn parse_impl(&mut self, ctx: &Ctx, is_unsafe: bool) {
+        let impl_line = self.toks[self.i].line;
+        self.i += 1; // impl
+        if self.peek_punct("<") {
+            self.skip_angles();
+        }
+        let mut last_ident: Option<String> = None;
+        while self.i < self.toks.len() {
+            let t = &self.toks[self.i];
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            if t.is_ident("for") {
+                last_ident = None; // self type follows
+                self.i += 1;
+            } else if t.is_ident("where") {
+                while self.i < self.toks.len() && !self.peek_punct("{") && !self.peek_punct(";") {
+                    if self.peek_punct("<") {
+                        self.skip_angles();
+                    } else {
+                        self.i += 1;
+                    }
+                }
+            } else if t.kind == Kind::Ident {
+                last_ident = Some(t.text.clone());
+                self.i += 1;
+            } else if t.is_punct("<") {
+                self.skip_angles();
+            } else if t.is_punct("(") || t.is_punct("[") {
+                self.i = self.matching(self.i) + 1;
+            } else {
+                self.i += 1;
+            }
+        }
+        if is_unsafe && !ctx.in_test {
+            self.unsafe_sites.push(UnsafeSite {
+                kind: UnsafeKind::Impl,
+                line: impl_line,
+                is_test: ctx.in_test,
+            });
+        }
+        if self.peek_punct("{") {
+            let close = self.matching(self.i);
+            self.i += 1;
+            let mut inner = ctx.clone();
+            inner.self_ty = last_ident;
+            self.items(close, &inner);
+            self.i = close + 1;
+        } else if self.peek_punct(";") {
+            self.i += 1;
+        }
+    }
+
+    /// Scan a fn body for loop bodies and `unsafe` sites. Nested `fn`
+    /// items inside bodies are *not* split out as separate defs — their
+    /// tokens stay attributed to the enclosing fn (documented
+    /// best-effort rule) — but their `unsafe` qualifier is inventoried.
+    fn scan_body(&mut self, range: Range<usize>, is_test: bool) -> Vec<Loop> {
+        let mut loops = Vec::new();
+        let mut j = range.start;
+        while j < range.end {
+            let t = &self.toks[j];
+            if t.is_punct("#") && self.toks.get(j + 1).is_some_and(|t| t.is_punct("[")) {
+                j = self.matching(j + 1) + 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "for" | "while" if t.kind == Kind::Ident => {
+                    // `for<'a>` HRTB is not a loop.
+                    if self.toks.get(j + 1).is_some_and(|t| t.is_punct("<")) {
+                        j += 2;
+                        continue;
+                    }
+                    // Find the body `{` at paren/bracket depth 0.
+                    let mut k = j + 1;
+                    let mut found = None;
+                    while k < range.end {
+                        let u = &self.toks[k];
+                        if u.is_punct("(") || u.is_punct("[") {
+                            k = self.matching(k) + 1;
+                            continue;
+                        }
+                        if u.is_punct("{") {
+                            found = Some(k);
+                            break;
+                        }
+                        if u.is_punct(";") {
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if let Some(open) = found {
+                        let close = self.matching(open);
+                        loops.push(Loop {
+                            line: t.line,
+                            header: j..open,
+                            body: open + 1..close,
+                        });
+                        j = open + 1; // rescan inside for nested loops
+                    } else {
+                        j += 1;
+                    }
+                }
+                "loop" if t.kind == Kind::Ident => {
+                    if self.toks.get(j + 1).is_some_and(|t| t.is_punct("{")) {
+                        let close = self.matching(j + 1);
+                        loops.push(Loop {
+                            line: t.line,
+                            header: j..j + 1,
+                            body: j + 2..close,
+                        });
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                "unsafe" if t.kind == Kind::Ident => {
+                    let next = self.toks.get(j + 1);
+                    if next.is_some_and(|t| t.is_punct("{")) {
+                        if !is_test {
+                            self.unsafe_sites.push(UnsafeSite {
+                                kind: UnsafeKind::Block,
+                                line: t.line,
+                                is_test,
+                            });
+                        }
+                        j += 2;
+                    } else if next.is_some_and(|t| t.is_ident("fn")) {
+                        if !is_test {
+                            self.unsafe_sites.push(UnsafeSite {
+                                kind: UnsafeKind::Fn,
+                                line: t.line,
+                                is_test,
+                            });
+                        }
+                        j += 2;
+                    } else if next.is_some_and(|t| t.is_ident("impl")) {
+                        if !is_test {
+                            self.unsafe_sites.push(UnsafeSite {
+                                kind: UnsafeKind::Impl,
+                                line: t.line,
+                                is_test,
+                            });
+                        }
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                _ => j += 1,
+            }
+        }
+        loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> FileModel {
+        let src = r#"
+pub fn free(x: u32) -> u32 { x + 1 }
+
+struct S { v: Vec<u32> }
+
+impl S {
+    pub fn method(&self) -> u32 {
+        for i in 0..3 {
+            let _ = i;
+        }
+        self.v.len() as u32
+    }
+}
+
+impl std::fmt::Display for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s")
+    }
+}
+
+mod inner {
+    pub fn nested() {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_test() { assert!(true); }
+}
+"#;
+        parse("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn fns_and_impls_are_extracted() {
+        let m = fixture();
+        let names: Vec<String> = m.fns.iter().map(|f| m.qname(f)).collect();
+        assert!(names.contains(&"demo::free".to_string()), "{names:?}");
+        assert!(names.contains(&"demo::S::method".to_string()), "{names:?}");
+        assert!(names.contains(&"demo::S::fmt".to_string()), "{names:?}");
+        assert!(
+            names.contains(&"demo::inner::nested".to_string()),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let m = fixture();
+        let t = m.fns.iter().find(|f| f.name == "a_test").expect("a_test");
+        assert!(t.is_test);
+        let f = m.fns.iter().find(|f| f.name == "free").expect("free");
+        assert!(!f.is_test);
+        assert_eq!(m.test_ranges.len(), 1);
+    }
+
+    #[test]
+    fn loop_bodies_are_spanned() {
+        let m = fixture();
+        let f = m.fns.iter().find(|f| f.name == "method").expect("method");
+        assert_eq!(f.loops.len(), 1);
+        let body = f.loops[0].body.clone();
+        assert!(m.toks[body].iter().any(|t| t.is_ident("i")));
+        let header = f.loops[0].header.clone();
+        assert!(m.toks[header].iter().any(|t| t.is_ident("in")));
+    }
+
+    #[test]
+    fn unsafe_sites_are_inventoried() {
+        let src = r#"
+pub fn f(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+unsafe fn g() {}
+unsafe impl Sync for X {}
+#[cfg(test)]
+mod tests {
+    fn t(p: *const u32) -> u32 { unsafe { *p } }
+}
+"#;
+        let m = parse("crates/demo/src/x.rs", src);
+        let kinds: Vec<UnsafeKind> = m.unsafe_sites.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![UnsafeKind::Block, UnsafeKind::Fn, UnsafeKind::Impl],
+            "test-region unsafe must be excluded: {:?}",
+            m.unsafe_sites
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_resolves_self_ty() {
+        let src = "impl<T: Send> some::Trait<T> for Wrapper<T> { fn go(&self) {} }";
+        let m = parse("crates/demo/src/y.rs", src);
+        let f = &m.fns[0];
+        assert_eq!(f.self_ty.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn while_and_loop_and_nested_loops() {
+        let src = r#"
+fn f(n: usize) {
+    let mut i = 0;
+    while i < n {
+        for j in 0..i {
+            let _ = j;
+        }
+        i += 1;
+    }
+    loop {
+        break;
+    }
+}
+"#;
+        let m = parse("crates/demo/src/z.rs", src);
+        assert_eq!(m.fns[0].loops.len(), 3);
+    }
+
+    #[test]
+    fn const_fn_and_bodyless_decls() {
+        let src = r#"
+const LIMIT: usize = 4;
+pub const fn cap() -> usize { LIMIT }
+trait T { fn decl(&self); }
+"#;
+        let m = parse("crates/demo/src/w.rs", src);
+        let cap = m.fns.iter().find(|f| f.name == "cap").expect("cap");
+        assert!(cap.body.is_some());
+        let decl = m.fns.iter().find(|f| f.name == "decl").expect("decl");
+        assert!(decl.body.is_none());
+        assert_eq!(decl.self_ty.as_deref(), Some("T"));
+    }
+}

@@ -1,0 +1,60 @@
+//! W704 — unsafe-site inventory.
+//!
+//! Every `unsafe` site in non-test code — blocks, `unsafe fn`
+//! definitions, and `unsafe impl`s — must carry a justification. Two
+//! forms count, checked on the site line or the contiguous `//`
+//! comment block directly above it (doc comments included):
+//!
+//! - the idiomatic `SAFETY:` prose comment (the same convention
+//!   clippy's `undocumented_unsafe_blocks` enforces), or
+//! - an explicit `audit:allow(W704): <why>` note.
+//!
+//! For `unsafe impl Send/Sync` an existing `audit:allow(W406): <why>`
+//! note also counts (W406 already demands the soundness argument; W704
+//! does not ask for it twice).
+//!
+//! This builds the ledger the planned SIMD work will be audited
+//! against: the set of unsafe sites is enumerable, and every entry
+//! says why it is sound.
+
+use super::parse::{FileModel, UnsafeKind};
+use super::{comment_block_has, line_allows};
+use crate::diag::Finding;
+use eras_core::Severity;
+
+/// Run W704 over all files.
+pub fn check(files: &[FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        for site in &file.unsafe_sites {
+            if site.is_test {
+                continue;
+            }
+            let justified = comment_block_has(file, site.line, |t| {
+                t.contains("SAFETY:") || line_allows(t, "W704", true)
+            }) || (site.kind == UnsafeKind::Impl
+                && comment_block_has(file, site.line, |t| line_allows(t, "W406", true)));
+            if justified {
+                continue;
+            }
+            let what = match site.kind {
+                UnsafeKind::Block => "unsafe block",
+                UnsafeKind::Fn => "unsafe fn",
+                UnsafeKind::Impl => "unsafe impl",
+            };
+            findings.push(Finding {
+                code: "W704",
+                severity: Severity::Warning,
+                pass: "flow",
+                location: format!("{}:{}", file.path, site.line),
+                message: format!(
+                    "{what} without a justification: state why it is sound with a \
+                     `SAFETY:` comment (or audit:allow(W704): <why>) on the site line \
+                     or the comment block directly above"
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| a.location.cmp(&b.location));
+    findings
+}

@@ -12,9 +12,13 @@
 //!   (`E201`);
 //! - [`config_pass`] — structured configuration diagnostics over the
 //!   shipped presets (`E3xx`/`W32x`, defined in `eras-core`);
-//! - [`lint`] — purpose-built source lints: NaN-unsafe comparisons,
+//! - [`lint`] — token-level source lints: NaN-unsafe comparisons,
 //!   hot-path `unwrap()`, non-deterministic seeding, unjustified
 //!   `unsafe impl Send/Sync` (`E401`/`W40x`);
+//! - [`flow`] — interprocedural source analysis on a workspace call
+//!   graph: panic-reachability from serve/pool roots, hash-iteration
+//!   determinism dataflow, kernel-loop allocations, and the unsafe
+//!   inventory (`E701`/`W702`–`W704`);
 //! - [`sched`] — schedule-exploring model checking of the parallel
 //!   execution layer's synchronisation protocols through the
 //!   `eras_linalg::sync` scheduler hooks (`E5xx`/`I500`);
@@ -32,6 +36,7 @@
 pub mod chaos;
 pub mod config_pass;
 pub mod diag;
+pub mod flow;
 pub mod grad_pass;
 pub mod lint;
 pub mod sched;
@@ -52,6 +57,9 @@ pub struct PassSet {
     pub config: bool,
     /// Source lints.
     pub lint: bool,
+    /// Interprocedural flow analyses (panic-reachability, determinism
+    /// dataflow, hot-loop allocations, unsafe inventory).
+    pub flow: bool,
     /// Concurrency model checking.
     pub sched: bool,
     /// Seeded fault-injection harness. Off by default: chaos runs real
@@ -67,6 +75,7 @@ impl Default for PassSet {
             grad: true,
             config: true,
             lint: true,
+            flow: true,
             sched: true,
             chaos: false,
         }
@@ -76,7 +85,7 @@ impl Default for PassSet {
 impl PassSet {
     /// Every valid pass name, in run order — the single source of truth
     /// for `parse` errors and the CLI usage text.
-    pub const NAMES: [&'static str; 6] = ["sf", "grad", "config", "lint", "sched", "chaos"];
+    pub const NAMES: [&'static str; 7] = ["sf", "grad", "config", "lint", "flow", "sched", "chaos"];
 
     /// Parse a comma-separated pass list (`"sf,grad"`).
     pub fn parse(spec: &str) -> Result<PassSet, String> {
@@ -85,6 +94,7 @@ impl PassSet {
             grad: false,
             config: false,
             lint: false,
+            flow: false,
             sched: false,
             chaos: false,
         };
@@ -94,6 +104,7 @@ impl PassSet {
                 "grad" => set.grad = true,
                 "config" => set.config = true,
                 "lint" => set.lint = true,
+                "flow" => set.flow = true,
                 "sched" => set.sched = true,
                 "chaos" => set.chaos = true,
                 other => {
@@ -148,6 +159,10 @@ pub fn run_audit_with(
         report.passes_run.push("lint");
         report.findings.extend(lint::run(root));
     }
+    if passes.flow {
+        report.passes_run.push("flow");
+        report.findings.extend(flow::run(root));
+    }
     if passes.sched {
         report.passes_run.push("sched");
         report
@@ -169,6 +184,11 @@ mod tests {
     fn pass_set_parses() {
         let set = PassSet::parse("sf, lint").expect("valid");
         assert!(set.sf && set.lint && !set.grad && !set.config && !set.sched && !set.chaos);
+        assert!(!set.flow);
+        let set = PassSet::parse("flow").expect("valid");
+        assert!(set.flow && !set.lint);
+        // Flow is part of the default gate.
+        assert!(PassSet::default().flow);
         let set = PassSet::parse("sched").expect("valid");
         assert!(set.sched && !set.sf);
         let set = PassSet::parse("chaos").expect("valid");

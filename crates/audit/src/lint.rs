@@ -17,22 +17,25 @@
 //!   deterministic chunking and the `ERAS_THREADS` override, and
 //!   oversubscribes the machine when it nests inside pooled work.
 //!   Blocking-IO threads (e.g. socket accept loops) are legitimate and
-//!   carry an `audit:allow(W405)` note.
+//!   carry an `audit:allow(W405)` note (trailing, or on the line
+//!   directly above the spawn).
 //! - `W406` — unjustified `unsafe impl Send`/`Sync` in library code
 //!   outside `eras_linalg::pool`: hand-rolled thread-safety claims are
 //!   exactly what the sched pass exists to check, so each one must say
 //!   why it is sound in an `audit:allow(W406): <why>` note (trailing,
 //!   or on the comment line directly above the impl).
 //!
-//! The scanner strips comments (quote-aware, including raw string
-//! literals) and skips `#[cfg(test)]` regions, `tests/`, `benches/` and
-//! `examples/` trees. A finding can be suppressed with a same-line
-//! `// audit:allow(E401)` comment carrying the code.
-//!
-//! Lint patterns below are assembled from split string literals so this
-//! file's own source does not trip the scanner.
+//! The lints run on the token stream produced by [`crate::flow::lex`]
+//! (via [`crate::flow::parse`]), so comments never match, string and
+//! char literals are opaque data, and `#[cfg(test)]` regions are
+//! skipped structurally. `tests/`, `benches/` and `examples/` trees are
+//! not walked at all. A finding can be suppressed with a same-line
+//! `// audit:allow(E401)` comment carrying the code (for `W405` and
+//! `W406`, the line directly above also counts).
 
 use crate::diag::Finding;
+use crate::flow::line_allows;
+use crate::flow::parse::{self, FileModel};
 use eras_core::Severity;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -44,33 +47,6 @@ const HOT_PATH_CRATES: &[&str] = &[
     "linalg", "sf", "train", "core", "ctrl", "search", "rules", "serve",
 ];
 
-fn pat_partial_cmp() -> String {
-    ["partial_", "cmp"].concat()
-}
-
-fn pat_unwrap() -> String {
-    [".unw", "rap()"].concat()
-}
-
-fn pat_expect() -> String {
-    [".exp", "ect("].concat()
-}
-
-fn pats_nondeterministic() -> Vec<String> {
-    vec![
-        ["SystemTime::", "now"].concat(),
-        ["thread_", "rng"].concat(),
-        ["from_", "entropy"].concat(),
-    ]
-}
-
-fn pats_raw_thread() -> Vec<String> {
-    vec![
-        ["thread::", "spawn"].concat(),
-        ["thread::", "scope"].concat(),
-    ]
-}
-
 /// The one file allowed to touch `std::thread` directly: the shared
 /// pool's own worker spawning.
 fn is_pool_source(display_path: &str) -> bool {
@@ -79,287 +55,147 @@ fn is_pool_source(display_path: &str) -> bool {
         .ends_with("linalg/src/pool.rs")
 }
 
-fn pat_allow() -> String {
-    ["audit:", "allow("].concat()
+/// Does the source line of 1-based `line` carry an `audit:allow` note
+/// for `code`? With `above`, the line directly above also counts.
+fn allowed(file: &FileModel, line: u32, code: &str, above: bool) -> bool {
+    if line_allows(file.line_text(line), code, false) {
+        return true;
+    }
+    above && line > 1 && line_allows(file.line_text(line - 1), code, false)
 }
 
-fn pat_unsafe_impl() -> String {
-    ["unsafe ", "impl"].concat()
+/// Is token `i` the method name of a `.name(` call?
+fn is_method_call(file: &FileModel, i: usize) -> bool {
+    i > 0
+        && file.toks[i - 1].is_punct(".")
+        && file
+            .toks
+            .get(i + 1)
+            .is_some_and(|t| t.is_punct("(") || t.is_punct("::"))
 }
 
-/// Length of the raw string literal starting at `i` (`r"…"`,
-/// `r#"…"#`, `br##"…"##`), or `None` when `i` does not start one. A
-/// leading `r`/`br` that is part of an identifier (`var"x"` cannot
-/// parse anyway, but `for r in …` can precede `"`) is rejected by the
-/// caller's previous-byte check.
-fn raw_string_len(b: &[u8], i: usize) -> Option<usize> {
-    let mut j = i;
-    if b.get(j) == Some(&b'b') {
-        j += 1;
-    }
-    if b.get(j) != Some(&b'r') {
-        return None;
-    }
-    j += 1;
-    let mut hashes = 0usize;
-    while b.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    if b.get(j) != Some(&b'"') {
-        return None;
-    }
-    j += 1;
-    // Scan for `"` followed by the same number of `#`s. No escapes in
-    // raw strings — that is the point of them.
-    while j < b.len() {
-        if b[j] == b'"'
-            && b[j + 1..].len() >= hashes
-            && b[j + 1..j + 1 + hashes].iter().all(|&c| c == b'#')
-        {
-            return Some(j + 1 + hashes - i);
-        }
-        j += 1;
-    }
-    Some(b.len() - i) // unterminated: consume to end of input
-}
-
-/// Replace comments with spaces, preserving line structure and string
-/// literals. Handles `//` line comments, nested `/* */` block comments,
-/// string/char literals, raw strings (`r"…"`, `r#"…"#`, byte-string
-/// prefixes), and is resilient to lifetimes (`'a`).
-fn strip_comments(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = vec![b' '; b.len()];
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'r' | b'b'
-                if (i == 0 || (!b[i - 1].is_ascii_alphanumeric() && b[i - 1] != b'_'))
-                    && raw_string_len(b, i).is_some() =>
-            {
-                // Raw string literal: copy verbatim (it is real code; a
-                // `//` inside it must NOT start a comment).
-                let len = raw_string_len(b, i).unwrap_or(1);
-                out[i..i + len].copy_from_slice(&b[i..i + len]);
-                i += len;
-            }
-            b'\n' => {
-                out[i] = b'\n';
-                i += 1;
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1;
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'\n' {
-                        out[i] = b'\n';
-                    }
-                    if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
-                        depth += 1;
-                        i += 2;
-                    } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                // String literal: copy verbatim (it is real code).
-                out[i] = b[i];
-                i += 1;
-                while i < b.len() {
-                    out[i] = b[i];
-                    if b[i] == b'\\' {
-                        if i + 1 < b.len() {
-                            out[i + 1] = b[i + 1];
-                        }
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        i += 1;
-                        break;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal ('x' or '\x'), not a lifetime.
-                let is_char = (i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\\')
-                    || (i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'');
-                let len = if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\\' {
-                    3
-                } else if i + 3 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'' {
-                    4
-                } else {
-                    1
-                };
-                if is_char {
-                    out[i..i + len].copy_from_slice(&b[i..i + len]);
-                } else {
-                    out[i] = b[i];
-                }
-                i += len;
-            }
-            c => {
-                out[i] = c;
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8(out).expect("ascii-preserving transform")
-}
-
-/// Mark every line inside a `#[cfg(test)]`-gated item (the attribute
-/// line through the close of the item's brace block).
-fn test_region_mask(stripped: &str) -> Vec<bool> {
-    let lines: Vec<&str> = stripped.lines().collect();
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].contains("#[cfg(test)]") {
-            let start = i;
-            let mut depth = 0i32;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                for c in lines[j].chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            for m in mask.iter_mut().take((j + 1).min(lines.len())).skip(start) {
-                *m = true;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-/// Does the original line carry an `audit:allow(<code>)` suppression?
-fn is_allowed(original_line: &str, code: &str) -> bool {
-    original_line
-        .find(&pat_allow())
-        .map(|p| original_line[p..].contains(code))
-        .unwrap_or(false)
-}
-
-/// Whether the statement starting at byte `pos` (up to the next `;` or
-/// end of input) contains an unwrap/expect call.
-fn statement_unwraps(stripped: &str, pos: usize) -> bool {
-    let end = stripped[pos..]
-        .find(';')
-        .map(|e| pos + e)
-        .unwrap_or(stripped.len());
-    let stmt = &stripped[pos..end];
-    stmt.contains(&pat_unwrap()) || stmt.contains(&pat_expect())
-}
-
-/// Lint one file's contents. `hot_path` enables `W402`.
-pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding> {
-    let stripped = strip_comments(src);
-    let mask = test_region_mask(&stripped);
-    let original_lines: Vec<&str> = src.lines().collect();
+/// Token-level lints over one parsed file. `hot_path` enables `W402`.
+fn lint_model(file: &FileModel, hot_path: bool) -> Vec<Finding> {
+    let toks = &file.toks;
     let mut findings = Vec::new();
+    // Lines with a `partial_cmp` call: E401 owns those statements, so
+    // W402 does not double-report the unwrap that E401 already flags.
+    let mut cmp_lines: Vec<u32> = Vec::new();
 
-    // Byte offset of each line start, for statement-scoped checks.
-    let mut line_starts = vec![0usize];
-    for (i, b) in stripped.bytes().enumerate() {
-        if b == b'\n' {
-            line_starts.push(i + 1);
-        }
-    }
-
-    let nondet = pats_nondeterministic();
-    let raw_thread = pats_raw_thread();
-    let unsafe_impl = pat_unsafe_impl();
-    for (idx, line) in stripped.lines().enumerate() {
-        if mask.get(idx).copied().unwrap_or(false) {
+    for i in 0..toks.len() {
+        if file.is_test_tok(i) {
             continue;
         }
-        let original = original_lines.get(idx).copied().unwrap_or("");
-        let lineno = idx + 1;
+        let t = &toks[i];
 
-        if let Some(col) = line.find(&pat_partial_cmp()) {
-            let pos = line_starts[idx] + col;
-            if statement_unwraps(&stripped, pos) && !is_allowed(original, "E401") {
+        // E401: partial_cmp unwrapped/expected in the same statement.
+        if t.is_ident("partial_cmp") {
+            cmp_lines.push(t.line);
+            let unwrapped = toks[i + 1..]
+                .iter()
+                .enumerate()
+                .take_while(|(_, u)| !u.is_punct(";"))
+                .any(|(k, u)| {
+                    (u.is_ident("unwrap") || u.is_ident("expect"))
+                        && is_method_call(file, i + 1 + k)
+                });
+            if unwrapped && !allowed(file, t.line, "E401", false) {
                 findings.push(Finding {
                     code: "E401",
                     severity: Severity::Error,
                     pass: "lint",
-                    location: format!("{display_path}:{lineno}"),
+                    location: format!("{}:{}", file.path, t.line),
                     message: "NaN-unsafe comparison: partial ordering unwrapped in the same \
                               statement; use the total orderings in eras_linalg::cmp"
                         .to_string(),
                 });
             }
-        } else if hot_path && line.contains(&pat_unwrap()) && !is_allowed(original, "W402") {
+        }
+
+        // W402: hot-path unwrap().
+        if hot_path
+            && t.is_ident("unwrap")
+            && is_method_call(file, i)
+            && !cmp_lines.contains(&t.line)
+            && !allowed(file, t.line, "W402", false)
+        {
             findings.push(Finding {
                 code: "W402",
                 severity: Severity::Warning,
                 pass: "lint",
-                location: format!("{display_path}:{lineno}"),
+                location: format!("{}:{}", file.path, t.line),
                 message: "unwrap() in hot-path code: a panic here kills a long training or \
                           search run; handle the None/Err or document with audit:allow(W402)"
                     .to_string(),
             });
         }
 
-        if !is_pool_source(display_path) {
-            for pat in &raw_thread {
-                if line.contains(pat.as_str()) && !is_allowed(original, "W405") {
-                    findings.push(Finding {
-                        code: "W405",
-                        severity: Severity::Warning,
-                        pass: "lint",
-                        location: format!("{display_path}:{lineno}"),
-                        message: format!(
-                            "raw `{pat}` outside eras_linalg::pool: route CPU-parallel work \
-                             through the shared ThreadPool (deterministic chunking, \
-                             ERAS_THREADS); blocking-IO threads may document with \
-                             audit:allow(W405)"
-                        ),
-                    });
-                }
+        // W403: non-deterministic seeding sources.
+        let nondet: Option<&str> = if t.is_ident("thread_rng") {
+            Some("thread_rng")
+        } else if t.is_ident("from_entropy") {
+            Some("from_entropy")
+        } else if t.is_ident("SystemTime")
+            && toks.get(i + 1).is_some_and(|u| u.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|u| u.is_ident("now"))
+        {
+            Some("SystemTime::now")
+        } else {
+            None
+        };
+        if let Some(pat) = nondet {
+            if !allowed(file, t.line, "W403", false) {
+                findings.push(Finding {
+                    code: "W403",
+                    severity: Severity::Warning,
+                    pass: "lint",
+                    location: format!("{}:{}", file.path, t.line),
+                    message: format!(
+                        "non-deterministic source `{pat}`: experiments must be replayable \
+                         from an explicit u64 seed"
+                    ),
+                });
             }
+        }
 
-            // The justification is prose, so it may sit on its own
-            // comment line directly above the impl instead of trailing.
-            let prev = if idx > 0 {
-                original_lines.get(idx - 1).copied().unwrap_or("")
-            } else {
-                ""
-            };
-            if line.contains(unsafe_impl.as_str())
-                && (line.contains("Send") || line.contains("Sync"))
-                && !is_allowed(original, "W406")
-                && !is_allowed(prev, "W406")
-            {
+        if is_pool_source(&file.path) {
+            continue;
+        }
+
+        // W405: raw thread spawn/scope outside the pool.
+        if t.is_ident("thread")
+            && toks.get(i + 1).is_some_and(|u| u.is_punct("::"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|u| u.is_ident("spawn") || u.is_ident("scope"))
+            && !allowed(file, t.line, "W405", true)
+        {
+            let what = &toks[i + 2].text;
+            findings.push(Finding {
+                code: "W405",
+                severity: Severity::Warning,
+                pass: "lint",
+                location: format!("{}:{}", file.path, t.line),
+                message: format!(
+                    "raw `thread::{what}` outside eras_linalg::pool: route CPU-parallel work \
+                     through the shared ThreadPool (deterministic chunking, ERAS_THREADS); \
+                     blocking-IO threads may document with audit:allow(W405)"
+                ),
+            });
+        }
+
+        // W406: hand-rolled Send/Sync claims outside the pool.
+        if t.is_ident("unsafe") && toks.get(i + 1).is_some_and(|u| u.is_ident("impl")) {
+            let claims_thread_safety = toks[i + 2..]
+                .iter()
+                .take_while(|u| !u.is_punct("{") && !u.is_punct(";"))
+                .any(|u| u.is_ident("Send") || u.is_ident("Sync"));
+            if claims_thread_safety && !allowed(file, t.line, "W406", true) {
                 findings.push(Finding {
                     code: "W406",
                     severity: Severity::Warning,
                     pass: "lint",
-                    location: format!("{display_path}:{lineno}"),
+                    location: format!("{}:{}", file.path, t.line),
                     message: "hand-rolled thread-safety claim outside eras_linalg::pool: \
                               this is exactly what `eras audit --pass sched` model-checks; \
                               state why it is sound with audit:allow(W406): <why>, and add \
@@ -368,23 +204,13 @@ pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding
                 });
             }
         }
-
-        for pat in &nondet {
-            if line.contains(pat.as_str()) && !is_allowed(original, "W403") {
-                findings.push(Finding {
-                    code: "W403",
-                    severity: Severity::Warning,
-                    pass: "lint",
-                    location: format!("{display_path}:{lineno}"),
-                    message: format!(
-                        "non-deterministic source `{pat}`: experiments must be replayable \
-                         from an explicit u64 seed"
-                    ),
-                });
-            }
-        }
     }
     findings
+}
+
+/// Lint one file's contents. `hot_path` enables `W402`.
+pub fn lint_source(display_path: &str, src: &str, hot_path: bool) -> Vec<Finding> {
+    lint_model(&parse::parse(display_path, src), hot_path)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -454,20 +280,15 @@ pub fn run(root: &Path) -> Vec<Finding> {
 mod tests {
     use super::*;
 
-    fn nan_unsafe_line() -> String {
-        [
-            "    let m = xs.iter().max_by(|a, b| a.",
-            "partial_",
-            "cmp(b).unw",
-            "rap());\n",
-        ]
-        .concat()
-    }
+    // The lints run on the lexed token stream, where comments vanish
+    // and string literals are opaque `Str` tokens — so unlike the old
+    // line scanner, these fixtures can spell patterns out plainly
+    // without tripping the lint on this file's own source.
 
     #[test]
     fn flags_nan_unsafe_comparison() {
-        let src = format!("fn f(xs: &[f32]) {{\n{}}}\n", nan_unsafe_line());
-        let findings = lint_source("x.rs", &src, false);
+        let src = "fn f(xs: &[f32]) {\n    let m = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        let findings = lint_source("x.rs", src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "E401");
         assert!(findings[0].location.ends_with(":2"));
@@ -475,192 +296,168 @@ mod tests {
 
     #[test]
     fn flags_multiline_statement() {
-        let part1 = [
-            "    let m = xs.iter().max_by(|a, b| a.",
-            "partial_",
-            "cmp(b))\n",
-        ]
-        .concat();
-        let part2 = ["        .exp", "ect(\"nan\");\n"].concat();
-        let src = format!("fn f(xs: &[f32]) {{\n{part1}{part2}}}\n");
-        let findings = lint_source("x.rs", &src, false);
+        let src = "fn f(xs: &[f32]) {\n    let m = xs.iter().max_by(|a, b| a.partial_cmp(b))\n        .expect(\"nan\");\n}\n";
+        let findings = lint_source("x.rs", src, false);
         assert!(findings.iter().any(|f| f.code == "E401"), "{findings:?}");
     }
 
     #[test]
+    fn unwrapping_a_later_statement_is_not_e401() {
+        // The statement scan stops at `;`: an unwrap in the next
+        // statement does not belong to the partial_cmp expression.
+        let src = "fn f(a: f32, b: f32, o: Option<u32>) {\n    let c = a.partial_cmp(&b);\n    let v = o.unwrap();\n}\n";
+        let findings = lint_source("x.rs", src, false);
+        assert!(findings.iter().all(|f| f.code != "E401"), "{findings:?}");
+    }
+
+    #[test]
     fn comments_and_tests_are_skipped() {
-        let comment = ["    // a.", "partial_", "cmp(b).unw", "rap()\n"].concat();
-        let test_mod = format!(
-            "#[cfg(test)]\nmod tests {{\n    fn g(xs: &[f32]) {{\n{}    }}\n}}\n",
-            nan_unsafe_line()
-        );
-        let src = format!("fn f() {{\n{comment}}}\n{test_mod}");
-        let findings = lint_source("x.rs", &src, true);
+        let src = "fn f() {\n    // a.partial_cmp(b).unwrap()\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn g(xs: &[f32]) {\n        \
+                   let m = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());\n    }\n}\n";
+        let findings = lint_source("x.rs", src, true);
         assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]
     fn allow_comment_suppresses() {
-        let line = [
-            "    let m = a.",
-            "partial_",
-            "cmp(b).unw",
-            "rap(); // audit:",
-            "allow(E401): input is NaN-free by construction\n",
-        ]
-        .concat();
-        let src = format!("fn f(a: &f32, b: &f32) {{\n{line}}}\n");
-        let findings = lint_source("x.rs", &src, false);
+        let src = "fn f(a: &f32, b: &f32) {\n    let m = a.partial_cmp(b).unwrap(); \
+                   // audit:allow(E401): input is NaN-free by construction\n}\n";
+        let findings = lint_source("x.rs", src, false);
         assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]
     fn hot_path_unwrap_is_warned() {
-        let line = ["    let v = o.unw", "rap();\n"].concat();
-        let src = format!("fn f(o: Option<u32>) {{\n{line}}}\n");
-        assert!(lint_source("x.rs", &src, false).is_empty());
-        let findings = lint_source("x.rs", &src, true);
+        let src = "fn f(o: Option<u32>) {\n    let v = o.unwrap();\n}\n";
+        assert!(lint_source("x.rs", src, false).is_empty());
+        let findings = lint_source("x.rs", src, true);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W402");
     }
 
     #[test]
+    fn unwrap_as_a_plain_ident_is_not_a_call() {
+        // A local named `unwrap`, or `Option::unwrap` passed as a path,
+        // is not a `.unwrap()` call site.
+        let src = "fn f(unwrap: u32) -> u32 {\n    unwrap + 1\n}\n";
+        assert!(lint_source("x.rs", src, true).is_empty());
+    }
+
+    #[test]
     fn nondeterminism_is_warned() {
-        let line = ["    let t = SystemTime::", "now();\n"].concat();
-        let src = format!("fn f() {{\n{line}}}\n");
-        let findings = lint_source("x.rs", &src, false);
+        let src = "fn f() {\n    let t = SystemTime::now();\n}\n";
+        let findings = lint_source("x.rs", src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W403");
     }
 
     #[test]
     fn raw_thread_spawn_is_warned_outside_the_pool() {
-        let line = ["    std::thread::", "spawn(|| work());\n"].concat();
-        let src = format!("fn f() {{\n{line}}}\n");
-        let findings = lint_source("crates/serve/src/http.rs", &src, false);
+        let src = "fn f() {\n    std::thread::spawn(|| work());\n}\n";
+        let findings = lint_source("crates/serve/src/http.rs", src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W405");
 
-        let scoped = ["    thread::", "scope(|s| {{}});\n"].concat();
-        let src = format!("fn g() {{\n{scoped}}}\n");
-        let findings = lint_source("crates/train/src/eval.rs", &src, false);
+        let src = "fn g() {\n    thread::scope(|s| {});\n}\n";
+        let findings = lint_source("crates/train/src/eval.rs", src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W405");
     }
 
     #[test]
     fn pool_source_is_exempt_from_raw_thread_lint() {
-        let line = ["    std::thread::", "spawn(|| work());\n"].concat();
-        let src = format!("fn f() {{\n{line}}}\n");
-        let findings = lint_source("crates/linalg/src/pool.rs", &src, false);
+        let src = "fn f() {\n    std::thread::spawn(|| work());\n}\n";
+        let findings = lint_source("crates/linalg/src/pool.rs", src, false);
         assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]
     fn raw_thread_allow_comment_suppresses() {
-        let line = [
-            "    std::thread::",
-            "spawn(|| accept_loop()); // audit:",
-            "allow(W405): blocking IO thread\n",
-        ]
-        .concat();
-        let src = format!("fn f() {{\n{line}}}\n");
-        let findings = lint_source("crates/serve/src/http.rs", &src, false);
+        let src = "fn f() {\n    std::thread::spawn(|| accept_loop()); \
+                   // audit:allow(W405): blocking IO thread\n}\n";
+        let findings = lint_source("crates/serve/src/http.rs", src, false);
         assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]
-    fn string_literals_still_count_as_code() {
-        // A pattern inside a string is code the compiler sees; the
-        // stripper must not eat it (this is exactly how this lint's own
-        // source avoids self-flagging: split literals, not comments).
+    fn string_literals_are_data_not_code() {
+        // With the real lexer a pattern inside a string literal is an
+        // opaque `Str` token: `//` inside it does not start a comment,
+        // and lint patterns inside it do not fire. (The old line
+        // scanner flagged these; the token stream is more precise.)
         let src = "fn f() -> &'static str {\n    \"https://example.com // not a comment\"\n}\n";
         assert!(lint_source("x.rs", src, true).is_empty());
+        let src = "fn f() -> &'static str {\n    r\"thread_rng\"\n}\n";
+        assert!(lint_source("x.rs", src, false).is_empty());
     }
 
     #[test]
     fn raw_string_does_not_hide_the_rest_of_the_line() {
         // A `//` inside a raw string once swallowed everything after it
         // on the line, hiding real code from every lint.
-        let unwrap_call = [".unw", "rap()"].concat();
-        let src = format!("fn f(o: Option<&str>) {{\n    let v = o.filter(|s| s != r\"a//b\"){unwrap_call};\n}}\n");
-        let findings = lint_source("x.rs", &src, true);
+        let src =
+            "fn f(o: Option<&str>) {\n    let v = o.filter(|s| s != r\"a//b\").unwrap();\n}\n";
+        let findings = lint_source("x.rs", src, true);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W402");
     }
 
     #[test]
+    fn char_literal_quote_does_not_desync_the_lexer() {
+        // '"' is a char literal, not the start of a string: everything
+        // after it is still code the lints must see.
+        let src = "fn f(o: Option<u32>) {\n    let q = '\"';\n    let v = o.unwrap();\n}\n";
+        let findings = lint_source("x.rs", src, true);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W402");
+        assert!(findings[0].location.ends_with(":3"), "{findings:?}");
+    }
+
+    #[test]
     fn hashed_and_byte_raw_strings_are_handled() {
-        // `r#"…"#` with embedded quotes, and `br"…"` byte strings.
-        let line = ["    let t = SystemTime::", "now();\n"].concat();
-        let src = format!(
-            "fn f() -> (&'static str, &'static [u8]) {{\n{line}    (r#\"say \"hi\" // ok\"#, br\"x//y\")\n}}\n"
-        );
-        let findings = lint_source("x.rs", &src, false);
+        let src = "fn f() -> (&'static str, &'static [u8]) {\n    let t = SystemTime::now();\n    \
+                   (r#\"say \"hi\" // ok\"#, br\"x//y\")\n}\n";
+        let findings = lint_source("x.rs", src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W403");
         assert!(findings[0].location.ends_with(":2"));
     }
 
     #[test]
-    fn patterns_inside_raw_strings_still_count_as_code() {
-        let pat = ["thread_", "rng"].concat();
-        let src = format!("fn f() -> &'static str {{\n    r\"{pat}\"\n}}\n");
-        let findings = lint_source("x.rs", &src, false);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert_eq!(findings[0].code, "W403");
-    }
-
-    #[test]
     fn identifier_ending_in_r_is_not_a_raw_string() {
-        // `for r in …` can put an `r` token before a `"`; the stripper
-        // must not treat `var` + string as a raw literal either.
         let src = "fn f(var: u8) -> String {\n    format!(\"{var}\") // trailing comment\n}\n";
         assert!(lint_source("x.rs", src, true).is_empty());
     }
 
-    fn unsafe_send_line() -> String {
-        ["unsafe ", "impl Send for Handle {}\n"].concat()
-    }
-
     #[test]
     fn unjustified_unsafe_impl_is_warned() {
-        let src = format!("struct Handle(*mut u8);\n{}", unsafe_send_line());
-        let findings = lint_source("crates/search/src/sharded.rs", &src, false);
+        let src = "struct Handle(*mut u8);\nunsafe impl Send for Handle {}\n";
+        let findings = lint_source("crates/search/src/sharded.rs", src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W406");
 
-        let sync_line = ["unsafe ", "impl Sync for Handle {}\n"].concat();
-        let src = format!("struct Handle(*mut u8);\n{sync_line}");
-        let findings = lint_source("crates/train/src/parallel.rs", &src, false);
+        let src = "struct Handle(*mut u8);\nunsafe impl Sync for Handle {}\n";
+        let findings = lint_source("crates/train/src/parallel.rs", src, false);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].code, "W406");
     }
 
     #[test]
     fn justified_unsafe_impl_is_allowed_trailing_or_above() {
-        let trailing = [
-            "unsafe ",
-            "impl Send for Handle {} // audit:",
-            "allow(W406): owner-only mutation\n",
-        ]
-        .concat();
-        let src = format!("struct Handle(*mut u8);\n{trailing}");
-        assert!(lint_source("x.rs", &src, false).is_empty());
+        let src = "struct Handle(*mut u8);\nunsafe impl Send for Handle {} \
+                   // audit:allow(W406): owner-only mutation\n";
+        assert!(lint_source("x.rs", src, false).is_empty());
 
-        let above = [
-            "// audit:",
-            "allow(W406): nodes are immutable after publish\n",
-        ]
-        .concat();
-        let src = format!("struct Handle(*mut u8);\n{above}{}", unsafe_send_line());
-        assert!(lint_source("x.rs", &src, false).is_empty());
+        let src = "struct Handle(*mut u8);\n// audit:allow(W406): nodes are immutable after \
+                   publish\nunsafe impl Send for Handle {}\n";
+        assert!(lint_source("x.rs", src, false).is_empty());
     }
 
     #[test]
     fn pool_source_is_exempt_from_unsafe_impl_lint() {
-        let src = format!("struct Handle(*mut u8);\n{}", unsafe_send_line());
-        let findings = lint_source("crates/linalg/src/pool.rs", &src, false);
+        let src = "struct Handle(*mut u8);\nunsafe impl Send for Handle {}\n";
+        let findings = lint_source("crates/linalg/src/pool.rs", src, false);
         assert!(findings.is_empty(), "{findings:?}");
     }
 }

@@ -23,8 +23,8 @@ fn shipped_repo_is_clean() {
     let report = run_audit(&workspace_root(), PassSet::default(), 64, 7);
     assert_eq!(
         report.passes_run,
-        vec!["sf", "grad", "config", "lint", "sched"],
-        "all five passes must run"
+        vec!["sf", "grad", "config", "lint", "flow", "sched"],
+        "all six passes must run"
     );
     let problems: Vec<String> = report
         .findings
@@ -118,19 +118,13 @@ fn seeded_invalid_config_fails() {
 }
 
 /// Seeded violation 4: reintroducing a NaN-unsafe sort fails the lint.
+/// (The lints run on the token stream, so the pattern can be spelled
+/// out plainly: string literals are data, not code, to the scanner.)
 #[test]
 fn seeded_nan_unsafe_source_fails() {
-    // The exact pattern satellite #1 removed from the codebase,
-    // assembled from fragments so this test file itself stays clean.
-    let bad_line = [
-        "    xs.sort_by(|a, b| a.",
-        "partial_",
-        "cmp(b).unw",
-        "rap());\n",
-    ]
-    .concat();
-    let src = format!("pub fn sort_scores(xs: &mut [f32]) {{\n{bad_line}}}\n");
-    let findings = eras_audit::lint::lint_source("crates/search/src/seeded.rs", &src, true);
+    let src = "pub fn sort_scores(xs: &mut [f32]) {\n    \
+               xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+    let findings = eras_audit::lint::lint_source("crates/search/src/seeded.rs", src, true);
     assert!(
         findings
             .iter()
@@ -143,9 +137,8 @@ fn seeded_nan_unsafe_source_fails() {
 /// fails the lint — parallel work must go through eras_linalg::pool.
 #[test]
 fn seeded_raw_thread_spawn_fails() {
-    let bad_line = ["    std::thread::", "spawn(move || eval(chunk));\n"].concat();
-    let src = format!("pub fn eval_all() {{\n{bad_line}}}\n");
-    let findings = eras_audit::lint::lint_source("crates/train/src/seeded.rs", &src, true);
+    let src = "pub fn eval_all() {\n    std::thread::spawn(move || eval(chunk));\n}\n";
+    let findings = eras_audit::lint::lint_source("crates/train/src/seeded.rs", src, true);
     assert!(
         findings
             .iter()
@@ -153,7 +146,7 @@ fn seeded_raw_thread_spawn_fails() {
         "raw thread spawn must be caught: {findings:?}"
     );
     // The pool's own source is the one sanctioned spawn site.
-    let findings = eras_audit::lint::lint_source("crates/linalg/src/pool.rs", &src, true);
+    let findings = eras_audit::lint::lint_source("crates/linalg/src/pool.rs", src, true);
     assert!(
         !findings.iter().any(|f| f.code == "W405"),
         "pool.rs is exempt: {findings:?}"
@@ -201,5 +194,124 @@ fn serve_crate_is_walked_as_hot_path() {
     assert!(
         serve.iter().all(|(_, hot)| *hot),
         "crates/serve must be linted as a hot-path crate"
+    );
+}
+
+/// Seeded violation 6: a panic source reachable from the serve request
+/// path fails the flow pass, and the finding carries the minimized
+/// cross-function call chain.
+#[test]
+fn seeded_reachable_panic_fails() {
+    let src = "pub fn handle_connection() { route(); }\n\
+               fn route() { decode(b\"x\"); }\n\
+               fn decode(b: &[u8]) -> u8 { b[0] }\n";
+    let findings = eras_audit::flow::analyze_sources(&[("crates/serve/src/http.rs", src)]);
+    let e701: Vec<_> = findings.iter().filter(|f| f.code == "E701").collect();
+    assert_eq!(e701.len(), 1, "{findings:?}");
+    assert_eq!(e701[0].severity, Severity::Error);
+    assert!(
+        e701[0]
+            .message
+            .contains("serve::handle_connection -> serve::route -> serve::decode"),
+        "chain must be minimized: {}",
+        e701[0].message
+    );
+    // A justified note on the panicking fn vouches for it.
+    let suppressed = "pub fn handle_connection() { route(); }\n\
+                      fn route() { decode(b\"x\"); }\n\
+                      // audit:allow(E701): caller always passes a non-empty buffer\n\
+                      fn decode(b: &[u8]) -> u8 { b[0] }\n";
+    let findings = eras_audit::flow::analyze_sources(&[("crates/serve/src/http.rs", suppressed)]);
+    assert!(findings.iter().all(|f| f.code != "E701"), "{findings:?}");
+}
+
+/// Seeded violation 7: hash-iteration order feeding a float sum fails
+/// the flow pass.
+#[test]
+fn seeded_hash_accumulation_fails() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn total(m: &HashMap<u32, f32>) -> f32 {\n\
+                   let mut sum = 0.0f32;\n\
+                   for (_k, v) in m {\n\
+                       sum += *v;\n\
+                   }\n\
+                   sum\n\
+               }\n";
+    let findings = eras_audit::flow::analyze_sources(&[("crates/train/src/seeded.rs", src)]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "W702" && f.severity == Severity::Warning),
+        "hash-order accumulation must be caught: {findings:?}"
+    );
+}
+
+/// Seeded violation 8: an allocation inside a kernel-file loop fails
+/// the flow pass — and the same code outside the kernel list is fine.
+#[test]
+fn seeded_kernel_loop_allocation_fails() {
+    let src = "pub fn sweep(n: usize) {\n\
+                   for _ in 0..n {\n\
+                       let scratch = vec![0.0f32; 64];\n\
+                       let _ = scratch;\n\
+                   }\n\
+               }\n";
+    let findings = eras_audit::flow::analyze_sources(&[("crates/linalg/src/vecops.rs", src)]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "W703" && f.severity == Severity::Warning),
+        "kernel-loop allocation must be caught: {findings:?}"
+    );
+    let findings = eras_audit::flow::analyze_sources(&[("crates/bench/src/report.rs", src)]);
+    assert!(findings.iter().all(|f| f.code != "W703"), "{findings:?}");
+}
+
+/// Seeded violation 9: an unsafe block without a SAFETY comment or
+/// allow-note fails the flow pass; the idiomatic comment satisfies it.
+#[test]
+fn seeded_undocumented_unsafe_fails() {
+    let src = "pub fn read(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+    let findings = eras_audit::flow::analyze_sources(&[("crates/linalg/src/x.rs", src)]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "W704" && f.severity == Severity::Warning),
+        "undocumented unsafe must be caught: {findings:?}"
+    );
+    let documented = "pub fn read(p: *const u32) -> u32 {\n    \
+                      // SAFETY: p is valid and aligned by the caller's contract.\n    \
+                      unsafe { *p }\n}\n";
+    let findings = eras_audit::flow::analyze_sources(&[("crates/linalg/src/x.rs", documented)]);
+    assert!(findings.iter().all(|f| f.code != "W704"), "{findings:?}");
+}
+
+/// The ported lints agree with their documented pre-port behavior: one
+/// fixture per code, findings identical in code, line, and count.
+#[test]
+fn ported_lints_match_expected_sites() {
+    let src = "pub fn f(xs: &mut [f32], o: Option<u32>) {\n\
+                   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   let v = o.unwrap();\n\
+                   let t = SystemTime::now();\n\
+                   std::thread::spawn(|| {});\n\
+               }\n\
+               struct H(*mut u8);\n\
+               unsafe impl Send for H {}\n";
+    let findings = eras_audit::lint::lint_source("crates/search/src/seeded.rs", src, true);
+    let got: Vec<(&str, &str)> = findings
+        .iter()
+        .map(|f| (f.code, f.location.rsplit(':').next().unwrap_or("")))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("E401", "2"),
+            ("W402", "3"),
+            ("W403", "4"),
+            ("W405", "5"),
+            ("W406", "8"),
+        ],
+        "{findings:?}"
     );
 }

@@ -1,0 +1,105 @@
+//! Docs ↔ codes consistency gate: every diagnostic code the audit
+//! subsystem can emit is catalogued in `docs/audit.md`, and every code
+//! the catalogue documents still exists in the source. Uses the flow
+//! pass's own lexer to find code literals, so string contents in
+//! non-test code are scanned exactly as the compiler sees them.
+
+use eras_audit::flow::parse;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+/// Is `s` exactly a diagnostic code (`E101`, `W402`, `I500`, …)?
+fn is_code(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 4 && matches!(b[0], b'E' | b'W' | b'I') && b[1..].iter().all(|c| c.is_ascii_digit())
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every exact-code string literal in non-test code of the diagnostic
+/// sources: `crates/audit/src/` plus `crates/core/src/config.rs`
+/// (where the config pass's `E3xx`/`W32x` diagnostics live).
+fn source_codes(root: &Path) -> BTreeSet<String> {
+    let mut files = Vec::new();
+    rs_files(&root.join("crates/audit/src"), &mut files);
+    files.push(root.join("crates/core/src/config.rs"));
+    files.sort();
+
+    let mut codes = BTreeSet::new();
+    for path in files {
+        let src = fs::read_to_string(&path).expect("readable source");
+        let model = parse::parse(&path.display().to_string(), &src);
+        for (i, tok) in model.toks.iter().enumerate() {
+            if tok.kind == eras_audit::flow::lex::Kind::Str
+                && is_code(&tok.text)
+                && !model.is_test_tok(i)
+            {
+                codes.insert(tok.text.clone());
+            }
+        }
+    }
+    codes
+}
+
+/// Every code mentioned in `docs/audit.md`.
+fn doc_codes(root: &Path) -> BTreeSet<String> {
+    let doc = fs::read_to_string(root.join("docs/audit.md")).expect("docs/audit.md");
+    let bytes = doc.as_bytes();
+    let mut codes = BTreeSet::new();
+    for i in 0..bytes.len().saturating_sub(3) {
+        if !doc.is_char_boundary(i) || !doc.is_char_boundary(i + 4) {
+            continue;
+        }
+        let prev_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+        let next_ok = i + 4 >= bytes.len() || !bytes[i + 4].is_ascii_alphanumeric();
+        if prev_ok && next_ok && is_code(&doc[i..i + 4]) {
+            codes.insert(doc[i..i + 4].to_string());
+        }
+    }
+    codes
+}
+
+#[test]
+fn docs_codes_gate() {
+    let root = workspace_root();
+    let from_source = source_codes(&root);
+    let from_docs = doc_codes(&root);
+    assert!(
+        !from_source.is_empty() && !from_docs.is_empty(),
+        "both sides must find codes (source: {from_source:?}, docs: {from_docs:?})"
+    );
+
+    let undocumented: Vec<&String> = from_source.difference(&from_docs).collect();
+    assert!(
+        undocumented.is_empty(),
+        "codes emitted by crates/audit (or eras-core config) but missing from \
+         docs/audit.md: {undocumented:?}"
+    );
+    let stale: Vec<&String> = from_docs.difference(&from_source).collect();
+    assert!(
+        stale.is_empty(),
+        "codes documented in docs/audit.md but no longer present in the \
+         source: {stale:?}"
+    );
+}

@@ -21,6 +21,8 @@ impl Table {
     }
 
     /// Append a row; must match the header count.
+    // audit:allow(E701): row shape is fixed by the caller's code, not
+    // by request or file data; a mismatch is a programming error
     pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
         self.rows.push(cells);

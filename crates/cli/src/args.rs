@@ -11,6 +11,8 @@ pub struct Args {
 impl Args {
     /// Parse a flat list of `--key value` / `--key=value` tokens. Bare
     /// `--flag` (no value) stores `"true"`.
+    // audit:allow(E701): tokens[i] is guarded by the loop condition and
+    // tokens[i + 1] by the next_is_value get() probe just above it
     pub fn parse(tokens: &[String]) -> Result<Args, String> {
         let mut values = HashMap::new();
         let mut i = 0;

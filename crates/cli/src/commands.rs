@@ -30,7 +30,7 @@ USAGE:
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
   eras rules    (--preset NAME | --data DIR) [--seed N]
-  eras audit    [--pass sf,grad,config,lint,sched,chaos] [--format text|json]
+  eras audit    [--pass sf,grad,config,lint,flow,sched,chaos] [--format text|json]
                 [--deny warnings] [--root DIR] [--sf-samples N] [--seed N]
                 [--chaos-seeds N] [--chaos-budget SECS]
   eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
@@ -436,9 +436,9 @@ pub fn audit(args: &Args) -> Result<(), String> {
     let sf_samples: usize = args.get_or("sf-samples", 64usize)?;
     let seed: u64 = args.get_or("seed", 7u64)?;
     let root = args.get("root").unwrap_or(".").to_owned();
-    // A wrong --root would silently pass the lint gate with zero files
-    // scanned — refuse roots that don't look like a workspace.
-    if passes.lint && !Path::new(&root).join("crates").is_dir() {
+    // A wrong --root would silently pass the lint/flow gates with zero
+    // files scanned — refuse roots that don't look like a workspace.
+    if (passes.lint || passes.flow) && !Path::new(&root).join("crates").is_dir() {
         return Err(format!(
             "--root `{root}` has no crates/ directory; not a workspace root"
         ));

@@ -11,7 +11,7 @@
 //! - [`reinforce`]: the REINFORCE estimator of Eq. (7) with a moving-
 //!   average baseline, driving the LSTM by gradient *ascent* on expected
 //!   reward — this is what lets ERAS optimise the non-differentiable MRR.
-//! - [`kmeans`]: Lloyd-style EM clustering of relation embeddings
+//! - [`mod@kmeans`]: Lloyd-style EM clustering of relation embeddings
 //!   (Eq. 5), used to maintain the relation-to-group assignment `B`.
 
 // Indexed loops are the clearer idiom in the numeric kernels below

@@ -36,6 +36,8 @@ impl Vocab {
     }
 
     /// Name for an id. Panics if out of range.
+    // audit:allow(E701): serve only passes ids produced by this vocab
+    // (ranking indices < entity count); out of range is a load-time bug
     pub fn name(&self, id: u32) -> &str {
         &self.to_name[id as usize]
     }

@@ -145,6 +145,8 @@ impl FaultConfig {
     }
 
     /// Set one site's rate (numerator over 256), builder-style.
+    // audit:allow(E701): Site as usize indexes the NUM_SITES-wide
+    // rate_num array; the enum discriminant cannot exceed it
     pub fn with(mut self, site: Site, rate_num: u16) -> FaultConfig {
         self.rate_num[site as usize] = rate_num.min(256);
         self
@@ -214,6 +216,8 @@ impl FaultPlane {
 
     /// Decide the current hit on `site`. Advances the site's hit
     /// counter; deterministic in the hit index.
+    // audit:allow(E701): Site as usize indexes per-variant arrays sized
+    // NUM_SITES; the enum discriminant cannot exceed the array
     pub fn decide(&self, site: Site) -> Option<Fault> {
         let i = site as usize;
         let n = self.hits[i].fetch_add(1, Ordering::Relaxed);

@@ -27,6 +27,8 @@ impl Matrix {
 
     /// Build from an explicit row-major buffer. Panics if the buffer length
     /// does not equal `rows * cols`.
+    // audit:allow(E701): shape mismatch means a corrupt snapshot; the
+    // format reader validates dims against the header before this call
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), rows * cols, "matrix buffer size mismatch");
         Matrix { rows, cols, data }
@@ -60,6 +62,8 @@ impl Matrix {
     }
 
     /// Immutable view of row `i`.
+    // audit:allow(E701): i < rows is the documented contract; callers
+    // iterate 0..rows or use engine indices bounded at load
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
         debug_assert!(i < self.rows);
@@ -74,6 +78,8 @@ impl Matrix {
     }
 
     /// Element access.
+    // audit:allow(E701): (i, j) in-bounds is the documented contract,
+    // debug-asserted above the slice index
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f32 {
         debug_assert!(i < self.rows && j < self.cols);
@@ -81,6 +87,8 @@ impl Matrix {
     }
 
     /// Element assignment.
+    // audit:allow(E701): (i, j) in-bounds is the documented contract,
+    // debug-asserted above the slice index
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f32) {
         debug_assert!(i < self.rows && j < self.cols);

@@ -45,14 +45,19 @@ pub fn fit(data: &Matrix, k: usize, rng: &mut Rng) -> Pca {
     let mut components = Matrix::zeros(k, d);
     let mut explained = Vec::with_capacity(k);
     let mut work = centered.clone();
+    // Scratch buffers for the power iteration, hoisted out of the
+    // per-component loop (matvec/matvec_transpose overwrite them).
+    let mut v = vec![0.0f32; d];
+    let mut xv = vec![0.0f32; n];
+    let mut xtxv = vec![0.0f32; d];
     for c in 0..k {
         // Power iteration on Xᵀ X without forming it: v ← Xᵀ(X v).
-        let mut v: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
+        for slot in v.iter_mut() {
+            *slot = rng.normal();
+        }
         let mut eigen = 0.0f32;
         for _ in 0..100 {
-            let mut xv = vec![0.0f32; n];
             work.matvec(&v, &mut xv);
-            let mut xtxv = vec![0.0f32; d];
             work.matvec_transpose(&xv, &mut xtxv);
             let norm = vecops::norm(&xtxv);
             if norm < 1e-12 {
@@ -61,7 +66,7 @@ pub fn fit(data: &Matrix, k: usize, rng: &mut Rng) -> Pca {
             eigen = norm;
             vecops::scale(1.0 / norm, &mut xtxv);
             let delta = vecops::dist_sq(&v, &xtxv);
-            v = xtxv;
+            v.copy_from_slice(&xtxv);
             if delta < 1e-12 {
                 break;
             }

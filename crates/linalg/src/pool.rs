@@ -97,7 +97,7 @@ struct Job {
 // SAFETY: `func` points at a `F: Fn(usize) + Sync` borrowed by the
 // dispatching caller, which blocks until every worker has checked in.
 unsafe impl Send for Job {}
-unsafe impl Sync for Job {}
+unsafe impl Sync for Job {} // SAFETY: as above.
 
 /// Pool state shared with workers.
 struct Shared {
@@ -165,7 +165,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("eras-pool-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker") // audit:allow(W402): startup-time spawn failure is fatal by design
+                    .expect("spawn pool worker") // audit:allow(E701, W402): startup-time spawn failure is fatal by design
             })
             .collect();
         ThreadPool {
@@ -254,7 +254,12 @@ impl ThreadPool {
             }
         };
 
+        // SAFETY: caller must pass a `ptr` obtained from `&F` that
+        // outlives the call; `run` passes the borrow it holds for the
+        // duration of the job.
         unsafe fn trampoline<F: Fn(usize) + Sync>(ptr: *const (), idx: usize) {
+            // SAFETY: `ptr` came from `&f` below and `run` blocks until
+            // every worker is done with the job, so the borrow is live.
             let f = unsafe { &*(ptr as *const F) };
             f(idx);
         }
@@ -296,6 +301,7 @@ impl ThreadPool {
         drop(slot);
 
         if job.panicked.load(Ordering::Acquire) {
+            // audit:allow(E701): deliberate re-panic propagating a task panic to the dispatching caller
             panic!("a thread-pool task panicked");
         }
     }
@@ -328,10 +334,11 @@ impl ThreadPool {
             // SAFETY: index i is claimed by exactly one executor.
             unsafe { (*slots_ref.0[i].get()).write(value) };
         });
-        // `run` returned without panicking, so every slot is initialized.
         slots
             .0
             .into_iter()
+            // SAFETY: `run` returned without panicking, so every slot
+            // was initialized by exactly one executor above.
             .map(|c| unsafe { c.into_inner().assume_init() })
             .collect()
     }
@@ -366,6 +373,7 @@ fn drain(job: &Job) {
         }
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
             if faults::check(faults::Site::PoolTask).is_some() {
+                // audit:allow(E701): chaos-harness injection point, caught by catch_unwind just above
                 panic!("injected fault: pool task panic");
             }
             // SAFETY: the dispatching caller keeps the closure alive
@@ -434,6 +442,7 @@ fn worker_loop(shared: &Shared) {
         // Worker-death injection point: a panic here unwinds the whole
         // thread (no per-task catch), exercising the guard above.
         if faults::check(faults::Site::PoolWorker).is_some() {
+            // audit:allow(E701): chaos-harness injection point — worker death is the scenario under test
             panic!("injected fault: pool worker death");
         }
         drain(&job);

@@ -554,6 +554,7 @@ impl Condvar {
         }
         let std_guard = match guard.inner.take() {
             Some(g) => g,
+            // audit:allow(E701): a live MutexGuard always holds its std guard; None is only set on the hooked path that returned above
             None => unreachable!("guard holds the lock until dropped"),
         };
         guard.hooked = false;

@@ -11,6 +11,8 @@
 /// (`Matrix::matvec` is a row of dots). The lane shape matches what the
 /// autovectoriser turns into packed mul/add; the fixed lane-combine
 /// tree keeps the result deterministic for a given slice length.
+// audit:allow(E701): lane index k < 8 over chunks_exact(8) chunks and
+// an 8-wide accumulator — every index is statically in bounds
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -53,6 +55,8 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 
 /// `out += alpha * (a ⊙ b)` — fused Hadamard-accumulate; the core of the
 /// 1-vs-all query-vector construction (`q_j += sign · h_i ⊙ r_blk`).
+// audit:allow(E701): equal-length slices are the documented contract
+// (debug-asserted); callers pass same-dim embedding blocks
 #[inline]
 pub fn hadamard_axpy(alpha: f32, a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len(), b.len());

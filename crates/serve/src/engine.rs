@@ -178,6 +178,8 @@ impl<'a> TopK<'a> {
 
     /// True when `ent` is filtered out. Entities arrive in ascending
     /// order, so the cursor only moves forward.
+    // audit:allow(E701): filt[cursor] is guarded by cursor < filt.len()
+    // in both the loop condition and the short-circuit below it
     fn is_filtered(&mut self, ent: u32) -> bool {
         while self.cursor < self.filt.len() && self.filt[self.cursor] < ent {
             self.cursor += 1;
@@ -359,6 +361,8 @@ impl QueryEngine {
 
     /// Answer a batch of queries with one pass over the entity table for
     /// all cache misses. Answers come back in query order.
+    // audit:allow(E701): answers and miss_idx are built from
+    // queries.iter().enumerate(), so every index i is < queries.len()
     pub fn answer_batch(&self, queries: &[Query]) -> Result<Vec<Answer>, ServeError> {
         for q in queries {
             self.check(q)?;
@@ -417,6 +421,8 @@ impl QueryEngine {
     /// a pure function of that query alone, so the sharding (and the
     /// pool size) cannot change any result; `ThreadPool::map` returns
     /// groups in index order.
+    // audit:allow(E701): ThreadPool::map invokes the closure with
+    // g < groups.len() by contract
     fn topk_batch(&self, queries: &[Query]) -> Vec<Vec<Ranked>> {
         if queries.is_empty() {
             return Vec::new();
@@ -432,6 +438,8 @@ impl QueryEngine {
     /// One ascending pass over the entity table for a group of queries
     /// (queries in the inner loop, so a group of `B` queries costs one
     /// table pass).
+    // audit:allow(E701): qvecs is sized queries.len() * dim up front,
+    // and qi always comes from enumerate() over queries
     fn topk_group(&self, queries: &[Query]) -> Vec<Vec<Ranked>> {
         let emb = &self.snapshot.embeddings;
         let dim = emb.dim();

@@ -439,7 +439,8 @@ pub fn serve_with_options(
         let io_timeout = opts.io_timeout;
         // Blocking-IO worker threads parked on an mpsc channel, not
         // CPU-parallel work for the shared pool.
-        handles.push(thread::spawn(move || { // audit:allow(W405): blocking-IO workers, not CPU work
+        // audit:allow(W405): blocking-IO workers, not CPU work
+        handles.push(thread::spawn(move || {
             worker_loop(&rx, &engine, &depth, io_timeout)
         }));
     }

@@ -37,7 +37,12 @@ fn arbitrary(rng: &mut Rng, depth: usize) -> Json {
             let n = rng.next_below(4);
             Json::Obj(
                 (0..n)
-                    .map(|i| (format!("k{i}_{}", arbitrary_string(rng)), arbitrary(rng, depth - 1)))
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", arbitrary_string(rng)),
+                            arbitrary(rng, depth - 1),
+                        )
+                    })
                     .collect(),
             )
         }
@@ -67,11 +72,17 @@ fn encode_parse_roundtrips_arbitrary_values() {
         let compact = value.to_compact();
         let parsed = Json::parse(&compact)
             .unwrap_or_else(|e| panic!("case {case}: emitted invalid JSON {compact:?}: {e}"));
-        assert_eq!(parsed, value, "case {case}: compact round-trip changed the value");
+        assert_eq!(
+            parsed, value,
+            "case {case}: compact round-trip changed the value"
+        );
         let pretty = value.to_pretty();
         let parsed = Json::parse(&pretty)
             .unwrap_or_else(|e| panic!("case {case}: emitted invalid pretty JSON: {e}"));
-        assert_eq!(parsed, value, "case {case}: pretty round-trip changed the value");
+        assert_eq!(
+            parsed, value,
+            "case {case}: pretty round-trip changed the value"
+        );
     }
 }
 

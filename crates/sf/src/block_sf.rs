@@ -29,6 +29,9 @@ pub struct BlockSf {
 
 impl BlockSf {
     /// All-zero structure (the empty scoring function).
+    // audit:allow(E701): M comes from presets or validated snapshot
+    // headers; rejecting a bad M at load time, before serving, is the
+    // designed failure mode
     pub fn zeros(m: usize) -> Self {
         assert!((1..=8).contains(&m), "block count M must be in 1..=8");
         BlockSf {
@@ -39,6 +42,8 @@ impl BlockSf {
 
     /// Build from a row-major op grid. Panics unless `grid.len() == m²` and
     /// every referenced block is `< m`.
+    // audit:allow(E701): structure validation at construction; a corrupt
+    // snapshot fails here at load time, never inside a request
     pub fn from_grid(m: usize, grid: Vec<Op>) -> Self {
         assert_eq!(grid.len(), m * m, "grid must have M² cells");
         for op in &grid {
@@ -56,6 +61,8 @@ impl BlockSf {
     }
 
     /// Op at cell `(i, j)`.
+    // audit:allow(E701): (i, j) < M is the documented contract,
+    // debug-asserted above the grid index; callers loop 0..M
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> Op {
         debug_assert!(i < self.m() && j < self.m());
@@ -63,6 +70,8 @@ impl BlockSf {
     }
 
     /// Assign cell `(i, j)`.
+    // audit:allow(E701): same contract as get; the block-range assert
+    // keeps the structure invariant at mutation time
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, op: Op) {
         debug_assert!(i < self.m() && j < self.m());
@@ -175,6 +184,8 @@ impl BlockSf {
     }
 
     /// Decode from a flat vector of op indices.
+    // audit:allow(E701): snapshot decode validation; a corrupt index
+    // vector fails at load time, never inside a request
     pub fn from_indices(m: usize, indices: &[usize]) -> BlockSf {
         assert_eq!(indices.len(), m * m);
         BlockSf::from_grid(m, indices.iter().map(|&k| Op::from_index(k, m)).collect())

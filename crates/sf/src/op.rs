@@ -91,6 +91,8 @@ impl Op {
     }
 
     /// Inverse of [`Op::to_index`]. Panics when `index ≥ 2M+1`.
+    // audit:allow(E701): snapshot decode validation; out-of-range op
+    // indices fail at load time, never inside a request
     #[inline]
     pub fn from_index(index: usize, m: usize) -> Op {
         assert!(index < 2 * m + 1, "op index {index} out of range for M={m}");

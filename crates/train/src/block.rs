@@ -61,6 +61,8 @@ impl BlockModel {
     /// Relation-aware model: one structure per group plus the relation →
     /// group assignment. Panics if an assignment references a missing
     /// group or the structures disagree on `M`.
+    // audit:allow(E701): snapshot/model validation at construction;
+    // inconsistent groups fail at load time, never inside a request
     pub fn relation_aware(sfs: Vec<BlockSf>, assignment: Vec<u8>) -> Self {
         assert!(!sfs.is_empty(), "need at least one group");
         let m = sfs[0].m();
@@ -115,6 +117,8 @@ impl BlockModel {
     }
 
     /// Structure used for relation `rel`.
+    // audit:allow(E701): rel < num_relations is validated when queries
+    // are checked, and assignment entries are < sfs.len() at build
     #[inline]
     pub fn sf_for(&self, rel: u32) -> &BlockSf {
         &self.sfs[self.assignment[rel as usize] as usize]
@@ -122,12 +126,16 @@ impl BlockModel {
 
     /// Transposed structure for relation `rel` (head-side queries).
     /// `pub(crate)` so the data-parallel trainer can share the kernels.
+    // audit:allow(E701): same bounds argument as sf_for; transposed is
+    // built in lockstep with sfs
     #[inline]
     pub(crate) fn sf_for_transposed(&self, rel: u32) -> &BlockSf {
         &self.transposed[self.assignment[rel as usize] as usize]
     }
 
     /// Block size `d / M`. Panics unless `d` is divisible by `M`.
+    // audit:allow(E701): dim % M == 0 is validated when the snapshot is
+    // loaded; a violation is a load-time bug, not request data
     #[inline]
     fn block_size(&self, dim: usize) -> usize {
         assert_eq!(dim % self.m, 0, "dim {dim} not divisible by M={}", self.m);
@@ -155,6 +163,9 @@ impl BlockModel {
     }
 
     /// `q_j += sign · (x_i ⊙ r_b)` over the non-zero cells of `sf`.
+    // audit:allow(E701): nonzero_cells yields i, j < M with block ops
+    // (expect cannot fire), and b < M by BlockSf's grid invariant, so
+    // every i*bs..(i+1)*bs slice lies inside the M*bs vectors
     pub(crate) fn query_with(&self, sf: &BlockSf, x: &[f32], rel: &[f32], q: &mut [f32]) {
         let bs = self.block_size(x.len());
         vecops::zero(q);

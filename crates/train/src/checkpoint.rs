@@ -193,6 +193,8 @@ impl TrainCheckpoint {
         Self::read(std::io::BufReader::new(file))
     }
 
+    // audit:allow(E701): m[0..4] indexes a fixed [f64; 4] with literal
+    // indices — statically in bounds
     fn read<R: std::io::Read>(r: R) -> Result<TrainCheckpoint, IoError> {
         let mut r = io::FormatReader { inner: r };
         let magic = r.bytes::<4>()?;
@@ -302,7 +304,10 @@ mod tests {
         assert_eq!(back.epoch, ck.epoch);
         assert_eq!(back.rng_state, ck.rng_state);
         assert_eq!(back.order, ck.order);
-        assert_eq!(back.embeddings.entity.as_slice(), ck.embeddings.entity.as_slice());
+        assert_eq!(
+            back.embeddings.entity.as_slice(),
+            ck.embeddings.entity.as_slice()
+        );
         assert_eq!(back.ent_accum, ck.ent_accum);
         assert_eq!(back.rel_accum, ck.rel_accum);
         assert_eq!(back.lr_entity, ck.lr_entity);

@@ -199,6 +199,8 @@ impl Snapshot {
     }
 
     /// Internal consistency check; every loaded snapshot satisfies this.
+    // audit:allow(E701): sfs[0] is guarded by the is_empty check just
+    // above it; everything else returns Err
     pub fn validate(&self) -> Result<(), String> {
         let ne = self.entities.len();
         let nr = self.relations.len();
@@ -379,6 +381,8 @@ pub fn load_snapshot(path: &Path) -> Result<Snapshot, IoError> {
 /// error is permanent (re-reading a corrupt file cannot fix it) and is
 /// returned immediately. `attempts` counts total tries, so `1` means no
 /// retry; the sleep starts at `initial_backoff` and doubles per retry.
+// audit:allow(E701): the 1.. loop has no break — every iteration either
+// returns or retries, so the trailing unreachable! cannot execute
 pub fn load_snapshot_retry(
     path: &Path,
     attempts: u32,
@@ -410,7 +414,9 @@ pub(crate) fn atomic_write(
     let tmp = tmp_sibling(path);
     let result = (|| {
         if faults::check(faults::Site::IoWrite).is_some() {
-            return Err(IoError::Io(faults::injected_io_error(faults::Site::IoWrite)));
+            return Err(IoError::Io(faults::injected_io_error(
+                faults::Site::IoWrite,
+            )));
         }
         let file = std::fs::File::create(&tmp)?;
         let mut w = std::io::BufWriter::new(file);
@@ -422,8 +428,7 @@ pub(crate) fn atomic_write(
         // fraction of its length and renaming it into place anyway. The
         // destination now holds a torn file — exactly the condition the
         // chaos harness asserts every loader rejects cleanly.
-        if let Some(faults::Fault::Truncate { keep_num }) = faults::check(faults::Site::TornWrite)
-        {
+        if let Some(faults::Fault::Truncate { keep_num }) = faults::check(faults::Site::TornWrite) {
             let full = file.metadata()?.len();
             file.set_len(full * keep_num as u64 / 256)?;
             file.sync_all()?;
@@ -550,10 +555,15 @@ impl<R: Read> FormatReader<R> {
         Ok(vocab)
     }
 
+    // audit:allow(E701): c[0..4] indexes chunks_exact(4) chunks, and
+    // from_vec's length always matches (bytes is rows*cols*4 exactly)
     pub(crate) fn f32_table(&mut self, rows: usize, cols: usize) -> Result<Matrix, IoError> {
         // Bound the *product* too: each factor can pass `len_u64` while
         // their product requests a pathological allocation.
-        if (rows as u64).checked_mul(cols as u64).is_none_or(|n| n > MAX_LEN) {
+        if (rows as u64)
+            .checked_mul(cols as u64)
+            .is_none_or(|n| n > MAX_LEN)
+        {
             return Err(IoError::Format(format!(
                 "implausible table shape {rows}x{cols}"
             )));

@@ -33,11 +33,11 @@
 //! that at once would cost memory linear in the batch length, so two
 //! machine-independent constants bound it instead:
 //!
-//! - [`FULL_FLUSH_SIDES`] caps the deferred `p ⊗ q` buffer: a shard
+//! - `FULL_FLUSH_SIDES` caps the deferred `p ⊗ q` buffer: a shard
 //!   flushes after that many sides, in ascending side order, which
 //!   leaves every per-element sum in exactly the same order as one big
 //!   flush.
-//! - [`FULL_LIVE_SHARDS`] caps how many dense shard accumulators are
+//! - `FULL_LIVE_SHARDS` caps how many dense shard accumulators are
 //!   live at once: the batch runs as a sequence of *super-steps* over a
 //!   fixed-size window of shard buffers. Each super-step tree-reduces
 //!   its window, then folds it into a running batch accumulator in
@@ -139,6 +139,8 @@ impl GradTable {
         }
     }
 
+    // audit:allow(E701): rows are dense per-shard slot indices < the
+    // table's row count fixed at construction
     #[inline]
     fn row(&self, row: usize, dim: usize) -> &[f32] {
         &self.grad[row * dim..(row + 1) * dim]
@@ -474,6 +476,7 @@ impl ShardCells<'_> {
     /// (edition 2021 closures capture fields precisely).
     #[allow(clippy::mut_from_ref)]
     unsafe fn shard(&self, s: usize) -> &mut Shard {
+        // SAFETY: exclusivity is the caller's contract (doc above).
         unsafe { &mut *self.0[s].get() }
     }
 }
@@ -561,6 +564,7 @@ pub fn train_minibatch_parallel(
         // Fold the reduced super-step into the running batch total —
         // ascending step order, another fixed shape — and re-zero the
         // window for the next step.
+        // SAFETY: the parallel region is over; this thread owns cell 0.
         root.merge_from(unsafe { &*shards[0].get() }, dim);
         for cell in &mut shards[..count] {
             cell.get_mut().clear(dim);

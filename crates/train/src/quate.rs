@@ -42,12 +42,14 @@ fn hamilton(a: Quat, b: Quat) -> Quat {
 }
 
 /// Quaternion conjugate.
+// audit:allow(E701): literal indices into a fixed [f32; 4]
 #[inline]
 fn conjugate(a: Quat) -> Quat {
     [a[0], -a[1], -a[2], -a[3]]
 }
 
 /// Normalise to a unit quaternion; the zero quaternion maps to identity.
+// audit:allow(E701): literal indices into a fixed [f32; 4]
 #[inline]
 fn normalize(a: Quat) -> (Quat, f32) {
     let n = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2] + a[3] * a[3]).sqrt();
@@ -58,6 +60,8 @@ fn normalize(a: Quat) -> (Quat, f32) {
     }
 }
 
+// audit:allow(E701): callers iterate k in 0..dim/4 over rows of length
+// dim (a multiple of 4, validated at model construction)
 #[inline]
 fn quat_at(row: &[f32], k: usize) -> Quat {
     [row[4 * k], row[4 * k + 1], row[4 * k + 2], row[4 * k + 3]]
@@ -102,6 +106,8 @@ impl QuatE {
     }
 
     /// Tail-side query vector `q = h ⊗ r̂` (so `score(t') = ⟨q, t'⟩`).
+    // audit:allow(E701): q has length dim and k < dim/4, so every
+    // 4k..4k+4 window is in bounds
     fn tail_query(emb: &Embeddings, h: u32, r: u32, q: &mut [f32]) {
         let dim = emb.dim();
         let hrow = emb.entity.row(h as usize);
@@ -115,6 +121,7 @@ impl QuatE {
 
     /// Head-side query vector `q = t ⊗ r̂*` — from
     /// `⟨h ⊗ r̂, t⟩ = ⟨h, t ⊗ r̂*⟩` for unit `r̂`.
+    // audit:allow(E701): same bounds argument as tail_query
     fn head_query(emb: &Embeddings, t: u32, r: u32, q: &mut [f32]) {
         let dim = emb.dim();
         let trow = emb.entity.row(t as usize);

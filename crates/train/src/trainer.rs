@@ -2,7 +2,8 @@
 //!
 //! AutoSF evaluates candidates by training each one stand-alone; ERAS does
 //! the same only for its final derived structure (step 12 of Algorithm 2).
-//! [`Trainer`] packages that protocol: epochs of shuffled minibatches,
+//! [`train_standalone`] packages that protocol: epochs of shuffled
+//! minibatches,
 //! periodic filtered-MRR validation, and early stopping on a patience
 //! window.
 
@@ -517,9 +518,8 @@ mod tests {
             resume: false,
         };
         let pool = ThreadPool::new(2);
-        let first =
-            train_standalone_resumable(&model, &dataset, &filter, &cfg, &pool, Some(&spec))
-                .unwrap();
+        let first = train_standalone_resumable(&model, &dataset, &filter, &cfg, &pool, Some(&spec))
+            .unwrap();
         assert_eq!(
             first.embeddings.entity.as_slice(),
             reference.embeddings.entity.as_slice(),

@@ -36,9 +36,14 @@ fn sample_snapshot() -> Snapshot {
     for r in 0..5 {
         relations.intern(&format!("relation_{r}"));
     }
-    let model = BlockModel::relation_aware(vec![zoo::complex(), zoo::simple()], vec![0, 1, 0, 1, 0]);
+    let model =
+        BlockModel::relation_aware(vec![zoo::complex(), zoo::simple()], vec![0, 1, 0, 1, 0]);
     let embeddings = Embeddings::init(11, 5, 8, &mut rng);
-    let known = vec![Triple::new(0, 0, 1), Triple::new(2, 3, 4), Triple::new(9, 4, 10)];
+    let known = vec![
+        Triple::new(0, 0, 1),
+        Triple::new(2, 3, 4),
+        Triple::new(9, 4, 10),
+    ];
     Snapshot::new("corpus", entities, relations, &model, embeddings, known)
 }
 
