@@ -24,6 +24,14 @@
 //!   exactly what the sched pass exists to check, so each one must say
 //!   why it is sound in an `audit:allow(W406): <why>` note (trailing,
 //!   or on the comment line directly above the impl).
+//! - `W705` — ad-hoc timing or logging (`Instant::now()`, `eprintln!`)
+//!   in the obs-instrumented crates (`linalg`, `train`, `serve`,
+//!   `search`): wall-clock reads belong on `eras_obs::clock`
+//!   (`Stopwatch`, `monotonic_us`) and progress output on the
+//!   `eras_obs::event!` layer, so every timing/logging site flows
+//!   through the observability plane. Suppression requires a
+//!   *justified* note — `audit:allow(W705): <why>` — trailing or on
+//!   the line directly above.
 //!
 //! The lints run on the token stream produced by [`crate::flow::lex`]
 //! (via [`crate::flow::parse`]), so comments never match, string and
@@ -55,6 +63,23 @@ fn is_pool_source(display_path: &str) -> bool {
         .ends_with("linalg/src/pool.rs")
 }
 
+/// Crates whose `src/` trees are instrumented through `eras-obs` and
+/// therefore subject to `W705`. Narrower than [`HOT_PATH_CRATES`]:
+/// only the crates that actually carry spans/metrics today, so the
+/// lint never demands instrumentation a crate has no obs dependency
+/// to satisfy.
+const OBS_INSTRUMENTED_PREFIXES: &[&str] = &[
+    "crates/linalg/src",
+    "crates/train/src",
+    "crates/serve/src",
+    "crates/search/src",
+];
+
+fn is_obs_instrumented(display_path: &str) -> bool {
+    let p = display_path.replace('\\', "/");
+    OBS_INSTRUMENTED_PREFIXES.iter().any(|pre| p.contains(pre))
+}
+
 /// Does the source line of 1-based `line` carry an `audit:allow` note
 /// for `code`? With `above`, the line directly above also counts.
 fn allowed(file: &FileModel, line: u32, code: &str, above: bool) -> bool {
@@ -62,6 +87,15 @@ fn allowed(file: &FileModel, line: u32, code: &str, above: bool) -> bool {
         return true;
     }
     above && line > 1 && line_allows(file.line_text(line - 1), code, false)
+}
+
+/// Like [`allowed`] (trailing or line above), but the note must carry
+/// a justification: `audit:allow(CODE): <why>`.
+fn allowed_justified(file: &FileModel, line: u32, code: &str) -> bool {
+    if line_allows(file.line_text(line), code, true) {
+        return true;
+    }
+    line > 1 && line_allows(file.line_text(line - 1), code, true)
 }
 
 /// Is token `i` the method name of a `.name(` call?
@@ -77,6 +111,7 @@ fn is_method_call(file: &FileModel, i: usize) -> bool {
 /// Token-level lints over one parsed file. `hot_path` enables `W402`.
 fn lint_model(file: &FileModel, hot_path: bool) -> Vec<Finding> {
     let toks = &file.toks;
+    let obs_crate = is_obs_instrumented(&file.path);
     let mut findings = Vec::new();
     // Lines with a `partial_cmp` call: E401 owns those statements, so
     // W402 does not double-report the unwrap that E401 already flags.
@@ -155,6 +190,41 @@ fn lint_model(file: &FileModel, hot_path: bool) -> Vec<Finding> {
                          from an explicit u64 seed"
                     ),
                 });
+            }
+        }
+
+        // W705: ad-hoc timing/logging in obs-instrumented crates.
+        if obs_crate {
+            let adhoc: Option<(&str, &str)> = if t.is_ident("Instant")
+                && toks.get(i + 1).is_some_and(|u| u.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|u| u.is_ident("now"))
+            {
+                Some((
+                    "Instant::now()",
+                    "route timing through eras_obs::clock (Stopwatch, monotonic_us)",
+                ))
+            } else if t.is_ident("eprintln") && toks.get(i + 1).is_some_and(|u| u.is_punct("!")) {
+                Some((
+                    "eprintln!",
+                    "emit an eras_obs::event! (echoed to stderr while tracing is active)",
+                ))
+            } else {
+                None
+            };
+            if let Some((pat, fix)) = adhoc {
+                if !allowed_justified(file, t.line, "W705") {
+                    findings.push(Finding {
+                        code: "W705",
+                        severity: Severity::Warning,
+                        pass: "lint",
+                        location: format!("{}:{}", file.path, t.line),
+                        message: format!(
+                            "ad-hoc `{pat}` in an obs-instrumented crate: {fix}, so the site \
+                             shows up in traces and `/metrics`; justify exceptions with \
+                             audit:allow(W705): <why>"
+                        ),
+                    });
+                }
             }
         }
 
@@ -452,6 +522,44 @@ mod tests {
         let src = "struct Handle(*mut u8);\n// audit:allow(W406): nodes are immutable after \
                    publish\nunsafe impl Send for Handle {}\n";
         assert!(lint_source("x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn adhoc_timing_is_warned_in_obs_instrumented_crates() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let findings = lint_source("crates/train/src/trainer.rs", src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W705");
+        assert!(findings[0].location.ends_with(":2"));
+        // The same source outside the instrumented crates is fine.
+        assert!(lint_source("crates/bench/src/timing.rs", src, false).is_empty());
+        assert!(lint_source("crates/cli/src/commands.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn adhoc_stderr_logging_is_warned_in_obs_instrumented_crates() {
+        let src = "fn f(epoch: usize) {\n    eprintln!(\"epoch {epoch}\");\n}\n";
+        let findings = lint_source("crates/serve/src/http.rs", src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].code, "W705");
+        assert!(lint_source("crates/audit/src/lint.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn w705_requires_a_justified_allow() {
+        // A bare allow (no `: <why>`) does NOT suppress W705.
+        let src = "fn f() {\n    let t = Instant::now(); // audit:allow(W705)\n}\n";
+        let findings = lint_source("crates/search/src/evaluator.rs", src, false);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+
+        let src = "fn f() {\n    let t = Instant::now(); \
+                   // audit:allow(W705): one-shot startup banner, not a hot path\n}\n";
+        assert!(lint_source("crates/search/src/evaluator.rs", src, false).is_empty());
+
+        // Justification on the line directly above also counts.
+        let src = "fn f() {\n    // audit:allow(W705): fault-injection timestamps stay \
+                   out of traces\n    eprintln!(\"x\");\n}\n";
+        assert!(lint_source("crates/linalg/src/faults.rs", src, false).is_empty());
     }
 
     #[test]

@@ -153,6 +153,30 @@ fn seeded_raw_thread_spawn_fails() {
     );
 }
 
+/// Seeded violation: ad-hoc timing/logging inside an obs-instrumented
+/// crate fails the lint — wall-clock reads and progress prints must
+/// flow through `eras_obs`, and only a *justified* note suppresses it.
+#[test]
+fn seeded_adhoc_timing_fails() {
+    let src = "pub fn epoch_step() {\n    let t0 = std::time::Instant::now();\n    \
+               eprintln!(\"stepping\");\n}\n";
+    let findings = eras_audit::lint::lint_source("crates/train/src/seeded.rs", src, true);
+    let w705: Vec<_> = findings.iter().filter(|f| f.code == "W705").collect();
+    assert_eq!(w705.len(), 2, "both sites must be caught: {findings:?}");
+    assert!(w705.iter().all(|f| f.severity == Severity::Warning));
+    // The same source outside the instrumented perimeter is clean.
+    let findings = eras_audit::lint::lint_source("crates/bench/src/seeded.rs", src, false);
+    assert!(findings.iter().all(|f| f.code != "W705"), "{findings:?}");
+    // A bare allow is not enough; a justified one is.
+    let bare = "pub fn f() {\n    let t = Instant::now(); // audit:allow(W705)\n}\n";
+    let findings = eras_audit::lint::lint_source("crates/train/src/seeded.rs", bare, true);
+    assert!(findings.iter().any(|f| f.code == "W705"), "{findings:?}");
+    let justified = "pub fn f() {\n    let t = Instant::now(); \
+                     // audit:allow(W705): cold-start probe outside any span\n}\n";
+    let findings = eras_audit::lint::lint_source("crates/train/src/seeded.rs", justified, true);
+    assert!(findings.iter().all(|f| f.code != "W705"), "{findings:?}");
+}
+
 /// JSON output of a real run parses and carries the pass list.
 #[test]
 fn json_report_is_machine_readable() {

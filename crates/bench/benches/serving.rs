@@ -16,6 +16,7 @@ use eras_sf::zoo;
 use eras_train::io::Snapshot;
 use eras_train::{BlockModel, Embeddings};
 use std::hint::black_box;
+use std::time::Instant;
 
 const NUM_ENTITIES: usize = 50_000;
 const NUM_RELATIONS: usize = 16;
@@ -102,6 +103,53 @@ fn main() {
             format!("serve/batch{BATCH}/k{k} throughput")
         );
     }
+
+    // Observability overhead on the query path: the identical k=10
+    // kernel with a JSONL tracer draining into `io::sink()` versus no
+    // tracer installed. The engine's spans and events are compiled in
+    // either way (this crate builds with `obs-hook`); the delta is the
+    // serialization cost once a sink is live. Arms run back-to-back
+    // inside each round and the median of the paired per-round ratios
+    // is reported, which cancels machine drift the independent
+    // estimates above cannot.
+    let quick = std::env::var("ERAS_BENCH_QUICK").is_ok();
+    let rounds = if quick { 4 } else { 16 };
+    let iters = 24u32;
+    let mut anchor = 0u32;
+    let mut off_best = f64::INFINITY;
+    let mut on_best = f64::INFINITY;
+    let mut paired_ratio = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            anchor = anchor.wrapping_add(1);
+            black_box(engine.answer(black_box(query(anchor, 10))).expect("query"));
+        }
+        let off = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+
+        let guard = eras_obs::trace::install_writer(Box::new(std::io::sink()));
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            anchor = anchor.wrapping_add(1);
+            black_box(engine.answer(black_box(query(anchor, 10))).expect("query"));
+        }
+        let on = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+        drop(guard);
+
+        off_best = off_best.min(off);
+        on_best = on_best.min(on);
+        paired_ratio.push(on / off);
+    }
+    paired_ratio.sort_by(f64::total_cmp);
+    let overhead_pct = 100.0 * (paired_ratio[paired_ratio.len() / 2] - 1.0);
+    println!(
+        "{:<40} {overhead_pct:>+13.1}% vs untraced (paired med)",
+        "serve/obs_on/single_query/k10 overhead"
+    );
+    results = results
+        .set("obs_off_single_query_k10_ns", off_best)
+        .set("obs_on_single_query_k10_ns", on_best)
+        .set("obs_overhead_pct", overhead_pct);
 
     match save_json("BENCH_serving", &results) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -1,6 +1,6 @@
 //! Embedding-training benchmarks.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! 1. The original minibatch micro-benchmark — full-softmax vs sampled
 //!    1-vs-all gradient step (the cost trade-off behind `LossMode`).
@@ -12,19 +12,27 @@
 //!    noise-robust estimator for a deterministic workload). Emits
 //!    `results/BENCH_training.json`.
 //!
+//! 3. Observability overhead — the full trainer (spans, events,
+//!    metrics all live) with a JSONL tracer draining to a sink vs no
+//!    tracer installed, interleaved the same way. This is the number
+//!    behind the "<5% epoch overhead" claim in
+//!    `docs/observability.md`; keys `obs_{off,on}_epoch_ms_*` and
+//!    `obs_overhead_pct`.
+//!
 //! Set `ERAS_BENCH_QUICK=1` to cut the repetition count for CI smoke
 //! runs; the JSON is still written, with `"quick": true`.
 
 use eras_bench::harness::bench;
 use eras_bench::report::save_json;
 use eras_data::presets::Preset;
-use eras_data::{Json, Triple};
+use eras_data::{FilterIndex, Json, Triple};
 use eras_linalg::optim::Adagrad;
 use eras_linalg::pool::ThreadPool;
 use eras_linalg::Rng;
 use eras_sf::zoo;
 use eras_train::block::{train_minibatch, BlockScratch};
 use eras_train::parallel::{train_minibatch_parallel, GradShards};
+use eras_train::trainer::{train_standalone_on, Execution, TrainConfig};
 use eras_train::{BlockModel, Embeddings, LossMode};
 use std::hint::black_box;
 use std::time::Instant;
@@ -196,9 +204,83 @@ fn bench_epoch_scaling() -> Json {
     results.set("speedup_at_4_threads", speedup_at_4)
 }
 
+/// Observability overhead: full trainer runs (instrumented epoch,
+/// batch, and eval paths) with the JSONL tracer draining into
+/// `io::sink()` versus no tracer installed. The two arms interleave
+/// within each repetition like the scaling section, and both run the
+/// identical deterministic workload, so the delta is exactly the cost
+/// of serializing spans and events.
+fn bench_obs_overhead(results: Json) -> Json {
+    let quick = std::env::var("ERAS_BENCH_QUICK").is_ok();
+    let reps = if quick { 4 } else { 24 };
+    let ds = Preset::Tiny.build(7);
+    let filter = FilterIndex::build(&ds);
+    let model = BlockModel::universal(zoo::complex(), ds.num_relations());
+    // Sequential execution: the data-parallel path on an oversubscribed
+    // container adds scheduler noise an order of magnitude larger than
+    // the effect being measured. The sequential trainer walks the same
+    // instrumented epoch/batch/eval code.
+    let cfg = TrainConfig {
+        dim: 32,
+        max_epochs: 4,
+        eval_every: 4,
+        patience: 4,
+        batch_size: BATCH_SIZE,
+        loss: LossMode::Full,
+        execution: Execution::Sequential,
+        ..TrainConfig::default()
+    };
+    let pool = ThreadPool::new(1);
+
+    let mut off_times = Vec::with_capacity(reps);
+    let mut on_times = Vec::with_capacity(reps);
+    let mut paired_ratio = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let outcome = train_standalone_on(&model, &ds, &filter, &cfg, &pool);
+        let off = t0.elapsed().as_secs_f64() / outcome.epochs_run.max(1) as f64;
+
+        let guard = eras_obs::trace::install_writer(Box::new(std::io::sink()));
+        let t0 = Instant::now();
+        let outcome = train_standalone_on(&model, &ds, &filter, &cfg, &pool);
+        let on = t0.elapsed().as_secs_f64() / outcome.epochs_run.max(1) as f64;
+        drop(guard);
+
+        off_times.push(off);
+        on_times.push(on);
+        paired_ratio.push(on / off);
+    }
+
+    let (off_min, off_med) = min_med(&mut off_times);
+    let (on_min, on_med) = min_med(&mut on_times);
+    // Back-to-back arms within one repetition see the same machine
+    // phase, so the median of the paired per-rep ratios isolates the
+    // tracing cost from drift that min-of-arms cannot cancel.
+    let (_, ratio_med) = min_med(&mut paired_ratio);
+    let overhead_pct = 100.0 * (ratio_med - 1.0);
+    println!(
+        "{:<40} min {:>8.3} ms  med {:>8.3} ms",
+        "train_epoch/obs_off/tiny_d32_seq",
+        off_min * 1e3,
+        off_med * 1e3
+    );
+    println!(
+        "{:<40} min {:>8.3} ms  med {:>8.3} ms  overhead(paired med) {overhead_pct:+.1}%",
+        "train_epoch/obs_on/tiny_d32_seq",
+        on_min * 1e3,
+        on_med * 1e3
+    );
+    results
+        .set("obs_off_epoch_ms_min", off_min * 1e3)
+        .set("obs_off_epoch_ms_med", off_med * 1e3)
+        .set("obs_on_epoch_ms_min", on_min * 1e3)
+        .set("obs_on_epoch_ms_med", on_med * 1e3)
+        .set("obs_overhead_pct", overhead_pct)
+}
+
 fn main() {
     bench_train_minibatch();
-    let results = bench_epoch_scaling();
+    let results = bench_obs_overhead(bench_epoch_scaling());
     match save_json("BENCH_training", &results) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write BENCH_training.json: {e}"),

@@ -26,6 +26,7 @@ USAGE:
                 [--epochs 40] [--seed N] [--save FILE] [--snapshot FILE]
                 [--full-loss] [--parallel] [--threads N]
                 [--checkpoint FILE] [--checkpoint-every N] [--resume]
+                [--quiet] [--log FILE] [--profile]
   eras search   (--preset NAME | --data DIR) [--method eras] [--groups 3]
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
@@ -37,6 +38,7 @@ USAGE:
                 [--cache 1024]
   eras query    --snapshot FILE (--head E | --tail E) --relation R
                 [--k 10] [--unfiltered]
+  eras obs      report --trace FILE [--top 10]
 
 PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny
 MODELS:  distmult complex simple analogy
@@ -159,19 +161,43 @@ fn train_config(args: &Args) -> Result<TrainConfig, String> {
 
 /// `eras train`.
 pub fn train(args: &Args) -> Result<(), String> {
+    // Observability plumbing first: `--log FILE` streams the span/event
+    // trace as JSONL (requires the `obs-hook` build, which the shipped
+    // binary carries), `--quiet` silences the stderr progress echo, and
+    // `--profile` samples wall-time attribution for the run. The result
+    // lines below stay on stdout regardless — scripts parse them.
+    let quiet = args.has("quiet");
+    let _trace_guard = match args.get("log") {
+        Some(path) => Some(
+            eras_obs::trace::install_file(Path::new(path))
+                .map_err(|e| format!("cannot open --log {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let _echo_guard = if quiet {
+        None
+    } else {
+        Some(eras_obs::trace::install_echo())
+    };
+    let profiler = args
+        .has("profile")
+        .then(|| eras_obs::profile::start_sampler(std::time::Duration::from_millis(5)));
+
     let dataset = load_dataset(args)?;
     let filter = FilterIndex::build(&dataset);
     let sf = zoo_by_name(args.get("model").unwrap_or("complex"))?;
     let cfg = train_config(args)?;
-    println!(
-        "training {} (d={}) on {} ({} train triples)...",
-        args.get("model").unwrap_or("complex"),
-        cfg.dim,
-        dataset.name,
-        dataset.train.len()
-    );
+    if !quiet {
+        println!(
+            "training {} (d={}) on {} ({} train triples)...",
+            args.get("model").unwrap_or("complex"),
+            cfg.dim,
+            dataset.name,
+            dataset.train.len()
+        );
+    }
     let model = BlockModel::universal(sf, dataset.num_relations());
-    let started = std::time::Instant::now();
+    let started = eras_obs::clock::Stopwatch::start();
     // `--checkpoint FILE` saves the complete training state every
     // `--checkpoint-every N` epochs (atomic write); `--resume` continues
     // a crashed run from the file bit-identically.
@@ -207,8 +233,13 @@ pub fn train(args: &Args) -> Result<(), String> {
         100.0 * outcome.test.hits1,
         100.0 * outcome.test.hits10,
         outcome.epochs_run,
-        started.elapsed().as_secs_f64()
+        started.elapsed_secs()
     );
+    if let Some(p) = profiler {
+        // Attribution table to stderr: stdout carries only the result
+        // lines scripts depend on.
+        eprint!("{}", p.stop().render());
+    }
     if let Some(path) = args.get("save") {
         eras_train::io::save(Path::new(path), &outcome.embeddings).map_err(|e| e.to_string())?;
         println!("saved embeddings to {path}");
@@ -482,4 +513,27 @@ pub fn audit(args: &Args) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// `eras obs` — offline analysis of observability artifacts.
+///
+/// `eras obs report --trace FILE [--top N]` aggregates a JSONL trace
+/// (written by `eras train --log FILE`) into per-span latency
+/// percentiles and a hot-path table.
+pub fn obs(rest: &[String]) -> Result<(), String> {
+    const OBS_USAGE: &str = "usage: eras obs report --trace FILE [--top 10]";
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err(OBS_USAGE.into());
+    };
+    match sub.as_str() {
+        "report" => {
+            let args = Args::parse(rest)?;
+            let path = args.require("trace")?;
+            let top: usize = args.get_or("top", 10usize)?;
+            let report = eras_obs::summary::summarize_file(Path::new(path), top)?;
+            print!("{report}");
+            Ok(())
+        }
+        other => Err(format!("unknown obs subcommand `{other}`\n{OBS_USAGE}")),
+    }
 }

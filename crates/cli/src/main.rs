@@ -11,6 +11,7 @@
 //! eras audit    [--pass sf,grad,config,lint,sched] [--format json] [--deny warnings]
 //! eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
 //! eras query    --snapshot FILE (--head E | --tail E) --relation R [--k 10]
+//! eras obs      report --trace FILE [--top 10]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
@@ -27,6 +28,18 @@ fn main() -> ExitCode {
         eprintln!("{}", commands::USAGE);
         return ExitCode::from(2);
     };
+    // `eras obs` takes a bare subcommand token (`report`) before its
+    // `--key value` pairs, which `Args::parse` would reject — route it
+    // before the flat parse.
+    if command == "obs" {
+        return match commands::obs(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let parsed = match args::Args::parse(rest) {
         Ok(p) => p,
         Err(e) => {

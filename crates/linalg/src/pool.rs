@@ -46,10 +46,17 @@
 
 use crate::faults;
 use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering};
+use eras_obs::metrics::Counter;
+use eras_obs::profile::{self, ZoneName};
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+/// Profiler zone covering task execution: while a thread (worker or
+/// dispatching caller) is draining a job, the obs sampler attributes
+/// its wall time here unless a finer span is open inside the task.
+static POOL_TASK_ZONE: ZoneName = ZoneName::new("pool.task");
 
 thread_local! {
     /// True while this thread is executing a pool task. A nested
@@ -141,6 +148,13 @@ pub struct ThreadPool {
     dispatch: Mutex<()>,
     dispatches: AtomicU64,
     tasks: AtomicU64,
+    /// Process-wide mirrors of the per-pool counters, registered in the
+    /// obs global registry (`pool.*`) so `/metrics` sees every pool.
+    /// Handles are resolved once here; the hot path never takes the
+    /// registry lock.
+    obs_dispatches: Counter,
+    obs_tasks: Counter,
+    obs_inline: Counter,
 }
 
 impl ThreadPool {
@@ -168,6 +182,7 @@ impl ThreadPool {
                     .expect("spawn pool worker") // audit:allow(E701, W402): startup-time spawn failure is fatal by design
             })
             .collect();
+        let registry = eras_obs::metrics::global();
         ThreadPool {
             shared,
             workers,
@@ -175,6 +190,9 @@ impl ThreadPool {
             dispatch: Mutex::new(()),
             dispatches: AtomicU64::new(0),
             tasks: AtomicU64::new(0),
+            obs_dispatches: registry.counter("pool.dispatches"),
+            obs_tasks: registry.counter("pool.tasks"),
+            obs_inline: registry.counter("pool.inline_dispatches"),
         }
     }
 
@@ -221,13 +239,19 @@ impl ThreadPool {
     {
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         self.tasks.fetch_add(tasks as u64, Ordering::Relaxed);
+        self.obs_dispatches.inc();
+        self.obs_tasks.add(tasks as u64);
         if tasks == 0 {
             return;
         }
         // Degenerate, tiny, or nested dispatch: run inline, skip the
         // barrier. Nested means we are already inside a pool task (see
         // `IN_POOL_TASK`).
-        if self.workers.is_empty() || tasks == 1 || IN_POOL_TASK.with(Cell::get) {
+        let nested = IN_POOL_TASK.with(Cell::get);
+        if self.workers.is_empty() || tasks == 1 || nested {
+            if nested {
+                self.obs_inline.inc();
+            }
             for i in 0..tasks {
                 f(i);
             }
@@ -247,6 +271,7 @@ impl ThreadPool {
             // itself is back in a sound state (its job was drained).
             Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
             Err(std::sync::TryLockError::WouldBlock) => {
+                self.obs_inline.inc();
                 for i in 0..tasks {
                     f(i);
                 }
@@ -365,6 +390,9 @@ fn lock(m: &Mutex<JobSlot>) -> MutexGuard<'_, JobSlot> {
 
 /// Pull task indices off the job's cursor until it is exhausted.
 fn drain(job: &Job) {
+    // Attribute this executor's wall time to the pool unless a task
+    // opens a finer span; one relaxed load when no profiler is running.
+    let _zone = profile::zone(&POOL_TASK_ZONE);
     IN_POOL_TASK.with(|f| f.set(true));
     loop {
         let i = job.cursor.fetch_add(1, Ordering::Relaxed);

@@ -1,0 +1,80 @@
+//! Monotonic time, in one place.
+//!
+//! Lint W705 bans direct `Instant::now()` in the hot-path crates
+//! (linalg, train, serve, search) so that every timing read flows
+//! through the observability plane and shows up in traces and metrics
+//! instead of scattered ad-hoc stopwatches. This module is the
+//! sanctioned replacement: a process-wide monotonic epoch plus a
+//! [`Stopwatch`] for interval measurement.
+//!
+//! These are always compiled in (no `obs-hook` gate): a `Stopwatch` is
+//! a single `Instant` and reading it has no observable side effects.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide monotonic epoch. All trace timestamps are relative
+/// to this instant, so records from different threads share one axis.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the process epoch (first call wins; the
+/// very first reading is therefore 0).
+#[must_use]
+pub fn monotonic_us() -> u64 {
+    let e = epoch();
+    Instant::now().saturating_duration_since(e).as_micros() as u64
+}
+
+/// An interval timer: the sanctioned way for hot-path crates to
+/// measure elapsed wall time.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts (or restarts) the stopwatch now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Whole microseconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`], as `f64`.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_us_is_nondecreasing() {
+        let a = monotonic_us();
+        let b = monotonic_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_nonnegative_intervals() {
+        let sw = Stopwatch::start();
+        let us = sw.elapsed_us();
+        let secs = sw.elapsed_secs();
+        assert!(secs >= 0.0);
+        // A later read can only grow.
+        assert!(sw.elapsed_us() >= us);
+    }
+}

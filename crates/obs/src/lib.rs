@@ -1,0 +1,51 @@
+//! # eras-obs — the observability plane
+//!
+//! A std-only, dependency-free observability subsystem for the ERAS
+//! stack, built on the same compile-time-off hook pattern as
+//! `eras_linalg::faults` and `eras_linalg::sync`:
+//!
+//! * **[`trace`]** — structured spans and events. The [`span!`] and
+//!   [`event!`] macros branch on [`trace::enabled`]; without the
+//!   `obs-hook` feature that function is a `const fn` returning
+//!   `false`, so every call site folds away to nothing. With the
+//!   feature, records accumulate in per-thread buffers and drain to a
+//!   JSONL sink (span id, parent, thread, monotonic micros, key=value
+//!   fields) installed via [`trace::install_writer`].
+//! * **[`metrics`]** — named atomic counters, gauges, and fixed-bucket
+//!   histograms in instantiable [`metrics::Registry`] objects plus a
+//!   process-global registry ([`metrics::global`]). Always compiled in:
+//!   an untouched counter is one relaxed `fetch_add` per increment and
+//!   zero bytes of output. Text exposition via
+//!   [`metrics::Registry::render_text`] backs `GET /metrics` in
+//!   `eras-serve`.
+//! * **[`profile`]** — a sampling self-profiler. Spans (and explicit
+//!   [`profile::zone`] guards, e.g. inside the `ThreadPool` drain loop)
+//!   publish the innermost open zone per thread through a relaxed
+//!   atomic; a sampler thread tallies which zone each live thread is in
+//!   at a fixed interval, attributing wall time without touching the
+//!   code under observation.
+//! * **[`clock`]** — the one sanctioned monotonic-time source for
+//!   hot-path crates (lint W705 bans direct `Instant::now()` there).
+//! * **[`summary`]** — parses a JSONL trace back in and renders the
+//!   per-span p50/p95/p99 + hot-path table behind `eras obs report`.
+//!
+//! ## Invariants
+//!
+//! * Instrumentation observes, never participates: nothing in this
+//!   crate feeds back into training numerics, thread scheduling
+//!   decisions, or request handling. Training output is bit-identical
+//!   with `obs-hook` on or off, tracer installed or not, and across
+//!   `ERAS_THREADS` values (enforced by `crates/train/tests/
+//!   obs_determinism.rs`).
+//! * No panics on the serve/pool hot paths: everything reachable from
+//!   instrumentation sites is unwrap-free and index-free (enforced by
+//!   the E701 flow pass).
+//! * No dependencies, not even workspace-internal ones: `eras-obs` is a
+//!   leaf crate so every other crate (including `eras-linalg`) can
+//!   depend on it without cycles.
+
+pub mod clock;
+pub mod metrics;
+pub mod profile;
+pub mod summary;
+pub mod trace;

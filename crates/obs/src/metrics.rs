@@ -1,0 +1,339 @@
+//! The unified metrics registry: named counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! Metrics are **always compiled in** (no `obs-hook` gate). The cost
+//! model justifies it: a handle is an `Arc` around plain atomics, an
+//! increment is one relaxed `fetch_add`, and nothing is formatted or
+//! written until somebody calls [`Registry::render_text`]. Gating them
+//! behind a feature would force every `/stats`-style consumer to carry
+//! a parallel bespoke implementation — exactly the situation this
+//! module replaces (`crates/serve/src/metrics.rs` used to be a private
+//! pile of atomics with no export path).
+//!
+//! Registries are instantiable (the serve engine keeps one per engine
+//! so tests can assert per-engine counts in isolation) and there is
+//! one process-global registry ([`global`]) for subsystem-wide series
+//! such as the thread-pool dispatch counters.
+//!
+//! Registration takes a mutex; that is why instrumented code registers
+//! once (at construction) and stores the returned handle rather than
+//! looking metrics up by name on the hot path.
+//!
+//! The text exposition format is Prometheus-compatible: `# TYPE` lines
+//! followed by `name value` samples, histogram buckets as cumulative
+//! `name_bucket{le="…"}` series plus `_sum`/`_count`/`_max`. Dotted
+//! metric names (`pool.dispatches`) render with underscores
+//! (`pool_dispatches`). Output is sorted by name so scrapes are
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Bucket upper bounds (microseconds) shared by the latency histograms
+/// in serve and search: sub-100µs cache hits through 1s stragglers.
+pub const LATENCY_US_BUCKETS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000,
+];
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// cell; increments are relaxed atomics.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depths, live-thread counts).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` and returns the new value.
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    bounds: &'static [u64],
+    /// One slot per bound plus a final overflow slot.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` samples (typically latencies in
+/// microseconds). Bucket bounds are chosen at registration and never
+/// change; observation is a handful of relaxed atomic ops.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// Records one sample. (Named `record_value`, not the conventional
+    /// `observe`, to stay unique under the workspace's name-resolved
+    /// flow audit: `search::Predictor::observe` reaches panicking code,
+    /// and a shared name would conflate the two call graphs.)
+    pub fn record_value(&self, v: u64) {
+        let h = &*self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        for (bound, slot) in h.bounds.iter().zip(h.buckets.iter()) {
+            if v <= *bound {
+                slot.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if let Some(overflow) = h.buckets.last() {
+            overflow.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observed sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A namespace of metrics. Get-or-create semantics: asking for the
+/// same name twice returns handles to the same cell, so concurrent
+/// registration is safe and idempotent.
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned registry only means a panic elsewhere mid-update;
+        // the atomics themselves are always consistent.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns the counter registered under `name`, creating it at
+    /// zero on first use.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.lock()
+            .counters
+            .entry(name)
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it at zero
+    /// on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.lock()
+            .gauges
+            .entry(name)
+            .or_insert_with(|| Gauge(Arc::new(AtomicI64::new(0))))
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` on first use. First registration wins: later calls with
+    /// different bounds receive the existing histogram unchanged.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str, bounds: &'static [u64]) -> Histogram {
+        self.lock()
+            .histograms
+            .entry(name)
+            .or_insert_with(|| {
+                let mut buckets = Vec::with_capacity(bounds.len() + 1);
+                buckets.resize_with(bounds.len() + 1, || AtomicU64::new(0));
+                Histogram(Arc::new(HistInner {
+                    bounds,
+                    buckets,
+                    sum: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                    max: AtomicU64::new(0),
+                }))
+            })
+            .clone()
+    }
+
+    /// Renders every metric in Prometheus text exposition format,
+    /// sorted by name.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {}", c.get());
+        }
+        for (name, g) in &inner.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", g.get());
+        }
+        for (name, h) in &inner.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (bound, slot) in h.0.bounds.iter().zip(h.0.buckets.iter()) {
+                cumulative += slot.load(Ordering::Relaxed);
+                let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{n}_sum {}", h.sum());
+            let _ = writeln!(out, "{n}_count {}", h.count());
+            let _ = writeln!(out, "{n}_max {}", h.max());
+        }
+        out
+    }
+}
+
+/// Dots separate namespaces internally; the exposition format wants
+/// `[a-zA-Z0-9_]` names.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// The process-global registry, for subsystem-wide series (pool
+/// dispatch counts, trainer totals, serve shed counters).
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn gauges_track_instantaneous_values() {
+        let r = Registry::new();
+        let g = r.gauge("x.depth");
+        g.set(5);
+        assert_eq!(g.add(-2), 3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_render() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[10, 100]);
+        h.record_value(5);
+        h.record_value(50);
+        h.record_value(5_000); // overflow bucket
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 5_055);
+        assert_eq!(h.max(), 5_000);
+        let text = r.render_text();
+        assert!(text.contains("lat_bucket{le=\"10\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_count 3"), "{text}");
+    }
+
+    #[test]
+    fn render_sanitizes_dotted_names_and_sorts() {
+        let r = Registry::new();
+        r.counter("b.second").inc();
+        r.counter("a.first").add(7);
+        let text = r.render_text();
+        let first = text.find("a_first 7").expect("sanitized name present");
+        let second = text.find("b_second 1").expect("sanitized name present");
+        assert!(first < second, "sorted output:\n{text}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("test.global_shared");
+        let before = c.get();
+        global().counter("test.global_shared").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

@@ -1,0 +1,740 @@
+//! Structured tracing: spans and events behind the `obs-hook` feature.
+//!
+//! Call sites use the [`span!`](crate::span) and [`event!`](crate::event)
+//! macros unconditionally — no `cfg` at the call site. The macros branch
+//! on [`enabled`]; without the `obs-hook` feature that is a `const fn`
+//! returning `false`, so the instrumented branch (including argument
+//! evaluation) is dead code and folds away entirely. With the feature,
+//! [`enabled`] is one relaxed load, true only while a JSONL writer
+//! and/or an event echo is installed.
+//!
+//! ## Runtime model (feature on)
+//!
+//! Each thread owns a record buffer and a span stack. A span captures
+//! its parent from the stack at entry and appends one record at exit
+//! (start + duration, so a span costs a single line). Buffers drain to
+//! the installed sink under a mutex whenever the owning thread's span
+//! stack empties, the buffer reaches capacity, or the thread exits —
+//! the hot path never takes the sink lock mid-span. Span guards are
+//! deliberately `!Send`: a span must exit on the thread that entered it.
+//!
+//! ## JSONL schema
+//!
+//! One JSON object per line, relative-microsecond timestamps from the
+//! shared process epoch ([`crate::clock::monotonic_us`]):
+//!
+//! ```text
+//! {"kind":"span","name":"train.epoch","id":7,"parent":3,"thread":1,
+//!  "start_us":12034,"dur_us":8812,"fields":{"epoch":2}}
+//! {"kind":"event","name":"train.progress","span":7,"thread":1,
+//!  "at_us":20846,"fields":{"epoch":2,"valid_mrr":0.41}}
+//! ```
+//!
+//! `id` is process-unique and `parent` is 0 for root spans. Installing
+//! is RAII, mirroring `eras_linalg::faults::install`: dropping the
+//! returned guard deactivates tracing and flushes the sink.
+
+/// A typed field value attached to a span or event.
+///
+/// Always compiled (plain data), so call sites can construct fields
+/// without `cfg` even in inert builds — the macros simply never
+/// evaluate them when tracing is compiled out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values serialize as `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string, JSON-escaped on write.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(f64::from(v))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Opens a span scoped to the returned guard.
+///
+/// `span!("name")` or `span!("name", key = value, ...)` — keys are bare
+/// identifiers, values anything with `Into<`[`trace::Value`](Value)`>`.
+/// Expands to a branch on [`trace::enabled`](enabled), so in inert
+/// builds neither the fields nor the guard exist at runtime.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::SpanGuard::enter(
+                $name,
+                vec![$((stringify!($k), $crate::trace::Value::from($v))),*],
+            )
+        } else {
+            $crate::trace::SpanGuard::noop()
+        }
+    };
+}
+
+/// Emits a point-in-time event, attached to the innermost open span.
+///
+/// Same field syntax as [`span!`](crate::span). Events also feed the
+/// stderr echo sink (see [`trace::install_echo`](install_echo)), which
+/// is how CLI progress output flows through one layer.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::emit_event(
+                $name,
+                vec![$((stringify!($k), $crate::trace::Value::from($v))),*],
+            );
+        }
+    };
+}
+
+#[cfg(feature = "obs-hook")]
+pub use enabled_impl::*;
+
+#[cfg(feature = "obs-hook")]
+mod enabled_impl {
+    use super::Value;
+    use crate::clock::monotonic_us;
+    use crate::profile;
+    use std::cell::RefCell;
+    use std::io::Write;
+    use std::marker::PhantomData;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Buffered records per thread before an early drain.
+    const BUFFER_CAP: usize = 128;
+
+    static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
+    static ECHO_ACTIVE: AtomicBool = AtomicBool::new(false);
+    /// `TRACE_ACTIVE || ECHO_ACTIVE`, maintained on install/uninstall so
+    /// the hot path reads one flag.
+    static ANY_ACTIVE: AtomicBool = AtomicBool::new(false);
+    static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+    static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+    static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+    fn recompute_active() {
+        ANY_ACTIVE.store(
+            TRACE_ACTIVE.load(Ordering::Relaxed) || ECHO_ACTIVE.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// True while a trace writer or event echo is installed. One
+    /// relaxed load; the macros branch on this.
+    #[inline]
+    #[must_use]
+    pub fn enabled() -> bool {
+        ANY_ACTIVE.load(Ordering::Relaxed)
+    }
+
+    enum Record {
+        Span {
+            name: &'static str,
+            id: u64,
+            parent: u64,
+            thread: u64,
+            start_us: u64,
+            dur_us: u64,
+            fields: Vec<(&'static str, Value)>,
+        },
+        Event {
+            name: &'static str,
+            span: u64,
+            thread: u64,
+            at_us: u64,
+            fields: Vec<(&'static str, Value)>,
+        },
+    }
+
+    struct ThreadTrace {
+        thread_id: u64,
+        /// Ids of the currently open spans, innermost last.
+        stack: Vec<u64>,
+        buf: Vec<Record>,
+    }
+
+    impl ThreadTrace {
+        fn new() -> Self {
+            ThreadTrace {
+                thread_id: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+                stack: Vec::new(),
+                buf: Vec::new(),
+            }
+        }
+
+        fn push(&mut self, rec: Record) {
+            self.buf.push(rec);
+            if self.stack.is_empty() || self.buf.len() >= BUFFER_CAP {
+                self.flush();
+            }
+        }
+
+        fn flush(&mut self) {
+            if self.buf.is_empty() {
+                return;
+            }
+            let records = std::mem::take(&mut self.buf);
+            let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(w) = sink.as_mut() {
+                for rec in &records {
+                    // A fresh string per record: `.clear()` here would
+                    // alias panicking `clear` methods elsewhere in the
+                    // workspace under the name-based flow audit, and
+                    // this path only runs with a sink installed.
+                    let mut line = String::new();
+                    serialize(rec, &mut line);
+                    line.push('\n');
+                    let _ = w.write_all(line.as_bytes());
+                }
+            }
+            // No sink installed: the records are dropped, by design.
+        }
+    }
+
+    impl Drop for ThreadTrace {
+        fn drop(&mut self) {
+            self.flush();
+        }
+    }
+
+    thread_local! {
+        static TLS: RefCell<ThreadTrace> = RefCell::new(ThreadTrace::new());
+    }
+
+    fn serialize(rec: &Record, out: &mut String) {
+        use std::fmt::Write as _;
+        match rec {
+            Record::Span {
+                name,
+                id,
+                parent,
+                thread,
+                start_us,
+                dur_us,
+                fields,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"span\",\"name\":\"{name}\",\"id\":{id},\"parent\":{parent},\
+                     \"thread\":{thread},\"start_us\":{start_us},\"dur_us\":{dur_us}"
+                );
+                serialize_fields(fields, out);
+                out.push('}');
+            }
+            Record::Event {
+                name,
+                span,
+                thread,
+                at_us,
+                fields,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"event\",\"name\":\"{name}\",\"span\":{span},\
+                     \"thread\":{thread},\"at_us\":{at_us}"
+                );
+                serialize_fields(fields, out);
+                out.push('}');
+            }
+        }
+    }
+
+    fn serialize_fields(fields: &[(&'static str, Value)], out: &mut String) {
+        use std::fmt::Write as _;
+        if fields.is_empty() {
+            return;
+        }
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":");
+            match v {
+                Value::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::I64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::F64(x) if x.is_finite() => {
+                    let _ = write!(out, "{x:?}");
+                }
+                Value::F64(_) => out.push_str("null"),
+                Value::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                Value::Str(s) => {
+                    out.push('"');
+                    escape_into(s, out);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+    }
+
+    fn escape_into(s: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// RAII handle for an open span; exit (and the single JSONL record)
+    /// happens on drop. `!Send` by construction.
+    pub struct SpanGuard {
+        /// `None` for the no-op variant returned while tracing is off.
+        live: Option<LiveSpan>,
+        _not_send: PhantomData<*const ()>,
+    }
+
+    struct LiveSpan {
+        name: &'static str,
+        id: u64,
+        parent: u64,
+        start_us: u64,
+        fields: Vec<(&'static str, Value)>,
+        zone: profile::ZoneRestore,
+    }
+
+    impl SpanGuard {
+        /// Opens a span. Prefer the [`span!`](crate::span) macro, which
+        /// skips field construction entirely while tracing is off.
+        #[must_use]
+        pub fn enter(name: &'static str, fields: Vec<(&'static str, Value)>) -> SpanGuard {
+            if !enabled() {
+                return SpanGuard::noop();
+            }
+            let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+            let parent = TLS
+                .try_with(|t| {
+                    let mut t = t.borrow_mut();
+                    let parent = t.stack.last().copied().unwrap_or(0);
+                    t.stack.push(id);
+                    parent
+                })
+                .unwrap_or(0);
+            let zone = profile::enter_zone_name(name);
+            SpanGuard {
+                live: Some(LiveSpan {
+                    name,
+                    id,
+                    parent,
+                    start_us: monotonic_us(),
+                    fields,
+                    zone,
+                }),
+                _not_send: PhantomData,
+            }
+        }
+
+        /// The inert guard: no record, no drop cost.
+        #[must_use]
+        pub fn noop() -> SpanGuard {
+            SpanGuard {
+                live: None,
+                _not_send: PhantomData,
+            }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let Some(live) = self.live.take() else {
+                return;
+            };
+            let dur_us = monotonic_us().saturating_sub(live.start_us);
+            live.zone.restore();
+            let _ = TLS.try_with(|t| {
+                let mut t = t.borrow_mut();
+                // Guards drop LIFO on their owning thread, so the top of
+                // the stack is this span; `retain` covers the (buggy but
+                // survivable) out-of-order case without panicking.
+                match t.stack.last() {
+                    Some(top) if *top == live.id => {
+                        t.stack.pop();
+                    }
+                    _ => t.stack.retain(|id| *id != live.id),
+                }
+                let thread = t.thread_id;
+                t.push(Record::Span {
+                    name: live.name,
+                    id: live.id,
+                    parent: live.parent,
+                    thread,
+                    start_us: live.start_us,
+                    dur_us,
+                    fields: live.fields,
+                });
+            });
+        }
+    }
+
+    /// Records a point-in-time event. Prefer the
+    /// [`event!`](crate::event) macro.
+    pub fn emit_event(name: &'static str, fields: Vec<(&'static str, Value)>) {
+        if !enabled() {
+            return;
+        }
+        if ECHO_ACTIVE.load(Ordering::Relaxed) {
+            echo(name, &fields);
+        }
+        if !TRACE_ACTIVE.load(Ordering::Relaxed) {
+            return;
+        }
+        let at_us = monotonic_us();
+        let _ = TLS.try_with(|t| {
+            let mut t = t.borrow_mut();
+            let span = t.stack.last().copied().unwrap_or(0);
+            let thread = t.thread_id;
+            t.push(Record::Event {
+                name,
+                span,
+                thread,
+                at_us,
+                fields,
+            });
+        });
+    }
+
+    fn echo(name: &'static str, fields: &[(&'static str, Value)]) {
+        use std::fmt::Write as _;
+        let mut line = String::new();
+        let _ = write!(line, "[{name}]");
+        for (k, v) in fields {
+            match v {
+                Value::U64(n) => {
+                    let _ = write!(line, " {k}={n}");
+                }
+                Value::I64(n) => {
+                    let _ = write!(line, " {k}={n}");
+                }
+                Value::F64(x) => {
+                    let _ = write!(line, " {k}={x:.4}");
+                }
+                Value::Bool(b) => {
+                    let _ = write!(line, " {k}={b}");
+                }
+                Value::Str(s) => {
+                    let _ = write!(line, " {k}={s}");
+                }
+            }
+        }
+        eprintln!("{line}");
+    }
+
+    /// Uninstalls the trace writer (and flushes it) on drop.
+    #[must_use = "dropping the guard immediately uninstalls the tracer"]
+    pub struct TraceGuard(());
+
+    impl Drop for TraceGuard {
+        fn drop(&mut self) {
+            // Flush this thread's pending records into the outgoing
+            // sink before tearing it down.
+            let _ = TLS.try_with(|t| t.borrow_mut().flush());
+            TRACE_ACTIVE.store(false, Ordering::Relaxed);
+            recompute_active();
+            let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(mut w) = sink.take() {
+                let _ = w.flush();
+            }
+        }
+    }
+
+    /// Installs `w` as the process-wide JSONL trace sink. Last install
+    /// wins; the returned guard uninstalls on drop.
+    pub fn install_writer(w: Box<dyn Write + Send>) -> TraceGuard {
+        {
+            let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+            *sink = Some(w);
+        }
+        TRACE_ACTIVE.store(true, Ordering::Relaxed);
+        recompute_active();
+        TraceGuard(())
+    }
+
+    /// Creates `path` and installs it as the JSONL trace sink.
+    pub fn install_file(path: &Path) -> std::io::Result<TraceGuard> {
+        let file = std::fs::File::create(path)?;
+        Ok(install_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Uninstalls the event echo on drop.
+    #[must_use = "dropping the guard immediately disables the echo"]
+    pub struct EchoGuard(());
+
+    impl Drop for EchoGuard {
+        fn drop(&mut self) {
+            ECHO_ACTIVE.store(false, Ordering::Relaxed);
+            recompute_active();
+        }
+    }
+
+    /// Mirrors every event to stderr as `[name] k=v …` lines — the one
+    /// sink trainer/CLI progress output flows through.
+    pub fn install_echo() -> EchoGuard {
+        ECHO_ACTIVE.store(true, Ordering::Relaxed);
+        recompute_active();
+        EchoGuard(())
+    }
+}
+
+#[cfg(not(feature = "obs-hook"))]
+pub use disabled_impl::*;
+
+#[cfg(not(feature = "obs-hook"))]
+mod disabled_impl {
+    use super::Value;
+    use std::io::Write;
+    use std::path::Path;
+
+    /// Always `false` without `obs-hook`: the macro branch is dead code
+    /// and the instrumentation folds away at compile time.
+    #[inline(always)]
+    #[must_use]
+    pub const fn enabled() -> bool {
+        false
+    }
+
+    /// Inert span guard: a unit struct with no `Drop`.
+    pub struct SpanGuard(());
+
+    impl SpanGuard {
+        /// Never called at runtime in inert builds (the macro's enabled
+        /// branch is unreachable); present so call sites typecheck.
+        #[inline(always)]
+        #[must_use]
+        pub fn enter(_name: &'static str, _fields: Vec<(&'static str, Value)>) -> SpanGuard {
+            SpanGuard(())
+        }
+
+        /// The guard every `span!` expands to in inert builds.
+        #[inline(always)]
+        #[must_use]
+        pub fn noop() -> SpanGuard {
+            SpanGuard(())
+        }
+    }
+
+    /// No-op in inert builds.
+    #[inline(always)]
+    pub fn emit_event(_name: &'static str, _fields: Vec<(&'static str, Value)>) {}
+
+    /// Inert handle (tracing compiled out).
+    #[must_use = "dropping the guard immediately uninstalls the tracer"]
+    pub struct TraceGuard(());
+
+    /// Inert: tracing is compiled out, nothing is installed.
+    pub fn install_writer(_w: Box<dyn Write + Send>) -> TraceGuard {
+        TraceGuard(())
+    }
+
+    /// Inert: tracing is compiled out; the file is not created.
+    pub fn install_file(_path: &Path) -> std::io::Result<TraceGuard> {
+        Ok(TraceGuard(()))
+    }
+
+    /// Inert handle (echo compiled out).
+    #[must_use = "dropping the guard immediately disables the echo"]
+    pub struct EchoGuard(());
+
+    /// Inert: the echo is compiled out.
+    pub fn install_echo() -> EchoGuard {
+        EchoGuard(())
+    }
+}
+
+#[cfg(all(test, not(feature = "obs-hook")))]
+mod inert_tests {
+    //! The compile-time-off contract, mirroring
+    //! `faults::unhooked_check_is_constant_none`.
+
+    #[test]
+    fn disabled_trace_is_a_constant_noop() {
+        assert!(!super::enabled());
+        let _g = crate::span!("test.span", n = 1u64);
+        crate::event!("test.event", n = 2u64);
+        assert!(!super::enabled());
+    }
+
+    #[test]
+    fn disabled_installs_are_inert() {
+        let _t = super::install_writer(Box::new(std::io::sink()));
+        let _e = super::install_echo();
+        assert!(!super::enabled(), "installs must not activate anything");
+    }
+}
+
+#[cfg(all(test, feature = "obs-hook"))]
+mod enabled_tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    /// Installing a sink is process-global state; serialize the tests
+    /// that do it.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            let buf = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_until_installed_and_after_uninstall() {
+        let _l = test_lock();
+        assert!(!enabled());
+        {
+            let _g = install_writer(Box::new(SharedBuf::default()));
+            assert!(enabled());
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_serialize_as_jsonl() {
+        let _l = test_lock();
+        let buf = SharedBuf::default();
+        {
+            let _g = install_writer(Box::new(buf.clone()));
+            let _outer = crate::span!("test.outer", epoch = 3u64);
+            {
+                let _inner = crate::span!("test.inner");
+                crate::event!("test.tick", step = 1u64, note = "hi");
+            }
+        }
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "inner span, event, outer span:\n{text}");
+        assert!(text.contains("\"name\":\"test.inner\""), "{text}");
+        assert!(text.contains("\"name\":\"test.tick\""), "{text}");
+        assert!(text.contains("\"name\":\"test.outer\""), "{text}");
+        assert!(text.contains("\"fields\":{\"epoch\":3}"), "{text}");
+        assert!(text.contains("\"note\":\"hi\""), "{text}");
+        // The inner span's parent is the outer span's id.
+        let outer_line = lines
+            .iter()
+            .find(|l| l.contains("test.outer"))
+            .expect("outer span recorded");
+        let inner_line = lines
+            .iter()
+            .find(|l| l.contains("test.inner"))
+            .expect("inner span recorded");
+        let id_of = |line: &str, key: &str| -> u64 {
+            let tag = format!("\"{key}\":");
+            let rest = &line[line.find(&tag).expect("key present") + tag.len()..];
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("number")
+        };
+        assert_eq!(id_of(inner_line, "parent"), id_of(outer_line, "id"));
+        assert_eq!(id_of(outer_line, "parent"), 0);
+    }
+
+    #[test]
+    fn events_without_a_writer_are_dropped_but_echo_still_enables() {
+        let _l = test_lock();
+        let _e = install_echo();
+        assert!(enabled(), "echo alone must enable the event layer");
+        crate::event!("test.echo_only", n = 1u64);
+    }
+
+    #[test]
+    fn string_fields_are_json_escaped() {
+        let _l = test_lock();
+        let buf = SharedBuf::default();
+        {
+            let _g = install_writer(Box::new(buf.clone()));
+            crate::event!("test.escape", msg = "a\"b\\c\nd");
+        }
+        let text = buf.contents();
+        assert!(text.contains(r#""msg":"a\"b\\c\nd""#), "{text}");
+    }
+}

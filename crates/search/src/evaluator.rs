@@ -28,12 +28,13 @@
 use crate::sharded::ShardedCache;
 use eras_data::{Dataset, FilterIndex};
 use eras_linalg::pool::ThreadPool;
+use eras_obs::clock::Stopwatch;
+use eras_obs::metrics::Counter;
 use eras_sf::canonical::canonicalize;
 use eras_sf::BlockSf;
 use eras_train::trainer::{train_standalone_on, Execution, TrainConfig};
 use eras_train::BlockModel;
 use std::collections::HashSet;
-use std::time::Instant;
 
 use crate::trace::SearchTrace;
 
@@ -89,10 +90,12 @@ pub struct StandaloneEvaluator<'a> {
     cache: ShardedCache<BlockSf, f64>,
     pool: &'a ThreadPool,
     batch_width: usize,
-    started: Instant,
+    started: Stopwatch,
     trace: SearchTrace,
     evaluations: usize,
     best: Option<(BlockSf, f64)>,
+    obs_cache_hits: Counter,
+    obs_trained: Counter,
 }
 
 impl<'a> StandaloneEvaluator<'a> {
@@ -115,10 +118,12 @@ impl<'a> StandaloneEvaluator<'a> {
             cache: ShardedCache::new(),
             pool,
             batch_width: DEFAULT_BATCH_WIDTH,
-            started: Instant::now(),
+            started: Stopwatch::start(),
             trace: SearchTrace::new(method, &dataset.name),
             evaluations: 0,
             best: None,
+            obs_cache_hits: eras_obs::metrics::global().counter("search.cache_hits"),
+            obs_trained: eras_obs::metrics::global().counter("search.candidates_trained"),
         }
     }
 
@@ -153,7 +158,7 @@ impl<'a> StandaloneEvaluator<'a> {
     /// Has the evaluation or time budget been exhausted?
     pub fn exhausted(&self) -> bool {
         self.evaluations >= self.budget.max_evaluations
-            || self.started.elapsed().as_secs_f64() >= self.budget.max_seconds
+            || self.started.elapsed_secs() >= self.budget.max_seconds
     }
 
     /// Evaluate a candidate (stand-alone validation MRR). Returns the
@@ -170,8 +175,11 @@ impl<'a> StandaloneEvaluator<'a> {
     /// bookkeeping advance in candidate order, exactly as if the batch
     /// had been evaluated one candidate at a time.
     pub fn evaluate_batch(&mut self, candidates: &[BlockSf]) -> Vec<Option<f64>> {
+        let _span = eras_obs::span!("search.batch", candidates = candidates.len());
         let canon: Vec<BlockSf> = candidates.iter().map(canonicalize).collect();
         let mut results: Vec<Option<f64>> = canon.iter().map(|c| self.cache.get(c)).collect();
+        self.obs_cache_hits
+            .add(results.iter().filter(|r| r.is_some()).count() as u64);
 
         // Distinct misses in first-appearance order, capped by the
         // remaining evaluation budget. The wall-clock budget is checked
@@ -210,9 +218,11 @@ impl<'a> StandaloneEvaluator<'a> {
                 cache.insert(canon[i].clone(), mrr);
                 mrr
             });
+            self.obs_trained.add(missing.len() as u64);
             for (&i, &mrr) in missing.iter().zip(&trained) {
                 self.evaluations += 1;
-                self.trace.record(self.started.elapsed().as_secs_f64(), mrr);
+                eras_obs::event!("search.candidate", ordinal = self.evaluations, mrr = mrr);
+                self.trace.record(self.started.elapsed_secs(), mrr);
                 if self.best.as_ref().map(|(_, b)| mrr > *b).unwrap_or(true) {
                     self.best = Some((candidates[i].clone(), mrr));
                 }

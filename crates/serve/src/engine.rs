@@ -27,6 +27,7 @@ use crate::metrics::ServeMetrics;
 use eras_data::{FilterIndex, Json};
 use eras_linalg::pool::ThreadPool;
 use eras_linalg::{cmp, vecops};
+use eras_obs::clock::Stopwatch;
 use eras_train::io::{self, Snapshot};
 use eras_train::BlockModel;
 use std::cmp::{Ordering, Reverse};
@@ -34,7 +35,6 @@ use std::collections::BinaryHeap;
 use std::fmt;
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
 
 /// Which side of the triple is being predicted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -336,9 +336,10 @@ impl QueryEngine {
     /// Answer one query, consulting the result cache.
     pub fn answer(&self, q: Query) -> Result<Answer, ServeError> {
         self.check(&q)?;
-        let start = Instant::now();
+        let _span = eras_obs::span!("serve.answer", k = q.k);
+        let start = Stopwatch::start();
         if let Some(ranked) = lock_cache(&self.cache).get(&q) {
-            let latency_us = start.elapsed().as_micros() as u64;
+            let latency_us = start.elapsed_us();
             self.metrics.record_query(latency_us, true);
             return Ok(Answer {
                 query: q,
@@ -349,7 +350,7 @@ impl QueryEngine {
         }
         let ranked = Arc::new(self.topk_batch(&[q]).pop().unwrap_or_default());
         lock_cache(&self.cache).put(q, Arc::clone(&ranked));
-        let latency_us = start.elapsed().as_micros() as u64;
+        let latency_us = start.elapsed_us();
         self.metrics.record_query(latency_us, false);
         Ok(Answer {
             query: q,
@@ -367,7 +368,8 @@ impl QueryEngine {
         for q in queries {
             self.check(q)?;
         }
-        let start = Instant::now();
+        let _span = eras_obs::span!("serve.answer_batch", queries = queries.len());
+        let start = Stopwatch::start();
         let mut answers: Vec<Option<Answer>> = queries.iter().map(|_| None).collect();
         let mut miss_idx: Vec<usize> = Vec::new();
         {
@@ -402,7 +404,7 @@ impl QueryEngine {
             }
         }
         // All batch members share the batch's wall-clock latency.
-        let latency_us = start.elapsed().as_micros() as u64;
+        let latency_us = start.elapsed_us();
         Ok(answers
             .into_iter()
             .flatten()

@@ -9,11 +9,12 @@
 //!
 //! ## Endpoints
 //!
-//! | Method | Path      | Meaning                                      |
-//! |--------|-----------|----------------------------------------------|
-//! | GET    | `/health` | liveness probe                               |
-//! | GET    | `/stats`  | serving counters + model shape               |
-//! | POST   | `/query`  | one top-k query, or `{"queries": [...]}`     |
+//! | Method | Path       | Meaning                                      |
+//! |--------|------------|----------------------------------------------|
+//! | GET    | `/health`  | liveness probe                               |
+//! | GET    | `/stats`   | serving counters + model shape               |
+//! | GET    | `/metrics` | text exposition of the metrics registries    |
+//! | POST   | `/query`   | one top-k query, or `{"queries": [...]}`     |
 //!
 //! A query object holds `"head"` (tail prediction) **or** `"tail"` (head
 //! prediction), `"relation"`, and optional `"k"` (default 10) and
@@ -161,6 +162,27 @@ pub fn write_response<W: Write>(w: &mut W, status: u16, body: &Json) -> std::io:
     w.flush()
 }
 
+/// Serialise a plain-text response — used by `GET /metrics`, which
+/// speaks the Prometheus text exposition format, not JSON.
+pub fn write_text_response<W: Write>(w: &mut W, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: text/plain; version=0.0.4\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len()
+    )?;
+    w.flush()
+}
+
+/// The `/metrics` payload: process-global series (pool dispatches,
+/// trainer totals) followed by this engine's `serve.*` series. Both
+/// registries render sorted, so the concatenation is deterministic.
+pub fn metrics_text(engine: &QueryEngine) -> String {
+    let mut out = eras_obs::metrics::global().render_text();
+    out.push_str(engine.metrics().registry().render_text().as_str());
+    out
+}
+
 fn err_json(message: &str) -> Json {
     Json::obj().set("error", message)
 }
@@ -289,7 +311,9 @@ pub fn route(engine: &QueryEngine, req: &Request) -> (u16, Json) {
         ),
         ("GET", "/stats") => (200, engine.stats()),
         ("POST", "/query") => handle_query(engine, &req.body),
-        (_, "/health") | (_, "/stats") | (_, "/query") => {
+        // `GET /metrics` is answered in `handle_connection` (it is
+        // plain text, not JSON); only the wrong-method case lands here.
+        (_, "/health") | (_, "/stats") | (_, "/query") | (_, "/metrics") => {
             (405, err_json("method not allowed for this endpoint"))
         }
         _ => (404, err_json("no such endpoint")),
@@ -314,15 +338,40 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine, io_timeout: Durati
         Err(_) => return,
     };
     let mut reader = BufReader::new(reader_stream);
-    let (status, body) = match read_request(&mut reader) {
-        Ok(req) => route(engine, &req),
+    let _span = eras_obs::span!("serve.request");
+    let parsed = {
+        let _parse = eras_obs::span!("serve.parse");
+        read_request(&mut reader)
+    };
+    if parsed.is_err() {
+        // Unparseable request line/headers/body — covers malformed
+        // clients and sockets that hit the read timeout mid-request.
+        eras_obs::metrics::global()
+            .counter("serve.read_errors")
+            .inc();
+    }
+    let (status, body) = match parsed {
+        Ok(req) => {
+            if req.method == "GET" && req.path == "/metrics" {
+                engine.metrics().record_http(200);
+                let text = metrics_text(engine);
+                let mut writer = BufWriter::new(stream);
+                let _write = eras_obs::span!("serve.write");
+                let _ = write_text_response(&mut writer, 200, &text);
+                return;
+            }
+            route(engine, &req)
+        }
         Err(HttpError::BadRequest(m)) => (400, err_json(&m)),
         Err(HttpError::TooLarge(m)) => (413, err_json(&m)),
         Err(HttpError::HeadersTooLarge(m)) => (431, err_json(&m)),
     };
     engine.metrics().record_http(status);
     let mut writer = BufWriter::new(stream);
-    let _ = write_response(&mut writer, status, &body);
+    {
+        let _write = eras_obs::span!("serve.write", status = status as u64);
+        let _ = write_response(&mut writer, status, &body);
+    }
     if status >= 400 {
         // Lingering close: an error response usually leaves unread
         // request bytes in the kernel buffer, and closing with pending
@@ -342,6 +391,7 @@ fn worker_loop(
     depth: &AtomicUsize,
     io_timeout: Duration,
 ) {
+    let queue_depth = eras_obs::metrics::global().gauge("serve.queue_depth");
     loop {
         let next = {
             let guard = rx.lock().unwrap_or_else(|poison| poison.into_inner());
@@ -349,7 +399,8 @@ fn worker_loop(
         };
         match next {
             Ok(stream) => {
-                depth.fetch_sub(1, Ordering::AcqRel);
+                let before = depth.fetch_sub(1, Ordering::AcqRel);
+                queue_depth.set(before.saturating_sub(1) as i64);
                 handle_connection(stream, engine, io_timeout);
             }
             // The acceptor dropped the sender: orderly shutdown.
@@ -431,6 +482,8 @@ pub fn serve_with_options(
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
     let depth = Arc::new(AtomicUsize::new(0));
+    let shed_total = eras_obs::metrics::global().counter("serve.shed_total");
+    let queue_depth = eras_obs::metrics::global().gauge("serve.queue_depth");
     let mut handles = Vec::new();
     for _ in 0..opts.workers.max(1) {
         let rx = Arc::clone(&rx);
@@ -456,10 +509,13 @@ pub fn serve_with_options(
             Ok(s) => {
                 if depth.load(Ordering::Acquire) >= opts.queue_capacity.max(1) {
                     engine.metrics().record_http(503);
+                    shed_total.inc();
+                    eras_obs::event!("serve.shed", depth = depth.load(Ordering::Acquire));
                     shed(s, opts.io_timeout);
                     continue;
                 }
-                depth.fetch_add(1, Ordering::AcqRel);
+                let before = depth.fetch_add(1, Ordering::AcqRel);
+                queue_depth.set((before + 1) as i64);
                 if tx.send(s).is_err() {
                     break;
                 }
@@ -653,6 +709,35 @@ mod tests {
         assert_eq!(route(&eng, &req("GET", "/nope", "")).0, 404);
         assert_eq!(route(&eng, &req("DELETE", "/query", "")).0, 405);
         assert_eq!(route(&eng, &req("POST", "/health", "")).0, 405);
+        assert_eq!(route(&eng, &req("POST", "/metrics", "")).0, 405);
+    }
+
+    #[test]
+    fn metrics_text_concatenates_global_and_engine_series() {
+        let eng = engine();
+        eng.metrics().record_query(120, false);
+        let text = metrics_text(&eng);
+        assert!(text.contains("serve_queries 1"), "{text}");
+        assert!(text.contains("# TYPE serve_latency_us histogram"), "{text}");
+    }
+
+    #[test]
+    fn metrics_endpoint_speaks_text_exposition() {
+        let eng = Arc::new(engine());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = Arc::clone(&eng);
+        thread::spawn(move || serve(listener, server, 1));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut response)
+            .expect("read");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("content-type: text/plain"), "{response}");
+        assert!(response.contains("serve_http_requests"), "{response}");
     }
 
     #[test]

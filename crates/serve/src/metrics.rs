@@ -1,63 +1,91 @@
-//! Lock-free serving counters surfaced at the `/stats` endpoint.
+//! Serving counters surfaced at `/stats` and `/metrics`.
+//!
+//! `ServeMetrics` is a thin facade over an [`eras_obs::metrics::Registry`]
+//! instance: the counters live in the registry (named `serve.*`), the
+//! handles cached here keep the hot path lock-free, and the same
+//! registry backs both the JSON rendering for `/stats` and the
+//! Prometheus text exposition for `GET /metrics`. One registry per
+//! engine, so concurrently running engines (tests, multi-model
+//! processes) observe their own traffic in isolation; process-wide
+//! series (pool, trainer) live in [`eras_obs::metrics::global`] and are
+//! concatenated into `/metrics` by the HTTP front end.
 
 use eras_data::Json;
-use std::sync::atomic::{AtomicU64, Ordering};
+use eras_obs::metrics::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
 
-/// Per-process serving metrics. All counters are relaxed atomics — they
+/// Per-engine serving metrics. All counters are relaxed atomics — they
 /// are monotone tallies, not synchronisation points.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServeMetrics {
-    queries: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    latency_us_total: AtomicU64,
-    latency_us_max: AtomicU64,
-    http_requests: AtomicU64,
-    http_errors: AtomicU64,
+    registry: Registry,
+    queries: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    latency_us: Histogram,
+    http_requests: Counter,
+    http_errors: Counter,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
 }
 
 impl ServeMetrics {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters in a fresh registry.
     pub fn new() -> Self {
-        ServeMetrics::default()
+        let registry = Registry::new();
+        ServeMetrics {
+            queries: registry.counter("serve.queries"),
+            cache_hits: registry.counter("serve.cache_hits"),
+            cache_misses: registry.counter("serve.cache_misses"),
+            latency_us: registry.histogram("serve.latency_us", LATENCY_US_BUCKETS),
+            http_requests: registry.counter("serve.http_requests"),
+            http_errors: registry.counter("serve.http_errors"),
+            registry,
+        }
+    }
+
+    /// The backing registry (for text exposition at `/metrics`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Record one answered query with its end-to-end latency.
     pub fn record_query(&self, latency_us: u64, cache_hit: bool) {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.queries.inc();
         if cache_hit {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_hits.inc();
         } else {
-            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.cache_misses.inc();
         }
-        self.latency_us_total
-            .fetch_add(latency_us, Ordering::Relaxed);
-        self.latency_us_max.fetch_max(latency_us, Ordering::Relaxed);
+        self.latency_us.record_value(latency_us);
     }
 
     /// Record one HTTP request and whether it produced an error status.
     pub fn record_http(&self, status: u16) {
-        self.http_requests.fetch_add(1, Ordering::Relaxed);
+        self.http_requests.inc();
         if status >= 400 {
-            self.http_errors.fetch_add(1, Ordering::Relaxed);
+            self.http_errors.inc();
         }
     }
 
     /// Total queries answered (cache hits included).
     pub fn queries(&self) -> u64 {
-        self.queries.load(Ordering::Relaxed)
+        self.queries.get()
     }
 
     /// Result-cache hits.
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache_hits.get()
     }
 
     /// JSON rendering for `/stats`.
     pub fn to_json(&self) -> Json {
-        let queries = self.queries.load(Ordering::Relaxed);
-        let hits = self.cache_hits.load(Ordering::Relaxed);
-        let total_us = self.latency_us_total.load(Ordering::Relaxed);
+        let queries = self.queries.get();
+        let hits = self.cache_hits.get();
+        let total_us = self.latency_us.sum();
         let mean_us = if queries > 0 {
             total_us as f64 / queries as f64
         } else {
@@ -71,16 +99,13 @@ impl ServeMetrics {
         Json::obj()
             .set("queries", queries)
             .set("cache_hits", hits)
-            .set("cache_misses", self.cache_misses.load(Ordering::Relaxed))
+            .set("cache_misses", self.cache_misses.get())
             .set("cache_hit_rate", hit_rate)
             .set("latency_us_total", total_us)
             .set("latency_us_mean", mean_us)
-            .set(
-                "latency_us_max",
-                self.latency_us_max.load(Ordering::Relaxed),
-            )
-            .set("http_requests", self.http_requests.load(Ordering::Relaxed))
-            .set("http_errors", self.http_errors.load(Ordering::Relaxed))
+            .set("latency_us_max", self.latency_us.max())
+            .set("http_requests", self.http_requests.get())
+            .set("http_errors", self.http_errors.get())
     }
 }
 
@@ -111,5 +136,26 @@ mod tests {
         let j = ServeMetrics::new().to_json();
         assert_eq!(j.get("latency_us_mean").and_then(Json::as_f64), Some(0.0));
         assert_eq!(j.get("cache_hit_rate").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn engines_do_not_share_registries() {
+        let a = ServeMetrics::new();
+        let b = ServeMetrics::new();
+        a.record_query(10, false);
+        assert_eq!(a.queries(), 1);
+        assert_eq!(b.queries(), 0);
+    }
+
+    #[test]
+    fn text_exposition_carries_the_serve_series() {
+        let m = ServeMetrics::new();
+        m.record_query(120, true);
+        m.record_http(200);
+        let text = m.registry().render_text();
+        assert!(text.contains("serve_queries 1"), "{text}");
+        assert!(text.contains("# TYPE serve_latency_us histogram"), "{text}");
+        assert!(text.contains("serve_latency_us_count 1"), "{text}");
+        assert!(text.contains("serve_http_requests 1"), "{text}");
     }
 }

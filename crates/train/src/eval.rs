@@ -216,7 +216,15 @@ pub fn link_prediction_pool<M: ScoreModel + Sync + ?Sized>(
     pool: &ThreadPool,
 ) -> LinkPredictionMetrics {
     let shards: Vec<&[Triple]> = triples.chunks(EVAL_SHARD_TRIPLES).collect();
+    let _span = eras_obs::span!(
+        "train.eval.pooled",
+        shards = shards.len(),
+        triples = triples.len(),
+    );
     let parts = pool.map(shards.len(), |s| {
+        // Shard spans run on whichever executor claims the index, so a
+        // trace shows the actual work distribution across threads.
+        let _shard_span = eras_obs::span!("train.eval.shard", shard = s);
         let mut scores = vec![0.0f32; emb.num_entities()];
         eval_shard(model, emb, shards[s], filter, &mut scores)
     });

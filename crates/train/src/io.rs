@@ -130,11 +130,13 @@ pub fn read_embeddings<R: Read>(r: R) -> Result<Embeddings, IoError> {
 
 /// Save embeddings to a file path (format v1), atomically.
 pub fn save(path: &Path, emb: &Embeddings) -> Result<(), IoError> {
+    let _span = eras_obs::span!("io.save_embeddings", entities = emb.num_entities());
     atomic_write(path, |w| write_embeddings(w, emb))
 }
 
 /// Load embeddings from a file path (format v1).
 pub fn load(path: &Path) -> Result<Embeddings, IoError> {
+    let _span = eras_obs::span!("io.load_embeddings");
     if faults::check(faults::Site::SnapshotOpen).is_some() {
         return Err(IoError::Io(faults::injected_io_error(
             faults::Site::SnapshotOpen,
@@ -362,11 +364,17 @@ pub fn read_snapshot<R: Read>(r: R) -> Result<Snapshot, IoError> {
 
 /// Save a snapshot to a file path (format v2), atomically.
 pub fn save_snapshot(path: &Path, snap: &Snapshot) -> Result<(), IoError> {
+    let _span = eras_obs::span!(
+        "io.save_snapshot",
+        entities = snap.entities.len(),
+        known = snap.known.len(),
+    );
     atomic_write(path, |w| write_snapshot(w, snap))
 }
 
 /// Load a snapshot from a file path (format v2).
 pub fn load_snapshot(path: &Path) -> Result<Snapshot, IoError> {
+    let _span = eras_obs::span!("io.load_snapshot");
     if faults::check(faults::Site::SnapshotOpen).is_some() {
         return Err(IoError::Io(faults::injected_io_error(
             faults::Site::SnapshotOpen,

@@ -167,6 +167,19 @@ pub fn train_standalone_resumable(
     pool: &ThreadPool,
     spec: Option<&CheckpointSpec>,
 ) -> Result<TrainOutcome, IoError> {
+    let _run_span = eras_obs::span!(
+        "train.run",
+        dim = cfg.dim,
+        max_epochs = cfg.max_epochs,
+        batch_size = cfg.batch_size,
+        triples = dataset.train.len(),
+        data_parallel = matches!(cfg.execution, Execution::DataParallel),
+    );
+    let registry = eras_obs::metrics::global();
+    let epochs_counter = registry.counter("train.epochs");
+    let batches_counter = registry.counter("train.batches");
+    let evals_counter = registry.counter("train.evals");
+
     let fingerprint = config_fingerprint(
         cfg,
         dataset.num_entities(),
@@ -206,6 +219,7 @@ pub fn train_standalone_resumable(
                 final_loss = ck.final_loss;
                 epochs_run = ck.epoch;
                 start_epoch = ck.epoch + 1;
+                eras_obs::event!("train.resumed", epoch = ck.epoch);
             }
             Ok(ck) => {
                 return Err(IoError::Format(format!(
@@ -224,6 +238,7 @@ pub fn train_standalone_resumable(
     }
 
     for epoch in start_epoch..=cfg.max_epochs {
+        let _epoch_span = eras_obs::span!("train.epoch", epoch = epoch);
         rng.shuffle(&mut order);
         let mut loss_sum = 0.0f32;
         let mut batches = 0usize;
@@ -265,22 +280,43 @@ pub fn train_standalone_resumable(
         }
         final_loss = loss_sum / batches.max(1) as f32;
         epochs_run = epoch;
+        epochs_counter.inc();
+        batches_counter.add(batches as u64);
         if cfg.decay_rate != 1.0 {
             opt_e.set_learning_rate(opt_e.learning_rate() * cfg.decay_rate);
             opt_r.set_learning_rate(opt_r.learning_rate() * cfg.decay_rate);
         }
 
         if epoch % cfg.eval_every.max(1) == 0 && !dataset.valid.is_empty() {
-            let metrics = link_prediction_pool(model, &emb, &dataset.valid, filter, pool);
+            let metrics = {
+                let _eval_span =
+                    eras_obs::span!("train.eval", epoch = epoch, triples = dataset.valid.len());
+                link_prediction_pool(model, &emb, &dataset.valid, filter, pool)
+            };
+            evals_counter.inc();
+            let valid_mrr = metrics.mrr;
             if metrics.mrr > best_valid.mrr {
                 best_valid = metrics;
                 strikes = 0;
             } else {
                 strikes += 1;
                 if strikes >= cfg.patience {
+                    eras_obs::event!(
+                        "train.early_stop",
+                        epoch = epoch,
+                        best_valid_mrr = best_valid.mrr,
+                    );
                     break;
                 }
             }
+            eras_obs::event!(
+                "train.progress",
+                epoch = epoch,
+                loss = final_loss,
+                valid_mrr = valid_mrr,
+                best_valid_mrr = best_valid.mrr,
+                strikes = strikes,
+            );
         }
 
         // Checkpoint *after* this epoch's eval so the patience state is
@@ -288,6 +324,7 @@ pub fn train_standalone_resumable(
         // checkpoint ever records a run that already decided to stop.
         if let Some(spec) = spec {
             if spec.every > 0 && epoch.is_multiple_of(spec.every) {
+                let _ckpt_span = eras_obs::span!("train.checkpoint", epoch = epoch);
                 TrainCheckpoint {
                     fingerprint,
                     epoch,
@@ -307,7 +344,10 @@ pub fn train_standalone_resumable(
         }
     }
 
-    let test = link_prediction_pool(model, &emb, &dataset.test, filter, pool);
+    let test = {
+        let _eval_span = eras_obs::span!("train.eval", triples = dataset.test.len());
+        link_prediction_pool(model, &emb, &dataset.test, filter, pool)
+    };
     if dataset.valid.is_empty() {
         best_valid = test;
     }

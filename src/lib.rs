@@ -32,6 +32,7 @@ pub use eras_audit as audit;
 pub use eras_ctrl as ctrl;
 pub use eras_data as data;
 pub use eras_linalg as linalg;
+pub use eras_obs as obs;
 pub use eras_rules as rules;
 pub use eras_search as search;
 pub use eras_serve as serve;
