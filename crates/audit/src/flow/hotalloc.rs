@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 /// suffixes). Matches the ROADMAP item-1 SIMD target list.
 pub const KERNEL_FILES: &[&str] = &[
     "crates/linalg/src/vecops.rs",
+    "crates/linalg/src/scan.rs",
     "crates/linalg/src/matrix.rs",
     "crates/linalg/src/softmax.rs",
     "crates/linalg/src/optim.rs",

@@ -11,7 +11,12 @@
 //! - [`Matrix`]: row-major `f32` matrix with the handful of kernels the
 //!   training loops are hot on (`matvec`, `matvec_transpose`, rank-1 row
 //!   updates).
-//! - [`vecops`]: fused vector kernels (dot, axpy, Hadamard, triple-dot).
+//! - [`vecops`]: fused vector kernels (dot, axpy, Hadamard, triple-dot),
+//!   hand-vectorized as explicit [`vecops::LANES`]-wide chunks with a
+//!   scalar `reference` fallback (the `scalar-kernels` feature).
+//! - [`scan`]: the fused, cache-blocked entity-table score→consumer
+//!   kernel shared by the serving engine's batched top-k and the
+//!   offline filtered evaluator.
 //! - [`rng`]: a self-contained, reproducible xoshiro256++ RNG so every
 //!   experiment in the repo is deterministic given a seed.
 //! - [`optim`]: SGD / Adagrad / Adam with *sparse row* update support —
@@ -43,6 +48,7 @@ pub mod optim;
 pub mod pca;
 pub mod pool;
 pub mod rng;
+pub mod scan;
 pub mod softmax;
 pub mod stats;
 pub mod sync;

@@ -111,11 +111,31 @@ impl Matrix {
     ///
     /// This is the 1-vs-all scoring kernel: with `M` the entity table and
     /// `x` the query vector, `out` holds a score for every entity.
+    ///
+    /// Rows are processed four at a time through [`vecops::dot4`] so
+    /// each chunk of `x` is loaded once per four rows; per row the
+    /// multiply/accumulate order is exactly [`vecops::dot`]'s, so the
+    /// results are bit-identical to the one-dot-per-row loop.
+    // audit:allow(E701): i + 3 < rows inside the 4-row loop (bound
+    // i + 4 <= rows) and i < rows in the remainder loop
     pub fn matvec(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.cols);
         assert_eq!(out.len(), self.rows);
-        for i in 0..self.rows {
+        let mut i = 0;
+        while i + 4 <= self.rows {
+            let s = vecops::dot4(
+                x,
+                self.row(i),
+                self.row(i + 1),
+                self.row(i + 2),
+                self.row(i + 3),
+            );
+            out[i..i + 4].copy_from_slice(&s);
+            i += 4;
+        }
+        while i < self.rows {
             out[i] = vecops::dot(self.row(i), x);
+            i += 1;
         }
     }
 

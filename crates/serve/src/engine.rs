@@ -6,13 +6,17 @@
 //!
 //! Each query reduces to one query vector `q` (see
 //! `eras_train::BlockModel::tail_query`), after which candidate scores are
-//! dot products against entity rows. The engine streams the entity table
-//! **once** for a whole batch: entities are the outer loop, queries the
-//! inner one, so a batch of `B` queries costs one table pass
-//! (`O(N_e · B · d)` flops but `O(N_e · d)` memory traffic) instead of `B`
-//! passes. Every query keeps a bounded min-heap of its current top-k and a
-//! cursor into its sorted filter list, so filtered candidates are skipped
-//! in `O(1)` amortised.
+//! dot products against entity rows. The engine hands a whole query
+//! group to the fused, cache-blocked scan kernel
+//! (`eras_linalg::scan::scan_rows`): the entity table is tiled into
+//! L1/L2-sized row blocks, queries are register-tiled four at a time
+//! over each block, and every query's scores stream into its own
+//! bounded top-k heap (`eras_linalg::scan::StreamTopK`) — one table
+//! pass per group (`O(N_e · B · d)` flops but `O(N_e · d)` memory
+//! traffic), no per-entity score vector ever materialized. Each heap
+//! keeps a cursor into its sorted filter list, so filtered candidates
+//! are skipped in `O(1)` amortised, and a cached worst-score threshold
+//! rejects non-improving candidates with one float compare.
 //!
 //! ## Ranking order
 //!
@@ -26,12 +30,10 @@ use crate::cache::LruCache;
 use crate::metrics::ServeMetrics;
 use eras_data::{FilterIndex, Json};
 use eras_linalg::pool::ThreadPool;
-use eras_linalg::{cmp, vecops};
+use eras_linalg::scan::{scan_rows, StreamTopK};
 use eras_obs::clock::Stopwatch;
 use eras_train::io::{self, Snapshot};
 use eras_train::BlockModel;
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -131,88 +133,6 @@ impl std::error::Error for ServeError {}
 /// entity table; the group size is fixed (never a function of the pool
 /// size) so batches shard the same way on every machine.
 const BATCH_SHARD_QUERIES: usize = 8;
-
-/// Candidate wrapper ordering "greater = ranks higher": descending score
-/// with NaN below everything, ties broken toward the smaller id.
-#[derive(Clone, Copy)]
-struct Cand(Ranked);
-
-impl PartialEq for Cand {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-
-impl Eq for Cand {}
-
-impl Ord for Cand {
-    fn cmp(&self, other: &Self) -> Ordering {
-        cmp::nan_lowest_f32(self.0.score, other.0.score).then_with(|| other.0.id.cmp(&self.0.id))
-    }
-}
-
-impl PartialOrd for Cand {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Per-query streaming state: a bounded min-heap of the current top-k and
-/// a cursor into the (sorted, ascending) filter list.
-struct TopK<'a> {
-    k: usize,
-    filt: &'a [u32],
-    cursor: usize,
-    heap: BinaryHeap<Reverse<Cand>>,
-}
-
-impl<'a> TopK<'a> {
-    fn new(k: usize, filt: &'a [u32]) -> Self {
-        TopK {
-            k,
-            filt,
-            cursor: 0,
-            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
-        }
-    }
-
-    /// True when `ent` is filtered out. Entities arrive in ascending
-    /// order, so the cursor only moves forward.
-    // audit:allow(E701): filt[cursor] is guarded by cursor < filt.len()
-    // in both the loop condition and the short-circuit below it
-    fn is_filtered(&mut self, ent: u32) -> bool {
-        while self.cursor < self.filt.len() && self.filt[self.cursor] < ent {
-            self.cursor += 1;
-        }
-        self.cursor < self.filt.len() && self.filt[self.cursor] == ent
-    }
-
-    fn offer(&mut self, r: Ranked) {
-        if self.k == 0 {
-            return;
-        }
-        let cand = Cand(r);
-        if self.heap.len() < self.k {
-            self.heap.push(Reverse(cand));
-        } else if let Some(worst) = self.heap.peek() {
-            if cand > worst.0 {
-                self.heap.pop();
-                self.heap.push(Reverse(cand));
-            }
-        }
-    }
-
-    /// Drain to a best-first vector.
-    fn into_sorted(self) -> Vec<Ranked> {
-        // `into_sorted_vec` is ascending in `Reverse<Cand>`, i.e.
-        // descending in `Cand` — best first.
-        self.heap
-            .into_sorted_vec()
-            .into_iter()
-            .map(|r| r.0 .0)
-            .collect()
-    }
-}
 
 fn lock_cache<'a>(
     m: &'a Mutex<LruCache<Query, Arc<Vec<Ranked>>>>,
@@ -437,17 +357,18 @@ impl QueryEngine {
             .collect()
     }
 
-    /// One ascending pass over the entity table for a group of queries
-    /// (queries in the inner loop, so a group of `B` queries costs one
-    /// table pass).
+    /// One fused, cache-blocked pass over the entity table for a group
+    /// of queries (`eras_linalg::scan::scan_rows`): a group of `B`
+    /// queries costs one table pass, with entity rows register-tiled
+    /// four queries at a time and scores streamed straight into each
+    /// query's bounded heap.
     // audit:allow(E701): qvecs is sized queries.len() * dim up front,
     // and qi always comes from enumerate() over queries
     fn topk_group(&self, queries: &[Query]) -> Vec<Vec<Ranked>> {
         let emb = &self.snapshot.embeddings;
         let dim = emb.dim();
-        let ne = emb.num_entities();
         let mut qvecs = vec![0.0f32; queries.len() * dim];
-        let mut states: Vec<TopK<'_>> = Vec::with_capacity(queries.len());
+        let mut states: Vec<StreamTopK<'_>> = Vec::with_capacity(queries.len());
         for (qi, q) in queries.iter().enumerate() {
             let qv = &mut qvecs[qi * dim..(qi + 1) * dim];
             match q.dir {
@@ -462,22 +383,21 @@ impl QueryEngine {
             } else {
                 &[]
             };
-            states.push(TopK::new(q.k, filt));
+            states.push(StreamTopK::new(q.k, filt));
         }
-        for ent in 0..ne {
-            let row = emb.entity.row(ent);
-            for (qi, st) in states.iter_mut().enumerate() {
-                if st.is_filtered(ent as u32) {
-                    continue;
-                }
-                let score = vecops::dot(row, &qvecs[qi * dim..(qi + 1) * dim]);
-                st.offer(Ranked {
-                    id: ent as u32,
-                    score,
-                });
-            }
-        }
-        states.into_iter().map(TopK::into_sorted).collect()
+        scan_rows(&emb.entity, &qvecs, &mut states);
+        states
+            .into_iter()
+            .map(|st| {
+                st.into_sorted()
+                    .into_iter()
+                    .map(|h| Ranked {
+                        id: h.id,
+                        score: h.score,
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// `/stats` payload: metrics plus model and cache descriptors.
@@ -503,6 +423,7 @@ mod tests {
     use super::*;
     use eras_data::vocab::Vocab;
     use eras_data::Triple;
+    use eras_linalg::cmp;
     use eras_linalg::Rng;
     use eras_sf::zoo;
     use eras_train::eval::ScoreModel;

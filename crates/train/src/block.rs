@@ -32,6 +32,7 @@ use crate::eval::ScoreModel;
 use crate::loss::LossMode;
 use eras_data::Triple;
 use eras_linalg::optim::Optimizer;
+use eras_linalg::scan::{scan_rows, RankTally};
 use eras_linalg::softmax::log_loss_and_residual;
 use eras_linalg::vecops;
 use eras_linalg::Rng;
@@ -212,6 +213,20 @@ impl BlockModel {
     }
 }
 
+/// Rank `target` among all entities scored against the query vector
+/// `q`, via the fused entity-table scan: the target's score is one dot
+/// product, every other candidate's score streams through a
+/// [`RankTally`] without materializing a score vector. Each streamed
+/// score is bit-identical to the matvec the dense default would rank
+/// over, so this returns exactly what
+/// `filtered_rank(E·q, target, filtered)` does.
+fn rank_with_query(emb: &Embeddings, q: &[f32], target: u32, filtered: &[u32]) -> f64 {
+    let target_score = vecops::dot(emb.entity.row(target as usize), q);
+    let mut tally = RankTally::new(target, target_score, filtered);
+    scan_rows(&emb.entity, q, std::slice::from_mut(&mut tally));
+    tally.rank()
+}
+
 impl ScoreModel for BlockModel {
     fn score_all_tails(&self, emb: &Embeddings, h: u32, r: u32, out: &mut [f32]) {
         let mut q = vec![0.0; emb.dim()];
@@ -229,6 +244,34 @@ impl ScoreModel for BlockModel {
         let mut q = vec![0.0; emb.dim()];
         self.tail_query(emb, triple.head, triple.rel, &mut q);
         vecops::dot(&q, emb.entity.row(triple.tail as usize))
+    }
+
+    fn tail_rank(
+        &self,
+        emb: &Embeddings,
+        h: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        _scores: &mut [f32],
+    ) -> f64 {
+        let mut q = vec![0.0; emb.dim()];
+        self.tail_query(emb, h, r, &mut q);
+        rank_with_query(emb, &q, target, filtered)
+    }
+
+    fn head_rank(
+        &self,
+        emb: &Embeddings,
+        t: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        _scores: &mut [f32],
+    ) -> f64 {
+        let mut q = vec![0.0; emb.dim()];
+        self.head_query(emb, t, r, &mut q);
+        rank_with_query(emb, &q, target, filtered)
     }
 }
 
@@ -341,9 +384,7 @@ pub(crate) fn train_side(
                 if resid == 0.0 {
                     continue;
                 }
-                for (g, &qv) in row_grad.iter_mut().zip(&scratch.q) {
-                    *g = resid * qv;
-                }
+                vecops::scaled_copy(resid, &scratch.q, &mut row_grad);
                 opt_entity.step_at(emb.entity.as_mut_slice(), c * dim, &row_grad);
             }
         }
@@ -353,9 +394,7 @@ pub(crate) fn train_side(
             for (slot, &c) in scratch.candidates.iter().enumerate() {
                 let resid = scratch.scores[slot];
                 vecops::axpy(resid, emb.entity.row(c as usize), &mut scratch.g_q);
-                for (g, &qv) in row_grad.iter_mut().zip(&scratch.q) {
-                    *g = resid * qv;
-                }
+                vecops::scaled_copy(resid, &scratch.q, &mut row_grad);
                 opt_entity.step_at(emb.entity.as_mut_slice(), c as usize * dim, &row_grad);
             }
         }
