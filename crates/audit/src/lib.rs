@@ -7,6 +7,11 @@
 //! - [`sf_pass`] — SF-DSL analysis: degeneracy, canonicalisation
 //!   idempotence and duplicate detection over every scoring function
 //!   reachable from the zoo and the search space (`E1xx`/`W104`);
+//! - [`numeric`] — abstract interpretation: guaranteed score and
+//!   analytic-gradient intervals for every preset and the search-space
+//!   envelope under the declared embedding-norm bounds, plus numeric
+//!   kernel contracts checked through the flow token model
+//!   (`E801`/`E802`/`W801`/`I800`);
 //! - [`grad_pass`] — the gradient contract: every analytic gradient in
 //!   `eras-train` re-verified against central finite differences
 //!   (`E201`);
@@ -39,6 +44,7 @@ pub mod diag;
 pub mod flow;
 pub mod grad_pass;
 pub mod lint;
+pub mod numeric;
 pub mod sched;
 pub mod sf_pass;
 
@@ -51,6 +57,9 @@ use std::path::Path;
 pub struct PassSet {
     /// SF-DSL analysis.
     pub sf: bool,
+    /// Numeric abstract interpretation (SF certificates + kernel
+    /// contracts).
+    pub numeric: bool,
     /// Gradient contract.
     pub grad: bool,
     /// Config diagnostics.
@@ -72,6 +81,7 @@ impl Default for PassSet {
     fn default() -> Self {
         PassSet {
             sf: true,
+            numeric: true,
             grad: true,
             config: true,
             lint: true,
@@ -85,12 +95,15 @@ impl Default for PassSet {
 impl PassSet {
     /// Every valid pass name, in run order — the single source of truth
     /// for `parse` errors and the CLI usage text.
-    pub const NAMES: [&'static str; 7] = ["sf", "grad", "config", "lint", "flow", "sched", "chaos"];
+    pub const NAMES: [&'static str; 8] = [
+        "sf", "numeric", "grad", "config", "lint", "flow", "sched", "chaos",
+    ];
 
     /// Parse a comma-separated pass list (`"sf,grad"`).
     pub fn parse(spec: &str) -> Result<PassSet, String> {
         let mut set = PassSet {
             sf: false,
+            numeric: false,
             grad: false,
             config: false,
             lint: false,
@@ -101,6 +114,7 @@ impl PassSet {
         for part in spec.split(',') {
             match part.trim() {
                 "sf" => set.sf = true,
+                "numeric" => set.numeric = true,
                 "grad" => set.grad = true,
                 "config" => set.config = true,
                 "lint" => set.lint = true,
@@ -147,6 +161,10 @@ pub fn run_audit_with(
             .findings
             .extend(sf_pass::run(&sf_pass::default_corpus(), sf_samples, seed));
     }
+    if passes.numeric {
+        report.passes_run.push("numeric");
+        report.findings.extend(numeric::run(root, sf_samples, seed));
+    }
     if passes.grad {
         report.passes_run.push("grad");
         report.findings.extend(grad_pass::run());
@@ -184,7 +202,11 @@ mod tests {
     fn pass_set_parses() {
         let set = PassSet::parse("sf, lint").expect("valid");
         assert!(set.sf && set.lint && !set.grad && !set.config && !set.sched && !set.chaos);
-        assert!(!set.flow);
+        assert!(!set.flow && !set.numeric);
+        let set = PassSet::parse("numeric").expect("valid");
+        assert!(set.numeric && !set.sf);
+        // Numeric is part of the default gate.
+        assert!(PassSet::default().numeric);
         let set = PassSet::parse("flow").expect("valid");
         assert!(set.flow && !set.lint);
         // Flow is part of the default gate.

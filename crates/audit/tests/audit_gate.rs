@@ -23,8 +23,8 @@ fn shipped_repo_is_clean() {
     let report = run_audit(&workspace_root(), PassSet::default(), 64, 7);
     assert_eq!(
         report.passes_run,
-        vec!["sf", "grad", "config", "lint", "flow", "sched"],
-        "all six passes must run"
+        vec!["sf", "numeric", "grad", "config", "lint", "flow", "sched"],
+        "all seven passes must run"
     );
     let problems: Vec<String> = report
         .findings
@@ -175,6 +175,91 @@ fn seeded_adhoc_timing_fails() {
                      // audit:allow(W705): cold-start probe outside any span\n}\n";
     let findings = eras_audit::lint::lint_source("crates/train/src/seeded.rs", justified, true);
     assert!(findings.iter().all(|f| f.code != "W705"), "{findings:?}");
+}
+
+/// Seeded numeric violation 1: under absurd declared bounds the score
+/// interval escapes f32 range (E801); under *infinite* bounds the
+/// abstract evaluation hits ∞−∞ and NaN becomes reachable (E802).
+#[test]
+fn seeded_numeric_contract_violations_fail() {
+    use eras_audit::numeric;
+    use eras_sf::numeric::NormBounds;
+
+    let corpus = vec![("seeded-distmult".to_string(), eras_sf::zoo::distmult(4))];
+    let findings = numeric::run_corpus(&corpus, NormBounds::uniform(1e30), 32, 0, 7);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "E801" && f.severity == Severity::Error),
+        "f32-unsound range must be caught: {findings:?}"
+    );
+    let findings = numeric::run_corpus(&corpus, NormBounds::uniform(f32::INFINITY), 32, 0, 7);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "E802" && f.severity == Severity::Error),
+        "reachable NaN must be caught: {findings:?}"
+    );
+}
+
+/// Seeded numeric violation 2: an empty relation block's gradient is
+/// identically [0, 0] over the contract box — W801 names the dead
+/// variables, and a clean preset certifies as I800.
+#[test]
+fn seeded_vanishing_gradient_fails_and_presets_certify() {
+    use eras_audit::numeric;
+    use eras_sf::numeric::NormBounds;
+
+    let mut sf = BlockSf::zeros(4);
+    sf.set(0, 0, Op::pos(0));
+    sf.set(1, 1, Op::pos(1));
+    sf.set(2, 2, Op::pos(2));
+    // Row/column 3 empty: h4 and t4 can never receive gradient.
+    let corpus = vec![("seeded-dead-block".to_string(), sf)];
+    let findings = numeric::run_corpus(&corpus, NormBounds::default(), 32, 0, 7);
+    let w801 = findings
+        .iter()
+        .find(|f| f.code == "W801")
+        .expect("dead block must be caught");
+    assert_eq!(w801.severity, Severity::Warning);
+    assert!(
+        w801.message.contains("h4") && w801.message.contains("t4"),
+        "W801 must name the dead variables: {}",
+        w801.message
+    );
+
+    let clean = vec![("distmult".to_string(), eras_sf::zoo::distmult(4))];
+    let findings = numeric::run_corpus(&clean, NormBounds::default(), 32, 0, 7);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "I800" && f.severity == Severity::Info),
+        "sound preset must certify: {findings:?}"
+    );
+}
+
+/// Seeded numeric violation 3: an `exp_approx_shifted` caller that
+/// never saturates its shift argument fails the kernel check.
+#[test]
+fn seeded_unguarded_exp_shift_caller_fails() {
+    let src = "pub fn loss(scores: &mut [f32], max: f32) {\n    \
+               exp_approx_shifted(scores, max);\n}\n";
+    let findings =
+        eras_audit::numeric::kernels::check_sources(&[("crates/linalg/src/seeded.rs", src)], 512.0);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "E801" && f.severity == Severity::Error),
+        "unguarded shift must be caught: {findings:?}"
+    );
+    let guarded = "pub fn loss(scores: &mut [f32], max: f32) {\n    \
+                   let shift = max.clamp(f32::MIN, f32::MAX);\n    \
+                   exp_approx_shifted(scores, shift);\n}\n";
+    let findings = eras_audit::numeric::kernels::check_sources(
+        &[("crates/linalg/src/seeded.rs", guarded)],
+        512.0,
+    );
+    assert!(findings.iter().all(|f| f.code != "E801"), "{findings:?}");
 }
 
 /// JSON output of a real run parses and carries the pass list.

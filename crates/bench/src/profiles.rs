@@ -57,6 +57,7 @@ impl Profile {
             loss: LossMode::Sampled { negatives: 64 },
             seed,
             execution: Execution::Sequential,
+            bounds: eras_sf::NormBounds::default(),
         };
         let search_train = TrainConfig {
             max_epochs: 15,

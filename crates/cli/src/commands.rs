@@ -24,14 +24,14 @@ USAGE:
   eras generate --preset NAME --out DIR [--seed N]
   eras train    (--preset NAME | --data DIR) [--model complex] [--dim 32]
                 [--epochs 40] [--seed N] [--save FILE] [--snapshot FILE]
-                [--full-loss] [--parallel] [--threads N]
+                [--full-loss] [--parallel] [--threads N] [--emb-bound 1.0]
                 [--checkpoint FILE] [--checkpoint-every N] [--resume]
                 [--quiet] [--log FILE] [--profile]
   eras search   (--preset NAME | --data DIR) [--method eras] [--groups 3]
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
   eras rules    (--preset NAME | --data DIR) [--seed N]
-  eras audit    [--pass sf,grad,config,lint,flow,sched,chaos] [--format text|json]
+  eras audit    [--pass sf,numeric,grad,config,lint,flow,sched,chaos] [--format text|json]
                 [--deny warnings] [--root DIR] [--sf-samples N] [--seed N]
                 [--chaos-seeds N] [--chaos-budget SECS]
   eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
@@ -43,7 +43,8 @@ USAGE:
 PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny
 MODELS:  distmult complex simple analogy
 METHODS: eras autosf random tpe
-PASSES:  sf (DSL analysis)  grad (gradient contracts)
+PASSES:  sf (DSL analysis)  numeric (abstract-interpretation certificates)
+         grad (gradient contracts)
          config (preset diagnostics)  lint (source lints)
          sched (concurrency model checking)
          chaos (seeded fault-injection harness)";
@@ -155,6 +156,7 @@ fn train_config(args: &Args) -> Result<TrainConfig, String> {
         } else {
             Execution::Sequential
         },
+        bounds: eras_sf::NormBounds::uniform(args.get_or("emb-bound", 1.0f32)?),
         ..TrainConfig::default()
     })
 }

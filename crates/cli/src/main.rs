@@ -8,7 +8,7 @@
 //! eras search   (--preset NAME | --data DIR) [--method eras|autosf|random|tpe]
 //!               [--groups 3] [--epochs 20] [--seed 7]
 //! eras rules    (--preset NAME | --data DIR) [--seed 7]
-//! eras audit    [--pass sf,grad,config,lint,sched] [--format json] [--deny warnings]
+//! eras audit    [--pass sf,numeric,grad,config,lint,sched] [--format json] [--deny warnings]
 //! eras serve    --snapshot FILE [--addr 127.0.0.1:8080] [--workers 4]
 //! eras query    --snapshot FILE (--head E | --tail E) --relation R [--k 10]
 //! eras obs      report --trace FILE [--top 10]

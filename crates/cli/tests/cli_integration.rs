@@ -176,7 +176,7 @@ fn audit_runs_clean_on_the_workspace() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("passes run: sf, grad, config, lint, flow, sched"),
+        stdout.contains("passes run: sf, numeric, grad, config, lint, flow, sched"),
         "{stdout}"
     );
     assert!(stdout.contains("0 error(s)"), "{stdout}");

@@ -23,7 +23,7 @@
 //!   pinned — `crates/linalg/tests/kernel_equivalence.rs` asserts the
 //!   golden bit patterns and the max-ulp distance to the reference.
 //!
-//! The [`reference`] module holds the scalar forms. Building with the
+//! The [`mod@reference`] module holds the scalar forms. Building with the
 //! `scalar-kernels` feature routes every public kernel through them,
 //! which keeps the whole workspace runnable (and its agreement tests
 //! meaningful) on the pure-scalar path.

@@ -31,6 +31,7 @@ use eras_linalg::pool::ThreadPool;
 use eras_obs::clock::Stopwatch;
 use eras_obs::metrics::Counter;
 use eras_sf::canonical::canonicalize;
+use eras_sf::numeric::{certify, Refutation, Verdict};
 use eras_sf::BlockSf;
 use eras_train::trainer::{train_standalone_on, Execution, TrainConfig};
 use eras_train::BlockModel;
@@ -77,6 +78,9 @@ pub struct SearchResult {
     pub best_mrr: f64,
     /// Distinct structures trained.
     pub evaluations: usize,
+    /// Distinct structures rejected by the static numeric certifier
+    /// before any training step was spent on them.
+    pub pruned: usize,
     /// The progress trace.
     pub trace: SearchTrace,
 }
@@ -94,8 +98,12 @@ pub struct StandaloneEvaluator<'a> {
     trace: SearchTrace,
     evaluations: usize,
     best: Option<(BlockSf, f64)>,
+    numeric_filter: bool,
+    pruned_set: HashSet<BlockSf>,
+    pruned_count: usize,
     obs_cache_hits: Counter,
     obs_trained: Counter,
+    obs_pruned: Counter,
 }
 
 impl<'a> StandaloneEvaluator<'a> {
@@ -122,9 +130,27 @@ impl<'a> StandaloneEvaluator<'a> {
             trace: SearchTrace::new(method, &dataset.name),
             evaluations: 0,
             best: None,
+            numeric_filter: true,
+            pruned_set: HashSet::new(),
+            pruned_count: 0,
             obs_cache_hits: eras_obs::metrics::global().counter("search.cache_hits"),
             obs_trained: eras_obs::metrics::global().counter("search.candidates_trained"),
+            obs_pruned: eras_obs::metrics::global().counter("search.candidates_pruned"),
         }
+    }
+
+    /// Enable or disable the static numeric pre-train filter (on by
+    /// default). With the filter on, every cache-missing candidate is
+    /// certified by `eras_sf::numeric::certify` under the training
+    /// config's declared norm bounds first; candidates that are
+    /// refuted (unsound range / NaN reachable) or carry an identically
+    /// zero gradient score `0.0` immediately, consume no evaluation
+    /// budget, and are logged to the trace's pruned list — the
+    /// evaluation trace (`points`), winners and budget accounting for
+    /// certified candidates are identical with the filter on or off.
+    pub fn numeric_filter(mut self, on: bool) -> Self {
+        self.numeric_filter = on;
+        self
     }
 
     /// Evaluate up to `n` candidates concurrently per
@@ -180,6 +206,35 @@ impl<'a> StandaloneEvaluator<'a> {
         let mut results: Vec<Option<f64>> = canon.iter().map(|c| self.cache.get(c)).collect();
         self.obs_cache_hits
             .add(results.iter().filter(|r| r.is_some()).count() as u64);
+
+        // Static numeric filter: certify cache misses before any
+        // training is dispatched. Refuted or dead-gradient structures
+        // score 0.0 on the spot — zero training steps, zero budget —
+        // and the verdict is memoised so duplicates never re-certify
+        // or re-trace. Candidates whose block count does not divide
+        // the configured dimension are left to the trainer's own
+        // layout validation.
+        if self.numeric_filter {
+            for (i, c) in canon.iter().enumerate() {
+                if results[i].is_some() || !self.cfg.dim.is_multiple_of(c.m()) {
+                    continue;
+                }
+                if self.pruned_set.contains(c) {
+                    results[i] = Some(0.0);
+                    continue;
+                }
+                let cert = certify(c, self.cfg.bounds, self.cfg.dim);
+                if let Some((code, reason)) = prune_reason(&cert.verdict) {
+                    self.pruned_set.insert(c.clone());
+                    self.pruned_count += 1;
+                    self.obs_pruned.add(1);
+                    eras_obs::event!("search.pruned", ordinal = self.pruned_count);
+                    self.trace
+                        .record_pruned(self.started.elapsed_secs(), code, &reason);
+                    results[i] = Some(0.0);
+                }
+            }
+        }
 
         // Distinct misses in first-appearance order, capped by the
         // remaining evaluation budget. The wall-clock budget is checked
@@ -244,6 +299,11 @@ impl<'a> StandaloneEvaluator<'a> {
         self.evaluations
     }
 
+    /// Distinct candidates statically pruned so far.
+    pub fn pruned(&self) -> usize {
+        self.pruned_count
+    }
+
     /// Finish the run. Panics if no candidate was ever evaluated.
     // audit:allow(E701): search loops always evaluate >= 1 candidate
     // before finishing; an empty run is a driver bug, not input-driven
@@ -253,8 +313,35 @@ impl<'a> StandaloneEvaluator<'a> {
             best_sf,
             best_mrr,
             evaluations: self.evaluations,
+            pruned: self.pruned_count,
             trace: self.trace,
         }
+    }
+}
+
+/// Trace code and message for a non-certified verdict; `None` for
+/// certified structures.
+fn prune_reason(verdict: &Verdict) -> Option<(&'static str, String)> {
+    match verdict {
+        Verdict::Certified => None,
+        Verdict::VanishingGradient(dead) => {
+            let names: Vec<String> = dead.iter().map(|v| v.to_string()).collect();
+            Some((
+                "W801",
+                format!(
+                    "vanishing gradient: ∂f/∂{{{}}} identically zero under the declared bounds",
+                    names.join(", ")
+                ),
+            ))
+        }
+        Verdict::Refuted(Refutation::UnsoundRange) => Some((
+            "E801",
+            "unsound range: score/gradient bounds exceed f32 under the declared bounds".to_string(),
+        )),
+        Verdict::Refuted(Refutation::NanReachable) => Some((
+            "E802",
+            "NaN reachable under the declared bounds".to_string(),
+        )),
     }
 }
 
@@ -428,6 +515,78 @@ mod tests {
             DEFAULT_BATCH_WIDTH,
             "the dispatch pool must not steer the proposal width"
         );
+    }
+
+    #[test]
+    fn degenerate_candidate_is_pruned_without_training() {
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let mut ev = StandaloneEvaluator::new(
+            "test",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget::default(),
+        );
+        // Empty row/column 3: the certifier sees dead h4/t4 gradients.
+        let mut degenerate = zoo::distmult(4);
+        degenerate.set(3, 3, eras_sf::Op::Zero);
+        assert_eq!(ev.evaluate(&degenerate), Some(0.0));
+        assert_eq!(ev.evaluations(), 0, "pruning must cost zero budget");
+        assert_eq!(ev.pruned(), 1);
+        // Re-offering the same structure resolves from the pruned memo
+        // without a second trace entry.
+        assert_eq!(ev.evaluate(&degenerate), Some(0.0));
+        assert_eq!(ev.pruned(), 1);
+        // A sound candidate still trains normally afterwards.
+        assert!(ev.evaluate(&zoo::distmult(4)).unwrap() > 0.0);
+        let result = ev.finish();
+        assert_eq!(result.pruned, 1);
+        assert_eq!(result.evaluations, 1);
+        assert_eq!(result.trace.pruned.len(), 1);
+        assert_eq!(result.trace.pruned[0].code, "W801");
+        assert_eq!(result.trace.len(), 1, "pruned entries stay out of points");
+    }
+
+    #[test]
+    fn filter_off_matches_filter_on_for_certified_candidates() {
+        let dataset = Preset::Tiny.build(1);
+        let filter = FilterIndex::build(&dataset);
+        let candidates = [zoo::distmult(4), zoo::complex(), zoo::simple()];
+
+        let mut on =
+            StandaloneEvaluator::new("on", &dataset, &filter, fast_cfg(), SearchBudget::default());
+        let on_mrrs: Vec<_> = candidates.iter().map(|sf| on.evaluate(sf)).collect();
+        let on_result = on.finish();
+
+        let mut off = StandaloneEvaluator::new(
+            "off",
+            &dataset,
+            &filter,
+            fast_cfg(),
+            SearchBudget::default(),
+        )
+        .numeric_filter(false);
+        let off_mrrs: Vec<_> = candidates.iter().map(|sf| off.evaluate(sf)).collect();
+        let off_result = off.finish();
+
+        assert_eq!(on_mrrs, off_mrrs);
+        assert_eq!(on_result.best_sf, off_result.best_sf);
+        assert_eq!(on_result.best_mrr, off_result.best_mrr);
+        assert_eq!(on_result.pruned, 0);
+        let on_trace: Vec<f64> = on_result
+            .trace
+            .points
+            .iter()
+            .map(|p| p.candidate_mrr)
+            .collect();
+        let off_trace: Vec<f64> = off_result
+            .trace
+            .points
+            .iter()
+            .map(|p| p.candidate_mrr)
+            .collect();
+        assert_eq!(on_trace, off_trace);
     }
 
     #[test]

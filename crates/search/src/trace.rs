@@ -45,6 +45,61 @@ impl TracePoint {
     }
 }
 
+/// One candidate rejected by the static numeric certifier before any
+/// training step was spent on it.
+///
+/// Pruned candidates live in their own list so [`SearchTrace::points`]
+/// — and every plot and comparison built from it — stays bit-identical
+/// between runs with the filter on and off: pruning removes work, not
+/// trace entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunedPoint {
+    /// Wall-clock seconds since the search started.
+    pub elapsed_secs: f64,
+    /// Pruned candidates so far (including this one).
+    pub ordinal: usize,
+    /// Audit diagnostic code of the refutation (`E801`, `E802`, `W801`).
+    pub code: String,
+    /// Human-readable certifier verdict.
+    pub reason: String,
+}
+
+impl ToJson for PrunedPoint {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("elapsed_secs", self.elapsed_secs)
+            .set("ordinal", self.ordinal)
+            .set("code", self.code.as_str())
+            .set("reason", self.reason.as_str())
+    }
+}
+
+impl PrunedPoint {
+    /// Rebuild from the JSON written by [`ToJson`].
+    pub fn from_json(v: &Json) -> Result<PrunedPoint, String> {
+        Ok(PrunedPoint {
+            elapsed_secs: v
+                .get("elapsed_secs")
+                .and_then(Json::as_f64)
+                .ok_or("PrunedPoint: missing `elapsed_secs`")?,
+            ordinal: v
+                .get("ordinal")
+                .and_then(Json::as_usize)
+                .ok_or("PrunedPoint: missing `ordinal`")?,
+            code: v
+                .get("code")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or("PrunedPoint: missing `code`")?,
+            reason: v
+                .get("reason")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or("PrunedPoint: missing `reason`")?,
+        })
+    }
+}
+
 /// Time-ordered evaluation log of one search run.
 #[derive(Debug, Clone, Default)]
 pub struct SearchTrace {
@@ -54,6 +109,9 @@ pub struct SearchTrace {
     pub dataset: String,
     /// The recorded points.
     pub points: Vec<TracePoint>,
+    /// Candidates rejected by the static certifier (zero training
+    /// cost; kept out of [`SearchTrace::points`] deliberately).
+    pub pruned: Vec<PrunedPoint>,
 }
 
 impl SearchTrace {
@@ -63,7 +121,18 @@ impl SearchTrace {
             method: method.to_owned(),
             dataset: dataset.to_owned(),
             points: Vec::new(),
+            pruned: Vec::new(),
         }
+    }
+
+    /// Append a statically pruned candidate.
+    pub fn record_pruned(&mut self, elapsed_secs: f64, code: &str, reason: &str) {
+        self.pruned.push(PrunedPoint {
+            elapsed_secs,
+            ordinal: self.pruned.len() + 1,
+            code: code.to_owned(),
+            reason: reason.to_owned(),
+        });
     }
 
     /// Append an evaluation, maintaining the running best.
@@ -121,10 +190,20 @@ impl SearchTrace {
             .iter()
             .map(TracePoint::from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // Tolerant of traces written before static pruning existed:
+        // a missing `pruned` array reads back as empty.
+        let pruned = match v.get("pruned").and_then(Json::as_arr) {
+            Some(arr) => arr
+                .iter()
+                .map(PrunedPoint::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(SearchTrace {
             method: text("method")?,
             dataset: text("dataset")?,
             points,
+            pruned,
         })
     }
 }
@@ -135,6 +214,7 @@ impl ToJson for SearchTrace {
             .set("method", self.method.as_str())
             .set("dataset", self.dataset.as_str())
             .set("points", self.points.to_json())
+            .set("pruned", self.pruned.to_json())
     }
 }
 
@@ -186,6 +266,34 @@ mod tests {
         let bad_point =
             Json::parse("{\"method\":\"m\",\"dataset\":\"d\",\"points\":[{}]}").unwrap();
         assert!(SearchTrace::from_json(&bad_point).is_err());
+    }
+
+    #[test]
+    fn pruned_entries_roundtrip_and_stay_out_of_points() {
+        let mut t = SearchTrace::new("eras", "tiny");
+        t.record(1.0, 0.4);
+        t.record_pruned(1.5, "W801", "vanishing gradient: h4 dead");
+        t.record(2.0, 0.5);
+        assert_eq!(t.len(), 2, "pruning must not add evaluation points");
+        assert_eq!(t.pruned.len(), 1);
+        assert_eq!(t.pruned[0].ordinal, 1);
+        let json = t.to_json().to_pretty();
+        let back = SearchTrace::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.pruned, t.pruned);
+        assert_eq!(back.points, t.points);
+    }
+
+    #[test]
+    fn traces_without_pruned_field_still_parse() {
+        // Pre-pruning trace files carry no `pruned` array.
+        let old = Json::parse(
+            "{\"method\":\"m\",\"dataset\":\"d\",\"points\":[{\"elapsed_secs\":1.0,\
+             \"evaluations\":1,\"candidate_mrr\":0.2,\"best_mrr\":0.2}]}",
+        )
+        .unwrap();
+        let t = SearchTrace::from_json(&old).unwrap();
+        assert!(t.pruned.is_empty());
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

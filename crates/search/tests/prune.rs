@@ -1,0 +1,159 @@
+//! Search-time static pruning: the numeric certifier rejects degenerate
+//! candidates before any training step is spent on them, and the filter
+//! never changes what the search *finds* — only what it pays for.
+//!
+//! The shipped searchers already reject structurally degenerate
+//! proposals, so these tests inject degenerate candidates straight into
+//! the evaluator, the way a buggy or third-party searcher would.
+
+use eras_data::{FilterIndex, Preset};
+use eras_search::evaluator::{SearchBudget, StandaloneEvaluator};
+use eras_sf::{zoo, BlockSf, Op};
+use eras_train::trainer::TrainConfig;
+
+fn fast_cfg() -> TrainConfig {
+    TrainConfig {
+        dim: 16,
+        max_epochs: 2,
+        eval_every: 1,
+        patience: 1,
+        ..TrainConfig::default()
+    }
+}
+
+/// A structure with an empty row: h4's gradient is identically zero
+/// under any declared bounds, so the certifier refutes it as W801.
+fn dead_row_sf() -> BlockSf {
+    let mut sf = zoo::distmult(4);
+    sf.set(3, 3, Op::Zero);
+    sf
+}
+
+/// ≥1 seeded degenerate candidate is statically skipped: zero training
+/// budget, Some(0.0) score, and a W801 entry in the pruned trace.
+#[test]
+fn degenerate_candidate_is_statically_skipped() {
+    let dataset = Preset::Tiny.build(1);
+    let filter = FilterIndex::build(&dataset);
+    let mut ev = StandaloneEvaluator::new(
+        "prune-smoke",
+        &dataset,
+        &filter,
+        fast_cfg(),
+        SearchBudget::default(),
+    );
+
+    let batch = vec![dead_row_sf(), zoo::distmult(4)];
+    let mrrs = ev.evaluate_batch(&batch);
+    assert_eq!(mrrs[0], Some(0.0), "refuted candidate scores 0.0, not None");
+    assert!(mrrs[1].unwrap() > 0.0, "sound candidate still trains");
+
+    assert_eq!(ev.pruned(), 1);
+    assert_eq!(
+        ev.evaluations(),
+        1,
+        "the pruned candidate cost zero evaluations"
+    );
+
+    let result = ev.finish();
+    assert_eq!(result.pruned, 1);
+    assert_eq!(result.trace.pruned.len(), 1);
+    assert_eq!(result.trace.pruned[0].code, "W801");
+    assert!(result.trace.pruned[0].reason.contains("vanishing gradient"));
+    assert_eq!(
+        result.trace.len(),
+        1,
+        "pruned candidates never appear in trace.points"
+    );
+}
+
+/// Filter on vs off over a mixed batch: identical winner, identical
+/// MRRs for every trained candidate, and bit-identical `trace.points`.
+/// Pruning removes work, never information.
+#[test]
+fn filter_on_and_off_agree_on_trained_candidates() {
+    let dataset = Preset::Tiny.build(1);
+    let filter = FilterIndex::build(&dataset);
+    let batch = vec![dead_row_sf(), zoo::distmult(4), zoo::complex()];
+
+    let mut on =
+        StandaloneEvaluator::new("on", &dataset, &filter, fast_cfg(), SearchBudget::default());
+    let on_mrrs = on.evaluate_batch(&batch);
+    let on_result = on.finish();
+
+    let mut off = StandaloneEvaluator::new(
+        "off",
+        &dataset,
+        &filter,
+        fast_cfg(),
+        SearchBudget::default(),
+    )
+    .numeric_filter(false);
+    let off_mrrs = off.evaluate_batch(&batch);
+    let off_result = off.finish();
+
+    // The trained candidates score identically either way, and the
+    // winner among the *sound* candidates is the same structure with
+    // the same MRR. (The filter-off run may crown the degenerate
+    // candidate itself on this toy dataset — wasting budget on it is
+    // precisely what the filter prevents.)
+    assert_eq!(on_mrrs[1], off_mrrs[1]);
+    assert_eq!(on_mrrs[2], off_mrrs[2]);
+    let off_sound_best = if off_mrrs[1] >= off_mrrs[2] {
+        (&batch[1], off_mrrs[1].unwrap())
+    } else {
+        (&batch[2], off_mrrs[2].unwrap())
+    };
+    assert_eq!(&on_result.best_sf, off_sound_best.0);
+    assert_eq!(on_result.best_mrr, off_sound_best.1);
+
+    // With the filter off, the degenerate candidate trains (wasting
+    // budget) and lands in trace.points; with it on, the same points
+    // minus that wasted evaluation — and the wasted one scores no
+    // better than the statically assigned 0.0 anyway.
+    assert_eq!(on_result.pruned, 1);
+    assert_eq!(off_result.pruned, 0);
+    assert_eq!(on_result.evaluations + 1, off_result.evaluations);
+
+    let on_points: Vec<f64> = on_result
+        .trace
+        .points
+        .iter()
+        .map(|p| p.candidate_mrr)
+        .collect();
+    let off_points: Vec<f64> = off_result
+        .trace
+        .points
+        .iter()
+        .map(|p| p.candidate_mrr)
+        .collect();
+    // Every trained candidate's point is identical; the filter-off run
+    // just has the extra degenerate evaluation interleaved.
+    for mrr in &on_points {
+        assert!(off_points.contains(mrr));
+    }
+}
+
+/// The pruned memo is keyed by canonical form: re-offering the same
+/// degenerate structure (or a permuted variant) never re-certifies or
+/// re-records it.
+#[test]
+fn pruned_memo_deduplicates_reoffers() {
+    let dataset = Preset::Tiny.build(1);
+    let filter = FilterIndex::build(&dataset);
+    let mut ev = StandaloneEvaluator::new(
+        "memo",
+        &dataset,
+        &filter,
+        fast_cfg(),
+        SearchBudget::default(),
+    );
+    let sf = dead_row_sf();
+    assert_eq!(ev.evaluate(&sf), Some(0.0));
+    assert_eq!(ev.evaluate(&sf), Some(0.0));
+    assert_eq!(ev.evaluate(&sf), Some(0.0));
+    assert_eq!(ev.pruned(), 1, "one unique refuted structure, one record");
+    // finish() requires at least one *trained* candidate.
+    ev.evaluate(&zoo::distmult(4));
+    assert_eq!(ev.finish().trace.pruned.len(), 1);
+}

@@ -26,6 +26,10 @@
 //! - [`canonical`] — canonicalisation under the space's symmetry group
 //!   (simultaneous block permutation + per-block sign flips), used to
 //!   deduplicate candidates during search;
+//! - [`numeric`] — abstract interpretation of the DSL: guaranteed
+//!   score/gradient intervals under declared embedding-norm bounds
+//!   ([`numeric::certify`]), backing the `eras audit --pass numeric`
+//!   certifier and the search-time static pruning filter;
 //! - [`features`] — the symmetry-related structural features the AutoSF
 //!   predictor ranks candidates with;
 //! - [`render`] — the grid pretty-printer behind Figures 3 and 4;
@@ -39,6 +43,7 @@ pub mod block_sf;
 pub mod canonical;
 pub mod expressive;
 pub mod features;
+pub mod numeric;
 pub mod op;
 pub mod render;
 pub mod space;
@@ -46,4 +51,5 @@ pub mod zoo;
 
 pub use block_sf::BlockSf;
 pub use expressive::Expressiveness;
+pub use numeric::NormBounds;
 pub use op::Op;

@@ -1,0 +1,377 @@
+//! The abstract numeric domain: closed `f64` intervals extended with a
+//! NaN-reachability flag.
+//!
+//! An [`AbsVal`] `{lo, hi, nan}` represents the set of values
+//! `[lo, hi] ∪ (nan ? {NaN} : ∅)` with `lo ≤ hi` and endpoints in the
+//! affinely extended reals (`±∞` allowed). The transfer functions are
+//! *sound over-approximations* of real arithmetic under IEEE-754
+//! semantics: for every concrete input drawn from the operand sets, the
+//! concrete result is a member of the result set. The two float-only
+//! hazards — `∞ − ∞` in addition and `0 · ∞` in multiplication — are
+//! detected set-wise (does one operand contain `±∞` while the other
+//! contains the matching value?) rather than endpoint-wise, because the
+//! hazardous point can sit strictly inside an interval.
+
+/// Sign summary of an interval (ignoring the NaN flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Every member is `< 0`.
+    Negative,
+    /// The interval is exactly `[0, 0]`.
+    Zero,
+    /// Every member is `> 0`.
+    Positive,
+    /// The interval straddles zero (or touches it at one end).
+    Mixed,
+}
+
+/// One abstract value: a closed interval plus NaN reachability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsVal {
+    /// Lower interval endpoint (may be `-∞`).
+    pub lo: f64,
+    /// Upper interval endpoint (may be `+∞`).
+    pub hi: f64,
+    /// Can the concrete value be NaN?
+    pub nan: bool,
+}
+
+impl AbsVal {
+    /// The singleton `{c}` (or `{NaN}` when `c` is NaN).
+    pub fn exact(c: f64) -> AbsVal {
+        if c.is_nan() {
+            AbsVal {
+                lo: f64::INFINITY,
+                hi: f64::NEG_INFINITY,
+                nan: true,
+            }
+            .normalised()
+        } else {
+            AbsVal {
+                lo: c,
+                hi: c,
+                nan: false,
+            }
+        }
+    }
+
+    /// The interval `[lo, hi]`, NaN-free. Panics when `lo > hi` or an
+    /// endpoint is NaN.
+    pub fn range(lo: f64, hi: f64) -> AbsVal {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval endpoint is NaN");
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        AbsVal { lo, hi, nan: false }
+    }
+
+    /// The symmetric interval `[-b, b]` for `b ≥ 0`.
+    pub fn symmetric(b: f64) -> AbsVal {
+        if b.is_nan() {
+            return AbsVal::top().with_nan();
+        }
+        assert!(b >= 0.0, "symmetric bound must be non-negative");
+        AbsVal::range(-b, b)
+    }
+
+    /// Everything except NaN: `[-∞, +∞]`.
+    pub fn top() -> AbsVal {
+        AbsVal::range(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// The same set with NaN added.
+    pub fn with_nan(self) -> AbsVal {
+        AbsVal { nan: true, ..self }
+    }
+
+    fn normalised(self) -> AbsVal {
+        // Internal helper for the "pure NaN" singleton: collapse the
+        // deliberately-inverted interval to an empty-ish zero range so
+        // lo ≤ hi holds everywhere downstream. {NaN} ∪ [0,0] is a sound
+        // superset of {NaN}.
+        if self.lo > self.hi {
+            AbsVal {
+                lo: 0.0,
+                hi: 0.0,
+                nan: self.nan,
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Does the set contain `x`? NaN is a member iff the flag is set.
+    pub fn contains(&self, x: f64) -> bool {
+        if x.is_nan() {
+            self.nan
+        } else {
+            self.lo <= x && x <= self.hi
+        }
+    }
+
+    /// Does the interval contain zero?
+    #[inline]
+    pub fn contains_zero(&self) -> bool {
+        self.lo <= 0.0 && 0.0 <= self.hi
+    }
+
+    /// Does the interval reach `-∞` or `+∞`?
+    #[inline]
+    pub fn contains_inf(&self) -> bool {
+        self.lo == f64::NEG_INFINITY || self.hi == f64::INFINITY
+    }
+
+    /// Is the set exactly `{0}` (the identically-zero value)?
+    #[inline]
+    pub fn is_identically_zero(&self) -> bool {
+        self.lo == 0.0 && self.hi == 0.0 && !self.nan
+    }
+
+    /// Both endpoints finite and no NaN member.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite() && !self.nan
+    }
+
+    /// Largest magnitude in the interval: `max(|lo|, |hi|)`.
+    #[inline]
+    pub fn abs_max(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// Sign summary (NaN flag ignored).
+    pub fn sign(&self) -> Sign {
+        if self.is_identically_zero() || (self.lo == 0.0 && self.hi == 0.0) {
+            Sign::Zero
+        } else if self.hi < 0.0 {
+            Sign::Negative
+        } else if self.lo > 0.0 {
+            Sign::Positive
+        } else {
+            Sign::Mixed
+        }
+    }
+
+    /// Set union (interval hull, NaN flags or-ed).
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            nan: self.nan || other.nan,
+        }
+    }
+
+    /// Scale by a non-negative finite constant (used to lift a
+    /// per-coordinate bound to a `block_size`-coordinate sum).
+    pub fn scale(self, k: f64) -> AbsVal {
+        assert!(k.is_finite() && k >= 0.0);
+        self * AbsVal::exact(k)
+    }
+}
+
+/// Abstract negation: `-[lo, hi] = [-hi, -lo]`.
+impl std::ops::Neg for AbsVal {
+    type Output = AbsVal;
+
+    fn neg(self) -> AbsVal {
+        AbsVal {
+            lo: -self.hi,
+            hi: -self.lo,
+            nan: self.nan,
+        }
+    }
+}
+
+/// Abstract addition.
+///
+/// `x + y` is NaN exactly when `{x, y} = {+∞, -∞}`; that pair is
+/// drawable iff one operand contains `+∞` and the other `-∞`. The
+/// endpoint sums are monotone otherwise; a NaN endpoint sum (which
+/// only arises in the flagged case) saturates to the matching
+/// infinity.
+impl std::ops::Add for AbsVal {
+    type Output = AbsVal;
+
+    fn add(self, other: AbsVal) -> AbsVal {
+        let nan = self.nan
+            || other.nan
+            || (self.hi == f64::INFINITY && other.lo == f64::NEG_INFINITY)
+            || (self.lo == f64::NEG_INFINITY && other.hi == f64::INFINITY);
+        let lo = self.lo + other.lo;
+        let hi = self.hi + other.hi;
+        AbsVal {
+            lo: if lo.is_nan() { f64::NEG_INFINITY } else { lo },
+            hi: if hi.is_nan() { f64::INFINITY } else { hi },
+            nan,
+        }
+    }
+}
+
+/// Abstract multiplication.
+///
+/// `x · y` is NaN exactly when one factor is `±∞` and the other is
+/// `±0`; that pair is drawable iff one operand contains an infinity
+/// and the other contains zero — and zero can sit strictly *inside*
+/// an interval, so the hazard is tested set-wise, not on endpoints.
+/// In the hazard case the interval part widens to `[-∞, +∞]` (a
+/// product with one factor near zero and the other near `±∞` can
+/// land anywhere). Otherwise the result is the hull of the four
+/// endpoint products, none of which can be NaN.
+impl std::ops::Mul for AbsVal {
+    type Output = AbsVal;
+
+    fn mul(self, other: AbsVal) -> AbsVal {
+        let hazard = (self.contains_zero() && other.contains_inf())
+            || (other.contains_zero() && self.contains_inf());
+        if hazard {
+            return AbsVal {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+                nan: true,
+            };
+        }
+        let cands = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in cands {
+            debug_assert!(!c.is_nan(), "endpoint product NaN outside hazard case");
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        AbsVal {
+            lo,
+            hi,
+            nan: self.nan || other.nan,
+        }
+    }
+}
+
+impl AbsVal {
+    /// Outward widening: pad both endpoints by `abs + rel · |endpoint|`
+    /// so that the certified interval absorbs `f32` round-off in the
+    /// concrete kernels. Identity on non-finite endpoints and on the
+    /// exact `[0, 0]` — a structurally absent term evaluates to exactly
+    /// `0.0` in every float width, and padding it would hide
+    /// identically-dead gradients.
+    pub fn widen_outward(self, rel: f64, abs: f64) -> AbsVal {
+        if self.lo == 0.0 && self.hi == 0.0 {
+            return self;
+        }
+        let pad = |e: f64| abs + rel * e.abs();
+        AbsVal {
+            lo: if self.lo.is_finite() {
+                self.lo - pad(self.lo)
+            } else {
+                self.lo
+            },
+            hi: if self.hi.is_finite() {
+                self.hi + pad(self.hi)
+            } else {
+                self.hi
+            },
+            nan: self.nan,
+        }
+    }
+}
+
+impl std::fmt::Display for AbsVal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.6e}, {:.6e}]", self.lo, self.hi)?;
+        if self.nan {
+            write!(f, " ∪ {{NaN}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_range_membership() {
+        let v = AbsVal::range(-1.0, 2.0);
+        assert!(v.contains(-1.0) && v.contains(0.5) && v.contains(2.0));
+        assert!(!v.contains(2.1) && !v.contains(f64::NAN));
+        assert!(AbsVal::exact(f64::NAN).contains(f64::NAN));
+    }
+
+    #[test]
+    fn add_detects_inf_minus_inf() {
+        let pos = AbsVal::range(0.0, f64::INFINITY);
+        let neg = AbsVal::range(f64::NEG_INFINITY, 0.0);
+        let s = pos + neg;
+        assert!(s.nan, "∞ + (-∞) must flag NaN");
+        assert!(s.contains(0.0) && s.contains(f64::INFINITY));
+        // Finite addition stays NaN-free and tight.
+        let t = AbsVal::range(1.0, 2.0) + AbsVal::range(-3.0, 4.0);
+        assert_eq!((t.lo, t.hi, t.nan), (-2.0, 6.0, false));
+    }
+
+    #[test]
+    fn mul_detects_zero_times_inf_interior() {
+        // Zero strictly inside one operand, ∞ as endpoint of the other:
+        // no endpoint product is NaN, yet 0 · ∞ is drawable.
+        let around_zero = AbsVal::range(-1.0, 1.0);
+        let to_inf = AbsVal::range(1.0, f64::INFINITY);
+        let p = around_zero * to_inf;
+        assert!(p.nan, "0 · ∞ must flag NaN even off-endpoint");
+        // Finite products are exact hulls.
+        let q = AbsVal::range(-2.0, 3.0) * AbsVal::range(-1.0, 4.0);
+        assert_eq!((q.lo, q.hi, q.nan), (-8.0, 12.0, false));
+    }
+
+    #[test]
+    fn mul_soundness_random_sampling() {
+        // Deterministic LCG sampling: every concrete product must land
+        // in the abstract product.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+        };
+        for _ in 0..200 {
+            let (a, b) = (next(), next());
+            let (c, d) = (next(), next());
+            let ia = AbsVal::range(a.min(b), a.max(b));
+            let ib = AbsVal::range(c.min(d), c.max(d));
+            let prod = ia * ib;
+            let sum = ia + ib;
+            for t in 0..=4 {
+                let x = ia.lo + (ia.hi - ia.lo) * t as f64 / 4.0;
+                let y = ib.lo + (ib.hi - ib.lo) * t as f64 / 4.0;
+                assert!(prod.contains(x * y), "{x}·{y} ∉ {prod}");
+                assert!(sum.contains(x + y), "{x}+{y} ∉ {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_summary() {
+        assert_eq!(AbsVal::range(1.0, 2.0).sign(), Sign::Positive);
+        assert_eq!(AbsVal::range(-2.0, -1.0).sign(), Sign::Negative);
+        assert_eq!(AbsVal::exact(0.0).sign(), Sign::Zero);
+        assert_eq!(AbsVal::range(-1.0, 1.0).sign(), Sign::Mixed);
+    }
+
+    #[test]
+    fn widen_is_outward_and_identity_on_inf() {
+        let v = AbsVal::range(-1.0, 2.0).widen_outward(1e-4, 1e-6);
+        assert!(v.lo < -1.0 && v.hi > 2.0);
+        let t = AbsVal::top().widen_outward(1e-4, 1e-6);
+        assert_eq!((t.lo, t.hi), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn zero_is_absorbing_for_finite_mul() {
+        let z = AbsVal::exact(0.0);
+        let v = AbsVal::range(-3.0, 5.0);
+        let p = z * v;
+        assert!(p.is_identically_zero());
+    }
+}

@@ -1,0 +1,280 @@
+//! A tiny expression IR for the per-coordinate semantics of a block
+//! scoring function, with concrete evaluation, abstract evaluation over
+//! [`AbsVal`], and symbolic differentiation.
+//!
+//! The multilinear score `f(h, r, t) = Σ_{i,j} ⟨h_i, o_{ij}, t_j⟩`
+//! decomposes coordinate-wise: every coordinate `k` of a block
+//! contributes `Σ_cells sign · h_i[k] · r_b[k] · t_j[k]`, and the
+//! per-coordinate factors of different blocks share nothing but their
+//! declared bounds. The IR therefore needs one scalar variable per
+//! (role, block) pair — [`Var`] — and only the operations the DSL can
+//! produce: constants, negation, addition, multiplication.
+
+use super::domain::AbsVal;
+use crate::op::Op;
+
+/// Which embedding a variable belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// Head-entity block `h_i`.
+    Head,
+    /// Relation block `r_b`.
+    Rel,
+    /// Tail-entity block `t_j`.
+    Tail,
+}
+
+impl Role {
+    /// Display prefix matching the paper's notation.
+    pub fn letter(self) -> char {
+        match self {
+            Role::Head => 'h',
+            Role::Rel => 'r',
+            Role::Tail => 't',
+        }
+    }
+}
+
+/// One scalar variable: a single coordinate of block `block` of the
+/// head, relation, or tail embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var {
+    /// Embedding the variable comes from.
+    pub role: Role,
+    /// 0-based block index, `< M`.
+    pub block: u8,
+}
+
+impl Var {
+    /// Head-block variable.
+    pub fn head(block: u8) -> Var {
+        Var {
+            role: Role::Head,
+            block,
+        }
+    }
+
+    /// Relation-block variable.
+    pub fn rel(block: u8) -> Var {
+        Var {
+            role: Role::Rel,
+            block,
+        }
+    }
+
+    /// Tail-block variable.
+    pub fn tail(block: u8) -> Var {
+        Var {
+            role: Role::Tail,
+            block,
+        }
+    }
+
+    /// All `3M` variables of an `M`-block structure, heads first, then
+    /// relations, then tails — the certificate's gradient order.
+    pub fn all(m: usize) -> Vec<Var> {
+        let mut vars = Vec::with_capacity(3 * m);
+        for b in 0..m as u8 {
+            vars.push(Var::head(b));
+        }
+        for b in 0..m as u8 {
+            vars.push(Var::rel(b));
+        }
+        for b in 0..m as u8 {
+            vars.push(Var::tail(b));
+        }
+        vars
+    }
+}
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.role.letter(), self.block + 1)
+    }
+}
+
+/// Expression over per-coordinate scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Const(f64),
+    /// A per-coordinate embedding scalar.
+    Var(Var),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// The zero expression.
+    pub fn zero() -> Expr {
+        Expr::Const(0.0)
+    }
+
+    /// The signed tri-linear item `sign(op) · h_i · r_b · t_j` for one
+    /// non-zero grid cell, or zero for `Op::Zero`.
+    pub fn item(i: usize, j: usize, op: Op) -> Expr {
+        let Some(b) = op.block() else {
+            return Expr::zero();
+        };
+        let prod = Expr::Mul(
+            Box::new(Expr::Var(Var::head(i as u8))),
+            Box::new(Expr::Mul(
+                Box::new(Expr::Var(Var::rel(b))),
+                Box::new(Expr::Var(Var::tail(j as u8))),
+            )),
+        );
+        if op.sign() < 0.0 {
+            Expr::Neg(Box::new(prod))
+        } else {
+            prod
+        }
+    }
+
+    /// Left fold of `terms` under addition (`zero()` for an empty list).
+    pub fn sum(terms: Vec<Expr>) -> Expr {
+        let mut it = terms.into_iter();
+        let Some(first) = it.next() else {
+            return Expr::zero();
+        };
+        it.fold(first, |acc, t| Expr::Add(Box::new(acc), Box::new(t)))
+    }
+
+    /// Concrete evaluation under an environment.
+    pub fn eval(&self, env: &impl Fn(Var) -> f64) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => env(*v),
+            Expr::Neg(e) => -e.eval(env),
+            Expr::Add(a, b) => a.eval(env) + b.eval(env),
+            Expr::Mul(a, b) => a.eval(env) * b.eval(env),
+        }
+    }
+
+    /// Abstract evaluation: every concrete evaluation under an
+    /// environment `σ` with `σ(v) ∈ abs_env(v)` lands inside the result
+    /// (transfer-function soundness is inherited from [`AbsVal`]).
+    pub fn eval_abs(&self, abs_env: &impl Fn(Var) -> AbsVal) -> AbsVal {
+        match self {
+            Expr::Const(c) => AbsVal::exact(*c),
+            Expr::Var(v) => abs_env(*v),
+            Expr::Neg(e) => -e.eval_abs(abs_env),
+            Expr::Add(a, b) => a.eval_abs(abs_env) + b.eval_abs(abs_env),
+            Expr::Mul(a, b) => a.eval_abs(abs_env) * b.eval_abs(abs_env),
+        }
+    }
+
+    /// Symbolic partial derivative `∂self/∂v`.
+    ///
+    /// Product rule on `Mul`, linearity elsewhere. The result is not
+    /// simplified; abstract evaluation of an unsimplified derivative
+    /// still yields exactly `[0, 0]` for untouched variables, because
+    /// `Const(0)` is absorbing under finite multiplication.
+    pub fn diff(&self, v: Var) -> Expr {
+        match self {
+            Expr::Const(_) => Expr::zero(),
+            Expr::Var(w) => {
+                if *w == v {
+                    Expr::Const(1.0)
+                } else {
+                    Expr::zero()
+                }
+            }
+            Expr::Neg(e) => Expr::Neg(Box::new(e.diff(v))),
+            Expr::Add(a, b) => Expr::Add(Box::new(a.diff(v)), Box::new(b.diff(v))),
+            Expr::Mul(a, b) => Expr::Add(
+                Box::new(Expr::Mul(Box::new(a.diff(v)), b.clone())),
+                Box::new(Expr::Mul(a.clone(), Box::new(b.diff(v)))),
+            ),
+        }
+    }
+
+    /// Does the expression mention `v`?
+    pub fn uses(&self, v: Var) -> bool {
+        match self {
+            Expr::Const(_) => false,
+            Expr::Var(w) => *w == v,
+            Expr::Neg(e) => e.uses(v),
+            Expr::Add(a, b) | Expr::Mul(a, b) => a.uses(v) || b.uses(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_one(assign: &[(Var, f64)]) -> impl Fn(Var) -> f64 + '_ {
+        move |v| {
+            assign
+                .iter()
+                .find(|(w, _)| *w == v)
+                .map(|(_, x)| *x)
+                .unwrap_or(0.0)
+        }
+    }
+
+    #[test]
+    fn item_evaluates_trilinear_product() {
+        let e = Expr::item(0, 1, Op::neg(2));
+        let env = [
+            (Var::head(0), 2.0),
+            (Var::rel(2), 3.0),
+            (Var::tail(1), -4.0),
+        ];
+        assert_eq!(e.eval(&env_one(&env)), 24.0); // -(2 · 3 · -4)
+        assert_eq!(Expr::item(0, 0, Op::Zero).eval(&env_one(&[])), 0.0);
+    }
+
+    #[test]
+    fn diff_product_rule() {
+        // d/dh0 [h0 · r0 · t0] = r0 · t0
+        let e = Expr::item(0, 0, Op::pos(0));
+        let d = e.diff(Var::head(0));
+        let env = [(Var::head(0), 7.0), (Var::rel(0), 3.0), (Var::tail(0), 5.0)];
+        assert_eq!(d.eval(&env_one(&env)), 15.0);
+        // Untouched variable: derivative is identically zero, even
+        // abstractly with wide finite bounds.
+        let dz = e.diff(Var::head(1));
+        let abs = dz.eval_abs(&|_| AbsVal::symmetric(1e6));
+        assert!(abs.is_identically_zero());
+    }
+
+    #[test]
+    fn abstract_eval_contains_concrete_eval() {
+        let e = Expr::sum(vec![
+            Expr::item(0, 0, Op::pos(0)),
+            Expr::item(1, 0, Op::neg(1)),
+            Expr::item(1, 1, Op::pos(0)),
+        ]);
+        let abs = e.eval_abs(&|_| AbsVal::range(-2.0, 2.0));
+        // Grid of concrete assignments inside the bounds.
+        for a in [-2.0, -1.0, 0.0, 1.5, 2.0] {
+            for b in [-2.0, 0.5, 2.0] {
+                let val = e.eval(&|v: Var| match v.role {
+                    Role::Head => a,
+                    Role::Rel => b,
+                    Role::Tail => -a,
+                });
+                assert!(abs.contains(val), "{val} ∉ {abs}");
+            }
+        }
+    }
+
+    #[test]
+    fn var_order_and_display() {
+        let vars = Var::all(2);
+        assert_eq!(vars.len(), 6);
+        assert_eq!(vars[0].to_string(), "h1");
+        assert_eq!(vars[2].to_string(), "r1");
+        assert_eq!(vars[5].to_string(), "t2");
+    }
+
+    #[test]
+    fn sum_of_empty_is_zero() {
+        assert_eq!(Expr::sum(vec![]).eval(&|_| 1.0), 0.0);
+    }
+}

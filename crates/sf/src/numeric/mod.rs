@@ -1,0 +1,366 @@
+//! Numeric abstract interpretation for the SF DSL: given declared
+//! embedding-norm bounds, derive *guaranteed* score and
+//! analytic-gradient intervals for a [`BlockSf`] and classify it as
+//! certified, vanishing-gradient, or refuted — without training a
+//! single step.
+//!
+//! This is the abstract counterpart of the concrete semantics in
+//! `eras-train`'s `BlockModel`: the score
+//! `f(h, r, t) = Σ_{i,j} ⟨h_i, o_{ij}, t_j⟩` is multilinear and
+//! coordinate-separable, so a single per-coordinate expression
+//! (`Σ_cells sign · h_i[k] · r_b[k] · t_j[k]`, built in [`expr`])
+//! evaluated over the interval domain ([`domain`]) and scaled by the
+//! block size bounds the whole score; its symbolic derivatives bound
+//! every analytic gradient coordinate. The `eras audit --pass numeric`
+//! pass drives [`certify`] over the preset corpus and the search
+//! space, and `eras-search` consults it before spending training
+//! budget on a candidate.
+//!
+//! Soundness contract: the certified intervals are real-arithmetic
+//! bounds widened outward by [`WIDEN_REL`]/[`WIDEN_ABS`] to absorb
+//! `f32` round-off in the concrete kernels, so every concrete score
+//! and gradient coordinate computed from embeddings inside the
+//! declared bounds lies within its certified interval (fuzz-checked in
+//! `crates/audit/tests/numeric_soundness.rs`).
+
+pub mod domain;
+pub mod expr;
+
+pub use domain::{AbsVal, Sign};
+pub use expr::{Expr, Role, Var};
+
+use crate::block_sf::BlockSf;
+
+/// Relative outward widening applied to certified intervals, covering
+/// accumulated `f32` rounding across a block-sized dot product.
+pub const WIDEN_REL: f64 = 1e-4;
+/// Absolute outward widening floor (covers round-off near zero).
+pub const WIDEN_ABS: f64 = 1e-6;
+
+/// Declared per-coordinate magnitude bounds on the embedding tables:
+/// the numeric contract under which a certificate holds.
+///
+/// Every entity-embedding coordinate is declared to stay in
+/// `[-entity_abs, entity_abs]` and every relation coordinate in
+/// `[-relation_abs, relation_abs]`. The defaults comfortably cover the
+/// trainer's uniform init scale `√(6/d)/3` plus regularised drift;
+/// they are a *declared* contract (the certificate is conditional on
+/// it), not an enforced clamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormBounds {
+    /// Per-coordinate bound on entity embeddings (head and tail), `≥ 0`.
+    pub entity_abs: f32,
+    /// Per-coordinate bound on relation embeddings, `≥ 0`.
+    pub relation_abs: f32,
+}
+
+impl Default for NormBounds {
+    fn default() -> Self {
+        NormBounds {
+            entity_abs: 1.0,
+            relation_abs: 1.0,
+        }
+    }
+}
+
+impl NormBounds {
+    /// Same bound for entities and relations.
+    pub fn uniform(b: f32) -> NormBounds {
+        NormBounds {
+            entity_abs: b,
+            relation_abs: b,
+        }
+    }
+
+    /// Are both bounds finite and non-negative? Non-finite declared
+    /// bounds make NaN reachable (`0 · ∞` inside the score) and refute
+    /// every structure.
+    pub fn is_declared_finite(&self) -> bool {
+        self.entity_abs.is_finite()
+            && self.relation_abs.is_finite()
+            && self.entity_abs >= 0.0
+            && self.relation_abs >= 0.0
+    }
+
+    /// Abstract value of one coordinate of the given variable.
+    pub fn abs_of(&self, var: Var) -> AbsVal {
+        let b = match var.role {
+            Role::Head | Role::Tail => self.entity_abs as f64,
+            Role::Rel => self.relation_abs as f64,
+        };
+        AbsVal::symmetric(b)
+    }
+}
+
+/// Why a structure was refuted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refutation {
+    /// A score or gradient bound exceeds the `f32` range (overflow to
+    /// `∞` is reachable under the declared bounds).
+    UnsoundRange,
+    /// NaN is reachable (non-finite declared bounds, `∞ − ∞`, or
+    /// `0 · ∞` inside the evaluation).
+    NanReachable,
+}
+
+/// Certification outcome for one structure under one bounds contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Finite score and gradient intervals, no gradient identically
+    /// zero: safe to train.
+    Certified,
+    /// Some parameter block's analytic gradient is identically `[0, 0]`
+    /// — training can never move it. Lists the dead variables.
+    VanishingGradient(Vec<Var>),
+    /// Numerically unsound under the declared bounds.
+    Refuted(Refutation),
+}
+
+/// The certificate: guaranteed intervals plus the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SfCertificate {
+    /// Bounds contract the certificate is conditional on.
+    pub bounds: NormBounds,
+    /// Full embedding dimension `d`.
+    pub dim: usize,
+    /// Per-block size `d / M`.
+    pub block_size: usize,
+    /// Guaranteed interval for the total score `f(h, r, t)`.
+    pub score: AbsVal,
+    /// Guaranteed interval for each analytic gradient *coordinate*, in
+    /// [`Var::all`] order (heads, relations, tails): `∂f/∂v[k]` for any
+    /// coordinate `k` of parameter block `v`.
+    pub grads: Vec<(Var, AbsVal)>,
+    /// Classification.
+    pub verdict: Verdict,
+}
+
+impl SfCertificate {
+    /// Was the structure certified safe to train?
+    pub fn is_certified(&self) -> bool {
+        matches!(self.verdict, Verdict::Certified)
+    }
+
+    /// Was the structure statically refuted (unsound range or NaN)?
+    pub fn is_refuted(&self) -> bool {
+        matches!(self.verdict, Verdict::Refuted(_))
+    }
+
+    /// Largest score magnitude reachable under the contract.
+    pub fn score_abs_max(&self) -> f64 {
+        self.score.abs_max()
+    }
+
+    /// Gradient interval for one parameter block.
+    pub fn grad_for(&self, var: Var) -> Option<AbsVal> {
+        self.grads.iter().find(|(v, _)| *v == var).map(|(_, g)| *g)
+    }
+
+    /// Monotonicity of the score in one parameter block's coordinates,
+    /// read off the gradient interval's sign: `Positive` means the
+    /// score is non-decreasing in every coordinate of that block over
+    /// the whole contract box, `Negative` non-increasing, `Zero`
+    /// constant, `Mixed` direction-dependent.
+    pub fn monotonicity(&self, var: Var) -> Option<Sign> {
+        self.grad_for(var).map(|g| g.sign())
+    }
+}
+
+/// Build the per-coordinate score expression
+/// `Σ_cells sign · h_i[k] · r_b[k] · t_j[k]` of a structure.
+pub fn per_coord_expr(sf: &BlockSf) -> Expr {
+    Expr::sum(
+        sf.nonzero_cells()
+            .map(|(i, j, op)| Expr::item(i, j, op))
+            .collect(),
+    )
+}
+
+/// Certify one structure under a bounds contract at embedding
+/// dimension `dim` (which must be divisible by the block count `M`,
+/// matching the trainer's layout).
+///
+/// Derivation: with `e(k)` the per-coordinate expression, the score is
+/// `Σ_{k < d/M} e(k)` over independent coordinates sharing the same
+/// bounds, so `score ∈ (d/M) · eval_abs(e)`; each gradient coordinate
+/// `∂f/∂v[k] = ∂e(k)/∂v` needs no block-size factor. Both are widened
+/// outward ([`WIDEN_REL`]/[`WIDEN_ABS`]) before classification.
+pub fn certify(sf: &BlockSf, bounds: NormBounds, dim: usize) -> SfCertificate {
+    let m = sf.m();
+    assert!(
+        dim >= m && dim.is_multiple_of(m),
+        "dim {dim} must be a positive multiple of M={m}"
+    );
+    let block_size = dim / m;
+
+    let e = per_coord_expr(sf);
+    let env = |v: Var| bounds.abs_of(v);
+
+    let score = e
+        .eval_abs(&env)
+        .scale(block_size as f64)
+        .widen_outward(WIDEN_REL, WIDEN_ABS);
+
+    let grads: Vec<(Var, AbsVal)> = Var::all(m)
+        .into_iter()
+        .map(|v| {
+            let g = e.diff(v).eval_abs(&env).widen_outward(WIDEN_REL, WIDEN_ABS);
+            (v, g)
+        })
+        .collect();
+
+    let nan_reachable = score.nan || grads.iter().any(|(_, g)| g.nan);
+    let overflows = |v: &AbsVal| v.abs_max() > f32::MAX as f64;
+    let unsound = overflows(&score) || grads.iter().any(|(_, g)| overflows(g));
+    let dead: Vec<Var> = grads
+        .iter()
+        .filter(|(_, g)| g.is_identically_zero())
+        .map(|(v, _)| *v)
+        .collect();
+
+    let verdict = if nan_reachable {
+        Verdict::Refuted(Refutation::NanReachable)
+    } else if unsound {
+        Verdict::Refuted(Refutation::UnsoundRange)
+    } else if !dead.is_empty() {
+        Verdict::VanishingGradient(dead)
+    } else {
+        Verdict::Certified
+    };
+
+    SfCertificate {
+        bounds,
+        dim,
+        block_size,
+        score,
+        grads,
+        verdict,
+    }
+}
+
+/// Bound on any single coordinate of the serving-side fused query
+/// vector `q` (built by `query_with`: `q_j[k] = Σ_i sign · h_i[k] ·
+/// r_b[k]` per tail block `j`): the worst column accumulates one
+/// `entity · relation` product per non-zero cell in it.
+pub fn query_coord_abs_bound(sf: &BlockSf, bounds: NormBounds) -> f64 {
+    let m = sf.m();
+    let per_item = bounds.entity_abs as f64;
+    (0..m)
+        .map(|j| {
+            (0..m)
+                .map(|i| sf.get(i, j).abs_factor(bounds.relation_abs as f64) * per_item)
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::zoo;
+
+    #[test]
+    fn distmult_certifies_with_tight_score_bound() {
+        let sf = zoo::distmult(4);
+        let cert = certify(&sf, NormBounds::default(), 32);
+        assert!(cert.is_certified(), "verdict: {:?}", cert.verdict);
+        // 4 items · block size 8 · 1·1·1 per coordinate = ±8... per
+        // item only on its own diagonal coordinate set: per-coordinate
+        // expr has 4 terms → |e| ≤ 4, score ≤ 8 · 4 = 32 (+ widening).
+        assert!(cert.score.contains(0.0));
+        assert!(cert.score_abs_max() >= 32.0 && cert.score_abs_max() < 33.0);
+        // Gradient per coordinate: |∂f/∂h_i| ≤ 1 (one cell per row).
+        let g = cert.grad_for(Var::head(0)).unwrap();
+        assert!(g.abs_max() >= 1.0 && g.abs_max() < 1.1);
+    }
+
+    #[test]
+    fn all_zoo_presets_certify() {
+        for (name, sf) in [
+            ("distmult", zoo::distmult(4)),
+            ("complex", zoo::complex()),
+            ("simple", zoo::simple()),
+            ("analogy", zoo::analogy()),
+        ] {
+            let cert = certify(&sf, NormBounds::default(), 64);
+            assert!(cert.is_certified(), "{name}: {:?}", cert.verdict);
+        }
+    }
+
+    #[test]
+    fn degenerate_structure_has_vanishing_gradient() {
+        // Empty row 2 / column 2: h_3 and t_3 gradients identically 0.
+        let mut sf = BlockSf::zeros(3);
+        sf.set(0, 0, Op::pos(0));
+        sf.set(1, 1, Op::pos(1));
+        sf.set(0, 1, Op::pos(2));
+        let cert = certify(&sf, NormBounds::default(), 24);
+        match &cert.verdict {
+            Verdict::VanishingGradient(dead) => {
+                assert!(dead.contains(&Var::head(2)));
+                assert!(dead.contains(&Var::tail(2)));
+            }
+            v => panic!("expected vanishing gradient, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn unused_relation_block_is_dead() {
+        // Non-degenerate grid (all rows/cols used) that never touches r_3.
+        let mut sf = BlockSf::zeros(3);
+        sf.set(0, 0, Op::pos(0));
+        sf.set(1, 1, Op::pos(1));
+        sf.set(2, 2, Op::pos(0));
+        let cert = certify(&sf, NormBounds::default(), 24);
+        match &cert.verdict {
+            Verdict::VanishingGradient(dead) => {
+                assert_eq!(dead.as_slice(), &[Var::rel(2)]);
+            }
+            v => panic!("expected vanishing gradient, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_bounds_refute_unsound_range() {
+        let sf = zoo::distmult(4);
+        let cert = certify(&sf, NormBounds::uniform(1e30), 32);
+        assert_eq!(cert.verdict, Verdict::Refuted(Refutation::UnsoundRange));
+    }
+
+    #[test]
+    fn infinite_bounds_refute_nan_reachable() {
+        let sf = zoo::distmult(4);
+        let cert = certify(&sf, NormBounds::uniform(f32::INFINITY), 32);
+        assert_eq!(cert.verdict, Verdict::Refuted(Refutation::NanReachable));
+    }
+
+    #[test]
+    fn monotonicity_reads_gradient_sign() {
+        // Single positive diagonal cell: score = h1·r1·t1 summed; with
+        // symmetric bounds every gradient straddles zero.
+        let sf = zoo::distmult(2);
+        let cert = certify(&sf, NormBounds::default(), 16);
+        assert_eq!(cert.monotonicity(Var::head(0)), Some(Sign::Mixed));
+    }
+
+    #[test]
+    fn query_coord_bound_matches_column_structure() {
+        let sf = zoo::distmult(4); // one cell per column
+        let b = query_coord_abs_bound(&sf, NormBounds::default());
+        assert_eq!(b, 1.0);
+        let sf2 = zoo::complex(); // two cells per column
+        let b2 = query_coord_abs_bound(&sf2, NormBounds::default());
+        assert_eq!(b2, 2.0);
+    }
+
+    #[test]
+    fn empty_structure_is_all_dead() {
+        let cert = certify(&BlockSf::zeros(2), NormBounds::default(), 8);
+        match &cert.verdict {
+            Verdict::VanishingGradient(dead) => assert_eq!(dead.len(), 6),
+            v => panic!("expected vanishing gradient, got {v:?}"),
+        }
+        assert!(cert.score.contains(0.0));
+    }
+}

@@ -64,6 +64,18 @@ impl Op {
         }
     }
 
+    /// Per-coordinate magnitude bound of this op's factor under a
+    /// declared relation-block bound: `|o[k]| ≤ relation_abs` for a
+    /// relation op, `0` for [`Op::Zero`]. The numeric certifier's
+    /// per-item envelope ([`crate::numeric`]).
+    #[inline]
+    pub fn abs_factor(self, relation_abs: f64) -> f64 {
+        match self {
+            Op::Zero => 0.0,
+            Op::Rel { .. } => relation_abs,
+        }
+    }
+
     /// The op with flipped sign (`-0 = 0`).
     #[inline]
     pub fn negate(self) -> Op {

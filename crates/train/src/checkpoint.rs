@@ -89,6 +89,9 @@ pub fn config_fingerprint(
         }
     }
     h.u64(cfg.seed);
+    // cfg.bounds is deliberately absent: the declared norm bounds feed
+    // only the static certifier, never the update sequence, so a
+    // re-declared contract must still resume an existing run.
     h.usize(match cfg.execution {
         crate::trainer::Execution::Sequential => 1,
         crate::trainer::Execution::DataParallel => 2,

@@ -18,6 +18,7 @@ use eras_data::{Dataset, FilterIndex, Triple};
 use eras_linalg::optim::{Adagrad, Optimizer};
 use eras_linalg::pool::ThreadPool;
 use eras_linalg::Rng;
+use eras_sf::numeric::NormBounds;
 use std::path::PathBuf;
 
 /// How a training run spends the thread pool on each minibatch.
@@ -72,6 +73,12 @@ pub struct TrainConfig {
     /// Minibatch execution strategy (evaluation always runs on the
     /// pool; results there are pool-size independent).
     pub execution: Execution,
+    /// Declared per-coordinate embedding-magnitude bounds: the numeric
+    /// contract the static certifier (`eras_sf::numeric::certify`)
+    /// interprets candidate structures under. A declaration, not an
+    /// enforced clamp — the default comfortably covers the uniform
+    /// init scale `√(6/d)/3` plus regularised drift.
+    pub bounds: NormBounds,
 }
 
 impl Default for TrainConfig {
@@ -89,6 +96,7 @@ impl Default for TrainConfig {
             loss: LossMode::sampled_default(),
             seed: 0,
             execution: Execution::Sequential,
+            bounds: NormBounds::default(),
         }
     }
 }
