@@ -37,9 +37,10 @@ fn shipped_repo_is_clean() {
         "audit must be clean with --deny warnings:\n{}",
         problems.join("\n")
     );
-    // The gradient pass reports one info line per verified contract.
+    // The gradient pass reports one info line per verified contract —
+    // 16 cases since the negative-sampling loss joined the registry.
     assert!(
-        report.findings.iter().filter(|f| f.code == "I200").count() >= 13,
+        report.findings.iter().filter(|f| f.code == "I200").count() >= 16,
         "expected every model family's contract in the report"
     );
 }
@@ -99,6 +100,52 @@ fn seeded_gradient_perturbation_fails() {
         findings.iter().any(|f| f.code == "E201"),
         "perturbed gradient must be caught: {findings:?}"
     );
+}
+
+/// Seeded violation 2b: a perturbed *negative-sampling* gradient — the
+/// million-entity training path — fails the contract the same way. The
+/// corruption halves every coordinate (a dropped adversarial weight or
+/// a missing side, depending on where such a bug would live).
+#[test]
+fn seeded_neg_sampling_gradient_perturbation_fails() {
+    use eras_train::contract::{check_case, GradCase, DEFAULT_TOLERANCE};
+
+    struct Halved(Box<dyn GradCase>);
+    impl GradCase for Halved {
+        fn name(&self) -> &str {
+            "seeded-wrong-neg-gradient"
+        }
+        fn segments(&self) -> Vec<(&'static str, usize)> {
+            self.0.segments()
+        }
+        fn params(&self) -> Vec<f32> {
+            self.0.params()
+        }
+        fn loss(&self, params: &[f32]) -> f32 {
+            self.0.loss(params)
+        }
+        fn grad(&self, params: &[f32]) -> Vec<f32> {
+            self.0.grad(params).iter().map(|g| g * 0.5).collect()
+        }
+    }
+
+    for case_name in [
+        "neg-sampling-uniform",
+        "neg-sampling-adversarial",
+        "block-neg-sampling",
+    ] {
+        let base = eras_train::contract::all_cases()
+            .into_iter()
+            .find(|c| c.name() == case_name)
+            .unwrap_or_else(|| panic!("{case_name} case missing from the registry"));
+        let report = check_case(&Halved(base));
+        assert!(!report.passes(DEFAULT_TOLERANCE), "{case_name}");
+        let findings = eras_audit::grad_pass::findings_from_reports(&[report], DEFAULT_TOLERANCE);
+        assert!(
+            findings.iter().any(|f| f.code == "E201"),
+            "perturbed {case_name} gradient must be caught: {findings:?}"
+        );
+    }
 }
 
 /// Seeded violation 3: an invalid configuration fails the config pass.

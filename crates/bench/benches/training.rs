@@ -62,6 +62,7 @@ fn bench_train_minibatch() {
                 &mut opt_r,
                 black_box(&batch),
                 mode,
+                None,
                 &mut rng,
                 &mut scratch,
             ))
@@ -138,6 +139,7 @@ fn bench_epoch_scaling() -> Json {
                 &mut seq.opt_r,
                 chunk,
                 LossMode::Full,
+                None,
                 &mut seq.rng,
                 &mut seq_scratch,
             ));
@@ -154,6 +156,7 @@ fn bench_epoch_scaling() -> Json {
                     &mut state.opt_r,
                     chunk,
                     LossMode::Full,
+                    None,
                     0.0,
                     &mut state.rng,
                     pool,

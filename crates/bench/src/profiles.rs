@@ -57,6 +57,7 @@ impl Profile {
             loss: LossMode::Sampled { negatives: 64 },
             seed,
             execution: Execution::Sequential,
+            ranking: eras_train::RankingMode::Full,
             bounds: eras_sf::NormBounds::default(),
         };
         let search_train = TrainConfig {

@@ -3,15 +3,15 @@
 use crate::args::Args;
 use eras_core::{run_eras, ErasConfig, Variant};
 use eras_data::stats::{dataset_stats, stats_header};
-use eras_data::{Dataset, FilterIndex, Preset};
+use eras_data::{Dataset, FilterIndex, Preset, ScalePreset};
 use eras_linalg::pool::ThreadPool;
 use eras_search::evaluator::SearchBudget;
 use eras_search::{autosf, random, tpe};
-use eras_train::eval::link_prediction;
+use eras_train::eval::{link_prediction, link_prediction_with};
 use eras_train::trainer::{
     train_standalone, train_standalone_resumable, CheckpointSpec, Execution, TrainConfig,
 };
-use eras_train::{BlockModel, LossMode};
+use eras_train::{BlockModel, Corruption, LossMode, RankingMode};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -24,12 +24,16 @@ USAGE:
   eras generate --preset NAME --out DIR [--seed N]
   eras train    (--preset NAME | --data DIR) [--model complex] [--dim 32]
                 [--epochs 40] [--seed N] [--save FILE] [--snapshot FILE]
-                [--full-loss] [--parallel] [--threads N] [--emb-bound 1.0]
+                [--loss sampled|full|neg] [--negatives N] [--full-loss]
+                [--gamma 12.0] [--adv-temp 1.0] [--corruption uniform|bernoulli]
+                [--sampled-eval N] [--eval-seed N]
+                [--parallel] [--threads N] [--emb-bound 1.0]
                 [--checkpoint FILE] [--checkpoint-every N] [--resume]
                 [--quiet] [--log FILE] [--profile]
   eras search   (--preset NAME | --data DIR) [--method eras] [--groups 3]
                 [--epochs 20] [--dim 32] [--seed N]
   eras eval     (--preset NAME | --data DIR) --embeddings FILE [--model complex]
+                [--sampled N] [--eval-seed N]
   eras rules    (--preset NAME | --data DIR) [--seed N]
   eras audit    [--pass sf,numeric,grad,config,lint,flow,sched,chaos] [--format text|json]
                 [--deny warnings] [--root DIR] [--sf-samples N] [--seed N]
@@ -40,8 +44,11 @@ USAGE:
                 [--k 10] [--unfiltered]
   eras obs      report --trace FILE [--top 10]
 
-PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny
+PRESETS: wn18 wn18rr fb15k fb15k237 yago tiny scale1m scale-smoke
 MODELS:  distmult complex simple analogy
+LOSSES:  sampled (1-vs-k softmax)  full (1-vs-all softmax)
+         neg (gamma-margin logsigmoid with negative sampling; scales to
+         millions of entities — pair with --sampled-eval / eval --sampled)
 METHODS: eras autosf random tpe
 PASSES:  sf (DSL analysis)  numeric (abstract-interpretation certificates)
          grad (gradient contracts)
@@ -61,13 +68,19 @@ fn preset_by_name(name: &str) -> Result<Preset, String> {
     })
 }
 
-/// Load from `--data DIR` (TSV) or build `--preset NAME`.
+/// Load from `--data DIR` (TSV) or build `--preset NAME`. Scale presets
+/// (the million-entity generator family) are checked first so they can
+/// live beside the paper benchmarks under one flag.
 fn load_dataset(args: &Args) -> Result<Dataset, String> {
     let seed: u64 = args.get_or("seed", 7u64)?;
     if let Some(dir) = args.get("data") {
         eras_data::tsv::load_dir(Path::new(dir), dir).map_err(|e| e.to_string())
     } else {
-        let preset = preset_by_name(args.require("preset")?)?;
+        let name = args.require("preset")?;
+        if let Some(scale) = ScalePreset::from_name(name) {
+            return Ok(scale.build(seed));
+        }
+        let preset = preset_by_name(name)?;
         Ok(preset.build(seed))
     }
 }
@@ -135,6 +148,46 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the training-loss family: `--loss sampled|full|neg` (with
+/// `--full-loss` kept as the historical spelling of `--loss full`).
+fn loss_mode(args: &Args) -> Result<LossMode, String> {
+    let name = match args.get("loss") {
+        Some(name) => name,
+        None if args.has("full-loss") => "full",
+        None => "sampled",
+    };
+    Ok(match name {
+        "full" => LossMode::Full,
+        "sampled" => LossMode::Sampled {
+            negatives: args.get_or("negatives", 64usize)?,
+        },
+        "neg" => LossMode::NegSampling {
+            negatives: args.get_or("negatives", 16usize)?,
+            gamma: args.get_or("gamma", 12.0f32)?,
+            adversarial_temp: args.get_or("adv-temp", 1.0f32)?,
+            corruption: match args.get("corruption").unwrap_or("uniform") {
+                "uniform" => Corruption::Uniform,
+                "bernoulli" => Corruption::Bernoulli,
+                other => return Err(format!("unknown --corruption `{other}`")),
+            },
+        },
+        other => return Err(format!("unknown --loss `{other}` (sampled, full, neg)")),
+    })
+}
+
+/// Parse the evaluation protocol from a candidate-count flag: absent →
+/// full filtered ranking; `--<flag> N` → sampled filtered ranking over
+/// N seeded candidates (plus the true entity).
+fn ranking_mode(args: &Args, flag: &str) -> Result<RankingMode, String> {
+    Ok(match args.get(flag) {
+        None => RankingMode::Full,
+        Some(_) => RankingMode::Sampled {
+            candidates: args.get_or(flag, 200usize)?,
+            seed: args.get_or("eval-seed", 42u64)?,
+        },
+    })
+}
+
 fn train_config(args: &Args) -> Result<TrainConfig, String> {
     Ok(TrainConfig {
         dim: args.get_or("dim", 32usize)?,
@@ -142,13 +195,8 @@ fn train_config(args: &Args) -> Result<TrainConfig, String> {
         max_epochs: args.get_or("epochs", 40usize)?,
         eval_every: 10,
         patience: 3,
-        loss: if args.has("full-loss") {
-            LossMode::Full
-        } else {
-            LossMode::Sampled {
-                negatives: args.get_or("negatives", 64usize)?,
-            }
-        },
+        loss: loss_mode(args)?,
+        ranking: ranking_mode(args, "sampled-eval")?,
         n3: args.get_or("n3", 0.0f32)?,
         seed: args.get_or("seed", 7u64)?,
         execution: if args.has("parallel") {
@@ -421,7 +469,22 @@ pub fn evaluate(args: &Args) -> Result<(), String> {
     }
     let sf = zoo_by_name(args.get("model").unwrap_or("complex"))?;
     let model = BlockModel::universal(sf, dataset.num_relations());
-    let m = link_prediction(&model, &emb, &dataset.test, &filter);
+    // `--sampled N` ranks each test triple against N seeded candidates
+    // plus the true entity (filtered) instead of the full entity set —
+    // the protocol that keeps evaluation tractable at millions of
+    // entities. Full and sampled runs print the same report shape.
+    let ranking = ranking_mode(args, "sampled")?;
+    let m = link_prediction_with(
+        &model,
+        &emb,
+        &dataset.test,
+        &filter,
+        ranking,
+        ThreadPool::global(),
+    );
+    if let RankingMode::Sampled { candidates, seed } = ranking {
+        println!("sampled ranking: {candidates} candidates, seed {seed}");
+    }
     println!(
         "test: MRR {:.3}  Hit@1 {:.1}%  Hit@3 {:.1}%  Hit@10 {:.1}%  ({} queries)",
         m.mrr,

@@ -113,6 +113,7 @@ pub fn run_eras(
                     &mut opt_r,
                     batch,
                     cfg.search_loss,
+                    None,
                     &mut rng,
                     &mut scratch,
                 );

@@ -110,6 +110,7 @@ pub fn one_shot_vs_standalone(
                 &mut opt_r,
                 batch,
                 cfg.search_loss,
+                None,
                 &mut rng,
                 &mut scratch,
             );

@@ -40,4 +40,4 @@ pub use dataset::{Dataset, Triple};
 pub use index::FilterIndex;
 pub use json::{Json, ToJson};
 pub use patterns::RelationPattern;
-pub use presets::Preset;
+pub use presets::{Preset, ScalePreset};

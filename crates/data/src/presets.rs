@@ -13,7 +13,7 @@
 //!   Freebase mixed, FB15k-237 asymmetric-heavy).
 
 use crate::dataset::Dataset;
-use crate::generator::{generate, GeneratorConfig, RelationSpec};
+use crate::generator::{generate, generate_scale, GeneratorConfig, RelationSpec, ScaleConfig};
 use crate::patterns::RelationPattern;
 
 /// The five benchmark stand-ins plus a tiny smoke-test dataset.
@@ -205,9 +205,101 @@ impl Preset {
     }
 }
 
+/// Large-graph presets built on the O(1)-per-triple scale generator.
+///
+/// Kept as a separate enum from [`Preset`] on purpose: the paper
+/// presets are exhaustively matched all over the workspace (benches,
+/// CLI, figure pipelines) and mean "faithful stand-in for a published
+/// benchmark"; these mean "big enough to exercise the million-entity
+/// training and sampled-evaluation paths".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalePreset {
+    /// One million entities — the scale benchmark's subject.
+    Scale1M,
+    /// Twenty thousand entities — same structure, CI-smoke sized.
+    ScaleSmoke,
+}
+
+impl ScalePreset {
+    /// Canonical dataset name (also the CLI `--dataset` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalePreset::Scale1M => "scale1m-synth",
+            ScalePreset::ScaleSmoke => "scale-smoke-synth",
+        }
+    }
+
+    /// Look a scale preset up by its canonical name.
+    pub fn from_name(name: &str) -> Option<ScalePreset> {
+        match name {
+            "scale1m-synth" | "scale1m" => Some(ScalePreset::Scale1M),
+            "scale-smoke-synth" | "scale-smoke" => Some(ScalePreset::ScaleSmoke),
+            _ => None,
+        }
+    }
+
+    /// Generator configuration for this preset with the given seed.
+    pub fn config(self, seed: u64) -> ScaleConfig {
+        match self {
+            ScalePreset::Scale1M => ScaleConfig {
+                name: self.name().into(),
+                num_entities: 1_000_000,
+                num_relations: 32,
+                num_clusters: 1024,
+                num_triples: 3_000_000,
+                zipf_exponent: 0.5,
+                noise: 0.02,
+                valid_frac: 0.001,
+                test_frac: 0.001,
+                seed,
+            },
+            ScalePreset::ScaleSmoke => ScaleConfig {
+                name: self.name().into(),
+                num_entities: 20_000,
+                num_relations: 8,
+                num_clusters: 128,
+                num_triples: 80_000,
+                zipf_exponent: 0.5,
+                noise: 0.02,
+                valid_frac: 0.01,
+                test_frac: 0.01,
+                seed,
+            },
+        }
+    }
+
+    /// Generate the dataset for this preset.
+    pub fn build(self, seed: u64) -> Dataset {
+        generate_scale(&self.config(seed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_smoke_preset_builds_valid_and_sized() {
+        let d = ScalePreset::ScaleSmoke.build(1);
+        assert!(d.validate().is_ok());
+        assert_eq!(d.name, "scale-smoke-synth");
+        assert_eq!(d.num_entities(), 20_000);
+        assert_eq!(d.num_relations(), 8);
+        assert!(!d.valid.is_empty() && !d.test.is_empty());
+        assert_eq!(
+            ScalePreset::from_name("scale-smoke"),
+            Some(ScalePreset::ScaleSmoke)
+        );
+        assert_eq!(
+            ScalePreset::from_name(d.name.as_str()),
+            Some(ScalePreset::ScaleSmoke)
+        );
+        assert_eq!(
+            ScalePreset::from_name("scale1m"),
+            Some(ScalePreset::Scale1M)
+        );
+        assert_eq!(ScalePreset::from_name("tiny-synth"), None);
+    }
 
     #[test]
     fn tiny_preset_builds_fast_and_valid() {

@@ -182,6 +182,65 @@ pub fn softplus(x: f32) -> f32 {
     }
 }
 
+/// Self-adversarial negative-sampling loss (the RotatE objective) and,
+/// in place, its residual.
+///
+/// Layout contract: `scores[0]` is the positive triple's score, the
+/// rest are the sampled negatives' scores (higher = more plausible).
+/// The loss with margin `gamma` is
+///
+/// ```text
+/// L = softplus(−(γ + s₀)) + Σᵢ wᵢ · softplus(γ + sᵢ)
+/// ```
+///
+/// where the negative weights `wᵢ` are uniform `1/k` for
+/// `adv_temp == 0` and the *detached* self-adversarial softmax
+/// `softmax(adv_temp · sᵢ)` otherwise — detached meaning the weights
+/// are treated as constants by the gradient (the standard RotatE
+/// stop-gradient), so the residual this kernel leaves behind is
+///
+/// ```text
+/// scores[0] ← σ(γ + s₀) − 1          (positive)
+/// scores[i] ← wᵢ · σ(γ + sᵢ)         (negatives)
+/// ```
+///
+/// exactly `∂L/∂sᵢ` of the detached surrogate. Returns the loss. Two
+/// sweeps over the negatives (weight normaliser, then residuals), no
+/// allocation, stable for any finite scores.
+pub fn neg_sampling_loss_and_residual(scores: &mut [f32], gamma: f32, adv_temp: f32) -> f32 {
+    assert!(
+        scores.len() >= 2,
+        "need a positive score and at least one negative"
+    );
+    let (pos, negs) = scores.split_first_mut().expect("non-empty by assert");
+    let xp = gamma + *pos;
+    let mut loss = softplus(-xp);
+    *pos = sigmoid(xp) - 1.0;
+    if adv_temp > 0.0 {
+        // Detached softmax weights over `adv_temp · s`, computed with
+        // the usual max shift; the normaliser pass then the residual
+        // pass recompute the same shifted exp, so no scratch is needed.
+        let max = negs.iter().copied().fold(f32::NEG_INFINITY, f32::max) * adv_temp;
+        let mut sum = 0.0f32;
+        for s in negs.iter() {
+            sum += (adv_temp * s - max).exp();
+        }
+        let inv = 1.0 / sum;
+        for s in negs.iter_mut() {
+            let w = (adv_temp * *s - max).exp() * inv;
+            loss += w * softplus(gamma + *s);
+            *s = w * sigmoid(gamma + *s);
+        }
+    } else {
+        let w = 1.0 / negs.len() as f32;
+        for s in negs.iter_mut() {
+            loss += w * softplus(gamma + *s);
+            *s = w * sigmoid(gamma + *s);
+        }
+    }
+    loss
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +409,75 @@ mod tests {
                 assert_eq!(f.to_bits(), exp_approx(x - shift).to_bits(), "i={i}");
             }
         }
+    }
+
+    /// Reference forward pass of the *detached* surrogate: weights are
+    /// computed at `base` and held fixed while `at` varies — matching
+    /// the stop-gradient the kernel's residual implements.
+    fn neg_loss_detached(base: &[f32], at: &[f32], gamma: f32, adv_temp: f32) -> f32 {
+        let k = base.len() - 1;
+        let weights: Vec<f32> = if adv_temp > 0.0 {
+            let mut w: Vec<f32> = base[1..].iter().map(|&s| adv_temp * s).collect();
+            softmax_inplace(&mut w);
+            w
+        } else {
+            vec![1.0 / k as f32; k]
+        };
+        let mut loss = softplus(-(gamma + at[0]));
+        for (i, &w) in weights.iter().enumerate() {
+            loss += w * softplus(gamma + at[1 + i]);
+        }
+        loss
+    }
+
+    #[test]
+    fn neg_sampling_residual_is_detached_gradient() {
+        let scores = vec![0.4f32, -0.8, 1.1, 0.2, -1.5];
+        for adv_temp in [0.0f32, 1.0, 2.5] {
+            let gamma = 2.0f32;
+            let mut work = scores.clone();
+            let loss = neg_sampling_loss_and_residual(&mut work, gamma, adv_temp);
+            assert!(loss > 0.0 && loss.is_finite());
+            let eps = 1e-3f32;
+            for k in 0..scores.len() {
+                let mut plus = scores.clone();
+                plus[k] += eps;
+                let mut minus = scores.clone();
+                minus[k] -= eps;
+                let fd = (neg_loss_detached(&scores, &plus, gamma, adv_temp)
+                    - neg_loss_detached(&scores, &minus, gamma, adv_temp))
+                    / (2.0 * eps);
+                assert!(
+                    (fd - work[k]).abs() < 1e-3,
+                    "adv_temp={adv_temp} residual[{k}] = {} vs fd {}",
+                    work[k],
+                    fd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neg_sampling_adversarial_weights_upweight_hard_negatives() {
+        // One negative scores far above the rest: with temperature on,
+        // nearly all the negative loss mass lands on it.
+        let mut uniform = vec![0.0f32, 3.0, -3.0, -3.0];
+        let mut adv = uniform.clone();
+        neg_sampling_loss_and_residual(&mut uniform, 1.0, 0.0);
+        neg_sampling_loss_and_residual(&mut adv, 1.0, 2.0);
+        // residual of the hard negative grows, easy negatives shrink.
+        assert!(adv[1] > uniform[1] * 2.0, "{adv:?} vs {uniform:?}");
+        assert!(adv[2] < uniform[2], "{adv:?} vs {uniform:?}");
+        // Weights sum to one either way: residuals stay bounded by σ.
+        assert!(adv.iter().skip(1).all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn neg_sampling_loss_is_stable_at_extreme_scores() {
+        let mut big = vec![500.0f32, -500.0, 500.0];
+        let loss = neg_sampling_loss_and_residual(&mut big, 12.0, 1.0);
+        assert!(loss.is_finite());
+        assert!(big.iter().all(|v| v.is_finite()), "{big:?}");
     }
 
     #[test]

@@ -26,14 +26,21 @@
 //! candidate set with `k` uniform negatives plus the target, which
 //! preserves the estimator's direction while cutting the per-example cost
 //! from `O(N_e d)` to `O(k d)` — used inside search loops.
+//! [`LossMode::NegSampling`] keeps the same `O(k d)` sampled-block shape
+//! but swaps the softmax for the gamma-margin logsigmoid objective with
+//! *filtered* negatives (rejected against the known-true index via
+//! [`NegCtx`]) and optional self-adversarial weighting — the objective
+//! that trains million-entity graphs, because no step ever touches more
+//! than the positive + sampled rows.
 
 use crate::embeddings::Embeddings;
-use crate::eval::ScoreModel;
-use crate::loss::LossMode;
+use crate::eval::{CandidateSet, ScoreModel};
+use crate::loss::{Corruption, LossMode};
+use crate::negative::{sample_neg_block, NegCtx};
 use eras_data::Triple;
 use eras_linalg::optim::Optimizer;
 use eras_linalg::scan::{scan_rows, RankTally};
-use eras_linalg::softmax::log_loss_and_residual;
+use eras_linalg::softmax::{log_loss_and_residual, neg_sampling_loss_and_residual};
 use eras_linalg::vecops;
 use eras_linalg::Rng;
 use eras_sf::BlockSf;
@@ -227,6 +234,27 @@ fn rank_with_query(emb: &Embeddings, q: &[f32], target: u32, filtered: &[u32]) -
     tally.rank()
 }
 
+/// Sampled counterpart of [`rank_with_query`]: stream the gathered
+/// candidate rows instead of the whole entity table. Global ids map to
+/// candidate slots (both sorted, so the filtered remap preserves
+/// order); a target outside the sample maps to the `u32::MAX` sentinel
+/// no slot can match — its score still anchors the tally, so the true
+/// answer always competes and is never filtered.
+fn rank_with_query_sampled(
+    emb: &Embeddings,
+    q: &[f32],
+    target: u32,
+    filtered: &[u32],
+    cand: &CandidateSet,
+) -> f64 {
+    let target_score = vecops::dot(emb.entity.row(target as usize), q);
+    let local_target = cand.local_of(target).unwrap_or(u32::MAX);
+    let local_filt: Vec<u32> = filtered.iter().filter_map(|&f| cand.local_of(f)).collect();
+    let mut tally = RankTally::new(local_target, target_score, &local_filt);
+    scan_rows(cand.rows(), q, std::slice::from_mut(&mut tally));
+    tally.rank()
+}
+
 impl ScoreModel for BlockModel {
     fn score_all_tails(&self, emb: &Embeddings, h: u32, r: u32, out: &mut [f32]) {
         let mut q = vec![0.0; emb.dim()];
@@ -272,6 +300,36 @@ impl ScoreModel for BlockModel {
         let mut q = vec![0.0; emb.dim()];
         self.head_query(emb, t, r, &mut q);
         rank_with_query(emb, &q, target, filtered)
+    }
+
+    fn tail_rank_sampled(
+        &self,
+        emb: &Embeddings,
+        h: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        cand: &CandidateSet,
+        _scores: &mut [f32],
+    ) -> f64 {
+        let mut q = vec![0.0; emb.dim()];
+        self.tail_query(emb, h, r, &mut q);
+        rank_with_query_sampled(emb, &q, target, filtered, cand)
+    }
+
+    fn head_rank_sampled(
+        &self,
+        emb: &Embeddings,
+        t: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        cand: &CandidateSet,
+        _scores: &mut [f32],
+    ) -> f64 {
+        let mut q = vec![0.0; emb.dim()];
+        self.head_query(emb, t, r, &mut q);
+        rank_with_query_sampled(emb, &q, target, filtered, cand)
     }
 }
 
@@ -319,6 +377,7 @@ pub(crate) fn train_side(
     rel: u32,
     target: u32,
     mode: LossMode,
+    neg: Option<&NegCtx>,
     rng: &mut Rng,
     scratch: &mut BlockScratch,
 ) -> f32 {
@@ -364,10 +423,39 @@ pub(crate) fn train_side(
             }
             target_slot = 0;
         }
+        LossMode::NegSampling { negatives, .. } => {
+            // Slot 0 is the positive; the block of filtered negatives
+            // corrupts the side being predicted (tail unless this is
+            // the transposed/head-prediction direction).
+            scratch.candidates.push(target);
+            scratch.candidates.resize(1 + negatives, 0);
+            sample_neg_block(
+                anchor,
+                rel,
+                target,
+                !sf_is_transposed,
+                num_entities,
+                neg.map(|n| n.filter),
+                rng,
+                &mut scratch.candidates[1..],
+            );
+            scratch.scores.resize(scratch.candidates.len(), 0.0);
+            for (slot, &c) in scratch.candidates.iter().enumerate() {
+                scratch.scores[slot] = vecops::dot(&scratch.q, emb.entity.row(c as usize));
+            }
+            target_slot = 0;
+        }
     }
 
-    let loss = log_loss_and_residual(&mut scratch.scores, target_slot);
-    // scratch.scores now holds resid = softmax − onehot.
+    let loss = match mode {
+        LossMode::NegSampling {
+            gamma,
+            adversarial_temp,
+            ..
+        } => neg_sampling_loss_and_residual(&mut scratch.scores, gamma, adversarial_temp),
+        _ => log_loss_and_residual(&mut scratch.scores, target_slot),
+    };
+    // scratch.scores now holds the per-candidate residual ∂L/∂s.
 
     // g_q = Σ_c resid[c] · E[c]; entity rows get resid[c] · q.
     vecops::zero(&mut scratch.g_q);
@@ -398,6 +486,29 @@ pub(crate) fn train_side(
                 opt_entity.step_at(emb.entity.as_mut_slice(), c as usize * dim, &row_grad);
             }
         }
+        LossMode::NegSampling { .. } => {
+            // Two passes: accumulate g_q from the *pre-update* rows,
+            // then scatter the entity steps. Negatives are drawn with
+            // replacement, and a duplicate read after its first step
+            // would make the applied update not the gradient of any
+            // single point — the finite-difference contract
+            // (`block-neg-sampling`) pins this down. Also matches the
+            // data-parallel path, which always accumulates shard-side
+            // before applying.
+            let dim = emb.dim();
+            let mut row_grad = vec![0.0f32; dim];
+            for (slot, &c) in scratch.candidates.iter().enumerate() {
+                vecops::axpy(
+                    scratch.scores[slot],
+                    emb.entity.row(c as usize),
+                    &mut scratch.g_q,
+                );
+            }
+            for (slot, &c) in scratch.candidates.iter().enumerate() {
+                vecops::scaled_copy(scratch.scores[slot], &scratch.q, &mut row_grad);
+                opt_entity.step_at(emb.entity.as_mut_slice(), c as usize * dim, &row_grad);
+            }
+        }
     }
 
     // Chain rule through q into the anchor row and the relation row.
@@ -424,8 +535,38 @@ pub(crate) fn train_side(
     loss
 }
 
+/// Whether `mode` corrupts the tail side of `triple` this step: both
+/// sides under every mode except Bernoulli negative sampling, which
+/// draws one side per triple from the relation's fitted tail
+/// probability. Returns `(tail_side, head_side)`.
+#[inline]
+pub(crate) fn sides_for(
+    mode: LossMode,
+    neg: Option<&NegCtx>,
+    t: Triple,
+    rng: &mut Rng,
+) -> (bool, bool) {
+    match mode {
+        LossMode::NegSampling {
+            corruption: Corruption::Bernoulli,
+            ..
+        } => {
+            let p = neg
+                .and_then(|n| n.bernoulli.as_ref())
+                .map(|b| b.tail_prob(t.rel))
+                .unwrap_or(0.5);
+            let tail = rng.bernoulli(p);
+            (tail, !tail)
+        }
+        _ => (true, true),
+    }
+}
+
 /// One pass over a minibatch: for every triple, a tail-prediction and a
-/// head-prediction 1-vs-all step. Returns the mean per-side loss.
+/// head-prediction step (or the Bernoulli-chosen single side under
+/// [`LossMode::NegSampling`]). `neg` supplies the filtered-negative
+/// context for the neg-sampling objective; `None` falls back to
+/// target-excluded uniform sampling. Returns the mean per-side loss.
 #[allow(clippy::too_many_arguments)]
 pub fn train_minibatch(
     model: &BlockModel,
@@ -434,6 +575,7 @@ pub fn train_minibatch(
     opt_relation: &mut dyn Optimizer,
     batch: &[Triple],
     mode: LossMode,
+    neg: Option<&NegCtx>,
     rng: &mut Rng,
     scratch: &mut BlockScratch,
 ) -> f32 {
@@ -441,35 +583,45 @@ pub fn train_minibatch(
         return 0.0;
     }
     let mut total = 0.0f32;
+    let mut sides = 0u32;
     for &t in batch {
-        total += train_side(
-            model,
-            false,
-            emb,
-            opt_entity,
-            opt_relation,
-            t.head,
-            t.rel,
-            t.tail,
-            mode,
-            rng,
-            scratch,
-        );
-        total += train_side(
-            model,
-            true,
-            emb,
-            opt_entity,
-            opt_relation,
-            t.tail,
-            t.rel,
-            t.head,
-            mode,
-            rng,
-            scratch,
-        );
+        let (tail_side, head_side) = sides_for(mode, neg, t, rng);
+        if tail_side {
+            total += train_side(
+                model,
+                false,
+                emb,
+                opt_entity,
+                opt_relation,
+                t.head,
+                t.rel,
+                t.tail,
+                mode,
+                neg,
+                rng,
+                scratch,
+            );
+            sides += 1;
+        }
+        if head_side {
+            total += train_side(
+                model,
+                true,
+                emb,
+                opt_entity,
+                opt_relation,
+                t.tail,
+                t.rel,
+                t.head,
+                mode,
+                neg,
+                rng,
+                scratch,
+            );
+            sides += 1;
+        }
     }
-    total / (2.0 * batch.len() as f32)
+    total / sides.max(1) as f32
 }
 
 /// Apply the N3 (nuclear 3-norm) regularisation gradient of Lacroix et
@@ -640,6 +792,7 @@ mod tests {
             t.rel,
             t.tail,
             LossMode::Full,
+            None,
             &mut rng,
             &mut scratch,
         );
@@ -711,6 +864,7 @@ mod tests {
                 &mut opt_r,
                 &data,
                 LossMode::Full,
+                None,
                 &mut rng,
                 &mut scratch,
             );
@@ -736,6 +890,7 @@ mod tests {
                 &mut opt_r,
                 &data,
                 LossMode::Sampled { negatives: 6 },
+                None,
                 &mut rng,
                 &mut scratch,
             );

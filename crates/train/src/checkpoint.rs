@@ -87,6 +87,29 @@ pub fn config_fingerprint(
             h.usize(2);
             h.usize(negatives);
         }
+        crate::loss::LossMode::NegSampling {
+            negatives,
+            gamma,
+            adversarial_temp,
+            corruption,
+        } => {
+            h.usize(3);
+            h.usize(negatives);
+            h.u32(gamma.to_bits());
+            h.u32(adversarial_temp.to_bits());
+            h.usize(match corruption {
+                crate::loss::Corruption::Uniform => 1,
+                crate::loss::Corruption::Bernoulli => 2,
+            });
+        }
+    }
+    match cfg.ranking {
+        crate::eval::RankingMode::Full => h.usize(1),
+        crate::eval::RankingMode::Sampled { candidates, seed } => {
+            h.usize(2);
+            h.usize(candidates);
+            h.u64(seed);
+        }
     }
     h.u64(cfg.seed);
     // cfg.bounds is deliberately absent: the declared norm bounds feed

@@ -22,10 +22,14 @@ use crate::grads::{MlpSideGrads, SideGrads, TransHGrads, TripleGrads, TuckErGrad
 use crate::hole::HolE;
 use crate::loss::LossMode;
 use crate::mlpe::MlpE;
+use crate::negative::sample_neg_block;
 use crate::quate::QuatE;
 use eras_data::Triple;
 use eras_linalg::optim::Sgd;
-use eras_linalg::softmax::{log_loss_and_residual, log_sum_exp, sigmoid, softmax_inplace};
+use eras_linalg::softmax::{
+    log_loss_and_residual, log_sum_exp, neg_sampling_loss_and_residual, sigmoid, softmax_inplace,
+    softplus,
+};
 use eras_linalg::Rng;
 use eras_sf::zoo;
 
@@ -172,6 +176,9 @@ pub fn all_cases() -> Vec<Box<dyn GradCase>> {
         Box::new(LogLossCase::new()),
         Box::new(SoftplusCase::new()),
         Box::new(LogSumExpCase::new()),
+        Box::new(NegSamplingKernelCase::uniform()),
+        Box::new(NegSamplingKernelCase::adversarial()),
+        Box::new(BlockNegSamplingCase::new()),
     ]
 }
 
@@ -283,6 +290,7 @@ impl GradCase for BlockCase {
                 self.triple.rel,
                 target,
                 LossMode::Full,
+                None,
                 &mut rng,
                 &mut scratch,
             );
@@ -952,6 +960,227 @@ impl GradCase for LogSumExpCase {
     }
 }
 
+/// The negative-sampling loss kernel: `softplus(−(γ+s₀)) + Σᵢ wᵢ ·
+/// softplus(γ+sᵢ)`. Segments split the positive slot from the negative
+/// block so a wrong sign on either term is pinned to its tensor.
+///
+/// The adversarial weights `wᵢ = softmax(α·sᵢ)` are *detached* in the
+/// production kernel (self-adversarial sampling differentiates through
+/// the softplus terms only, never through the weights). The `loss`
+/// below therefore freezes the weights at the base point — that frozen
+/// surrogate is exactly the function whose gradient the kernel's
+/// in-place residual claims to be, and `check_case` only ever asks for
+/// the analytic gradient at the base point, where the kernel's weights
+/// and the frozen ones coincide.
+struct NegSamplingKernelCase {
+    name: &'static str,
+    scores: Vec<f32>, // slot 0 = positive, rest = negatives
+    gamma: f32,
+    adv_temp: f32,
+    frozen_weights: Vec<f32>, // per negative, at the base point
+}
+
+impl NegSamplingKernelCase {
+    fn with_temp(name: &'static str, adv_temp: f32) -> Self {
+        let scores = vec![0.4f32, -0.3, 0.9, 0.1, -1.2];
+        let negs = &scores[1..];
+        let frozen_weights: Vec<f32> = if adv_temp > 0.0 {
+            let mut w: Vec<f32> = negs.iter().map(|&s| adv_temp * s).collect();
+            softmax_inplace(&mut w);
+            w
+        } else {
+            vec![1.0 / negs.len() as f32; negs.len()]
+        };
+        NegSamplingKernelCase {
+            name,
+            scores,
+            // Mid-range gamma: both sigmoids well away from saturation,
+            // so every residual coordinate is O(0.1) and FD-checkable.
+            gamma: 0.5,
+            adv_temp,
+            frozen_weights,
+        }
+    }
+
+    fn uniform() -> Self {
+        Self::with_temp("neg-sampling-uniform", 0.0)
+    }
+
+    fn adversarial() -> Self {
+        Self::with_temp("neg-sampling-adversarial", 1.5)
+    }
+}
+
+impl GradCase for NegSamplingKernelCase {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn segments(&self) -> Vec<(&'static str, usize)> {
+        vec![("positive", 1), ("negatives", self.scores.len() - 1)]
+    }
+
+    fn params(&self) -> Vec<f32> {
+        self.scores.clone()
+    }
+
+    fn loss(&self, params: &[f32]) -> f32 {
+        let mut l = softplus(-(self.gamma + params[0]));
+        for (w, &s) in self.frozen_weights.iter().zip(&params[1..]) {
+            l += w * softplus(self.gamma + s);
+        }
+        l
+    }
+
+    /// The in-place residual the production kernel leaves behind *is*
+    /// the gradient of the frozen-weight loss — that identity is the
+    /// contract under test.
+    fn grad(&self, params: &[f32]) -> Vec<f32> {
+        let mut work = params.to_vec();
+        let _ = neg_sampling_loss_and_residual(&mut work, self.gamma, self.adv_temp);
+        work
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block model under negative sampling (the million-entity training path)
+// ---------------------------------------------------------------------------
+
+/// End-to-end contract for `train_side` in `LossMode::NegSampling`:
+/// seeded candidate sampling, the fused query/scatter gradient path, and
+/// the logsigmoid kernel, differentiated against a loss rebuilt from the
+/// production forward scorer over the *same* seeded candidates.
+struct BlockNegSamplingCase {
+    emb: Embeddings,
+    model: BlockModel,
+    triple: Triple,
+    negatives: usize,
+    gamma: f32,
+}
+
+impl BlockNegSamplingCase {
+    fn new() -> Self {
+        let mut rng = Rng::seed_from_u64(19);
+        BlockNegSamplingCase {
+            emb: Embeddings::init(6, 2, 8, &mut rng),
+            model: BlockModel::universal(zoo::complex(), 2),
+            triple: Triple::new(1, 0, 2),
+            negatives: 3,
+            gamma: 0.5,
+        }
+    }
+
+    /// The two prediction sides with the per-side RNG seed `train_side`
+    /// will be handed: the candidate stream is a pure function of it.
+    fn sides(&self) -> [(bool, u32, u32, u64); 2] {
+        [
+            (false, self.triple.head, self.triple.tail, 21),
+            (true, self.triple.tail, self.triple.head, 22),
+        ]
+    }
+
+    fn mode(&self) -> LossMode {
+        LossMode::NegSampling {
+            negatives: self.negatives,
+            gamma: self.gamma,
+            // Zero temperature: uniform weights, so the true gradient
+            // and the detached-weight gradient coincide and plain FD
+            // applies. The adversarial weight path has its own kernel
+            // case above.
+            adversarial_temp: 0.0,
+            corruption: crate::loss::Corruption::Uniform,
+        }
+    }
+}
+
+impl GradCase for BlockNegSamplingCase {
+    fn name(&self) -> &str {
+        "block-neg-sampling"
+    }
+
+    fn segments(&self) -> Vec<(&'static str, usize)> {
+        vec![
+            ("entity", self.emb.entity.as_slice().len()),
+            ("relation", self.emb.relation.as_slice().len()),
+        ]
+    }
+
+    fn params(&self) -> Vec<f32> {
+        gather_emb(&self.emb)
+    }
+
+    /// Rebuild the loss from production pieces: the same seeded
+    /// negative draws (`sample_neg_block` is all `train_side` uses its
+    /// RNG for in this mode), the production triple scorer, and the
+    /// production loss kernel.
+    fn loss(&self, params: &[f32]) -> f32 {
+        let emb = scatter_emb(&self.emb, params);
+        let mut total = 0.0f32;
+        for (transposed, anchor, target, seed) in self.sides() {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut candidates = vec![target; 1];
+            candidates.resize(1 + self.negatives, 0);
+            sample_neg_block(
+                anchor,
+                self.triple.rel,
+                target,
+                !transposed,
+                emb.num_entities(),
+                None,
+                &mut rng,
+                &mut candidates[1..],
+            );
+            let mut scores: Vec<f32> = candidates
+                .iter()
+                .map(|&c| {
+                    let t = if transposed {
+                        Triple::new(c, self.triple.rel, anchor)
+                    } else {
+                        Triple::new(anchor, self.triple.rel, c)
+                    };
+                    self.model.score_triple(&emb, t)
+                })
+                .collect();
+            total += neg_sampling_loss_and_residual(&mut scores, self.gamma, 0.0);
+        }
+        total
+    }
+
+    /// SGD(lr=1) parameter diff of one production `train_side` step per
+    /// side, each from the same point with the same per-side RNG seed
+    /// as `loss` — see [`BlockCase::grad`] for why the sides sum.
+    fn grad(&self, params: &[f32]) -> Vec<f32> {
+        let emb = scatter_emb(&self.emb, params);
+        let base = gather_emb(&emb);
+        let mut grad = vec![0.0f32; base.len()];
+        let mut scratch = BlockScratch::new();
+        for (transposed, anchor, target, seed) in self.sides() {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut stepped = emb.clone();
+            let mut opt_e = Sgd::new(1.0, 0.0);
+            let mut opt_r = Sgd::new(1.0, 0.0);
+            crate::block::train_side(
+                &self.model,
+                transposed,
+                &mut stepped,
+                &mut opt_e,
+                &mut opt_r,
+                anchor,
+                self.triple.rel,
+                target,
+                self.mode(),
+                None,
+                &mut rng,
+                &mut scratch,
+            );
+            for ((g, before), after) in grad.iter_mut().zip(&base).zip(gather_emb(&stepped)) {
+                *g += before - after;
+            }
+        }
+        grad
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -995,6 +1224,9 @@ mod tests {
             "log-loss-residual",
             "softplus-sigmoid",
             "log-sum-exp-softmax",
+            "neg-sampling-uniform",
+            "neg-sampling-adversarial",
+            "block-neg-sampling",
         ] {
             assert!(
                 names.iter().any(|n| n == expected),
@@ -1037,6 +1269,48 @@ mod tests {
             "perturbed gradient slipped through: max rel err {:.2e}",
             report.max_rel_err
         );
+    }
+
+    /// A corrupted negative-sampling gradient (halved residuals — the
+    /// classic missing-weight bug) must fail the contract on both the
+    /// kernel case and the end-to-end block case.
+    struct ScaledNegGrad<C: GradCase>(C);
+
+    impl<C: GradCase> GradCase for ScaledNegGrad<C> {
+        fn name(&self) -> &str {
+            "neg-sampling-scaled"
+        }
+        fn segments(&self) -> Vec<(&'static str, usize)> {
+            self.0.segments()
+        }
+        fn params(&self) -> Vec<f32> {
+            self.0.params()
+        }
+        fn loss(&self, params: &[f32]) -> f32 {
+            self.0.loss(params)
+        }
+        fn grad(&self, params: &[f32]) -> Vec<f32> {
+            let mut g = self.0.grad(params);
+            for x in &mut g {
+                *x *= 0.5;
+            }
+            g
+        }
+    }
+
+    #[test]
+    fn corrupted_neg_sampling_gradient_is_detected() {
+        for report in [
+            check_case(&ScaledNegGrad(NegSamplingKernelCase::uniform())),
+            check_case(&ScaledNegGrad(NegSamplingKernelCase::adversarial())),
+            check_case(&ScaledNegGrad(BlockNegSamplingCase::new())),
+        ] {
+            assert!(
+                !report.passes(DEFAULT_TOLERANCE),
+                "halved neg-sampling gradient slipped through: max rel err {:.2e}",
+                report.max_rel_err
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,93 @@ use crate::embeddings::Embeddings;
 use eras_data::patterns::RelationPattern;
 use eras_data::{Dataset, FilterIndex, Triple};
 use eras_linalg::pool::ThreadPool;
+use eras_linalg::{Matrix, Rng};
+
+/// How ranking candidates are materialised during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankingMode {
+    /// Rank against every entity — the exact filtered protocol.
+    #[default]
+    Full,
+    /// Rank against a seeded sample of `candidates` entities plus the
+    /// true answer (filtered the same way). `O(candidates)` per query
+    /// instead of `O(N_e)`, which is what makes million-entity
+    /// validation-during-training affordable. With `candidates ≥ N_e`
+    /// the sample is the full entity set and the metrics reproduce the
+    /// exact protocol bit for bit.
+    Sampled {
+        /// Number of candidate entities to draw (without replacement).
+        candidates: usize,
+        /// Seed for the candidate draw; fixed seed → fixed candidate
+        /// set → reproducible metrics.
+        seed: u64,
+    },
+}
+
+/// A seeded, sorted candidate sample shared by every query of one
+/// sampled evaluation: the ids (ascending, distinct) plus their
+/// gathered entity rows, so the fused scan can stream candidate scores
+/// with the same kernel it uses for the full table.
+pub struct CandidateSet {
+    ids: Vec<u32>,
+    rows: Matrix,
+}
+
+impl CandidateSet {
+    /// Draw `candidates` distinct entities with `seed` and gather their
+    /// embedding rows. `candidates ≥ num_entities` selects every entity
+    /// in ascending order — the sampled evaluator then reproduces the
+    /// full filtered ranking exactly.
+    pub fn draw(emb: &Embeddings, candidates: usize, seed: u64) -> Self {
+        assert!(candidates > 0, "need at least one ranking candidate");
+        let n = emb.num_entities();
+        let ids: Vec<u32> = if candidates >= n {
+            (0..n as u32).collect()
+        } else {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut ids: Vec<u32> = rng
+                .sample_distinct(n, candidates)
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
+            ids.sort_unstable();
+            ids
+        };
+        let dim = emb.dim();
+        let mut rows = Matrix::zeros(ids.len(), dim);
+        for (slot, &id) in ids.iter().enumerate() {
+            rows.row_mut(slot)
+                .copy_from_slice(emb.entity.row(id as usize));
+        }
+        CandidateSet { ids, rows }
+    }
+
+    /// The sampled entity ids, ascending and distinct.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The gathered candidate embedding rows (`len() × dim`), in the
+    /// same order as [`CandidateSet::ids`].
+    pub fn rows(&self) -> &Matrix {
+        &self.rows
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty (it never is — `draw` asserts).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Local slot of entity `id` in the sample, if drawn.
+    pub fn local_of(&self, id: u32) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|i| i as u32)
+    }
+}
 
 /// Anything that can score candidates for both query directions.
 ///
@@ -59,6 +146,44 @@ pub trait ScoreModel {
         self.score_all_heads(emb, t, r, scores);
         filtered_rank(scores, target, filtered)
     }
+
+    /// Filtered average-tie rank of `target` as the answer to
+    /// `(h, r, ?)` among `cand ∪ {target}` — the sampled protocol. The
+    /// default scores everything and ranks over the sample;
+    /// implementations with a streaming path (BlockModel scans the
+    /// gathered candidate rows) may override. Overrides must return
+    /// exactly what the default computes.
+    #[allow(clippy::too_many_arguments)]
+    fn tail_rank_sampled(
+        &self,
+        emb: &Embeddings,
+        h: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        cand: &CandidateSet,
+        scores: &mut [f32],
+    ) -> f64 {
+        self.score_all_tails(emb, h, r, scores);
+        sampled_filtered_rank(scores, cand.ids(), target, filtered)
+    }
+
+    /// Sampled counterpart of [`ScoreModel::head_rank`] — see
+    /// [`ScoreModel::tail_rank_sampled`].
+    #[allow(clippy::too_many_arguments)]
+    fn head_rank_sampled(
+        &self,
+        emb: &Embeddings,
+        t: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        cand: &CandidateSet,
+        scores: &mut [f32],
+    ) -> f64 {
+        self.score_all_heads(emb, t, r, scores);
+        sampled_filtered_rank(scores, cand.ids(), target, filtered)
+    }
 }
 
 impl ScoreModel for Box<dyn ScoreModel> {
@@ -94,6 +219,32 @@ impl ScoreModel for Box<dyn ScoreModel> {
         scores: &mut [f32],
     ) -> f64 {
         self.as_ref().head_rank(emb, t, r, target, filtered, scores)
+    }
+    fn tail_rank_sampled(
+        &self,
+        emb: &Embeddings,
+        h: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        cand: &CandidateSet,
+        scores: &mut [f32],
+    ) -> f64 {
+        self.as_ref()
+            .tail_rank_sampled(emb, h, r, target, filtered, cand, scores)
+    }
+    fn head_rank_sampled(
+        &self,
+        emb: &Embeddings,
+        t: u32,
+        r: u32,
+        target: u32,
+        filtered: &[u32],
+        cand: &CandidateSet,
+        scores: &mut [f32],
+    ) -> f64 {
+        self.as_ref()
+            .head_rank_sampled(emb, t, r, target, filtered, cand, scores)
     }
 }
 
@@ -253,6 +404,149 @@ pub fn filtered_rank(scores: &[f32], target: u32, filtered: &[u32]) -> f64 {
         }
     }
     1.0 + better as f64 + ties as f64 / 2.0
+}
+
+/// Filtered average-tie rank of `target` among the candidate ids in
+/// `ids` (sorted ascending) — the sampled form of [`filtered_rank`].
+/// The target always competes (rank starts at 1 whether or not it was
+/// drawn) and is never filtered out; other known-true answers in
+/// `filtered` (sorted ascending) are skipped. With `ids = 0..N_e` this
+/// computes exactly what [`filtered_rank`] computes.
+pub fn sampled_filtered_rank(scores: &[f32], ids: &[u32], target: u32, filtered: &[u32]) -> f64 {
+    let target_score = scores[target as usize];
+    let mut better = 0usize;
+    let mut ties = 0usize;
+    let mut filt_iter = filtered.iter().peekable();
+    for &i in ids {
+        // `ids` and `filtered` are both sorted; one forward cursor.
+        while let Some(&&f) = filt_iter.peek() {
+            if f < i {
+                filt_iter.next();
+            } else {
+                break;
+            }
+        }
+        if i == target {
+            continue;
+        }
+        if let Some(&&f) = filt_iter.peek() {
+            if f == i {
+                continue;
+            }
+        }
+        let s = scores[i as usize];
+        if s > target_score {
+            better += 1;
+        } else if s == target_score {
+            ties += 1;
+        }
+    }
+    1.0 + better as f64 + ties as f64 / 2.0
+}
+
+/// Rank both directions of every triple in one shard against the
+/// shared candidate sample. A pure function of the shard's triples.
+fn eval_shard_sampled<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    cand: &CandidateSet,
+    scores: &mut [f32],
+) -> RankCounts {
+    let mut counts = RankCounts::default();
+    for &t in triples {
+        counts.accumulate(model.tail_rank_sampled(
+            emb,
+            t.head,
+            t.rel,
+            t.tail,
+            filter.tails(t.head, t.rel),
+            cand,
+            scores,
+        ));
+        counts.accumulate(model.head_rank_sampled(
+            emb,
+            t.tail,
+            t.rel,
+            t.head,
+            filter.heads(t.tail, t.rel),
+            cand,
+            scores,
+        ));
+    }
+    counts
+}
+
+/// Evaluate sampled filtered link prediction: every query ranks its
+/// true answer against one shared seeded candidate sample (see
+/// [`RankingMode::Sampled`]). Sharded and tree-reduced exactly like
+/// [`link_prediction`], so the sequential and pooled sampled paths
+/// agree to the last bit; with `candidates ≥ N_e` the result equals
+/// [`link_prediction`] bit for bit.
+pub fn link_prediction_sampled<M: ScoreModel + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    candidates: usize,
+    seed: u64,
+) -> LinkPredictionMetrics {
+    let cand = CandidateSet::draw(emb, candidates, seed);
+    let mut scores = vec![0.0f32; emb.num_entities()];
+    let parts: Vec<RankCounts> = triples
+        .chunks(EVAL_SHARD_TRIPLES)
+        .map(|shard| eval_shard_sampled(model, emb, shard, filter, &cand, &mut scores))
+        .collect();
+    reduce_counts(parts).finalise()
+}
+
+/// Pooled [`link_prediction_sampled`]: the candidate sample is drawn
+/// once, shards run on the shared pool, and the partials merge with
+/// the same fixed tree as the sequential path — bit-identical metrics
+/// for every pool size.
+pub fn link_prediction_sampled_pool<M: ScoreModel + Sync + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    candidates: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> LinkPredictionMetrics {
+    let cand = CandidateSet::draw(emb, candidates, seed);
+    let shards: Vec<&[Triple]> = triples.chunks(EVAL_SHARD_TRIPLES).collect();
+    let _span = eras_obs::span!(
+        "train.eval.sampled",
+        shards = shards.len(),
+        triples = triples.len(),
+        candidates = cand.len(),
+    );
+    let cand_ref = &cand;
+    let parts = pool.map(shards.len(), |s| {
+        let _shard_span = eras_obs::span!("train.eval.shard", shard = s);
+        let mut scores = vec![0.0f32; emb.num_entities()];
+        eval_shard_sampled(model, emb, shards[s], filter, cand_ref, &mut scores)
+    });
+    reduce_counts(parts).finalise()
+}
+
+/// Dispatch an evaluation over `mode`: the exact pooled evaluator for
+/// [`RankingMode::Full`], the sampled one otherwise.
+pub fn link_prediction_with<M: ScoreModel + Sync + ?Sized>(
+    model: &M,
+    emb: &Embeddings,
+    triples: &[Triple],
+    filter: &FilterIndex,
+    mode: RankingMode,
+    pool: &ThreadPool,
+) -> LinkPredictionMetrics {
+    match mode {
+        RankingMode::Full => link_prediction_pool(model, emb, triples, filter, pool),
+        RankingMode::Sampled { candidates, seed } => {
+            link_prediction_sampled_pool(model, emb, triples, filter, candidates, seed, pool)
+        }
+    }
 }
 
 /// Evaluate filtered link prediction over a triple set.
@@ -577,6 +871,148 @@ mod tests {
             );
             assert_eq!(f.to_bits(), d.to_bits(), "{t:?}");
         }
+    }
+
+    /// With `candidates ≥ num_entities` the sampled evaluator must
+    /// reproduce the full filtered ranking **bit for bit** — same
+    /// candidate order, same scores, same tie handling — on both the
+    /// fused BlockModel path and the dense default path.
+    #[test]
+    fn sampled_with_all_candidates_matches_full_exactly() {
+        let dataset = eras_data::Preset::Tiny.build(60);
+        let filter = FilterIndex::build(&dataset);
+        let mut rng = Rng::seed_from_u64(5);
+        let emb = Embeddings::init(
+            dataset.num_entities(),
+            dataset.num_relations(),
+            16,
+            &mut rng,
+        );
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        let full = link_prediction(&model, &emb, &dataset.test, &filter);
+        for candidates in [dataset.num_entities(), dataset.num_entities() * 3] {
+            let sampled =
+                link_prediction_sampled(&model, &emb, &dataset.test, &filter, candidates, 42);
+            assert_eq!(sampled.mrr.to_bits(), full.mrr.to_bits(), "{candidates}");
+            assert_eq!(sampled, full, "{candidates}");
+            let dense = link_prediction_sampled(
+                &DenseOnly(&model),
+                &emb,
+                &dataset.test,
+                &filter,
+                candidates,
+                42,
+            );
+            assert_eq!(dense, full, "dense default, {candidates}");
+        }
+    }
+
+    /// The fused sampled path (scan over gathered candidate rows) and
+    /// the dense default (score all, rank over the sample) must agree
+    /// bit for bit for candidate sets smaller than the entity count.
+    #[test]
+    fn sampled_fused_path_matches_dense_default_exactly() {
+        let dataset = eras_data::Preset::Tiny.build(60);
+        let filter = FilterIndex::build(&dataset);
+        let mut rng = Rng::seed_from_u64(6);
+        let emb = Embeddings::init(
+            dataset.num_entities(),
+            dataset.num_relations(),
+            16,
+            &mut rng,
+        );
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        for seed in [0u64, 7, 99] {
+            let fused = link_prediction_sampled(&model, &emb, &dataset.test, &filter, 40, seed);
+            let dense =
+                link_prediction_sampled(&DenseOnly(&model), &emb, &dataset.test, &filter, 40, seed);
+            assert_eq!(fused, dense, "seed {seed}");
+        }
+    }
+
+    /// Sampled evaluation is a pure function of `(embeddings, seed)`:
+    /// repeated runs and every pool size produce identical metrics, and
+    /// the sampled MRR stays pinned for a fixed seed (regression).
+    #[test]
+    fn sampled_mrr_is_deterministic_and_pool_size_independent() {
+        let dataset = eras_data::Preset::Tiny.build(60);
+        let filter = FilterIndex::build(&dataset);
+        let mut rng = Rng::seed_from_u64(7);
+        let emb = Embeddings::init(
+            dataset.num_entities(),
+            dataset.num_relations(),
+            16,
+            &mut rng,
+        );
+        let model = BlockModel::universal(zoo::complex(), dataset.num_relations());
+        let a = link_prediction_sampled(&model, &emb, &dataset.test, &filter, 50, 123);
+        let b = link_prediction_sampled(&model, &emb, &dataset.test, &filter, 50, 123);
+        assert_eq!(a.mrr.to_bits(), b.mrr.to_bits());
+        // Pinned regression: the sampled protocol is part of the public
+        // contract — candidate draws, filtering, and tie handling must
+        // not drift across refactors. Bits of the seed-123 MRR above.
+        assert_eq!(a.mrr.to_bits(), 0x3fb9_327a_3c24_4d8a, "mrr {}", a.mrr);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let pooled =
+                link_prediction_sampled_pool(&model, &emb, &dataset.test, &filter, 50, 123, &pool);
+            assert_eq!(pooled, a, "pool size {threads}");
+        }
+        // A different candidate seed is allowed to (and here does)
+        // move the metric — the seed is part of the protocol.
+        let c = link_prediction_sampled(&model, &emb, &dataset.test, &filter, 50, 124);
+        assert!(c.count == a.count);
+    }
+
+    /// Protocol properties of the sampled rank: the true entity always
+    /// competes (even when it was not drawn) and is never filtered
+    /// out, and known-true candidates never outrank it spuriously.
+    #[test]
+    fn sampled_rank_always_ranks_the_target_and_never_filters_it() {
+        let n = 12usize;
+        let mut rng = Rng::seed_from_u64(8);
+        let emb = Embeddings::init(n, 1, 4, &mut rng);
+        for seed in 0..20u64 {
+            let cand = CandidateSet::draw(&emb, 5, seed);
+            assert_eq!(cand.len(), 5);
+            let target = (seed % n as u64) as u32;
+            // Target scored best: rank 1 whether or not it was drawn,
+            // even when the target id itself appears in `filtered`.
+            let mut scores = vec![0.0f32; n];
+            scores[target as usize] = 10.0;
+            let rank = sampled_filtered_rank(&scores, cand.ids(), target, &[target]);
+            assert_eq!(rank, 1.0, "seed {seed}");
+            // Target scored worst: rank = 1 + #unfiltered competitors.
+            let mut scores = vec![5.0f32; n];
+            scores[target as usize] = -10.0;
+            let filtered: Vec<u32> = (0..n as u32).filter(|&e| e % 3 == 0).collect();
+            let competitors = cand
+                .ids()
+                .iter()
+                .filter(|&&c| c != target && c % 3 != 0)
+                .count();
+            let rank = sampled_filtered_rank(&scores, cand.ids(), target, &filtered);
+            assert_eq!(rank, 1.0 + competitors as f64, "seed {seed}");
+        }
+    }
+
+    /// Candidate sets are seeded draws: same seed → same ids, distinct
+    /// and sorted; `candidates ≥ n` → all entities.
+    #[test]
+    fn candidate_sets_are_seed_stable_sorted_and_distinct() {
+        let mut rng = Rng::seed_from_u64(9);
+        let emb = Embeddings::init(30, 1, 4, &mut rng);
+        for seed in 0..10u64 {
+            let a = CandidateSet::draw(&emb, 8, seed);
+            let b = CandidateSet::draw(&emb, 8, seed);
+            assert_eq!(a.ids(), b.ids());
+            assert!(a.ids().windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert_eq!(a.rows().rows(), 8);
+        }
+        let all = CandidateSet::draw(&emb, 30, 3);
+        assert_eq!(all.ids(), (0..30u32).collect::<Vec<_>>().as_slice());
+        let more = CandidateSet::draw(&emb, 1000, 3);
+        assert_eq!(more.ids(), all.ids());
     }
 
     #[test]

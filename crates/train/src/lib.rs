@@ -66,5 +66,6 @@ pub mod trainer;
 pub use block::BlockModel;
 pub use contract::{check_case, run_all_contracts, GradCase, GradReport};
 pub use embeddings::Embeddings;
-pub use eval::{LinkPredictionMetrics, ScoreModel};
-pub use loss::LossMode;
+pub use eval::{CandidateSet, LinkPredictionMetrics, RankingMode, ScoreModel};
+pub use loss::{Corruption, LossMode};
+pub use negative::NegCtx;

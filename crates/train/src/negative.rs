@@ -94,6 +94,90 @@ fn corrupt_with_tail_prob(
     candidate
 }
 
+/// Redraw bound for one negative slot: after this many filtered
+/// rejections the last draw is kept even if it is a known positive.
+/// Only pathologically dense `(anchor, rel)` pairs — where almost every
+/// entity forms a true triple — can hit it; the corruptor property
+/// tests document the bound.
+pub const NEG_GIVE_UP: usize = 64;
+
+/// Per-run context for the [`crate::loss::LossMode::NegSampling`]
+/// training path: the filtered-ranking index negatives are rejected
+/// against, plus the fitted Bernoulli corruptor when the corruption
+/// policy asks for cardinality-aware side selection.
+#[derive(Debug, Clone)]
+pub struct NegCtx<'a> {
+    /// Known-true triples; sampled negatives are rejected against it.
+    pub filter: &'a FilterIndex,
+    /// Per-relation tail-corruption probabilities
+    /// ([`crate::loss::Corruption::Bernoulli`] only).
+    pub bernoulli: Option<BernoulliCorruptor>,
+}
+
+impl<'a> NegCtx<'a> {
+    /// Context for uniform both-sides corruption.
+    pub fn uniform(filter: &'a FilterIndex) -> Self {
+        NegCtx {
+            filter,
+            bernoulli: None,
+        }
+    }
+
+    /// Context for Bernoulli one-side corruption, fitting the
+    /// per-relation probabilities from the training triples.
+    pub fn bernoulli(filter: &'a FilterIndex, train: &[Triple], num_relations: usize) -> Self {
+        NegCtx {
+            filter,
+            bernoulli: Some(BernoulliCorruptor::fit(train, num_relations)),
+        }
+    }
+}
+
+/// Fill `out` with filtered negative entity ids for one side of a
+/// positive triple: `tail_side = true` corrupts the tail of
+/// `(anchor, rel, ·)`, `false` the head of `(·, rel, anchor)`.
+///
+/// Each slot redraws uniformly until the candidate neither reproduces
+/// `target` nor forms a known-true triple, keeping the last draw after
+/// [`NEG_GIVE_UP`] rejections. With `filter = None` only the target is
+/// excluded (the unfiltered fallback for callers without an index).
+/// Deterministic in `rng`: the same seed produces the same block.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_neg_block(
+    anchor: u32,
+    rel: u32,
+    target: u32,
+    tail_side: bool,
+    num_entities: usize,
+    filter: Option<&FilterIndex>,
+    rng: &mut Rng,
+    out: &mut [u32],
+) {
+    debug_assert!(num_entities > 1);
+    // The known-true entities for this (anchor, rel) side, sorted
+    // ascending — one lookup per block, one binary search per draw.
+    let known: &[u32] = match filter {
+        Some(f) => {
+            if tail_side {
+                f.tails(anchor, rel)
+            } else {
+                f.heads(anchor, rel)
+            }
+        }
+        None => &[],
+    };
+    for slot in out.iter_mut() {
+        let mut e = target;
+        for _ in 0..NEG_GIVE_UP {
+            e = rng.next_below(num_entities) as u32;
+            if e != target && known.binary_search(&e).is_err() {
+                break;
+            }
+        }
+        *slot = e;
+    }
+}
+
 /// Produce one filtered negative per input triple (for classification
 /// test sets, mirroring how the benchmarks' published negatives were
 /// constructed).
@@ -174,6 +258,153 @@ mod tests {
     fn bernoulli_unknown_relation_falls_back_to_half() {
         let corruptor = BernoulliCorruptor::fit(&[], 0);
         assert_eq!(corruptor.tail_prob(7), 0.5);
+    }
+
+    /// Property: across many seeds, block negatives are never known-true
+    /// triples and never the target — the give-up bound is unreachable
+    /// on any graph that is not near-complete.
+    #[test]
+    fn neg_blocks_are_never_known_true() {
+        let pos: Vec<Triple> = (0..30u32)
+            .map(|i| Triple::new(i % 6, i % 3, (i * 5 + 2) % 40))
+            .collect();
+        let filter = filter_of(&pos);
+        let mut block = [0u32; 8];
+        for seed in 0..50u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            for &t in &pos {
+                sample_neg_block(
+                    t.head,
+                    t.rel,
+                    t.tail,
+                    true,
+                    40,
+                    Some(&filter),
+                    &mut rng,
+                    &mut block,
+                );
+                for &e in &block {
+                    assert_ne!(e, t.tail);
+                    assert!(
+                        !filter.contains(Triple::new(t.head, t.rel, e)),
+                        "tail block sampled a positive ({}, {}, {e})",
+                        t.head,
+                        t.rel
+                    );
+                }
+                sample_neg_block(
+                    t.tail,
+                    t.rel,
+                    t.head,
+                    false,
+                    40,
+                    Some(&filter),
+                    &mut rng,
+                    &mut block,
+                );
+                for &e in &block {
+                    assert_ne!(e, t.head);
+                    assert!(
+                        !filter.contains(Triple::new(e, t.rel, t.tail)),
+                        "head block sampled a positive ({e}, {}, {})",
+                        t.rel,
+                        t.tail
+                    );
+                }
+            }
+        }
+    }
+
+    /// The give-up bound in action: on a near-complete (anchor, rel)
+    /// side the sampler terminates and returns *something* rather than
+    /// spinning — the documented escape hatch.
+    #[test]
+    fn neg_block_gives_up_on_near_complete_side() {
+        // Entity 0 relates to every entity but itself: no valid tail
+        // negative exists except 0, which equals... head, not target.
+        let pos: Vec<Triple> = (1..8u32).map(|t| Triple::new(0, 0, t)).collect();
+        let filter = filter_of(&pos);
+        let mut rng = Rng::seed_from_u64(9);
+        let mut block = [u32::MAX; 4];
+        sample_neg_block(0, 0, 3, true, 8, Some(&filter), &mut rng, &mut block);
+        // Terminates; every slot holds a real entity id.
+        assert!(block.iter().all(|&e| (e as usize) < 8), "{block:?}");
+    }
+
+    /// Bernoulli tail probabilities against hand-computed cardinalities:
+    /// rel 0 is 1-N (one head, five tails → tph = 5, hpt = 1), rel 1 is
+    /// N-1 (four heads, one tail → tph = 1, hpt = 4).
+    #[test]
+    fn bernoulli_matches_hand_computed_cardinalities() {
+        let mut pos: Vec<Triple> = (1..=5u32).map(|t| Triple::new(0, 0, t)).collect();
+        pos.extend((10..14u32).map(|h| Triple::new(h, 1, 20)));
+        let corruptor = BernoulliCorruptor::fit(&pos, 2);
+        assert!(
+            (corruptor.tail_prob(0) - 5.0 / 6.0).abs() < 1e-12,
+            "rel 0: {} vs 5/6",
+            corruptor.tail_prob(0)
+        );
+        assert!(
+            (corruptor.tail_prob(1) - 1.0 / 5.0).abs() < 1e-12,
+            "rel 1: {} vs 1/5",
+            corruptor.tail_prob(1)
+        );
+    }
+
+    /// Block sampling is a pure function of the seed: same seed, same
+    /// block, on both sides; different seeds diverge.
+    #[test]
+    fn neg_blocks_are_seed_stable() {
+        let pos: Vec<Triple> = (0..10u32).map(|i| Triple::new(i, 0, i + 10)).collect();
+        let filter = filter_of(&pos);
+        for tail_side in [true, false] {
+            let mut a = [0u32; 16];
+            let mut b = [0u32; 16];
+            let mut c = [0u32; 16];
+            sample_neg_block(
+                3,
+                0,
+                13,
+                tail_side,
+                30,
+                Some(&filter),
+                &mut Rng::seed_from_u64(42),
+                &mut a,
+            );
+            sample_neg_block(
+                3,
+                0,
+                13,
+                tail_side,
+                30,
+                Some(&filter),
+                &mut Rng::seed_from_u64(42),
+                &mut b,
+            );
+            sample_neg_block(
+                3,
+                0,
+                13,
+                tail_side,
+                30,
+                Some(&filter),
+                &mut Rng::seed_from_u64(43),
+                &mut c,
+            );
+            assert_eq!(a, b, "same seed must reproduce the block");
+            assert_ne!(a, c, "different seeds should diverge");
+        }
+    }
+
+    /// Unfiltered fallback: only the target is excluded.
+    #[test]
+    fn neg_block_without_filter_excludes_only_target() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut block = [0u32; 64];
+        sample_neg_block(0, 0, 2, true, 3, None, &mut rng, &mut block);
+        assert!(block.iter().all(|&e| e != 2 && e < 3), "{block:?}");
+        // Both remaining entities appear: nothing else is excluded.
+        assert!(block.contains(&0) && block.contains(&1));
     }
 
     #[test]

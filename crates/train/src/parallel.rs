@@ -48,6 +48,13 @@
 //!
 //! `LossMode::Sampled` shards are sparse (a few dozen rows each), so
 //! they keep the single-window path with every shard live.
+//! [`LossMode::NegSampling`] shards are sparse too, but they target
+//! million-entity tables where even a sparse shard carries a
+//! rows-sized slot map, so they run over their own bounded window
+//! (`NEG_LIVE_SHARDS`). Sparse shards store only the rows they touch
+//! (slot-compressed, see [`GradTable`]): a neg-sampling shard over a
+//! million-entity table costs kilobytes of gradient rows, not the
+//! 4·`N_e`·`d` bytes a dense accumulator would.
 //!
 //! The result is bit-identical for every thread count (the pool only
 //! decides *which worker* runs a shard, never what the shard computes),
@@ -61,13 +68,14 @@
 //! on the batch-start snapshot) rather than applied as a separate
 //! post-batch pass like the sequential `apply_n3`.
 
-use crate::block::BlockModel;
+use crate::block::{sides_for, BlockModel};
 use crate::embeddings::Embeddings;
 use crate::loss::LossMode;
+use crate::negative::{sample_neg_block, NegCtx};
 use eras_data::Triple;
 use eras_linalg::optim::Optimizer;
 use eras_linalg::pool::ThreadPool;
-use eras_linalg::softmax::{self, log_loss_and_residual};
+use eras_linalg::softmax::{self, log_loss_and_residual, neg_sampling_loss_and_residual};
 use eras_linalg::{vecops, Rng};
 use std::cell::UnsafeCell;
 
@@ -94,61 +102,110 @@ const FULL_FLUSH_SIDES: usize = 8;
 /// floating-point sum) remains a pure function of the batch length.
 const FULL_LIVE_SHARDS: usize = 8;
 
-/// A gradient table with touched-row tracking: dense storage (so merges
-/// are plain row adds) but clearing and application cost only the rows
-/// a batch actually touched — `LossMode::Sampled` shards touch a few
-/// dozen rows out of the whole entity table.
+/// Maximum shard accumulators live at once under
+/// [`LossMode::NegSampling`]. Neg-sampling shards are sparse, but the
+/// mode targets million-entity tables where every live shard still
+/// carries a rows-sized row→slot map; bounding the window keeps the
+/// batch footprint a constant multiple of the table's *row count*
+/// rather than of the shard count. Like `FULL_LIVE_SHARDS` it is a
+/// machine-independent constant, so the reduction shape stays a pure
+/// function of the batch length.
+const NEG_LIVE_SHARDS: usize = 8;
+
+/// A gradient table with slot-compressed sparse storage: `grad` holds
+/// one `dim`-row per *touched* row (first-touch order) and `slot_of`
+/// maps a table row to its slot, so a sampled- or neg-sampling-mode
+/// shard over a million-entity table costs memory proportional to the
+/// rows it actually touches, never to the table. [`LossMode::Full`]
+/// shards flip to a dense layout ([`GradTable::mark_dense`]) where row
+/// `r` lives at offset `r·dim` — the deferred outer-product flush
+/// writes the whole table anyway, and a direct offset beats a slot
+/// lookup per row there.
 #[derive(Default)]
 struct GradTable {
+    rows: usize,
+    dim: usize,
+    /// Active storage: `touched.len()·dim` floats (sparse layout) or
+    /// `rows·dim` (dense layout).
     grad: Vec<f32>,
-    in_touched: Vec<bool>,
+    /// Retained buffer for the other layout, so the sparse↔dense flip
+    /// allocates once per table lifetime, not once per batch. All-zero
+    /// whenever the table is sparse (restored by [`GradTable::clear`]).
+    spare: Vec<f32>,
+    /// Row → slot index into `grad`; `u32::MAX` marks untouched.
+    slot_of: Vec<u32>,
     touched: Vec<u32>,
     dense: bool,
 }
 
 impl GradTable {
     fn ensure(&mut self, rows: usize, dim: usize) {
-        if self.grad.len() != rows * dim {
-            self.grad = vec![0.0; rows * dim];
-            self.in_touched = vec![false; rows];
-            self.touched = Vec::new();
-            self.dense = false;
+        if self.rows == rows && self.dim == dim {
+            return;
         }
+        self.rows = rows;
+        self.dim = dim;
+        self.grad = Vec::new();
+        self.spare = Vec::new();
+        self.slot_of = vec![u32::MAX; rows];
+        self.touched = Vec::new();
+        self.dense = false;
     }
 
+    /// Assign `row` a slot (appending a zeroed gradient row) unless it
+    /// already has one. In the dense layout every row is live already.
     #[inline]
     fn mark(&mut self, row: u32) {
-        if !self.in_touched[row as usize] {
-            self.in_touched[row as usize] = true;
+        if self.dense {
+            return;
+        }
+        if self.slot_of[row as usize] == u32::MAX {
+            self.slot_of[row as usize] = self.touched.len() as u32;
             self.touched.push(row);
+            self.grad.resize(self.grad.len() + self.dim, 0.0);
         }
     }
 
-    /// Mark every row touched — the `LossMode::Full` sweep writes the
-    /// whole table, and a dense flag beats a branch per row. Idempotent
-    /// within a batch (the flag is reset by [`GradTable::clear`]).
+    /// Flip to the dense layout: scatter the sparse slots to their
+    /// `r·dim` offsets in the (all-zero) spare buffer and swap. The
+    /// flip moves values without touching any sum. Idempotent within a
+    /// batch (the flag is reset by [`GradTable::clear`]).
     fn mark_dense(&mut self, rows: usize) {
         if self.dense {
             return;
         }
+        let dim = self.dim;
+        self.spare.resize(rows * dim, 0.0);
+        for (slot, &r) in self.touched.iter().enumerate() {
+            self.spare[r as usize * dim..(r as usize + 1) * dim]
+                .copy_from_slice(&self.grad[slot * dim..(slot + 1) * dim]);
+        }
+        std::mem::swap(&mut self.grad, &mut self.spare);
         self.dense = true;
         self.touched.clear();
         self.touched.extend(0..rows as u32);
-        for f in &mut self.in_touched {
-            *f = true;
-        }
     }
 
-    // audit:allow(E701): rows are dense per-shard slot indices < the
-    // table's row count fixed at construction
+    // audit:allow(E701): `at` is a dense row index or a slot assigned
+    // by `mark`, both < the length the layout fixes
     #[inline]
     fn row(&self, row: usize, dim: usize) -> &[f32] {
-        &self.grad[row * dim..(row + 1) * dim]
+        let at = if self.dense {
+            row
+        } else {
+            self.slot_of[row] as usize
+        };
+        &self.grad[at * dim..(at + 1) * dim]
     }
 
     #[inline]
     fn row_mut(&mut self, row: usize, dim: usize) -> &mut [f32] {
-        &mut self.grad[row * dim..(row + 1) * dim]
+        let at = if self.dense {
+            row
+        } else {
+            self.slot_of[row] as usize
+        };
+        &mut self.grad[at * dim..(at + 1) * dim]
     }
 
     /// `self[r] += src[r]` for every row `src` touched. Row values are
@@ -157,41 +214,40 @@ impl GradTable {
     /// element-wise sums as the row loop, minus the per-row marking.
     fn merge_from(&mut self, src: &GradTable, dim: usize) {
         if src.dense {
-            self.mark_dense(src.in_touched.len());
+            self.mark_dense(src.rows);
             for (d, &v) in self.grad.iter_mut().zip(&src.grad) {
                 *d += v;
             }
             return;
         }
-        for &r in &src.touched {
+        for (slot, &r) in src.touched.iter().enumerate() {
             self.mark(r);
-            let s = src.row(r as usize, dim);
+            let s = &src.grad[slot * dim..(slot + 1) * dim];
             for (d, &v) in self.row_mut(r as usize, dim).iter_mut().zip(s) {
                 *d += v;
             }
         }
     }
 
-    /// Re-zero exactly the touched rows, restoring the all-zero
-    /// invariant the next batch relies on.
-    fn clear(&mut self, dim: usize) {
+    /// Restore the empty-table invariant the next batch relies on: the
+    /// sparse layout just truncates (new marks push freshly zeroed
+    /// rows), the dense layout re-zeroes the big buffer and parks it in
+    /// `spare` so the next flip reuses it without reallocating.
+    fn clear(&mut self) {
         if self.dense {
             vecops::zero(&mut self.grad);
-            for f in &mut self.in_touched {
-                *f = false;
-            }
+            std::mem::swap(&mut self.grad, &mut self.spare);
+            self.grad.clear();
+            self.slot_of.fill(u32::MAX);
             self.touched.clear();
             self.dense = false;
             return;
         }
-        let mut touched = std::mem::take(&mut self.touched);
-        for &r in &touched {
-            self.in_touched[r as usize] = false;
-            vecops::zero(self.row_mut(r as usize, dim));
+        for &r in &self.touched {
+            self.slot_of[r as usize] = u32::MAX;
         }
-        touched.clear();
-        self.touched = touched; // keep the capacity
-        self.dense = false;
+        self.touched.clear();
+        self.grad.clear();
     }
 }
 
@@ -201,6 +257,9 @@ struct Shard {
     entity: GradTable,
     relation: GradTable,
     loss: f32,
+    /// Loss-term sides accumulated — the batch-mean divisor. Bernoulli
+    /// corruption trains one side per triple; every other mode two.
+    sides: u32,
     q: Vec<f32>,
     g_q: Vec<f32>,
     scores: Vec<f32>,
@@ -219,12 +278,14 @@ struct Shard {
 impl Shard {
     /// Accumulate exact gradients for `triples` against the snapshot
     /// `emb`, mirroring the math of `train_side` for both directions.
+    #[allow(clippy::too_many_arguments)]
     fn accumulate(
         &mut self,
         model: &BlockModel,
         emb: &Embeddings,
         triples: &[Triple],
         mode: LossMode,
+        neg: Option<&NegCtx>,
         n3_lambda: f32,
         rng: &mut Rng,
     ) {
@@ -234,6 +295,7 @@ impl Shard {
         self.g_q.resize(emb.dim(), 0.0);
         self.g_q_b.resize(emb.dim(), 0.0);
         self.loss = 0.0;
+        self.sides = 0;
         if matches!(mode, LossMode::Full) {
             let sides = (2 * triples.len()).min(FULL_FLUSH_SIDES);
             self.p_rows.resize(sides * emb.num_entities(), 0.0);
@@ -241,8 +303,15 @@ impl Shard {
             self.n_sides = 0;
         }
         for &t in triples {
-            self.loss += self.side(model, emb, false, t.head, t.rel, t.tail, mode, rng);
-            self.loss += self.side(model, emb, true, t.tail, t.rel, t.head, mode, rng);
+            let (tail_side, head_side) = sides_for(mode, neg, t, rng);
+            if tail_side {
+                self.loss += self.side(model, emb, false, t.head, t.rel, t.tail, mode, neg, rng);
+                self.sides += 1;
+            }
+            if head_side {
+                self.loss += self.side(model, emb, true, t.tail, t.rel, t.head, mode, neg, rng);
+                self.sides += 1;
+            }
             if n3_lambda > 0.0 {
                 self.accumulate_n3(emb, t, n3_lambda);
             }
@@ -264,6 +333,7 @@ impl Shard {
         rel: u32,
         target: u32,
         mode: LossMode,
+        neg: Option<&NegCtx>,
         rng: &mut Rng,
     ) -> f32 {
         let dim = emb.dim();
@@ -366,6 +436,46 @@ impl Shard {
                 }
                 loss
             }
+            LossMode::NegSampling {
+                negatives,
+                gamma,
+                adversarial_temp,
+                ..
+            } => {
+                // Slot 0 is the positive; the filtered negative block
+                // corrupts the side being predicted (tail unless this
+                // is the transposed/head-prediction direction) — the
+                // same math as the sequential `train_side` arm.
+                self.candidates.clear();
+                self.candidates.push(target);
+                self.candidates.resize(1 + negatives, 0);
+                sample_neg_block(
+                    anchor,
+                    rel,
+                    target,
+                    !transposed,
+                    num_entities,
+                    neg.map(|n| n.filter),
+                    rng,
+                    &mut self.candidates[1..],
+                );
+                self.scores.resize(self.candidates.len(), 0.0);
+                for slot in 0..self.candidates.len() {
+                    let c = self.candidates[slot] as usize;
+                    self.scores[slot] = vecops::dot(&self.q, emb.entity.row(c));
+                }
+                let loss =
+                    neg_sampling_loss_and_residual(&mut self.scores, gamma, adversarial_temp);
+                // self.scores now holds the per-candidate ∂L/∂s.
+                for slot in 0..self.candidates.len() {
+                    let c = self.candidates[slot] as usize;
+                    let resid = self.scores[slot];
+                    self.entity.mark(c as u32);
+                    vecops::axpy(resid, emb.entity.row(c), &mut self.g_q);
+                    vecops::axpy(resid, &self.q, self.entity.row_mut(c, dim));
+                }
+                loss
+            }
         };
 
         self.entity.mark(anchor);
@@ -426,14 +536,16 @@ impl Shard {
 
     fn merge_from(&mut self, src: &Shard, dim: usize) {
         self.loss += src.loss;
+        self.sides += src.sides;
         self.entity.merge_from(&src.entity, dim);
         self.relation.merge_from(&src.relation, dim);
     }
 
-    fn clear(&mut self, dim: usize) {
+    fn clear(&mut self) {
         self.loss = 0.0;
-        self.entity.clear(dim);
-        self.relation.clear(dim);
+        self.sides = 0;
+        self.entity.clear();
+        self.relation.clear();
     }
 }
 
@@ -486,7 +598,9 @@ impl ShardCells<'_> {
 ///
 /// Bit-identical for every pool size — see the module docs for the
 /// argument. N3 regularisation (`n3_lambda > 0`) is folded into the
-/// batch gradient.
+/// batch gradient. `neg` supplies the filtered-negative context for
+/// [`LossMode::NegSampling`]; `None` falls back to target-excluded
+/// uniform sampling.
 #[allow(clippy::too_many_arguments)]
 pub fn train_minibatch_parallel(
     model: &BlockModel,
@@ -495,6 +609,7 @@ pub fn train_minibatch_parallel(
     opt_relation: &mut dyn Optimizer,
     batch: &[Triple],
     mode: LossMode,
+    neg: Option<&NegCtx>,
     n3_lambda: f32,
     rng: &mut Rng,
     pool: &ThreadPool,
@@ -513,6 +628,7 @@ pub fn train_minibatch_parallel(
     let window = match mode {
         LossMode::Full => num_shards.min(FULL_LIVE_SHARDS),
         LossMode::Sampled { .. } => num_shards,
+        LossMode::NegSampling { .. } => num_shards.min(NEG_LIVE_SHARDS),
     };
     state.ensure(window);
     // One parent draw per batch; shard RNGs derive from (base, s) the
@@ -539,7 +655,15 @@ pub fn train_minibatch_parallel(
                 let hi = (lo + SHARD_TRIPLES).min(batch.len());
                 let mut srng =
                     Rng::seed_from_u64(base ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                shard.accumulate(model, emb_ref, &batch[lo..hi], mode, n3_lambda, &mut srng);
+                shard.accumulate(
+                    model,
+                    emb_ref,
+                    &batch[lo..hi],
+                    mode,
+                    neg,
+                    n3_lambda,
+                    &mut srng,
+                );
             });
         }
 
@@ -567,7 +691,7 @@ pub fn train_minibatch_parallel(
         // SAFETY: the parallel region is over; this thread owns cell 0.
         root.merge_from(unsafe { &*shards[0].get() }, dim);
         for cell in &mut shards[..count] {
-            cell.get_mut().clear(dim);
+            cell.get_mut().clear();
         }
         step_base += count;
     }
@@ -591,10 +715,12 @@ pub fn train_minibatch_parallel(
             root.relation.row(r as usize, dim),
         );
     }
-    let mean = root.loss / (2.0 * batch.len() as f32);
+    // Divide by the sides actually trained: 2·len for every mode but
+    // Bernoulli corruption, which draws one side per triple.
+    let mean = root.loss / root.sides.max(1) as f32;
 
     // Restore the all-zero invariant for the next batch.
-    root.clear(dim);
+    root.clear();
     mean
 }
 
@@ -602,6 +728,8 @@ pub fn train_minibatch_parallel(
 mod tests {
     use super::*;
     use crate::block::evaluate_loss;
+    use crate::loss::Corruption;
+    use eras_data::FilterIndex;
     use eras_linalg::Adagrad;
     use eras_sf::zoo;
 
@@ -626,10 +754,19 @@ mod tests {
         let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.1, 1e-4);
         let mut state = GradShards::new();
         let data = planted(batch_len);
+        let filter = FilterIndex::from_triples(data.iter().copied());
+        let neg_ctx = match mode {
+            LossMode::NegSampling {
+                corruption: Corruption::Bernoulli,
+                ..
+            } => NegCtx::bernoulli(&filter, &data, 3),
+            _ => NegCtx::uniform(&filter),
+        };
+        let neg = matches!(mode, LossMode::NegSampling { .. }).then_some(&neg_ctx);
         let mut loss = 0.0;
         for _ in 0..steps {
             loss = train_minibatch_parallel(
-                &model, &mut emb, &mut opt_e, &mut opt_r, &data, mode, n3, &mut rng, &pool,
+                &model, &mut emb, &mut opt_e, &mut opt_r, &data, mode, neg, n3, &mut rng, &pool,
                 &mut state,
             );
         }
@@ -637,7 +774,22 @@ mod tests {
     }
 
     fn assert_bit_identical_across_pool_sizes(batch_len: usize, steps: usize) {
-        for mode in [LossMode::Full, LossMode::Sampled { negatives: 8 }] {
+        for mode in [
+            LossMode::Full,
+            LossMode::Sampled { negatives: 8 },
+            LossMode::NegSampling {
+                negatives: 4,
+                gamma: 6.0,
+                adversarial_temp: 1.0,
+                corruption: Corruption::Uniform,
+            },
+            LossMode::NegSampling {
+                negatives: 4,
+                gamma: 6.0,
+                adversarial_temp: 0.0,
+                corruption: Corruption::Bernoulli,
+            },
+        ] {
             let (ref_emb, ref_loss) = run_training(1, mode, 1e-3, batch_len, steps);
             for threads in [2usize, 3, 8] {
                 let (emb, loss) = run_training(threads, mode, 1e-3, batch_len, steps);
@@ -690,6 +842,7 @@ mod tests {
                 &mut opt_r,
                 &data,
                 LossMode::Full,
+                None,
                 0.0,
                 &mut rng,
                 &pool,
@@ -698,6 +851,47 @@ mod tests {
         }
         let after = evaluate_loss(&model, &emb, &data);
         assert!(after < before * 0.8, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn neg_sampling_mode_learns() {
+        let pool = ThreadPool::new(4);
+        let mut rng = Rng::seed_from_u64(13);
+        let mut emb = Embeddings::init(40, 3, 16, &mut rng);
+        let model = BlockModel::universal(zoo::complex(), 3);
+        let data = planted(60);
+        let filter = FilterIndex::from_triples(data.iter().copied());
+        let neg_ctx = NegCtx::uniform(&filter);
+        let mut opt_e = Adagrad::new(emb.entity.as_slice().len(), 0.2, 0.0);
+        let mut opt_r = Adagrad::new(emb.relation.as_slice().len(), 0.2, 0.0);
+        let mut state = GradShards::new();
+        let mode = LossMode::NegSampling {
+            negatives: 8,
+            gamma: 4.0,
+            adversarial_temp: 1.0,
+            corruption: Corruption::Uniform,
+        };
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..60 {
+            last = train_minibatch_parallel(
+                &model,
+                &mut emb,
+                &mut opt_e,
+                &mut opt_r,
+                &data,
+                mode,
+                Some(&neg_ctx),
+                0.0,
+                &mut rng,
+                &pool,
+                &mut state,
+            );
+            if step == 0 {
+                first = last;
+            }
+        }
+        assert!(last < first * 0.8, "neg-sampling loss {first} -> {last}");
     }
 
     #[test]
@@ -719,6 +913,7 @@ mod tests {
                 &mut opt_r,
                 &data,
                 LossMode::Sampled { negatives: 8 },
+                None,
                 0.0,
                 &mut rng,
                 &pool,
@@ -746,6 +941,7 @@ mod tests {
             &mut opt_r,
             &[],
             LossMode::Full,
+            None,
             0.0,
             &mut rng,
             &pool,
